@@ -1,0 +1,184 @@
+// A2 — ablation: frontier structure and adaptive width (extensions).
+//
+// Panel 1 compares the paper's level-array frontier (scan all n vertices
+// per level) against the explicit queue frontier for both mappings. The
+// level-array structure is what the paper used; the queue is where later
+// GPU BFS work went, and the gap is largest on high-diameter graphs where
+// per-level full scans dominate.
+//
+// Panel 2 evaluates the adaptive per-level W selection (the authors'
+// follow-up idea): the W chosen for each level, and total time vs the
+// best fixed W.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::Frontier;
+using algorithms::Mapping;
+
+double bfs_ms(const graph::Csr& g, graph::NodeId source, Mapping mapping,
+              int width, Frontier frontier) {
+  auto opts = benchx::bfs_options(mapping, width);
+  opts.frontier = frontier;
+  return benchx::measure_bfs(g, source, opts).modeled_ms;
+}
+
+void print_panel1() {
+  benchx::print_banner(
+      "A2.1: level-array vs queue frontier (modeled ms)",
+      "Same kernels, different frontier bookkeeping; W=8 for the "
+      "warp-centric columns.");
+  util::Table table({"graph", "scan base", "scan warp", "queue base",
+                     "queue warp", "queue gain"});
+  for (const char* name : {"RMAT", "LiveJournal*", "Uniform", "Grid"}) {
+    const graph::Csr g =
+        graph::make_dataset(name, benchx::scale(), benchx::seed());
+    const auto source = benchx::hub_source(g);
+    const double scan_base = bfs_ms(g, source, Mapping::kThreadMapped, 32,
+                                    Frontier::kLevelArray);
+    const double scan_warp = bfs_ms(g, source, Mapping::kWarpCentric, 8,
+                                    Frontier::kLevelArray);
+    const double queue_base = bfs_ms(g, source, Mapping::kThreadMapped, 32,
+                                     Frontier::kQueue);
+    const double queue_warp = bfs_ms(g, source, Mapping::kWarpCentric, 8,
+                                     Frontier::kQueue);
+    table.row()
+        .cell(name)
+        .cell(scan_base, 3)
+        .cell(scan_warp, 3)
+        .cell(queue_base, 3)
+        .cell(queue_warp, 3)
+        .cell(std::min(scan_base, scan_warp) /
+                  std::min(queue_base, queue_warp),
+              2);
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: the queue helps the warp-centric kernel where "
+      "full scans dominate (Grid:\n>2x at equal W) and is a wash on "
+      "low-diameter skewed graphs, where its per-edge CAS and\nenqueue "
+      "overhead offsets the scans it saves. The thread-mapped queue "
+      "kernel LOSES to its\nscan version: its naive per-lane enqueue "
+      "atomics serialize (see the conflict counters) —\nwhich is why "
+      "production queue kernels use warp-aggregated enqueue.\n");
+}
+
+void print_panel2() {
+  std::printf("\nA2.2: adaptive per-level W vs fixed W (queue frontier)\n\n");
+  util::Table table({"graph", "adaptive ms", "best fixed ms", "fixed W",
+                     "ratio", "widths used (first 10 levels)"});
+  for (const char* name : {"RMAT", "WikiTalk*", "Uniform", "Grid"}) {
+    const graph::Csr g =
+        graph::make_dataset(name, benchx::scale(), benchx::seed());
+    const auto source = benchx::hub_source(g);
+
+    gpu::Device dev;
+    const auto adaptive = algorithms::bfs_gpu_adaptive(dev, g, source);
+    const double adaptive_ms = adaptive.stats.kernel_ms(dev.config());
+
+    double best_ms = 1e300;
+    int best_w = 0;
+    for (int w : {2, 4, 8, 16, 32}) {
+      const double ms =
+          bfs_ms(g, source, Mapping::kWarpCentric, w, Frontier::kQueue);
+      if (ms < best_ms) {
+        best_ms = ms;
+        best_w = w;
+      }
+    }
+
+    std::string widths;
+    for (std::size_t i = 0; i < adaptive.adaptive_widths.size() && i < 10;
+         ++i) {
+      if (i) widths += ' ';
+      widths += std::to_string(adaptive.adaptive_widths[i]);
+    }
+    table.row()
+        .cell(name)
+        .cell(adaptive_ms, 3)
+        .cell(best_ms, 3)
+        .cell(best_w)
+        .cell(adaptive_ms / best_ms, 2)
+        .cell(widths);
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: on big frontiers the chosen W tracks the average "
+      "degree; on small frontiers\nthe occupancy term raises it to keep "
+      "the SMs fed. The adaptive total lands within ~1.3x of\nthe best "
+      "fixed W it cannot know in advance — without any per-graph tuning.\n");
+}
+
+void print_panel3() {
+  std::printf(
+      "\nA2.3: direction-optimizing (push/pull) BFS vs pure push (W=8)\n\n");
+  util::Table table({"graph", "push ms", "hybrid ms", "speedup",
+                     "pull levels", "work cycles saved %"});
+  for (const char* name : {"RMAT", "LiveJournal*", "Random", "Grid"}) {
+    const graph::Csr g =
+        graph::make_dataset(name, benchx::scale(), benchx::seed());
+    const auto source = benchx::hub_source(g);
+    gpu::Device d1;
+    algorithms::KernelOptions push_opts;
+    push_opts.virtual_warp_width = 8;
+    const auto push = algorithms::bfs_gpu(d1, g, source, push_opts);
+    gpu::Device d2;
+    const auto hybrid =
+        algorithms::bfs_gpu_direction_optimized(d2, g, source);
+    int pull_levels = 0;
+    for (int d : hybrid.level_directions) pull_levels += d;
+    const double saved =
+        1.0 - static_cast<double>(
+                  hybrid.stats.kernels.counters.total_cycles()) /
+                  static_cast<double>(
+                      push.stats.kernels.counters.total_cycles());
+    table.row()
+        .cell(name)
+        .cell(push.stats.kernel_ms(d1.config()), 3)
+        .cell(hybrid.stats.kernel_ms(d2.config()), 3)
+        .cell(push.stats.kernels.elapsed_cycles /
+                  static_cast<double>(hybrid.stats.kernels.elapsed_cycles),
+              2)
+        .cell(pull_levels)
+        .cell(saved * 100.0, 1);
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: the hybrid switches to pull on the boom levels "
+      "of low-diameter graphs and\nsaves total work cycles (every "
+      "unvisited vertex stops its scan at the first frontier\nparent); "
+      "the elapsed win is larger still, because the pull kernel's uniform "
+      "strips also\nbalance across SMs. Grid never switches and ties with "
+      "pure push.\n");
+}
+
+void BM_Frontier(benchmark::State& state, Frontier frontier) {
+  const graph::Csr g =
+      graph::make_dataset("Grid", benchx::scale(), benchx::seed());
+  const auto source = benchx::hub_source(g);
+  for (auto _ : state) {
+    state.counters["modeled_ms"] =
+        bfs_ms(g, source, Mapping::kWarpCentric, 8, frontier);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_panel1();
+  print_panel2();
+  print_panel3();
+  benchmark::RegisterBenchmark("frontier/Grid/level_array", BM_Frontier,
+                               Frontier::kLevelArray)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("frontier/Grid/queue", BM_Frontier,
+                               Frontier::kQueue)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// A3 — ablation: node ordering (task placement) under static assignment.
+//
+// Static warp-centric assignment binds vertex v to group v/G of warp
+// v/(G*warps): whatever order the vertices are numbered in becomes the
+// physical work placement. This sweep relabels the same graph three ways —
+// natural (generator order), random shuffle, and descending degree — and
+// measures BFS under both mappings. Degree-descending packs the heavy
+// vertices into the same warps *and* the same (round-robin-pinned) SMs,
+// which helps intra-warp uniformity but risks SM imbalance; the dynamic
+// distribution recovers it.
+#include "bench_common.hpp"
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::Mapping;
+
+graph::Csr relabel(const graph::Csr& g, const std::string& how,
+                   std::uint64_t seed) {
+  if (how == "natural") return g;
+  if (how == "degree-desc") {
+    return graph::permute(g, graph::degree_descending_order(g));
+  }
+  // random
+  std::vector<graph::NodeId> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), 0u);
+  util::Rng rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.next_below(i)]);
+  }
+  return graph::permute(g, perm);
+}
+
+void print_figure() {
+  benchx::print_banner(
+      "A3: node-ordering ablation (modeled ms, BFS)",
+      "Same graph, three labelings. Orderings move work between warps and "
+      "SMs without changing the answer.");
+  util::Table table({"graph", "ordering", "baseline", "warp W=32",
+                     "warp+dynamic W=32"});
+  for (const char* name : {"RMAT", "LiveJournal*"}) {
+    const graph::Csr original =
+        graph::make_dataset(name, benchx::scale(), benchx::seed());
+    for (const char* how : {"natural", "random", "degree-desc"}) {
+      const graph::Csr g = relabel(original, how, benchx::seed());
+      const auto source = benchx::hub_source(g);
+      const auto base = benchx::measure_bfs(
+          g, source, benchx::bfs_options(Mapping::kThreadMapped, 32));
+      const auto warp = benchx::measure_bfs(
+          g, source, benchx::bfs_options(Mapping::kWarpCentric, 32));
+      const auto dyn = benchx::measure_bfs(
+          g, source,
+          benchx::bfs_options(Mapping::kWarpCentricDynamic, 32));
+      table.row()
+          .cell(name)
+          .cell(how)
+          .cell(base.modeled_ms, 3)
+          .cell(warp.modeled_ms, 3)
+          .cell(dyn.modeled_ms, 3);
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: degree-descending labels HURT the thread-mapped "
+      "baseline badly (all the hub\nblocks pin to the first few SMs) but "
+      "HELP static warp-centric (degree-similar vertices share\na warp, so "
+      "group trip counts match and lanes stop idling). The dynamic variant "
+      "is nearly\nordering-invariant — the robustness that motivates "
+      "paying for its atomics.\n");
+}
+
+void BM_Ordering(benchmark::State& state, const std::string& how) {
+  const graph::Csr g = relabel(
+      graph::make_dataset("RMAT", benchx::scale(), benchx::seed()), how,
+      benchx::seed());
+  const auto source = benchx::hub_source(g);
+  for (auto _ : state) {
+    state.counters["modeled_ms"] =
+        benchx::measure_bfs(g, source,
+                            benchx::bfs_options(Mapping::kWarpCentric, 32))
+            .modeled_ms;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  for (const char* how : {"natural", "random", "degree-desc"}) {
+    benchmark::RegisterBenchmark((std::string("ordering/RMAT/") + how)
+                                     .c_str(),
+                                 BM_Ordering, std::string(how))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// A4 — ablation: memory-model sensitivity (coalescing granularity and
+// memory cost weight).
+//
+// The headline speedups rest on a cost model; this sweep shows how they
+// move when the model's two memory knobs change. If the conclusion "warp-
+// centric wins on skewed graphs" flipped under reasonable knob settings,
+// the reproduction would be an artifact — it does not: the speedup grows
+// with transaction size (more coalescing to win) and with the memory cost
+// weight (graph kernels are bandwidth-bound), but stays > 1 throughout.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::Mapping;
+
+double speedup_under(const graph::Csr& g, graph::NodeId source,
+                     std::uint32_t txn_bytes, std::uint32_t mem_cost) {
+  simt::SimConfig cfg;
+  cfg.mem_transaction_bytes = txn_bytes;
+  cfg.cycles_per_mem_transaction = mem_cost;
+  const auto base = benchx::measure_bfs(
+      g, source, benchx::bfs_options(Mapping::kThreadMapped, 32), cfg);
+  const auto warp = benchx::measure_bfs(
+      g, source, benchx::bfs_options(Mapping::kWarpCentric, 32), cfg);
+  return static_cast<double>(base.elapsed_cycles) /
+         static_cast<double>(warp.elapsed_cycles);
+}
+
+void print_figure() {
+  benchx::print_banner(
+      "A4: cost-model sensitivity of the RMAT BFS speedup (W=32)",
+      "Left: transaction segment size (default 128B). Right: cycles per "
+      "transaction (default 16).");
+  const graph::Csr g =
+      graph::make_dataset("RMAT", benchx::scale(), benchx::seed());
+  const auto source = benchx::hub_source(g);
+
+  util::Table seg({"txn bytes", "speedup"});
+  for (std::uint32_t bytes : {32u, 64u, 128u, 256u}) {
+    seg.row().cell(static_cast<std::uint64_t>(bytes))
+        .cell(speedup_under(g, source, bytes, 16), 2);
+  }
+  seg.print();
+
+  util::Table cost({"cycles/txn", "speedup"});
+  for (std::uint32_t cycles : {4u, 8u, 16u, 32u, 64u}) {
+    cost.row().cell(static_cast<std::uint64_t>(cycles))
+        .cell(speedup_under(g, source, 128, cycles), 2);
+  }
+  std::printf("\n");
+  cost.print();
+  std::printf(
+      "\nExpected shape: speedup > 1 at every setting; it rises with "
+      "segment size (coalescing\nmatters more) and is stable-to-rising in "
+      "the memory cost weight.\n");
+}
+
+void BM_Sensitivity(benchmark::State& state) {
+  const graph::Csr g =
+      graph::make_dataset("RMAT", benchx::scale(), benchx::seed());
+  const auto source = benchx::hub_source(g);
+  for (auto _ : state) {
+    state.counters["speedup"] = speedup_under(
+        g, source, static_cast<std::uint32_t>(state.range(0)), 16);
+  }
+}
+BENCHMARK(BM_Sensitivity)->Arg(32)->Arg(128)->Unit(
+    benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every binary prints the paper-style table/series it regenerates (computed
+// at the scale given by --scale or MAXWARP_SCALE, default 1.0 = 32K-node
+// instances), then runs a small set of google-benchmark timings over the
+// same code paths. The *modeled* GPU milliseconds (simulator cycles /
+// clock) are the figure values; google-benchmark's wall times measure the
+// simulator itself and are reported for harness health only.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <string>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "util/table.hpp"
+
+namespace maxwarp::benchx {
+
+/// Instance scale: MAXWARP_SCALE env var (the bench runner's knob).
+inline double scale() {
+  if (const char* env = std::getenv("MAXWARP_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline std::uint64_t seed() {
+  if (const char* env = std::getenv("MAXWARP_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 42;
+}
+
+/// Highest-degree node: a deterministic, non-trivial BFS source.
+inline graph::NodeId hub_source(const graph::Csr& g) {
+  graph::NodeId best = 0;
+  for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  return best;
+}
+
+inline algorithms::KernelOptions bfs_options(algorithms::Mapping mapping,
+                                             int width) {
+  algorithms::KernelOptions opts;
+  opts.mapping = mapping;
+  opts.virtual_warp_width = width;
+  return opts;
+}
+
+/// One BFS measurement on a fresh device.
+struct BfsMeasurement {
+  double modeled_ms = 0;
+  double mteps = 0;
+  double simd_utilization = 0;
+  double txn_per_request = 0;
+  std::uint64_t elapsed_cycles = 0;
+  std::uint64_t traversed_edges = 0;
+  std::uint32_t depth = 0;
+};
+
+inline BfsMeasurement measure_bfs(const graph::Csr& g, graph::NodeId source,
+                                  const algorithms::KernelOptions& opts,
+                                  simt::SimConfig cfg = {}) {
+  gpu::Device dev(cfg);
+  const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+  BfsMeasurement m;
+  m.modeled_ms = r.stats.kernel_ms(dev.config());
+  m.elapsed_cycles = r.stats.kernels.elapsed_cycles;
+  m.traversed_edges = r.traversed_edges;
+  m.mteps = m.modeled_ms > 0
+                ? static_cast<double>(r.traversed_edges) /
+                      (m.modeled_ms * 1e3)  // edges / us == MTEPS
+                : 0;
+  m.simd_utilization = r.stats.kernels.counters.simd_utilization();
+  m.txn_per_request = r.stats.kernels.counters.transactions_per_request();
+  m.depth = r.depth;
+  return m;
+}
+
+inline void print_banner(const char* experiment, const char* description) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("scale=%.3g seed=%llu (set MAXWARP_SCALE / MAXWARP_SEED)\n",
+              scale(), static_cast<unsigned long long>(seed()));
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace maxwarp::benchx

@@ -1,0 +1,103 @@
+// F3 — the headline figure: BFS time, baseline vs virtual-warp widths.
+//
+// For every dataset: modeled kernel time of the thread-mapped baseline and
+// of the warp-centric kernel at W in {1(=A-W2 ablation), 2, 4, 8, 16, 32},
+// plus the implied MTEPS. The virtual-warp trade-off appears as a U-shape
+// in W whose minimum shifts right as the degree distribution gets heavier.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace maxwarp;
+
+constexpr int kWidths[] = {1, 2, 4, 8, 16, 32};
+
+void print_figure() {
+  benchx::print_banner(
+      "F3: BFS execution time, baseline vs virtual warp size "
+      "(+ A-W2 width ablation)",
+      "Modeled kernel ms per dataset; each warp-centric column is one W. "
+      "MTEPS in parentheses.");
+
+  std::vector<std::string> headers{"graph", "baseline"};
+  for (int w : kWidths) headers.push_back("W=" + std::to_string(w));
+  headers.push_back("best W");
+  util::Table table(headers);
+
+  for (const auto& spec : graph::paper_datasets()) {
+    const graph::Csr g = spec.make(benchx::scale(), benchx::seed());
+    const auto source = benchx::hub_source(g);
+    auto& row = table.row();
+    const auto base = benchx::measure_bfs(
+        g, source, benchx::bfs_options(algorithms::Mapping::kThreadMapped,
+                                       32));
+    char cell[64];
+    std::snprintf(cell, sizeof(cell), "%.3f (%.0f)", base.modeled_ms,
+                  base.mteps);
+    row.cell(spec.name).cell(cell);
+
+    int best_w = 0;
+    double best_ms = base.modeled_ms * 1e9;
+    for (int w : kWidths) {
+      const auto m = benchx::measure_bfs(
+          g, source,
+          benchx::bfs_options(algorithms::Mapping::kWarpCentric, w));
+      std::snprintf(cell, sizeof(cell), "%.3f (%.0f)", m.modeled_ms,
+                    m.mteps);
+      row.cell(cell);
+      if (m.modeled_ms < best_ms) {
+        best_ms = m.modeled_ms;
+        best_w = w;
+      }
+    }
+    row.cell(std::to_string(best_w));
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: per-row U-shape in W whose minimum tracks the "
+      "graph's average degree —\nW=8/16 for the avg-deg 8-14 skewed graphs "
+      "(which beat the baseline solidly), W=2/4 for the\nsparse ones, and "
+      "W=1 on Grid where the baseline wins outright. That movement of the "
+      "optimum\nwith the degree profile is the imbalance/underutilization "
+      "trade-off of the paper.\n");
+}
+
+void BM_Bfs(benchmark::State& state, const std::string& name,
+            algorithms::Mapping mapping, int width) {
+  const graph::Csr g =
+      graph::make_dataset(name, benchx::scale(), benchx::seed());
+  const auto source = benchx::hub_source(g);
+  for (auto _ : state) {
+    const auto m =
+        benchx::measure_bfs(g, source, benchx::bfs_options(mapping, width));
+    state.counters["modeled_ms"] = m.modeled_ms;
+    state.counters["MTEPS"] = m.mteps;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  // Representative google-benchmark timings: two datasets x three configs.
+  for (const char* name : {"RMAT", "Uniform"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("bfs/") + name + "/baseline").c_str(), BM_Bfs,
+        std::string(name), maxwarp::algorithms::Mapping::kThreadMapped, 32)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    for (int w : {8, 32}) {
+      benchmark::RegisterBenchmark(
+          (std::string("bfs/") + name + "/warp_w" + std::to_string(w))
+              .c_str(),
+          BM_Bfs, std::string(name),
+          maxwarp::algorithms::Mapping::kWarpCentric, w)
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

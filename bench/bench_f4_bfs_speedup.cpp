@@ -1,0 +1,90 @@
+// F4 — speedup summary over the thread-mapped baseline.
+//
+// The paper's summary bars: for each dataset, the speedup of (a) the
+// fixed W=32 warp-centric kernel, (b) the best W from the sweep, and
+// (c) best W combined with the dynamic-distribution and defer-queue
+// techniques, all relative to the thread-mapped baseline.
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::Mapping;
+
+void print_figure() {
+  benchx::print_banner(
+      "F4: BFS speedup over the thread-mapped baseline",
+      "Higher is better; < 1.0 means the baseline wins (expected only on "
+      "regular graphs at W=32).");
+
+  util::Table table({"graph", "W=32", "best W", "bestW value", "+dynamic",
+                     "+defer"});
+  for (const auto& spec : graph::paper_datasets()) {
+    const graph::Csr g = spec.make(benchx::scale(), benchx::seed());
+    const auto source = benchx::hub_source(g);
+    const auto base = benchx::measure_bfs(
+        g, source, benchx::bfs_options(Mapping::kThreadMapped, 32));
+
+    double best_ms = 1e300;
+    int best_w = 0;
+    double w32_ms = 0;
+    for (int w : {2, 4, 8, 16, 32}) {
+      const auto m = benchx::measure_bfs(
+          g, source, benchx::bfs_options(Mapping::kWarpCentric, w));
+      if (w == 32) w32_ms = m.modeled_ms;
+      if (m.modeled_ms < best_ms) {
+        best_ms = m.modeled_ms;
+        best_w = w;
+      }
+    }
+    const auto dyn = benchx::measure_bfs(
+        g, source,
+        benchx::bfs_options(Mapping::kWarpCentricDynamic, best_w));
+    auto defer_opts = benchx::bfs_options(Mapping::kWarpCentricDefer,
+                                          best_w);
+    defer_opts.defer_threshold = 256;
+    const auto def = benchx::measure_bfs(g, source, defer_opts);
+
+    table.row()
+        .cell(spec.name)
+        .cell(base.modeled_ms / w32_ms, 2)
+        .cell(base.modeled_ms / best_ms, 2)
+        .cell("W=" + std::to_string(best_w))
+        .cell(base.modeled_ms / dyn.modeled_ms, 2)
+        .cell(base.modeled_ms / def.modeled_ms, 2);
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: large factors on RMAT/LiveJournal*/WikiTalk*; "
+      "about 1x (or below at W=32)\non Uniform and Grid. Dynamic and defer "
+      "help most where hubs or clustering exist.\n");
+}
+
+void BM_SpeedupPair(benchmark::State& state, const std::string& name) {
+  const graph::Csr g =
+      graph::make_dataset(name, benchx::scale(), benchx::seed());
+  const auto source = benchx::hub_source(g);
+  for (auto _ : state) {
+    const auto base = benchx::measure_bfs(
+        g, source, benchx::bfs_options(Mapping::kThreadMapped, 32));
+    const auto warp = benchx::measure_bfs(
+        g, source, benchx::bfs_options(Mapping::kWarpCentric, 32));
+    state.counters["speedup_w32"] = base.modeled_ms / warp.modeled_ms;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  for (const char* name : {"RMAT", "LiveJournal*", "Uniform"}) {
+    benchmark::RegisterBenchmark((std::string("speedup/") + name).c_str(),
+                                 BM_SpeedupPair, std::string(name))
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

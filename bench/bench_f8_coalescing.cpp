@@ -1,0 +1,99 @@
+// F8 — memory behaviour: coalescing of baseline vs warp-centric BFS.
+//
+// The virtual-warp SIMD phase reads W *consecutive* adjacency entries per
+// group, so its lane requests collapse into few 128-byte transactions; the
+// thread-mapped kernel's lanes each walk a different list and scatter.
+// Reported per dataset: global transactions per traversed edge and the
+// average transactions per lane request.
+#include "bench_common.hpp"
+
+#include "gpu/device.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::Mapping;
+
+struct MemRow {
+  double txn_per_edge;
+  double txn_per_req;
+};
+
+MemRow measure(const graph::Csr& g, graph::NodeId source,
+               const algorithms::KernelOptions& opts) {
+  gpu::Device dev;
+  const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+  MemRow row;
+  row.txn_per_edge =
+      r.traversed_edges
+          ? static_cast<double>(
+                r.stats.kernels.counters.global_transactions) /
+                static_cast<double>(r.traversed_edges)
+          : 0.0;
+  row.txn_per_req = r.stats.kernels.counters.transactions_per_request();
+  return row;
+}
+
+void print_figure() {
+  benchx::print_banner(
+      "F8: global-memory transactions, baseline vs warp-centric (W=32)",
+      "txn/edge counts whole-BFS transactions per traversed edge; "
+      "txn/request is the per-access coalescing factor (1/32 is perfect).");
+  util::Table table({"graph", "base txn/edge", "warp txn/edge",
+                     "base txn/req", "warp txn/req", "txn reduction"});
+  for (const auto& spec : graph::paper_datasets()) {
+    const graph::Csr g = spec.make(benchx::scale(), benchx::seed());
+    const auto source = benchx::hub_source(g);
+    const MemRow base = measure(
+        g, source, benchx::bfs_options(Mapping::kThreadMapped, 32));
+    const MemRow warp = measure(
+        g, source, benchx::bfs_options(Mapping::kWarpCentric, 32));
+    table.row()
+        .cell(spec.name)
+        .cell(base.txn_per_edge, 2)
+        .cell(warp.txn_per_edge, 2)
+        .cell(base.txn_per_req, 3)
+        .cell(warp.txn_per_req, 3)
+        .cell(base.txn_per_edge / warp.txn_per_edge, 2);
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape: txn/request is the coalescing metric — "
+      "warp-centric drives it toward the\n1/32 floor on every graph (a "
+      "5-10x improvement). txn/edge additionally contains the level-\n"
+      "array scan overhead, which warp-centric pays once per *vertex* "
+      "instead of once per 32\nvertices, so it only drops where long "
+      "adjacency lists dominate (LiveJournal*, RMAT) and\nrises on "
+      "short-list graphs — most extremely on Grid (see A2 for the queue "
+      "frontier that\nremoves those scans).\n");
+}
+
+void BM_Mem(benchmark::State& state, const std::string& name,
+            Mapping mapping) {
+  const graph::Csr g =
+      graph::make_dataset(name, benchx::scale(), benchx::seed());
+  const auto source = benchx::hub_source(g);
+  for (auto _ : state) {
+    const MemRow row = measure(g, source, benchx::bfs_options(mapping, 32));
+    state.counters["txn_per_edge"] = row.txn_per_edge;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::RegisterBenchmark("mem/RMAT/baseline", BM_Mem,
+                               std::string("RMAT"),
+                               Mapping::kThreadMapped)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  benchmark::RegisterBenchmark("mem/RMAT/warp32", BM_Mem,
+                               std::string("RMAT"), Mapping::kWarpCentric)
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

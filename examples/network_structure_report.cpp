@@ -1,0 +1,145 @@
+// Structural profile of a network on the simulated GPU.
+//
+// Uses the extension kernels: k-core decomposition (engagement shells),
+// triangle counting (clustering), Jones-Plassmann coloring (conflict-free
+// scheduling classes), and sampled betweenness centrality (brokerage) —
+// each in its warp-centric form, with the thread-mapped time shown for
+// contrast. A compact demonstration that the virtual-warp method is a
+// reusable building block, not a BFS trick.
+//
+//   ./network_structure_report [--scale S] [--seed X] [--width W]
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/bc_gpu.hpp"
+#include "algorithms/coloring_gpu.hpp"
+#include "algorithms/kcore_gpu.hpp"
+#include "algorithms/tc_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace maxwarp;
+
+namespace {
+
+algorithms::KernelOptions options(bool warp_centric, int width) {
+  algorithms::KernelOptions opts;
+  opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
+                              : algorithms::Mapping::kThreadMapped;
+  opts.virtual_warp_width = width;
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.5);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const int width = static_cast<int>(args.get_int("width", 16));
+
+  // Work on the undirected closure of a social-graph stand-in.
+  graph::Csr directed = graph::make_dataset("RMAT", scale, seed);
+  graph::BuildOptions sym;
+  sym.symmetrize = true;
+  const graph::Csr g = graph::build_csr(
+      directed.num_nodes(), graph::to_edge_list(directed), sym);
+  std::printf("network: %s\n\n", g.describe().c_str());
+
+  util::Table report({"analysis", "warp-centric ms", "thread-mapped ms",
+                      "speedup", "finding"});
+
+  // --- cohesion: how deep do the k-cores go? -----------------------------
+  {
+    std::uint32_t deepest = 0;
+    double warp_ms = 0, base_ms = 0;
+    char finding[96];
+    for (std::uint32_t k = 2;; k *= 2) {
+      gpu::Device dev;
+      const auto r = algorithms::k_core_gpu(dev, g, k,
+                                            options(true, width));
+      warp_ms += r.stats.kernel_ms(dev.config());
+      gpu::Device dev2;
+      base_ms += algorithms::k_core_gpu(dev2, g, k, options(false, width))
+                     .stats.kernel_ms(dev2.config());
+      if (r.survivors == 0) break;
+      deepest = k;
+      if (k > g.num_nodes()) break;
+    }
+    std::snprintf(finding, sizeof(finding), "deepest non-empty core: k=%u",
+                  deepest);
+    report.row().cell("k-core shells").cell(warp_ms, 3).cell(base_ms, 3)
+        .cell(base_ms / warp_ms, 2).cell(finding);
+  }
+
+  // --- clustering: triangles ----------------------------------------------
+  {
+    gpu::Device dev;
+    const auto r = algorithms::triangle_count_gpu(dev, g,
+                                                  options(true, width));
+    const double warp_ms = r.stats.kernel_ms(dev.config());
+    gpu::Device dev2;
+    const double base_ms =
+        algorithms::triangle_count_gpu(dev2, g, options(false, width))
+            .stats.kernel_ms(dev2.config());
+    char finding[96];
+    std::snprintf(finding, sizeof(finding), "%llu triangles",
+                  static_cast<unsigned long long>(r.triangles));
+    report.row().cell("triangle count").cell(warp_ms, 3).cell(base_ms, 3)
+        .cell(base_ms / warp_ms, 2).cell(finding);
+  }
+
+  // --- scheduling classes: graph coloring ---------------------------------
+  {
+    gpu::Device dev;
+    const auto r =
+        algorithms::color_graph_gpu(dev, g, options(true, width));
+    const double warp_ms = r.stats.kernel_ms(dev.config());
+    gpu::Device dev2;
+    const double base_ms =
+        algorithms::color_graph_gpu(dev2, g, options(false, width))
+            .stats.kernel_ms(dev2.config());
+    char finding[96];
+    std::snprintf(finding, sizeof(finding),
+                  "%u colors (max degree %u)", r.colors_used,
+                  g.max_degree());
+    report.row().cell("JP coloring").cell(warp_ms, 3).cell(base_ms, 3)
+        .cell(base_ms / warp_ms, 2).cell(finding);
+  }
+
+  // --- brokerage: sampled betweenness -------------------------------------
+  {
+    std::vector<graph::NodeId> sources;
+    for (graph::NodeId s = 0; s < 8 && s < g.num_nodes(); ++s) {
+      sources.push_back(s * (g.num_nodes() / 8));
+    }
+    gpu::Device dev;
+    const auto r = algorithms::betweenness_gpu(dev, g, sources,
+                                               options(true, width));
+    const double warp_ms = r.stats.kernel_ms(dev.config());
+    gpu::Device dev2;
+    const double base_ms =
+        algorithms::betweenness_gpu(dev2, g, sources,
+                                    options(false, width))
+            .stats.kernel_ms(dev2.config());
+    const auto broker = static_cast<std::size_t>(
+        std::max_element(r.centrality.begin(), r.centrality.end()) -
+        r.centrality.begin());
+    char finding[96];
+    std::snprintf(finding, sizeof(finding),
+                  "top broker: node %zu (deg %u)", broker,
+                  g.degree(static_cast<graph::NodeId>(broker)));
+    report.row().cell("betweenness (8 src)").cell(warp_ms, 3)
+        .cell(base_ms, 3).cell(base_ms / warp_ms, 2).cell(finding);
+  }
+
+  report.print();
+  std::printf(
+      "\nAll four analyses run the same virtual-warp machinery (W=%d) over "
+      "different inner loops;\nthe speedup column shows what it buys on "
+      "each.\n",
+      width);
+  return 0;
+}

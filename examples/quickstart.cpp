@@ -1,0 +1,64 @@
+// Quickstart: generate a scale-free graph, run BFS on the simulated GPU
+// with the thread-mapped baseline and with the virtual warp-centric
+// kernel, and print what changed. Mirrors the README's first code block.
+//
+//   ./quickstart [--nodes N] [--avg-degree D] [--seed S] [--width W]
+#include <cstdio>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+
+using namespace maxwarp;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const auto nodes =
+      static_cast<std::uint32_t>(args.get_int("nodes", 65536));
+  const auto avg_degree =
+      static_cast<std::uint64_t>(args.get_int("avg-degree", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const int width = static_cast<int>(args.get_int("width", 32));
+
+  // 1. A graph. RMAT gives the heavy-tailed degree distribution that
+  //    real-world graphs have — and that breaks naive GPU kernels.
+  const graph::Csr g =
+      graph::rmat(nodes, nodes * avg_degree, {}, {.seed = seed});
+  std::printf("graph: %s\n\n", g.describe().c_str());
+
+  // 2. A simulated GPU device. SimConfig controls the machine shape; the
+  //    defaults model a mid-size part (16 SMs, 32-wide warps).
+  const graph::NodeId source = 0;
+
+  // 3. Baseline: one thread per vertex (how most early CUDA graph code
+  //    was written).
+  gpu::Device dev_base;
+  algorithms::KernelOptions baseline;
+  baseline.mapping = algorithms::Mapping::kThreadMapped;
+  const auto base = algorithms::bfs_gpu(dev_base, g, source, baseline);
+  std::printf("thread-mapped baseline:\n%s\n",
+              base.stats.kernels.summary(dev_base.config()).c_str());
+
+  // 4. The paper's method: virtual warps of W lanes cooperate per vertex.
+  gpu::Device dev_warp;
+  algorithms::KernelOptions warp;
+  warp.mapping = algorithms::Mapping::kWarpCentric;
+  warp.virtual_warp_width = width;
+  const auto fast = algorithms::bfs_gpu(dev_warp, g, source, warp);
+  std::printf("virtual warp-centric (W=%d):\n%s\n", width,
+              fast.stats.kernels.summary(dev_warp.config()).c_str());
+
+  const double speedup =
+      static_cast<double>(base.stats.kernels.elapsed_cycles) /
+      static_cast<double>(fast.stats.kernels.elapsed_cycles);
+  std::printf("reached %llu nodes in %u levels; speedup %.2fx\n",
+              static_cast<unsigned long long>(fast.reached_nodes),
+              fast.depth, speedup);
+
+  // Same answer either way — the mapping only changes *how* lanes are used.
+  if (base.level != fast.level) {
+    std::fprintf(stderr, "BUG: kernels disagree\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Route planning on a road-network-like graph.
+//
+// Road networks are the *counter-case* for GPU level-synchronous graph
+// algorithms: bounded degree (no imbalance to fix) and huge diameter
+// (thousands of near-empty kernel launches). This example runs weighted
+// shortest paths on a grid, validates against Dijkstra on the CPU, and
+// shows (a) thread-mapping holding its own, and (b) the per-level launch
+// overhead dominating — both the behaviours the paper observes for such
+// graphs.
+//
+//   ./road_network_sssp [--side N] [--max-weight W] [--width K]
+#include <cstdio>
+
+#include "algorithms/cpu_reference.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace maxwarp;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const auto side = static_cast<std::uint32_t>(args.get_int("side", 128));
+  const auto max_weight =
+      static_cast<std::uint32_t>(args.get_int("max-weight", 100));
+  const int width = static_cast<int>(args.get_int("width", 4));
+
+  graph::Csr roads = graph::grid2d(side, side);
+  graph::assign_hash_weights(roads, max_weight);
+  std::printf("road network: %s\n", roads.describe().c_str());
+
+  const graph::NodeId depot = 0;                        // top-left corner
+  const graph::NodeId customer = roads.num_nodes() - 1;  // bottom-right
+
+  // Ground truth on the CPU.
+  const auto dijkstra = algorithms::sssp_cpu(roads, depot);
+
+  util::Table table({"engine", "modeled/measured ms", "rounds",
+                     "launch overhead %", "dist(depot->customer)"});
+
+  for (bool warp_centric : {false, true}) {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
+                                : algorithms::Mapping::kThreadMapped;
+    opts.virtual_warp_width = width;
+    const auto r = algorithms::sssp_gpu(dev, roads, depot, opts);
+
+    // How much of the modeled time is fixed per-launch overhead? On
+    // high-diameter graphs this is the dominant term (the paper's reason
+    // to prefer CPUs or hybrid schemes there).
+    const auto& cfg = dev.config();
+    const double overhead_ms = cfg.cycles_to_ms(
+        r.stats.kernels.launches * cfg.kernel_launch_overhead_cycles);
+    const double total_ms = r.stats.kernel_ms(cfg);
+    char engine[64];
+    std::snprintf(engine, sizeof(engine), "gpu %s W=%d",
+                  warp_centric ? "warp-centric" : "thread-mapped",
+                  warp_centric ? width : 1);
+    table.row()
+        .cell(engine)
+        .cell(total_ms, 3)
+        .cell(static_cast<std::uint64_t>(r.stats.iterations))
+        .cell(overhead_ms / total_ms * 100.0, 1)
+        .cell(static_cast<std::uint64_t>(r.dist[customer]));
+
+    // Every GPU variant must agree with Dijkstra exactly.
+    for (std::uint32_t v = 0; v < roads.num_nodes(); ++v) {
+      const std::uint64_t want = dijkstra[v];
+      const std::uint64_t got = r.dist[v] == algorithms::kInfDist
+                                    ? algorithms::kUnreachedDist
+                                    : r.dist[v];
+      if (want != got) {
+        std::fprintf(stderr, "BUG: node %u disagrees with Dijkstra\n", v);
+        return 1;
+      }
+    }
+  }
+
+  {
+    util::Timer timer;
+    const auto d = algorithms::sssp_cpu(roads, depot);
+    table.row()
+        .cell("cpu dijkstra (measured)")
+        .cell(timer.millis(), 3)
+        .cell(std::uint64_t{1})
+        .cell(0.0, 1)
+        .cell(static_cast<std::uint64_t>(d[customer]));
+  }
+
+  table.print();
+  std::printf(
+      "\nAll engines agree on every distance. Note the launch-overhead "
+      "share: Bellman-Ford needs\n~%u rounds on this %ux%u grid, so the "
+      "GPU spends much of its modeled time dispatching\nnearly-empty "
+      "kernels — the regime where the paper recommends small W or a CPU.\n",
+      side * 2, side, side);
+  return 0;
+}

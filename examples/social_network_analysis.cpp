@@ -1,0 +1,131 @@
+// Social-network analysis pipeline on the simulated GPU.
+//
+// The scenario from the paper's motivation: a heavy-tailed social graph
+// (LiveJournal-like), on which an analyst wants reachability (BFS from a
+// seed user), community structure (connected components), and influence
+// (PageRank). Every kernel runs in both mappings so the report shows what
+// the virtual-warp method buys on each stage.
+//
+//   ./social_network_analysis [--scale S] [--seed X] [--width W]
+#include <cstdio>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace maxwarp;
+
+namespace {
+
+graph::NodeId most_followed(const graph::Csr& g) {
+  graph::NodeId best = 0;
+  for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const int width = static_cast<int>(args.get_int("width", 16));
+
+  const graph::Csr social =
+      graph::make_dataset("LiveJournal*", scale, seed);
+  const auto stats = graph::degree_stats(social);
+  std::printf("social graph: %s\n", social.describe().c_str());
+  std::printf("degree skew: gini=%.3f, top-1%% of users hold %.1f%% of "
+              "edges\n\n",
+              stats.gini, stats.top1pct_edge_share * 100.0);
+
+  util::Table report({"stage", "mapping", "modeled ms", "SIMD util %",
+                      "result"});
+
+  // --- Stage 1: reachability from the most-followed user ----------------
+  const graph::NodeId seed_user = most_followed(social);
+  for (bool warp_centric : {false, true}) {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
+                                : algorithms::Mapping::kThreadMapped;
+    opts.virtual_warp_width = width;
+    const auto r = algorithms::bfs_gpu(dev, social, seed_user, opts);
+    char result[64];
+    std::snprintf(result, sizeof(result), "%llu users within %u hops",
+                  static_cast<unsigned long long>(r.reached_nodes),
+                  r.depth);
+    report.row()
+        .cell("reachability (BFS)")
+        .cell(algorithms::to_string(opts.mapping))
+        .cell(r.stats.kernel_ms(dev.config()), 3)
+        .cell(r.stats.kernels.counters.simd_utilization() * 100.0, 1)
+        .cell(result);
+  }
+
+  // --- Stage 2: communities (components of the mutual-follow graph) -----
+  graph::BuildOptions sym;
+  sym.symmetrize = true;
+  const graph::Csr mutual = graph::build_csr(
+      social.num_nodes(), graph::to_edge_list(social), sym);
+  for (bool warp_centric : {false, true}) {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
+                                : algorithms::Mapping::kThreadMapped;
+    opts.virtual_warp_width = width;
+    const auto r = algorithms::connected_components_gpu(dev, mutual, opts);
+    std::uint32_t components = 0;
+    for (std::uint32_t v = 0; v < mutual.num_nodes(); ++v) {
+      if (r.label[v] == v) ++components;
+    }
+    char result[64];
+    std::snprintf(result, sizeof(result), "%u communities", components);
+    report.row()
+        .cell("communities (CC)")
+        .cell(algorithms::to_string(opts.mapping))
+        .cell(r.stats.kernel_ms(dev.config()), 3)
+        .cell(r.stats.kernels.counters.simd_utilization() * 100.0, 1)
+        .cell(result);
+  }
+
+  // --- Stage 3: influence (PageRank) -------------------------------------
+  for (bool warp_centric : {false, true}) {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
+                                : algorithms::Mapping::kThreadMapped;
+    opts.virtual_warp_width = width;
+    algorithms::PageRankParams params;
+    params.iterations = 20;
+    const auto r = algorithms::pagerank_gpu(dev, social, params, opts);
+    graph::NodeId top = 0;
+    for (std::uint32_t v = 1; v < social.num_nodes(); ++v) {
+      if (r.rank[v] > r.rank[top]) top = v;
+    }
+    char result[64];
+    std::snprintf(result, sizeof(result), "top user #%u (rank %.2e)", top,
+                  static_cast<double>(r.rank[top]));
+    report.row()
+        .cell("influence (PageRank)")
+        .cell(algorithms::to_string(opts.mapping))
+        .cell(r.stats.kernel_ms(dev.config()), 3)
+        .cell(r.stats.kernels.counters.simd_utilization() * 100.0, 1)
+        .cell(result);
+  }
+
+  report.print();
+  std::printf(
+      "\nEvery stage computes identical results under both mappings; the "
+      "virtual-warp rows should\nshow lower modeled time and higher lane "
+      "utilization on this heavy-tailed graph (W=%d).\n",
+      width);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Interactive tuning assistant for the virtual-warp width.
+//
+// Given a graph (a named dataset, a generator spec, or an edge-list file),
+// sweeps W and the extra techniques and prints a tuning report with a
+// recommendation — the workflow a performance engineer would follow with
+// the real library before shipping a kernel configuration.
+//
+//   ./warp_tuning --dataset RMAT
+//   ./warp_tuning --edges my_graph.txt
+//   ./warp_tuning --rmat-nodes 100000 --rmat-degree 12
+#include <cstdio>
+#include <string>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "graph/datasets.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace maxwarp;
+
+namespace {
+
+graph::Csr load_graph(const util::CliArgs& args) {
+  if (args.has("edges")) {
+    return graph::read_edge_list_file(args.get_string("edges", ""));
+  }
+  if (args.has("rmat-nodes")) {
+    const auto n =
+        static_cast<std::uint32_t>(args.get_int("rmat-nodes", 65536));
+    const auto d =
+        static_cast<std::uint64_t>(args.get_int("rmat-degree", 8));
+    return graph::rmat(n, n * d, {},
+                       {.seed = static_cast<std::uint64_t>(
+                            args.get_int("seed", 42))});
+  }
+  return graph::make_dataset(args.get_string("dataset", "RMAT"),
+                             args.get_double("scale", 1.0),
+                             static_cast<std::uint64_t>(
+                                 args.get_int("seed", 42)));
+}
+
+graph::NodeId pick_source(const graph::Csr& g) {
+  graph::NodeId best = 0;
+  for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const graph::Csr g = load_graph(args);
+  for (const auto& stray : args.unqueried()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", stray.c_str());
+  }
+
+  const auto stats = graph::degree_stats(g);
+  std::printf("graph: %s\n", g.describe().c_str());
+  std::printf("degree: mean=%.1f sigma=%.1f max=%u gini=%.3f\n\n",
+              stats.mean, stats.stddev, stats.max, stats.gini);
+
+  const graph::NodeId source = pick_source(g);
+
+  // Baseline first.
+  const auto base = [&] {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = algorithms::Mapping::kThreadMapped;
+    const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+    return r.stats.kernel_ms(dev.config());
+  }();
+
+  util::Table table({"configuration", "modeled ms", "speedup",
+                     "SIMD util %"});
+  table.row().cell("thread-mapped baseline").cell(base, 3).cell(1.0, 2)
+      .cell(0.0, 1);
+
+  double best_ms = base;
+  std::string best_name = "thread-mapped baseline";
+  for (int w : {2, 4, 8, 16, 32}) {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = algorithms::Mapping::kWarpCentric;
+    opts.virtual_warp_width = w;
+    const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+    const double ms = r.stats.kernel_ms(dev.config());
+    const std::string name = "warp-centric W=" + std::to_string(w);
+    table.row()
+        .cell(name)
+        .cell(ms, 3)
+        .cell(base / ms, 2)
+        .cell(r.stats.kernels.counters.simd_utilization() * 100.0, 1);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best_name = name;
+    }
+  }
+
+  // The two generic techniques on top of the best pure width.
+  for (auto mapping : {algorithms::Mapping::kWarpCentricDynamic,
+                       algorithms::Mapping::kWarpCentricDefer}) {
+    gpu::Device dev;
+    algorithms::KernelOptions opts;
+    opts.mapping = mapping;
+    opts.virtual_warp_width = 16;
+    opts.defer_threshold =
+        std::max<std::uint32_t>(64, stats.max / 16);
+    const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+    const double ms = r.stats.kernel_ms(dev.config());
+    const std::string name = algorithms::to_string(mapping) + " W=16";
+    table.row()
+        .cell(name)
+        .cell(ms, 3)
+        .cell(base / ms, 2)
+        .cell(r.stats.kernels.counters.simd_utilization() * 100.0, 1);
+    if (ms < best_ms) {
+      best_ms = ms;
+      best_name = name;
+    }
+  }
+
+  table.print();
+  std::printf("\nrecommendation: %s (%.2fx over the baseline)\n",
+              best_name.c_str(), base / best_ms);
+  if (stats.gini < 0.2) {
+    std::printf(
+        "note: this graph's degrees are nearly uniform — small W (or the "
+        "plain baseline) is\nexpected to win; large W only wastes lanes "
+        "here.\n");
+  } else if (stats.max > 64 * stats.mean) {
+    std::printf(
+        "note: extreme hubs present (max degree %ux the mean) — consider "
+        "the defer queue if the\nhub sits alone on a BFS level.\n",
+        static_cast<unsigned>(stats.max / stats.mean));
+  }
+  return 0;
+}

@@ -1,0 +1,328 @@
+#include "algorithms/bc_gpu.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "algorithms/cpu_reference.hpp"
+#include "gpu/buffer.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using graph::NodeId;
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+namespace {
+
+/// Runs `body(w, task, valid)` for every vertex task under the given
+/// layout (the static grid-stride pattern shared by all BC kernels).
+template <typename BodyF>
+simt::KernelStats launch_over_vertices(gpu::Device& device,
+                                       const vw::Layout& layout,
+                                       std::uint32_t n, BodyF&& body) {
+  const std::uint64_t warps_needed =
+      (static_cast<std::uint64_t>(n) +
+       static_cast<std::uint64_t>(layout.groups()) - 1) /
+      static_cast<std::uint64_t>(layout.groups());
+  const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
+  const std::uint64_t total_groups =
+      dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+  return device.launch(dims, [&, n](WarpCtx& w) {
+    for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+      Lanes<std::uint32_t> task{};
+      const LaneMask valid =
+          vw::assign_static_tasks(w, layout, round, total_groups, n, task);
+      if (valid != 0) body(w, task, valid);
+    }
+  });
+}
+
+}  // namespace
+
+GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
+                            std::span<const NodeId> sources,
+                            const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "betweenness_gpu: supports thread-mapped and warp-centric");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuBcResult result;
+  result.stats.kernels.launches = 0;
+  result.centrality.assign(n, 0.0f);
+  if (n == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  GpuCsr gpu_graph(device, g);
+  const auto row = gpu_graph.row();
+  const auto adj = gpu_graph.adj();
+
+  gpu::DeviceBuffer<std::uint32_t> level(device, n);
+  gpu::DeviceBuffer<float> sigma(device, n);
+  gpu::DeviceBuffer<float> delta(device, n);
+  gpu::DeviceBuffer<float> bc(device, n);
+  gpu::DeviceBuffer<std::uint32_t> changed(device, 1);
+  bc.fill(0.0f);
+
+  auto level_ptr = level.ptr();
+  auto sigma_ptr = sigma.ptr();
+  auto delta_ptr = delta.ptr();
+  auto bc_ptr = bc.ptr();
+  auto changed_ptr = changed.ptr();
+
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+
+  for (const NodeId source : sources) {
+    if (source >= n) {
+      throw std::out_of_range("betweenness_gpu: source out of range");
+    }
+    level.fill(kUnreached);
+    sigma.fill(0.0f);
+    delta.fill(0.0f);
+    level.write(source, 0);
+    sigma.write(source, 1.0f);
+
+    // ---- forward: levels and shortest-path counts -----------------------
+    std::uint32_t depth = 0;
+    for (std::uint32_t current = 0;; ++current) {
+      changed.fill(0);
+      // Pass 1: settle level current+1 (plain BFS step).
+      result.stats.kernels.add(launch_over_vertices(
+          device, layout, n,
+          [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
+              LaneMask valid) {
+            Lanes<std::uint32_t> lvl{};
+            w.with_mask(valid, [&] {
+              w.load_global(level_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, lvl);
+            });
+            const LaneMask on = valid & w.ballot([&](int l) {
+              return lvl[static_cast<std::size_t>(l)] == current;
+            });
+            if (on == 0) return;
+            Lanes<std::uint32_t> begin{}, end{};
+            vw::load_task_ranges(w, row, task, on, begin, end);
+            vw::simd_strip_loop(
+                w, layout, begin, end, on,
+                [&](const Lanes<std::uint32_t>& cursor) {
+                  Lanes<std::uint32_t> nbr{};
+                  w.load_global(adj, [&](int l) {
+                    return cursor[static_cast<std::size_t>(l)];
+                  }, nbr);
+                  Lanes<std::uint32_t> nl{};
+                  w.load_global(level_ptr, [&](int l) {
+                    return nbr[static_cast<std::size_t>(l)];
+                  }, nl);
+                  const LaneMask fresh = w.ballot([&](int l) {
+                    return nl[static_cast<std::size_t>(l)] == kUnreached;
+                  });
+                  w.with_mask(fresh, [&] {
+                    w.store_global(level_ptr, [&](int l) {
+                      return nbr[static_cast<std::size_t>(l)];
+                    }, [&](int) { return current + 1; });
+                    w.store_global(changed_ptr, [](int) { return 0; },
+                                   [](int) { return 1u; });
+                  });
+                });
+          }));
+      ++result.stats.iterations;
+      if (changed.read(0) == 0) {
+        depth = current;
+        break;
+      }
+      // Pass 2: accumulate sigma into the freshly settled level.
+      result.stats.kernels.add(launch_over_vertices(
+          device, layout, n,
+          [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
+              LaneMask valid) {
+            Lanes<std::uint32_t> lvl{};
+            w.with_mask(valid, [&] {
+              w.load_global(level_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, lvl);
+            });
+            const LaneMask on = valid & w.ballot([&](int l) {
+              return lvl[static_cast<std::size_t>(l)] == current;
+            });
+            if (on == 0) return;
+            Lanes<float> sig{};
+            w.with_mask(on, [&] {
+              w.load_global(sigma_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, sig);
+            });
+            Lanes<std::uint32_t> begin{}, end{};
+            vw::load_task_ranges(w, row, task, on, begin, end);
+            vw::simd_strip_loop(
+                w, layout, begin, end, on,
+                [&](const Lanes<std::uint32_t>& cursor) {
+                  Lanes<std::uint32_t> nbr{};
+                  w.load_global(adj, [&](int l) {
+                    return cursor[static_cast<std::size_t>(l)];
+                  }, nbr);
+                  Lanes<std::uint32_t> nl{};
+                  w.load_global(level_ptr, [&](int l) {
+                    return nbr[static_cast<std::size_t>(l)];
+                  }, nl);
+                  const LaneMask downstream = w.ballot([&](int l) {
+                    return nl[static_cast<std::size_t>(l)] == current + 1;
+                  });
+                  w.with_mask(downstream, [&] {
+                    w.atomic_add(sigma_ptr, [&](int l) {
+                      return nbr[static_cast<std::size_t>(l)];
+                    }, [&](int l) {
+                      return sig[static_cast<std::size_t>(l)];
+                    });
+                  });
+                });
+          }));
+    }
+
+    // ---- backward: dependency accumulation ------------------------------
+    // Levels depth-1 .. 0; delta[v] = sum over successors u of
+    // sigma[v]/sigma[u] * (1 + delta[u]). Each group owns v: lanes gather
+    // partial sums, a group reduction writes delta and updates bc.
+    const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+    for (std::uint32_t lvl_i = depth; lvl_i-- > 0;) {
+      result.stats.kernels.add(launch_over_vertices(
+          device, layout, n,
+          [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
+              LaneMask valid) {
+            Lanes<std::uint32_t> lvl{};
+            w.with_mask(valid, [&] {
+              w.load_global(level_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, lvl);
+            });
+            const LaneMask on = valid & w.ballot([&](int l) {
+              return lvl[static_cast<std::size_t>(l)] == lvl_i;
+            });
+            if (on == 0) return;
+            Lanes<float> own_sigma{};
+            w.with_mask(on, [&] {
+              w.load_global(sigma_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, own_sigma);
+            });
+            Lanes<std::uint32_t> begin{}, end{};
+            vw::load_task_ranges(w, row, task, on, begin, end);
+            Lanes<float> partial{};
+            vw::simd_strip_loop(
+                w, layout, begin, end, on,
+                [&](const Lanes<std::uint32_t>& cursor) {
+                  Lanes<std::uint32_t> nbr{};
+                  w.load_global(adj, [&](int l) {
+                    return cursor[static_cast<std::size_t>(l)];
+                  }, nbr);
+                  Lanes<std::uint32_t> nl{};
+                  w.load_global(level_ptr, [&](int l) {
+                    return nbr[static_cast<std::size_t>(l)];
+                  }, nl);
+                  const LaneMask succ = w.ballot([&](int l) {
+                    return nl[static_cast<std::size_t>(l)] == lvl_i + 1;
+                  });
+                  w.with_mask(succ, [&] {
+                    Lanes<float> nbr_sigma{}, nbr_delta{};
+                    w.load_global(sigma_ptr, [&](int l) {
+                      return nbr[static_cast<std::size_t>(l)];
+                    }, nbr_sigma);
+                    w.load_global(delta_ptr, [&](int l) {
+                      return nbr[static_cast<std::size_t>(l)];
+                    }, nbr_delta);
+                    w.alu([&](int l) {
+                      const auto i = static_cast<std::size_t>(l);
+                      partial[i] += own_sigma[i] / nbr_sigma[i] *
+                                    (1.0f + nbr_delta[i]);
+                    });
+                  });
+                });
+            const Lanes<float> dep =
+                vw::group_reduce_add(w, layout, partial, on);
+            const LaneMask leaders = on & leader_mask;
+            w.with_mask(leaders, [&] {
+              w.store_global(delta_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, [&](int l) { return dep[static_cast<std::size_t>(l)]; });
+              // bc[v] += delta[v] for v != source.
+              const LaneMask not_source = w.ballot([&](int l) {
+                return task[static_cast<std::size_t>(l)] != source;
+              });
+              w.with_mask(not_source, [&] {
+                Lanes<float> prev{};
+                w.load_global(bc_ptr, [&](int l) {
+                  return task[static_cast<std::size_t>(l)];
+                }, prev);
+                w.store_global(bc_ptr, [&](int l) {
+                  return task[static_cast<std::size_t>(l)];
+                }, [&](int l) {
+                  const auto i = static_cast<std::size_t>(l);
+                  return prev[i] + dep[i];
+                });
+              });
+            });
+          }));
+      ++result.stats.iterations;
+    }
+  }
+
+  result.centrality = bc.download();
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+std::vector<double> betweenness_cpu(const graph::Csr& g,
+                                    std::span<const NodeId> sources) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+  std::vector<std::uint32_t> level(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<NodeId> order;  // vertices in visit order (for the backward
+                              // sweep in reverse)
+  order.reserve(n);
+
+  for (const NodeId source : sources) {
+    if (source >= n) {
+      throw std::out_of_range("betweenness_cpu: source out of range");
+    }
+    std::fill(level.begin(), level.end(), kUnreached);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+
+    level[source] = 0;
+    sigma[source] = 1.0;
+    std::queue<NodeId> queue;
+    queue.push(source);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      for (const NodeId u : g.neighbors(v)) {
+        if (level[u] == kUnreached) {
+          level[u] = level[v] + 1;
+          queue.push(u);
+        }
+        if (level[u] == level[v] + 1) sigma[u] += sigma[v];
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId v = *it;
+      for (const NodeId u : g.neighbors(v)) {
+        if (level[u] == level[v] + 1) {
+          delta[v] += sigma[v] / sigma[u] * (1.0 + delta[u]);
+        }
+      }
+      if (v != source) bc[v] += delta[v];
+    }
+  }
+  return bc;
+}
+
+}  // namespace maxwarp::algorithms

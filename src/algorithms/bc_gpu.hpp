@@ -1,0 +1,39 @@
+// GPU betweenness centrality (Brandes' algorithm, unweighted).
+//
+// Per source: a forward level-synchronous BFS that also counts shortest
+// paths (sigma), then a backward sweep from the deepest level accumulating
+// dependencies (delta). Both phases iterate neighbor lists per vertex, so
+// the virtual-warp mapping applies to both; the backward sweep needs no
+// atomics (each vertex owns its delta, accumulated group-locally and
+// reduced). Exact BC sums over all sources (O(nm)); the API takes an
+// explicit source set so callers can do exact (all nodes) or
+// sampled/approximate BC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuBcResult {
+  /// Accumulated dependency per node over the given sources (the paper's
+  /// convention: unnormalized, directed contributions).
+  std::vector<float> centrality;
+  GpuRunStats stats;
+};
+
+/// Runs Brandes forward+backward passes for each source and accumulates.
+/// Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
+GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
+                            std::span<const graph::NodeId> sources,
+                            const KernelOptions& opts = {});
+
+/// CPU reference (double precision) with the same source-set semantics.
+std::vector<double> betweenness_cpu(const graph::Csr& g,
+                                    std::span<const graph::NodeId> sources);
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,27 @@
+// Multi-threaded level-synchronous CPU BFS.
+//
+// The other end of the paper's CPU-vs-GPU figure. Classic two-array
+// level-sync structure: each thread scans a contiguous slice of the
+// current frontier and claims unvisited neighbours with a CAS, appending
+// to a thread-local next-frontier that is concatenated after the level
+// barrier (avoids a shared atomic cursor hot spot).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct ParallelBfsResult {
+  std::vector<std::uint32_t> level;
+  std::uint32_t depth = 0;      ///< number of levels executed
+  double elapsed_seconds = 0;   ///< measured wall time of the traversal
+};
+
+/// Runs BFS with `num_threads` worker threads (1 = sequential code path).
+ParallelBfsResult bfs_cpu_parallel(const graph::Csr& g,
+                                   graph::NodeId source, int num_threads);
+
+}  // namespace maxwarp::algorithms

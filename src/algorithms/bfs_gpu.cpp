@@ -1,0 +1,898 @@
+#include "algorithms/bfs_gpu.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+#include "simt/device_sim.hpp"
+#include "warp/defer_queue.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using graph::NodeId;
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+namespace {
+
+/// Expands the frontier neighbours found at `cursor` positions: claims
+/// unvisited ones by writing next_level and raises the changed flag.
+/// Shared by every kernel variant (this is the SIMD-phase body).
+struct ExpandBody {
+  simt::DevPtr<const std::uint32_t> adj;
+  simt::DevPtr<std::uint32_t> levels;
+  simt::DevPtr<std::uint32_t> changed;
+  std::uint32_t next_level;
+
+  void operator()(WarpCtx& w, const Lanes<std::uint32_t>& cursor) const {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    Lanes<std::uint32_t> nbr_level{};
+    w.load_global(levels, [&](int l) {
+      return nbr[static_cast<std::size_t>(l)];
+    }, nbr_level);
+    const LaneMask fresh = w.ballot([&](int l) {
+      return nbr_level[static_cast<std::size_t>(l)] == kUnreached;
+    });
+    w.with_mask(fresh, [&] {
+      w.store_global(levels, [&](int l) {
+        return nbr[static_cast<std::size_t>(l)];
+      }, [&](int) { return next_level; });
+      w.store_global(changed, [](int) { return 0; }, [](int) { return 1; });
+    });
+  }
+};
+
+/// One virtual-warp frontier pass over the groups' assigned tasks:
+/// SISD filter (level == cur), SISD range fetch, SIMD expansion.
+/// `defer` may be null; when set, tasks above the threshold are pushed to
+/// the queue instead of expanded inline.
+void expand_groups(WarpCtx& w, const vw::Layout& layout,
+                   const Lanes<std::uint32_t>& task, LaneMask valid,
+                   simt::DevPtr<const std::uint32_t> row,
+                   std::uint32_t current_level, const ExpandBody& body,
+                   const vw::DeferQueueView* defer,
+                   std::uint32_t defer_capacity,
+                   std::uint32_t defer_threshold,
+                   std::uint32_t leader_mask) {
+  if (valid == 0) return;
+
+  Lanes<std::uint32_t> level_of_task{};
+  w.with_mask(valid, [&] {
+    w.load_global(body.levels, [&](int l) {
+      return task[static_cast<std::size_t>(l)];
+    }, level_of_task);
+  });
+  LaneMask on = valid & w.ballot([&](int l) {
+    return level_of_task[static_cast<std::size_t>(l)] == current_level;
+  });
+  if (on == 0) return;
+
+  Lanes<std::uint32_t> begin{}, end{};
+  vw::load_task_ranges(w, row, task, on, begin, end);
+
+  if (defer != nullptr) {
+    const LaneMask big = on & w.ballot([&](int l) {
+      const auto i = static_cast<std::size_t>(l);
+      return end[i] - begin[i] > defer_threshold;
+    });
+    if (big != 0) {
+      vw::defer_push(w, *defer, defer_capacity, big & leader_mask, task);
+      on &= ~big;
+    }
+  }
+
+  vw::simd_strip_loop(w, layout, begin, end, on,
+                      [&](const Lanes<std::uint32_t>& cursor) {
+                        body(w, cursor);
+                      });
+}
+
+/// Claims neighbours with CAS and enqueues the winners onto the next
+/// frontier. `aggregated` selects warp-aggregated enqueue (one atomic per
+/// warp) vs the naive per-lane atomic (what early queue-based kernels did;
+/// its serialization shows up in the atomic-conflict counters).
+struct QueueExpandBody {
+  simt::DevPtr<const std::uint32_t> adj;
+  simt::DevPtr<std::uint32_t> levels;
+  simt::DevPtr<std::uint32_t> out_entries;
+  simt::DevPtr<std::uint32_t> out_count;
+  std::uint32_t next_level;
+  std::uint32_t capacity;
+  bool aggregated;
+
+  void operator()(WarpCtx& w, const Lanes<std::uint32_t>& cursor) const {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    const Lanes<std::uint32_t> old = w.atomic_cas(
+        levels, [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
+        [](int) { return kUnreached; }, [&](int) { return next_level; });
+    const LaneMask claimed = w.ballot([&](int l) {
+      return old[static_cast<std::size_t>(l)] == kUnreached;
+    });
+    if (claimed == 0) return;
+    if (aggregated) {
+      vw::warp_aggregated_push(w, out_entries, out_count, capacity,
+                               claimed, nbr);
+    } else {
+      w.with_mask(claimed, [&] {
+        const Lanes<std::uint32_t> slot = w.atomic_add(
+            out_count, [](int) { return 0; }, [](int) { return 1u; });
+        w.store_global(out_entries, [&](int l) {
+          return slot[static_cast<std::size_t>(l)];
+        }, [&](int l) { return nbr[static_cast<std::size_t>(l)]; });
+      });
+    }
+  }
+};
+
+/// Queue-frontier BFS driver (Frontier::kQueue).
+GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
+                           NodeId source, const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "bfs_gpu: queue frontier supports thread-mapped and warp-centric");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuBfsResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0 || source >= n) {
+    result.level.assign(n, kUnreached);
+    return result;
+  }
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  gpu::DeviceBuffer<std::uint32_t> levels(device, n);
+  levels.fill(kUnreached);
+  levels.write(source, 0);
+  gpu::DeviceBuffer<std::uint32_t> queue_a(device, n);
+  gpu::DeviceBuffer<std::uint32_t> queue_b(device, n);
+  gpu::DeviceBuffer<std::uint32_t> count_out(device, 1);
+  queue_a.write(0, source);
+
+  const auto row = g.row();
+  const auto adj = g.adj();
+  auto levels_ptr = levels.ptr();
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+  const bool aggregated = opts.mapping != Mapping::kThreadMapped;
+
+  std::uint32_t frontier_size = 1;
+  std::uint32_t current = 0;
+  gpu::DeviceBuffer<std::uint32_t>* in = &queue_a;
+  gpu::DeviceBuffer<std::uint32_t>* out = &queue_b;
+
+  while (frontier_size > 0) {
+    count_out.fill(0);
+    const QueueExpandBody body{adj,       levels_ptr,      out->ptr(),
+                               count_out.ptr(), current + 1, n,
+                               aggregated};
+    auto in_ptr = in->cptr();
+
+    if (opts.mapping == Mapping::kThreadMapped) {
+      const auto dims = device.dims_for_threads(frontier_size);
+      result.stats.kernels.add(device.launch(dims, [&, frontier_size](
+                                                 WarpCtx& w) {
+        Lanes<std::uint32_t> v{};
+        w.load_global(in_ptr, [&](int l) { return w.thread_id(l); }, v);
+        Lanes<std::uint32_t> it{}, end{};
+        w.load_global(row, [&](int l) {
+          return v[static_cast<std::size_t>(l)];
+        }, it);
+        w.load_global(row, [&](int l) {
+          return v[static_cast<std::size_t>(l)] + 1;
+        }, end);
+        w.loop_while(
+            [&](int l) {
+              return it[static_cast<std::size_t>(l)] <
+                     end[static_cast<std::size_t>(l)];
+            },
+            [&] {
+              body(w, it);
+              w.alu([&](int l) { ++it[static_cast<std::size_t>(l)]; });
+            });
+      }));
+    } else {
+      const std::uint64_t warps_needed =
+          (static_cast<std::uint64_t>(frontier_size) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(warps_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+      result.stats.kernels.add(device.launch(dims, [&, frontier_size](
+                                                 WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < frontier_size;
+             ++round) {
+          Lanes<std::uint32_t> entry{};
+          const LaneMask valid = vw::assign_static_tasks(
+              w, layout, round, total_groups, frontier_size, entry);
+          if (valid == 0) continue;
+          // Indirect through the queue: the group's vertex.
+          Lanes<std::uint32_t> v{};
+          w.with_mask(valid, [&] {
+            w.load_global(in_ptr, [&](int l) {
+              return entry[static_cast<std::size_t>(l)];
+            }, v);
+          });
+          Lanes<std::uint32_t> begin{}, end{};
+          w.with_mask(valid, [&] {
+            w.load_global(row, [&](int l) {
+              return v[static_cast<std::size_t>(l)];
+            }, begin);
+            w.load_global(row, [&](int l) {
+              return v[static_cast<std::size_t>(l)] + 1;
+            }, end);
+          });
+          vw::simd_strip_loop(w, layout, begin, end, valid,
+                              [&](const Lanes<std::uint32_t>& cursor) {
+                                body(w, cursor);
+                              });
+        }
+      }));
+    }
+
+    ++result.stats.iterations;
+    frontier_size = count_out.read(0);
+    std::swap(in, out);
+    ++current;
+  }
+
+  result.depth = current - 1;
+  result.level = levels.download();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (result.level[v] != kUnreached) ++result.reached_nodes;
+  }
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+}  // namespace
+
+GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
+                     const KernelOptions& opts) {
+  if (opts.frontier == Frontier::kQueue) {
+    if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
+      throw std::invalid_argument("bfs_gpu: invalid virtual warp width");
+    }
+    return bfs_gpu_queue(device, g, source, opts);
+  }
+  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
+    throw std::invalid_argument("bfs_gpu: invalid virtual warp width");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuBfsResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0 || source >= n) {
+    result.level.assign(n, kUnreached);
+    return result;
+  }
+
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  gpu::DeviceBuffer<std::uint32_t> levels(device, n);
+  levels.fill(kUnreached);
+  levels.write(source, 0);
+  gpu::DeviceBuffer<std::uint32_t> changed(device, 1);
+  gpu::DeviceBuffer<std::uint32_t> work_counter(device, 1);
+
+  const auto row = g.row();
+  const auto adj = g.adj();
+  auto levels_ptr = levels.ptr();
+  auto changed_ptr = changed.ptr();
+
+  vw::DeferQueue defer_queue(
+      device, opts.mapping == Mapping::kWarpCentricDefer ? n : 1);
+
+  const auto& cfg = device.config();
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+  const std::uint32_t leader_mask =
+      leader_lane_mask(layout.width);
+
+  for (std::uint32_t current = 0;; ++current) {
+    changed.fill(0);
+    const std::uint32_t next = current + 1;
+    const ExpandBody body{adj, levels_ptr, changed_ptr, next};
+
+    if (opts.mapping == Mapping::kThreadMapped) {
+      // Baseline: thread t owns vertex t and expands its list serially —
+      // written exactly as the CUDA original (per-lane while loop).
+      const auto dims = device.dims_for_threads(n);
+      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+        Lanes<std::uint32_t> v{};
+        w.alu([&](int l) {
+          v[static_cast<std::size_t>(l)] =
+              static_cast<std::uint32_t>(w.thread_id(l));
+        });
+        Lanes<std::uint32_t> lvl{};
+        w.load_global(levels_ptr, [&](int l) {
+          return v[static_cast<std::size_t>(l)];
+        }, lvl);
+        const LaneMask on = w.ballot([&](int l) {
+          return lvl[static_cast<std::size_t>(l)] == current;
+        });
+        if (on == 0) return;
+        Lanes<std::uint32_t> it{}, end{};
+        w.with_mask(on, [&] {
+          w.load_global(row, [&](int l) {
+            return v[static_cast<std::size_t>(l)];
+          }, it);
+          w.load_global(row, [&](int l) {
+            return v[static_cast<std::size_t>(l)] + 1;
+          }, end);
+          w.loop_while(
+              [&](int l) {
+                return it[static_cast<std::size_t>(l)] <
+                       end[static_cast<std::size_t>(l)];
+              },
+              [&] {
+                body(w, it);
+                w.alu([&](int l) { ++it[static_cast<std::size_t>(l)]; });
+              });
+        });
+      }));
+    } else if (opts.mapping == Mapping::kWarpCentricDynamic) {
+      // Dynamic distribution: every warp claims one chunk of vertices from
+      // the global counter; the launch uses least-loaded block scheduling
+      // (see SchedulePolicy) to model the rebalancing the claims buy.
+      work_counter.fill(0);
+      auto counter_ptr = work_counter.ptr();
+      const std::uint32_t chunk = std::max<std::uint32_t>(
+          opts.dynamic_chunk, static_cast<std::uint32_t>(layout.groups()));
+      const std::uint64_t warps_needed =
+          (static_cast<std::uint64_t>(n) + chunk - 1) / chunk;
+      auto dims = device.dims_for_warps(warps_needed);
+      dims.policy = simt::SchedulePolicy::kLeastLoaded;
+      result.stats.kernels.add(device.launch(dims, [&, n, chunk](WarpCtx& w) {
+        const std::uint32_t start = vw::claim_chunk(w, counter_ptr, chunk);
+        if (start >= n) return;
+        for (std::uint32_t off = 0; off < chunk;
+             off += static_cast<std::uint32_t>(layout.groups())) {
+          Lanes<std::uint32_t> task{};
+          const std::uint32_t remaining = chunk - off;
+          const LaneMask valid = vw::assign_chunk_tasks(
+              w, layout, start + off,
+              std::min<std::uint32_t>(
+                  remaining, static_cast<std::uint32_t>(layout.groups())),
+              n, task);
+          expand_groups(w, layout, task, valid, row, current, body, nullptr,
+                        0, 0, leader_mask);
+          if (start + off + layout.groups() >= n) break;
+        }
+      }));
+    } else {
+      // Static warp-centric (and its defer variant): one virtual warp per
+      // vertex, grid sized to cover every vertex in a single round.
+      const std::uint64_t groups_needed =
+          (static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(groups_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+      const bool deferring = opts.mapping == Mapping::kWarpCentricDefer;
+      const vw::DeferQueueView queue_view = defer_queue.view();
+      const std::uint32_t defer_capacity = defer_queue.capacity();
+      const std::uint32_t threshold = opts.defer_threshold;
+
+      if (deferring) defer_queue.reset();
+      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid =
+              vw::assign_static_tasks(w, layout, round, total_groups, n,
+                                      task);
+          expand_groups(w, layout, task, valid, row, current, body,
+                        deferring ? &queue_view : nullptr, defer_capacity,
+                        threshold, leader_mask);
+        }
+      }));
+
+      if (deferring) {
+        // The counter records demand; clamp to what was actually stored.
+        const std::uint32_t queued =
+            std::min(defer_queue.size(), defer_queue.capacity());
+        if (queued > 0) {
+          // Drain: teams of `warps_per_deferred_task` physical warps expand
+          // one hub vertex with fully coalesced 32-wide strips each.
+          const std::uint32_t wpt =
+              std::max<std::uint32_t>(1, opts.warps_per_deferred_task);
+          const std::uint64_t drain_warps =
+              std::min<std::uint64_t>(
+                  static_cast<std::uint64_t>(queued) * wpt,
+                  static_cast<std::uint64_t>(cfg.num_sms) *
+                      opts.resident_warps_per_sm);
+          const std::uint64_t teams = std::max<std::uint64_t>(
+              1, drain_warps / wpt);
+          // One warp per block so a team's parts land on different SMs,
+          // and least-loaded placement (the queue is drained on demand).
+          auto dims2 = device.dims_for_warps(teams * wpt);
+          dims2.policy = simt::SchedulePolicy::kLeastLoaded;
+          result.stats.kernels.add(device.launch(dims2, [&, queued, wpt](
+                                                     WarpCtx& w) {
+            const std::uint64_t team =
+                w.global_warp_id() / wpt;
+            const std::uint32_t part = w.global_warp_id() % wpt;
+            const std::uint64_t team_count = dims2.warp_count() / wpt;
+            for (std::uint64_t e = team; e < queued; e += team_count) {
+              const std::uint32_t v =
+                  w.load_global_uniform(queue_view.entries, e);
+              const std::uint32_t beg = w.load_global_uniform(row, v);
+              const std::uint32_t rend = w.load_global_uniform(row, v + 1);
+              Lanes<std::uint32_t> cursor{};
+              w.alu([&](int l) {
+                cursor[static_cast<std::size_t>(l)] =
+                    beg + part * simt::kWarpSize +
+                    static_cast<std::uint32_t>(l);
+              });
+              const std::uint32_t step = wpt * simt::kWarpSize;
+              w.loop_while(
+                  [&](int l) {
+                    return cursor[static_cast<std::size_t>(l)] < rend;
+                  },
+                  [&] {
+                    body(w, cursor);
+                    w.alu([&](int l) {
+                      cursor[static_cast<std::size_t>(l)] += step;
+                    });
+                  });
+            }
+          }));
+        }
+      }
+    }
+
+    ++result.stats.iterations;
+    if (changed.read(0) == 0) {
+      result.depth = current;  // last level that produced no new nodes
+      break;
+    }
+  }
+
+  result.level = levels.download();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (result.level[v] != kUnreached) ++result.reached_nodes;
+  }
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
+                     NodeId source, const KernelOptions& opts) {
+  GpuCsr gpu_graph(device, g);
+  GpuBfsResult result = bfs_gpu(device, gpu_graph, source, opts);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v < result.level.size() && result.level[v] != kUnreached) {
+      result.traversed_edges += g.degree(v);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Queue expansion that additionally accumulates the claimed vertices'
+/// out-degree sum (one warp-reduced atomic per warp) so the adaptive
+/// driver can pick the next level's W.
+struct AdaptiveExpandBody {
+  QueueExpandBody inner;
+  simt::DevPtr<const std::uint32_t> row;
+  simt::DevPtr<std::uint32_t> degree_sum;
+
+  void operator()(WarpCtx& w, const Lanes<std::uint32_t>& cursor) const {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(inner.adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    const Lanes<std::uint32_t> old = w.atomic_cas(
+        inner.levels,
+        [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
+        [](int) { return kUnreached; },
+        [&](int) { return inner.next_level; });
+    const LaneMask claimed = w.ballot([&](int l) {
+      return old[static_cast<std::size_t>(l)] == kUnreached;
+    });
+    if (claimed == 0) return;
+    vw::warp_aggregated_push(w, inner.out_entries, inner.out_count,
+                             inner.capacity, claimed, nbr);
+    w.with_mask(claimed, [&] {
+      Lanes<std::uint32_t> begin{}, end{};
+      w.load_global(row, [&](int l) {
+        return nbr[static_cast<std::size_t>(l)];
+      }, begin);
+      w.load_global(row, [&](int l) {
+        return nbr[static_cast<std::size_t>(l)] + 1;
+      }, end);
+      Lanes<std::uint32_t> deg{};
+      w.alu([&](int l) {
+        const auto i = static_cast<std::size_t>(l);
+        deg[i] = end[i] - begin[i];
+      });
+      const std::uint32_t warp_deg = w.reduce_add(deg);
+      if (warp_deg != 0) {
+        const int leader = simt::first_lane(w.active());
+        w.with_mask(simt::lane_bit(leader), [&] {
+          w.atomic_add(degree_sum, [](int) { return 0; },
+                       [&](int) { return warp_deg; });
+        });
+      }
+    });
+  }
+};
+
+int adaptive_width_for(std::uint64_t degree_sum, std::uint32_t frontier,
+                       int min_width, std::uint32_t num_sms) {
+  if (frontier == 0) return min_width;
+  // Lane-efficiency term: match W to the average out-degree.
+  const std::uint64_t avg =
+      (degree_sum + frontier - 1) / frontier;  // ceil(avg out-degree)
+  // Occupancy term: a small frontier at small W yields too few warps to
+  // feed the SMs (warps = ceil(frontier * W / 32)); raise W until the
+  // launch has ~16 warps per SM. Costs nothing on tiny frontiers (idle
+  // lanes were idle anyway) and vanishes on large ones.
+  const std::uint64_t target_warps =
+      static_cast<std::uint64_t>(num_sms) * 16;
+  const std::uint64_t occupancy =
+      (target_warps * simt::kWarpSize + frontier - 1) / frontier;
+  std::uint64_t w = std::bit_ceil(
+      std::max<std::uint64_t>(std::max(avg, occupancy), 1));
+  w = std::min<std::uint64_t>(w, simt::kWarpSize);
+  return std::max(static_cast<int>(w), min_width);
+}
+
+}  // namespace
+
+GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const GpuCsr& g,
+                              NodeId source, int min_width) {
+  if (!vw::Layout::valid_width(min_width)) {
+    throw std::invalid_argument("bfs_gpu_adaptive: invalid min_width");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuBfsResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0 || source >= n) {
+    result.level.assign(n, kUnreached);
+    return result;
+  }
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  gpu::DeviceBuffer<std::uint32_t> levels(device, n);
+  levels.fill(kUnreached);
+  levels.write(source, 0);
+  gpu::DeviceBuffer<std::uint32_t> queue_a(device, n);
+  gpu::DeviceBuffer<std::uint32_t> queue_b(device, n);
+  gpu::DeviceBuffer<std::uint32_t> count_out(device, 1);
+  gpu::DeviceBuffer<std::uint32_t> degree_sum(device, 1);
+  queue_a.write(0, source);
+
+  const auto row = g.row();
+  const auto adj = g.adj();
+  auto levels_ptr = levels.ptr();
+
+  std::uint32_t frontier_size = 1;
+  std::uint32_t current = 0;
+  // Level 0 contains only the source, whose degree the host knows.
+  const std::uint32_t source_degree =
+      row.host[source + 1] - row.host[source];
+  auto next_width_hint = static_cast<std::uint32_t>(
+      adaptive_width_for(source_degree, 1, min_width, device.config().num_sms));
+
+  gpu::DeviceBuffer<std::uint32_t>* in = &queue_a;
+  gpu::DeviceBuffer<std::uint32_t>* out = &queue_b;
+
+  while (frontier_size > 0) {
+    count_out.fill(0);
+    degree_sum.fill(0);
+    const vw::Layout layout(static_cast<int>(next_width_hint));
+    result.adaptive_widths.push_back(layout.width);
+
+    const QueueExpandBody inner{adj,       levels_ptr,      out->ptr(),
+                                count_out.ptr(), current + 1, n,
+                                /*aggregated=*/true};
+    const AdaptiveExpandBody body{inner, row, degree_sum.ptr()};
+    auto in_ptr = in->cptr();
+
+    const std::uint64_t warps_needed =
+        (static_cast<std::uint64_t>(frontier_size) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims =
+        device.dims_for_threads(warps_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(device.launch(dims, [&, frontier_size](
+                                               WarpCtx& w) {
+      for (std::uint64_t round = 0; round * total_groups < frontier_size;
+           ++round) {
+        Lanes<std::uint32_t> entry{};
+        const LaneMask valid = vw::assign_static_tasks(
+            w, layout, round, total_groups, frontier_size, entry);
+        if (valid == 0) continue;
+        Lanes<std::uint32_t> v{};
+        w.with_mask(valid, [&] {
+          w.load_global(in_ptr, [&](int l) {
+            return entry[static_cast<std::size_t>(l)];
+          }, v);
+        });
+        Lanes<std::uint32_t> begin{}, end{};
+        w.with_mask(valid, [&] {
+          w.load_global(row, [&](int l) {
+            return v[static_cast<std::size_t>(l)];
+          }, begin);
+          w.load_global(row, [&](int l) {
+            return v[static_cast<std::size_t>(l)] + 1;
+          }, end);
+        });
+        vw::simd_strip_loop(w, layout, begin, end, valid,
+                            [&](const Lanes<std::uint32_t>& cursor) {
+                              body(w, cursor);
+                            });
+      }
+    }));
+
+    ++result.stats.iterations;
+    frontier_size = count_out.read(0);
+    const std::uint32_t degsum = degree_sum.read(0);
+    next_width_hint = static_cast<std::uint32_t>(
+        adaptive_width_for(degsum, frontier_size, min_width, device.config().num_sms));
+    std::swap(in, out);
+    ++current;
+  }
+
+  result.depth = current - 1;
+  result.level = levels.download();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (result.level[v] != kUnreached) ++result.reached_nodes;
+  }
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
+                              NodeId source, int min_width) {
+  GpuCsr gpu_graph(device, g);
+  GpuBfsResult result = bfs_gpu_adaptive(device, gpu_graph, source,
+                                         min_width);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (v < result.level.size() && result.level[v] != kUnreached) {
+      result.traversed_edges += g.degree(v);
+    }
+  }
+  return result;
+}
+
+GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
+                                         const graph::Csr& g,
+                                         NodeId source,
+                                         const DirectionOptions& opts) {
+  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
+    throw std::invalid_argument(
+        "bfs_gpu_direction_optimized: invalid virtual warp width");
+  }
+  if (opts.alpha == 0 || opts.beta == 0) {
+    throw std::invalid_argument(
+        "bfs_gpu_direction_optimized: alpha/beta must be > 0");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuBfsResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0 || source >= n) {
+    result.level.assign(n, kUnreached);
+    return result;
+  }
+
+  // The pull step scans in-neighbours; reuse the forward graph when it is
+  // already symmetric.
+  const bool symmetric = g.is_symmetric();
+  const graph::Csr reverse_host =
+      symmetric ? graph::Csr{} : graph::reverse(g);
+  const graph::Csr& pull_host = symmetric ? g : reverse_host;
+
+  const double transfer_before = device.transfer_totals().modeled_ms;
+  GpuCsr fwd(device, g);
+  GpuCsr rev(device, pull_host);
+
+  gpu::DeviceBuffer<std::uint32_t> levels(device, n);
+  levels.fill(kUnreached);
+  levels.write(source, 0);
+  gpu::DeviceBuffer<std::uint32_t> visited_count(device, 1);
+
+  auto levels_ptr = levels.ptr();
+  auto count_ptr = visited_count.ptr();
+  const vw::Layout layout(opts.virtual_warp_width);
+  const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+
+  const std::uint64_t warps_needed =
+      (static_cast<std::uint64_t>(n) +
+       static_cast<std::uint64_t>(layout.groups()) - 1) /
+      static_cast<std::uint64_t>(layout.groups());
+  const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
+  const std::uint64_t total_groups =
+      dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+  std::uint32_t frontier_size = 1;
+  bool bottom_up = false;
+
+  for (std::uint32_t current = 0;; ++current) {
+    // Beamer-style switching with hysteresis.
+    if (!bottom_up && frontier_size > n / opts.alpha) bottom_up = true;
+    if (bottom_up && frontier_size < n / opts.beta) bottom_up = false;
+    result.level_directions.push_back(bottom_up ? 1 : 0);
+    visited_count.fill(0);
+
+    if (!bottom_up) {
+      // Push: frontier vertices (level == current) expand out-neighbours.
+      const auto row = fwd.row();
+      const auto adj = fwd.adj();
+      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid = vw::assign_static_tasks(
+              w, layout, round, total_groups, n, task);
+          if (valid == 0) continue;
+          Lanes<std::uint32_t> lvl{};
+          w.with_mask(valid, [&] {
+            w.load_global(levels_ptr, [&](int l) {
+              return task[static_cast<std::size_t>(l)];
+            }, lvl);
+          });
+          const LaneMask on = valid & w.ballot([&](int l) {
+            return lvl[static_cast<std::size_t>(l)] == current;
+          });
+          if (on == 0) continue;
+          Lanes<std::uint32_t> begin{}, end{};
+          vw::load_task_ranges(w, row, task, on, begin, end);
+          vw::simd_strip_loop(
+              w, layout, begin, end, on,
+              [&](const Lanes<std::uint32_t>& cursor) {
+                Lanes<std::uint32_t> nbr{};
+                w.load_global(adj, [&](int l) {
+                  return cursor[static_cast<std::size_t>(l)];
+                }, nbr);
+                const Lanes<std::uint32_t> old = w.atomic_cas(
+                    levels_ptr,
+                    [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
+                    [](int) { return kUnreached; },
+                    [&](int) { return current + 1; });
+                const LaneMask claimed = w.ballot([&](int l) {
+                  return old[static_cast<std::size_t>(l)] == kUnreached;
+                });
+                w.with_mask(claimed, [&] {
+                  Lanes<std::uint32_t> ones =
+                      simt::make_lanes<std::uint32_t>(1);
+                  std::uint32_t total = 0;
+                  (void)w.exclusive_scan_add(ones, total);
+                  const int leader = simt::first_lane(w.active());
+                  w.with_mask(simt::lane_bit(leader), [&] {
+                    w.atomic_add(count_ptr, [](int) { return 0; },
+                                 [&](int) { return total; });
+                  });
+                });
+              });
+        }
+      }));
+    } else {
+      // Pull: unvisited vertices scan in-neighbours for a frontier parent
+      // and stop their group's scan at the first hit.
+      const auto row = rev.row();
+      const auto adj = rev.adj();
+      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid = vw::assign_static_tasks(
+              w, layout, round, total_groups, n, task);
+          if (valid == 0) continue;
+          Lanes<std::uint32_t> lvl{};
+          w.with_mask(valid, [&] {
+            w.load_global(levels_ptr, [&](int l) {
+              return task[static_cast<std::size_t>(l)];
+            }, lvl);
+          });
+          const LaneMask unvisited = valid & w.ballot([&](int l) {
+            return lvl[static_cast<std::size_t>(l)] == kUnreached;
+          });
+          if (unvisited == 0) continue;
+          Lanes<std::uint32_t> begin{}, end{};
+          vw::load_task_ranges(w, row, task, unvisited, begin, end);
+
+          // Early-exit strip scan: a group stops once any of its lanes
+          // found a parent (the saving that makes pull cheap).
+          Lanes<std::uint32_t> cursor{};
+          w.alu([&](int l) {
+            cursor[static_cast<std::size_t>(l)] =
+                begin[static_cast<std::size_t>(l)] +
+                static_cast<std::uint32_t>(layout.lane_in_group(l));
+          });
+          LaneMask found_groups = 0;  // group-aligned mask of done groups
+          w.with_mask(unvisited, [&] {
+            w.loop_while(
+                [&](int l) {
+                  const auto i = static_cast<std::size_t>(l);
+                  return cursor[i] < end[i] &&
+                         !simt::lane_active(found_groups, l);
+                },
+                [&] {
+                  Lanes<std::uint32_t> parent{};
+                  w.load_global(adj, [&](int l) {
+                    return cursor[static_cast<std::size_t>(l)];
+                  }, parent);
+                  Lanes<std::uint32_t> plvl{};
+                  w.load_global(levels_ptr, [&](int l) {
+                    return parent[static_cast<std::size_t>(l)];
+                  }, plvl);
+                  const LaneMask hit = w.ballot([&](int l) {
+                    return plvl[static_cast<std::size_t>(l)] == current;
+                  });
+                  if (hit != 0) {
+                    // Expand per-lane hits to whole groups (one issue:
+                    // the __any_sync of the real kernel).
+                    w.alu([](int) {});
+                    for (int grp = 0; grp < layout.groups(); ++grp) {
+                      const LaneMask gm = simt::group_mask(grp,
+                                                           layout.width);
+                      if (hit & gm) found_groups |= gm;
+                    }
+                  }
+                  w.alu([&](int l) {
+                    cursor[static_cast<std::size_t>(l)] +=
+                        static_cast<std::uint32_t>(layout.width);
+                  });
+                });
+          });
+          if (found_groups == 0) continue;
+          const LaneMask winners =
+              unvisited & found_groups & leader_mask;
+          w.with_mask(winners, [&] {
+            w.store_global(levels_ptr, [&](int l) {
+              return task[static_cast<std::size_t>(l)];
+            }, [&](int) { return current + 1; });
+            Lanes<std::uint32_t> ones = simt::make_lanes<std::uint32_t>(1);
+            std::uint32_t total = 0;
+            (void)w.exclusive_scan_add(ones, total);
+            const int leader = simt::first_lane(w.active());
+            w.with_mask(simt::lane_bit(leader), [&] {
+              w.atomic_add(count_ptr, [](int) { return 0; },
+                           [&](int) { return total; });
+            });
+          });
+        }
+      }));
+    }
+
+    ++result.stats.iterations;
+    frontier_size = visited_count.read(0);
+    if (frontier_size == 0) {
+      result.depth = current;
+      break;
+    }
+  }
+
+  result.level = levels.download();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (result.level[v] != kUnreached) {
+      ++result.reached_nodes;
+      result.traversed_edges += g.degree(v);
+    }
+  }
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,86 @@
+// GPU breadth-first search — the paper's primary evaluation workload.
+//
+// Level-synchronous structure (one kernel launch per BFS level, the level
+// array doubling as the visited set), after Harish & Narayanan, which is
+// the baseline the paper measures against. Four kernel variants share the
+// driver, selected by KernelOptions::mapping:
+//
+//   kThreadMapped        one thread owns one vertex and walks its whole
+//                        neighbor list serially — intra-warp imbalance grows
+//                        with the degree spread inside each 32-vertex window;
+//   kWarpCentric         virtual warps of W lanes own a vertex and expand
+//                        its list cooperatively (the paper's method);
+//   kWarpCentricDynamic  adds global work-chunk claiming via atomicAdd;
+//   kWarpCentricDefer    adds the outlier queue: degree > threshold is
+//                        deferred and drained by multi-warp teams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/cpu_reference.hpp"  // kUnreached
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuBfsResult {
+  std::vector<std::uint32_t> level;  ///< per node; kUnreached if untouched
+  std::uint32_t depth = 0;           ///< number of non-empty levels
+  GpuRunStats stats;
+  std::uint64_t reached_nodes = 0;
+  /// Sum of out-degrees of reached nodes (standard TEPS accounting).
+  std::uint64_t traversed_edges = 0;
+  /// Filled by bfs_gpu_adaptive only: the W chosen for each level.
+  std::vector<int> adaptive_widths;
+  /// Filled by bfs_gpu_direction_optimized only: 0 = top-down (push),
+  /// 1 = bottom-up (pull), one entry per level.
+  std::vector<int> level_directions;
+};
+
+/// Runs BFS from `source` on an already-uploaded graph. Does not compute
+/// traversed_edges (needs host adjacency); the Csr overload fills it.
+GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g,
+                     graph::NodeId source, const KernelOptions& opts = {});
+
+/// Uploads `g` (charged to the device's transfer model) and runs BFS.
+GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
+                     graph::NodeId source, const KernelOptions& opts = {});
+
+/// Adaptive virtual-warp BFS (the follow-up the authors published after
+/// this paper: choose the implementation per level). Queue-frontier,
+/// warp-centric, but the width W is re-chosen before every level from the
+/// next frontier's measured size and total out-degree (the expansion
+/// kernel accumulates the degree sum while claiming vertices, so the
+/// heuristic costs two extra gathers per claimed vertex and one device
+/// read per level). W_level = bit_ceil(avg out-degree), clamped to
+/// [min_width, 32]. Ignores opts.mapping/frontier/virtual_warp_width.
+GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const GpuCsr& g,
+                              graph::NodeId source, int min_width = 2);
+GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
+                              graph::NodeId source, int min_width = 2);
+
+/// Tuning for the direction-optimizing driver below.
+struct DirectionOptions {
+  /// Switch to bottom-up when the frontier exceeds n / alpha...
+  std::uint32_t alpha = 14;
+  /// ...and back to top-down when it shrinks below n / beta.
+  std::uint32_t beta = 24;
+  /// Virtual warp width for both step kernels.
+  int virtual_warp_width = 8;
+};
+
+/// Direction-optimizing BFS (Beamer-style push/pull hybrid — the
+/// extension later GPU BFS frameworks layered on top of warp-centric
+/// kernels). Small frontiers expand top-down (push); once the frontier
+/// covers a large fraction of the graph, unvisited vertices instead scan
+/// their *in*-neighbours for a frontier parent and stop at the first hit
+/// (pull), which skips most of the edge work of the boom level. The
+/// driver builds the reverse graph internally for directed inputs.
+/// `result.level_directions` records the direction chosen per level.
+GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
+                                         const graph::Csr& g,
+                                         graph::NodeId source,
+                                         const DirectionOptions& opts = {});
+
+}  // namespace maxwarp::algorithms

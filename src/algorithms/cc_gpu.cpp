@@ -1,0 +1,110 @@
+#include "algorithms/cc_gpu.hpp"
+
+#include <stdexcept>
+
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+GpuCcResult connected_components_gpu(gpu::Device& device, const GpuCsr& g,
+                                     const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "connected_components_gpu: supports thread-mapped and warp-centric");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuCcResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  gpu::DeviceBuffer<std::uint32_t> label(device, n);
+  {
+    std::vector<std::uint32_t> init(n);
+    for (std::uint32_t v = 0; v < n; ++v) init[v] = v;
+    label.upload(init);
+  }
+  gpu::DeviceBuffer<std::uint32_t> changed(device, 1);
+
+  const auto row = g.row();
+  const auto adj = g.adj();
+  auto label_ptr = label.ptr();
+  auto changed_ptr = changed.ptr();
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+
+  for (;;) {
+    changed.fill(0);
+    const std::uint64_t groups_needed =
+        (static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims = device.dims_for_threads(groups_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      for (std::uint64_t r = 0; r * total_groups < n; ++r) {
+        Lanes<std::uint32_t> task{};
+        const LaneMask valid =
+            vw::assign_static_tasks(w, layout, r, total_groups, n, task);
+        if (valid == 0) continue;
+
+        Lanes<std::uint32_t> own_label{};
+        w.with_mask(valid, [&] {
+          w.load_global(label_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, own_label);
+        });
+
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, valid, begin, end);
+        vw::simd_strip_loop(
+            w, layout, begin, end, valid,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              Lanes<std::uint32_t> nbr{};
+              w.load_global(adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, nbr);
+              const Lanes<std::uint32_t> old = w.atomic_min(
+                  label_ptr,
+                  [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
+                  [&](int l) {
+                    return own_label[static_cast<std::size_t>(l)];
+                  });
+              const LaneMask improved = w.ballot([&](int l) {
+                const auto i = static_cast<std::size_t>(l);
+                return own_label[i] < old[i];
+              });
+              w.with_mask(improved, [&] {
+                w.store_global(changed_ptr, [](int) { return 0; },
+                               [](int) { return 1u; });
+              });
+            });
+      }
+    }));
+
+    ++result.stats.iterations;
+    if (changed.read(0) == 0) break;
+  }
+
+  result.label = label.download();
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+GpuCcResult connected_components_gpu(gpu::Device& device,
+                                     const graph::Csr& g,
+                                     const KernelOptions& opts) {
+  GpuCsr gpu_graph(device, g);
+  return connected_components_gpu(device, gpu_graph, opts);
+}
+
+}  // namespace maxwarp::algorithms

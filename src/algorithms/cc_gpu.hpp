@@ -1,0 +1,31 @@
+// GPU connected components by min-label propagation.
+//
+// Labels start as node ids; each sweep pushes a vertex's label to its
+// neighbours with atomicMin until a fixed point. On an undirected
+// (symmetric) graph this floods the minimum id through every component.
+// The inner loop is the same neighbor expansion as BFS, so the mapping
+// options apply identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuCcResult {
+  std::vector<std::uint32_t> label;  ///< min node id of the component
+  GpuRunStats stats;
+};
+
+/// The graph must be symmetric (undirected closure); validate with
+/// Csr::is_symmetric() if unsure. Supports kThreadMapped and kWarpCentric.
+GpuCcResult connected_components_gpu(gpu::Device& device, const GpuCsr& g,
+                                     const KernelOptions& opts = {});
+GpuCcResult connected_components_gpu(gpu::Device& device,
+                                     const graph::Csr& g,
+                                     const KernelOptions& opts = {});
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,49 @@
+// GPU greedy graph coloring (Jones–Plassmann).
+//
+// Each round, every uncolored vertex that holds the highest hash priority
+// among its uncolored neighbours takes the smallest color its colored
+// neighbours do not use. Rounds repeat until everything is colored; with
+// random priorities the expected round count is O(log n / log log n).
+// Forbidden colors are gathered as a 64-bit window bitmask; if a vertex's
+// whole window is taken (degree >= 64 hubs) the window base slides — with
+// a reset after every productive round, the final coloring is identical
+// to the sequential Jones-Plassmann reference.
+//
+// The per-vertex neighbor scan is the familiar variable-length loop, so
+// the virtual-warp mapping applies: lanes accumulate partial has-higher
+// flags and forbidden masks, combined with a group OR-reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+inline constexpr std::uint32_t kNoColor = 0xffffffffu;
+
+struct GpuColoringResult {
+  std::vector<std::uint32_t> color;  ///< proper coloring, 0-based
+  std::uint32_t colors_used = 0;
+  GpuRunStats stats;
+};
+
+/// The graph must be undirected (symmetric). Supports kThreadMapped and
+/// kWarpCentric.
+GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
+                                  const KernelOptions& opts = {});
+
+/// Sequential Jones-Plassmann with the same priorities and color rule;
+/// the GPU result must match it exactly.
+std::vector<std::uint32_t> color_graph_cpu(const graph::Csr& g);
+
+/// The shared priority function (hash of the node id).
+std::uint32_t coloring_priority(graph::NodeId v);
+
+/// True iff no edge connects two equal colors and every node is colored.
+bool is_proper_coloring(const graph::Csr& g,
+                        const std::vector<std::uint32_t>& color);
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,114 @@
+#include "algorithms/cpu_reference.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace maxwarp::algorithms {
+
+using graph::Csr;
+using graph::NodeId;
+
+std::vector<std::uint32_t> bfs_cpu(const Csr& g, NodeId source) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::uint32_t> level(n, kUnreached);
+  if (source >= n) return level;
+
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  level[source] = 0;
+  std::uint32_t depth = 0;
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    for (NodeId v : frontier) {
+      for (NodeId u : g.neighbors(v)) {
+        if (level[u] == kUnreached) {
+          level[u] = depth;
+          next.push_back(u);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return level;
+}
+
+std::vector<std::uint64_t> sssp_cpu(const Csr& g, NodeId source) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::uint64_t> dist(n, kUnreachedDist);
+  if (source >= n) return dist;
+
+  using Entry = std::pair<std::uint64_t, NodeId>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[v]) continue;  // stale entry
+    for (graph::EdgeOff e = g.row[v]; e < g.row[v + 1]; ++e) {
+      const NodeId u = g.adj[e];
+      const std::uint64_t w = g.weighted() ? g.weights[e] : 1;
+      if (d + w < dist[u]) {
+        dist[u] = d + w;
+        heap.push({dist[u], u});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> connected_components_cpu(const Csr& g) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : g.neighbors(v)) {
+      const std::uint32_t a = find(v);
+      const std::uint32_t b = find(u);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<std::uint32_t> label(n);
+  for (NodeId v = 0; v < n; ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<double> pagerank_cpu(const Csr& g, double damping,
+                                 int iterations) {
+  const std::uint32_t n = g.num_nodes();
+  if (n == 0) return {};
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t out = g.degree(v);
+      if (out == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / out;
+      for (NodeId u : g.neighbors(v)) next[u] += share;
+    }
+    const double dangling_share =
+        damping * dangling / static_cast<double>(n);
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] = base + damping * next[v] + dangling_share;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,39 @@
+// Sequential reference implementations.
+//
+// These serve two purposes: (1) ground truth for validating every GPU
+// kernel in the test suite, and (2) the sequential end of the paper's
+// CPU-vs-GPU comparison. They are written for clarity first, but avoid
+// gratuitous allocation so the parallel-CPU comparison is fair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+inline constexpr std::uint32_t kUnreached = 0xffffffffu;
+
+/// Level-synchronous BFS; returns level[v] per node (kUnreached if not
+/// reachable from source).
+std::vector<std::uint32_t> bfs_cpu(const graph::Csr& g, graph::NodeId source);
+
+/// Dijkstra with a binary heap over the graph's integer weights; returns
+/// dist[v] (kUnreachedDist if unreachable).
+inline constexpr std::uint64_t kUnreachedDist = 0xffffffffffffffffULL;
+std::vector<std::uint64_t> sssp_cpu(const graph::Csr& g,
+                                    graph::NodeId source);
+
+/// Connected components over the *undirected closure* of the graph
+/// (union-find); returns a component label per node, normalized so that
+/// each component's label is its smallest member id.
+std::vector<std::uint32_t> connected_components_cpu(const graph::Csr& g);
+
+/// Power-iteration PageRank with uniform teleport. Dangling-node mass is
+/// redistributed uniformly. Runs `iterations` full sweeps (fixed iteration
+/// count keeps GPU/CPU results bit-comparable up to float tolerance).
+std::vector<double> pagerank_cpu(const graph::Csr& g, double damping,
+                                 int iterations);
+
+}  // namespace maxwarp::algorithms

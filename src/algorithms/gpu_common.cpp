@@ -1,0 +1,39 @@
+#include "algorithms/gpu_common.hpp"
+
+#include "simt/mask.hpp"
+
+namespace maxwarp::algorithms {
+
+std::string to_string(Mapping mapping) {
+  switch (mapping) {
+    case Mapping::kThreadMapped:
+      return "thread-mapped";
+    case Mapping::kWarpCentric:
+      return "warp-centric";
+    case Mapping::kWarpCentricDynamic:
+      return "warp-centric+dynamic";
+    case Mapping::kWarpCentricDefer:
+      return "warp-centric+defer";
+  }
+  return "unknown";
+}
+
+std::string to_string(Frontier frontier) {
+  switch (frontier) {
+    case Frontier::kLevelArray:
+      return "level-array";
+    case Frontier::kQueue:
+      return "queue";
+  }
+  return "unknown";
+}
+
+std::uint32_t leader_lane_mask(int virtual_warp_width) {
+  std::uint32_t mask = 0;
+  for (int lane = 0; lane < simt::kWarpSize; lane += virtual_warp_width) {
+    mask |= simt::lane_bit(lane);
+  }
+  return mask;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,100 @@
+// Shared plumbing for the GPU graph kernels: device-resident CSR, method
+// selection, and the per-run statistics every algorithm reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+#include "graph/csr.hpp"
+#include "simt/stats.hpp"
+
+namespace maxwarp::algorithms {
+
+/// How vertices are mapped onto SIMD lanes.
+enum class Mapping {
+  kThreadMapped,         ///< baseline: one thread per vertex (Harish-Narayanan)
+  kWarpCentric,          ///< virtual warps, static grid-stride assignment
+  kWarpCentricDynamic,   ///< virtual warps + dynamic (atomic) distribution
+  kWarpCentricDefer,     ///< virtual warps + outlier deferral queue
+};
+
+std::string to_string(Mapping mapping);
+
+/// How the BFS frontier is represented.
+enum class Frontier {
+  /// Scan all n vertices each level, selecting level[v] == current (the
+  /// Harish-Narayanan structure the paper uses). O(levels * n) scans.
+  kLevelArray,
+  /// Explicit queue: each level reads exactly the frontier vertices and
+  /// claims neighbours with CAS, enqueueing the next frontier. O(n + m)
+  /// total work — the structure later GPU BFS papers converged on.
+  kQueue,
+};
+
+std::string to_string(Frontier frontier);
+
+/// Tuning knobs shared by the level-synchronous algorithms.
+struct KernelOptions {
+  Mapping mapping = Mapping::kWarpCentric;
+  /// BFS frontier structure (BFS only; other kernels ignore it).
+  Frontier frontier = Frontier::kLevelArray;
+  /// Virtual warp width W; must be a power-of-two divisor of 32.
+  int virtual_warp_width = 32;
+  /// Tasks claimed per atomic in dynamic mode.
+  std::uint32_t dynamic_chunk = 64;
+  /// Degree above which a vertex is deferred (defer mode).
+  std::uint32_t defer_threshold = 512;
+  /// Physical warps cooperating on one deferred vertex.
+  std::uint32_t warps_per_deferred_task = 4;
+  /// Warps launched per SM by the persistent dynamic kernels.
+  std::uint32_t resident_warps_per_sm = 24;
+};
+
+/// Per-run result statistics common to every GPU algorithm.
+struct GpuRunStats {
+  simt::KernelStats kernels;   ///< aggregated over every launch of the run
+  double transfer_ms = 0;      ///< modeled H2D/D2H during the run
+  std::uint32_t iterations = 0;  ///< levels / relaxation rounds / sweeps
+
+  double kernel_ms(const simt::SimConfig& cfg) const {
+    return kernels.elapsed_ms(cfg);
+  }
+  double total_ms(const simt::SimConfig& cfg) const {
+    return kernel_ms(cfg) + transfer_ms;
+  }
+};
+
+/// Device-resident CSR (row offsets, adjacency, optional weights).
+class GpuCsr {
+ public:
+  GpuCsr(gpu::Device& device, const graph::Csr& host)
+      : n_(host.num_nodes()),
+        m_(host.num_edges()),
+        row_(device, host.row),
+        adj_(device, host.adj),
+        weights_(device, host.weights) {}
+
+  std::uint32_t num_nodes() const { return n_; }
+  std::uint64_t num_edges() const { return m_; }
+  bool weighted() const { return weights_.size() == m_ && m_ > 0; }
+
+  simt::DevPtr<const std::uint32_t> row() const { return row_.cptr(); }
+  simt::DevPtr<const std::uint32_t> adj() const { return adj_.cptr(); }
+  simt::DevPtr<const std::uint32_t> weights() const {
+    return weights_.cptr();
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t m_;
+  gpu::DeviceBuffer<std::uint32_t> row_;
+  gpu::DeviceBuffer<std::uint32_t> adj_;
+  gpu::DeviceBuffer<std::uint32_t> weights_;
+};
+
+/// Mask with one bit per virtual-warp leader lane (lane % W == 0).
+std::uint32_t leader_lane_mask(int virtual_warp_width);
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,145 @@
+#include "algorithms/kcore_gpu.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "gpu/buffer.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using graph::NodeId;
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
+                          std::uint32_t k, const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "k_core_gpu: supports thread-mapped and warp-centric");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuKCoreResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  GpuCsr gpu_graph(device, g);
+  const auto row = gpu_graph.row();
+  const auto adj = gpu_graph.adj();
+
+  std::vector<std::uint32_t> deg_host(n);
+  for (NodeId v = 0; v < n; ++v) deg_host[v] = g.degree(v);
+  gpu::DeviceBuffer<std::uint32_t> degree(device, deg_host);
+  gpu::DeviceBuffer<std::uint32_t> alive(device, n);
+  alive.fill(1);
+  gpu::DeviceBuffer<std::uint32_t> changed(device, 1);
+
+  auto degree_ptr = degree.ptr();
+  auto alive_ptr = alive.ptr();
+  auto changed_ptr = changed.ptr();
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+
+  for (;;) {
+    changed.fill(0);
+    const std::uint64_t warps_needed =
+        (static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims =
+        device.dims_for_threads(warps_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(device.launch(dims, [&, n, k](WarpCtx& w) {
+      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+        Lanes<std::uint32_t> task{};
+        const LaneMask valid =
+            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
+        if (valid == 0) continue;
+
+        Lanes<std::uint32_t> is_alive{}, deg{};
+        w.with_mask(valid, [&] {
+          w.load_global(alive_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, is_alive);
+          w.load_global(degree_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, deg);
+        });
+        const LaneMask peel = valid & w.ballot([&](int l) {
+          const auto i = static_cast<std::size_t>(l);
+          return is_alive[i] != 0 && deg[i] < k;
+        });
+        if (peel == 0) continue;
+
+        w.with_mask(peel, [&] {
+          w.store_global(alive_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, [](int) { return 0u; });
+          w.store_global(changed_ptr, [](int) { return 0; },
+                         [](int) { return 1u; });
+        });
+
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, peel, begin, end);
+        vw::simd_strip_loop(
+            w, layout, begin, end, peel,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              Lanes<std::uint32_t> nbr{};
+              w.load_global(adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, nbr);
+              // Residual degree of a dead vertex may go stale; only the
+              // alive check above consumes it, and dead stays dead.
+              w.atomic_add(degree_ptr, [&](int l) {
+                return nbr[static_cast<std::size_t>(l)];
+              }, [](int) { return 0xffffffffu; });  // -1 in two's complement
+            });
+      }
+    }));
+    ++result.stats.iterations;
+    if (changed.read(0) == 0) break;
+  }
+
+  const auto alive_host = alive.download();
+  result.in_core.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.in_core[v] = static_cast<std::uint8_t>(alive_host[v]);
+    result.survivors += alive_host[v];
+  }
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+std::vector<std::uint8_t> k_core_cpu(const graph::Csr& g, std::uint32_t k) {
+  const std::uint32_t n = g.num_nodes();
+  std::vector<std::uint32_t> degree(n);
+  std::vector<std::uint8_t> in_core(n, 1);
+  std::queue<NodeId> to_remove;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    if (degree[v] < k) {
+      to_remove.push(v);
+      in_core[v] = 0;
+    }
+  }
+  while (!to_remove.empty()) {
+    const NodeId v = to_remove.front();
+    to_remove.pop();
+    for (const NodeId u : g.neighbors(v)) {
+      if (in_core[u] && --degree[u] < k) {
+        in_core[u] = 0;
+        to_remove.push(u);
+      }
+    }
+  }
+  return in_core;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,34 @@
+// GPU k-core extraction by parallel peeling.
+//
+// A vertex is in the k-core iff it survives repeatedly deleting every
+// vertex of (residual) degree < k. Each GPU round scans the alive
+// vertices, marks under-degree ones dead, and decrements their neighbours'
+// residual degrees with atomics; rounds repeat until a fixed point. The
+// neighbor-decrement loop is the usual variable-length scan, so both
+// mappings apply. Peeling is confluent: the surviving set is independent
+// of removal order, which is what makes the parallel version correct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuKCoreResult {
+  std::vector<std::uint8_t> in_core;  ///< 1 iff the vertex is in the k-core
+  std::uint32_t survivors = 0;
+  GpuRunStats stats;
+};
+
+/// The graph must be undirected (symmetric). Supports kThreadMapped and
+/// kWarpCentric.
+GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
+                          std::uint32_t k, const KernelOptions& opts = {});
+
+/// CPU reference (queue-based peeling).
+std::vector<std::uint8_t> k_core_cpu(const graph::Csr& g, std::uint32_t k);
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,229 @@
+#include "algorithms/microbench.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "gpu/buffer.hpp"
+#include "util/rng.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+double MicrobenchSpec::imbalance() const {
+  if (work.empty()) return 1.0;
+  const std::uint32_t max_work = *std::max_element(work.begin(), work.end());
+  const double mean = static_cast<double>(total_items()) /
+                      static_cast<double>(work.size());
+  return mean > 0 ? static_cast<double>(max_work) / mean : 1.0;
+}
+
+MicrobenchSpec MicrobenchSpec::from_work(std::vector<std::uint32_t> work) {
+  MicrobenchSpec spec;
+  spec.work = std::move(work);
+  spec.offsets.assign(spec.work.size() + 1, 0);
+  std::partial_sum(spec.work.begin(), spec.work.end(),
+                   spec.offsets.begin() + 1);
+  return spec;
+}
+
+MicrobenchSpec MicrobenchSpec::uniform(std::uint32_t tasks,
+                                       std::uint32_t items,
+                                       std::uint64_t seed) {
+  (void)seed;  // shape is deterministic; kept for signature symmetry
+  return from_work(std::vector<std::uint32_t>(tasks, items));
+}
+
+MicrobenchSpec MicrobenchSpec::lognormal(std::uint32_t tasks,
+                                         double mean_items, double sigma,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve mu for the target
+  // mean so the sweep holds expected total work constant.
+  const double mu = std::log(mean_items) - sigma * sigma / 2.0;
+  std::vector<std::uint32_t> work(tasks);
+  for (auto& x : work) {
+    x = static_cast<std::uint32_t>(
+        std::min(1e7, std::round(rng.next_lognormal(mu, sigma))));
+  }
+  return from_work(std::move(work));
+}
+
+MicrobenchSpec MicrobenchSpec::with_outliers(std::uint32_t tasks,
+                                             std::uint32_t base,
+                                             std::uint32_t outliers,
+                                             std::uint32_t heavy,
+                                             std::uint64_t seed) {
+  std::vector<std::uint32_t> work(tasks, base);
+  util::Rng rng(seed);
+  for (std::uint32_t i = 0; i < outliers && tasks > 0; ++i) {
+    work[rng.next_below(tasks)] = heavy;
+  }
+  return from_work(std::move(work));
+}
+
+std::vector<std::uint64_t> microbench_reference(const MicrobenchSpec& spec) {
+  std::vector<std::uint64_t> out(spec.num_tasks(), 0);
+  for (std::uint32_t t = 0; t < spec.num_tasks(); ++t) {
+    for (std::uint32_t i = spec.offsets[t]; i < spec.offsets[t + 1]; ++i) {
+      out[t] += MicrobenchSpec::item_value(i);
+    }
+  }
+  return out;
+}
+
+MicrobenchResult run_microbench(gpu::Device& device,
+                                const MicrobenchSpec& spec,
+                                const KernelOptions& opts) {
+  if (opts.mapping == Mapping::kWarpCentricDefer) {
+    throw std::invalid_argument("run_microbench: defer mapping unsupported");
+  }
+  const std::uint32_t tasks = spec.num_tasks();
+  MicrobenchResult result;
+  result.stats.kernels.launches = 0;
+  if (tasks == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  gpu::DeviceBuffer<std::uint32_t> offsets(device, spec.offsets);
+  gpu::DeviceBuffer<std::uint64_t> out(device, tasks);
+  out.fill(0);
+  gpu::DeviceBuffer<std::uint32_t> counter(device, 1);
+  counter.fill(0);
+
+  const auto off_ptr = offsets.cptr();
+  auto out_ptr = out.ptr();
+  auto counter_ptr = counter.ptr();
+  // One "real" update issue is always charged; extra compute issues model
+  // the rest of the per-item work.
+  const int extra_compute =
+      spec.compute_per_item > 1
+          ? static_cast<int>(spec.compute_per_item) - 1
+          : 0;
+
+  if (opts.mapping == Mapping::kThreadMapped) {
+    const auto dims = device.dims_for_threads(tasks);
+    result.stats.kernels.add(device.launch(dims, [&, tasks](WarpCtx& w) {
+      Lanes<std::uint32_t> t{};
+      w.alu([&](int l) {
+        t[static_cast<std::size_t>(l)] =
+            static_cast<std::uint32_t>(w.thread_id(l));
+      });
+      Lanes<std::uint32_t> cursor{}, end{};
+      w.load_global(off_ptr, [&](int l) {
+        return t[static_cast<std::size_t>(l)];
+      }, cursor);
+      w.load_global(off_ptr, [&](int l) {
+        return t[static_cast<std::size_t>(l)] + 1;
+      }, end);
+      Lanes<std::uint64_t> acc{};
+      w.loop_while(
+          [&](int l) {
+            return cursor[static_cast<std::size_t>(l)] <
+                   end[static_cast<std::size_t>(l)];
+          },
+          [&] {
+            w.alu_n(extra_compute, [](int) {});
+            w.alu([&](int l) {
+              const auto i = static_cast<std::size_t>(l);
+              acc[i] += MicrobenchSpec::item_value(cursor[i]);
+              ++cursor[i];
+            });
+          });
+      w.store_global(out_ptr, [&](int l) {
+        return t[static_cast<std::size_t>(l)];
+      }, [&](int l) { return acc[static_cast<std::size_t>(l)]; });
+    }));
+  } else {
+    const vw::Layout layout(opts.virtual_warp_width);
+    const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+    const bool dynamic = opts.mapping == Mapping::kWarpCentricDynamic;
+
+    // Shared per-group task processing.
+    auto process = [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
+                       LaneMask valid) {
+      if (valid == 0) return;
+      Lanes<std::uint32_t> begin{}, end{};
+      vw::load_task_ranges(w, off_ptr, task, valid, begin, end);
+      Lanes<std::uint64_t> partial{};
+      vw::simd_strip_loop(w, layout, begin, end, valid,
+                          [&](const Lanes<std::uint32_t>& cursor) {
+                            w.alu_n(extra_compute, [](int) {});
+                            w.alu([&](int l) {
+                              const auto i = static_cast<std::size_t>(l);
+                              partial[i] +=
+                                  MicrobenchSpec::item_value(cursor[i]);
+                            });
+                          });
+      const Lanes<std::uint64_t> sums =
+          vw::group_reduce_add(w, layout, partial, valid);
+      w.with_mask(valid & leader_mask, [&] {
+        w.store_global(out_ptr, [&](int l) {
+          return task[static_cast<std::size_t>(l)];
+        }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
+      });
+    };
+
+    if (dynamic) {
+      // One chunk claim per warp + least-loaded scheduling (the model of
+      // dynamic distribution; see SchedulePolicy).
+      const std::uint32_t chunk = std::max<std::uint32_t>(
+          opts.dynamic_chunk, static_cast<std::uint32_t>(layout.groups()));
+      const std::uint64_t warps_needed =
+          (static_cast<std::uint64_t>(tasks) + chunk - 1) / chunk;
+      auto dims = device.dims_for_warps(warps_needed);
+      dims.policy = simt::SchedulePolicy::kLeastLoaded;
+      result.stats.kernels.add(
+          device.launch(dims, [&, tasks, chunk](WarpCtx& w) {
+            const std::uint32_t start =
+                vw::claim_chunk(w, counter_ptr, chunk);
+            if (start >= tasks) return;
+            for (std::uint32_t off = 0; off < chunk;
+                 off += static_cast<std::uint32_t>(layout.groups())) {
+              Lanes<std::uint32_t> task{};
+              const LaneMask valid = vw::assign_chunk_tasks(
+                  w, layout, start + off,
+                  std::min<std::uint32_t>(
+                      chunk - off,
+                      static_cast<std::uint32_t>(layout.groups())),
+                  tasks, task);
+              process(w, task, valid);
+              if (start + off + static_cast<std::uint32_t>(
+                                    layout.groups()) >= tasks) {
+                break;
+              }
+            }
+          }));
+    } else {
+      const std::uint64_t warps_needed =
+          (static_cast<std::uint64_t>(tasks) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(warps_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+      result.stats.kernels.add(device.launch(dims, [&, tasks](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < tasks;
+             ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid = vw::assign_static_tasks(
+              w, layout, round, total_groups, tasks, task);
+          process(w, task, valid);
+        }
+      }));
+    }
+  }
+
+  result.stats.iterations = 1;
+  result.checksum = out.download();
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,82 @@
+// Synthetic-imbalance microbenchmark (the paper's controlled experiment).
+//
+// A task array replaces the graph: task t owns work[t] items (CSR-like
+// offsets). Processing an item costs `compute_per_item` ALU issues and
+// produces a deterministic value that is accumulated into the task's
+// checksum — i.e. the workload is pure computation with a *known* cost per
+// item, exactly like the paper's synthetic kernel. This isolates the
+// imbalance/underutilization trade-off: under thread-mapping a warp pays
+// for the *maximum* item count in its 32-task window, under warp-mapping
+// for the group-wise sums — while memory effects (which would wash out the
+// signal, since scattered gathers cost the same under either mapping) are
+// studied separately on real adjacency layouts in F8.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+
+namespace maxwarp::algorithms {
+
+struct MicrobenchSpec {
+  std::vector<std::uint32_t> work;     ///< items per task
+  std::vector<std::uint32_t> offsets;  ///< prefix sums (size tasks+1)
+  /// ALU issues charged per item (the paper's per-item work knob).
+  std::uint32_t compute_per_item = 8;
+
+  std::uint32_t num_tasks() const {
+    return static_cast<std::uint32_t>(work.size());
+  }
+  std::uint64_t total_items() const {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+
+  /// max(work) / mean(work): 1.0 is perfectly balanced.
+  double imbalance() const;
+
+  /// Deterministic per-item payload; the value item i contributes to its
+  /// task's checksum (shared by kernels and the host reference).
+  static std::uint32_t item_value(std::uint32_t item) {
+    return (item * 2654435761u) >> 16 & 0xffffu;
+  }
+
+  /// Every task gets exactly `items` items.
+  static MicrobenchSpec uniform(std::uint32_t tasks, std::uint32_t items,
+                                std::uint64_t seed = 7);
+
+  /// Lognormal(mu, sigma) item counts, rescaled so the total item count
+  /// stays ~= tasks * mean_items across sigma values (so sweeps compare
+  /// equal work).
+  static MicrobenchSpec lognormal(std::uint32_t tasks, double mean_items,
+                                  double sigma, std::uint64_t seed = 7);
+
+  /// All tasks get `base` items except `outliers` tasks with `heavy` items.
+  static MicrobenchSpec with_outliers(std::uint32_t tasks,
+                                      std::uint32_t base,
+                                      std::uint32_t outliers,
+                                      std::uint32_t heavy,
+                                      std::uint64_t seed = 7);
+
+  /// Builds offsets from `work` (used by the named constructors and by
+  /// callers assembling custom layouts).
+  static MicrobenchSpec from_work(std::vector<std::uint32_t> work);
+};
+
+struct MicrobenchResult {
+  GpuRunStats stats;
+  /// out[t] = sum of item_value over task t's items; validated against the
+  /// host reference by the tests (proves the mapping machinery touches
+  /// every item exactly once).
+  std::vector<std::uint64_t> checksum;
+};
+
+/// Supports kThreadMapped, kWarpCentric and kWarpCentricDynamic.
+MicrobenchResult run_microbench(gpu::Device& device,
+                                const MicrobenchSpec& spec,
+                                const KernelOptions& opts);
+
+/// Host-side ground truth for the checksums.
+std::vector<std::uint64_t> microbench_reference(const MicrobenchSpec& spec);
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,160 @@
+#include "algorithms/pagerank_gpu.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
+                               const PageRankParams& params,
+                               const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "pagerank_gpu: supports thread-mapped and warp-centric");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuPageRankResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0) return result;
+
+  const graph::Csr rev = graph::reverse(g);
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  GpuCsr gpu_rev(device, rev);
+  std::vector<std::uint32_t> outdeg_host(n);
+  for (std::uint32_t v = 0; v < n; ++v) outdeg_host[v] = g.degree(v);
+  gpu::DeviceBuffer<std::uint32_t> outdeg(device, outdeg_host);
+
+  gpu::DeviceBuffer<float> rank(device, n);
+  rank.fill(1.0f / static_cast<float>(n));
+  gpu::DeviceBuffer<float> next(device, n);
+  gpu::DeviceBuffer<float> dangling_acc(device, 1);
+
+  const auto row = gpu_rev.row();
+  const auto adj = gpu_rev.adj();
+  const auto outdeg_ptr = outdeg.cptr();
+  auto rank_ptr = rank.ptr();
+  auto next_ptr = next.ptr();
+  auto dangling_ptr = dangling_acc.ptr();
+
+  const auto damping = static_cast<float>(params.damping);
+  const float base = (1.0f - damping) / static_cast<float>(n);
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    // Pass 1: dangling-mass reduction. Thread-mapped with a per-warp
+    // shuffle reduction and one leader atomic, the standard idiom.
+    dangling_acc.fill(0.0f);
+    {
+      const auto dims = device.dims_for_threads(n);
+      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+        Lanes<std::uint32_t> v{};
+        w.alu([&](int l) {
+          v[static_cast<std::size_t>(l)] =
+              static_cast<std::uint32_t>(w.thread_id(l));
+        });
+        Lanes<std::uint32_t> deg{};
+        w.load_global(outdeg_ptr, [&](int l) {
+          return v[static_cast<std::size_t>(l)];
+        }, deg);
+        Lanes<float> r{};
+        w.load_global(rank_ptr, [&](int l) {
+          return v[static_cast<std::size_t>(l)];
+        }, r);
+        Lanes<float> contrib{};
+        w.alu([&](int l) {
+          const auto i = static_cast<std::size_t>(l);
+          contrib[i] = deg[i] == 0 ? r[i] : 0.0f;
+        });
+        const float warp_sum = w.reduce_add(contrib);
+        if (warp_sum != 0.0f) {
+          const int leader = simt::first_lane(w.active());
+          w.with_mask(simt::lane_bit(leader), [&] {
+            w.atomic_add(dangling_ptr, [](int) { return 0; },
+                         [&](int) { return warp_sum; });
+          });
+        }
+      }));
+    }
+    const float dangling = dangling_acc.read(0);
+    const float dangling_share = damping * dangling / static_cast<float>(n);
+
+    // Pass 2: gather over in-edges.
+    const std::uint64_t groups_needed =
+        (static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims = device.dims_for_threads(groups_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+        Lanes<std::uint32_t> task{};
+        const LaneMask valid =
+            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
+        if (valid == 0) continue;
+
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, valid, begin, end);
+
+        Lanes<float> partial{};
+        vw::simd_strip_loop(
+            w, layout, begin, end, valid,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              Lanes<std::uint32_t> src{};
+              w.load_global(adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, src);
+              Lanes<float> src_rank{};
+              w.load_global(rank_ptr, [&](int l) {
+                return src[static_cast<std::size_t>(l)];
+              }, src_rank);
+              Lanes<std::uint32_t> src_deg{};
+              w.load_global(outdeg_ptr, [&](int l) {
+                return src[static_cast<std::size_t>(l)];
+              }, src_deg);
+              w.alu([&](int l) {
+                const auto i = static_cast<std::size_t>(l);
+                // src_deg > 0: a reverse edge implies an out-edge at src.
+                partial[i] += src_rank[i] / static_cast<float>(src_deg[i]);
+              });
+            });
+
+        const Lanes<float> group_sum =
+            vw::group_reduce_add(w, layout, partial, valid);
+        const LaneMask leaders =
+            valid & leader_lane_mask(layout.width);
+        w.with_mask(leaders, [&] {
+          w.store_global(next_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, [&](int l) {
+            return base + damping * group_sum[static_cast<std::size_t>(l)] +
+                   dangling_share;
+          });
+        });
+      }
+    }));
+
+    std::swap(rank, next);
+    rank_ptr = rank.ptr();
+    next_ptr = next.ptr();
+    ++result.stats.iterations;
+  }
+
+  result.rank = rank.download();
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+}  // namespace maxwarp::algorithms

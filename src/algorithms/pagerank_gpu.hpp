@@ -1,0 +1,35 @@
+// GPU PageRank (pull-based power iteration).
+//
+// Each vertex gathers rank/out_degree over its *in*-edges (the reverse
+// graph), so the inner loop is again a neighbor-list scan whose length is
+// the in-degree — heavy-tailed on real graphs, which is why the paper's
+// virtual-warp mapping helps here too. Dangling mass is accumulated by a
+// device-side reduction each sweep. A fixed sweep count keeps runs
+// comparable across mappings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuPageRankResult {
+  std::vector<float> rank;
+  GpuRunStats stats;
+};
+
+struct PageRankParams {
+  double damping = 0.85;
+  int iterations = 20;
+};
+
+/// `g` is the *forward* graph; the driver builds the reverse internally.
+/// Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
+GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
+                               const PageRankParams& params = {},
+                               const KernelOptions& opts = {});
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,117 @@
+#include "algorithms/spmv_gpu.hpp"
+
+#include <stdexcept>
+
+#include "gpu/buffer.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
+                       std::span<const float> x,
+                       const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "spmv_gpu: supports thread-mapped and warp-centric");
+  }
+  if (!g.weighted()) {
+    throw std::invalid_argument("spmv_gpu: graph must carry edge weights");
+  }
+  const std::uint32_t n = g.num_nodes();
+  if (x.size() != n) {
+    throw std::invalid_argument("spmv_gpu: x size mismatch");
+  }
+  GpuSpmvResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  GpuCsr gpu_graph(device, g);
+  const auto row = gpu_graph.row();
+  const auto col = gpu_graph.adj();
+  const auto val = gpu_graph.weights();
+  gpu::DeviceBuffer<float> x_dev(device, std::vector<float>(x.begin(),
+                                                            x.end()));
+  gpu::DeviceBuffer<float> y_dev(device, n);
+  y_dev.fill(0.0f);
+  const auto x_ptr = x_dev.cptr();
+  auto y_ptr = y_dev.ptr();
+
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+  const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+  const std::uint64_t warps_needed =
+      (static_cast<std::uint64_t>(n) +
+       static_cast<std::uint64_t>(layout.groups()) - 1) /
+      static_cast<std::uint64_t>(layout.groups());
+  const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
+  const std::uint64_t total_groups =
+      dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+  result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+    for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+      Lanes<std::uint32_t> task{};
+      const LaneMask valid =
+          vw::assign_static_tasks(w, layout, round, total_groups, n, task);
+      if (valid == 0) continue;
+      Lanes<std::uint32_t> begin{}, end{};
+      vw::load_task_ranges(w, row, task, valid, begin, end);
+      Lanes<float> partial{};
+      vw::simd_strip_loop(
+          w, layout, begin, end, valid,
+          [&](const Lanes<std::uint32_t>& cursor) {
+            Lanes<std::uint32_t> c{}, a{};
+            w.load_global(col, [&](int l) {
+              return cursor[static_cast<std::size_t>(l)];
+            }, c);
+            w.load_global(val, [&](int l) {
+              return cursor[static_cast<std::size_t>(l)];
+            }, a);
+            Lanes<float> xv{};
+            w.load_global(x_ptr, [&](int l) {
+              return c[static_cast<std::size_t>(l)];
+            }, xv);
+            w.alu([&](int l) {
+              const auto i = static_cast<std::size_t>(l);
+              partial[i] += static_cast<float>(a[i]) * xv[i];
+            });
+          });
+      const Lanes<float> sums =
+          vw::group_reduce_add(w, layout, partial, valid);
+      w.with_mask(valid & leader_mask, [&] {
+        w.store_global(y_ptr, [&](int l) {
+          return task[static_cast<std::size_t>(l)];
+        }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
+      });
+    }
+  }));
+
+  result.stats.iterations = 1;
+  result.y = y_dev.download();
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+std::vector<double> spmv_cpu(const graph::Csr& g, std::span<const float> x) {
+  const std::uint32_t n = g.num_nodes();
+  if (!g.weighted()) {
+    throw std::invalid_argument("spmv_cpu: graph must carry edge weights");
+  }
+  if (x.size() != n) throw std::invalid_argument("spmv_cpu: x size");
+  std::vector<double> y(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (graph::EdgeOff e = g.row[v]; e < g.row[v + 1]; ++e) {
+      y[v] += static_cast<double>(g.weights[e]) * x[g.adj[e]];
+    }
+  }
+  return y;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,35 @@
+// GPU sparse matrix-vector product over the CSR graph (y = A x).
+//
+// The graph doubles as a sparse matrix: adjacency = column indices,
+// integer edge weights = values. CSR SpMV is the canonical irregular
+// gather kernel — one variable-length dot product per row — and was an
+// early adopter of exactly the paper's row-per-virtual-warp mapping
+// (a.k.a. "CSR-vector" vs "CSR-scalar" in the SpMV literature, which maps
+// 1:1 onto warp-centric vs thread-mapped here).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuSpmvResult {
+  std::vector<float> y;
+  GpuRunStats stats;
+};
+
+/// Requires a weighted graph; x.size() must equal num_nodes(). Supports
+/// Mapping::kThreadMapped (CSR-scalar) and kWarpCentric (CSR-vector).
+GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
+                       std::span<const float> x,
+                       const KernelOptions& opts = {});
+
+/// Double-precision host reference.
+std::vector<double> spmv_cpu(const graph::Csr& g,
+                             std::span<const float> x);
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,169 @@
+#include "algorithms/sssp_gpu.hpp"
+
+#include <stdexcept>
+
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using graph::NodeId;
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+namespace {
+
+/// SIMD-phase body: relaxes the edges at `cursor`. dist_of_task carries the
+/// source distance replicated to each lane (per its group).
+struct RelaxBody {
+  simt::DevPtr<const std::uint32_t> adj;
+  simt::DevPtr<const std::uint32_t> weights;
+  simt::DevPtr<std::uint32_t> dist;
+  simt::DevPtr<std::uint32_t> active_next;
+  simt::DevPtr<std::uint32_t> changed;
+
+  void operator()(WarpCtx& w, const Lanes<std::uint32_t>& cursor,
+                  const Lanes<std::uint32_t>& dist_of_task) const {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    Lanes<std::uint32_t> weight{};
+    w.load_global(weights, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, weight);
+
+    Lanes<std::uint32_t> candidate{};
+    w.alu([&](int l) {
+      const auto i = static_cast<std::size_t>(l);
+      // Saturating add keeps kInfDist from wrapping.
+      const std::uint64_t sum =
+          static_cast<std::uint64_t>(dist_of_task[i]) + weight[i];
+      candidate[i] = sum >= kInfDist ? kInfDist : static_cast<std::uint32_t>(sum);
+    });
+
+    const Lanes<std::uint32_t> old = w.atomic_min(
+        dist, [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
+        [&](int l) { return candidate[static_cast<std::size_t>(l)]; });
+
+    const LaneMask improved = w.ballot([&](int l) {
+      const auto i = static_cast<std::size_t>(l);
+      return candidate[i] < old[i];
+    });
+    w.with_mask(improved, [&] {
+      w.store_global(active_next, [&](int l) {
+        return nbr[static_cast<std::size_t>(l)];
+      }, [](int) { return 1u; });
+      w.store_global(changed, [](int) { return 0; }, [](int) { return 1u; });
+    });
+  }
+};
+
+}  // namespace
+
+GpuSsspResult sssp_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
+                       const KernelOptions& opts) {
+  if (!g.weighted()) {
+    throw std::invalid_argument("sssp_gpu: graph must be weighted");
+  }
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "sssp_gpu: supports thread-mapped and warp-centric mappings");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuSsspResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0 || source >= n) {
+    result.dist.assign(n, kInfDist);
+    return result;
+  }
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  gpu::DeviceBuffer<std::uint32_t> dist(device, n);
+  dist.fill(kInfDist);
+  dist.write(source, 0);
+  gpu::DeviceBuffer<std::uint32_t> active_now(device, n);
+  gpu::DeviceBuffer<std::uint32_t> active_next(device, n);
+  active_now.fill(0);
+  active_now.write(source, 1);
+  active_next.fill(0);
+  gpu::DeviceBuffer<std::uint32_t> changed(device, 1);
+
+  const auto row = g.row();
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+
+  auto active_now_ptr = active_now.ptr();
+  RelaxBody body{g.adj(), g.weights(), dist.ptr(), active_next.ptr(),
+                 changed.ptr()};
+
+  // n rounds upper-bounds Bellman-Ford with non-negative weights.
+  for (std::uint32_t round = 0; round < n; ++round) {
+    changed.fill(0);
+    active_next.fill(0);
+
+    const std::uint64_t groups_needed =
+        (static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims = device.dims_for_threads(groups_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      for (std::uint64_t r = 0; r * total_groups < n; ++r) {
+        Lanes<std::uint32_t> task{};
+        const LaneMask valid =
+            vw::assign_static_tasks(w, layout, r, total_groups, n, task);
+        if (valid == 0) continue;
+
+        Lanes<std::uint32_t> is_active{};
+        w.with_mask(valid, [&] {
+          w.load_global(active_now_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, is_active);
+        });
+        const LaneMask on = valid & w.ballot([&](int l) {
+          return is_active[static_cast<std::size_t>(l)] != 0;
+        });
+        if (on == 0) continue;
+
+        Lanes<std::uint32_t> dist_of_task{};
+        w.with_mask(on, [&] {
+          w.load_global(body.dist, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, dist_of_task);
+        });
+
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, on, begin, end);
+        vw::simd_strip_loop(w, layout, begin, end, on,
+                            [&](const Lanes<std::uint32_t>& cursor) {
+                              body(w, cursor, dist_of_task);
+                            });
+      }
+    }));
+
+    ++result.stats.iterations;
+    const std::uint32_t any = changed.read(0);
+    if (any == 0) break;
+    std::swap(active_now, active_next);
+    active_now_ptr = active_now.ptr();
+    body.active_next = active_next.ptr();
+  }
+
+  result.dist = dist.download();
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,
+                       NodeId source, const KernelOptions& opts) {
+  GpuCsr gpu_graph(device, g);
+  return sssp_gpu(device, gpu_graph, source, opts);
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,33 @@
+// GPU single-source shortest paths (Bellman-Ford with active-vertex flags).
+//
+// One relaxation kernel per round; a vertex relaxes its out-edges only if
+// its distance changed in the previous round, and successful relaxations
+// (atomicMin) mark the target active for the next round. Thread-mapped and
+// virtual-warp-centric kernels share the driver — SSSP has the same
+// neighbor-expansion inner loop as BFS, so the paper's technique applies
+// unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+inline constexpr std::uint32_t kInfDist = 0xffffffffu;
+
+struct GpuSsspResult {
+  std::vector<std::uint32_t> dist;  ///< kInfDist if unreachable
+  GpuRunStats stats;
+};
+
+/// Requires a weighted graph (Csr::weighted()); weights are uint32 >= 0.
+/// Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
+GpuSsspResult sssp_gpu(gpu::Device& device, const GpuCsr& g,
+                       graph::NodeId source, const KernelOptions& opts = {});
+GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,
+                       graph::NodeId source, const KernelOptions& opts = {});
+
+}  // namespace maxwarp::algorithms

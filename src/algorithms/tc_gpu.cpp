@@ -1,0 +1,239 @@
+#include "algorithms/tc_gpu.hpp"
+
+#include <stdexcept>
+
+#include "gpu/buffer.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using graph::NodeId;
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+namespace {
+
+/// Per-lane sorted-merge intersection state. Lane l intersects
+/// adj[i..end_i) with adj[j..end_j), counting matches > u[l]. Runs as one
+/// divergent loop; every iteration issues the same predicated instruction
+/// sequence (two gathers + pointer updates), like the compiled CUDA loop.
+struct MergeState {
+  Lanes<std::uint32_t> i{}, end_i{};
+  Lanes<std::uint32_t> j{}, end_j{};
+  Lanes<std::uint32_t> u{};
+  Lanes<std::uint64_t>* count = nullptr;
+};
+
+void run_merge(WarpCtx& w, simt::DevPtr<const std::uint32_t> adj,
+               MergeState& s) {
+  w.loop_while(
+      [&](int l) {
+        const auto k = static_cast<std::size_t>(l);
+        return s.i[k] < s.end_i[k] && s.j[k] < s.end_j[k];
+      },
+      [&] {
+        Lanes<std::uint32_t> a{}, b{};
+        w.load_global(adj, [&](int l) {
+          return s.i[static_cast<std::size_t>(l)];
+        }, a);
+        w.load_global(adj, [&](int l) {
+          return s.j[static_cast<std::size_t>(l)];
+        }, b);
+        // Predicated pointer advance (one issue; lanes take their own
+        // branches via select, as the hardware would).
+        w.alu([&](int l) {
+          const auto k = static_cast<std::size_t>(l);
+          if (b[k] <= s.u[k]) {
+            ++s.j[k];
+          } else if (a[k] < b[k]) {
+            ++s.i[k];
+          } else if (b[k] < a[k]) {
+            ++s.j[k];
+          } else {
+            ++(*s.count)[k];
+            ++s.i[k];
+            ++s.j[k];
+          }
+        });
+      });
+}
+
+}  // namespace
+
+GpuTriangleResult triangle_count_gpu(gpu::Device& device,
+                                     const graph::Csr& g,
+                                     const KernelOptions& opts) {
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "triangle_count_gpu: supports thread-mapped and warp-centric");
+  }
+  const std::uint32_t n = g.num_nodes();
+  GpuTriangleResult result;
+  result.stats.kernels.launches = 0;
+  if (n == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  GpuCsr gpu_graph(device, g);
+  const auto row = gpu_graph.row();
+  const auto adj = gpu_graph.adj();
+  gpu::DeviceBuffer<std::uint64_t> counts(device, n);
+  counts.fill(0);
+  auto counts_ptr = counts.ptr();
+
+  if (opts.mapping == Mapping::kThreadMapped) {
+    const auto dims = device.dims_for_threads(n);
+    result.stats.kernels.add(device.launch(dims, [&](WarpCtx& w) {
+      Lanes<std::uint32_t> v{};
+      w.alu([&](int l) {
+        v[static_cast<std::size_t>(l)] =
+            static_cast<std::uint32_t>(w.thread_id(l));
+      });
+      Lanes<std::uint32_t> e{}, end_e{};
+      w.load_global(row, [&](int l) {
+        return v[static_cast<std::size_t>(l)];
+      }, e);
+      w.load_global(row, [&](int l) {
+        return v[static_cast<std::size_t>(l)] + 1;
+      }, end_e);
+      Lanes<std::uint64_t> tri{};
+      // Outer loop: this lane's edges.
+      w.loop_while(
+          [&](int l) {
+            const auto k = static_cast<std::size_t>(l);
+            return e[k] < end_e[k];
+          },
+          [&] {
+            Lanes<std::uint32_t> u{};
+            w.load_global(adj, [&](int l) {
+              return e[static_cast<std::size_t>(l)];
+            }, u);
+            const LaneMask forward = w.ballot([&](int l) {
+              const auto k = static_cast<std::size_t>(l);
+              return u[k] > v[k];
+            });
+            w.with_mask(forward, [&] {
+              MergeState s;
+              s.count = &tri;
+              w.load_global(row, [&](int l) {
+                return u[static_cast<std::size_t>(l)];
+              }, s.j);
+              w.load_global(row, [&](int l) {
+                return u[static_cast<std::size_t>(l)] + 1;
+              }, s.end_j);
+              w.alu([&](int l) {
+                const auto k = static_cast<std::size_t>(l);
+                s.i[k] = e[k] + 1;  // elements of N(v) greater than u
+                s.end_i[k] = end_e[k];
+                s.u[k] = u[k];
+              });
+              run_merge(w, adj, s);
+            });
+            w.alu([&](int l) { ++e[static_cast<std::size_t>(l)]; });
+          });
+      w.store_global(counts_ptr, [&](int l) {
+        return v[static_cast<std::size_t>(l)];
+      }, [&](int l) { return tri[static_cast<std::size_t>(l)]; });
+    }));
+  } else {
+    const vw::Layout layout(opts.virtual_warp_width);
+    const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+    const std::uint64_t warps_needed =
+        (static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims =
+        device.dims_for_threads(warps_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+        Lanes<std::uint32_t> task{};
+        const LaneMask valid =
+            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
+        if (valid == 0) continue;
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, valid, begin, end);
+        Lanes<std::uint64_t> tri{};
+        // SIMD phase: W lanes strip over the vertex's edge list; each
+        // active lane runs one edge's merge.
+        vw::simd_strip_loop(
+            w, layout, begin, end, valid,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              Lanes<std::uint32_t> u{};
+              w.load_global(adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, u);
+              const LaneMask forward = w.ballot([&](int l) {
+                const auto k = static_cast<std::size_t>(l);
+                return u[k] > task[k];
+              });
+              w.with_mask(forward, [&] {
+                MergeState s;
+                s.count = &tri;
+                w.load_global(row, [&](int l) {
+                  return u[static_cast<std::size_t>(l)];
+                }, s.j);
+                w.load_global(row, [&](int l) {
+                  return u[static_cast<std::size_t>(l)] + 1;
+                }, s.end_j);
+                w.alu([&](int l) {
+                  const auto k = static_cast<std::size_t>(l);
+                  s.i[k] = cursor[k] + 1;
+                  s.end_i[k] = end[k];
+                  s.u[k] = u[k];
+                });
+                run_merge(w, adj, s);
+              });
+            });
+        const Lanes<std::uint64_t> sums =
+            vw::group_reduce_add(w, layout, tri, valid);
+        w.with_mask(valid & leader_mask, [&] {
+          w.store_global(counts_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
+        });
+      }
+    }));
+  }
+
+  result.stats.iterations = 1;
+  result.per_vertex = counts.download();
+  for (std::uint64_t c : result.per_vertex) result.triangles += c;
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+std::uint64_t triangle_count_cpu(const graph::Csr& g) {
+  std::uint64_t total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nv = g.neighbors(v);
+    for (std::size_t e = 0; e < nv.size(); ++e) {
+      const NodeId u = nv[e];
+      if (u <= v) continue;
+      // Merge nv[e+1..) with N(u), counting matches > u.
+      const auto nu = g.neighbors(u);
+      std::size_t i = e + 1;
+      std::size_t j = 0;
+      while (i < nv.size() && j < nu.size()) {
+        if (nu[j] <= u) {
+          ++j;
+        } else if (nv[i] < nu[j]) {
+          ++i;
+        } else if (nu[j] < nv[i]) {
+          ++j;
+        } else {
+          ++total;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,36 @@
+// GPU triangle counting (sorted-adjacency merge intersection).
+//
+// For every edge (v, u) with u > v, count common neighbours w > u by
+// merging the two sorted adjacency lists — each triangle {v < u < w} is
+// counted exactly once. The per-edge merge length is d(v) + d(u), so the
+// work per vertex is wildly imbalanced on skewed graphs: thread-mapping
+// gives each lane a whole vertex (all its merges), warp-centric mapping
+// strips a vertex's edges across the group's W lanes, each lane running
+// one merge — the same imbalance story as BFS, one level deeper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+struct GpuTriangleResult {
+  std::uint64_t triangles = 0;
+  std::vector<std::uint64_t> per_vertex;  ///< triangles whose smallest
+                                          ///< member is v
+  GpuRunStats stats;
+};
+
+/// The graph must be undirected (symmetric) with sorted adjacency — the
+/// builder's default output. Supports kThreadMapped and kWarpCentric.
+GpuTriangleResult triangle_count_gpu(gpu::Device& device,
+                                     const graph::Csr& g,
+                                     const KernelOptions& opts = {});
+
+/// CPU reference with identical counting semantics.
+std::uint64_t triangle_count_cpu(const graph::Csr& g);
+
+}  // namespace maxwarp::algorithms

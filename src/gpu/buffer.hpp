@@ -1,0 +1,91 @@
+// Typed device-memory buffers (the cudaMalloc / cudaMemcpy analogue).
+//
+// The backing store lives on the host (the simulator executes functionally),
+// but every buffer also owns a simulated global virtual-address range so the
+// memory model can coalesce accesses, and every upload/download charges the
+// PCIe-like transfer model on the owning Device.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "simt/devptr.hpp"
+
+namespace maxwarp::gpu {
+
+template <typename T>
+class DeviceBuffer {
+ public:
+  /// Uninitialized (value-constructed) device allocation of `count` items.
+  DeviceBuffer(Device& device, std::size_t count)
+      : device_(&device),
+        storage_(count),
+        vaddr_(device.allocate_vaddr(count * sizeof(T))) {}
+
+  /// Allocates and uploads the host data (cudaMemcpy H2D included).
+  DeviceBuffer(Device& device, std::span<const T> host)
+      : DeviceBuffer(device, host.size()) {
+    upload(host);
+  }
+
+  DeviceBuffer(Device& device, const std::vector<T>& host)
+      : DeviceBuffer(device, std::span<const T>(host)) {}
+
+  DeviceBuffer(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::size_t size() const { return storage_.size(); }
+  std::uint64_t size_bytes() const { return storage_.size() * sizeof(T); }
+
+  simt::DevPtr<T> ptr() { return {storage_.data(), vaddr_}; }
+  simt::DevPtr<const T> cptr() const { return {storage_.data(), vaddr_}; }
+
+  /// Host -> device copy of the full buffer prefix.
+  void upload(std::span<const T> host) {
+    if (host.size() > storage_.size()) {
+      throw std::out_of_range("upload larger than buffer");
+    }
+    std::copy(host.begin(), host.end(), storage_.begin());
+    device_->note_copy(host.size() * sizeof(T), /*to_device=*/true);
+  }
+
+  /// Device -> host copy of the whole buffer.
+  std::vector<T> download() const {
+    device_->note_copy(size_bytes(), /*to_device=*/false);
+    return storage_;
+  }
+
+  /// Device -> host copy of a single element (tiny pinned read; still pays
+  /// a transfer call, which is why real BFS codes avoid per-level reads).
+  T read(std::size_t index) const {
+    assert(index < storage_.size());
+    device_->note_copy(sizeof(T), /*to_device=*/false);
+    return storage_[index];
+  }
+
+  /// Host -> device write of a single element.
+  void write(std::size_t index, const T& value) {
+    assert(index < storage_.size());
+    storage_[index] = value;
+    device_->note_copy(sizeof(T), /*to_device=*/true);
+  }
+
+  /// Device-side fill (cudaMemset analogue): charged as one kernel-free
+  /// bandwidth operation, not as a PCIe transfer.
+  void fill(const T& value) {
+    std::fill(storage_.begin(), storage_.end(), value);
+  }
+
+ private:
+  Device* device_;
+  std::vector<T> storage_;
+  std::uint64_t vaddr_;
+};
+
+}  // namespace maxwarp::gpu

@@ -1,0 +1,46 @@
+#include "gpu/device.hpp"
+
+namespace maxwarp::gpu {
+
+Device::Device(simt::SimConfig cfg) : sim_(cfg) {
+  kernel_totals_.launches = 0;
+}
+
+simt::KernelStats Device::launch(const simt::LaunchDims& dims,
+                                 const simt::WarpFn& kernel) {
+  const simt::KernelStats stats = sim_.launch(dims, kernel);
+  kernel_totals_.add(stats);
+  return stats;
+}
+
+void Device::reset_totals() {
+  kernel_totals_ = simt::KernelStats{};
+  kernel_totals_.launches = 0;
+  transfer_totals_ = TransferStats{};
+}
+
+double Device::total_modeled_ms() const {
+  return kernel_totals_.elapsed_ms(config()) + transfer_totals_.modeled_ms;
+}
+
+std::uint64_t Device::allocate_vaddr(std::uint64_t bytes) {
+  const std::uint64_t base = next_vaddr_;
+  const std::uint64_t aligned = (bytes + 255) / 256 * 256;
+  next_vaddr_ += aligned == 0 ? 256 : aligned;
+  return base;
+}
+
+void Device::note_copy(std::uint64_t bytes, bool to_device) {
+  const auto& cfg = config();
+  if (to_device) {
+    transfer_totals_.bytes_to_device += bytes;
+  } else {
+    transfer_totals_.bytes_to_host += bytes;
+  }
+  ++transfer_totals_.calls;
+  transfer_totals_.modeled_ms +=
+      cfg.copy_latency_us / 1e3 +
+      static_cast<double>(bytes) / (cfg.copy_gbytes_per_sec * 1e9) * 1e3;
+}
+
+}  // namespace maxwarp::gpu

@@ -1,0 +1,66 @@
+// Host-side runtime, shaped like CUDA host code.
+//
+// gpu::Device owns the simulated device (simt::DeviceSim), a virtual-address
+// allocator for global memory, and accumulated host<->device transfer
+// accounting. gpu::DeviceBuffer<T> (buffer.hpp) is the cudaMalloc/cudaMemcpy
+// analogue. Kernel launches go through Device::launch, which forwards to the
+// simulator and tallies per-device totals, so an application can report
+// "kernel time" and "transfer time" separately — as GPU papers do.
+#pragma once
+
+#include <cstdint>
+
+#include "simt/device_sim.hpp"
+
+namespace maxwarp::gpu {
+
+/// Accumulated host<->device copy accounting (PCIe model).
+struct TransferStats {
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_to_host = 0;
+  std::uint64_t calls = 0;
+  double modeled_ms = 0.0;
+};
+
+class Device {
+ public:
+  explicit Device(simt::SimConfig cfg = {});
+
+  const simt::SimConfig& config() const { return sim_.config(); }
+  simt::DeviceSim& sim() { return sim_; }
+
+  /// Launches a kernel and adds its stats to the device totals.
+  simt::KernelStats launch(const simt::LaunchDims& dims,
+                           const simt::WarpFn& kernel);
+
+  simt::LaunchDims dims_for_threads(std::uint64_t n) const {
+    return sim_.dims_for_threads(n);
+  }
+  simt::LaunchDims dims_for_warps(std::uint64_t n) const {
+    return sim_.dims_for_warps(n);
+  }
+
+  /// Running totals since construction or the last reset_totals().
+  const simt::KernelStats& kernel_totals() const { return kernel_totals_; }
+  const TransferStats& transfer_totals() const { return transfer_totals_; }
+  void reset_totals();
+
+  /// Total modeled time (kernels + transfers) in milliseconds.
+  double total_modeled_ms() const;
+
+  // -- internal hooks used by DeviceBuffer ---------------------------------
+
+  /// Reserves a 256-byte-aligned simulated global address range.
+  std::uint64_t allocate_vaddr(std::uint64_t bytes);
+
+  /// Charges a host<->device copy of the given size.
+  void note_copy(std::uint64_t bytes, bool to_device);
+
+ private:
+  simt::DeviceSim sim_;
+  std::uint64_t next_vaddr_ = 256;  // keep 0 an invalid address
+  simt::KernelStats kernel_totals_;
+  TransferStats transfer_totals_;
+};
+
+}  // namespace maxwarp::gpu

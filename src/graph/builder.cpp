@@ -1,0 +1,233 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace maxwarp::graph {
+
+Csr build_csr(std::uint32_t num_nodes, EdgeList edges,
+              const BuildOptions& opts) {
+  for (const Edge& e : edges) {
+    if (e.src >= num_nodes || e.dst >= num_nodes) {
+      throw std::out_of_range("build_csr: edge endpoint out of range");
+    }
+  }
+
+  if (opts.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+  if (opts.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+
+  std::sort(edges.begin(), edges.end());
+  if (opts.remove_duplicates) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+  if (edges.size() > 0xffffffffULL) {
+    throw std::length_error("build_csr: more than 2^32-1 edges");
+  }
+
+  Csr g;
+  g.row.assign(num_nodes + 1, 0);
+  g.adj.resize(edges.size());
+  for (const Edge& e : edges) ++g.row[e.src + 1];
+  std::partial_sum(g.row.begin(), g.row.end(), g.row.begin());
+  // Edges are sorted by (src, dst), so a single pass fills adjacency in
+  // sorted order already; sort_neighbors is then a no-op but kept for
+  // callers that disable dedup.
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    g.adj[i] = edges[i].dst;
+  }
+  if (opts.sort_neighbors) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      std::sort(g.adj.begin() + g.row[v], g.adj.begin() + g.row[v + 1]);
+    }
+  }
+  return g;
+}
+
+namespace {
+std::uint32_t hash_edge(NodeId u, NodeId v) {
+  std::uint64_t x = (static_cast<std::uint64_t>(u) << 32) | v;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint32_t>(x ^ (x >> 31));
+}
+}  // namespace
+
+void assign_hash_weights(Csr& graph, std::uint32_t max_weight) {
+  if (max_weight == 0) {
+    throw std::invalid_argument("assign_hash_weights: max_weight must be >0");
+  }
+  graph.weights.resize(graph.adj.size());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (EdgeOff e = graph.row[v]; e < graph.row[v + 1]; ++e) {
+      // Symmetric hash so undirected graphs get matching weights both ways.
+      const NodeId a = std::min(v, graph.adj[e]);
+      const NodeId b = std::max(v, graph.adj[e]);
+      graph.weights[e] = 1 + hash_edge(a, b) % max_weight;
+    }
+  }
+}
+
+Csr reverse(const Csr& graph) {
+  const std::uint32_t n = graph.num_nodes();
+  Csr out;
+  out.row.assign(n + 1, 0);
+  out.adj.resize(graph.num_edges());
+  if (graph.weighted()) out.weights.resize(graph.num_edges());
+
+  for (NodeId target : graph.adj) ++out.row[target + 1];
+  std::partial_sum(out.row.begin(), out.row.end(), out.row.begin());
+
+  std::vector<EdgeOff> cursor(out.row.begin(), out.row.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (EdgeOff e = graph.row[v]; e < graph.row[v + 1]; ++e) {
+      const NodeId u = graph.adj[e];
+      const EdgeOff slot = cursor[u]++;
+      out.adj[slot] = v;
+      if (graph.weighted()) out.weights[slot] = graph.weights[e];
+    }
+  }
+  return out;
+}
+
+Csr permute(const Csr& graph, const std::vector<NodeId>& perm) {
+  const std::uint32_t n = graph.num_nodes();
+  if (perm.size() != n) {
+    throw std::invalid_argument("permute: perm size mismatch");
+  }
+  std::vector<NodeId> inverse(n, kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (perm[v] >= n || inverse[perm[v]] != kInvalidNode) {
+      throw std::invalid_argument("permute: not a permutation");
+    }
+    inverse[perm[v]] = v;
+  }
+
+  Csr out;
+  out.row.assign(n + 1, 0);
+  out.adj.resize(graph.num_edges());
+  if (graph.weighted()) out.weights.resize(graph.num_edges());
+
+  for (NodeId new_v = 0; new_v < n; ++new_v) {
+    out.row[new_v + 1] = out.row[new_v] + graph.degree(inverse[new_v]);
+  }
+  std::vector<std::pair<NodeId, std::uint32_t>> scratch;
+  for (NodeId new_v = 0; new_v < n; ++new_v) {
+    const NodeId old_v = inverse[new_v];
+    scratch.clear();
+    for (EdgeOff e = graph.row[old_v]; e < graph.row[old_v + 1]; ++e) {
+      scratch.emplace_back(perm[graph.adj[e]],
+                           graph.weighted() ? graph.weights[e] : 0u);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    EdgeOff slot = out.row[new_v];
+    for (const auto& [target, weight] : scratch) {
+      out.adj[slot] = target;
+      if (graph.weighted()) out.weights[slot] = weight;
+      ++slot;
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> degree_descending_order(const Csr& graph) {
+  const std::uint32_t n = graph.num_nodes();
+  std::vector<NodeId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0u);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](NodeId a, NodeId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  // by_degree[rank] = old node; we need perm[old] = new label = rank.
+  std::vector<NodeId> perm(n);
+  for (NodeId rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+Csr induced_subgraph(const Csr& graph, const std::vector<NodeId>& nodes) {
+  const std::uint32_t n = graph.num_nodes();
+  std::vector<NodeId> new_id(n, kInvalidNode);
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    if (nodes[k] >= n) {
+      throw std::out_of_range("induced_subgraph: node id out of range");
+    }
+    if (new_id[nodes[k]] != kInvalidNode) {
+      throw std::invalid_argument("induced_subgraph: duplicate node id");
+    }
+    new_id[nodes[k]] = static_cast<NodeId>(k);
+  }
+
+  Csr out;
+  out.row.assign(nodes.size() + 1, 0);
+  const bool weighted = graph.weighted();
+  for (std::size_t k = 0; k < nodes.size(); ++k) {
+    const NodeId old_v = nodes[k];
+    for (EdgeOff e = graph.row[old_v]; e < graph.row[old_v + 1]; ++e) {
+      if (new_id[graph.adj[e]] != kInvalidNode) {
+        out.adj.push_back(new_id[graph.adj[e]]);
+        if (weighted) out.weights.push_back(graph.weights[e]);
+      }
+    }
+    out.row[k + 1] = static_cast<EdgeOff>(out.adj.size());
+  }
+  return out;
+}
+
+Csr largest_component(const Csr& graph, std::vector<NodeId>* old_ids) {
+  const std::uint32_t n = graph.num_nodes();
+  if (n == 0) {
+    if (old_ids) old_ids->clear();
+    return Csr{};
+  }
+  // Union-find over the undirected closure (same as metrics'
+  // weak_components, inlined to avoid a circular library dependency).
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : graph.neighbors(v)) {
+      const std::uint32_t a = find(v);
+      const std::uint32_t b = find(u);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  std::vector<std::uint32_t> size(n, 0);
+  for (NodeId v = 0; v < n; ++v) ++size[find(v)];
+  std::uint32_t best_root = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    if (size[r] > size[best_root]) best_root = r;
+  }
+  std::vector<NodeId> members;
+  members.reserve(size[best_root]);
+  for (NodeId v = 0; v < n; ++v) {
+    if (find(v) == best_root) members.push_back(v);
+  }
+  Csr out = induced_subgraph(graph, members);
+  if (old_ids) *old_ids = std::move(members);
+  return out;
+}
+
+EdgeList to_edge_list(const Csr& graph) {
+  EdgeList edges;
+  edges.reserve(graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId u : graph.neighbors(v)) edges.push_back({v, u});
+  }
+  return edges;
+}
+
+}  // namespace maxwarp::graph

@@ -1,0 +1,65 @@
+// Edge-list to CSR construction and structural transforms.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace maxwarp::graph {
+
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+struct BuildOptions {
+  bool remove_self_loops = true;
+  bool remove_duplicates = true;
+  /// Adds the reverse of every edge before dedup (undirected graphs).
+  bool symmetrize = false;
+  /// Sorts each adjacency list ascending (required by is_symmetric and by
+  /// the warp-centric kernels' coalescing-friendly layout).
+  bool sort_neighbors = true;
+};
+
+/// Builds a CSR over nodes [0, num_nodes) from an edge list.
+/// Throws if an endpoint is out of range.
+Csr build_csr(std::uint32_t num_nodes, EdgeList edges,
+              const BuildOptions& opts = {});
+
+/// Assigns each edge a weight in [1, max_weight] from a deterministic hash
+/// of its endpoints (so the same edge always gets the same weight, no
+/// matter how the graph was built).
+void assign_hash_weights(Csr& graph, std::uint32_t max_weight);
+
+/// Transpose (reverse every edge); weights follow their edges.
+Csr reverse(const Csr& graph);
+
+/// Relabels node v as perm[v]; perm must be a permutation of [0, n).
+Csr permute(const Csr& graph, const std::vector<NodeId>& perm);
+
+/// Permutation that sorts nodes by descending degree — the layout the paper
+/// notes improves inter-warp balance for static scheduling.
+std::vector<NodeId> degree_descending_order(const Csr& graph);
+
+/// Recovers the edge list (in row order) from a CSR.
+EdgeList to_edge_list(const Csr& graph);
+
+/// Induced subgraph on `nodes` (each listed at most once); node k of the
+/// result is nodes[k]. Edges whose endpoints are both selected survive,
+/// weights follow. Throws on out-of-range or duplicate ids.
+Csr induced_subgraph(const Csr& graph, const std::vector<NodeId>& nodes);
+
+/// Extracts the largest weakly connected component (ties broken by the
+/// smallest member id). If `old_ids` is non-null it receives, for each new
+/// node, its id in the original graph.
+Csr largest_component(const Csr& graph,
+                      std::vector<NodeId>* old_ids = nullptr);
+
+}  // namespace maxwarp::graph

@@ -1,0 +1,59 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace maxwarp::graph {
+
+std::uint32_t Csr::max_degree() const {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+void Csr::validate() const {
+  if (row.empty()) throw std::runtime_error("csr: empty row array");
+  if (row.front() != 0) throw std::runtime_error("csr: row[0] != 0");
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i] < row[i - 1]) {
+      throw std::runtime_error("csr: row offsets not monotone at " +
+                               std::to_string(i));
+    }
+  }
+  if (row.back() != adj.size()) {
+    throw std::runtime_error("csr: row[n] != m");
+  }
+  const std::uint32_t n = num_nodes();
+  for (std::size_t e = 0; e < adj.size(); ++e) {
+    if (adj[e] >= n) {
+      throw std::runtime_error("csr: edge target out of range at " +
+                               std::to_string(e));
+    }
+  }
+  if (!weights.empty() && weights.size() != adj.size()) {
+    throw std::runtime_error("csr: weight array size mismatch");
+  }
+}
+
+bool Csr::is_symmetric() const {
+  // For each edge (u,v) binary-search v's list for u; requires sorted
+  // adjacency (builder output is sorted).
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      const auto nb = neighbors(v);
+      if (!std::binary_search(nb.begin(), nb.end(), u)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Csr::describe() const {
+  std::ostringstream out;
+  out << "n=" << num_nodes() << ", m=" << num_edges()
+      << ", avg_deg=" << average_degree() << ", max_deg=" << max_degree()
+      << (weighted() ? ", weighted" : "");
+  return out.str();
+}
+
+}  // namespace maxwarp::graph

@@ -1,0 +1,63 @@
+// Compressed Sparse Row graph representation.
+//
+// This is the layout every GPU kernel in the library consumes: a row-offset
+// array of n+1 entries and a flat adjacency array. Node ids and edge
+// offsets are 32-bit, matching what the paper's CUDA kernels used (and what
+// the coalescing model sees as 4-byte elements). An optional parallel
+// weight array makes the same structure serve weighted algorithms (SSSP).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace maxwarp::graph {
+
+using NodeId = std::uint32_t;
+using EdgeOff = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+struct Csr {
+  std::vector<EdgeOff> row;   ///< size n+1; row[v]..row[v+1] index adj
+  std::vector<NodeId> adj;    ///< size m
+  std::vector<std::uint32_t> weights;  ///< size m if weighted, else empty
+
+  Csr() : row(1, 0) {}
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(row.size() - 1);
+  }
+  std::uint64_t num_edges() const { return adj.size(); }
+  bool weighted() const { return !weights.empty(); }
+
+  std::uint32_t degree(NodeId v) const { return row[v + 1] - row[v]; }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    return {adj.data() + row[v], adj.data() + row[v + 1]};
+  }
+  std::span<const std::uint32_t> edge_weights(NodeId v) const {
+    return {weights.data() + row[v], weights.data() + row[v + 1]};
+  }
+
+  double average_degree() const {
+    const std::uint32_t n = num_nodes();
+    return n == 0 ? 0.0
+                  : static_cast<double>(num_edges()) / static_cast<double>(n);
+  }
+
+  std::uint32_t max_degree() const;
+
+  /// Structural invariants: monotone rows, targets in range, weight array
+  /// size. Throws std::runtime_error naming the first violation.
+  void validate() const;
+
+  /// True if every edge (u,v) has a matching (v,u).
+  bool is_symmetric() const;
+
+  /// "n=..., m=..., avg_deg=..." one-liner for logs.
+  std::string describe() const;
+};
+
+}  // namespace maxwarp::graph

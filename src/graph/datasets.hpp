@@ -1,0 +1,43 @@
+// The benchmark dataset registry: one entry per graph instance of the
+// paper's evaluation (its Table 1), plus synthetic sweep families.
+//
+// Real SNAP datasets are not downloadable in this environment, so each
+// real-graph row is a *calibrated stand-in*: an RMAT instance whose average
+// degree and degree skew match the published numbers, scaled down by the
+// `scale` factor (scale = 1 is the default benchmark size; larger scales
+// approach paper sizes at proportionally larger simulation cost). The
+// substitution preserves the property the paper's results hinge on — the
+// shape of the degree distribution — which is what drives intra-warp
+// imbalance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace maxwarp::graph {
+
+struct DatasetSpec {
+  std::string name;         ///< e.g. "LiveJournal*" (the * marks stand-ins)
+  std::string provenance;   ///< what the paper used / how ours is generated
+  std::uint64_t paper_nodes = 0;  ///< size reported in the paper (0: synthetic)
+  std::uint64_t paper_edges = 0;
+  bool skewed = false;  ///< heavy-tailed degree distribution expected
+  /// Builds the instance; scale 1.0 = default bench size.
+  std::function<Csr(double scale, std::uint64_t seed)> make;
+};
+
+/// All datasets of the reproduction's Table 1, in display order.
+const std::vector<DatasetSpec>& paper_datasets();
+
+/// Looks a dataset up by name (throws std::out_of_range if unknown).
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// Convenience: build by name at the given scale/seed.
+Csr make_dataset(const std::string& name, double scale = 1.0,
+                 std::uint64_t seed = 42);
+
+}  // namespace maxwarp::graph

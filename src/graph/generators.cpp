@@ -1,0 +1,232 @@
+#include "graph/generators.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace maxwarp::graph {
+
+using util::Rng;
+
+namespace {
+BuildOptions gen_build_options(const GenOptions& opts) {
+  BuildOptions b;
+  b.symmetrize = opts.undirected;
+  return b;
+}
+}  // namespace
+
+Csr erdos_renyi(std::uint32_t n, std::uint64_t m, const GenOptions& opts) {
+  if (n == 0) return empty_graph(0);
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    edges.push_back({u, v});
+  }
+  return build_csr(n, std::move(edges), gen_build_options(opts));
+}
+
+Csr rmat(std::uint32_t n, std::uint64_t m, const RmatParams& p,
+         const GenOptions& opts) {
+  if (n == 0) return empty_graph(0);
+  const double sum = p.a + p.b + p.c + p.d;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    throw std::invalid_argument("rmat: a+b+c+d must sum to 1");
+  }
+  const std::uint32_t size = std::bit_ceil(n);
+  const int levels = std::countr_zero(size);
+
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint32_t u = 0, v = 0;
+    for (int level = 0; level < levels; ++level) {
+      // Standard noise: jitter quadrant probabilities +-10% per level so the
+      // generated graph is not exactly self-similar.
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      double a = p.a * noise;
+      const double norm = a + p.b + p.c + p.d;
+      a /= norm;
+      const double b = p.b / norm;
+      const double c = p.c / norm;
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u < n && v < n) edges.push_back({u, v});
+  }
+  return build_csr(n, std::move(edges), gen_build_options(opts));
+}
+
+Csr uniform_degree(std::uint32_t n, std::uint32_t degree,
+                   const GenOptions& opts) {
+  if (n == 0) return empty_graph(0);
+  if (degree >= n) {
+    throw std::invalid_argument("uniform_degree: degree must be < n");
+  }
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * degree);
+  std::unordered_set<NodeId> picked;
+  for (NodeId v = 0; v < n; ++v) {
+    picked.clear();
+    while (picked.size() < degree) {
+      const auto u = static_cast<NodeId>(rng.next_below(n));
+      if (u == v) continue;
+      if (picked.insert(u).second) edges.push_back({v, u});
+    }
+  }
+  // Self loops/duplicates are already excluded, but undirected symmetrize
+  // may still merge mirrored pairs; that only perturbs degrees by O(d/n).
+  return build_csr(n, std::move(edges), gen_build_options(opts));
+}
+
+Csr barabasi_albert(std::uint32_t n, std::uint32_t m_per_node,
+                    const GenOptions& opts) {
+  if (n == 0) return empty_graph(0);
+  if (m_per_node == 0 || m_per_node >= n) {
+    throw std::invalid_argument(
+        "barabasi_albert: need 0 < m_per_node < n");
+  }
+  Rng rng(opts.seed);
+  EdgeList edges;
+  // Seed clique over the first m_per_node + 1 nodes.
+  const NodeId seed_nodes = m_per_node + 1;
+  // Every edge endpoint appears in this list, so a uniform draw from it
+  // is a degree-proportional draw over nodes.
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u < seed_nodes; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < seed_nodes; ++v) {
+      edges.push_back({u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (NodeId v = seed_nodes; v < n; ++v) {
+    // Draw m distinct degree-proportional targets.
+    std::vector<NodeId> targets;
+    while (targets.size() < m_per_node) {
+      const NodeId candidate =
+          endpoints[rng.next_below(endpoints.size())];
+      bool duplicate = false;
+      for (const NodeId t : targets) duplicate |= (t == candidate);
+      if (!duplicate) targets.push_back(candidate);
+    }
+    for (const NodeId t : targets) {
+      edges.push_back({v, t});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  GenOptions undirected = opts;
+  undirected.undirected = true;
+  return build_csr(n, std::move(edges), gen_build_options(undirected));
+}
+
+Csr watts_strogatz(std::uint32_t n, std::uint32_t k, double beta,
+                   const GenOptions& opts) {
+  if (n == 0) return empty_graph(0);
+  if (k % 2 != 0 || k >= n) {
+    throw std::invalid_argument("watts_strogatz: k must be even and < n");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta in [0,1]");
+  }
+  Rng rng(opts.seed);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * k / 2);
+  for (NodeId v = 0; v < n; ++v) {
+    for (std::uint32_t j = 1; j <= k / 2; ++j) {
+      NodeId target = static_cast<NodeId>((v + j) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire to a uniform non-self target.
+        do {
+          target = static_cast<NodeId>(rng.next_below(n));
+        } while (target == v);
+      }
+      edges.push_back({v, target});
+    }
+  }
+  GenOptions undirected = opts;
+  undirected.undirected = true;
+  return build_csr(n, std::move(edges), gen_build_options(undirected));
+}
+
+Csr grid2d(std::uint32_t rows, std::uint32_t cols) {
+  const std::uint64_t n64 = static_cast<std::uint64_t>(rows) * cols;
+  if (n64 > 0xffffffffULL) throw std::length_error("grid2d: too many nodes");
+  const auto n = static_cast<std::uint32_t>(n64);
+  EdgeList edges;
+  edges.reserve(static_cast<std::size_t>(n) * 2);
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  BuildOptions b;
+  b.symmetrize = true;
+  return build_csr(n, std::move(edges), b);
+}
+
+Csr chain(std::uint32_t n) {
+  EdgeList edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  BuildOptions b;
+  b.symmetrize = true;
+  return build_csr(n, std::move(edges), b);
+}
+
+Csr star(std::uint32_t n) {
+  EdgeList edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v});
+  BuildOptions b;
+  b.symmetrize = true;
+  return build_csr(n, std::move(edges), b);
+}
+
+Csr complete(std::uint32_t n) {
+  EdgeList edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  return build_csr(n, std::move(edges));
+}
+
+Csr complete_binary_tree(std::uint32_t n) {
+  EdgeList edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({(v - 1) / 2, v});
+  BuildOptions b;
+  b.symmetrize = true;
+  return build_csr(n, std::move(edges), b);
+}
+
+Csr empty_graph(std::uint32_t n) {
+  Csr g;
+  g.row.assign(static_cast<std::size_t>(n) + 1, 0);
+  return g;
+}
+
+}  // namespace maxwarp::graph

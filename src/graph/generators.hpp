@@ -1,0 +1,64 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on (a) real scale-free graphs, (b) RMAT graphs,
+// (c) uniformly random graphs, and (d) regular graphs. With no dataset
+// downloads available here, RMAT with calibrated parameters stands in for
+// the real graphs (see datasets.hpp); the others are generated exactly as
+// in the paper. All generators are deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::graph {
+
+struct GenOptions {
+  std::uint64_t seed = 1;
+  /// Make the graph undirected (symmetrize before building).
+  bool undirected = false;
+};
+
+/// G(n, m): m distinct uniform random edges.
+Csr erdos_renyi(std::uint32_t n, std::uint64_t m, const GenOptions& opts = {});
+
+/// Recursive-matrix (Chakrabarti et al.) scale-free generator. n is rounded
+/// up to a power of two. a+b+c+d must sum to 1; a > d yields the heavy-tail
+/// degree skew that breaks thread-mapped GPU kernels.
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+};
+Csr rmat(std::uint32_t n, std::uint64_t m, const RmatParams& params = {},
+         const GenOptions& opts = {});
+
+/// Every node gets exactly `degree` out-edges to distinct uniform targets.
+/// The paper's "uniform" workload: zero intra-warp imbalance by design.
+Csr uniform_degree(std::uint32_t n, std::uint32_t degree,
+                   const GenOptions& opts = {});
+
+/// Barabási–Albert preferential attachment: starts from a small clique,
+/// then every new node attaches `m_per_node` edges to existing nodes with
+/// probability proportional to their degree (sampled via the
+/// endpoint-list trick). Produces the power-law tail organically, unlike
+/// RMAT's recursive construction. Always undirected.
+Csr barabasi_albert(std::uint32_t n, std::uint32_t m_per_node,
+                    const GenOptions& opts = {});
+
+/// Watts–Strogatz small world: ring of degree k, each edge rewired with
+/// probability beta. Always undirected.
+Csr watts_strogatz(std::uint32_t n, std::uint32_t k, double beta,
+                   const GenOptions& opts = {});
+
+/// rows x cols 4-neighbour grid (road-network stand-in: bounded degree,
+/// large diameter). Undirected.
+Csr grid2d(std::uint32_t rows, std::uint32_t cols);
+
+/// Corner-case shapes for tests.
+Csr chain(std::uint32_t n);                 ///< 0-1-2-...-(n-1), undirected
+Csr star(std::uint32_t n);                  ///< node 0 connected to all, undirected
+Csr complete(std::uint32_t n);              ///< K_n, undirected
+Csr complete_binary_tree(std::uint32_t n);  ///< heap-indexed, undirected
+Csr empty_graph(std::uint32_t n);           ///< n isolated nodes
+
+}  // namespace maxwarp::graph

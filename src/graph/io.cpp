@@ -1,0 +1,177 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace maxwarp::graph {
+
+void write_edge_list(std::ostream& out, const Csr& graph) {
+  out << "# Nodes: " << graph.num_nodes() << " Edges: " << graph.num_edges()
+      << '\n';
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId u : graph.neighbors(v)) {
+      out << v << ' ' << u << '\n';
+    }
+  }
+}
+
+void write_edge_list_file(const std::string& path, const Csr& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_edge_list(out, graph);
+}
+
+Csr read_edge_list(std::istream& in, const BuildOptions& opts) {
+  EdgeList edges;
+  std::uint32_t declared_nodes = 0;
+  NodeId max_id = 0;
+  bool any = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const auto pos = line.find("Nodes:");
+      if (pos != std::string::npos) {
+        declared_nodes = static_cast<std::uint32_t>(
+            std::strtoul(line.c_str() + pos + 6, nullptr, 10));
+      }
+      continue;
+    }
+    std::istringstream row(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(row >> u >> v)) {
+      throw std::runtime_error("edge list: malformed line: " + line);
+    }
+    if (u > 0xfffffffeULL || v > 0xfffffffeULL) {
+      throw std::runtime_error("edge list: node id too large");
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    max_id = std::max({max_id, static_cast<NodeId>(u),
+                       static_cast<NodeId>(v)});
+    any = true;
+  }
+  const std::uint32_t n =
+      std::max(declared_nodes, any ? max_id + 1 : declared_nodes);
+  return build_csr(n, std::move(edges), opts);
+}
+
+Csr read_edge_list_file(const std::string& path, const BuildOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return read_edge_list(in, opts);
+}
+
+void write_dimacs(std::ostream& out, const Csr& graph) {
+  if (!graph.weighted()) {
+    throw std::invalid_argument("write_dimacs: graph must be weighted");
+  }
+  out << "p sp " << graph.num_nodes() << ' ' << graph.num_edges() << '\n';
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (EdgeOff e = graph.row[v]; e < graph.row[v + 1]; ++e) {
+      out << "a " << v + 1 << ' ' << graph.adj[e] + 1 << ' '
+          << graph.weights[e] << '\n';
+    }
+  }
+}
+
+Csr read_dimacs(std::istream& in) {
+  std::uint32_t n = 0;
+  struct WEdge {
+    NodeId src, dst;
+    std::uint32_t w;
+  };
+  std::vector<WEdge> wedges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream row(line);
+    char kind = 0;
+    row >> kind;
+    if (kind == 'p') {
+      std::string sp;
+      std::uint64_t m = 0;
+      row >> sp >> n >> m;
+      wedges.reserve(m);
+    } else if (kind == 'a') {
+      std::uint64_t u = 0, v = 0, w = 0;
+      if (!(row >> u >> v >> w) || u == 0 || v == 0) {
+        throw std::runtime_error("dimacs: malformed arc line: " + line);
+      }
+      wedges.push_back({static_cast<NodeId>(u - 1),
+                        static_cast<NodeId>(v - 1),
+                        static_cast<std::uint32_t>(w)});
+    }
+  }
+  // Sort by (src, dst) and build directly so weights stay attached.
+  std::sort(wedges.begin(), wedges.end(), [](const WEdge& a, const WEdge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  Csr g;
+  g.row.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.adj.reserve(wedges.size());
+  g.weights.reserve(wedges.size());
+  for (const WEdge& e : wedges) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::runtime_error("dimacs: endpoint exceeds declared n");
+    }
+    ++g.row[e.src + 1];
+    g.adj.push_back(e.dst);
+    g.weights.push_back(e.w);
+  }
+  for (std::size_t i = 1; i < g.row.size(); ++i) g.row[i] += g.row[i - 1];
+  return g;
+}
+
+namespace {
+constexpr std::uint64_t kBinaryMagic = 0x4d41585743535231ULL;  // "MAXWCSR1"
+
+template <typename T>
+void write_vec(std::ofstream& out, const std::vector<T>& v) {
+  const std::uint64_t count = v.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::ifstream& in) {
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  std::vector<T> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("binary csr: truncated file");
+  return v;
+}
+}  // namespace
+
+void write_binary_csr(const std::string& path, const Csr& graph) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(&kBinaryMagic),
+            sizeof(kBinaryMagic));
+  write_vec(out, graph.row);
+  write_vec(out, graph.adj);
+  write_vec(out, graph.weights);
+}
+
+Csr read_binary_csr(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kBinaryMagic) {
+    throw std::runtime_error("binary csr: bad magic in " + path);
+  }
+  Csr g;
+  g.row = read_vec<EdgeOff>(in);
+  g.adj = read_vec<NodeId>(in);
+  g.weights = read_vec<std::uint32_t>(in);
+  g.validate();
+  return g;
+}
+
+}  // namespace maxwarp::graph

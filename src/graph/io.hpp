@@ -1,0 +1,32 @@
+// Graph serialization: whitespace edge lists (SNAP style), DIMACS .gr
+// shortest-path format, and a fast binary CSR container.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::graph {
+
+/// Writes "src dst" per line, '#' comment header.
+void write_edge_list(std::ostream& out, const Csr& graph);
+void write_edge_list_file(const std::string& path, const Csr& graph);
+
+/// Reads a SNAP-style edge list ('#' comments, whitespace-separated pairs);
+/// num_nodes is max id + 1 unless a "# Nodes: N" header says otherwise.
+Csr read_edge_list(std::istream& in, const BuildOptions& opts = {});
+Csr read_edge_list_file(const std::string& path,
+                        const BuildOptions& opts = {});
+
+/// DIMACS 9th-challenge format: "p sp n m", "a u v w" (1-based). Reading
+/// produces a weighted graph; writing requires one.
+void write_dimacs(std::ostream& out, const Csr& graph);
+Csr read_dimacs(std::istream& in);
+
+/// Binary container: magic, counts, then the raw row/adj/weight arrays.
+void write_binary_csr(const std::string& path, const Csr& graph);
+Csr read_binary_csr(const std::string& path);
+
+}  // namespace maxwarp::graph

@@ -1,0 +1,117 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace maxwarp::graph {
+
+DegreeStats degree_stats(const Csr& graph) {
+  DegreeStats stats;
+  const std::uint32_t n = graph.num_nodes();
+  if (n == 0) return stats;
+
+  util::RunningStats running;
+  std::vector<double> degrees(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t d = graph.degree(v);
+    degrees[v] = d;
+    running.add(d);
+    stats.histogram.add(d);
+  }
+  stats.min = static_cast<std::uint32_t>(running.min());
+  stats.max = static_cast<std::uint32_t>(running.max());
+  stats.mean = running.mean();
+  stats.stddev = running.stddev();
+  stats.gini = util::gini_coefficient(degrees);
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, n / 100);
+  const double top_edges =
+      std::accumulate(degrees.begin(),
+                      degrees.begin() + static_cast<std::ptrdiff_t>(top),
+                      0.0);
+  const auto m = static_cast<double>(graph.num_edges());
+  stats.top1pct_edge_share = m > 0 ? top_edges / m : 0.0;
+  return stats;
+}
+
+std::uint32_t reachable_count(const Csr& graph, NodeId source) {
+  const std::uint32_t n = graph.num_nodes();
+  if (source >= n) return 0;
+  std::vector<bool> seen(n, false);
+  std::queue<NodeId> queue;
+  seen[source] = true;
+  queue.push(source);
+  std::uint32_t count = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    ++count;
+    for (NodeId u : graph.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push(u);
+      }
+    }
+  }
+  return count;
+}
+
+std::uint32_t weak_components(const Csr& graph,
+                              std::vector<std::uint32_t>& component_out) {
+  const std::uint32_t n = graph.num_nodes();
+  component_out.assign(n, 0xffffffffu);
+  if (n == 0) return 0;
+
+  // Union-find over undirected connectivity (edges in either direction).
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId u : graph.neighbors(v)) {
+      const std::uint32_t a = find(v);
+      const std::uint32_t b = find(u);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  // Densify component ids as 0..k-1 in root order.
+  std::uint32_t next_id = 0;
+  std::vector<std::uint32_t> root_id(n, 0xffffffffu);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t root = find(v);
+    if (root_id[root] == 0xffffffffu) root_id[root] = next_id++;
+    component_out[v] = root_id[root];
+  }
+  return next_id;
+}
+
+std::uint32_t bfs_eccentricity(const Csr& graph, NodeId source) {
+  const std::uint32_t n = graph.num_nodes();
+  if (source >= n) return 0;
+  std::vector<std::uint32_t> level(n, 0xffffffffu);
+  std::queue<NodeId> queue;
+  level[source] = 0;
+  queue.push(source);
+  std::uint32_t max_level = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop();
+    for (NodeId u : graph.neighbors(v)) {
+      if (level[u] == 0xffffffffu) {
+        level[u] = level[v] + 1;
+        max_level = std::max(max_level, level[u]);
+        queue.push(u);
+      }
+    }
+  }
+  return max_level;
+}
+
+}  // namespace maxwarp::graph

@@ -1,0 +1,41 @@
+// Graph characterization: the quantities reported in the paper's dataset
+// table (Table 1) plus connectivity utilities used by tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/stats.hpp"
+
+namespace maxwarp::graph {
+
+struct DegreeStats {
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  double mean = 0;
+  double stddev = 0;
+  /// Gini coefficient of the degree distribution: the skew proxy. Regular
+  /// graphs ~0; scale-free graphs > 0.5.
+  double gini = 0;
+  /// Fraction of edges owned by the top 1% highest-degree nodes.
+  double top1pct_edge_share = 0;
+  util::Log2Histogram histogram;
+};
+
+DegreeStats degree_stats(const Csr& graph);
+
+/// Nodes reachable from `source` following out-edges (sequential BFS).
+std::uint32_t reachable_count(const Csr& graph, NodeId source);
+
+/// Weakly connected components; returns component id per node and the
+/// number of components.
+std::uint32_t weak_components(const Csr& graph,
+                              std::vector<std::uint32_t>& component_out);
+
+/// BFS eccentricity of `source` (max finite level); useful for estimating
+/// how many level-synchronous iterations an algorithm will run.
+std::uint32_t bfs_eccentricity(const Csr& graph, NodeId source);
+
+}  // namespace maxwarp::graph

@@ -1,0 +1,82 @@
+// Simulated-device configuration: machine shape and first-order cycle costs.
+//
+// The defaults are loosely calibrated to the GT200/Fermi class of hardware
+// the paper used (many SMs, 32-wide warps, 128-byte memory transactions,
+// memory-bound cost balance). Absolute cycle numbers are a *model*, not a
+// silicon measurement; what matters for the reproduction is that the
+// relative costs (divergent iteration vs coalesced access vs atomic
+// serialization) follow the same first-order rules as the hardware.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace maxwarp::simt {
+
+/// Physical SIMD width. CUDA warps have been 32 lanes on every NVIDIA
+/// architecture; the virtual-warp method assumes divisors of this.
+inline constexpr int kWarpSize = 32;
+
+/// Shared memory has this many banks, each serving 4-byte words.
+inline constexpr int kSharedBanks = 32;
+
+struct SimConfig {
+  /// Number of streaming multiprocessors; blocks are assigned round-robin.
+  std::uint32_t num_sms = 16;
+
+  /// Simulated core clock, used only to convert cycles to milliseconds.
+  double clock_ghz = 1.4;
+
+  /// Cycles charged per issued warp instruction (ALU/control).
+  std::uint32_t alu_cycles_per_instr = 1;
+
+  /// Size of a global-memory transaction segment in bytes. Lane accesses
+  /// falling into the same aligned segment coalesce into one transaction.
+  std::uint32_t mem_transaction_bytes = 128;
+
+  /// Throughput cost per global-memory transaction (per warp). With warps
+  /// assumed to hide latency, memory time scales with transaction count.
+  std::uint32_t cycles_per_mem_transaction = 16;
+
+  /// Base cost of an atomic transaction plus extra serialization cycles for
+  /// each additional lane hitting an address already updated this issue.
+  std::uint32_t cycles_per_atomic = 16;
+  std::uint32_t cycles_per_atomic_conflict = 16;
+
+  /// Shared-memory access: base cost, plus one replay per extra conflicting
+  /// access to the same bank.
+  std::uint32_t cycles_per_shared_access = 2;
+
+  /// Fixed cost charged once per kernel launch (driver + dispatch). Matters
+  /// for level-synchronous algorithms with many near-empty levels (e.g. BFS
+  /// on high-diameter road networks).
+  std::uint64_t kernel_launch_overhead_cycles = 3000;
+
+  /// Host<->device copy model: bytes per second and fixed per-call latency
+  /// in microseconds (PCIe-like).
+  double copy_gbytes_per_sec = 6.0;
+  double copy_latency_us = 8.0;
+
+  /// Warps per block used by convenience launch helpers.
+  std::uint32_t default_warps_per_block = 8;
+
+  void validate() const {
+    if (num_sms == 0) throw std::invalid_argument("num_sms must be > 0");
+    if (clock_ghz <= 0) throw std::invalid_argument("clock_ghz must be > 0");
+    if (mem_transaction_bytes == 0 ||
+        (mem_transaction_bytes & (mem_transaction_bytes - 1)) != 0) {
+      throw std::invalid_argument(
+          "mem_transaction_bytes must be a power of two");
+    }
+    if (default_warps_per_block == 0) {
+      throw std::invalid_argument("default_warps_per_block must be > 0");
+    }
+  }
+
+  /// Converts a cycle count to modeled milliseconds.
+  double cycles_to_ms(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e9) * 1e3;
+  }
+};
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,78 @@
+#include "simt/device_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace maxwarp::simt {
+
+DeviceSim::DeviceSim(SimConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+
+LaunchDims DeviceSim::dims_for_threads(std::uint64_t n) const {
+  LaunchDims dims;
+  dims.warps_per_block = cfg_.default_warps_per_block;
+  const std::uint64_t threads_per_block =
+      static_cast<std::uint64_t>(dims.warps_per_block) * kWarpSize;
+  dims.blocks = static_cast<std::uint32_t>(
+      (n + threads_per_block - 1) / threads_per_block);
+  dims.total_threads = n;
+  return dims;
+}
+
+LaunchDims DeviceSim::dims_for_warps(std::uint64_t n_warps) const {
+  LaunchDims dims;
+  dims.warps_per_block = 1;
+  dims.blocks = static_cast<std::uint32_t>(n_warps);
+  dims.total_threads = n_warps * kWarpSize;
+  return dims;
+}
+
+KernelStats DeviceSim::launch(const LaunchDims& dims, const WarpFn& kernel) {
+  KernelStats stats;
+  stats.blocks = dims.blocks;
+  stats.warps = 0;  // counted as warps actually execute (tail warps skip)
+
+  std::vector<std::uint64_t> sm_cycles(cfg_.num_sms, 0);
+  const std::uint64_t launch_threads =
+      dims.total_threads ? dims.total_threads
+                         : dims.warp_count() * kWarpSize;
+
+  for (std::uint32_t block = 0; block < dims.blocks; ++block) {
+    std::uint64_t block_cycles = 0;
+    for (std::uint32_t w = 0; w < dims.warps_per_block; ++w) {
+      const std::uint64_t warp_first_thread =
+          (static_cast<std::uint64_t>(block) * dims.warps_per_block + w) *
+          kWarpSize;
+      if (warp_first_thread >= launch_threads) continue;  // fully past tail
+      const std::uint64_t remaining = launch_threads - warp_first_thread;
+      const int lanes =
+          static_cast<int>(std::min<std::uint64_t>(remaining, kWarpSize));
+
+      CycleCounters warp_counters;
+      WarpCtx ctx(block, w, dims.warps_per_block, lanes, cfg_,
+                  warp_counters);
+      kernel(ctx);
+
+      block_cycles += warp_counters.total_cycles();
+      stats.counters.add(warp_counters);
+      ++stats.warps;
+    }
+
+    if (dims.policy == SchedulePolicy::kRoundRobin) {
+      sm_cycles[block % cfg_.num_sms] += block_cycles;
+    } else {
+      // List scheduling: the block lands on whichever SM frees up first.
+      auto least = std::min_element(sm_cycles.begin(), sm_cycles.end());
+      *least += block_cycles;
+    }
+  }
+
+  const std::uint64_t busiest =
+      sm_cycles.empty() ? 0 : *std::max_element(sm_cycles.begin(),
+                                                sm_cycles.end());
+  stats.elapsed_cycles = cfg_.kernel_launch_overhead_cycles + busiest;
+  stats.busy_cycles =
+      cfg_.kernel_launch_overhead_cycles + stats.counters.total_cycles();
+  return stats;
+}
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,71 @@
+// Device-level execution: schedules the blocks of a kernel launch across
+// simulated SMs and aggregates timing.
+//
+// Throughput model: every warp's charged cycles are summed per SM (blocks
+// are assigned round-robin), and the launch's modeled elapsed time is the
+// busiest SM plus a fixed launch overhead. This assumes occupancy hides
+// latency — the standard first-order model for bandwidth-bound kernels —
+// while still exposing cross-SM load imbalance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simt/config.hpp"
+#include "simt/stats.hpp"
+#include "simt/warp_ctx.hpp"
+
+namespace maxwarp::simt {
+
+/// How block work is placed onto SMs for timing purposes.
+///
+/// kRoundRobin pins block b to SM (b % num_sms) — the *static* workload
+/// distribution the paper's baseline uses (task ownership fixed up front,
+/// no rebalancing). kLeastLoaded assigns each block, in launch order, to
+/// the SM that frees up first — the behaviour of *dynamic* work
+/// distribution, where warps claim chunks from a global pool as they
+/// finish. Dynamic kernels in this library pay for that freedom with the
+/// atomic chunk-claim they execute (charged by the memory model).
+enum class SchedulePolicy { kRoundRobin, kLeastLoaded };
+
+struct LaunchDims {
+  std::uint32_t blocks = 0;
+  std::uint32_t warps_per_block = 0;
+
+  /// Total logical threads; the tail warp runs with fewer active lanes.
+  /// 0 means "every warp is full".
+  std::uint64_t total_threads = 0;
+
+  SchedulePolicy policy = SchedulePolicy::kRoundRobin;
+
+  std::uint64_t warp_count() const {
+    return static_cast<std::uint64_t>(blocks) * warps_per_block;
+  }
+};
+
+/// A kernel body, invoked once per warp.
+using WarpFn = std::function<void(WarpCtx&)>;
+
+class DeviceSim {
+ public:
+  explicit DeviceSim(SimConfig cfg = {});
+
+  const SimConfig& config() const { return cfg_; }
+  SimConfig& mutable_config() { return cfg_; }
+
+  /// Runs one kernel launch to completion (device-wide barrier semantics).
+  KernelStats launch(const LaunchDims& dims, const WarpFn& kernel);
+
+  /// Computes dims covering n logical threads with the configured
+  /// default block size.
+  LaunchDims dims_for_threads(std::uint64_t n) const;
+
+  /// Dims with exactly one warp per block, n_warps blocks: maximum
+  /// scheduling freedom, used by work-queue kernels that size themselves.
+  LaunchDims dims_for_warps(std::uint64_t n_warps) const;
+
+ private:
+  SimConfig cfg_;
+};
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,42 @@
+// Typed device-memory handles.
+//
+// A DevPtr couples the host backing store (the simulator executes
+// functionally on host memory) with a simulated global *virtual address*,
+// which is what the memory model coalesces on. Buffers are allocated by
+// gpu::Device with 256-byte-aligned virtual bases, so address arithmetic
+// reproduces the alignment behaviour of real global memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace maxwarp::simt {
+
+template <typename T>
+struct DevPtr {
+  static_assert(std::is_trivially_copyable_v<std::remove_const_t<T>>,
+                "device data must be trivially copyable");
+
+  T* host = nullptr;
+  std::uint64_t vaddr = 0;
+
+  DevPtr() = default;
+  DevPtr(T* host_ptr, std::uint64_t virtual_addr)
+      : host(host_ptr), vaddr(virtual_addr) {}
+
+  /// Implicit const-qualification, mirroring T* -> const T*.
+  operator DevPtr<const T>() const { return {host, vaddr}; }
+
+  DevPtr operator+(std::uint64_t elems) const {
+    return {host + elems, vaddr + elems * sizeof(std::remove_const_t<T>)};
+  }
+
+  std::uint64_t element_vaddr(std::uint64_t idx) const {
+    return vaddr + idx * sizeof(std::remove_const_t<T>);
+  }
+
+  bool null() const { return host == nullptr; }
+};
+
+}  // namespace maxwarp::simt

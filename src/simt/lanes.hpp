@@ -1,0 +1,24 @@
+// Per-lane register storage.
+//
+// A kernel's "registers" are Lanes<T> values: one slot per SIMD lane. The
+// WarpCtx primitives read and write only the slots of active lanes, which
+// is exactly the semantics of predicated SIMT execution.
+#pragma once
+
+#include <array>
+
+#include "simt/config.hpp"
+
+namespace maxwarp::simt {
+
+template <typename T>
+using Lanes = std::array<T, kWarpSize>;
+
+template <typename T>
+Lanes<T> make_lanes(const T& init) {
+  Lanes<T> l;
+  l.fill(init);
+  return l;
+}
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,58 @@
+// Lane-mask algebra for SIMT divergence tracking.
+//
+// A LaneMask is a 32-bit word with bit i set iff lane i is active, exactly
+// like the hardware's active mask / CUDA's __ballot result.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "simt/config.hpp"
+
+namespace maxwarp::simt {
+
+using LaneMask = std::uint32_t;
+
+inline constexpr LaneMask kFullMask = 0xffffffffu;
+
+constexpr LaneMask lane_bit(int lane) {
+  return LaneMask{1} << static_cast<unsigned>(lane);
+}
+
+constexpr bool lane_active(LaneMask m, int lane) {
+  return (m & lane_bit(lane)) != 0;
+}
+
+constexpr int popcount(LaneMask m) { return std::popcount(m); }
+
+/// Index of the lowest set lane, or -1 for the empty mask. Mirrors the
+/// "leader election" idiom (__ffs(mask) - 1) from CUDA warp programming.
+constexpr int first_lane(LaneMask m) {
+  return m == 0 ? -1 : std::countr_zero(m);
+}
+
+/// Mask with the lanes [0, n) set; n in [0, 32].
+constexpr LaneMask prefix_mask(int n) {
+  return n >= kWarpSize ? kFullMask : (lane_bit(n) - 1);
+}
+
+/// Mask for a contiguous lane group: lanes [group*width, (group+1)*width).
+/// This is the lane footprint of a *virtual warp* of the given width.
+constexpr LaneMask group_mask(int group, int width) {
+  const LaneMask base = prefix_mask(width);
+  return base << static_cast<unsigned>(group * width);
+}
+
+/// Calls fn(lane) for each set lane, in increasing lane order. Lane order is
+/// part of the simulator's determinism contract (atomics resolve in lane
+/// order).
+template <typename Fn>
+void for_each_lane(LaneMask m, Fn&& fn) {
+  while (m != 0) {
+    const int lane = std::countr_zero(m);
+    fn(lane);
+    m &= m - 1;
+  }
+}
+
+}  // namespace maxwarp::simt

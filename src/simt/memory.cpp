@@ -1,0 +1,97 @@
+#include "simt/memory.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace maxwarp::simt {
+
+int MemoryModel::access_global(const std::uint64_t* addrs, LaneMask active,
+                               std::size_t access_bytes) {
+  if (active == 0) return 0;
+  // Collect the segment ids touched by every active lane. An element that
+  // straddles a segment boundary touches two segments.
+  std::array<std::uint64_t, 2 * kWarpSize> segments{};
+  int count = 0;
+  const std::uint64_t seg_bytes = cfg_.mem_transaction_bytes;
+  for_each_lane(active, [&](int lane) {
+    const std::uint64_t first = addrs[lane] / seg_bytes;
+    const std::uint64_t last = (addrs[lane] + access_bytes - 1) / seg_bytes;
+    segments[static_cast<std::size_t>(count++)] = first;
+    if (last != first) segments[static_cast<std::size_t>(count++)] = last;
+  });
+  std::sort(segments.begin(), segments.begin() + count);
+  const auto unique_end = std::unique(segments.begin(),
+                                      segments.begin() + count);
+  const int txns = static_cast<int>(unique_end - segments.begin());
+
+  counters_.global_transactions += static_cast<std::uint64_t>(txns);
+  counters_.global_requests += static_cast<std::uint64_t>(popcount(active));
+  counters_.global_bytes += static_cast<std::uint64_t>(txns) * seg_bytes;
+  counters_.mem_cycles +=
+      static_cast<std::uint64_t>(txns) * cfg_.cycles_per_mem_transaction;
+  return txns;
+}
+
+int MemoryModel::access_atomic(const std::uint64_t* addrs, LaneMask active) {
+  if (active == 0) return 0;
+  std::array<std::uint64_t, kWarpSize> seen{};
+  int distinct = 0;
+  int conflicts = 0;
+  for_each_lane(active, [&](int lane) {
+    const std::uint64_t a = addrs[lane];
+    bool dup = false;
+    for (int i = 0; i < distinct; ++i) {
+      if (seen[static_cast<std::size_t>(i)] == a) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      ++conflicts;
+    } else {
+      seen[static_cast<std::size_t>(distinct++)] = a;
+    }
+  });
+
+  counters_.atomic_ops += static_cast<std::uint64_t>(popcount(active));
+  counters_.atomic_conflicts += static_cast<std::uint64_t>(conflicts);
+  counters_.mem_cycles +=
+      static_cast<std::uint64_t>(distinct) * cfg_.cycles_per_atomic +
+      static_cast<std::uint64_t>(conflicts) * cfg_.cycles_per_atomic_conflict;
+  // Atomics also consume global-memory bandwidth.
+  counters_.global_transactions += static_cast<std::uint64_t>(distinct);
+  return conflicts;
+}
+
+int MemoryModel::access_shared(const std::uint64_t* offsets, LaneMask active) {
+  if (active == 0) return 0;
+  // bank = word index mod 32; identical addresses broadcast for free.
+  std::array<int, kSharedBanks> bank_load{};
+  std::array<std::uint64_t, kWarpSize> first_addr_in_bank{};
+  std::array<bool, kSharedBanks> bank_multi{};
+  for_each_lane(active, [&](int lane) {
+    const std::uint64_t word = offsets[lane] / 4;
+    const auto bank = static_cast<std::size_t>(word % kSharedBanks);
+    if (bank_load[bank] == 0) {
+      first_addr_in_bank[bank] = word;
+      bank_load[bank] = 1;
+    } else if (first_addr_in_bank[bank] != word || bank_multi[bank]) {
+      // Distinct word in the same bank -> conflict. Treat any further
+      // access after a conflict pessimistically as another replay.
+      ++bank_load[bank];
+      bank_multi[bank] = true;
+    }
+  });
+  int replays = 0;
+  for (int load : bank_load) replays = std::max(replays, load);
+  replays = std::max(replays - 1, 0);
+
+  counters_.shared_accesses += static_cast<std::uint64_t>(popcount(active));
+  counters_.shared_bank_conflict_replays +=
+      static_cast<std::uint64_t>(replays);
+  counters_.mem_cycles +=
+      static_cast<std::uint64_t>(1 + replays) * cfg_.cycles_per_shared_access;
+  return replays;
+}
+
+}  // namespace maxwarp::simt

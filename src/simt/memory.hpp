@@ -1,0 +1,50 @@
+// First-order GPU memory-system model.
+//
+// Global memory: the active lanes' byte addresses are partitioned into
+// aligned segments of SimConfig::mem_transaction_bytes; each distinct
+// segment costs one transaction. A unit-stride warp access to 4-byte words
+// therefore costs 1 transaction, a fully scattered one costs up to 32 —
+// this 32x spread is the coalescing effect the paper exploits.
+//
+// Atomics: transactions are counted like loads, and lanes whose address was
+// already updated during the same instruction pay a serialization penalty.
+//
+// Shared memory: 32 banks x 4-byte words; the access replays once per extra
+// conflicting lane on the most-contended bank (broadcast of identical
+// addresses is free, as on hardware).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simt/config.hpp"
+#include "simt/mask.hpp"
+#include "simt/stats.hpp"
+
+namespace maxwarp::simt {
+
+class MemoryModel {
+ public:
+  MemoryModel(const SimConfig& cfg, CycleCounters& counters)
+      : cfg_(cfg), counters_(counters) {}
+
+  /// Charges one warp-level global load/store. `addrs[lane]` must be filled
+  /// for every active lane; `access_bytes` is the per-lane element size.
+  /// Returns the number of transactions (for tests).
+  int access_global(const std::uint64_t* addrs, LaneMask active,
+                    std::size_t access_bytes);
+
+  /// Charges one warp-level atomic instruction. Returns the number of
+  /// serialized conflicts (extra same-address lanes).
+  int access_atomic(const std::uint64_t* addrs, LaneMask active);
+
+  /// Charges one warp-level shared-memory access on 4-byte words at the
+  /// given byte offsets. Returns the replay count (0 = conflict free).
+  int access_shared(const std::uint64_t* offsets, LaneMask active);
+
+ private:
+  const SimConfig& cfg_;
+  CycleCounters& counters_;
+};
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,69 @@
+#include "simt/stats.hpp"
+
+#include <sstream>
+
+namespace maxwarp::simt {
+
+void CycleCounters::add(const CycleCounters& o) {
+  issued_instructions += o.issued_instructions;
+  alu_cycles += o.alu_cycles;
+  mem_cycles += o.mem_cycles;
+  active_lane_ops += o.active_lane_ops;
+  possible_lane_ops += o.possible_lane_ops;
+  global_transactions += o.global_transactions;
+  global_requests += o.global_requests;
+  global_bytes += o.global_bytes;
+  atomic_ops += o.atomic_ops;
+  atomic_conflicts += o.atomic_conflicts;
+  shared_accesses += o.shared_accesses;
+  shared_bank_conflict_replays += o.shared_bank_conflict_replays;
+  branch_divergences += o.branch_divergences;
+  loop_iterations += o.loop_iterations;
+}
+
+double CycleCounters::simd_utilization() const {
+  if (possible_lane_ops == 0) return 1.0;
+  return static_cast<double>(active_lane_ops) /
+         static_cast<double>(possible_lane_ops);
+}
+
+double CycleCounters::transactions_per_request() const {
+  if (global_requests == 0) return 0.0;
+  return static_cast<double>(global_transactions) /
+         static_cast<double>(global_requests);
+}
+
+void KernelStats::add(const KernelStats& o) {
+  counters.add(o.counters);
+  elapsed_cycles += o.elapsed_cycles;
+  busy_cycles += o.busy_cycles;
+  launches += o.launches;
+  warps += o.warps;
+  blocks += o.blocks;
+}
+
+double KernelStats::sm_balance(const SimConfig& cfg) const {
+  if (elapsed_cycles == 0) return 1.0;
+  const double ideal = static_cast<double>(busy_cycles) /
+                       static_cast<double>(cfg.num_sms);
+  return ideal / static_cast<double>(elapsed_cycles);
+}
+
+std::string KernelStats::summary(const SimConfig& cfg) const {
+  std::ostringstream out;
+  out << "launches:           " << launches << '\n'
+      << "blocks/warps:       " << blocks << " / " << warps << '\n'
+      << "elapsed (model):    " << elapsed_ms(cfg) << " ms  (" << elapsed_cycles
+      << " cycles)\n"
+      << "SIMD utilization:   " << counters.simd_utilization() * 100.0
+      << " %\n"
+      << "global txns:        " << counters.global_transactions << " ("
+      << counters.transactions_per_request() << " per request)\n"
+      << "atomics:            " << counters.atomic_ops << " ops, "
+      << counters.atomic_conflicts << " serialized conflicts\n"
+      << "divergent branches: " << counters.branch_divergences << '\n'
+      << "SM balance:         " << sm_balance(cfg) << '\n';
+  return out.str();
+}
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,84 @@
+// Execution counters collected by the SIMT simulator.
+//
+// These are the quantities the paper analyzes: SIMD-lane utilization,
+// divergence events, global-memory transactions, and modeled elapsed
+// cycles. Counters are collected per warp, reduced per SM, and aggregated
+// per kernel launch; algorithm drivers further aggregate across launches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simt/config.hpp"
+
+namespace maxwarp::simt {
+
+/// Raw event counters. All additive, so aggregation is memberwise `+`.
+struct CycleCounters {
+  std::uint64_t issued_instructions = 0;
+  std::uint64_t alu_cycles = 0;
+  std::uint64_t mem_cycles = 0;
+
+  /// Sum over issued instructions of the active-lane count, and the
+  /// corresponding maximum (issued * kWarpSize). Their ratio is the paper's
+  /// SIMD (ALU) utilization metric.
+  std::uint64_t active_lane_ops = 0;
+  std::uint64_t possible_lane_ops = 0;
+
+  std::uint64_t global_transactions = 0;
+  std::uint64_t global_requests = 0;  ///< lane-level load/store requests
+  std::uint64_t global_bytes = 0;     ///< bytes moved in whole transactions
+
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t atomic_conflicts = 0;  ///< serialized same-address extras
+
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_bank_conflict_replays = 0;
+
+  std::uint64_t branch_divergences = 0;  ///< branches where both paths ran
+  std::uint64_t loop_iterations = 0;     ///< divergent-loop body executions
+
+  void add(const CycleCounters& o);
+
+  std::uint64_t total_cycles() const { return alu_cycles + mem_cycles; }
+
+  /// Fraction of SIMD lanes doing useful work per issued instruction.
+  double simd_utilization() const;
+
+  /// Average transactions needed per lane-level global request; 1/32 is a
+  /// perfectly coalesced unit-stride warp access, 1.0 is fully scattered.
+  double transactions_per_request() const;
+};
+
+/// Result of one simulated kernel launch.
+struct KernelStats {
+  CycleCounters counters;  ///< aggregated over every warp of the launch
+
+  /// Modeled elapsed cycles: launch overhead + max over SMs of the sum of
+  /// cycles of warps resident on that SM (throughput model).
+  std::uint64_t elapsed_cycles = 0;
+
+  /// Sum over SMs (== counters.total_cycles() + overhead); the gap between
+  /// num_sms * elapsed and this is cross-SM load imbalance.
+  std::uint64_t busy_cycles = 0;
+
+  std::uint64_t launches = 1;  ///< >1 after aggregation
+  std::uint64_t warps = 0;
+  std::uint64_t blocks = 0;
+
+  /// Accumulates another launch (device-wide barrier semantics: elapsed
+  /// cycles add up).
+  void add(const KernelStats& o);
+
+  double elapsed_ms(const SimConfig& cfg) const {
+    return cfg.cycles_to_ms(elapsed_cycles);
+  }
+
+  /// Cross-SM load balance in [1/num_sms, 1]; 1 means perfectly even.
+  double sm_balance(const SimConfig& cfg) const;
+
+  /// Multi-line human-readable dump (used by examples).
+  std::string summary(const SimConfig& cfg) const;
+};
+
+}  // namespace maxwarp::simt

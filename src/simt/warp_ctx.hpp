@@ -1,0 +1,392 @@
+// WarpCtx: the execution context a simulated kernel runs against.
+//
+// Kernels are written in *warp-synchronous* style: the kernel function is
+// invoked once per warp and manipulates 32 lanes explicitly through this
+// context. Control flow uses ballot/branch/loop_while, which maintain the
+// divergence mask stack and charge the cost model — a divergent loop issues
+// once per iteration until its *slowest* lane exits, which is precisely the
+// work-imbalance pathology the paper studies.
+//
+// Determinism contract: lanes are visited in increasing lane order, warps
+// run sequentially in launch order, so every simulated quantity (including
+// atomics' return values) is reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "simt/config.hpp"
+#include "simt/devptr.hpp"
+#include "simt/lanes.hpp"
+#include "simt/mask.hpp"
+#include "simt/memory.hpp"
+#include "simt/stats.hpp"
+
+namespace maxwarp::simt {
+
+/// A span of per-warp shared memory (see WarpCtx::shared_alloc).
+template <typename T>
+struct SharedArray {
+  T* data = nullptr;
+  std::uint64_t base_offset = 0;  ///< byte offset used for bank modeling
+  std::size_t size = 0;
+};
+
+class WarpCtx {
+ public:
+  /// `lanes_in_use` < 32 models the tail warp of a launch whose thread
+  /// count is not a multiple of the warp size.
+  WarpCtx(std::uint32_t block_id, std::uint32_t warp_in_block,
+          std::uint32_t warps_per_block, int lanes_in_use,
+          const SimConfig& cfg, CycleCounters& counters)
+      : block_id_(block_id),
+        warp_in_block_(warp_in_block),
+        warps_per_block_(warps_per_block),
+        cfg_(cfg),
+        counters_(counters),
+        mem_(cfg, counters) {
+    if (lanes_in_use < 1 || lanes_in_use > kWarpSize) {
+      throw std::invalid_argument("lanes_in_use out of range");
+    }
+    mask_stack_[0] = prefix_mask(lanes_in_use);
+    shared_arena_.reserve(kSharedArenaBytes);
+  }
+
+  WarpCtx(const WarpCtx&) = delete;
+  WarpCtx& operator=(const WarpCtx&) = delete;
+
+  // --- identity -----------------------------------------------------------
+
+  std::uint32_t block_id() const { return block_id_; }
+  std::uint32_t warp_in_block() const { return warp_in_block_; }
+  std::uint32_t warps_per_block() const { return warps_per_block_; }
+  std::uint32_t global_warp_id() const {
+    return block_id_ * warps_per_block_ + warp_in_block_;
+  }
+  /// Global thread id of the given lane (blockIdx * blockDim + threadIdx).
+  std::uint64_t thread_id(int lane) const {
+    return static_cast<std::uint64_t>(global_warp_id()) * kWarpSize +
+           static_cast<std::uint64_t>(lane);
+  }
+
+  LaneMask active() const { return mask_stack_[depth_]; }
+  int active_count() const { return popcount(active()); }
+
+  // --- compute ------------------------------------------------------------
+
+  /// One warp instruction: f(lane) runs for each active lane.
+  template <typename F>
+  void alu(F&& f) {
+    charge_issue();
+    for_each_lane(active(), f);
+  }
+
+  /// Charges n back-to-back instructions with the same body (models a
+  /// multi-instruction scalar sequence without writing it out n times).
+  template <typename F>
+  void alu_n(int n, F&& f) {
+    for (int i = 0; i < n; ++i) alu(f);
+  }
+
+  /// Warp vote: returns the mask of active lanes where pred(lane) holds.
+  template <typename P>
+  LaneMask ballot(P&& pred) {
+    charge_issue();
+    LaneMask result = 0;
+    for_each_lane(active(), [&](int lane) {
+      if (pred(lane)) result |= lane_bit(lane);
+    });
+    return result;
+  }
+
+  /// Runs body with execution restricted to `mask & active()`. A proper
+  /// subset is a masked (divergent) region; the disabled lanes idle.
+  template <typename F>
+  void with_mask(LaneMask mask, F&& body) {
+    mask &= active();
+    if (mask == 0) return;
+    if (mask != active()) ++counters_.branch_divergences;
+    push(mask);
+    body();
+    pop();
+  }
+
+  /// If/else divergence: both sides execute serially when both masks are
+  /// non-empty, exactly like the hardware reconvergence stack.
+  template <typename Then, typename Else>
+  void branch(LaneMask cond, Then&& then_fn, Else&& else_fn) {
+    cond &= active();
+    const LaneMask other = active() & ~cond;
+    if (cond != 0 && other != 0) ++counters_.branch_divergences;
+    if (cond != 0) {
+      push(cond);
+      then_fn();
+      pop();
+    }
+    if (other != 0) {
+      push(other);
+      else_fn();
+      pop();
+    }
+  }
+
+  /// Divergent loop: iterates while any active lane's pred holds; lanes
+  /// whose pred is false drop out (are masked off) but the warp keeps
+  /// issuing until the last lane finishes.
+  template <typename P, typename Body>
+  void loop_while(P&& pred, Body&& body) {
+    for (;;) {
+      const LaneMask m = ballot(pred);
+      if (m == 0) break;
+      push(m);
+      body();
+      pop();
+      ++counters_.loop_iterations;
+    }
+  }
+
+  // --- global memory ------------------------------------------------------
+
+  /// Gather: out[lane] = ptr[idx(lane)] for active lanes; coalescing is
+  /// computed from the lanes' virtual addresses.
+  template <typename T, typename IdxF>
+  void load_global(DevPtr<T> ptr, IdxF&& idx,
+                   Lanes<std::remove_const_t<T>>& out) {
+    charge_issue();
+    Lanes<std::uint64_t> addrs{};
+    for_each_lane(active(), [&](int lane) {
+      const auto i = static_cast<std::uint64_t>(idx(lane));
+      addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+      out[static_cast<std::size_t>(lane)] = ptr.host[i];
+    });
+    mem_.access_global(addrs.data(), active(),
+                       sizeof(std::remove_const_t<T>));
+  }
+
+  /// Warp-uniform load (all lanes need the same element, e.g. a queue
+  /// size): a single lane's transaction, value returned by copy.
+  template <typename T>
+  std::remove_const_t<T> load_global_uniform(DevPtr<T> ptr,
+                                             std::uint64_t idx) {
+    charge_issue();
+    Lanes<std::uint64_t> addrs{};
+    const int leader = first_lane(active());
+    addrs[static_cast<std::size_t>(leader)] = ptr.element_vaddr(idx);
+    mem_.access_global(addrs.data(), lane_bit(leader),
+                       sizeof(std::remove_const_t<T>));
+    return ptr.host[idx];
+  }
+
+  /// Scatter: ptr[idx(lane)] = val(lane) for active lanes. When two active
+  /// lanes target the same element the higher lane wins (CUDA leaves this
+  /// undefined; we pick the deterministic option).
+  template <typename T, typename IdxF, typename ValF>
+  void store_global(DevPtr<T> ptr, IdxF&& idx, ValF&& val) {
+    static_assert(!std::is_const_v<T>, "cannot store through a const ptr");
+    charge_issue();
+    Lanes<std::uint64_t> addrs{};
+    for_each_lane(active(), [&](int lane) {
+      const auto i = static_cast<std::uint64_t>(idx(lane));
+      addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+      ptr.host[i] = val(lane);
+    });
+    mem_.access_global(addrs.data(), active(), sizeof(T));
+  }
+
+  // --- atomics (resolved in lane order; old values returned) ---------------
+
+  template <typename T, typename IdxF, typename ValF>
+  Lanes<T> atomic_add(DevPtr<T> ptr, IdxF&& idx, ValF&& val) {
+    return atomic_rmw(ptr, idx,
+                      [&](T old, int lane) -> T { return old + val(lane); });
+  }
+
+  template <typename T, typename IdxF, typename ValF>
+  Lanes<T> atomic_min(DevPtr<T> ptr, IdxF&& idx, ValF&& val) {
+    return atomic_rmw(ptr, idx, [&](T old, int lane) -> T {
+      const T v = val(lane);
+      return v < old ? v : old;
+    });
+  }
+
+  template <typename T, typename IdxF, typename ValF>
+  Lanes<T> atomic_exch(DevPtr<T> ptr, IdxF&& idx, ValF&& val) {
+    return atomic_rmw(ptr, idx,
+                      [&](T, int lane) -> T { return val(lane); });
+  }
+
+  /// Compare-and-swap; returns the old values (success iff old == expected).
+  template <typename T, typename IdxF, typename ExpF, typename DesF>
+  Lanes<T> atomic_cas(DevPtr<T> ptr, IdxF&& idx, ExpF&& expected,
+                      DesF&& desired) {
+    return atomic_rmw(ptr, idx, [&](T old, int lane) -> T {
+      return old == expected(lane) ? desired(lane) : old;
+    });
+  }
+
+  // --- warp collectives (log2(32) = 5 issue slots, like shfl trees) --------
+
+  template <typename T>
+  T reduce_add(const Lanes<T>& v) {
+    return reduce(v, [](T a, T b) { return a + b; }, T{});
+  }
+  template <typename T>
+  T reduce_max(const Lanes<T>& v) {
+    bool first = true;
+    T acc{};
+    charge_collective();
+    for_each_lane(active(), [&](int lane) {
+      const T x = v[static_cast<std::size_t>(lane)];
+      acc = first ? x : (x > acc ? x : acc);
+      first = false;
+    });
+    return acc;
+  }
+  template <typename T>
+  T reduce_min(const Lanes<T>& v) {
+    bool first = true;
+    T acc{};
+    charge_collective();
+    for_each_lane(active(), [&](int lane) {
+      const T x = v[static_cast<std::size_t>(lane)];
+      acc = first ? x : (x < acc ? x : acc);
+      first = false;
+    });
+    return acc;
+  }
+
+  /// Exclusive prefix sum over active lanes (lane order); inactive slots
+  /// are left untouched. Returns the total in `total`.
+  template <typename T>
+  Lanes<T> exclusive_scan_add(const Lanes<T>& v, T& total) {
+    charge_collective();
+    Lanes<T> out{};
+    T running{};
+    for_each_lane(active(), [&](int lane) {
+      out[static_cast<std::size_t>(lane)] = running;
+      running = running + v[static_cast<std::size_t>(lane)];
+    });
+    total = running;
+    return out;
+  }
+
+  /// Broadcast the value held by src_lane to the caller (shfl-like).
+  template <typename T>
+  T broadcast(const Lanes<T>& v, int src_lane) {
+    charge_issue();
+    return v[static_cast<std::size_t>(src_lane)];
+  }
+
+  /// Warp barrier: free on real warps; charged one issue for the intrinsic.
+  void sync() { charge_issue(); }
+
+  // --- shared memory (per-warp scratch with bank-conflict modeling) --------
+
+  template <typename T>
+  SharedArray<T> shared_alloc(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t align = alignof(T) < 4 ? 4 : alignof(T);
+    std::size_t offset = (shared_arena_.size() + align - 1) / align * align;
+    const std::size_t bytes = count * sizeof(T);
+    if (offset + bytes > kSharedArenaBytes) {
+      throw std::runtime_error("per-warp shared memory arena exhausted");
+    }
+    shared_arena_.resize(offset + bytes);
+    return SharedArray<T>{reinterpret_cast<T*>(shared_arena_.data() + offset),
+                          offset, count};
+  }
+
+  template <typename T, typename IdxF>
+  void load_shared(const SharedArray<T>& arr, IdxF&& idx, Lanes<T>& out) {
+    charge_issue();
+    Lanes<std::uint64_t> offsets{};
+    for_each_lane(active(), [&](int lane) {
+      const auto i = static_cast<std::uint64_t>(idx(lane));
+      offsets[static_cast<std::size_t>(lane)] =
+          arr.base_offset + i * sizeof(T);
+      out[static_cast<std::size_t>(lane)] = arr.data[i];
+    });
+    mem_.access_shared(offsets.data(), active());
+  }
+
+  template <typename T, typename IdxF, typename ValF>
+  void store_shared(const SharedArray<T>& arr, IdxF&& idx, ValF&& val) {
+    charge_issue();
+    Lanes<std::uint64_t> offsets{};
+    for_each_lane(active(), [&](int lane) {
+      const auto i = static_cast<std::uint64_t>(idx(lane));
+      offsets[static_cast<std::size_t>(lane)] =
+          arr.base_offset + i * sizeof(T);
+      arr.data[i] = val(lane);
+    });
+    mem_.access_shared(offsets.data(), active());
+  }
+
+  const CycleCounters& counters() const { return counters_; }
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+  static constexpr std::size_t kSharedArenaBytes = 96 * 1024;
+
+  void charge_issue() {
+    ++counters_.issued_instructions;
+    counters_.alu_cycles += cfg_.alu_cycles_per_instr;
+    counters_.active_lane_ops += static_cast<std::uint64_t>(active_count());
+    counters_.possible_lane_ops += kWarpSize;
+  }
+
+  void charge_collective() {
+    // A shuffle-tree collective over 32 lanes takes log2(32) steps.
+    for (int i = 0; i < 5; ++i) charge_issue();
+  }
+
+  template <typename T, typename IdxF, typename UpdateF>
+  Lanes<T> atomic_rmw(DevPtr<T> ptr, IdxF&& idx, UpdateF&& update) {
+    static_assert(!std::is_const_v<T>, "atomics need a mutable pointer");
+    charge_issue();
+    Lanes<std::uint64_t> addrs{};
+    Lanes<T> old{};
+    for_each_lane(active(), [&](int lane) {
+      const auto i = static_cast<std::uint64_t>(idx(lane));
+      addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+      old[static_cast<std::size_t>(lane)] = ptr.host[i];
+      ptr.host[i] = update(ptr.host[i], lane);
+    });
+    mem_.access_atomic(addrs.data(), active());
+    return old;
+  }
+
+  template <typename T, typename Op>
+  T reduce(const Lanes<T>& v, Op&& op, T init) {
+    charge_collective();
+    T acc = init;
+    for_each_lane(active(), [&](int lane) {
+      acc = op(acc, v[static_cast<std::size_t>(lane)]);
+    });
+    return acc;
+  }
+
+  void push(LaneMask m) {
+    if (depth_ + 1 >= kMaxDepth) {
+      throw std::runtime_error("divergence stack overflow");
+    }
+    mask_stack_[++depth_] = m;
+  }
+  void pop() { --depth_; }
+
+  std::uint32_t block_id_;
+  std::uint32_t warp_in_block_;
+  std::uint32_t warps_per_block_;
+  const SimConfig& cfg_;
+  CycleCounters& counters_;
+  MemoryModel mem_;
+  LaneMask mask_stack_[kMaxDepth] = {};
+  std::size_t depth_ = 0;
+  std::vector<std::byte> shared_arena_;
+};
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for examples and bench harnesses.
+//
+// Supports "--name=value", "--name value" and boolean "--name" forms.
+// Unrecognized flags are collected so callers can forward them (e.g. to
+// google-benchmark's own parser).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace maxwarp::util {
+
+class CliArgs {
+ public:
+  /// Parses argv; positional (non --) arguments are kept in order.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were present on the command line but never queried; useful
+  /// for catching typos in example programs.
+  std::vector<std::string> unqueried() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace maxwarp::util

@@ -1,0 +1,126 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Every generator in this library is seeded explicitly so that graph
+// instances, synthetic workloads and test sweeps are bit-reproducible across
+// runs and platforms. We provide:
+//   - SplitMix64: a tiny stateless-ish mixer, used to expand a single user
+//     seed into independent stream seeds.
+//   - Xoshiro256StarStar: the main engine (fast, high-quality, 256-bit
+//     state), with `jump()` to derive non-overlapping parallel streams.
+//   - Distribution helpers (uniform, lognormal, Pareto, Zipf) implemented on
+//     top of the engine so results do not depend on libstdc++'s unspecified
+//     std::distribution algorithms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace maxwarp::util {
+
+/// Mixes a 64-bit state into a well-distributed 64-bit output.
+/// Used to derive independent seeds from a user seed (seed, seed+1, ...).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  result_type next();
+
+  /// Advances the state by 2^128 steps; use to split independent streams.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Convenience wrapper bundling an engine with explicit, portable
+/// distribution transforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_.next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [0, 1] with the open-left convention (0, 1];
+  /// useful as input to -log(u).
+  double next_double_open();
+
+  /// true with probability p.
+  bool next_bool(double p);
+
+  /// Standard normal via Box–Muller (no cached second value; deterministic).
+  double next_normal();
+
+  /// Lognormal with the given log-space mean and sigma.
+  double next_lognormal(double mu, double sigma);
+
+  /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed).
+  double next_pareto(double x_m, double alpha);
+
+  /// Exponential with rate lambda.
+  double next_exponential(double lambda);
+
+  /// Derive a child RNG whose stream is independent of this one.
+  Rng split();
+
+ private:
+  Xoshiro256StarStar engine_;
+};
+
+/// Zipf(s) sampler over {1..n} using precomputed inverse-CDF tables would be
+/// heavy for large n; instead we use the rejection-inversion method of
+/// Hörmann & Derflinger, which is O(1) per sample and exact.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws a value in [1, n].
+  std::uint64_t operator()(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double h(double x) const;
+  double h_inv(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double dd_;
+};
+
+}  // namespace maxwarp::util

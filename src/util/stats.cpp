@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace maxwarp::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum_weighted = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    assert(values[i] >= 0.0);
+    cum_weighted += static_cast<double>(i + 1) * values[i];
+    total += values[i];
+  }
+  if (total == 0) return 0.0;
+  const auto n = static_cast<double>(values.size());
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+void Log2Histogram::add(std::uint64_t value) {
+  const auto k = static_cast<std::size_t>(
+      value == 0 ? 0 : std::bit_width(value));  // 0 -> bucket 0, 1 -> 1, ...
+  if (k >= buckets_.size()) buckets_.resize(k + 1, 0);
+  ++buckets_[k];
+  ++total_;
+}
+
+std::uint64_t Log2Histogram::bucket(std::size_t k) const {
+  return k < buckets_.size() ? buckets_[k] : 0;
+}
+
+std::string Log2Histogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t k = 0; k < buckets_.size(); ++k) {
+    if (buckets_[k] == 0) continue;
+    const std::uint64_t lo = (k == 0) ? 0 : (1ULL << (k - 1));
+    const std::uint64_t hi = (k == 0) ? 1 : (1ULL << k);
+    out << '[' << lo << ", " << hi << "): " << buckets_[k] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace maxwarp::util

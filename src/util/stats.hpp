@@ -1,0 +1,65 @@
+// Streaming statistics and distribution summaries.
+//
+// Used for degree-distribution characterization (Table 1 of the paper) and
+// for summarizing per-warp utilization samples in the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace maxwarp::util {
+
+/// Welford one-pass accumulator: mean/variance/min/max without storing data.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
+};
+
+/// Gini coefficient of a non-negative sample; 0 = perfectly uniform,
+/// -> 1 = all mass in one element. The paper's "irregularity" of a degree
+/// distribution is exactly this kind of skew measure.
+double gini_coefficient(std::vector<double> values);
+
+/// Exact quantile (by sorting a copy). q in [0, 1].
+double quantile(std::vector<double> values, double q);
+
+/// Power-of-two histogram for degree distributions. Bucket 0 counts zeros;
+/// bucket k >= 1 counts values in [2^(k-1), 2^k).
+class Log2Histogram {
+ public:
+  void add(std::uint64_t value);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  std::uint64_t bucket(std::size_t k) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Human-readable rendering, one "[lo, hi): count" line per bucket.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace maxwarp::util

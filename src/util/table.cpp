@@ -1,0 +1,116 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace maxwarp::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '-' && c != '+' && c != 'e' && c != 'E' && c != '%' &&
+        c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string pad(const std::string& s, std::size_t width, bool right_align) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return right_align ? fill + s : s + fill;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out << "  ";
+    out << pad(headers_[c], widths[c], /*right_align=*/false);
+  }
+  out << '\n';
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const std::size_t w = c < widths.size() ? widths[c] : row[c].size();
+      out << pad(row[c], w, looks_numeric(row[c]));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_mteps(double edges_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f MTEPS", edges_per_second / 1e6);
+  return buf;
+}
+
+std::string format_si(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "B";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, suffix);
+  return buf;
+}
+
+}  // namespace maxwarp::util

@@ -1,0 +1,48 @@
+// Fixed-width text tables for benchmark output.
+//
+// Every bench binary prints the rows/series of the table or figure it
+// regenerates; this keeps those printouts aligned and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace maxwarp::util {
+
+/// Column-aligned table builder. Cells are strings; numeric helpers format
+/// with fixed precision. Rendering right-aligns numeric-looking cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::uint64_t value);
+  Table& cell(std::int64_t value);
+  Table& cell(int value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, two-space column gaps.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a count of traversed edges per second as "123.4 MTEPS".
+std::string format_mteps(double edges_per_second);
+
+/// Formats e.g. 1234567 as "1.23M" (SI-style suffix, 3 significant digits).
+std::string format_si(double value);
+
+}  // namespace maxwarp::util

@@ -1,0 +1,3 @@
+// Intentionally empty: Timer is header-only; this TU exists so that the
+// util library always has at least one object file per public header group.
+#include "util/timer.hpp"

@@ -1,0 +1,50 @@
+// Wall-clock timing helpers for benchmark harnesses and examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace maxwarp::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the total of several timed regions (e.g. per-BFS-level kernel
+/// times) without including the host code in between.
+class AccumulatingTimer {
+ public:
+  void start() { timer_.reset(); }
+  void stop() { total_seconds_ += timer_.seconds(); ++laps_; }
+
+  double total_seconds() const { return total_seconds_; }
+  std::uint64_t laps() const { return laps_; }
+
+  void clear() {
+    total_seconds_ = 0;
+    laps_ = 0;
+  }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0;
+  std::uint64_t laps_ = 0;
+};
+
+}  // namespace maxwarp::util

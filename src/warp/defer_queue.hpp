@@ -1,0 +1,98 @@
+// Deferring outliers (paper section "techniques for dynamic workload").
+//
+// Vertices whose degree exceeds a threshold are not expanded in place;
+// instead their ids are pushed to a global-memory queue with one
+// warp-aggregated atomic, and a second kernel drains the queue with much
+// wider execution units (a full physical warp — or several — per vertex).
+// This bounds the worst-case stall any single warp can suffer to the
+// threshold, while hub expansion proceeds at full SIMD width.
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+#include "simt/warp_ctx.hpp"
+
+namespace maxwarp::vw {
+
+/// Device-side handles for the queue (passed into kernels by value).
+struct DeferQueueView {
+  simt::DevPtr<std::uint32_t> entries;
+  simt::DevPtr<std::uint32_t> count;  ///< single counter cell
+};
+
+/// Host-side owner of the queue storage.
+class DeferQueue {
+ public:
+  DeferQueue(gpu::Device& device, std::uint32_t capacity)
+      : entries_(device, capacity), count_(device, 1) {
+    count_.fill(0);
+  }
+
+  DeferQueueView view() {
+    return {entries_.ptr(), count_.ptr()};
+  }
+
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+
+  /// Host read of the element count (a D2H copy, like the real code's
+  /// cudaMemcpy of the queue cursor between kernels).
+  std::uint32_t size() const { return count_.read(0); }
+
+  void reset() { count_.fill(0); }
+
+ private:
+  gpu::DeviceBuffer<std::uint32_t> entries_;
+  gpu::DeviceBuffer<std::uint32_t> count_;
+};
+
+/// Warp-aggregated queue push: appends value[lane] for every lane in
+/// `mask` using one intra-warp exclusive scan for slot assignment, a
+/// single leader atomicAdd for the base index, and a coalesced scatter —
+/// the idiom that replaces 32 contending atomics with one. Entries past
+/// `capacity` are dropped (the counter still records demand).
+inline void warp_aggregated_push(simt::WarpCtx& w,
+                                 simt::DevPtr<std::uint32_t> entries,
+                                 simt::DevPtr<std::uint32_t> count,
+                                 std::uint32_t capacity, simt::LaneMask mask,
+                                 const simt::Lanes<std::uint32_t>& value) {
+  mask &= w.active();
+  if (mask == 0) return;
+  w.with_mask(mask, [&] {
+    // Slot assignment within the warp.
+    simt::Lanes<std::uint32_t> ones = simt::make_lanes<std::uint32_t>(1);
+    std::uint32_t total = 0;
+    const simt::Lanes<std::uint32_t> slot = w.exclusive_scan_add(ones, total);
+
+    // One atomic for the whole warp.
+    simt::Lanes<std::uint32_t> base = simt::make_lanes<std::uint32_t>(0);
+    const int leader = simt::first_lane(w.active());
+    w.with_mask(simt::lane_bit(leader), [&] {
+      base = w.atomic_add(count, [](int) { return 0; },
+                          [&](int) { return total; });
+    });
+    const std::uint32_t start = w.broadcast(base, leader);
+
+    // Coalesced scatter.
+    const simt::LaneMask fits = w.ballot([&](int lane) {
+      return start + slot[static_cast<std::size_t>(lane)] < capacity;
+    });
+    w.with_mask(fits, [&] {
+      w.store_global(entries, [&](int lane) {
+        return start + slot[static_cast<std::size_t>(lane)];
+      }, [&](int lane) { return value[static_cast<std::size_t>(lane)]; });
+    });
+  });
+}
+
+/// Pushes task[lane] for every lane in `mask` onto the defer queue.
+inline void defer_push(simt::WarpCtx& w, const DeferQueueView& q,
+                       std::uint32_t capacity, simt::LaneMask mask,
+                       const simt::Lanes<std::uint32_t>& task) {
+  warp_aggregated_push(w, q.entries, q.count, capacity, mask, task);
+}
+
+}  // namespace maxwarp::vw

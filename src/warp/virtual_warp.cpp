@@ -1,0 +1,14 @@
+// Anchor TU for the header-only virtual-warp primitives; also forces a
+// compile of the templates' non-dependent parts under library warnings.
+#include "warp/virtual_warp.hpp"
+
+#include "warp/defer_queue.hpp"
+
+namespace maxwarp::vw {
+
+// Explicitly exercise Layout validation paths so misuse fails at library
+// build time if the invariants change.
+static_assert(simt::kWarpSize == 32,
+              "virtual warp widths assume 32-lane physical warps");
+
+}  // namespace maxwarp::vw

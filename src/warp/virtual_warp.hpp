@@ -1,0 +1,212 @@
+// Virtual warp-centric programming primitives — the paper's contribution.
+//
+// A physical 32-lane warp is partitioned into 32/W *virtual warps* (groups)
+// of W lanes each. Each group owns one task (vertex) at a time and
+// alternates two phases:
+//
+//   SISD phase — scalar bookkeeping executed by every lane of the group
+//     redundantly (replication costs nothing extra under SIMT: the warp
+//     issues the instruction once regardless);
+//   SIMD phase — the task's data-parallel work (its neighbor list) is
+//     strip-mined across the group's W lanes.
+//
+// Because all groups of a physical warp execute the same instruction
+// sequence, a group whose task has less work idles (is masked off) while
+// the longest-running group finishes — that residual imbalance is bounded
+// by the *within-warp* degree spread divided by W, instead of by the
+// full degree of a single vertex as in thread-mapping. The W knob trades
+// this imbalance against ALU underutilization on short neighbor lists.
+//
+// The helpers here keep divergence-mask bookkeeping out of kernels:
+// algorithms compose assign_static_tasks / claim_chunk (dynamic), a task
+// filter, load_task_ranges, and simd_strip_loop.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "simt/devptr.hpp"
+#include "simt/lanes.hpp"
+#include "simt/mask.hpp"
+#include "simt/warp_ctx.hpp"
+
+namespace maxwarp::vw {
+
+/// Geometry of the virtual-warp decomposition.
+struct Layout {
+  int width = 32;  ///< W: lanes per virtual warp
+
+  static bool valid_width(int w) {
+    return w == 1 || w == 2 || w == 4 || w == 8 || w == 16 || w == 32;
+  }
+
+  explicit Layout(int w) : width(w) {
+    if (!valid_width(w)) {
+      throw std::invalid_argument(
+          "virtual warp width must be a power-of-two divisor of 32");
+    }
+  }
+
+  int groups() const { return simt::kWarpSize / width; }
+  int group_of(int lane) const { return lane / width; }
+  int lane_in_group(int lane) const { return lane % width; }
+  int leader_lane(int group) const { return group * width; }
+};
+
+/// Static (grid-strided) task assignment: in round r, the g-th group of
+/// warp w owns task  w*G + g + r*total_groups.  Fills `task` for every
+/// lane (replicated across its group) and returns the mask of lanes whose
+/// group has a valid task.
+inline simt::LaneMask assign_static_tasks(
+    simt::WarpCtx& w, const Layout& layout, std::uint64_t round,
+    std::uint64_t total_groups, std::uint64_t num_tasks,
+    simt::Lanes<std::uint32_t>& task) {
+  simt::Lanes<std::uint64_t> raw{};
+  w.alu([&](int lane) {
+    raw[static_cast<std::size_t>(lane)] =
+        static_cast<std::uint64_t>(w.global_warp_id()) *
+            static_cast<std::uint64_t>(layout.groups()) +
+        static_cast<std::uint64_t>(layout.group_of(lane)) +
+        round * total_groups;
+  });
+  const simt::LaneMask valid = w.ballot([&](int lane) {
+    return raw[static_cast<std::size_t>(lane)] < num_tasks;
+  });
+  w.alu([&](int lane) {
+    task[static_cast<std::size_t>(lane)] =
+        static_cast<std::uint32_t>(raw[static_cast<std::size_t>(lane)]);
+  });
+  return valid;
+}
+
+/// Dynamic task distribution: the warp leader claims `chunk` consecutive
+/// tasks with one atomic fetch-and-add and broadcasts the start index.
+/// Returns the chunk start (>= num_tasks means the pool is drained).
+inline std::uint32_t claim_chunk(simt::WarpCtx& w,
+                                 simt::DevPtr<std::uint32_t> counter,
+                                 std::uint32_t chunk) {
+  simt::Lanes<std::uint32_t> old = simt::make_lanes<std::uint32_t>(0);
+  const int leader = simt::first_lane(w.active());
+  w.with_mask(simt::lane_bit(leader), [&] {
+    old = w.atomic_add(counter, [](int) { return 0; },
+                       [&](int) { return chunk; });
+  });
+  return w.broadcast(old, leader);
+}
+
+/// Distributes the claimed chunk's tasks to groups: group g takes
+/// chunk_start + g (replicated to its lanes). Returns the valid-lane mask.
+inline simt::LaneMask assign_chunk_tasks(simt::WarpCtx& w,
+                                         const Layout& layout,
+                                         std::uint32_t chunk_start,
+                                         std::uint32_t chunk,
+                                         std::uint64_t num_tasks,
+                                         simt::Lanes<std::uint32_t>& task) {
+  w.alu([&](int lane) {
+    task[static_cast<std::size_t>(lane)] =
+        chunk_start + static_cast<std::uint32_t>(layout.group_of(lane));
+  });
+  return w.ballot([&](int lane) {
+    const std::uint32_t t = task[static_cast<std::size_t>(lane)];
+    return t < chunk_start + chunk && t < num_tasks;
+  });
+}
+
+/// SISD phase helper for CSR algorithms: loads each group's task row range
+/// [row[v], row[v+1]) replicated to the group's lanes. The replicated loads
+/// coalesce (same address per group), mirroring the paper's replicated
+/// scalar phase.
+inline void load_task_ranges(simt::WarpCtx& w,
+                             simt::DevPtr<const std::uint32_t> row,
+                             const simt::Lanes<std::uint32_t>& task,
+                             simt::LaneMask valid,
+                             simt::Lanes<std::uint32_t>& begin,
+                             simt::Lanes<std::uint32_t>& end) {
+  w.with_mask(valid, [&] {
+    w.load_global(row, [&](int lane) {
+      return task[static_cast<std::size_t>(lane)];
+    }, begin);
+    w.load_global(row, [&](int lane) {
+      return task[static_cast<std::size_t>(lane)] + 1;
+    }, end);
+  });
+}
+
+/// SIMD phase: strip-mines each group's [begin, end) range across its W
+/// lanes. `body(cursor)` runs once per strip with `cursor[lane]` holding
+/// the lane's current work-item index; lanes past their group's end are
+/// masked off, so the warp iterates until the *largest* group range is
+/// done — the virtual-warp imbalance residue the paper analyzes.
+template <typename BodyF>
+void simd_strip_loop(simt::WarpCtx& w, const Layout& layout,
+                     const simt::Lanes<std::uint32_t>& begin,
+                     const simt::Lanes<std::uint32_t>& end,
+                     simt::LaneMask valid, BodyF&& body) {
+  simt::Lanes<std::uint32_t> cursor{};
+  w.alu([&](int lane) {
+    cursor[static_cast<std::size_t>(lane)] =
+        begin[static_cast<std::size_t>(lane)] +
+        static_cast<std::uint32_t>(layout.lane_in_group(lane));
+  });
+  w.with_mask(valid, [&] {
+    w.loop_while(
+        [&](int lane) {
+          return cursor[static_cast<std::size_t>(lane)] <
+                 end[static_cast<std::size_t>(lane)];
+        },
+        [&] {
+          body(cursor);
+          w.alu([&](int lane) {
+            cursor[static_cast<std::size_t>(lane)] +=
+                static_cast<std::uint32_t>(layout.width);
+          });
+        });
+  });
+}
+
+/// Per-group tree reduction with an arbitrary associative op: combines
+/// each group's lanes of `values` into the group's leader lane (other
+/// lanes keep partial garbage, as after a real shfl-down tree). Charges
+/// log2(W) shuffle steps. Only lanes in `valid` contribute; leader slots
+/// of groups with no valid lanes get `identity`.
+template <typename T, typename Op>
+simt::Lanes<T> group_reduce(simt::WarpCtx& w, const Layout& layout,
+                            const simt::Lanes<T>& values,
+                            simt::LaneMask valid, Op&& op, T identity = {}) {
+  // log2(width) shuffle-down steps on real hardware.
+  int steps = 0;
+  for (int span = 1; span < layout.width; span *= 2) ++steps;
+  simt::Lanes<T> out{};
+  w.alu_n(steps == 0 ? 1 : steps, [](int) {});
+  for (int g = 0; g < layout.groups(); ++g) {
+    T acc = identity;
+    for (int j = 0; j < layout.width; ++j) {
+      const int lane = layout.leader_lane(g) + j;
+      if (simt::lane_active(valid, lane)) {
+        acc = op(acc, values[static_cast<std::size_t>(lane)]);
+      }
+    }
+    out[static_cast<std::size_t>(layout.leader_lane(g))] = acc;
+  }
+  return out;
+}
+
+/// Sum reduction (the common case).
+template <typename T>
+simt::Lanes<T> group_reduce_add(simt::WarpCtx& w, const Layout& layout,
+                                const simt::Lanes<T>& values,
+                                simt::LaneMask valid) {
+  return group_reduce(w, layout, values, valid,
+                      [](T a, T b) { return a + b; });
+}
+
+/// Bitwise-OR reduction (mask accumulation, e.g. forbidden color sets).
+template <typename T>
+simt::Lanes<T> group_reduce_or(simt::WarpCtx& w, const Layout& layout,
+                               const simt::Lanes<T>& values,
+                               simt::LaneMask valid) {
+  return group_reduce(w, layout, values, valid,
+                      [](T a, T b) { return a | b; });
+}
+
+}  // namespace maxwarp::vw

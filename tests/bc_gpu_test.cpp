@@ -1,0 +1,179 @@
+#include "algorithms/bc_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+std::vector<NodeId> all_nodes(const Csr& g) {
+  std::vector<NodeId> v(g.num_nodes());
+  std::iota(v.begin(), v.end(), 0u);
+  return v;
+}
+
+void expect_matches_cpu(const Csr& g, std::span<const NodeId> sources,
+                        const KernelOptions& opts, double tol = 1e-3) {
+  gpu::Device dev;
+  const auto gpu_result = betweenness_gpu(dev, g, sources, opts);
+  const auto cpu_result = betweenness_cpu(g, sources);
+  ASSERT_EQ(gpu_result.centrality.size(), cpu_result.size());
+  for (std::size_t v = 0; v < cpu_result.size(); ++v) {
+    EXPECT_NEAR(gpu_result.centrality[v], cpu_result[v],
+                tol * (1.0 + std::abs(cpu_result[v])))
+        << "node " << v;
+  }
+}
+
+// ---- CPU reference sanity on graphs with known BC ------------------------
+
+TEST(BetweennessCpu, PathGraphCenterDominates) {
+  // Undirected path 0-1-2-3-4, all sources: interior nodes carry the
+  // crossing pairs. Known (unnormalized, directed-contribution) values:
+  // node 2 lies on 0-3,0-4,1-3,1-4,3-0,4-0,... = 8 pairs; plus endpoints 0.
+  const auto bc = betweenness_cpu(graph::chain(5), all_nodes(graph::chain(5)));
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  EXPECT_DOUBLE_EQ(bc[2], 8.0);
+  EXPECT_DOUBLE_EQ(bc[1], 6.0);
+  EXPECT_DOUBLE_EQ(bc[3], 6.0);
+}
+
+TEST(BetweennessCpu, StarHubCarriesEverything) {
+  const Csr g = graph::star(6);  // hub 0, leaves 1..5
+  const auto bc = betweenness_cpu(g, all_nodes(g));
+  // Every leaf pair's unique shortest path crosses the hub: 5*4 ordered
+  // pairs.
+  EXPECT_DOUBLE_EQ(bc[0], 20.0);
+  for (std::size_t v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(BetweennessCpu, CompleteGraphAllZero) {
+  const Csr g = graph::complete(5);
+  for (double x : betweenness_cpu(g, all_nodes(g))) {
+    EXPECT_DOUBLE_EQ(x, 0.0);  // every pair is adjacent
+  }
+}
+
+TEST(BetweennessCpu, SplitPathsShareCredit) {
+  // Diamond: 0 -> {1,2} -> 3 (directed). Two shortest paths 0->3; nodes 1
+  // and 2 each get 0.5 from the (0,3) pair.
+  const Csr g = graph::build_csr(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto bc = betweenness_cpu(g, all_nodes(g));
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(BetweennessCpu, OutOfRangeSourceThrows) {
+  const std::vector<NodeId> bad{99};
+  EXPECT_THROW(betweenness_cpu(graph::chain(4), bad), std::out_of_range);
+}
+
+// ---- GPU vs CPU across mappings -------------------------------------------
+
+struct BcCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class BcSweep : public ::testing::TestWithParam<BcCase> {};
+
+TEST_P(BcSweep, PathAllSources) {
+  const Csr g = graph::chain(12);
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(g, all_nodes(g), opts);
+}
+
+TEST_P(BcSweep, TreeAllSources) {
+  const Csr g = graph::complete_binary_tree(31);
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(g, all_nodes(g), opts);
+}
+
+TEST_P(BcSweep, RmatSampledSources) {
+  const Csr g = graph::rmat(256, 2048, {}, {.seed = 41, .undirected = true});
+  const std::vector<NodeId> sources{0, 7, 33, 129, 200};
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(g, sources, opts);
+}
+
+TEST_P(BcSweep, DirectedDiamond) {
+  const Csr g = graph::build_csr(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(g, all_nodes(g), opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, BcSweep,
+    ::testing::Values(BcCase{"thread_mapped", Mapping::kThreadMapped, 32},
+                      BcCase{"warp_w4", Mapping::kWarpCentric, 4},
+                      BcCase{"warp_w16", Mapping::kWarpCentric, 16},
+                      BcCase{"warp_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<BcCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(BetweennessGpu, EmptySourcesGiveZeros) {
+  gpu::Device dev;
+  const auto r = betweenness_gpu(dev, graph::chain(5), {});
+  for (float x : r.centrality) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(BetweennessGpu, UnsupportedMappingThrows) {
+  gpu::Device dev;
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDefer;
+  const std::vector<NodeId> sources{0};
+  EXPECT_THROW(betweenness_gpu(dev, graph::chain(4), sources, opts),
+               std::invalid_argument);
+}
+
+TEST(BetweennessGpu, OutOfRangeSourceThrows) {
+  gpu::Device dev;
+  const std::vector<NodeId> bad{42};
+  EXPECT_THROW(betweenness_gpu(dev, graph::chain(4), bad),
+               std::out_of_range);
+}
+
+TEST(BetweennessGpu, DeterministicAcrossRuns) {
+  const Csr g = graph::watts_strogatz(128, 4, 0.2, {.seed = 43});
+  const std::vector<NodeId> sources{0, 5, 9};
+  gpu::Device d1, d2;
+  const auto a = betweenness_gpu(d1, g, sources);
+  const auto b = betweenness_gpu(d2, g, sources);
+  EXPECT_EQ(a.centrality, b.centrality);
+  EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+TEST(BetweennessGpu, WarpCentricFasterOnSkewedGraph) {
+  const Csr g = graph::rmat(2048, 16384, {}, {.seed = 44});
+  const std::vector<NodeId> sources{0, 1, 2};
+  gpu::Device d1, d2;
+  KernelOptions base;
+  base.mapping = Mapping::kThreadMapped;
+  KernelOptions warp;
+  warp.mapping = Mapping::kWarpCentric;
+  warp.virtual_warp_width = 16;
+  const auto b = betweenness_gpu(d1, g, sources, base);
+  const auto w = betweenness_gpu(d2, g, sources, warp);
+  EXPECT_LT(w.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,100 @@
+#include "algorithms/bfs_cpu_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/cpu_reference.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+class ThreadCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCountSweep, MatchesSequentialOnRmat) {
+  const auto g = graph::rmat(2048, 16384, {}, {.seed = 1});
+  const auto expected = bfs_cpu(g, 0);
+  const auto result = bfs_cpu_parallel(g, 0, GetParam());
+  EXPECT_EQ(result.level, expected);
+}
+
+TEST_P(ThreadCountSweep, MatchesSequentialOnGrid) {
+  const auto g = graph::grid2d(40, 40);
+  const auto expected = bfs_cpu(g, 7);
+  const auto result = bfs_cpu_parallel(g, 7, GetParam());
+  EXPECT_EQ(result.level, expected);
+}
+
+TEST_P(ThreadCountSweep, MatchesSequentialOnDisconnected) {
+  const auto g = graph::build_csr(100, {{0, 1}, {1, 2}, {50, 51}});
+  const auto expected = bfs_cpu(g, 0);
+  const auto result = bfs_cpu_parallel(g, 0, GetParam());
+  EXPECT_EQ(result.level, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(BfsCpuParallel, DepthMatchesEccentricity) {
+  const auto g = graph::chain(25);
+  const auto result = bfs_cpu_parallel(g, 0, 2);
+  EXPECT_EQ(result.depth, 24u);
+}
+
+TEST(BfsCpuParallel, RecordsElapsedTime) {
+  const auto g = graph::erdos_renyi(5000, 40000, {.seed = 2});
+  const auto result = bfs_cpu_parallel(g, 0, 2);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+}
+
+TEST(BfsCpuParallel, InvalidThreadCountThrows) {
+  EXPECT_THROW(bfs_cpu_parallel(graph::chain(4), 0, 0),
+               std::invalid_argument);
+}
+
+TEST(BfsCpuParallel, BadSourceAllUnreached) {
+  const auto result = bfs_cpu_parallel(graph::chain(4), 77, 2);
+  for (auto l : result.level) EXPECT_EQ(l, kUnreached);
+}
+
+TEST(SequentialReferences, BfsChainLevels) {
+  const auto levels = bfs_cpu(graph::chain(5), 2);
+  EXPECT_EQ(levels, (std::vector<std::uint32_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(SequentialReferences, DijkstraSimplePath) {
+  graph::Csr g = graph::build_csr(3, {{0, 1}, {1, 2}, {0, 2}});
+  // Adjacency is sorted per row: row 0 holds targets {1, 2}, row 1 holds
+  // {2}; so the direct 0->2 edge is the second weight slot.
+  g.weights = {1, 5, 1};
+  const auto dist = sssp_cpu(g, 0);
+  EXPECT_EQ(dist[2], 2u);  // path 0-1-2 beats direct edge of weight 5
+}
+
+TEST(SequentialReferences, DijkstraUnweightedDefaultsToUnitWeights) {
+  const auto dist = sssp_cpu(graph::chain(4), 0);
+  EXPECT_EQ(dist[3], 3u);
+}
+
+TEST(SequentialReferences, UnionFindLabelsAreMinima) {
+  const auto labels =
+      connected_components_cpu(graph::build_csr(4, {{3, 1}, {1, 3}}));
+  EXPECT_EQ(labels, (std::vector<std::uint32_t>{0, 1, 2, 1}));
+}
+
+TEST(SequentialReferences, PageRankSumsToOne) {
+  const auto rank = pagerank_cpu(graph::rmat(256, 1024, {}, {.seed = 3}),
+                                 0.85, 30);
+  double total = 0;
+  for (double r : rank) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SequentialReferences, PageRankUniformOnSymmetricRing) {
+  const auto rank = pagerank_cpu(graph::chain(10), 0.85, 50);
+  // A chain is not uniform (endpoints differ) but must be symmetric.
+  EXPECT_NEAR(rank[0], rank[9], 1e-12);
+  EXPECT_NEAR(rank[3], rank[6], 1e-12);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,124 @@
+#include "algorithms/cc_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/cpu_reference.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+
+void expect_matches_cpu(const Csr& g, const KernelOptions& opts) {
+  gpu::Device dev;
+  const auto gpu_result = connected_components_gpu(dev, g, opts);
+  const auto cpu_labels = connected_components_cpu(g);
+  EXPECT_EQ(gpu_result.label, cpu_labels);
+}
+
+struct CcCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class CcSweep : public ::testing::TestWithParam<CcCase> {};
+
+TEST_P(CcSweep, SingleComponentChain) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(graph::chain(40), opts);
+}
+
+TEST_P(CcSweep, ManyIsolatedNodes) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(graph::empty_graph(100), opts);
+}
+
+TEST_P(CcSweep, UndirectedRandom) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(
+      graph::erdos_renyi(600, 900, {.seed = 5, .undirected = true}), opts);
+}
+
+TEST_P(CcSweep, SmallWorld) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(graph::watts_strogatz(300, 4, 0.1, {.seed = 6}), opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, CcSweep,
+    ::testing::Values(CcCase{"thread_mapped", Mapping::kThreadMapped, 32},
+                      CcCase{"warp_w4", Mapping::kWarpCentric, 4},
+                      CcCase{"warp_w16", Mapping::kWarpCentric, 16},
+                      CcCase{"warp_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<CcCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(CcGpu, ComponentCountMatchesUnionFind) {
+  const Csr g =
+      graph::erdos_renyi(500, 400, {.seed = 7, .undirected = true});
+  gpu::Device dev;
+  const auto r = connected_components_gpu(dev, g, {});
+  std::set<std::uint32_t> gpu_components(r.label.begin(), r.label.end());
+  std::vector<std::uint32_t> comp;
+  const std::uint32_t expected = graph::weak_components(g, comp);
+  EXPECT_EQ(gpu_components.size(), expected);
+}
+
+TEST(CcGpu, LabelsAreComponentMinima) {
+  // Two triangles: {0,2,4} and {1,3,5}.
+  graph::BuildOptions sym;
+  sym.symmetrize = true;
+  const Csr g = graph::build_csr(
+      6, {{0, 2}, {2, 4}, {4, 0}, {1, 3}, {3, 5}, {5, 1}}, sym);
+  gpu::Device dev;
+  const auto r = connected_components_gpu(dev, g, {});
+  EXPECT_EQ(r.label, (std::vector<std::uint32_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(CcGpu, UnsupportedMappingThrows) {
+  gpu::Device dev;
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDynamic;
+  EXPECT_THROW(connected_components_gpu(dev, graph::chain(4), opts),
+               std::invalid_argument);
+}
+
+TEST(CcGpu, EmptyGraph) {
+  gpu::Device dev;
+  const auto r = connected_components_gpu(dev, graph::empty_graph(0), {});
+  EXPECT_TRUE(r.label.empty());
+}
+
+TEST(CcGpu, SweepsBoundedByDiameter) {
+  gpu::Device dev;
+  const auto r = connected_components_gpu(dev, graph::chain(64), {});
+  // Min label floods one hop per sweep: 63 hops + quiescent check.
+  EXPECT_LE(r.stats.iterations, 65u);
+  EXPECT_GE(r.stats.iterations, 2u);
+}
+
+TEST(CcGpu, DeterministicAcrossRuns) {
+  const Csr g = graph::watts_strogatz(256, 6, 0.3, {.seed = 8});
+  gpu::Device d1, d2;
+  const auto a = connected_components_gpu(d1, g, {});
+  const auto b = connected_components_gpu(d2, g, {});
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,138 @@
+#include "algorithms/coloring_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+
+// ---- CPU reference ---------------------------------------------------------
+
+TEST(ColoringCpu, ProperOnAssortedGraphs) {
+  for (const Csr& g :
+       {graph::chain(30), graph::star(40), graph::complete(7),
+        graph::grid2d(8, 9),
+        graph::erdos_renyi(300, 1500, {.seed = 71, .undirected = true})}) {
+    const auto color = color_graph_cpu(g);
+    EXPECT_TRUE(is_proper_coloring(g, color));
+  }
+}
+
+TEST(ColoringCpu, CompleteGraphNeedsNColors) {
+  const auto color = color_graph_cpu(graph::complete(6));
+  std::uint32_t max_color = 0;
+  for (auto c : color) max_color = std::max(max_color, c);
+  EXPECT_EQ(max_color, 5u);
+}
+
+TEST(ColoringCpu, ChainUsesFewColors) {
+  const auto color = color_graph_cpu(graph::chain(100));
+  for (auto c : color) EXPECT_LE(c, 2u);  // greedy on a path needs <= 3
+}
+
+TEST(ColoringCpu, IsolatedNodesAllColorZero) {
+  const auto color = color_graph_cpu(graph::empty_graph(10));
+  for (auto c : color) EXPECT_EQ(c, 0u);
+}
+
+TEST(ColoringValidation, DetectsBadColorings) {
+  const Csr g = graph::chain(3);
+  EXPECT_FALSE(is_proper_coloring(g, {0, 0, 1}));      // adjacent equal
+  EXPECT_FALSE(is_proper_coloring(g, {0, 1}));         // wrong size
+  EXPECT_FALSE(is_proper_coloring(g, {0, kNoColor, 0}));  // uncolored
+  EXPECT_TRUE(is_proper_coloring(g, {0, 1, 0}));
+}
+
+// ---- GPU vs CPU across mappings -------------------------------------------
+
+struct ColorCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class ColoringSweep : public ::testing::TestWithParam<ColorCase> {};
+
+TEST_P(ColoringSweep, MatchesSequentialJonesPlassmann) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  for (const Csr& g :
+       {graph::chain(40), graph::grid2d(9, 11),
+        graph::watts_strogatz(200, 6, 0.2, {.seed = 72}),
+        graph::erdos_renyi(400, 2400, {.seed = 73, .undirected = true})}) {
+    gpu::Device dev;
+    const auto r = color_graph_gpu(dev, g, opts);
+    EXPECT_EQ(r.color, color_graph_cpu(g));
+    EXPECT_TRUE(is_proper_coloring(g, r.color));
+  }
+}
+
+TEST_P(ColoringSweep, HubGraphExercisesWindowSliding) {
+  // A clique of 100 needs 100 colors: > the 64-bit window, so the slide
+  // path must run and still match the sequential reference.
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  const Csr g = graph::complete(100);
+  gpu::Device dev;
+  const auto r = color_graph_gpu(dev, g, opts);
+  EXPECT_TRUE(is_proper_coloring(g, r.color));
+  EXPECT_EQ(r.colors_used, 100u);
+  EXPECT_EQ(r.color, color_graph_cpu(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, ColoringSweep,
+    ::testing::Values(
+        ColorCase{"thread_mapped", Mapping::kThreadMapped, 32},
+        ColorCase{"warp_w8", Mapping::kWarpCentric, 8},
+        ColorCase{"warp_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<ColorCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(ColoringGpu, SkewedGraphProperAndMatching) {
+  const Csr g = graph::rmat(512, 4096, {}, {.seed = 74, .undirected = true});
+  gpu::Device dev;
+  const auto r = color_graph_gpu(dev, g, {});
+  EXPECT_TRUE(is_proper_coloring(g, r.color));
+  EXPECT_EQ(r.color, color_graph_cpu(g));
+}
+
+TEST(ColoringGpu, ColorsUsedReported) {
+  gpu::Device dev;
+  const auto r = color_graph_gpu(dev, graph::complete(5), {});
+  EXPECT_EQ(r.colors_used, 5u);
+}
+
+TEST(ColoringGpu, EmptyGraphAndUnsupportedMapping) {
+  gpu::Device dev;
+  EXPECT_EQ(color_graph_gpu(dev, graph::empty_graph(0), {}).colors_used,
+            0u);
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDynamic;
+  EXPECT_THROW(color_graph_gpu(dev, graph::chain(4), opts),
+               std::invalid_argument);
+}
+
+TEST(ColoringGpu, DeterministicAcrossRuns) {
+  const Csr g = graph::watts_strogatz(300, 8, 0.3, {.seed = 75});
+  gpu::Device d1, d2;
+  const auto a = color_graph_gpu(d1, g, {});
+  const auto b = color_graph_gpu(d2, g, {});
+  EXPECT_EQ(a.color, b.color);
+  EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+TEST(ColoringGpu, PriorityFunctionIsStable) {
+  EXPECT_EQ(coloring_priority(7), coloring_priority(7));
+  EXPECT_NE(coloring_priority(7), coloring_priority(8));
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,74 @@
+// Shared-plumbing coverage: option/enum formatting, GpuCsr upload
+// semantics, and the KernelStats helpers the bench harness reads.
+#include <gtest/gtest.h>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+TEST(MappingNames, AllDistinctAndStable) {
+  EXPECT_EQ(to_string(Mapping::kThreadMapped), "thread-mapped");
+  EXPECT_EQ(to_string(Mapping::kWarpCentric), "warp-centric");
+  EXPECT_EQ(to_string(Mapping::kWarpCentricDynamic),
+            "warp-centric+dynamic");
+  EXPECT_EQ(to_string(Mapping::kWarpCentricDefer), "warp-centric+defer");
+}
+
+TEST(FrontierNames, Stable) {
+  EXPECT_EQ(to_string(Frontier::kLevelArray), "level-array");
+  EXPECT_EQ(to_string(Frontier::kQueue), "queue");
+}
+
+TEST(GpuCsrUpload, MirrorsHostGraph) {
+  graph::Csr g = graph::erdos_renyi(100, 500, {.seed = 91});
+  graph::assign_hash_weights(g, 10);
+  gpu::Device dev;
+  GpuCsr gpu_graph(dev, g);
+  EXPECT_EQ(gpu_graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(gpu_graph.num_edges(), g.num_edges());
+  EXPECT_TRUE(gpu_graph.weighted());
+  // The upload was charged to the PCIe model.
+  EXPECT_GE(dev.transfer_totals().bytes_to_device,
+            g.row.size() * 4 + g.adj.size() * 4 + g.weights.size() * 4);
+}
+
+TEST(GpuCsrUpload, UnweightedGraphReportsUnweighted) {
+  const graph::Csr g = graph::chain(10);
+  gpu::Device dev;
+  GpuCsr gpu_graph(dev, g);
+  EXPECT_FALSE(gpu_graph.weighted());
+}
+
+TEST(GpuCsrUpload, DevicePointersReadCorrectValues) {
+  const graph::Csr g = graph::build_csr(3, {{0, 1}, {0, 2}, {1, 2}});
+  gpu::Device dev;
+  GpuCsr gpu_graph(dev, g);
+  EXPECT_EQ(gpu_graph.row().host[0], 0u);
+  EXPECT_EQ(gpu_graph.row().host[1], 2u);
+  EXPECT_EQ(gpu_graph.adj().host[0], 1u);
+  EXPECT_EQ(gpu_graph.adj().host[1], 2u);
+}
+
+TEST(KernelOptionsDefaults, MatchDocumentedValues) {
+  const KernelOptions opts;
+  EXPECT_EQ(opts.mapping, Mapping::kWarpCentric);
+  EXPECT_EQ(opts.frontier, Frontier::kLevelArray);
+  EXPECT_EQ(opts.virtual_warp_width, 32);
+  EXPECT_GT(opts.dynamic_chunk, 0u);
+  EXPECT_GT(opts.defer_threshold, 0u);
+  EXPECT_GT(opts.warps_per_deferred_task, 0u);
+}
+
+TEST(RunStats, TotalIsKernelPlusTransfer) {
+  GpuRunStats stats;
+  stats.kernels.elapsed_cycles = 1'400'000;  // 1 ms at 1.4 GHz
+  stats.transfer_ms = 0.5;
+  simt::SimConfig cfg;
+  EXPECT_NEAR(stats.total_ms(cfg), stats.kernel_ms(cfg) + 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

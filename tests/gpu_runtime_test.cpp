@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+
+namespace maxwarp::gpu {
+namespace {
+
+TEST(Device, VaddrAllocationsAre256AlignedAndDisjoint) {
+  Device dev;
+  const std::uint64_t a = dev.allocate_vaddr(10);
+  const std::uint64_t b = dev.allocate_vaddr(300);
+  const std::uint64_t c = dev.allocate_vaddr(1);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_EQ(c % 256, 0u);
+  EXPECT_GE(b, a + 10);
+  EXPECT_GE(c, b + 300);
+  EXPECT_NE(a, 0u);  // 0 stays invalid
+}
+
+TEST(Device, CopyModelAccumulates) {
+  simt::SimConfig cfg;
+  cfg.copy_gbytes_per_sec = 1.0;  // 1 GB/s
+  cfg.copy_latency_us = 10.0;
+  Device dev(cfg);
+  dev.note_copy(1'000'000, /*to_device=*/true);
+  const TransferStats& t = dev.transfer_totals();
+  EXPECT_EQ(t.bytes_to_device, 1'000'000u);
+  EXPECT_EQ(t.calls, 1u);
+  // 10us latency + 1MB at 1GB/s = 1ms -> ~1.01 ms.
+  EXPECT_NEAR(t.modeled_ms, 1.01, 1e-6);
+}
+
+TEST(Device, LaunchAccumulatesKernelTotals) {
+  Device dev;
+  dev.launch(dev.dims_for_threads(64),
+             [](simt::WarpCtx& w) { w.alu([](int) {}); });
+  dev.launch(dev.dims_for_threads(64),
+             [](simt::WarpCtx& w) { w.alu([](int) {}); });
+  EXPECT_EQ(dev.kernel_totals().launches, 2u);
+  EXPECT_EQ(dev.kernel_totals().counters.issued_instructions, 4u);
+}
+
+TEST(Device, ResetTotalsClearsEverything) {
+  Device dev;
+  dev.launch(dev.dims_for_threads(32), [](simt::WarpCtx& w) {
+    w.alu([](int) {});
+  });
+  dev.note_copy(100, true);
+  dev.reset_totals();
+  EXPECT_EQ(dev.kernel_totals().launches, 0u);
+  EXPECT_EQ(dev.kernel_totals().elapsed_cycles, 0u);
+  EXPECT_EQ(dev.transfer_totals().calls, 0u);
+}
+
+TEST(DeviceBuffer, UploadDownloadRoundTrip) {
+  Device dev;
+  std::vector<std::uint32_t> host{1, 2, 3, 4, 5};
+  DeviceBuffer<std::uint32_t> buf(dev, host);
+  EXPECT_EQ(buf.size(), 5u);
+  EXPECT_EQ(buf.download(), host);
+}
+
+TEST(DeviceBuffer, UploadChargesTransfer) {
+  Device dev;
+  std::vector<std::uint32_t> host(1000, 7);
+  DeviceBuffer<std::uint32_t> buf(dev, host);
+  EXPECT_EQ(dev.transfer_totals().bytes_to_device, 4000u);
+  (void)buf.download();
+  EXPECT_EQ(dev.transfer_totals().bytes_to_host, 4000u);
+}
+
+TEST(DeviceBuffer, OversizedUploadThrows) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> buf(dev, 4);
+  std::vector<std::uint32_t> big(5, 0);
+  EXPECT_THROW(buf.upload(big), std::out_of_range);
+}
+
+TEST(DeviceBuffer, ReadWriteSingleElements) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> buf(dev, 8);
+  buf.fill(0);
+  buf.write(3, 99);
+  EXPECT_EQ(buf.read(3), 99u);
+  EXPECT_EQ(buf.read(0), 0u);
+  EXPECT_EQ(dev.transfer_totals().calls, 3u);  // write + 2 reads
+}
+
+TEST(DeviceBuffer, FillIsNotATransfer) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> buf(dev, 128);
+  const std::uint64_t calls_before = dev.transfer_totals().calls;
+  buf.fill(5);
+  EXPECT_EQ(dev.transfer_totals().calls, calls_before);
+  EXPECT_EQ(buf.read(100), 5u);
+}
+
+TEST(DeviceBuffer, DistinctBuffersGetDistinctAddressRanges) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> a(dev, 100);
+  DeviceBuffer<std::uint32_t> b(dev, 100);
+  const auto pa = a.ptr();
+  const auto pb = b.ptr();
+  // Ranges [vaddr, vaddr+400) must not overlap.
+  EXPECT_TRUE(pa.vaddr + 400 <= pb.vaddr || pb.vaddr + 400 <= pa.vaddr);
+}
+
+TEST(DeviceBuffer, KernelSeesBufferData) {
+  Device dev;
+  std::vector<std::uint32_t> host(64);
+  for (std::uint32_t i = 0; i < 64; ++i) host[i] = i;
+  DeviceBuffer<std::uint32_t> in(dev, host);
+  DeviceBuffer<std::uint32_t> out(dev, 64);
+  out.fill(0);
+  auto in_ptr = in.cptr();
+  auto out_ptr = out.ptr();
+  dev.launch(dev.dims_for_threads(64), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> v{};
+    w.load_global(in_ptr, [&](int l) {
+      return w.thread_id(l);
+    }, v);
+    w.store_global(out_ptr, [&](int l) { return w.thread_id(l); },
+                   [&](int l) { return v[static_cast<std::size_t>(l)] * 2; });
+  });
+  const auto result = out.download();
+  for (std::uint32_t i = 0; i < 64; ++i) EXPECT_EQ(result[i], i * 2);
+}
+
+TEST(Device, TotalModeledMsCombinesKernelsAndTransfers) {
+  Device dev;
+  std::vector<std::uint32_t> host(1024, 1);
+  DeviceBuffer<std::uint32_t> buf(dev, host);
+  dev.launch(dev.dims_for_threads(1024), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> v{};
+    w.load_global(buf.cptr(), [&](int l) { return w.thread_id(l); }, v);
+  });
+  EXPECT_GT(dev.total_modeled_ms(), 0.0);
+  EXPECT_NEAR(dev.total_modeled_ms(),
+              dev.kernel_totals().elapsed_ms(dev.config()) +
+                  dev.transfer_totals().modeled_ms,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace maxwarp::gpu

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::graph {
+namespace {
+
+TEST(Csr, EmptyGraphInvariants) {
+  Csr g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Builder, BasicTriangle) {
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}, {2, 0}});
+  g.validate();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(Builder, RemovesSelfLoopsByDefault) {
+  const Csr g = build_csr(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, KeepsSelfLoopsWhenAsked) {
+  BuildOptions opts;
+  opts.remove_self_loops = false;
+  const Csr g = build_csr(2, {{0, 0}, {0, 1}}, opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, DeduplicatesParallelEdges) {
+  const Csr g = build_csr(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Builder, KeepsParallelEdgesWhenAsked) {
+  BuildOptions opts;
+  opts.remove_duplicates = false;
+  const Csr g = build_csr(2, {{0, 1}, {0, 1}}, opts);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Builder, SymmetrizeAddsReverseEdges) {
+  BuildOptions opts;
+  opts.symmetrize = true;
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}}, opts);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(Builder, AdjacencySorted) {
+  const Csr g = build_csr(5, {{0, 4}, {0, 1}, {0, 3}, {0, 2}});
+  const auto nb = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+}
+
+TEST(Builder, OutOfRangeEndpointThrows) {
+  EXPECT_THROW(build_csr(2, {{0, 2}}), std::out_of_range);
+  EXPECT_THROW(build_csr(2, {{5, 0}}), std::out_of_range);
+}
+
+TEST(Builder, IsolatedNodesKeepZeroDegree) {
+  const Csr g = build_csr(10, {{0, 1}});
+  for (NodeId v = 2; v < 10; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Csr, ValidateCatchesCorruption) {
+  Csr g = build_csr(3, {{0, 1}, {1, 2}});
+  g.adj[0] = 99;  // out of range target
+  EXPECT_THROW(g.validate(), std::runtime_error);
+
+  Csr g2 = build_csr(3, {{0, 1}, {1, 2}});
+  g2.row[1] = 5;  // non-monotone / row[n] mismatch
+  EXPECT_THROW(g2.validate(), std::runtime_error);
+
+  Csr g3 = build_csr(3, {{0, 1}});
+  g3.weights = {1, 2};  // wrong weight count
+  EXPECT_THROW(g3.validate(), std::runtime_error);
+}
+
+TEST(Csr, IsSymmetricDetectsAsymmetry) {
+  const Csr g = build_csr(2, {{0, 1}});
+  EXPECT_FALSE(g.is_symmetric());
+}
+
+TEST(Csr, DescribeMentionsCounts) {
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}});
+  const std::string s = g.describe();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+}
+
+TEST(Weights, HashWeightsDeterministicAndBounded) {
+  Csr g = build_csr(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}});
+  assign_hash_weights(g, 10);
+  g.validate();
+  for (std::uint32_t w : g.weights) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 10u);
+  }
+  // Symmetric edges share weight.
+  const auto w01 = g.edge_weights(0)[0];
+  const auto w10 = g.edge_weights(1)[0];
+  EXPECT_EQ(w01, w10);
+
+  Csr g2 = build_csr(4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}});
+  assign_hash_weights(g2, 10);
+  EXPECT_EQ(g.weights, g2.weights);
+}
+
+TEST(Weights, ZeroMaxThrows) {
+  Csr g = build_csr(2, {{0, 1}});
+  EXPECT_THROW(assign_hash_weights(g, 0), std::invalid_argument);
+}
+
+TEST(Reverse, TransposesEdges) {
+  const Csr g = build_csr(3, {{0, 1}, {0, 2}, {1, 2}});
+  const Csr r = reverse(g);
+  r.validate();
+  EXPECT_EQ(r.num_edges(), 3u);
+  EXPECT_EQ(r.degree(0), 0u);
+  EXPECT_EQ(r.degree(1), 1u);
+  EXPECT_EQ(r.degree(2), 2u);
+  EXPECT_EQ(r.neighbors(1)[0], 0u);
+}
+
+TEST(Reverse, DoubleReverseIsIdentity) {
+  const Csr g = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                              {0, 3}});
+  const Csr rr = reverse(reverse(g));
+  EXPECT_EQ(rr.row, g.row);
+  EXPECT_EQ(rr.adj, g.adj);
+}
+
+TEST(Reverse, CarriesWeights) {
+  Csr g = build_csr(3, {{0, 1}, {0, 2}});
+  g.weights = {7, 9};
+  const Csr r = reverse(g);
+  EXPECT_EQ(r.edge_weights(1)[0], 7u);
+  EXPECT_EQ(r.edge_weights(2)[0], 9u);
+}
+
+TEST(Permute, IdentityPermutation) {
+  const Csr g = build_csr(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<NodeId> perm(4);
+  std::iota(perm.begin(), perm.end(), 0u);
+  const Csr p = permute(g, perm);
+  EXPECT_EQ(p.row, g.row);
+  EXPECT_EQ(p.adj, g.adj);
+}
+
+TEST(Permute, RelabelsEdges) {
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}});
+  // 0->2, 1->0, 2->1
+  const Csr p = permute(g, {2, 0, 1});
+  p.validate();
+  EXPECT_EQ(p.degree(2), 1u);  // old node 0
+  EXPECT_EQ(p.neighbors(2)[0], 0u);  // old edge 0->1 is now 2->0
+  EXPECT_EQ(p.neighbors(0)[0], 1u);  // old edge 1->2 is now 0->1
+}
+
+TEST(Permute, PreservesWeightPairing) {
+  Csr g = build_csr(3, {{0, 1}, {0, 2}});
+  g.weights = {5, 6};
+  // Swap labels 1 and 2 so node 0's adjacency order flips.
+  const Csr p = permute(g, {0, 2, 1});
+  // Edge to (new) node 1 is old 0->2 with weight 6.
+  ASSERT_EQ(p.neighbors(0)[0], 1u);
+  EXPECT_EQ(p.edge_weights(0)[0], 6u);
+  EXPECT_EQ(p.edge_weights(0)[1], 5u);
+}
+
+TEST(Permute, RejectsNonPermutations) {
+  const Csr g = build_csr(3, {{0, 1}});
+  EXPECT_THROW(permute(g, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(permute(g, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(permute(g, {0, 1, 5}), std::invalid_argument);
+}
+
+TEST(DegreeOrder, SortsDescending) {
+  // Node degrees: 0 -> 3, 1 -> 1, 2 -> 0, 3 -> 2.
+  const Csr g =
+      build_csr(4, {{0, 1}, {0, 2}, {0, 3}, {1, 0}, {3, 0}, {3, 1}});
+  const auto perm = degree_descending_order(g);
+  const Csr p = permute(g, perm);
+  for (NodeId v = 0; v + 1 < p.num_nodes(); ++v) {
+    EXPECT_GE(p.degree(v), p.degree(v + 1));
+  }
+}
+
+TEST(InducedSubgraph, SelectsAndRelabels) {
+  // Triangle 0-1-2 plus pendant 3; select {1, 2, 3}.
+  const Csr g = build_csr(4, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0},
+                              {0, 2}, {2, 3}, {3, 2}});
+  const Csr sub = induced_subgraph(g, {1, 2, 3});
+  sub.validate();
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  // Surviving edges: 1-2 both ways, 2-3 both ways -> 4 directed edges.
+  EXPECT_EQ(sub.num_edges(), 4u);
+  EXPECT_EQ(sub.neighbors(0)[0], 1u);  // old 1 -> old 2
+}
+
+TEST(InducedSubgraph, CarriesWeights) {
+  Csr g = build_csr(3, {{0, 1}, {1, 2}});
+  g.weights = {7, 9};
+  const Csr sub = induced_subgraph(g, {1, 2});
+  ASSERT_EQ(sub.num_edges(), 1u);
+  EXPECT_EQ(sub.weights[0], 9u);
+}
+
+TEST(InducedSubgraph, RejectsBadSelections) {
+  const Csr g = build_csr(3, {{0, 1}});
+  EXPECT_THROW(induced_subgraph(g, {0, 5}), std::out_of_range);
+  EXPECT_THROW(induced_subgraph(g, {0, 0}), std::invalid_argument);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const Csr g = build_csr(3, {{0, 1}});
+  const Csr sub = induced_subgraph(g, {});
+  EXPECT_EQ(sub.num_nodes(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+TEST(LargestComponent, PicksBiggestPiece) {
+  // Component A: chain 0-1-2 (3 nodes); component B: 3-4 (2 nodes);
+  // isolated: 5.
+  BuildOptions sym;
+  sym.symmetrize = true;
+  const Csr g = build_csr(6, {{0, 1}, {1, 2}, {3, 4}}, sym);
+  std::vector<NodeId> old_ids;
+  const Csr lcc = largest_component(g, &old_ids);
+  EXPECT_EQ(lcc.num_nodes(), 3u);
+  EXPECT_EQ(old_ids, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(lcc.num_edges(), 4u);
+}
+
+TEST(LargestComponent, WholeGraphWhenConnected) {
+  BuildOptions sym;
+  sym.symmetrize = true;
+  const Csr g = build_csr(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, sym);
+  const Csr lcc = largest_component(g);
+  EXPECT_EQ(lcc.num_nodes(), 5u);
+  EXPECT_EQ(lcc.num_edges(), g.num_edges());
+}
+
+TEST(LargestComponent, EmptyGraph) {
+  std::vector<NodeId> old_ids{1, 2, 3};
+  const Csr lcc = largest_component(Csr{}, &old_ids);
+  EXPECT_EQ(lcc.num_nodes(), 0u);
+  EXPECT_TRUE(old_ids.empty());
+}
+
+TEST(LargestComponent, DirectedEdgesCountWeakly) {
+  const Csr g = build_csr(5, {{0, 1}, {2, 1}, {3, 4}});
+  const Csr lcc = largest_component(g);
+  EXPECT_EQ(lcc.num_nodes(), 3u);  // {0,1,2} weakly connected
+}
+
+TEST(EdgeListRoundTrip, ToEdgeListRebuildsSameGraph) {
+  const Csr g = build_csr(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                              {5, 0}, {0, 3}});
+  const Csr rebuilt = build_csr(6, to_edge_list(g));
+  EXPECT_EQ(rebuilt.row, g.row);
+  EXPECT_EQ(rebuilt.adj, g.adj);
+}
+
+}  // namespace
+}  // namespace maxwarp::graph

@@ -1,0 +1,99 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/metrics.hpp"
+
+namespace maxwarp::graph {
+namespace {
+
+// Datasets are exercised at 1/8 scale to keep the test fast; the registry's
+// structural properties are scale-free.
+constexpr double kTestScale = 0.125;
+
+TEST(Datasets, RegistryHasTheTableOneRows) {
+  std::set<std::string> names;
+  for (const auto& spec : paper_datasets()) names.insert(spec.name);
+  for (const char* expected :
+       {"RMAT", "Random", "LiveJournal*", "Patents*", "WikiTalk*",
+        "Uniform", "Grid"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Datasets, LookupByNameAndUnknownThrows) {
+  EXPECT_EQ(dataset_by_name("RMAT").name, "RMAT");
+  EXPECT_THROW(dataset_by_name("NoSuchGraph"), std::out_of_range);
+}
+
+TEST(Datasets, StandInsRecordPaperSizes) {
+  const auto& lj = dataset_by_name("LiveJournal*");
+  EXPECT_EQ(lj.paper_nodes, 4847571u);
+  EXPECT_EQ(lj.paper_edges, 68993773u);
+}
+
+TEST(Datasets, EveryEntryBuildsAndValidates) {
+  for (const auto& spec : paper_datasets()) {
+    const Csr g = spec.make(kTestScale, 42);
+    ASSERT_NO_THROW(g.validate()) << spec.name;
+    EXPECT_GT(g.num_nodes(), 0u) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+  }
+}
+
+TEST(Datasets, SkewFlagMatchesMeasuredGini) {
+  for (const auto& spec : paper_datasets()) {
+    const Csr g = spec.make(kTestScale, 42);
+    const double gini = degree_stats(g).gini;
+    if (spec.skewed) {
+      EXPECT_GT(gini, 0.4) << spec.name;
+    } else {
+      EXPECT_LT(gini, 0.4) << spec.name;
+    }
+  }
+}
+
+TEST(Datasets, ScaleGrowsTheInstance) {
+  const Csr small = make_dataset("RMAT", 0.0625, 1);
+  const Csr large = make_dataset("RMAT", 0.25, 1);
+  EXPECT_GT(large.num_nodes(), small.num_nodes() * 2);
+  EXPECT_GT(large.num_edges(), small.num_edges() * 2);
+}
+
+TEST(Datasets, SeedChangesRandomInstancesOnly) {
+  const Csr a = make_dataset("Random", kTestScale, 1);
+  const Csr b = make_dataset("Random", kTestScale, 2);
+  EXPECT_NE(a.adj, b.adj);
+  const Csr g1 = make_dataset("Grid", kTestScale, 1);
+  const Csr g2 = make_dataset("Grid", kTestScale, 2);
+  EXPECT_EQ(g1.adj, g2.adj);  // grid shape is deterministic
+}
+
+TEST(Datasets, DeterministicForSameSeed) {
+  for (const auto& spec : paper_datasets()) {
+    const Csr a = spec.make(kTestScale, 7);
+    const Csr b = spec.make(kTestScale, 7);
+    EXPECT_EQ(a.adj, b.adj) << spec.name;
+  }
+}
+
+TEST(Datasets, UniformIsExactlyRegular) {
+  const auto stats = degree_stats(make_dataset("Uniform", kTestScale, 3));
+  EXPECT_EQ(stats.min, stats.max);
+}
+
+TEST(Datasets, GridDegreesBounded) {
+  const auto stats = degree_stats(make_dataset("Grid", kTestScale, 3));
+  EXPECT_LE(stats.max, 4u);
+}
+
+TEST(Datasets, WikiTalkStandInHasExtremeHubs) {
+  const Csr g = make_dataset("WikiTalk*", kTestScale, 42);
+  const auto stats = degree_stats(g);
+  EXPECT_GT(stats.max, 50 * stats.mean);
+}
+
+}  // namespace
+}  // namespace maxwarp::graph

@@ -1,0 +1,192 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.hpp"
+
+namespace maxwarp::graph {
+namespace {
+
+TEST(ErdosRenyi, SizeAndValidity) {
+  const Csr g = erdos_renyi(1000, 5000, {.seed = 1});
+  g.validate();
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Duplicates/self loops removed: slightly fewer than requested.
+  EXPECT_LE(g.num_edges(), 5000u);
+  EXPECT_GT(g.num_edges(), 4500u);
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  const Csr a = erdos_renyi(500, 2000, {.seed = 9});
+  const Csr b = erdos_renyi(500, 2000, {.seed = 9});
+  EXPECT_EQ(a.adj, b.adj);
+  const Csr c = erdos_renyi(500, 2000, {.seed = 10});
+  EXPECT_NE(a.adj, c.adj);
+}
+
+TEST(ErdosRenyi, UndirectedIsSymmetric) {
+  const Csr g = erdos_renyi(300, 1500, {.seed = 2, .undirected = true});
+  EXPECT_TRUE(g.is_symmetric());
+}
+
+TEST(ErdosRenyi, ZeroNodes) {
+  const Csr g = erdos_renyi(0, 0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  const Csr skewed = rmat(4096, 32768, {}, {.seed = 3});
+  const Csr flat = erdos_renyi(4096, 32768, {.seed = 3});
+  skewed.validate();
+  const auto s1 = degree_stats(skewed);
+  const auto s2 = degree_stats(flat);
+  EXPECT_GT(s1.gini, s2.gini + 0.15);
+  EXPECT_GT(s1.max, s2.max * 2);
+}
+
+TEST(Rmat, ParameterValidation) {
+  RmatParams bad{0.5, 0.5, 0.5, 0.5};
+  EXPECT_THROW(rmat(16, 10, bad, {}), std::invalid_argument);
+}
+
+TEST(Rmat, RoundsNodeCountInternally) {
+  // n not a power of two: nodes beyond n are rejected, graph stays at n.
+  const Csr g = rmat(1000, 4000, {}, {.seed = 4});
+  g.validate();
+  EXPECT_EQ(g.num_nodes(), 1000u);
+}
+
+TEST(Rmat, DeterministicInSeed) {
+  const Csr a = rmat(512, 2048, {}, {.seed = 5});
+  const Csr b = rmat(512, 2048, {}, {.seed = 5});
+  EXPECT_EQ(a.adj, b.adj);
+}
+
+TEST(UniformDegree, ExactOutDegrees) {
+  const Csr g = uniform_degree(400, 7, {.seed = 6});
+  g.validate();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.degree(v), 7u);
+  }
+}
+
+TEST(UniformDegree, RejectsDegreeGeN) {
+  EXPECT_THROW(uniform_degree(5, 5, {}), std::invalid_argument);
+}
+
+TEST(UniformDegree, NoSelfLoops) {
+  const Csr g = uniform_degree(50, 10, {.seed = 7});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) EXPECT_NE(u, v);
+  }
+}
+
+TEST(WattsStrogatz, RingWhenBetaZero) {
+  const Csr g = watts_strogatz(20, 4, 0.0, {.seed = 8});
+  g.validate();
+  EXPECT_TRUE(g.is_symmetric());
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(WattsStrogatz, RewiringChangesStructure) {
+  const Csr ring = watts_strogatz(100, 4, 0.0, {.seed = 9});
+  const Csr rewired = watts_strogatz(100, 4, 0.5, {.seed = 9});
+  EXPECT_NE(ring.adj, rewired.adj);
+}
+
+TEST(WattsStrogatz, ParameterValidation) {
+  EXPECT_THROW(watts_strogatz(10, 3, 0.1, {}), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(10, 4, 1.5, {}), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(4, 4, 0.1, {}), std::invalid_argument);
+}
+
+TEST(Grid2d, DegreesBetweenTwoAndFour) {
+  const Csr g = grid2d(5, 7);
+  g.validate();
+  EXPECT_EQ(g.num_nodes(), 35u);
+  EXPECT_TRUE(g.is_symmetric());
+  EXPECT_EQ(g.degree(0), 2u);            // corner
+  EXPECT_EQ(g.degree(1), 3u);            // edge
+  EXPECT_EQ(g.degree(8), 4u);            // interior (row 1, col 1)
+  EXPECT_EQ(g.num_edges(), 2u * (4 * 7 + 5 * 6));
+}
+
+TEST(CornerShapes, Chain) {
+  const Csr g = chain(5);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(CornerShapes, Star) {
+  const Csr g = star(10);
+  EXPECT_EQ(g.degree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(CornerShapes, Complete) {
+  const Csr g = complete(6);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(CornerShapes, BinaryTree) {
+  const Csr g = complete_binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 12u);  // 6 undirected edges
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(6), 1u);
+}
+
+TEST(CornerShapes, EmptyGraph) {
+  const Csr g = empty_graph(4);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+struct GenCase {
+  const char* name;
+  Csr (*make)(std::uint64_t seed);
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorSweep, StructurallyValidAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 17ull, 123456ull}) {
+    const Csr g = GetParam().make(seed);
+    ASSERT_NO_THROW(g.validate()) << GetParam().name << " seed " << seed;
+    EXPECT_GT(g.num_nodes(), 0u);
+  }
+}
+
+TEST_P(GeneratorSweep, SeedReproducibility) {
+  const Csr a = GetParam().make(77);
+  const Csr b = GetParam().make(77);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.adj, b.adj);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorSweep,
+    ::testing::Values(
+        GenCase{"er", [](std::uint64_t s) {
+                  return erdos_renyi(256, 1024, {.seed = s});
+                }},
+        GenCase{"er_und", [](std::uint64_t s) {
+                  return erdos_renyi(256, 1024, {.seed = s,
+                                                 .undirected = true});
+                }},
+        GenCase{"rmat", [](std::uint64_t s) {
+                  return rmat(256, 1024, {}, {.seed = s});
+                }},
+        GenCase{"uniform", [](std::uint64_t s) {
+                  return uniform_degree(256, 4, {.seed = s});
+                }},
+        GenCase{"ws", [](std::uint64_t s) {
+                  return watts_strogatz(256, 6, 0.2, {.seed = s});
+                }}),
+    [](const ::testing::TestParamInfo<GenCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace maxwarp::graph

@@ -1,0 +1,152 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::graph {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() /
+               ("maxwarp_io_test_" + name)).string()) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(EdgeListIo, StreamRoundTrip) {
+  const Csr g = erdos_renyi(100, 400, {.seed = 1});
+  std::stringstream stream;
+  write_edge_list(stream, g);
+  const Csr back = read_edge_list(stream);
+  EXPECT_EQ(back.row, g.row);
+  EXPECT_EQ(back.adj, g.adj);
+}
+
+TEST(EdgeListIo, HeaderDeclaresIsolatedTailNodes) {
+  const Csr g = build_csr(10, {{0, 1}});  // nodes 2..9 isolated
+  std::stringstream stream;
+  write_edge_list(stream, g);
+  const Csr back = read_edge_list(stream);
+  EXPECT_EQ(back.num_nodes(), 10u);
+}
+
+TEST(EdgeListIo, CommentsSkipped) {
+  std::stringstream in("# a comment\n0 1\n# another\n1 2\n");
+  const Csr g = read_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeListIo, MalformedLineThrows) {
+  std::stringstream in("0 1\nbogus\n");
+  EXPECT_THROW(read_edge_list(in), std::runtime_error);
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  TempFile f("edges.txt");
+  const Csr g = erdos_renyi(50, 200, {.seed = 2});
+  write_edge_list_file(f.path(), g);
+  const Csr back = read_edge_list_file(f.path());
+  EXPECT_EQ(back.adj, g.adj);
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/nope.txt"),
+               std::runtime_error);
+}
+
+TEST(DimacsIo, RoundTripWeighted) {
+  Csr g = erdos_renyi(60, 240, {.seed = 3});
+  assign_hash_weights(g, 100);
+  std::stringstream stream;
+  write_dimacs(stream, g);
+  const Csr back = read_dimacs(stream);
+  EXPECT_EQ(back.row, g.row);
+  EXPECT_EQ(back.adj, g.adj);
+  EXPECT_EQ(back.weights, g.weights);
+}
+
+TEST(DimacsIo, WriteRequiresWeights) {
+  const Csr g = erdos_renyi(10, 20, {.seed = 4});
+  std::stringstream stream;
+  EXPECT_THROW(write_dimacs(stream, g), std::invalid_argument);
+}
+
+TEST(DimacsIo, ReadsOneBasedIds) {
+  std::stringstream in("c comment\np sp 3 2\na 1 2 5\na 2 3 7\n");
+  const Csr g = read_dimacs(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_EQ(g.edge_weights(0)[0], 5u);
+}
+
+TEST(DimacsIo, MalformedArcThrows) {
+  std::stringstream in("p sp 2 1\na 0 1 5\n");  // 0 is invalid (1-based)
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(DimacsIo, EndpointBeyondDeclaredNThrows) {
+  std::stringstream in("p sp 2 1\na 1 5 3\n");
+  EXPECT_THROW(read_dimacs(in), std::runtime_error);
+}
+
+TEST(BinaryIo, RoundTripWeighted) {
+  TempFile f("graph.bin");
+  Csr g = rmat(128, 512, {}, {.seed = 5});
+  assign_hash_weights(g, 50);
+  write_binary_csr(f.path(), g);
+  const Csr back = read_binary_csr(f.path());
+  EXPECT_EQ(back.row, g.row);
+  EXPECT_EQ(back.adj, g.adj);
+  EXPECT_EQ(back.weights, g.weights);
+}
+
+TEST(BinaryIo, RoundTripUnweighted) {
+  TempFile f("graph2.bin");
+  const Csr g = erdos_renyi(128, 512, {.seed = 6});
+  write_binary_csr(f.path(), g);
+  const Csr back = read_binary_csr(f.path());
+  EXPECT_EQ(back.adj, g.adj);
+  EXPECT_FALSE(back.weighted());
+}
+
+TEST(BinaryIo, BadMagicRejected) {
+  TempFile f("bogus.bin");
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out << "not a csr file at all";
+  }
+  EXPECT_THROW(read_binary_csr(f.path()), std::runtime_error);
+}
+
+TEST(BinaryIo, TruncatedFileRejected) {
+  TempFile whole("whole.bin");
+  const Csr g = erdos_renyi(64, 256, {.seed = 7});
+  write_binary_csr(whole.path(), g);
+
+  TempFile cut("cut.bin");
+  {
+    std::ifstream in(whole.path(), std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(cut.path(), std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(read_binary_csr(cut.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace maxwarp::graph

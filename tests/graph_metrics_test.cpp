@@ -1,0 +1,112 @@
+#include "graph/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace maxwarp::graph {
+namespace {
+
+TEST(DegreeStats, StarGraph) {
+  const auto s = degree_stats(star(101));  // hub degree 100, leaves 1
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_NEAR(s.mean, 200.0 / 101.0, 1e-9);
+  EXPECT_GT(s.gini, 0.4);
+  // The single hub (top 1% = 1 node of 101) owns half of all edge slots.
+  EXPECT_NEAR(s.top1pct_edge_share, 0.5, 1e-9);
+}
+
+TEST(DegreeStats, RegularGraphHasZeroSkew) {
+  const auto s = degree_stats(uniform_degree(500, 6, {.seed = 1}));
+  EXPECT_EQ(s.min, 6u);
+  EXPECT_EQ(s.max, 6u);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-9);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const auto s = degree_stats(empty_graph(0));
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.histogram.total(), 0u);
+}
+
+TEST(DegreeStats, HistogramCountsNodes) {
+  const auto s = degree_stats(chain(10));
+  EXPECT_EQ(s.histogram.total(), 10u);
+  EXPECT_EQ(s.histogram.bucket(1), 2u);  // two endpoints of degree 1
+  EXPECT_EQ(s.histogram.bucket(2), 8u);  // eight interior of degree 2
+}
+
+TEST(DegreeStats, RmatMoreSkewedThanRandom) {
+  const auto skew = degree_stats(rmat(2048, 16384, {}, {.seed = 2}));
+  const auto flat = degree_stats(erdos_renyi(2048, 16384, {.seed = 2}));
+  EXPECT_GT(skew.gini, flat.gini);
+  EXPECT_GT(skew.top1pct_edge_share, flat.top1pct_edge_share);
+}
+
+TEST(Reachable, ChainFullyReachable) {
+  EXPECT_EQ(reachable_count(chain(10), 0), 10u);
+  EXPECT_EQ(reachable_count(chain(10), 5), 10u);
+}
+
+TEST(Reachable, DirectedEdgeOnlyForward) {
+  const Csr g = build_csr(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(reachable_count(g, 0), 3u);
+  EXPECT_EQ(reachable_count(g, 2), 1u);
+}
+
+TEST(Reachable, OutOfRangeSourceIsZero) {
+  EXPECT_EQ(reachable_count(chain(5), 9), 0u);
+}
+
+TEST(Components, SingleComponentChain) {
+  std::vector<std::uint32_t> comp;
+  EXPECT_EQ(weak_components(chain(10), comp), 1u);
+  for (auto c : comp) EXPECT_EQ(c, 0u);
+}
+
+TEST(Components, IsolatedNodesAreOwnComponents) {
+  std::vector<std::uint32_t> comp;
+  EXPECT_EQ(weak_components(empty_graph(5), comp), 5u);
+}
+
+TEST(Components, TwoDisjointCliques) {
+  EdgeList edges;
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v = 0; v < 3; ++v) {
+      if (u != v) {
+        edges.push_back({u, v});
+        edges.push_back({u + 3, v + 3});
+      }
+    }
+  }
+  std::vector<std::uint32_t> comp;
+  EXPECT_EQ(weak_components(build_csr(6, edges), comp), 2u);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Components, DirectedEdgesStillConnectWeakly) {
+  const Csr g = build_csr(3, {{0, 1}, {2, 1}});
+  std::vector<std::uint32_t> comp;
+  EXPECT_EQ(weak_components(g, comp), 1u);
+}
+
+TEST(Eccentricity, ChainFromEnd) {
+  EXPECT_EQ(bfs_eccentricity(chain(10), 0), 9u);
+  EXPECT_EQ(bfs_eccentricity(chain(10), 5), 5u);
+}
+
+TEST(Eccentricity, StarIsOneFromHub) {
+  EXPECT_EQ(bfs_eccentricity(star(50), 0), 1u);
+  EXPECT_EQ(bfs_eccentricity(star(50), 1), 2u);
+}
+
+TEST(Eccentricity, GridDiagonal) {
+  EXPECT_EQ(bfs_eccentricity(grid2d(4, 4), 0), 6u);
+}
+
+}  // namespace
+}  // namespace maxwarp::graph

@@ -1,0 +1,187 @@
+// End-to-end integration: datasets from the registry flow through the GPU
+// runtime, every kernel variant agrees with the CPU references, and the
+// cross-cutting performance shapes of the paper hold on the real dataset
+// registry (not just hand-built graphs).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algorithms/bfs_cpu_parallel.hpp"
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/cpu_reference.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/datasets.hpp"
+#include "graph/metrics.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+constexpr double kScale = 0.0625;  // 2048-node instances: fast but non-toy
+
+graph::NodeId best_source(const graph::Csr& g) {
+  // Highest-degree node: guaranteed non-trivial frontier.
+  graph::NodeId best = 0;
+  for (graph::NodeId v = 1; v < g.num_nodes(); ++v) {
+    if (g.degree(v) > g.degree(best)) best = v;
+  }
+  return best;
+}
+
+TEST(Integration, AllDatasetsAllBfsMappingsAgreeWithCpu) {
+  for (const auto& spec : graph::paper_datasets()) {
+    const graph::Csr g = spec.make(kScale, 21);
+    const graph::NodeId source = best_source(g);
+    const auto expected = bfs_cpu(g, source);
+    for (Mapping mapping :
+         {Mapping::kThreadMapped, Mapping::kWarpCentric,
+          Mapping::kWarpCentricDynamic, Mapping::kWarpCentricDefer}) {
+      KernelOptions opts;
+      opts.mapping = mapping;
+      opts.virtual_warp_width = 16;
+      opts.defer_threshold = 64;
+      gpu::Device dev;
+      const auto result = bfs_gpu(dev, g, source, opts);
+      ASSERT_EQ(result.level, expected)
+          << spec.name << " / " << to_string(mapping);
+    }
+  }
+}
+
+TEST(Integration, WidthSweepIdenticalResults) {
+  const graph::Csr g = graph::make_dataset("RMAT", kScale, 22);
+  const graph::NodeId source = best_source(g);
+  const auto expected = bfs_cpu(g, source);
+  for (int width : {2, 4, 8, 16, 32}) {
+    KernelOptions opts;
+    opts.virtual_warp_width = width;
+    gpu::Device dev;
+    ASSERT_EQ(bfs_gpu(dev, g, source, opts).level, expected)
+        << "W=" << width;
+  }
+}
+
+TEST(Integration, SsspOnWeightedDatasets) {
+  for (const char* name : {"RMAT", "Grid"}) {
+    graph::Csr g = graph::make_dataset(name, kScale, 23);
+    graph::assign_hash_weights(g, 16);
+    const graph::NodeId source = best_source(g);
+    const auto expected = sssp_cpu(g, source);
+    gpu::Device dev;
+    const auto result = sssp_gpu(dev, g, source, {});
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      const std::uint32_t want =
+          expected[v] == kUnreachedDist
+              ? kInfDist
+              : static_cast<std::uint32_t>(expected[v]);
+      ASSERT_EQ(result.dist[v], want) << name << " node " << v;
+    }
+  }
+}
+
+TEST(Integration, ConnectedComponentsOnUndirectedClosure) {
+  graph::Csr raw = graph::make_dataset("WikiTalk*", kScale, 24);
+  graph::BuildOptions sym;
+  sym.symmetrize = true;
+  const graph::Csr g =
+      graph::build_csr(raw.num_nodes(), graph::to_edge_list(raw), sym);
+  gpu::Device dev;
+  const auto gpu_cc = connected_components_gpu(dev, g, {});
+  EXPECT_EQ(gpu_cc.label, connected_components_cpu(g));
+}
+
+TEST(Integration, PageRankOnDataset) {
+  const graph::Csr g = graph::make_dataset("Patents*", kScale, 25);
+  gpu::Device dev;
+  PageRankParams params;
+  params.iterations = 10;
+  const auto gpu_pr = pagerank_gpu(dev, g, params, {});
+  const auto cpu_pr = pagerank_cpu(g, params.damping, params.iterations);
+  for (std::size_t v = 0; v < cpu_pr.size(); ++v) {
+    ASSERT_NEAR(gpu_pr.rank[v], cpu_pr[v], 5e-4) << "node " << v;
+  }
+}
+
+TEST(Integration, GpuAndParallelCpuAgree) {
+  const graph::Csr g = graph::make_dataset("LiveJournal*", kScale, 26);
+  const graph::NodeId source = best_source(g);
+  gpu::Device dev;
+  const auto gpu_result = bfs_gpu(dev, g, source, {});
+  const auto cpu_result = bfs_cpu_parallel(g, source, 4);
+  EXPECT_EQ(gpu_result.level, cpu_result.level);
+  EXPECT_EQ(gpu_result.depth, cpu_result.depth);
+}
+
+// --- dataset-level performance shapes (the paper's headline claims) -------
+
+TEST(Integration, SkewedDatasetsFavorWarpCentric) {
+  // Run at 4x the correctness scale: at n=2048 the thread-mapped kernel
+  // launches so few blocks that half the SMs idle, which is a real
+  // small-graph artifact but not the effect this test isolates.
+  constexpr double kShapeScale = 0.25;
+  std::map<std::string, double> speedup;
+  for (const auto& spec : graph::paper_datasets()) {
+    const graph::Csr g = spec.make(kShapeScale, 27);
+    const graph::NodeId source = best_source(g);
+    gpu::Device d1;
+    KernelOptions base;
+    base.mapping = Mapping::kThreadMapped;
+    const auto b = bfs_gpu(d1, g, source, base);
+    // The paper tunes W per graph; take the best of a small and a large
+    // width (low-avg-degree graphs like WikiTalk want small W).
+    std::uint64_t best_warp_cycles = ~0ull;
+    for (int width : {4, 8, 16, 32}) {
+      KernelOptions warp;
+      warp.mapping = Mapping::kWarpCentric;
+      warp.virtual_warp_width = width;
+      gpu::Device d2;
+      best_warp_cycles = std::min(
+          best_warp_cycles, bfs_gpu(d2, g, source, warp)
+                                .stats.kernels.elapsed_cycles);
+    }
+    speedup[spec.name] =
+        static_cast<double>(b.stats.kernels.elapsed_cycles) /
+        static_cast<double>(best_warp_cycles);
+  }
+  // Headline: big wins on heavy-tailed graphs. WikiTalk*'s bound is lower:
+  // its average degree of 2 caps how much any W can recover (most lists
+  // are shorter than every W), which is also visible in the paper's own
+  // per-graph spread.
+  EXPECT_GT(speedup["RMAT"], 1.5);
+  EXPECT_GT(speedup["LiveJournal*"], 1.5);
+  EXPECT_GT(speedup["WikiTalk*"], 1.2);
+  // Control: on the regular graph even the best W gives at most a modest
+  // edge; the big skewed-graph factors must not appear.
+  EXPECT_LT(speedup["Uniform"], 1.3);
+}
+
+TEST(Integration, BestWidthIsSmallerOnRegularGraphs) {
+  const auto run = [&](const graph::Csr& g, int width) {
+    KernelOptions opts;
+    opts.virtual_warp_width = width;
+    gpu::Device dev;
+    return bfs_gpu(dev, g, best_source(g), opts)
+        .stats.kernels.elapsed_cycles;
+  };
+  const graph::Csr uniform = graph::make_dataset("Uniform", kScale, 28);
+  // On a degree-8 regular graph, W=4 or 8 must beat W=32.
+  const auto w4 = run(uniform, 4);
+  const auto w32 = run(uniform, 32);
+  EXPECT_LT(w4, w32);
+}
+
+TEST(Integration, TransferAndKernelTimeBothReported) {
+  const graph::Csr g = graph::make_dataset("Random", kScale, 29);
+  gpu::Device dev;
+  const auto r = bfs_gpu(dev, g, best_source(g), {});
+  const auto& cfg = dev.config();
+  EXPECT_GT(r.stats.kernel_ms(cfg), 0.0);
+  EXPECT_GT(r.stats.transfer_ms, 0.0);
+  EXPECT_NEAR(r.stats.total_ms(cfg),
+              r.stats.kernel_ms(cfg) + r.stats.transfer_ms, 1e-12);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

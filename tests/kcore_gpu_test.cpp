@@ -1,0 +1,148 @@
+#include "algorithms/kcore_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+
+// ---- CPU reference on known cores -----------------------------------------
+
+TEST(KCoreCpu, CompleteGraph) {
+  const Csr g = graph::complete(6);  // every vertex has degree 5
+  const auto core5 = k_core_cpu(g, 5);
+  for (auto x : core5) EXPECT_EQ(x, 1);
+  const auto core6 = k_core_cpu(g, 6);
+  for (auto x : core6) EXPECT_EQ(x, 0);
+}
+
+TEST(KCoreCpu, ChainPeelsCompletely) {
+  // Endpoints have degree 1; removing them cascades down the chain.
+  const auto core2 = k_core_cpu(graph::chain(10), 2);
+  for (auto x : core2) EXPECT_EQ(x, 0);
+  const auto core1 = k_core_cpu(graph::chain(10), 1);
+  for (auto x : core1) EXPECT_EQ(x, 1);
+}
+
+TEST(KCoreCpu, StarHasNoTwoCore) {
+  const auto core = k_core_cpu(graph::star(30), 2);
+  for (auto x : core) EXPECT_EQ(x, 0);
+}
+
+TEST(KCoreCpu, GridIsItsOwnTwoCore) {
+  // Every grid vertex lies on a cycle; min degree 2 -> nothing peels.
+  const auto core = k_core_cpu(graph::grid2d(6, 7), 2);
+  for (auto x : core) EXPECT_EQ(x, 1);
+}
+
+TEST(KCoreCpu, PendantVerticesPeeledFromClique) {
+  // K4 (nodes 0..3) plus a pendant chain 3-4-5.
+  graph::EdgeList edges;
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    for (graph::NodeId v = 0; v < 4; ++v) {
+      if (u != v) edges.push_back({u, v});
+    }
+  }
+  graph::BuildOptions sym;
+  sym.symmetrize = true;
+  edges.push_back({3, 4});
+  edges.push_back({4, 5});
+  const Csr g = graph::build_csr(6, edges, sym);
+  const auto core3 = k_core_cpu(g, 3);
+  EXPECT_EQ(core3, (std::vector<std::uint8_t>{1, 1, 1, 1, 0, 0}));
+}
+
+TEST(KCoreCpu, KZeroKeepsEverything) {
+  const auto core = k_core_cpu(graph::empty_graph(5), 0);
+  for (auto x : core) EXPECT_EQ(x, 1);
+}
+
+// ---- GPU vs CPU across mappings -------------------------------------------
+
+struct KcCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class KCoreSweep : public ::testing::TestWithParam<KcCase> {};
+
+TEST_P(KCoreSweep, MatchesCpuOnRandomGraphs) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    const Csr g =
+        graph::erdos_renyi(600, 2400, {.seed = 61, .undirected = true});
+    gpu::Device dev;
+    const auto r = k_core_gpu(dev, g, k, opts);
+    EXPECT_EQ(r.in_core, k_core_cpu(g, k)) << "k=" << k;
+  }
+}
+
+TEST_P(KCoreSweep, MatchesCpuOnSkewedGraph) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  const Csr g =
+      graph::rmat(1024, 8192, {}, {.seed = 62, .undirected = true});
+  gpu::Device dev;
+  const auto r = k_core_gpu(dev, g, 5, opts);
+  EXPECT_EQ(r.in_core, k_core_cpu(g, 5));
+}
+
+TEST_P(KCoreSweep, CascadePeeling) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  const auto r = k_core_gpu(dev, graph::chain(64), 2, opts);
+  EXPECT_EQ(r.survivors, 0u);
+  // Peeling one endpoint pair per round would need ~32 rounds; the
+  // GPU cascade must terminate and agree regardless of round count.
+  EXPECT_GT(r.stats.iterations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, KCoreSweep,
+    ::testing::Values(KcCase{"thread_mapped", Mapping::kThreadMapped, 32},
+                      KcCase{"warp_w8", Mapping::kWarpCentric, 8},
+                      KcCase{"warp_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<KcCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(KCoreGpu, SurvivorCountMatchesMask) {
+  const Csr g =
+      graph::erdos_renyi(400, 1600, {.seed = 63, .undirected = true});
+  gpu::Device dev;
+  const auto r = k_core_gpu(dev, g, 3);
+  std::uint32_t count = 0;
+  for (auto x : r.in_core) count += x;
+  EXPECT_EQ(count, r.survivors);
+}
+
+TEST(KCoreGpu, EmptyGraphAndUnsupportedMapping) {
+  gpu::Device dev;
+  EXPECT_EQ(k_core_gpu(dev, graph::empty_graph(0), 2).survivors, 0u);
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDefer;
+  EXPECT_THROW(k_core_gpu(dev, graph::chain(4), 2, opts),
+               std::invalid_argument);
+}
+
+TEST(KCoreGpu, DeterministicAcrossRuns) {
+  const Csr g = graph::watts_strogatz(256, 6, 0.2, {.seed = 64});
+  gpu::Device d1, d2;
+  const auto a = k_core_gpu(d1, g, 4);
+  const auto b = k_core_gpu(d2, g, 4);
+  EXPECT_EQ(a.in_core, b.in_core);
+  EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

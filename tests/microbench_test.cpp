@@ -1,0 +1,208 @@
+#include "algorithms/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace maxwarp::algorithms {
+namespace {
+
+TEST(MicrobenchSpec, UniformShape) {
+  const auto spec = MicrobenchSpec::uniform(100, 5);
+  EXPECT_EQ(spec.num_tasks(), 100u);
+  EXPECT_EQ(spec.total_items(), 500u);
+  EXPECT_DOUBLE_EQ(spec.imbalance(), 1.0);
+  EXPECT_EQ(spec.offsets.front(), 0u);
+  EXPECT_EQ(spec.offsets.back(), 500u);
+}
+
+TEST(MicrobenchSpec, LognormalMeanRoughlyHeld) {
+  const auto spec = MicrobenchSpec::lognormal(2000, 16.0, 1.0, 3);
+  const double mean = static_cast<double>(spec.total_items()) /
+                      spec.num_tasks();
+  EXPECT_NEAR(mean, 16.0, 4.0);
+  EXPECT_GT(spec.imbalance(), 2.0);
+}
+
+TEST(MicrobenchSpec, LognormalVarianceGrowsWithSigma) {
+  const auto narrow = MicrobenchSpec::lognormal(1000, 16.0, 0.2, 4);
+  const auto wide = MicrobenchSpec::lognormal(1000, 16.0, 2.0, 4);
+  EXPECT_GT(wide.imbalance(), narrow.imbalance() * 2);
+}
+
+TEST(MicrobenchSpec, OutliersPlaced) {
+  const auto spec = MicrobenchSpec::with_outliers(500, 4, 3, 1000, 5);
+  int heavy = 0;
+  for (auto w : spec.work) {
+    if (w == 1000) ++heavy;
+  }
+  EXPECT_GE(heavy, 1);
+  EXPECT_LE(heavy, 3);
+  EXPECT_GT(spec.imbalance(), 50.0);
+}
+
+TEST(MicrobenchSpec, DeterministicInSeed) {
+  const auto a = MicrobenchSpec::lognormal(100, 8.0, 1.0, 6);
+  const auto b = MicrobenchSpec::lognormal(100, 8.0, 1.0, 6);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.offsets, b.offsets);
+}
+
+TEST(MicrobenchSpec, FromWorkBuildsOffsets) {
+  const auto spec = MicrobenchSpec::from_work({3, 0, 5});
+  EXPECT_EQ(spec.offsets, (std::vector<std::uint32_t>{0, 3, 3, 8}));
+  EXPECT_EQ(spec.total_items(), 8u);
+}
+
+TEST(MicrobenchSpec, ItemValueDeterministicAndBounded) {
+  for (std::uint32_t i : {0u, 1u, 12345u, 0xffffffffu}) {
+    EXPECT_EQ(MicrobenchSpec::item_value(i), MicrobenchSpec::item_value(i));
+    EXPECT_LE(MicrobenchSpec::item_value(i), 0xffffu);
+  }
+}
+
+struct RunCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class MicrobenchRunSweep : public ::testing::TestWithParam<RunCase> {};
+
+TEST_P(MicrobenchRunSweep, ChecksumMatchesReferenceUniform) {
+  const auto spec = MicrobenchSpec::uniform(300, 9, 7);
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  const auto result = run_microbench(dev, spec, opts);
+  EXPECT_EQ(result.checksum, microbench_reference(spec));
+}
+
+TEST_P(MicrobenchRunSweep, ChecksumMatchesReferenceSkewed) {
+  const auto spec = MicrobenchSpec::lognormal(300, 12.0, 1.5, 8);
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  const auto result = run_microbench(dev, spec, opts);
+  EXPECT_EQ(result.checksum, microbench_reference(spec));
+}
+
+TEST_P(MicrobenchRunSweep, ChecksumMatchesReferenceOutliers) {
+  const auto spec = MicrobenchSpec::with_outliers(200, 2, 4, 500, 9);
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  const auto result = run_microbench(dev, spec, opts);
+  EXPECT_EQ(result.checksum, microbench_reference(spec));
+}
+
+TEST_P(MicrobenchRunSweep, ZeroWorkTasksHandled) {
+  auto spec = MicrobenchSpec::uniform(64, 0, 10);
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  const auto result = run_microbench(dev, spec, opts);
+  for (auto c : result.checksum) EXPECT_EQ(c, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, MicrobenchRunSweep,
+    ::testing::Values(RunCase{"thread_mapped", Mapping::kThreadMapped, 32},
+                      RunCase{"warp_w2", Mapping::kWarpCentric, 2},
+                      RunCase{"warp_w8", Mapping::kWarpCentric, 8},
+                      RunCase{"warp_w32", Mapping::kWarpCentric, 32},
+                      RunCase{"dynamic_w8", Mapping::kWarpCentricDynamic, 8}),
+    [](const ::testing::TestParamInfo<RunCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Microbench, DeferMappingRejected) {
+  gpu::Device dev;
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDefer;
+  EXPECT_THROW(run_microbench(dev, MicrobenchSpec::uniform(8, 1), opts),
+               std::invalid_argument);
+}
+
+TEST(Microbench, EmptySpec) {
+  gpu::Device dev;
+  MicrobenchSpec spec;
+  const auto result = run_microbench(dev, spec, {});
+  EXPECT_TRUE(result.checksum.empty());
+}
+
+// --- the crossover the paper's microbenchmark demonstrates ----------------
+
+TEST(MicrobenchShape, ThreadMappedWinsAtZeroVariance) {
+  const auto spec = MicrobenchSpec::uniform(4096, 4, 11);
+  gpu::Device d1, d2;
+  KernelOptions thread_opts;
+  thread_opts.mapping = Mapping::kThreadMapped;
+  KernelOptions warp_opts;
+  warp_opts.mapping = Mapping::kWarpCentric;
+  warp_opts.virtual_warp_width = 32;
+  const auto t = run_microbench(d1, spec, thread_opts);
+  const auto w = run_microbench(d2, spec, warp_opts);
+  EXPECT_LT(t.stats.kernels.elapsed_cycles, w.stats.kernels.elapsed_cycles);
+}
+
+TEST(MicrobenchShape, WarpMappedWinsUnderHeavyImbalance) {
+  const auto spec = MicrobenchSpec::lognormal(4096, 16.0, 2.5, 12);
+  gpu::Device d1, d2;
+  KernelOptions thread_opts;
+  thread_opts.mapping = Mapping::kThreadMapped;
+  KernelOptions warp_opts;
+  warp_opts.mapping = Mapping::kWarpCentric;
+  // W=8 matches the mean item count; W=32 would trade the win away to
+  // underutilization on this workload (that is the F3/F5 U-shape).
+  warp_opts.virtual_warp_width = 8;
+  const auto t = run_microbench(d1, spec, thread_opts);
+  const auto w = run_microbench(d2, spec, warp_opts);
+  EXPECT_LT(w.stats.kernels.elapsed_cycles, t.stats.kernels.elapsed_cycles);
+}
+
+TEST(MicrobenchShape, DynamicBeatsStaticWithClusteredOutliers) {
+  // Pathological static assignment: the first 256 tasks are heavy, so the
+  // first warps get all the work while the rest idle. Dynamic chunking
+  // redistributes.
+  std::vector<std::uint32_t> work(8192, 2);
+  for (std::size_t i = 0; i < 128; ++i) work[i] = 1024;
+  const MicrobenchSpec clustered = MicrobenchSpec::from_work(work);
+
+  KernelOptions static_opts;
+  static_opts.mapping = Mapping::kWarpCentric;
+  static_opts.virtual_warp_width = 8;
+  KernelOptions dynamic_opts = static_opts;
+  dynamic_opts.mapping = Mapping::kWarpCentricDynamic;
+  dynamic_opts.dynamic_chunk = 16;
+
+  gpu::Device d1, d2;
+  const auto s = run_microbench(d1, clustered, static_opts);
+  const auto d = run_microbench(d2, clustered, dynamic_opts);
+  EXPECT_EQ(s.checksum, d.checksum);
+  EXPECT_LT(d.stats.kernels.elapsed_cycles, s.stats.kernels.elapsed_cycles);
+}
+
+TEST(MicrobenchShape, UtilizationImprovesWithMatchingWidth) {
+  // Tasks of exactly 8 items: W=8 keeps lanes busy, W=32 idles 24 lanes in
+  // the strip loop.
+  const auto spec = MicrobenchSpec::uniform(2048, 8, 14);
+  gpu::Device d1, d2;
+  KernelOptions w8;
+  w8.mapping = Mapping::kWarpCentric;
+  w8.virtual_warp_width = 8;
+  KernelOptions w32;
+  w32.mapping = Mapping::kWarpCentric;
+  w32.virtual_warp_width = 32;
+  const auto a = run_microbench(d1, spec, w8);
+  const auto b = run_microbench(d2, spec, w32);
+  EXPECT_GT(a.stats.kernels.counters.simd_utilization(),
+            b.stats.kernels.counters.simd_utilization());
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

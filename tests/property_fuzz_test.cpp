@@ -1,0 +1,180 @@
+// Randomized cross-checks: for a sweep of random graph shapes and seeds,
+// every GPU kernel in both mappings must agree with its CPU reference,
+// and the simulator's accounting identities must hold on every run.
+// This is the safety net that catches interactions no targeted test
+// anticipates (odd degree profiles, disconnected shards, duplicate-heavy
+// generators, tail warps, etc.).
+#include <gtest/gtest.h>
+
+#include "algorithms/bc_gpu.hpp"
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/coloring_gpu.hpp"
+#include "algorithms/cpu_reference.hpp"
+#include "algorithms/kcore_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "algorithms/tc_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+/// Builds a random graph whose shape itself is randomized by the seed.
+Csr random_graph(std::uint64_t seed, bool undirected) {
+  util::Rng rng(seed);
+  const auto n = static_cast<std::uint32_t>(64 + rng.next_below(1000));
+  const std::uint64_t m = n * (1 + rng.next_below(12));
+  const int kind = static_cast<int>(rng.next_below(3));
+  graph::GenOptions opts{seed * 977 + 13, undirected};
+  switch (kind) {
+    case 0:
+      return graph::erdos_renyi(n, m, opts);
+    case 1:
+      return graph::rmat(n, m, {}, opts);
+    default: {
+      const auto d = static_cast<std::uint32_t>(
+          1 + rng.next_below(std::min<std::uint32_t>(16, n - 1)));
+      return graph::uniform_degree(n, d, opts);
+    }
+  }
+}
+
+void check_run_invariants(const GpuRunStats& stats,
+                          const simt::SimConfig& cfg) {
+  const auto& c = stats.kernels.counters;
+  // Utilization is a true fraction.
+  EXPECT_LE(c.active_lane_ops, c.possible_lane_ops);
+  EXPECT_EQ(c.possible_lane_ops,
+            c.issued_instructions * static_cast<std::uint64_t>(
+                                        simt::kWarpSize));
+  // Elapsed can never beat perfectly balanced busy time.
+  EXPECT_GE(stats.kernels.elapsed_cycles * cfg.num_sms,
+            stats.kernels.busy_cycles);
+  // Busy time is the counter total plus the per-launch overhead.
+  EXPECT_EQ(stats.kernels.busy_cycles,
+            c.total_cycles() + stats.kernels.launches *
+                                   cfg.kernel_launch_overhead_cycles);
+  // Memory accounting: at least one transaction per 32 requests.
+  EXPECT_GE(c.global_transactions * simt::kWarpSize, c.global_requests);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, BfsAllVariantsAgree) {
+  const Csr g = random_graph(GetParam(), /*undirected=*/false);
+  const NodeId source = static_cast<NodeId>(GetParam() % g.num_nodes());
+  const auto expected = bfs_cpu(g, source);
+
+  for (Mapping mapping :
+       {Mapping::kThreadMapped, Mapping::kWarpCentric,
+        Mapping::kWarpCentricDynamic, Mapping::kWarpCentricDefer}) {
+    KernelOptions opts;
+    opts.mapping = mapping;
+    opts.virtual_warp_width = 1 << (GetParam() % 5 + 1);  // 2..32
+    opts.defer_threshold = 32;
+    gpu::Device dev;
+    const auto r = bfs_gpu(dev, g, source, opts);
+    ASSERT_EQ(r.level, expected) << to_string(mapping);
+    check_run_invariants(r.stats, dev.config());
+  }
+  // Queue frontier + adaptive.
+  {
+    KernelOptions opts;
+    opts.frontier = Frontier::kQueue;
+    gpu::Device dev;
+    ASSERT_EQ(bfs_gpu(dev, g, source, opts).level, expected);
+    gpu::Device dev2;
+    ASSERT_EQ(bfs_gpu_adaptive(dev2, g, source).level, expected);
+  }
+}
+
+TEST_P(FuzzSweep, SsspAgrees) {
+  Csr g = random_graph(GetParam() * 3 + 1, /*undirected=*/false);
+  graph::assign_hash_weights(g, 1 + GetParam() % 30);
+  const NodeId source = static_cast<NodeId>((GetParam() * 7) % g.num_nodes());
+  const auto expected = sssp_cpu(g, source);
+  for (Mapping mapping : {Mapping::kThreadMapped, Mapping::kWarpCentric}) {
+    KernelOptions opts;
+    opts.mapping = mapping;
+    opts.virtual_warp_width = 8;
+    gpu::Device dev;
+    const auto r = sssp_gpu(dev, g, source, opts);
+    for (std::size_t v = 0; v < expected.size(); ++v) {
+      const std::uint32_t want =
+          expected[v] == kUnreachedDist
+              ? kInfDist
+              : static_cast<std::uint32_t>(expected[v]);
+      ASSERT_EQ(r.dist[v], want) << "node " << v;
+    }
+    check_run_invariants(r.stats, dev.config());
+  }
+}
+
+TEST_P(FuzzSweep, UndirectedKernelsAgree) {
+  const Csr g = random_graph(GetParam() * 5 + 2, /*undirected=*/true);
+  KernelOptions opts;
+  opts.virtual_warp_width = 16;
+
+  gpu::Device d1;
+  const auto cc = connected_components_gpu(d1, g, opts);
+  EXPECT_EQ(cc.label, connected_components_cpu(g));
+  check_run_invariants(cc.stats, d1.config());
+
+  gpu::Device d2;
+  const auto tc = triangle_count_gpu(d2, g, opts);
+  EXPECT_EQ(tc.triangles, triangle_count_cpu(g));
+  check_run_invariants(tc.stats, d2.config());
+
+  const std::uint32_t k = 2 + GetParam() % 6;
+  gpu::Device d3;
+  const auto core = k_core_gpu(d3, g, k, opts);
+  EXPECT_EQ(core.in_core, k_core_cpu(g, k));
+  check_run_invariants(core.stats, d3.config());
+
+  gpu::Device d4;
+  const auto coloring = color_graph_gpu(d4, g, opts);
+  EXPECT_TRUE(is_proper_coloring(g, coloring.color));
+  EXPECT_EQ(coloring.color, color_graph_cpu(g));
+  check_run_invariants(coloring.stats, d4.config());
+}
+
+TEST_P(FuzzSweep, CentralityAndPagerankAgree) {
+  const Csr g = random_graph(GetParam() * 11 + 3, /*undirected=*/false);
+  KernelOptions opts;
+  opts.virtual_warp_width = 8;
+
+  std::vector<NodeId> sources;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    sources.push_back(
+        static_cast<NodeId>((GetParam() * 31 + i * 17) % g.num_nodes()));
+  }
+  gpu::Device d1;
+  const auto bc = betweenness_gpu(d1, g, sources, opts);
+  const auto bc_ref = betweenness_cpu(g, sources);
+  for (std::size_t v = 0; v < bc_ref.size(); ++v) {
+    ASSERT_NEAR(bc.centrality[v], bc_ref[v],
+                1e-3 * (1.0 + std::abs(bc_ref[v])))
+        << "node " << v;
+  }
+
+  gpu::Device d2;
+  PageRankParams params;
+  params.iterations = 8;
+  const auto pr = pagerank_gpu(d2, g, params, opts);
+  const auto pr_ref = pagerank_cpu(g, params.damping, params.iterations);
+  for (std::size_t v = 0; v < pr_ref.size(); ++v) {
+    ASSERT_NEAR(pr.rank[v], pr_ref[v], 5e-4) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,178 @@
+#include "simt/device_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace maxwarp::simt {
+namespace {
+
+TEST(SimConfig, ValidateRejectsBadValues) {
+  SimConfig cfg;
+  cfg.num_sms = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.clock_ghz = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.mem_transaction_bytes = 100;  // not a power of two
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SimConfig{};
+  cfg.default_warps_per_block = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(SimConfig{}.validate());
+}
+
+TEST(SimConfig, CyclesToMs) {
+  SimConfig cfg;
+  cfg.clock_ghz = 1.0;
+  EXPECT_DOUBLE_EQ(cfg.cycles_to_ms(1'000'000), 1.0);
+}
+
+TEST(DeviceSim, DimsForThreadsCoversAllThreads) {
+  DeviceSim dev;
+  const auto dims = dev.dims_for_threads(1000);
+  EXPECT_EQ(dims.total_threads, 1000u);
+  EXPECT_GE(dims.warp_count() * kWarpSize, 1000u);
+  // Not over-provisioned by more than one block.
+  EXPECT_LT((dims.warp_count() - dims.warps_per_block) * kWarpSize, 1000u);
+}
+
+TEST(DeviceSim, DimsForWarpsOneWarpPerBlock) {
+  DeviceSim dev;
+  const auto dims = dev.dims_for_warps(17);
+  EXPECT_EQ(dims.blocks, 17u);
+  EXPECT_EQ(dims.warps_per_block, 1u);
+  EXPECT_EQ(dims.warp_count(), 17u);
+}
+
+TEST(DeviceSim, LaunchInvokesEveryWarpOnce) {
+  DeviceSim dev;
+  std::set<std::uint32_t> seen;
+  const auto dims = dev.dims_for_threads(8 * 256);
+  const KernelStats stats = dev.launch(dims, [&](WarpCtx& w) {
+    EXPECT_TRUE(seen.insert(w.global_warp_id()).second);
+  });
+  EXPECT_EQ(seen.size(), dims.warp_count());
+  EXPECT_EQ(stats.warps, dims.warp_count());
+  EXPECT_EQ(stats.blocks, dims.blocks);
+}
+
+TEST(DeviceSim, TailWarpHasReducedLanes) {
+  DeviceSim dev;
+  const auto dims = dev.dims_for_threads(40);  // 32 + 8
+  int tail_lanes = -1;
+  dev.launch(dims, [&](WarpCtx& w) {
+    if (w.global_warp_id() == 1) tail_lanes = w.active_count();
+  });
+  EXPECT_EQ(tail_lanes, 8);
+}
+
+TEST(DeviceSim, WarpsPastTotalThreadsAreSkipped) {
+  DeviceSim dev;
+  LaunchDims dims;
+  dims.blocks = 2;
+  dims.warps_per_block = 8;
+  dims.total_threads = 32;  // only the first warp runs
+  int invocations = 0;
+  dev.launch(dims, [&](WarpCtx&) { ++invocations; });
+  EXPECT_EQ(invocations, 1);
+}
+
+TEST(DeviceSim, EmptyLaunchChargesOnlyOverhead) {
+  SimConfig cfg;
+  DeviceSim dev(cfg);
+  LaunchDims dims;  // zero blocks
+  const KernelStats stats = dev.launch(dims, [](WarpCtx&) { FAIL(); });
+  EXPECT_EQ(stats.elapsed_cycles, cfg.kernel_launch_overhead_cycles);
+}
+
+TEST(DeviceSim, ElapsedIsMaxOverSmsPlusOverhead) {
+  SimConfig cfg;
+  cfg.num_sms = 2;
+  DeviceSim dev(cfg);
+  // 4 blocks x 1 warp; block b does (b+1) alu ops. Round-robin:
+  // SM0 gets blocks 0,2 -> 1+3 = 4 cycles; SM1 gets 1,3 -> 2+4 = 6.
+  LaunchDims dims;
+  dims.blocks = 4;
+  dims.warps_per_block = 1;
+  const KernelStats stats = dev.launch(dims, [](WarpCtx& w) {
+    for (std::uint32_t i = 0; i <= w.block_id(); ++i) w.alu([](int) {});
+  });
+  EXPECT_EQ(stats.elapsed_cycles, cfg.kernel_launch_overhead_cycles + 6);
+  EXPECT_EQ(stats.busy_cycles, cfg.kernel_launch_overhead_cycles + 10);
+  EXPECT_LT(stats.sm_balance(cfg), 1.0);
+}
+
+TEST(DeviceSim, PerfectBalanceWhenUniform) {
+  SimConfig cfg;
+  cfg.num_sms = 4;
+  cfg.kernel_launch_overhead_cycles = 0;
+  DeviceSim dev(cfg);
+  LaunchDims dims;
+  dims.blocks = 8;
+  dims.warps_per_block = 1;
+  const KernelStats stats =
+      dev.launch(dims, [](WarpCtx& w) { w.alu([](int) {}); });
+  EXPECT_DOUBLE_EQ(stats.sm_balance(cfg), 1.0);
+}
+
+TEST(DeviceSim, KernelStatsAggregationAcrossLaunches) {
+  DeviceSim dev;
+  KernelStats total;
+  total.launches = 0;
+  const auto dims = dev.dims_for_threads(64);
+  for (int i = 0; i < 3; ++i) {
+    total.add(dev.launch(dims, [](WarpCtx& w) { w.alu([](int) {}); }));
+  }
+  EXPECT_EQ(total.launches, 3u);
+  EXPECT_EQ(total.warps, 6u);
+  EXPECT_EQ(total.counters.issued_instructions, 6u);
+  // Both warps share one block (one SM): 2 cycles per launch.
+  EXPECT_EQ(total.elapsed_cycles,
+            3 * (dev.config().kernel_launch_overhead_cycles + 2));
+}
+
+TEST(DeviceSim, DeterministicAcrossRuns) {
+  SimConfig cfg;
+  DeviceSim dev1(cfg), dev2(cfg);
+  const auto kernel = [](WarpCtx& w) {
+    Lanes<int> v{};
+    w.alu([&](int l) { v[l] = l; });
+    (void)w.reduce_add(v);
+  };
+  const auto dims = dev1.dims_for_threads(4096);
+  const KernelStats a = dev1.launch(dims, kernel);
+  const KernelStats b = dev2.launch(dims, kernel);
+  EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles);
+  EXPECT_EQ(a.counters.issued_instructions, b.counters.issued_instructions);
+}
+
+TEST(DeviceSim, MoreSmsNeverSlower) {
+  SimConfig small;
+  small.num_sms = 2;
+  SimConfig big;
+  big.num_sms = 16;
+  DeviceSim dev_small(small), dev_big(big);
+  const auto kernel = [](WarpCtx& w) {
+    for (int i = 0; i < 10; ++i) w.alu([](int) {});
+  };
+  LaunchDims dims;
+  dims.blocks = 64;
+  dims.warps_per_block = 2;
+  EXPECT_GE(dev_small.launch(dims, kernel).elapsed_cycles,
+            dev_big.launch(dims, kernel).elapsed_cycles);
+}
+
+TEST(KernelStats, SummaryMentionsKeyFields) {
+  DeviceSim dev;
+  const auto stats = dev.launch(dev.dims_for_threads(64),
+                                [](WarpCtx& w) { w.alu([](int) {}); });
+  const std::string s = stats.summary(dev.config());
+  EXPECT_NE(s.find("SIMD utilization"), std::string::npos);
+  EXPECT_NE(s.find("elapsed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maxwarp::simt

@@ -1,0 +1,80 @@
+#include "simt/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace maxwarp::simt {
+namespace {
+
+TEST(Mask, LaneBitAndActive) {
+  EXPECT_EQ(lane_bit(0), 1u);
+  EXPECT_EQ(lane_bit(31), 0x80000000u);
+  EXPECT_TRUE(lane_active(0b101, 0));
+  EXPECT_FALSE(lane_active(0b101, 1));
+  EXPECT_TRUE(lane_active(0b101, 2));
+}
+
+TEST(Mask, Popcount) {
+  EXPECT_EQ(popcount(0), 0);
+  EXPECT_EQ(popcount(kFullMask), 32);
+  EXPECT_EQ(popcount(0b1011), 3);
+}
+
+TEST(Mask, FirstLane) {
+  EXPECT_EQ(first_lane(0), -1);
+  EXPECT_EQ(first_lane(1), 0);
+  EXPECT_EQ(first_lane(0b1000), 3);
+  EXPECT_EQ(first_lane(0x80000000u), 31);
+}
+
+TEST(Mask, PrefixMask) {
+  EXPECT_EQ(prefix_mask(0), 0u);
+  EXPECT_EQ(prefix_mask(1), 1u);
+  EXPECT_EQ(prefix_mask(4), 0xfu);
+  EXPECT_EQ(prefix_mask(32), kFullMask);
+  EXPECT_EQ(prefix_mask(40), kFullMask);  // clamped
+}
+
+TEST(Mask, GroupMaskCoversDisjointLanes) {
+  // Width 8 -> 4 groups tiling the warp.
+  LaneMask all = 0;
+  for (int g = 0; g < 4; ++g) {
+    const LaneMask m = group_mask(g, 8);
+    EXPECT_EQ(popcount(m), 8);
+    EXPECT_EQ(all & m, 0u);  // disjoint
+    all |= m;
+  }
+  EXPECT_EQ(all, kFullMask);
+}
+
+TEST(Mask, GroupMaskWidth32IsFull) {
+  EXPECT_EQ(group_mask(0, 32), kFullMask);
+}
+
+TEST(Mask, ForEachLaneVisitsAscending) {
+  std::vector<int> lanes;
+  for_each_lane(0b10010001u, [&](int l) { lanes.push_back(l); });
+  EXPECT_EQ(lanes, (std::vector<int>{0, 4, 7}));
+}
+
+TEST(Mask, ForEachLaneEmptyMaskNoCalls) {
+  int calls = 0;
+  for_each_lane(0u, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Mask, ForEachLaneFullMaskVisitsAll) {
+  int calls = 0;
+  int last = -1;
+  for_each_lane(kFullMask, [&](int l) {
+    ++calls;
+    EXPECT_GT(l, last);
+    last = l;
+  });
+  EXPECT_EQ(calls, 32);
+  EXPECT_EQ(last, 31);
+}
+
+}  // namespace
+}  // namespace maxwarp::simt

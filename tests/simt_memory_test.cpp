@@ -1,0 +1,126 @@
+#include "simt/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace maxwarp::simt {
+namespace {
+
+class MemoryModelTest : public ::testing::Test {
+ protected:
+  SimConfig cfg_;
+  CycleCounters counters_;
+  MemoryModel model_{cfg_, counters_};
+
+  std::array<std::uint64_t, kWarpSize> addrs_{};
+};
+
+TEST_F(MemoryModelTest, UnitStride4ByteWarpLoadIsOneTransaction) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x1000 + l * 4u;
+  EXPECT_EQ(model_.access_global(addrs_.data(), kFullMask, 4), 1);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+  EXPECT_EQ(counters_.global_requests, 32u);
+  EXPECT_EQ(counters_.mem_cycles, cfg_.cycles_per_mem_transaction);
+}
+
+TEST_F(MemoryModelTest, UnalignedUnitStrideIsTwoTransactions) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x1000 + 64 + l * 4u;
+  EXPECT_EQ(model_.access_global(addrs_.data(), kFullMask, 4), 2);
+}
+
+TEST_F(MemoryModelTest, FullyScatteredIsThirtyTwoTransactions) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x1000 + l * 4096u;
+  EXPECT_EQ(model_.access_global(addrs_.data(), kFullMask, 4), 32);
+}
+
+TEST_F(MemoryModelTest, Stride2DoublesTransactions) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 8u;
+  // 32 lanes * 8B stride span 256B = 2 segments of 128B.
+  EXPECT_EQ(model_.access_global(addrs_.data(), kFullMask, 4), 2);
+}
+
+TEST_F(MemoryModelTest, InactiveLanesDoNotCost) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 4096u;
+  EXPECT_EQ(model_.access_global(addrs_.data(), 0b11u, 4), 2);
+  EXPECT_EQ(counters_.global_requests, 2u);
+}
+
+TEST_F(MemoryModelTest, EmptyMaskIsFree) {
+  EXPECT_EQ(model_.access_global(addrs_.data(), 0, 4), 0);
+  EXPECT_EQ(counters_.mem_cycles, 0u);
+}
+
+TEST_F(MemoryModelTest, ElementStraddlingSegmentTouchesBoth) {
+  addrs_[0] = 127;  // 8-byte element crossing the 128B boundary
+  EXPECT_EQ(model_.access_global(addrs_.data(), 1u, 8), 2);
+}
+
+TEST_F(MemoryModelTest, SameAddressAllLanesIsOneTransaction) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x2000;
+  EXPECT_EQ(model_.access_global(addrs_.data(), kFullMask, 4), 1);
+}
+
+TEST_F(MemoryModelTest, BytesAccountedPerTransaction) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 4u;
+  model_.access_global(addrs_.data(), kFullMask, 4);
+  EXPECT_EQ(counters_.global_bytes, cfg_.mem_transaction_bytes);
+}
+
+TEST_F(MemoryModelTest, ConfigurableSegmentSize) {
+  cfg_.mem_transaction_bytes = 32;
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 4u;
+  // 128 bytes of data at 32B segments -> 4 transactions.
+  EXPECT_EQ(model_.access_global(addrs_.data(), kFullMask, 4), 4);
+}
+
+TEST_F(MemoryModelTest, AtomicsToDistinctAddressesNoConflicts) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 4u;
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), kFullMask), 0);
+  EXPECT_EQ(counters_.atomic_ops, 32u);
+  EXPECT_EQ(counters_.atomic_conflicts, 0u);
+}
+
+TEST_F(MemoryModelTest, AtomicsToSameAddressSerialize) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x3000;
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), kFullMask), 31);
+  EXPECT_EQ(counters_.atomic_conflicts, 31u);
+  // cost: 1 distinct + 31 conflicts
+  EXPECT_EQ(counters_.mem_cycles, cfg_.cycles_per_atomic +
+                                      31u * cfg_.cycles_per_atomic_conflict);
+}
+
+TEST_F(MemoryModelTest, AtomicMixedConflictCount) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = (l % 4) * 4u;
+  // 4 distinct addresses, 8 lanes each -> 28 conflicts.
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), kFullMask), 28);
+}
+
+TEST_F(MemoryModelTest, SharedConflictFreeUnitStride) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 4u;
+  EXPECT_EQ(model_.access_shared(addrs_.data(), kFullMask), 0);
+  EXPECT_EQ(counters_.shared_bank_conflict_replays, 0u);
+}
+
+TEST_F(MemoryModelTest, SharedBroadcastSameWordIsFree) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x40;
+  EXPECT_EQ(model_.access_shared(addrs_.data(), kFullMask), 0);
+}
+
+TEST_F(MemoryModelTest, SharedStride32WordsFullyConflicts) {
+  // word index = l * 32 -> every lane hits bank 0 with distinct words.
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 32u * 4u;
+  EXPECT_EQ(model_.access_shared(addrs_.data(), kFullMask), 31);
+}
+
+TEST_F(MemoryModelTest, SharedTwoWayConflict) {
+  // word = (l % 16) * 2 in a stride-2 pattern: two lanes per bank,
+  // distinct words -> 1 replay.
+  for (int l = 0; l < kWarpSize; ++l) {
+    addrs_[l] = ((l % 16) * 2u + (l / 16) * 32u) * 4u;
+  }
+  EXPECT_EQ(model_.access_shared(addrs_.data(), kFullMask), 1);
+}
+
+}  // namespace
+}  // namespace maxwarp::simt

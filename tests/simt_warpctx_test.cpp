@@ -1,0 +1,336 @@
+#include "simt/warp_ctx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace maxwarp::simt {
+namespace {
+
+class WarpCtxTest : public ::testing::Test {
+ protected:
+  SimConfig cfg_;
+  CycleCounters counters_;
+
+  WarpCtx make(int lanes = kWarpSize) {
+    return WarpCtx(/*block=*/0, /*warp=*/0, /*warps_per_block=*/1, lanes,
+                   cfg_, counters_);
+  }
+
+  /// Wraps a raw vector in a DevPtr with a synthetic 256-aligned address.
+  template <typename T>
+  DevPtr<T> devptr(std::vector<T>& v) {
+    return {v.data(), 0x10000};
+  }
+};
+
+TEST_F(WarpCtxTest, IdentityMath) {
+  WarpCtx w(/*block=*/3, /*warp=*/2, /*warps_per_block=*/4, 32, cfg_,
+            counters_);
+  EXPECT_EQ(w.global_warp_id(), 3u * 4 + 2);
+  EXPECT_EQ(w.thread_id(0), (3u * 4 + 2) * 32u);
+  EXPECT_EQ(w.thread_id(5), (3u * 4 + 2) * 32u + 5);
+}
+
+TEST_F(WarpCtxTest, TailWarpMaskLimitsLanes) {
+  auto w = make(5);
+  EXPECT_EQ(w.active(), prefix_mask(5));
+  EXPECT_EQ(w.active_count(), 5);
+  int visits = 0;
+  w.alu([&](int) { ++visits; });
+  EXPECT_EQ(visits, 5);
+}
+
+TEST_F(WarpCtxTest, InvalidLaneCountThrows) {
+  EXPECT_THROW(make(0), std::invalid_argument);
+  EXPECT_THROW(make(33), std::invalid_argument);
+}
+
+TEST_F(WarpCtxTest, AluChargesOneIssueRegardlessOfLanes) {
+  auto w = make();
+  w.alu([](int) {});
+  EXPECT_EQ(counters_.issued_instructions, 1u);
+  EXPECT_EQ(counters_.alu_cycles, 1u);
+  EXPECT_EQ(counters_.active_lane_ops, 32u);
+  EXPECT_EQ(counters_.possible_lane_ops, 32u);
+}
+
+TEST_F(WarpCtxTest, UtilizationIdentity) {
+  auto w = make();
+  w.with_mask(prefix_mask(8), [&] { w.alu([](int) {}); });
+  // One instruction at 8/32 lanes.
+  EXPECT_DOUBLE_EQ(counters_.simd_utilization(), 8.0 / 32.0);
+}
+
+TEST_F(WarpCtxTest, BallotSelectsPredicateLanes) {
+  auto w = make();
+  const LaneMask m = w.ballot([](int lane) { return lane % 2 == 0; });
+  EXPECT_EQ(m, 0x55555555u);
+}
+
+TEST_F(WarpCtxTest, BallotRestrictedToActiveMask) {
+  auto w = make();
+  w.with_mask(prefix_mask(4), [&] {
+    const LaneMask m = w.ballot([](int) { return true; });
+    EXPECT_EQ(m, prefix_mask(4));
+  });
+}
+
+TEST_F(WarpCtxTest, WithMaskEmptyIntersectionSkipsBody) {
+  auto w = make(4);
+  bool ran = false;
+  w.with_mask(lane_bit(20), [&] { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(counters_.branch_divergences, 0u);
+}
+
+TEST_F(WarpCtxTest, PartialWithMaskCountsDivergence) {
+  auto w = make();
+  w.with_mask(prefix_mask(16), [] {});
+  EXPECT_EQ(counters_.branch_divergences, 1u);
+  w.with_mask(kFullMask, [] {});
+  EXPECT_EQ(counters_.branch_divergences, 1u);  // full mask: no divergence
+}
+
+TEST_F(WarpCtxTest, BranchRunsBothSidesSerially) {
+  auto w = make();
+  std::vector<int> then_lanes, else_lanes;
+  w.branch(prefix_mask(10),
+           [&] { w.alu([&](int l) { then_lanes.push_back(l); }); },
+           [&] { w.alu([&](int l) { else_lanes.push_back(l); }); });
+  EXPECT_EQ(then_lanes.size(), 10u);
+  EXPECT_EQ(else_lanes.size(), 22u);
+  EXPECT_EQ(counters_.branch_divergences, 1u);
+  // Two issues (one per side): serialization cost of divergence.
+  EXPECT_EQ(counters_.issued_instructions, 2u);
+}
+
+TEST_F(WarpCtxTest, UniformBranchChargesOneSide) {
+  auto w = make();
+  int then_runs = 0, else_runs = 0;
+  w.branch(kFullMask, [&] { ++then_runs; }, [&] { ++else_runs; });
+  EXPECT_EQ(then_runs, 1);
+  EXPECT_EQ(else_runs, 0);
+  EXPECT_EQ(counters_.branch_divergences, 0u);
+}
+
+TEST_F(WarpCtxTest, LoopWhileIteratesUntilSlowestLane) {
+  auto w = make();
+  Lanes<int> remaining{};
+  for (int l = 0; l < 32; ++l) remaining[l] = l % 4;  // max 3 iterations
+  int body_runs = 0;
+  w.loop_while([&](int l) { return remaining[l] > 0; },
+               [&] {
+                 ++body_runs;
+                 w.alu([&](int l) { --remaining[l]; });
+               });
+  EXPECT_EQ(body_runs, 3);
+  EXPECT_EQ(counters_.loop_iterations, 3u);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(remaining[l], 0);
+}
+
+TEST_F(WarpCtxTest, LoopWhileUtilizationDropsWithImbalance) {
+  // One lane loops 32 times, the rest none: utilization of the loop body
+  // alu ops should be 1/32.
+  auto w = make();
+  Lanes<int> remaining{};
+  remaining[7] = 32;
+  const std::uint64_t active_before = counters_.active_lane_ops;
+  (void)active_before;
+  w.loop_while([&](int l) { return remaining[l] > 0; },
+               [&] { w.alu([&](int l) { --remaining[l]; }); });
+  EXPECT_EQ(counters_.loop_iterations, 32u);
+  // 32 body issues at 1 lane + 33 ballots at 32 lanes.
+  EXPECT_LT(counters_.simd_utilization(), 0.6);
+}
+
+TEST_F(WarpCtxTest, LoadGlobalGathersAndCharges) {
+  auto w = make();
+  std::vector<std::uint32_t> data(64);
+  for (std::uint32_t i = 0; i < 64; ++i) data[i] = i * 10;
+  Lanes<std::uint32_t> out{};
+  w.load_global(devptr(data), [](int l) { return l * 2; }, out);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(out[l], static_cast<std::uint32_t>(l) * 20);
+  EXPECT_GT(counters_.global_transactions, 0u);
+  EXPECT_EQ(counters_.global_requests, 32u);
+}
+
+TEST_F(WarpCtxTest, LoadGlobalOnlyActiveLanesTouched) {
+  auto w = make();
+  std::vector<std::uint32_t> data(4, 99);
+  Lanes<std::uint32_t> out = make_lanes<std::uint32_t>(7);
+  // Index function would be out of bounds for lanes >= 4; the mask must
+  // protect them.
+  w.with_mask(prefix_mask(4), [&] {
+    w.load_global(devptr(data), [](int l) { return l; }, out);
+  });
+  for (int l = 0; l < 4; ++l) EXPECT_EQ(out[l], 99u);
+  for (int l = 4; l < 32; ++l) EXPECT_EQ(out[l], 7u);
+}
+
+TEST_F(WarpCtxTest, StoreGlobalScattersActiveLanes) {
+  auto w = make();
+  std::vector<std::uint32_t> data(32, 0);
+  w.with_mask(0xff00u, [&] {
+    w.store_global(devptr(data), [](int l) { return l; },
+                   [](int l) { return static_cast<std::uint32_t>(l + 1); });
+  });
+  for (int l = 0; l < 32; ++l) {
+    EXPECT_EQ(data[static_cast<std::size_t>(l)],
+              (l >= 8 && l < 16) ? static_cast<std::uint32_t>(l + 1) : 0u);
+  }
+}
+
+TEST_F(WarpCtxTest, LoadGlobalUniformSingleTransaction) {
+  auto w = make();
+  std::vector<std::uint32_t> data{11, 22, 33};
+  EXPECT_EQ(w.load_global_uniform(devptr(data), 2), 33u);
+  EXPECT_EQ(counters_.global_transactions, 1u);
+  EXPECT_EQ(counters_.global_requests, 1u);
+}
+
+TEST_F(WarpCtxTest, AtomicAddResolvesInLaneOrder) {
+  auto w = make();
+  std::vector<std::uint32_t> cell{0};
+  const Lanes<std::uint32_t> old =
+      w.atomic_add(devptr(cell), [](int) { return 0; },
+                   [](int) { return 1u; });
+  EXPECT_EQ(cell[0], 32u);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(old[l], static_cast<std::uint32_t>(l));
+  EXPECT_EQ(counters_.atomic_conflicts, 31u);
+}
+
+TEST_F(WarpCtxTest, AtomicMinKeepsMinimum) {
+  auto w = make();
+  std::vector<std::uint32_t> cells(32, 100);
+  w.atomic_min(devptr(cells), [](int l) { return l; },
+               [](int l) { return static_cast<std::uint32_t>(200 - l); });
+  for (int l = 0; l < 32; ++l) {
+    EXPECT_EQ(cells[static_cast<std::size_t>(l)],
+              std::min<std::uint32_t>(100, static_cast<std::uint32_t>(200 - l)));
+  }
+}
+
+TEST_F(WarpCtxTest, AtomicCasOnlySucceedsOnExpected) {
+  auto w = make(2);
+  std::vector<std::uint32_t> cell{5};
+  const Lanes<std::uint32_t> old = w.atomic_cas(
+      devptr(cell), [](int) { return 0; }, [](int) { return 5u; },
+      [](int l) { return static_cast<std::uint32_t>(100 + l); });
+  // Lane 0 wins (sees 5, writes 100); lane 1 sees 100 and fails.
+  EXPECT_EQ(old[0], 5u);
+  EXPECT_EQ(old[1], 100u);
+  EXPECT_EQ(cell[0], 100u);
+}
+
+TEST_F(WarpCtxTest, AtomicExchSwapsValue) {
+  auto w = make(1);
+  std::vector<std::uint32_t> cell{42};
+  const Lanes<std::uint32_t> old = w.atomic_exch(
+      devptr(cell), [](int) { return 0; }, [](int) { return 7u; });
+  EXPECT_EQ(old[0], 42u);
+  EXPECT_EQ(cell[0], 7u);
+}
+
+TEST_F(WarpCtxTest, ReduceAddOverActiveLanes) {
+  auto w = make();
+  Lanes<int> v{};
+  for (int l = 0; l < 32; ++l) v[l] = l;
+  EXPECT_EQ(w.reduce_add(v), 31 * 32 / 2);
+  w.with_mask(prefix_mask(4), [&] { EXPECT_EQ(w.reduce_add(v), 0 + 1 + 2 + 3); });
+}
+
+TEST_F(WarpCtxTest, ReduceMinMax) {
+  auto w = make();
+  Lanes<int> v{};
+  for (int l = 0; l < 32; ++l) v[l] = 100 - l;
+  EXPECT_EQ(w.reduce_max(v), 100);
+  EXPECT_EQ(w.reduce_min(v), 100 - 31);
+  w.with_mask(lane_bit(5), [&] {
+    EXPECT_EQ(w.reduce_max(v), 95);
+    EXPECT_EQ(w.reduce_min(v), 95);
+  });
+}
+
+TEST_F(WarpCtxTest, CollectiveChargesFiveIssues) {
+  auto w = make();
+  Lanes<int> v{};
+  (void)w.reduce_add(v);
+  EXPECT_EQ(counters_.issued_instructions, 5u);
+}
+
+TEST_F(WarpCtxTest, ExclusiveScanAdd) {
+  auto w = make();
+  Lanes<std::uint32_t> v = make_lanes<std::uint32_t>(1);
+  std::uint32_t total = 0;
+  const Lanes<std::uint32_t> scan = w.exclusive_scan_add(v, total);
+  EXPECT_EQ(total, 32u);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(scan[l], static_cast<std::uint32_t>(l));
+}
+
+TEST_F(WarpCtxTest, ExclusiveScanSkipsInactive) {
+  auto w = make();
+  Lanes<std::uint32_t> v = make_lanes<std::uint32_t>(2);
+  std::uint32_t total = 0;
+  w.with_mask(0b1010u, [&] {
+    const Lanes<std::uint32_t> scan = w.exclusive_scan_add(v, total);
+    EXPECT_EQ(scan[1], 0u);
+    EXPECT_EQ(scan[3], 2u);
+  });
+  EXPECT_EQ(total, 4u);
+}
+
+TEST_F(WarpCtxTest, BroadcastReadsSourceLane) {
+  auto w = make();
+  Lanes<int> v{};
+  v[17] = 1234;
+  EXPECT_EQ(w.broadcast(v, 17), 1234);
+}
+
+TEST_F(WarpCtxTest, SharedAllocAndRoundTrip) {
+  auto w = make();
+  const SharedArray<std::uint32_t> arr = w.shared_alloc<std::uint32_t>(64);
+  ASSERT_EQ(arr.size, 64u);
+  w.store_shared(arr, [](int l) { return l; },
+                 [](int l) { return static_cast<std::uint32_t>(l * 3); });
+  Lanes<std::uint32_t> out{};
+  w.load_shared(arr, [](int l) { return l; }, out);
+  for (int l = 0; l < 32; ++l) EXPECT_EQ(out[l], static_cast<std::uint32_t>(l) * 3);
+  EXPECT_EQ(counters_.shared_accesses, 64u);
+  EXPECT_EQ(counters_.shared_bank_conflict_replays, 0u);
+}
+
+TEST_F(WarpCtxTest, SharedArenaExhaustionThrows) {
+  auto w = make();
+  EXPECT_THROW(w.shared_alloc<std::uint64_t>(1 << 20), std::runtime_error);
+}
+
+TEST_F(WarpCtxTest, NestedMasksComposeByIntersection) {
+  auto w = make();
+  w.with_mask(prefix_mask(16), [&] {
+    w.with_mask(0xff00ffu, [&] {
+      EXPECT_EQ(w.active(), prefix_mask(16) & 0xff00ffu);
+    });
+    EXPECT_EQ(w.active(), prefix_mask(16));
+  });
+  EXPECT_EQ(w.active(), kFullMask);
+}
+
+TEST_F(WarpCtxTest, DeterministicCounters) {
+  CycleCounters c1, c2;
+  for (CycleCounters* c : {&c1, &c2}) {
+    WarpCtx w(0, 0, 1, 32, cfg_, *c);
+    std::vector<std::uint32_t> data(32, 1);
+    Lanes<std::uint32_t> out{};
+    w.load_global(devptr(data), [](int l) { return l; }, out);
+    w.alu([](int) {});
+    (void)w.ballot([](int l) { return l < 10; });
+  }
+  EXPECT_EQ(c1.issued_instructions, c2.issued_instructions);
+  EXPECT_EQ(c1.total_cycles(), c2.total_cycles());
+  EXPECT_EQ(c1.active_lane_ops, c2.active_lane_ops);
+}
+
+}  // namespace
+}  // namespace maxwarp::simt

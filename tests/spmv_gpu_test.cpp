@@ -1,0 +1,144 @@
+#include "algorithms/spmv_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+
+Csr weighted(Csr g, std::uint32_t max_w = 9) {
+  graph::assign_hash_weights(g, max_w);
+  return g;
+}
+
+std::vector<float> random_x(std::uint32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> x(n);
+  for (auto& v : x) v = static_cast<float>(rng.next_double() * 2 - 1);
+  return x;
+}
+
+void expect_matches_cpu(const Csr& g, const KernelOptions& opts) {
+  const auto x = random_x(g.num_nodes(), 99);
+  gpu::Device dev;
+  const auto gpu_result = spmv_gpu(dev, g, x, opts);
+  const auto cpu_result = spmv_cpu(g, x);
+  ASSERT_EQ(gpu_result.y.size(), cpu_result.size());
+  for (std::size_t v = 0; v < cpu_result.size(); ++v) {
+    EXPECT_NEAR(gpu_result.y[v], cpu_result[v],
+                1e-3 * (1.0 + std::abs(cpu_result[v])))
+        << "row " << v;
+  }
+}
+
+struct SpmvCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class SpmvSweep : public ::testing::TestWithParam<SpmvCase> {};
+
+TEST_P(SpmvSweep, RandomMatrix) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(weighted(graph::erdos_renyi(500, 4000, {.seed = 81})),
+                     opts);
+}
+
+TEST_P(SpmvSweep, SkewedMatrix) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_cpu(weighted(graph::rmat(512, 4096, {}, {.seed = 82})),
+                     opts);
+}
+
+TEST_P(SpmvSweep, EmptyRowsYieldZero) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  // Node 0 -> 1 only: rows 1..9 are empty.
+  Csr g = graph::build_csr(10, {{0, 1}});
+  g.weights = {3};
+  const auto x = random_x(10, 7);
+  gpu::Device dev;
+  const auto r = spmv_gpu(dev, g, x, opts);
+  EXPECT_FLOAT_EQ(r.y[0], 3.0f * x[1]);
+  for (std::size_t v = 1; v < 10; ++v) EXPECT_EQ(r.y[v], 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, SpmvSweep,
+    ::testing::Values(SpmvCase{"scalar", Mapping::kThreadMapped, 32},
+                      SpmvCase{"vector_w8", Mapping::kWarpCentric, 8},
+                      SpmvCase{"vector_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<SpmvCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Spmv, InputValidation) {
+  gpu::Device dev;
+  const Csr unweighted = graph::chain(4);
+  const std::vector<float> x(4, 1.0f);
+  EXPECT_THROW(spmv_gpu(dev, unweighted, x, {}), std::invalid_argument);
+  Csr g = weighted(graph::chain(4));
+  const std::vector<float> wrong(3, 1.0f);
+  EXPECT_THROW(spmv_gpu(dev, g, wrong, {}), std::invalid_argument);
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDefer;
+  EXPECT_THROW(spmv_gpu(dev, g, x, opts), std::invalid_argument);
+}
+
+TEST(Spmv, CsrVectorBeatsCsrScalarOnSkewedRows) {
+  const Csr g = weighted(graph::rmat(4096, 32768, {}, {.seed = 83}));
+  const auto x = random_x(g.num_nodes(), 84);
+  gpu::Device d1, d2;
+  KernelOptions scalar;
+  scalar.mapping = Mapping::kThreadMapped;
+  KernelOptions vector;
+  vector.mapping = Mapping::kWarpCentric;
+  vector.virtual_warp_width = 16;
+  const auto s = spmv_gpu(d1, g, x, scalar);
+  const auto v = spmv_gpu(d2, g, x, vector);
+  EXPECT_LT(v.stats.kernels.elapsed_cycles, s.stats.kernels.elapsed_cycles);
+}
+
+// ---- Barabasi-Albert generator (added alongside SpMV as another
+// power-law workload source) ------------------------------------------------
+
+TEST(BarabasiAlbert, StructurallyValid) {
+  const Csr g = graph::barabasi_albert(1000, 3, {.seed = 85});
+  g.validate();
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_TRUE(g.is_symmetric());
+  // ~ (m_per_node)*(n - m - 1) + seed clique, times 2 for symmetry.
+  EXPECT_GT(g.num_edges(), 2u * 3u * 900u);
+}
+
+TEST(BarabasiAlbert, ProducesHeavyTail) {
+  const Csr g = graph::barabasi_albert(2000, 4, {.seed = 86});
+  std::uint32_t max_deg = g.max_degree();
+  EXPECT_GT(max_deg, 20u * 4u);  // hubs far above the attachment degree
+  // Minimum degree is the attachment count.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 4u);
+  }
+}
+
+TEST(BarabasiAlbert, DeterministicAndValidated) {
+  const Csr a = graph::barabasi_albert(300, 2, {.seed = 87});
+  const Csr b = graph::barabasi_albert(300, 2, {.seed = 87});
+  EXPECT_EQ(a.adj, b.adj);
+  EXPECT_THROW(graph::barabasi_albert(10, 0, {}), std::invalid_argument);
+  EXPECT_THROW(graph::barabasi_albert(5, 5, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

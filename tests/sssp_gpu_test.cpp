@@ -1,0 +1,146 @@
+#include "algorithms/sssp_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/cpu_reference.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+
+Csr weighted(Csr g, std::uint32_t max_w = 20) {
+  graph::assign_hash_weights(g, max_w);
+  return g;
+}
+
+void expect_matches_dijkstra(const Csr& g, graph::NodeId source,
+                             const KernelOptions& opts) {
+  gpu::Device dev;
+  const auto gpu_result = sssp_gpu(dev, g, source, opts);
+  const auto cpu_dist = sssp_cpu(g, source);
+  ASSERT_EQ(gpu_result.dist.size(), cpu_dist.size());
+  for (std::size_t v = 0; v < cpu_dist.size(); ++v) {
+    if (cpu_dist[v] == kUnreachedDist) {
+      EXPECT_EQ(gpu_result.dist[v], kInfDist) << "node " << v;
+    } else {
+      EXPECT_EQ(gpu_result.dist[v], cpu_dist[v]) << "node " << v;
+    }
+  }
+}
+
+struct SsspCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class SsspSweep : public ::testing::TestWithParam<SsspCase> {};
+
+TEST_P(SsspSweep, WeightedChain) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_dijkstra(weighted(graph::chain(50)), 0, opts);
+}
+
+TEST_P(SsspSweep, WeightedGrid) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_dijkstra(weighted(graph::grid2d(9, 11)), 4, opts);
+}
+
+TEST_P(SsspSweep, WeightedRmat) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_dijkstra(weighted(graph::rmat(512, 4096, {}, {.seed = 3})),
+                          0, opts);
+}
+
+TEST_P(SsspSweep, WeightedStar) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  expect_matches_dijkstra(weighted(graph::star(300)), 0, opts);
+}
+
+TEST_P(SsspSweep, DisconnectedStaysInfinite) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  Csr g = weighted(graph::build_csr(5, {{0, 1}, {1, 2}}));
+  gpu::Device dev;
+  const auto r = sssp_gpu(dev, g, 0, opts);
+  EXPECT_EQ(r.dist[3], kInfDist);
+  EXPECT_EQ(r.dist[4], kInfDist);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, SsspSweep,
+    ::testing::Values(SsspCase{"thread_mapped", Mapping::kThreadMapped, 32},
+                      SsspCase{"warp_w4", Mapping::kWarpCentric, 4},
+                      SsspCase{"warp_w8", Mapping::kWarpCentric, 8},
+                      SsspCase{"warp_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<SsspCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(SsspGpu, UnweightedGraphThrows) {
+  gpu::Device dev;
+  EXPECT_THROW(sssp_gpu(dev, graph::chain(4), 0, {}),
+               std::invalid_argument);
+}
+
+TEST(SsspGpu, UnsupportedMappingThrows) {
+  gpu::Device dev;
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDefer;
+  EXPECT_THROW(sssp_gpu(dev, weighted(graph::chain(4)), 0, opts),
+               std::invalid_argument);
+}
+
+TEST(SsspGpu, SourceDistanceZero) {
+  gpu::Device dev;
+  const auto r = sssp_gpu(dev, weighted(graph::chain(10)), 3, {});
+  EXPECT_EQ(r.dist[3], 0u);
+}
+
+TEST(SsspGpu, BadSourceReturnsAllInfinite) {
+  gpu::Device dev;
+  const auto r = sssp_gpu(dev, weighted(graph::chain(4)), 50, {});
+  for (auto d : r.dist) EXPECT_EQ(d, kInfDist);
+}
+
+TEST(SsspGpu, UnitWeightsReduceToBfsLevels) {
+  Csr g = graph::grid2d(8, 8);
+  g.weights.assign(g.num_edges(), 1);
+  gpu::Device dev;
+  const auto sssp = sssp_gpu(dev, g, 0, {});
+  const auto levels = bfs_cpu(g, 0);
+  for (std::size_t v = 0; v < levels.size(); ++v) {
+    EXPECT_EQ(sssp.dist[v], levels[v]);
+  }
+}
+
+TEST(SsspGpu, IterationsBoundedByRounds) {
+  gpu::Device dev;
+  const auto r = sssp_gpu(dev, weighted(graph::chain(30)), 0, {});
+  // A chain relaxes one hop per round plus the final quiescent round.
+  EXPECT_LE(r.stats.iterations, 31u);
+  EXPECT_GE(r.stats.iterations, 29u);
+}
+
+TEST(SsspGpu, DeterministicAcrossRuns) {
+  const Csr g = weighted(graph::rmat(256, 2048, {}, {.seed = 9}));
+  gpu::Device d1, d2;
+  const auto a = sssp_gpu(d1, g, 0, {});
+  const auto b = sssp_gpu(d2, g, 0, {});
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,156 @@
+#include "algorithms/tc_gpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+
+Csr undirected(std::uint32_t n, graph::EdgeList edges) {
+  graph::BuildOptions sym;
+  sym.symmetrize = true;
+  return graph::build_csr(n, std::move(edges), sym);
+}
+
+// ---- CPU reference on known counts ----------------------------------------
+
+TEST(TriangleCpu, SingleTriangle) {
+  EXPECT_EQ(triangle_count_cpu(undirected(3, {{0, 1}, {1, 2}, {2, 0}})), 1u);
+}
+
+TEST(TriangleCpu, CompleteGraphBinomial) {
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(triangle_count_cpu(graph::complete(5)), 10u);
+  EXPECT_EQ(triangle_count_cpu(graph::complete(8)), 56u);
+}
+
+TEST(TriangleCpu, TriangleFreeShapes) {
+  EXPECT_EQ(triangle_count_cpu(graph::chain(20)), 0u);
+  EXPECT_EQ(triangle_count_cpu(graph::star(20)), 0u);
+  EXPECT_EQ(triangle_count_cpu(graph::grid2d(6, 6)), 0u);
+  EXPECT_EQ(triangle_count_cpu(graph::complete_binary_tree(31)), 0u);
+}
+
+TEST(TriangleCpu, TwoSharedEdgeTriangles) {
+  // 0-1-2-0 and 0-2-3-0 share edge 0-2.
+  const Csr g =
+      undirected(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 0}});
+  EXPECT_EQ(triangle_count_cpu(g), 2u);
+}
+
+// ---- GPU vs CPU across mappings -------------------------------------------
+
+struct TcCase {
+  std::string name;
+  Mapping mapping;
+  int width;
+};
+
+class TcSweep : public ::testing::TestWithParam<TcCase> {};
+
+TEST_P(TcSweep, KnownSmallGraphs) {
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  EXPECT_EQ(triangle_count_gpu(dev, graph::complete(6), opts).triangles,
+            20u);
+  gpu::Device dev2;
+  EXPECT_EQ(triangle_count_gpu(dev2, graph::grid2d(5, 5), opts).triangles,
+            0u);
+}
+
+TEST_P(TcSweep, MatchesCpuOnRandomUndirected) {
+  const Csr g =
+      graph::erdos_renyi(500, 3000, {.seed = 51, .undirected = true});
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  EXPECT_EQ(triangle_count_gpu(dev, g, opts).triangles,
+            triangle_count_cpu(g));
+}
+
+TEST_P(TcSweep, MatchesCpuOnSkewedGraph) {
+  const Csr g =
+      graph::rmat(512, 4096, {}, {.seed = 52, .undirected = true});
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  EXPECT_EQ(triangle_count_gpu(dev, g, opts).triangles,
+            triangle_count_cpu(g));
+}
+
+TEST_P(TcSweep, MatchesCpuOnSmallWorld) {
+  const Csr g = graph::watts_strogatz(400, 6, 0.1, {.seed = 53});
+  KernelOptions opts;
+  opts.mapping = GetParam().mapping;
+  opts.virtual_warp_width = GetParam().width;
+  gpu::Device dev;
+  EXPECT_EQ(triangle_count_gpu(dev, g, opts).triangles,
+            triangle_count_cpu(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingsAndWidths, TcSweep,
+    ::testing::Values(TcCase{"thread_mapped", Mapping::kThreadMapped, 32},
+                      TcCase{"warp_w8", Mapping::kWarpCentric, 8},
+                      TcCase{"warp_w32", Mapping::kWarpCentric, 32}),
+    [](const ::testing::TestParamInfo<TcCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(TriangleGpu, PerVertexAttributionSumsToTotal) {
+  const Csr g =
+      graph::erdos_renyi(300, 2500, {.seed = 54, .undirected = true});
+  gpu::Device dev;
+  const auto r = triangle_count_gpu(dev, g, {});
+  std::uint64_t sum = 0;
+  for (auto c : r.per_vertex) sum += c;
+  EXPECT_EQ(sum, r.triangles);
+  // Attribution is "smallest member": the last vertex can never own one.
+  EXPECT_EQ(r.per_vertex.back(), 0u);
+}
+
+TEST(TriangleGpu, EmptyGraphAndUnsupportedMapping) {
+  gpu::Device dev;
+  EXPECT_EQ(triangle_count_gpu(dev, graph::empty_graph(0), {}).triangles,
+            0u);
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentricDynamic;
+  EXPECT_THROW(triangle_count_gpu(dev, graph::complete(4), opts),
+               std::invalid_argument);
+}
+
+TEST(TriangleGpu, DeterministicAcrossRuns) {
+  const Csr g =
+      graph::rmat(256, 2048, {}, {.seed = 55, .undirected = true});
+  gpu::Device d1, d2;
+  const auto a = triangle_count_gpu(d1, g, {});
+  const auto b = triangle_count_gpu(d2, g, {});
+  EXPECT_EQ(a.triangles, b.triangles);
+  EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+TEST(TriangleGpu, WarpCentricFasterOnSkewedGraph) {
+  const Csr g =
+      graph::rmat(2048, 16384, {}, {.seed = 56, .undirected = true});
+  gpu::Device d1, d2;
+  KernelOptions base;
+  base.mapping = Mapping::kThreadMapped;
+  KernelOptions warp;
+  warp.mapping = Mapping::kWarpCentric;
+  warp.virtual_warp_width = 32;
+  const auto b = triangle_count_gpu(d1, g, base);
+  const auto w = triangle_count_gpu(d2, g, warp);
+  EXPECT_EQ(b.triangles, w.triangles);
+  EXPECT_LT(w.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

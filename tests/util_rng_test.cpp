@@ -1,0 +1,204 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace maxwarp::util {
+namespace {
+
+TEST(SplitMix64, DistinctOutputsForSequentialStates) {
+  SplitMix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, JumpProducesIndependentStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowStaysInBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t x = rng.next_in(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleOpenNeverZero) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.next_double_open(), 0.0);
+}
+
+TEST(Rng, BoolProbabilityRoughlyMatches) {
+  Rng rng(14);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.25) ? 1 : 0;
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(p, 0.25, 0.02);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(15);
+  double sum = 0, sumsq = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / trials, 1.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  Rng rng(16);
+  const double mu = 1.0, sigma = 0.5;
+  double sum = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) sum += rng.next_lognormal(mu, sigma);
+  const double expected = std::exp(mu + sigma * sigma / 2);
+  EXPECT_NEAR(sum / trials / expected, 1.0, 0.05);
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.next_pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ExponentialIsPositiveWithMatchingMean) {
+  Rng rng(18);
+  double sum = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.next_exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng parent(19);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Zipf, SamplesWithinDomain) {
+  Rng rng(20);
+  ZipfSampler zipf(1000, 1.5);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t x = zipf(rng);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 1000u);
+  }
+}
+
+TEST(Zipf, HeavyHeadDominates) {
+  Rng rng(21);
+  ZipfSampler zipf(10000, 2.0);
+  int head = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (zipf(rng) <= 3) ++head;
+  }
+  // For s=2, P(X<=3) ~ (1 + 1/4 + 1/9)/zeta(2) ~ 0.83.
+  EXPECT_GT(head, trials / 2);
+}
+
+TEST(Zipf, SingletonDomain) {
+  Rng rng(22);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 1u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, ReproducibleAcrossConstructions) {
+  Rng a(GetParam()), b(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST_P(RngSeedSweep, UniformityChiSquareLoose) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 16;
+  std::vector<int> counts(kBuckets, 0);
+  const int trials = 16000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(trials) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 15 dof; 99.9th percentile ~ 37.7. Loose bound keeps flakes at ~0.
+  EXPECT_LT(chi2, 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 42, 1234567, 0xdeadbeef));
+
+}  // namespace
+}  // namespace maxwarp::util

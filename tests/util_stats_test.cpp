@@ -1,0 +1,150 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maxwarp::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(3);
+  std::vector<double> data;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100 - 50;
+    data.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : data) mean += x;
+  mean /= static_cast<double>(data.size());
+  double var = 0;
+  for (double x : data) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(data.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-7);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(4);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_normal();
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Gini, UniformIsZero) {
+  EXPECT_NEAR(gini_coefficient({5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Gini, AllMassInOneElementApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  EXPECT_GT(gini_coefficient(v), 0.95);
+}
+
+TEST(Gini, KnownTwoPointValue) {
+  // {0, 1}: G = 1/2.
+  EXPECT_NEAR(gini_coefficient({0.0, 1.0}), 0.5, 1e-12);
+}
+
+TEST(Gini, EmptyAndZeroTotalAreZero) {
+  EXPECT_EQ(gini_coefficient({}), 0.0);
+  EXPECT_EQ(gini_coefficient({0.0, 0.0}), 0.0);
+}
+
+TEST(Gini, ScaleInvariant) {
+  const std::vector<double> v{1, 2, 3, 10};
+  std::vector<double> scaled;
+  for (double x : v) scaled.push_back(x * 7.5);
+  EXPECT_NEAR(gini_coefficient(v), gini_coefficient(scaled), 1e-12);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1.0, 2.0}, 2.0), 2.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  Log2Histogram h;
+  h.add(0);  // bucket 0
+  h.add(1);  // bucket 1: [1, 2)
+  h.add(2);  // bucket 2: [2, 4)
+  h.add(3);  // bucket 2
+  h.add(4);  // bucket 3: [4, 8)
+  h.add(1024);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);  // 1024 -> bit_width 11
+  EXPECT_EQ(h.bucket(99), 0u);  // out of range reads as empty
+}
+
+TEST(Log2Histogram, ToStringSkipsEmptyBuckets) {
+  Log2Histogram h;
+  h.add(5);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[4, 8): 1"), std::string::npos);
+  EXPECT_EQ(s.find("[1, 2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace maxwarp::util

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace maxwarp::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRule) {
+  Table t({"name", "count"});
+  t.row().cell("foo").cell(std::uint64_t{12});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("count"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("foo"), std::string::npos);
+  EXPECT_NE(s.find("12"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("yyyy");
+  t.row().cell("longer").cell("z");
+  const std::string s = t.to_string();
+  // Each line (except the rule) should have 'b' column starting at the same
+  // offset; check indirectly: all lines equal length after padding.
+  std::size_t first_len = 0;
+  std::size_t line_start = 0;
+  int line_no = 0;
+  while (line_start < s.size()) {
+    const std::size_t eol = s.find('\n', line_start);
+    const std::string line = s.substr(line_start, eol - line_start);
+    if (line_no == 0) first_len = line.size();
+    if (line_no != 1) {  // rule line can differ by trailing pad rules
+      EXPECT_LE(line.size(), first_len + 6);
+    }
+    line_start = eol + 1;
+    ++line_no;
+  }
+  EXPECT_EQ(line_no, 4);  // header, rule, two rows
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.to_string().find("3.14"), std::string::npos);
+  Table t2({"v"});
+  t2.row().cell(-7);
+  EXPECT_NE(t2.to_string().find("-7"), std::string::npos);
+}
+
+TEST(FormatHelpers, MtepsAndSi) {
+  EXPECT_EQ(format_mteps(123.4e6), "123.4 MTEPS");
+  EXPECT_EQ(format_si(1234.0), "1.23K");
+  EXPECT_EQ(format_si(12.0), "12");
+  EXPECT_EQ(format_si(2.5e6), "2.5M");
+  EXPECT_EQ(format_si(3.0e9), "3B");
+}
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7", "pos", "--flag"};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, BoolFalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no", "--d=yes"};
+  CliArgs args(5, argv);
+  EXPECT_FALSE(args.get_bool("a", true));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_FALSE(args.get_bool("c", true));
+  EXPECT_TRUE(args.get_bool("d", false));
+}
+
+TEST(Cli, UnqueriedFlagsReported) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  CliArgs args(3, argv);
+  (void)args.get_int("used", 0);
+  const auto stray = args.unqueried();
+  ASSERT_EQ(stray.size(), 1u);
+  EXPECT_EQ(stray[0], "typo");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--scale=0.25"};
+  CliArgs args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.25);
+}
+
+}  // namespace
+}  // namespace maxwarp::util
