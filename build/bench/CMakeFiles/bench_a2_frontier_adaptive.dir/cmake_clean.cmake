@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_frontier_adaptive.dir/bench_a2_frontier_adaptive.cpp.o"
+  "CMakeFiles/bench_a2_frontier_adaptive.dir/bench_a2_frontier_adaptive.cpp.o.d"
+  "bench_a2_frontier_adaptive"
+  "bench_a2_frontier_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_frontier_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_cpu_vs_gpu.dir/bench_f10_cpu_vs_gpu.cpp.o"
+  "CMakeFiles/bench_f10_cpu_vs_gpu.dir/bench_f10_cpu_vs_gpu.cpp.o.d"
+  "bench_f10_cpu_vs_gpu"
+  "bench_f10_cpu_vs_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_cpu_vs_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_baseline_divergence.dir/bench_f2_baseline_divergence.cpp.o"
+  "CMakeFiles/bench_f2_baseline_divergence.dir/bench_f2_baseline_divergence.cpp.o.d"
+  "bench_f2_baseline_divergence"
+  "bench_f2_baseline_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_baseline_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

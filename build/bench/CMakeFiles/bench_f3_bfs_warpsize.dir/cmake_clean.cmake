@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_bfs_warpsize.dir/bench_f3_bfs_warpsize.cpp.o"
+  "CMakeFiles/bench_f3_bfs_warpsize.dir/bench_f3_bfs_warpsize.cpp.o.d"
+  "bench_f3_bfs_warpsize"
+  "bench_f3_bfs_warpsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_bfs_warpsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_defer_queue.dir/bench_f6_defer_queue.cpp.o"
+  "CMakeFiles/bench_f6_defer_queue.dir/bench_f6_defer_queue.cpp.o.d"
+  "bench_f6_defer_queue"
+  "bench_f6_defer_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_defer_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

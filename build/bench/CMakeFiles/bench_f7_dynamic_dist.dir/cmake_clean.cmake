@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_dynamic_dist.dir/bench_f7_dynamic_dist.cpp.o"
+  "CMakeFiles/bench_f7_dynamic_dist.dir/bench_f7_dynamic_dist.cpp.o.d"
+  "bench_f7_dynamic_dist"
+  "bench_f7_dynamic_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_dynamic_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

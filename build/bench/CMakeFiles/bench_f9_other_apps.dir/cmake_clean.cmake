@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_other_apps.dir/bench_f9_other_apps.cpp.o"
+  "CMakeFiles/bench_f9_other_apps.dir/bench_f9_other_apps.cpp.o.d"
+  "bench_f9_other_apps"
+  "bench_f9_other_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_other_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

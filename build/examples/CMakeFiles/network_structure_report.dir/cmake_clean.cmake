@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_structure_report.dir/network_structure_report.cpp.o"
+  "CMakeFiles/network_structure_report.dir/network_structure_report.cpp.o.d"
+  "network_structure_report"
+  "network_structure_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_structure_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_tuning.dir/warp_tuning.cpp.o"
+  "CMakeFiles/warp_tuning.dir/warp_tuning.cpp.o.d"
+  "warp_tuning"
+  "warp_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bc_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/bc_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/bc_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/bfs_cpu_parallel.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/bfs_cpu_parallel.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/bfs_cpu_parallel.cpp.o.d"
+  "/root/repo/src/algorithms/bfs_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/bfs_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/bfs_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/cc_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/cc_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/cc_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/coloring_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/coloring_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/coloring_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/cpu_reference.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/cpu_reference.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/cpu_reference.cpp.o.d"
+  "/root/repo/src/algorithms/gpu_common.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/gpu_common.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/gpu_common.cpp.o.d"
+  "/root/repo/src/algorithms/kcore_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/kcore_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/kcore_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/microbench.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/microbench.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/microbench.cpp.o.d"
+  "/root/repo/src/algorithms/pagerank_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/pagerank_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/pagerank_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/spmv_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/spmv_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/spmv_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/sssp_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/sssp_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/sssp_gpu.cpp.o.d"
+  "/root/repo/src/algorithms/tc_gpu.cpp" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/tc_gpu.cpp.o" "gcc" "src/algorithms/CMakeFiles/maxwarp_algorithms.dir/tc_gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/maxwarp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/warp/CMakeFiles/maxwarp_warp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/maxwarp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/maxwarp_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxwarp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

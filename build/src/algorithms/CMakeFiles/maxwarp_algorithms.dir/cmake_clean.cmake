@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwarp_algorithms.dir/bc_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/bc_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/bfs_cpu_parallel.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/bfs_cpu_parallel.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/bfs_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/bfs_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/cc_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/cc_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/coloring_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/coloring_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/cpu_reference.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/cpu_reference.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/gpu_common.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/gpu_common.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/kcore_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/kcore_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/microbench.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/microbench.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/pagerank_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/pagerank_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/spmv_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/spmv_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/sssp_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/sssp_gpu.cpp.o.d"
+  "CMakeFiles/maxwarp_algorithms.dir/tc_gpu.cpp.o"
+  "CMakeFiles/maxwarp_algorithms.dir/tc_gpu.cpp.o.d"
+  "libmaxwarp_algorithms.a"
+  "libmaxwarp_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwarp_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwarp_gpu.dir/device.cpp.o"
+  "CMakeFiles/maxwarp_gpu.dir/device.cpp.o.d"
+  "libmaxwarp_gpu.a"
+  "libmaxwarp_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwarp_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwarp_graph.dir/builder.cpp.o"
+  "CMakeFiles/maxwarp_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/maxwarp_graph.dir/csr.cpp.o"
+  "CMakeFiles/maxwarp_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/maxwarp_graph.dir/datasets.cpp.o"
+  "CMakeFiles/maxwarp_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/maxwarp_graph.dir/generators.cpp.o"
+  "CMakeFiles/maxwarp_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/maxwarp_graph.dir/io.cpp.o"
+  "CMakeFiles/maxwarp_graph.dir/io.cpp.o.d"
+  "CMakeFiles/maxwarp_graph.dir/metrics.cpp.o"
+  "CMakeFiles/maxwarp_graph.dir/metrics.cpp.o.d"
+  "libmaxwarp_graph.a"
+  "libmaxwarp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwarp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/device_sim.cpp" "src/simt/CMakeFiles/maxwarp_simt.dir/device_sim.cpp.o" "gcc" "src/simt/CMakeFiles/maxwarp_simt.dir/device_sim.cpp.o.d"
+  "/root/repo/src/simt/memory.cpp" "src/simt/CMakeFiles/maxwarp_simt.dir/memory.cpp.o" "gcc" "src/simt/CMakeFiles/maxwarp_simt.dir/memory.cpp.o.d"
+  "/root/repo/src/simt/stats.cpp" "src/simt/CMakeFiles/maxwarp_simt.dir/stats.cpp.o" "gcc" "src/simt/CMakeFiles/maxwarp_simt.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/maxwarp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwarp_simt.dir/device_sim.cpp.o"
+  "CMakeFiles/maxwarp_simt.dir/device_sim.cpp.o.d"
+  "CMakeFiles/maxwarp_simt.dir/memory.cpp.o"
+  "CMakeFiles/maxwarp_simt.dir/memory.cpp.o.d"
+  "CMakeFiles/maxwarp_simt.dir/stats.cpp.o"
+  "CMakeFiles/maxwarp_simt.dir/stats.cpp.o.d"
+  "libmaxwarp_simt.a"
+  "libmaxwarp_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwarp_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwarp_util.dir/cli.cpp.o"
+  "CMakeFiles/maxwarp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/maxwarp_util.dir/rng.cpp.o"
+  "CMakeFiles/maxwarp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/maxwarp_util.dir/stats.cpp.o"
+  "CMakeFiles/maxwarp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/maxwarp_util.dir/table.cpp.o"
+  "CMakeFiles/maxwarp_util.dir/table.cpp.o.d"
+  "CMakeFiles/maxwarp_util.dir/timer.cpp.o"
+  "CMakeFiles/maxwarp_util.dir/timer.cpp.o.d"
+  "libmaxwarp_util.a"
+  "libmaxwarp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwarp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

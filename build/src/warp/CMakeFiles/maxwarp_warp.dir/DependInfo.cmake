@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warp/virtual_warp.cpp" "src/warp/CMakeFiles/maxwarp_warp.dir/virtual_warp.cpp.o" "gcc" "src/warp/CMakeFiles/maxwarp_warp.dir/virtual_warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/maxwarp_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/maxwarp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxwarp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxwarp_warp.dir/virtual_warp.cpp.o"
+  "CMakeFiles/maxwarp_warp.dir/virtual_warp.cpp.o.d"
+  "libmaxwarp_warp.a"
+  "libmaxwarp_warp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxwarp_warp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_gpu_test.dir/bc_gpu_test.cpp.o"
+  "CMakeFiles/bc_gpu_test.dir/bc_gpu_test.cpp.o.d"
+  "bc_gpu_test"
+  "bc_gpu_test.pdb"
+  "bc_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

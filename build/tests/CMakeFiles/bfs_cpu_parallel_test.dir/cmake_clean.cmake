@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_cpu_parallel_test.dir/bfs_cpu_parallel_test.cpp.o"
+  "CMakeFiles/bfs_cpu_parallel_test.dir/bfs_cpu_parallel_test.cpp.o.d"
+  "bfs_cpu_parallel_test"
+  "bfs_cpu_parallel_test.pdb"
+  "bfs_cpu_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_cpu_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

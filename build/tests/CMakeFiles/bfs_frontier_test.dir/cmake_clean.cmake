@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_frontier_test.dir/bfs_frontier_test.cpp.o"
+  "CMakeFiles/bfs_frontier_test.dir/bfs_frontier_test.cpp.o.d"
+  "bfs_frontier_test"
+  "bfs_frontier_test.pdb"
+  "bfs_frontier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_frontier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

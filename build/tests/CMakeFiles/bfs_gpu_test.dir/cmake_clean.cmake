@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfs_gpu_test.dir/bfs_gpu_test.cpp.o"
+  "CMakeFiles/bfs_gpu_test.dir/bfs_gpu_test.cpp.o.d"
+  "bfs_gpu_test"
+  "bfs_gpu_test.pdb"
+  "bfs_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfs_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

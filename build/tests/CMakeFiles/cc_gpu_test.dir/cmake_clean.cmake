@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_gpu_test.dir/cc_gpu_test.cpp.o"
+  "CMakeFiles/cc_gpu_test.dir/cc_gpu_test.cpp.o.d"
+  "cc_gpu_test"
+  "cc_gpu_test.pdb"
+  "cc_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

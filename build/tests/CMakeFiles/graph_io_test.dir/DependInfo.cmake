@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_io_test.cpp" "tests/CMakeFiles/graph_io_test.dir/graph_io_test.cpp.o" "gcc" "tests/CMakeFiles/graph_io_test.dir/graph_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/maxwarp_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/maxwarp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/warp/CMakeFiles/maxwarp_warp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/maxwarp_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/maxwarp_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/maxwarp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_gpu_test.dir/kcore_gpu_test.cpp.o"
+  "CMakeFiles/kcore_gpu_test.dir/kcore_gpu_test.cpp.o.d"
+  "kcore_gpu_test"
+  "kcore_gpu_test.pdb"
+  "kcore_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

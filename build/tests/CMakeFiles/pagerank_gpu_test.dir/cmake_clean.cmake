@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_gpu_test.dir/pagerank_gpu_test.cpp.o"
+  "CMakeFiles/pagerank_gpu_test.dir/pagerank_gpu_test.cpp.o.d"
+  "pagerank_gpu_test"
+  "pagerank_gpu_test.pdb"
+  "pagerank_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_mask_test.dir/simt_mask_test.cpp.o"
+  "CMakeFiles/simt_mask_test.dir/simt_mask_test.cpp.o.d"
+  "simt_mask_test"
+  "simt_mask_test.pdb"
+  "simt_mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_membench_test.dir/simt_membench_test.cpp.o"
+  "CMakeFiles/simt_membench_test.dir/simt_membench_test.cpp.o.d"
+  "simt_membench_test"
+  "simt_membench_test.pdb"
+  "simt_membench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_membench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

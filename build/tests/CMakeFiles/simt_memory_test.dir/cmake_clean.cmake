@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_memory_test.dir/simt_memory_test.cpp.o"
+  "CMakeFiles/simt_memory_test.dir/simt_memory_test.cpp.o.d"
+  "simt_memory_test"
+  "simt_memory_test.pdb"
+  "simt_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

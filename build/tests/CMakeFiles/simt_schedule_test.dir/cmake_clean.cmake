@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_schedule_test.dir/simt_schedule_test.cpp.o"
+  "CMakeFiles/simt_schedule_test.dir/simt_schedule_test.cpp.o.d"
+  "simt_schedule_test"
+  "simt_schedule_test.pdb"
+  "simt_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

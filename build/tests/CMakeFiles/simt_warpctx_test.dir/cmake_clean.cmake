@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_warpctx_test.dir/simt_warpctx_test.cpp.o"
+  "CMakeFiles/simt_warpctx_test.dir/simt_warpctx_test.cpp.o.d"
+  "simt_warpctx_test"
+  "simt_warpctx_test.pdb"
+  "simt_warpctx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_warpctx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_gpu_test.dir/spmv_gpu_test.cpp.o"
+  "CMakeFiles/spmv_gpu_test.dir/spmv_gpu_test.cpp.o.d"
+  "spmv_gpu_test"
+  "spmv_gpu_test.pdb"
+  "spmv_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp_gpu_test.dir/sssp_gpu_test.cpp.o"
+  "CMakeFiles/sssp_gpu_test.dir/sssp_gpu_test.cpp.o.d"
+  "sssp_gpu_test"
+  "sssp_gpu_test.pdb"
+  "sssp_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_gpu_test.dir/tc_gpu_test.cpp.o"
+  "CMakeFiles/tc_gpu_test.dir/tc_gpu_test.cpp.o.d"
+  "tc_gpu_test"
+  "tc_gpu_test.pdb"
+  "tc_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vw_primitives_test.dir/vw_primitives_test.cpp.o"
+  "CMakeFiles/vw_primitives_test.dir/vw_primitives_test.cpp.o.d"
+  "vw_primitives_test"
+  "vw_primitives_test.pdb"
+  "vw_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vw_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
