@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build + test the normal configuration, then build + test
+# again with SANITIZE=ON (host-side ASan/UBSan over the whole tree,
+# complementary to the simulator's own simtsan layer).
+#
+#   scripts/check.sh            # both configurations
+#   scripts/check.sh --fast     # normal configuration only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "== normal configuration =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build -j "$jobs" --output-on-failure
+
+if [[ "$fast" == 0 ]]; then
+  echo "== SANITIZE=ON configuration =="
+  cmake -B build-asan -S . -DSANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan -j "$jobs" --output-on-failure
+fi
+
+echo "check.sh: all green"

@@ -179,8 +179,9 @@ GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
 
     if (opts.mapping == Mapping::kThreadMapped) {
       const auto dims = device.dims_for_threads(frontier_size);
-      result.stats.kernels.add(device.launch(dims, [&, frontier_size](
-                                                 WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.queue.expand.thread"), [&, frontier_size](
+                                                     WarpCtx& w) {
         Lanes<std::uint32_t> v{};
         w.load_global(in_ptr, [&](int l) { return w.thread_id(l); }, v);
         Lanes<std::uint32_t> it{}, end{};
@@ -209,8 +210,9 @@ GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
           device.dims_for_threads(warps_needed * simt::kWarpSize);
       const std::uint64_t total_groups =
           dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
-      result.stats.kernels.add(device.launch(dims, [&, frontier_size](
-                                                 WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.queue.expand.vwarp"), [&, frontier_size](
+                                                    WarpCtx& w) {
         for (std::uint64_t round = 0; round * total_groups < frontier_size;
              ++round) {
           Lanes<std::uint32_t> entry{};
@@ -310,7 +312,8 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
       // Baseline: thread t owns vertex t and expands its list serially —
       // written exactly as the CUDA original (per-lane while loop).
       const auto dims = device.dims_for_threads(n);
-      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.level.expand.thread"), [&, n](WarpCtx& w) {
         Lanes<std::uint32_t> v{};
         w.alu([&](int l) {
           v[static_cast<std::size_t>(l)] =
@@ -355,7 +358,8 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
           (static_cast<std::uint64_t>(n) + chunk - 1) / chunk;
       auto dims = device.dims_for_warps(warps_needed);
       dims.policy = simt::SchedulePolicy::kLeastLoaded;
-      result.stats.kernels.add(device.launch(dims, [&, n, chunk](WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.level.expand.dynamic"), [&, n, chunk](WarpCtx& w) {
         const std::uint32_t start = vw::claim_chunk(w, counter_ptr, chunk);
         if (start >= n) return;
         for (std::uint32_t off = 0; off < chunk;
@@ -389,7 +393,8 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
       const std::uint32_t threshold = opts.defer_threshold;
 
       if (deferring) defer_queue.reset();
-      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.level.expand.vwarp"), [&, n](WarpCtx& w) {
         for (std::uint64_t round = 0; round * total_groups < n; ++round) {
           Lanes<std::uint32_t> task{};
           const LaneMask valid =
@@ -402,9 +407,8 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
       }));
 
       if (deferring) {
-        // The counter records demand; clamp to what was actually stored.
-        const std::uint32_t queued =
-            std::min(defer_queue.size(), defer_queue.capacity());
+        // The counter records demand; drain only what was actually stored.
+        const std::uint32_t queued = defer_queue.stored();
         if (queued > 0) {
           // Drain: teams of `warps_per_deferred_task` physical warps expand
           // one hub vertex with fully coalesced 32-wide strips each.
@@ -421,8 +425,9 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
           // and least-loaded placement (the queue is drained on demand).
           auto dims2 = device.dims_for_warps(teams * wpt);
           dims2.policy = simt::SchedulePolicy::kLeastLoaded;
-          result.stats.kernels.add(device.launch(dims2, [&, queued, wpt](
-                                                     WarpCtx& w) {
+          result.stats.kernels.add(device.launch(
+              dims2.named("bfs.defer.drain"), [&, queued, wpt](
+                                                  WarpCtx& w) {
             const std::uint64_t team =
                 w.global_warp_id() / wpt;
             const std::uint32_t part = w.global_warp_id() % wpt;
@@ -615,8 +620,8 @@ GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const GpuCsr& g,
     const std::uint64_t total_groups =
         dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
 
-    result.stats.kernels.add(device.launch(dims, [&, frontier_size](
-                                               WarpCtx& w) {
+    result.stats.kernels.add(device.launch(
+        dims.named("bfs.adaptive.expand"), [&, frontier_size](WarpCtx& w) {
       for (std::uint64_t round = 0; round * total_groups < frontier_size;
            ++round) {
         Lanes<std::uint32_t> entry{};
@@ -740,7 +745,8 @@ GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
       // Push: frontier vertices (level == current) expand out-neighbours.
       const auto row = fwd.row();
       const auto adj = fwd.adj();
-      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.dopt.push"), [&, n](WarpCtx& w) {
         for (std::uint64_t round = 0; round * total_groups < n; ++round) {
           Lanes<std::uint32_t> task{};
           const LaneMask valid = vw::assign_static_tasks(
@@ -792,7 +798,8 @@ GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
       // and stop their group's scan at the first hit.
       const auto row = rev.row();
       const auto adj = rev.adj();
-      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      result.stats.kernels.add(device.launch(
+          dims.named("bfs.dopt.pull"), [&, n](WarpCtx& w) {
         for (std::uint64_t round = 0; round * total_groups < n; ++round) {
           Lanes<std::uint32_t> task{};
           const LaneMask valid = vw::assign_static_tasks(

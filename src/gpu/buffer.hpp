@@ -21,10 +21,17 @@ template <typename T>
 class DeviceBuffer {
  public:
   /// Uninitialized (value-constructed) device allocation of `count` items.
+  /// Under the sanitizer the allocation is registered as *uninitialized*
+  /// device memory — kernels reading it before an upload/fill/store are
+  /// reported — even though the host backing store is value-constructed.
   DeviceBuffer(Device& device, std::size_t count)
       : device_(&device),
         storage_(count),
-        vaddr_(device.allocate_vaddr(count * sizeof(T))) {}
+        vaddr_(device.allocate_vaddr(count * sizeof(T))) {
+    if (auto* san = device.sanitizer()) {
+      san->on_alloc(vaddr_, count * sizeof(T));
+    }
+  }
 
   /// Allocates and uploads the host data (cudaMemcpy H2D included).
   DeviceBuffer(Device& device, std::span<const T> host)
@@ -35,10 +42,30 @@ class DeviceBuffer {
   DeviceBuffer(Device& device, const std::vector<T>& host)
       : DeviceBuffer(device, std::span<const T>(host)) {}
 
-  DeviceBuffer(DeviceBuffer&&) noexcept = default;
-  DeviceBuffer& operator=(DeviceBuffer&&) noexcept = default;
+  DeviceBuffer(DeviceBuffer&& other) noexcept
+      : device_(other.device_),
+        storage_(std::move(other.storage_)),
+        vaddr_(other.vaddr_) {
+    other.device_ = nullptr;  // moved-from shell owns nothing (no double free)
+  }
+
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      device_ = other.device_;
+      storage_ = std::move(other.storage_);
+      vaddr_ = other.vaddr_;
+      other.device_ = nullptr;
+    }
+    return *this;
+  }
+
   DeviceBuffer(const DeviceBuffer&) = delete;
   DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  /// cudaFree analogue: marks the simulated allocation dead, so kernel
+  /// accesses through stale DevPtrs report use-after-free.
+  ~DeviceBuffer() { release(); }
 
   std::size_t size() const { return storage_.size(); }
   std::uint64_t size_bytes() const { return storage_.size() * sizeof(T); }
@@ -53,6 +80,9 @@ class DeviceBuffer {
     }
     std::copy(host.begin(), host.end(), storage_.begin());
     device_->note_copy(host.size() * sizeof(T), /*to_device=*/true);
+    if (auto* san = device_->sanitizer()) {
+      san->on_host_write(vaddr_, 0, host.size() * sizeof(T));
+    }
   }
 
   /// Device -> host copy of the whole buffer.
@@ -74,15 +104,27 @@ class DeviceBuffer {
     assert(index < storage_.size());
     storage_[index] = value;
     device_->note_copy(sizeof(T), /*to_device=*/true);
+    if (auto* san = device_->sanitizer()) {
+      san->on_host_write(vaddr_, index * sizeof(T), sizeof(T));
+    }
   }
 
   /// Device-side fill (cudaMemset analogue): charged as one kernel-free
   /// bandwidth operation, not as a PCIe transfer.
   void fill(const T& value) {
     std::fill(storage_.begin(), storage_.end(), value);
+    if (auto* san = device_->sanitizer()) {
+      san->on_host_write(vaddr_, 0, size_bytes());
+    }
   }
 
  private:
+  void release() {
+    if (device_ == nullptr) return;
+    if (auto* san = device_->sanitizer()) san->on_free(vaddr_);
+    device_ = nullptr;
+  }
+
   Device* device_;
   std::vector<T> storage_;
   std::uint64_t vaddr_;

@@ -29,6 +29,12 @@ class Device {
   const simt::SimConfig& config() const { return sim_.config(); }
   simt::DeviceSim& sim() { return sim_; }
 
+  /// The sanitizer, or nullptr unless the device was constructed with
+  /// SimConfig::sanitize. DeviceBuffer uses this to register allocations;
+  /// applications use it to read the accumulated SanitizerReport.
+  simt::Sanitizer* sanitizer() { return sim_.sanitizer(); }
+  const simt::Sanitizer* sanitizer() const { return sim_.sanitizer(); }
+
   /// Launches a kernel and adds its stats to the device totals.
   simt::KernelStats launch(const simt::LaunchDims& dims,
                            const simt::WarpFn& kernel);

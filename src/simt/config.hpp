@@ -20,6 +20,26 @@ inline constexpr int kWarpSize = 32;
 /// Shared memory has this many banks, each serving 4-byte words.
 inline constexpr int kSharedBanks = 32;
 
+/// Tuning for the opt-in sanitizer (simt/sanitizer.hpp). Only consulted
+/// when SimConfig::sanitize is true; has no effect on the cost model.
+struct SanitizerOptions {
+  /// Perf-lint: flag a global access whose transactions-per-active-lane
+  /// ratio exceeds this (1/32 is perfectly coalesced, 1.0 fully scattered).
+  double uncoalesced_txn_per_lane = 0.5;
+
+  /// Perf-lint: ignore accesses with fewer active lanes than this (narrow
+  /// accesses are never meaningfully coalesced).
+  int lint_min_active_lanes = 8;
+
+  /// Perf-lint: flag a shared-memory access with at least this many
+  /// bank-conflict replays (31 is a full 32-way conflict).
+  int bank_conflict_replays = 8;
+
+  /// Detailed diagnostic records kept per check class; further findings
+  /// are still counted but not stored.
+  std::size_t max_records_per_class = 16;
+};
+
 struct SimConfig {
   /// Number of streaming multiprocessors; blocks are assigned round-robin.
   std::uint32_t num_sms = 16;
@@ -59,6 +79,16 @@ struct SimConfig {
 
   /// Warps per block used by convenience launch helpers.
   std::uint32_t default_warps_per_block = 8;
+
+  /// Enables the warp-level sanitizer (simt/sanitizer.hpp): shadow-memory
+  /// tracking of every device access with out-of-bounds / use-after-free /
+  /// uninitialized-read / race / coalescing-lint checks. Functional results
+  /// and all modeled cycle counts are unchanged; wall-clock cost is heavy.
+  /// Must be set before the Device/DeviceSim is constructed.
+  bool sanitize = false;
+
+  /// Sanitizer thresholds; ignored unless `sanitize` is on.
+  SanitizerOptions sanitizer;
 
   void validate() const {
     if (num_sms == 0) throw std::invalid_argument("num_sms must be > 0");

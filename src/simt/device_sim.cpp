@@ -5,7 +5,10 @@
 
 namespace maxwarp::simt {
 
-DeviceSim::DeviceSim(SimConfig cfg) : cfg_(cfg) { cfg_.validate(); }
+DeviceSim::DeviceSim(SimConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  if (cfg_.sanitize) sanitizer_ = std::make_unique<Sanitizer>(cfg_);
+}
 
 LaunchDims DeviceSim::dims_for_threads(std::uint64_t n) const {
   LaunchDims dims;
@@ -27,6 +30,17 @@ LaunchDims DeviceSim::dims_for_warps(std::uint64_t n_warps) const {
 }
 
 KernelStats DeviceSim::launch(const LaunchDims& dims, const WarpFn& kernel) {
+  Sanitizer* san = nullptr;
+  if (cfg_.sanitize) {
+    // Lazily created so toggling sanitize via mutable_config() also works.
+    if (!sanitizer_) sanitizer_ = std::make_unique<Sanitizer>(cfg_);
+    san = sanitizer_.get();
+    san->begin_launch(dims.label.empty()
+                          ? "kernel#" + std::to_string(launch_seq_)
+                          : dims.label);
+  }
+  ++launch_seq_;
+
   KernelStats stats;
   stats.blocks = dims.blocks;
   stats.warps = 0;  // counted as warps actually execute (tail warps skip)
@@ -49,7 +63,7 @@ KernelStats DeviceSim::launch(const LaunchDims& dims, const WarpFn& kernel) {
 
       CycleCounters warp_counters;
       WarpCtx ctx(block, w, dims.warps_per_block, lanes, cfg_,
-                  warp_counters);
+                  warp_counters, san);
       kernel(ctx);
 
       block_cycles += warp_counters.total_cycles();

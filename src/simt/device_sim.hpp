@@ -10,8 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 
 #include "simt/config.hpp"
+#include "simt/sanitizer.hpp"
 #include "simt/stats.hpp"
 #include "simt/warp_ctx.hpp"
 
@@ -38,8 +41,19 @@ struct LaunchDims {
 
   SchedulePolicy policy = SchedulePolicy::kRoundRobin;
 
+  /// Optional kernel name used in sanitizer diagnostics and reports.
+  /// Unlabeled launches report as "kernel#<launch ordinal>".
+  std::string label;
+
   std::uint64_t warp_count() const {
     return static_cast<std::uint64_t>(blocks) * warps_per_block;
+  }
+
+  /// Fluent label setter: device.launch(dims.named("bfs.expand"), ...).
+  LaunchDims named(std::string name) const {
+    LaunchDims d = *this;
+    d.label = std::move(name);
+    return d;
   }
 };
 
@@ -64,8 +78,16 @@ class DeviceSim {
   /// scheduling freedom, used by work-queue kernels that size themselves.
   LaunchDims dims_for_warps(std::uint64_t n_warps) const;
 
+  /// The sanitizer instance, or nullptr when SimConfig::sanitize is off.
+  /// Created at construction so allocations made before the first launch
+  /// are registered in the shadow map.
+  Sanitizer* sanitizer() { return sanitizer_.get(); }
+  const Sanitizer* sanitizer() const { return sanitizer_.get(); }
+
  private:
   SimConfig cfg_;
+  std::unique_ptr<Sanitizer> sanitizer_;
+  std::uint64_t launch_seq_ = 0;
 };
 
 }  // namespace maxwarp::simt

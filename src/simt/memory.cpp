@@ -5,14 +5,16 @@
 
 namespace maxwarp::simt {
 
-int MemoryModel::access_global(const std::uint64_t* addrs, LaneMask active,
-                               std::size_t access_bytes) {
+int MemoryModel::global_transactions(const std::uint64_t* addrs,
+                                     LaneMask active,
+                                     std::size_t access_bytes,
+                                     std::uint32_t segment_bytes) {
   if (active == 0) return 0;
   // Collect the segment ids touched by every active lane. An element that
   // straddles a segment boundary touches two segments.
   std::array<std::uint64_t, 2 * kWarpSize> segments{};
   int count = 0;
-  const std::uint64_t seg_bytes = cfg_.mem_transaction_bytes;
+  const std::uint64_t seg_bytes = segment_bytes;
   for_each_lane(active, [&](int lane) {
     const std::uint64_t first = addrs[lane] / seg_bytes;
     const std::uint64_t last = (addrs[lane] + access_bytes - 1) / seg_bytes;
@@ -22,11 +24,19 @@ int MemoryModel::access_global(const std::uint64_t* addrs, LaneMask active,
   std::sort(segments.begin(), segments.begin() + count);
   const auto unique_end = std::unique(segments.begin(),
                                       segments.begin() + count);
-  const int txns = static_cast<int>(unique_end - segments.begin());
+  return static_cast<int>(unique_end - segments.begin());
+}
+
+int MemoryModel::access_global(const std::uint64_t* addrs, LaneMask active,
+                               std::size_t access_bytes) {
+  if (active == 0) return 0;
+  const int txns = global_transactions(addrs, active, access_bytes,
+                                       cfg_.mem_transaction_bytes);
 
   counters_.global_transactions += static_cast<std::uint64_t>(txns);
   counters_.global_requests += static_cast<std::uint64_t>(popcount(active));
-  counters_.global_bytes += static_cast<std::uint64_t>(txns) * seg_bytes;
+  counters_.global_bytes +=
+      static_cast<std::uint64_t>(txns) * cfg_.mem_transaction_bytes;
   counters_.mem_cycles +=
       static_cast<std::uint64_t>(txns) * cfg_.cycles_per_mem_transaction;
   return txns;
@@ -63,7 +73,8 @@ int MemoryModel::access_atomic(const std::uint64_t* addrs, LaneMask active) {
   return conflicts;
 }
 
-int MemoryModel::access_shared(const std::uint64_t* offsets, LaneMask active) {
+int MemoryModel::shared_replays(const std::uint64_t* offsets,
+                                LaneMask active) {
   if (active == 0) return 0;
   // bank = word index mod 32; identical addresses broadcast for free.
   std::array<int, kSharedBanks> bank_load{};
@@ -84,7 +95,12 @@ int MemoryModel::access_shared(const std::uint64_t* offsets, LaneMask active) {
   });
   int replays = 0;
   for (int load : bank_load) replays = std::max(replays, load);
-  replays = std::max(replays - 1, 0);
+  return std::max(replays - 1, 0);
+}
+
+int MemoryModel::access_shared(const std::uint64_t* offsets, LaneMask active) {
+  if (active == 0) return 0;
+  const int replays = shared_replays(offsets, active);
 
   counters_.shared_accesses += static_cast<std::uint64_t>(popcount(active));
   counters_.shared_bank_conflict_replays +=

@@ -42,6 +42,16 @@ class MemoryModel {
   /// given byte offsets. Returns the replay count (0 = conflict free).
   int access_shared(const std::uint64_t* offsets, LaneMask active);
 
+  /// Pure coalescing model: transactions needed for one warp access with
+  /// the given segment size. Shared with the sanitizer's coalescing lint.
+  static int global_transactions(const std::uint64_t* addrs, LaneMask active,
+                                 std::size_t access_bytes,
+                                 std::uint32_t segment_bytes);
+
+  /// Pure bank-conflict model: replay count for one shared access. Shared
+  /// with the sanitizer's bank-conflict lint.
+  static int shared_replays(const std::uint64_t* offsets, LaneMask active);
+
  private:
   const SimConfig& cfg_;
   CycleCounters& counters_;

@@ -1,0 +1,474 @@
+#include "simt/sanitizer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "simt/memory.hpp"
+
+namespace maxwarp::simt {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::string warp_name(std::uint32_t w) {
+  if (w == 0xffffffffu) return "none";
+  if (w == 0xfffffffeu) return "multiple warps";
+  return "warp " + std::to_string(w);
+}
+
+}  // namespace
+
+const char* to_string(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kLoad: return "load";
+    case AccessKind::kStore: return "store";
+    case AccessKind::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
+const char* to_string(DiagClass cls) {
+  switch (cls) {
+    case DiagClass::kOutOfBounds: return "out-of-bounds";
+    case DiagClass::kUseAfterFree: return "use-after-free";
+    case DiagClass::kUninitRead: return "uninit-read";
+    case DiagClass::kIntraWarpConflict: return "intra-warp-conflict";
+    case DiagClass::kCrossWarpRace: return "cross-warp-race";
+    case DiagClass::kUncoalesced: return "uncoalesced";
+    case DiagClass::kBankConflict: return "bank-conflict";
+  }
+  return "?";
+}
+
+const char* to_string(Severity sev) {
+  switch (sev) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kLint: return "lint";
+  }
+  return "?";
+}
+
+Sanitizer::Sanitizer(const SimConfig& cfg) : cfg_(cfg) {}
+
+void Sanitizer::on_alloc(std::uint64_t base, std::uint64_t bytes) {
+  Allocation alloc;
+  alloc.base = base;
+  alloc.bytes = bytes;
+  alloc.id = next_alloc_id_++;
+  alloc.init.assign(bytes, 0);
+  allocations_[base] = std::move(alloc);
+}
+
+void Sanitizer::on_free(std::uint64_t base) {
+  auto it = allocations_.find(base);
+  if (it == allocations_.end()) return;
+  it->second.freed = true;
+  // Reclaim the shadow; a use-after-free faults before consulting it.
+  it->second.init.clear();
+  it->second.init.shrink_to_fit();
+  it->second.shadow.clear();
+  it->second.shadow.shrink_to_fit();
+}
+
+void Sanitizer::on_host_write(std::uint64_t base, std::uint64_t offset,
+                              std::uint64_t bytes) {
+  auto it = allocations_.find(base);
+  if (it == allocations_.end() || it->second.freed) return;
+  const std::uint64_t end = std::min(offset + bytes, it->second.bytes);
+  for (std::uint64_t b = offset; b < end; ++b) it->second.init[b] = 1;
+}
+
+void Sanitizer::begin_launch(const std::string& label) {
+  ++epoch_;
+  current_kernel_ = label;
+  ++report_.launches;
+}
+
+void Sanitizer::reset_report() {
+  report_ = SanitizerReport{};
+  recorded_.fill(0);
+}
+
+Sanitizer::Allocation* Sanitizer::find_allocation(std::uint64_t addr) {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return nullptr;
+  --it;
+  Allocation& a = it->second;
+  const bool inside =
+      addr >= a.base &&
+      (addr < a.base + a.bytes || (a.bytes == 0 && addr == a.base));
+  return inside ? &a : nullptr;
+}
+
+Sanitizer::ShadowByte& Sanitizer::shadow_byte(Allocation& alloc,
+                                              std::uint64_t offset) {
+  if (alloc.shadow.empty()) alloc.shadow.resize(alloc.bytes);
+  ShadowByte& sb = alloc.shadow[offset];
+  if (sb.epoch != epoch_) {
+    sb = ShadowByte{};
+    sb.epoch = epoch_;
+  }
+  return sb;
+}
+
+void Sanitizer::diagnose(DiagClass cls, Severity sev, std::uint32_t warp,
+                         std::uint64_t instruction, std::uint64_t vaddr,
+                         std::string detail) {
+  const auto ci = static_cast<std::size_t>(cls);
+  ++report_.class_counts[ci];
+  ++report_.severity_counts[static_cast<std::size_t>(sev)];
+  if (recorded_[ci] < cfg_.sanitizer.max_records_per_class) {
+    ++recorded_[ci];
+    report_.records.push_back(Diagnostic{cls, sev, current_kernel_, warp,
+                                         instruction, vaddr,
+                                         std::move(detail)});
+  }
+}
+
+void Sanitizer::fault(DiagClass cls, std::uint32_t warp,
+                      std::uint64_t instruction, std::uint64_t vaddr,
+                      std::string detail) {
+  std::string what = std::string(to_string(cls)) + " in kernel '" +
+                     current_kernel_ + "' (warp " + std::to_string(warp) +
+                     ", instruction " + std::to_string(instruction) +
+                     ", vaddr " + hex(vaddr) + "): " + detail;
+  diagnose(cls, Severity::kError, warp, instruction, vaddr, detail);
+  throw SanitizerFault(cls, what);
+}
+
+Sanitizer::Allocation& Sanitizer::check_bounds(
+    std::uint64_t anchor_vaddr, const std::uint64_t* addrs, LaneMask active,
+    std::size_t access_bytes, AccessKind kind, std::uint32_t warp,
+    std::uint64_t instruction) {
+  Allocation* alloc = find_allocation(anchor_vaddr);
+  if (alloc == nullptr) {
+    fault(DiagClass::kOutOfBounds, warp, instruction, anchor_vaddr,
+          std::string(to_string(kind)) +
+              " through a pointer into no live device allocation (null or "
+              "wild DevPtr)");
+  }
+  if (alloc->freed) {
+    fault(DiagClass::kUseAfterFree, warp, instruction, anchor_vaddr,
+          std::string(to_string(kind)) + " through a dangling DevPtr into "
+              "freed allocation #" + std::to_string(alloc->id) + " (" +
+              std::to_string(alloc->bytes) + " bytes at " + hex(alloc->base) +
+              ")");
+  }
+  for_each_lane(active, [&](int lane) {
+    const std::uint64_t addr = addrs[lane];
+    if (addr < alloc->base || addr + access_bytes > alloc->base + alloc->bytes) {
+      std::ostringstream os;
+      os << to_string(kind) << " of " << access_bytes << " bytes by lane "
+         << lane << " at offset ";
+      if (addr >= alloc->base) {
+        os << "+" << (addr - alloc->base);
+      } else {
+        os << "-" << (alloc->base - addr);
+      }
+      os << " of " << alloc->bytes << "-byte allocation #" << alloc->id;
+      fault(DiagClass::kOutOfBounds, warp, instruction, addr, os.str());
+    }
+  });
+  return *alloc;
+}
+
+void Sanitizer::check_intra_warp_conflicts(
+    const std::uint64_t* addrs, LaneMask active, std::size_t access_bytes,
+    const char* space, std::uint32_t warp, std::uint64_t instruction,
+    const void* values, std::size_t value_stride) {
+  int lanes[kWarpSize];
+  int n = 0;
+  for_each_lane(active, [&](int lane) { lanes[n++] = lane; });
+  const auto* bytes = static_cast<const std::uint8_t*>(values);
+  bool reported = false;
+  for (int i = 0; i < n && !reported; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const std::uint64_t a = addrs[lanes[i]];
+      const std::uint64_t b = addrs[lanes[j]];
+      const std::uint64_t lo = std::min(a, b);
+      const std::uint64_t hi = std::max(a, b);
+      if (hi - lo >= access_bytes) continue;  // disjoint
+      const bool same_value =
+          bytes != nullptr && a == b &&
+          std::memcmp(bytes + static_cast<std::size_t>(lanes[i]) * value_stride,
+                      bytes + static_cast<std::size_t>(lanes[j]) * value_stride,
+                      access_bytes) == 0;
+      if (same_value) {
+        ++report_.benign_same_value_writes;
+        continue;
+      }
+      std::ostringstream os;
+      os << "lanes " << lanes[i] << " and " << lanes[j]
+         << " of the same instruction store "
+         << (a == b ? "different values" : "overlapping bytes") << " to "
+         << space << " address " << hex(lo)
+         << " without atomics (lane order decides the outcome)";
+      diagnose(DiagClass::kIntraWarpConflict, Severity::kError, warp,
+               instruction, lo, os.str());
+      reported = true;
+      break;
+    }
+  }
+}
+
+void Sanitizer::lint_global(const std::uint64_t* addrs, LaneMask active,
+                            std::size_t access_bytes, std::uint32_t warp,
+                            std::uint64_t instruction) {
+  KernelLintStats& kl = report_.kernel_lint[current_kernel_];
+  ++kl.global_accesses;
+  const int lanes = popcount(active);
+  if (lanes < cfg_.sanitizer.lint_min_active_lanes) return;
+  const int txns = MemoryModel::global_transactions(
+      addrs, active, access_bytes, cfg_.mem_transaction_bytes);
+  const double ratio = static_cast<double>(txns) / lanes;
+  kl.worst_txn_per_lane = std::max(kl.worst_txn_per_lane, ratio);
+  if (ratio <= cfg_.sanitizer.uncoalesced_txn_per_lane) return;
+  ++kl.uncoalesced;
+  std::ostringstream os;
+  os << txns << " transactions for " << lanes << " active lanes ("
+     << access_bytes << "-byte elements, " << cfg_.mem_transaction_bytes
+     << "-byte segments)";
+  diagnose(DiagClass::kUncoalesced, Severity::kLint, warp, instruction,
+           addrs[first_lane(active)], os.str());
+}
+
+void Sanitizer::lint_shared(const std::uint64_t* offsets, LaneMask active,
+                            std::uint32_t warp, std::uint64_t instruction) {
+  KernelLintStats& kl = report_.kernel_lint[current_kernel_];
+  ++kl.shared_accesses;
+  if (popcount(active) < cfg_.sanitizer.lint_min_active_lanes) return;
+  const int replays = MemoryModel::shared_replays(offsets, active);
+  kl.worst_bank_replays = std::max(kl.worst_bank_replays, replays);
+  if (replays < cfg_.sanitizer.bank_conflict_replays) return;
+  ++kl.bank_conflicted;
+  std::ostringstream os;
+  os << replays << " bank-conflict replays across " << popcount(active)
+     << " active lanes";
+  diagnose(DiagClass::kBankConflict, Severity::kLint, warp, instruction,
+           offsets[first_lane(active)], os.str());
+}
+
+void Sanitizer::check_global(std::uint64_t anchor_vaddr,
+                             const std::uint64_t* addrs, LaneMask active,
+                             std::size_t access_bytes, AccessKind kind,
+                             std::uint32_t warp, std::uint64_t instruction,
+                             const void* values, std::size_t value_stride) {
+  if (active == 0) return;
+  ++report_.checked_accesses;
+  Allocation& alloc = check_bounds(anchor_vaddr, addrs, active, access_bytes,
+                                   kind, warp, instruction);
+  if (kind == AccessKind::kStore) {
+    check_intra_warp_conflicts(addrs, active, access_bytes, "global", warp,
+                               instruction, values, value_stride);
+  }
+  if (kind != AccessKind::kAtomic) {
+    lint_global(addrs, active, access_bytes, warp, instruction);
+  }
+
+  const auto* value_bytes = static_cast<const std::uint8_t*>(values);
+  for_each_lane(active, [&](int lane) {
+    const std::uint64_t off0 = addrs[lane] - alloc.base;
+    bool uninit_reported = false;
+    bool race_reported = false;
+    bool benign = false;
+    for (std::size_t b = 0; b < access_bytes; ++b) {
+      const std::uint64_t off = off0 + b;
+
+      // Class 2: reads (and atomic RMWs, which read old values) of bytes
+      // never initialized by a host copy or a device store.
+      if (kind != AccessKind::kStore && alloc.init[off] == 0 &&
+          !uninit_reported) {
+        diagnose(DiagClass::kUninitRead, Severity::kError, warp, instruction,
+                 addrs[lane],
+                 std::string(to_string(kind)) + " of uninitialized byte at "
+                     "offset +" + std::to_string(off) + " of allocation #" +
+                     std::to_string(alloc.id));
+        uninit_reported = true;
+      }
+
+      ShadowByte& sb = shadow_byte(alloc, off);
+      const bool other_wrote =
+          (sb.flags & (kFlagWritten | kFlagAtomic)) != 0 &&
+          sb.writer != kNoWarp && sb.writer != warp;
+      const bool other_read =
+          (sb.flags & kFlagRead) != 0 && sb.reader != kNoWarp &&
+          sb.reader != warp;
+
+      switch (kind) {
+        case AccessKind::kLoad:
+          // Class 4 (read side): the value observed depends on warp
+          // scheduling on real hardware — a hazard, not necessarily a bug
+          // (level-synchronous kernels tolerate monotonic updates).
+          if (other_wrote && !race_reported) {
+            diagnose(DiagClass::kCrossWarpRace, Severity::kWarning, warp,
+                     instruction, addrs[lane],
+                     std::string((sb.flags & kFlagAtomic) != 0
+                                     ? "non-atomic read of a location "
+                                       "atomically updated by "
+                                     : "read of a location written by ") +
+                         warp_name(sb.writer) + " in the same launch");
+            race_reported = true;
+          }
+          sb.flags |= kFlagRead;
+          sb.reader = (sb.reader == kNoWarp || sb.reader == warp)
+                          ? warp
+                          : kManyWarps;
+          break;
+
+        case AccessKind::kStore: {
+          const std::uint8_t v =
+              value_bytes[static_cast<std::size_t>(lane) * value_stride + b];
+          if (other_wrote && !race_reported) {
+            if ((sb.flags & kFlagAtomic) != 0) {
+              diagnose(DiagClass::kCrossWarpRace, Severity::kWarning, warp,
+                       instruction, addrs[lane],
+                       "non-atomic store over an atomic update by " +
+                           warp_name(sb.writer) + " in the same launch");
+              race_reported = true;
+            } else if (sb.value == v) {
+              benign = true;
+            } else {
+              std::ostringstream os;
+              os << "write-write race: " << warp_name(sb.writer)
+                 << " wrote byte " << hex(sb.value) << ", warp " << warp
+                 << " writes " << hex(v)
+                 << " to the same location in the same launch";
+              diagnose(DiagClass::kCrossWarpRace, Severity::kError, warp,
+                       instruction, addrs[lane], os.str());
+              race_reported = true;
+            }
+          }
+          if (other_read && !race_reported) {
+            diagnose(DiagClass::kCrossWarpRace, Severity::kWarning, warp,
+                     instruction, addrs[lane],
+                     "store to a location read by " + warp_name(sb.reader) +
+                         " earlier in the same launch");
+            race_reported = true;
+          }
+          sb.flags |= kFlagWritten;
+          sb.writer = (sb.writer == kNoWarp || sb.writer == warp)
+                          ? warp
+                          : kManyWarps;
+          sb.value = v;
+          alloc.init[off] = 1;
+          break;
+        }
+
+        case AccessKind::kAtomic: {
+          // Atomic-vs-atomic never conflicts; atomic-vs-plain from another
+          // warp does (the plain access can be lost or observe a torn
+          // intermediate on real hardware).
+          const bool plain_other_wrote =
+              (sb.flags & kFlagWritten) != 0 && other_wrote;
+          if ((plain_other_wrote || other_read) && !race_reported) {
+            diagnose(DiagClass::kCrossWarpRace, Severity::kWarning, warp,
+                     instruction, addrs[lane],
+                     std::string("atomic update of a location ") +
+                         (plain_other_wrote ? "written" : "read") +
+                         " non-atomically by " +
+                         warp_name(plain_other_wrote ? sb.writer : sb.reader) +
+                         " in the same launch");
+            race_reported = true;
+          }
+          sb.flags |= kFlagAtomic;
+          sb.writer = (sb.writer == kNoWarp || sb.writer == warp)
+                          ? warp
+                          : kManyWarps;
+          alloc.init[off] = 1;
+          break;
+        }
+      }
+    }
+    if (benign) ++report_.benign_same_value_writes;
+  });
+}
+
+void Sanitizer::check_shared(const std::uint64_t* offsets, LaneMask active,
+                             std::size_t access_bytes,
+                             std::uint64_t arena_begin,
+                             std::uint64_t arena_end, AccessKind kind,
+                             std::uint32_t warp, std::uint64_t instruction,
+                             const void* values, std::size_t value_stride) {
+  if (active == 0) return;
+  ++report_.checked_accesses;
+  for_each_lane(active, [&](int lane) {
+    const std::uint64_t off = offsets[lane];
+    if (off < arena_begin || off + access_bytes > arena_end) {
+      std::ostringstream os;
+      os << to_string(kind) << " of " << access_bytes << " bytes by lane "
+         << lane << " at arena offset " << off << ", outside shared array ["
+         << arena_begin << ", " << arena_end << ")";
+      fault(DiagClass::kOutOfBounds, warp, instruction, off, os.str());
+    }
+  });
+  if (kind == AccessKind::kStore) {
+    check_intra_warp_conflicts(offsets, active, access_bytes, "shared", warp,
+                               instruction, values, value_stride);
+  }
+  lint_shared(offsets, active, warp, instruction);
+}
+
+util::Table SanitizerReport::records_table() const {
+  util::Table t({"class", "severity", "kernel", "warp", "instr", "vaddr",
+                 "detail"});
+  for (const Diagnostic& d : records) {
+    t.row()
+        .cell(to_string(d.cls))
+        .cell(to_string(d.severity))
+        .cell(d.kernel)
+        .cell(static_cast<std::uint64_t>(d.warp))
+        .cell(d.instruction)
+        .cell(hex(d.vaddr))
+        .cell(d.detail);
+  }
+  return t;
+}
+
+util::Table SanitizerReport::lint_table() const {
+  util::Table t({"kernel", "global.accesses", "uncoalesced", "worst.txn/lane",
+                 "shared.accesses", "bank.conflicted", "worst.replays"});
+  for (const auto& [kernel, kl] : kernel_lint) {
+    t.row()
+        .cell(kernel)
+        .cell(kl.global_accesses)
+        .cell(kl.uncoalesced)
+        .cell(kl.worst_txn_per_lane, 3)
+        .cell(kl.shared_accesses)
+        .cell(kl.bank_conflicted)
+        .cell(static_cast<std::uint64_t>(kl.worst_bank_replays));
+  }
+  return t;
+}
+
+std::string SanitizerReport::text() const {
+  std::ostringstream os;
+  os << "simtsan: " << errors() << " error(s), " << warnings()
+     << " warning(s), " << lints() << " lint finding(s) across " << launches
+     << " launch(es), " << checked_accesses << " checked accesses\n";
+  os << "  benign same-value write conflicts: " << benign_same_value_writes
+     << "\n";
+  bool any_class = false;
+  for (std::size_t c = 0; c < kDiagClassCount; ++c) {
+    if (class_counts[c] == 0) continue;
+    if (!any_class) os << "  findings by class:\n";
+    any_class = true;
+    os << "    " << to_string(static_cast<DiagClass>(c)) << ": "
+       << class_counts[c] << "\n";
+  }
+  if (!records.empty()) {
+    os << "\n" << records_table().to_string();
+  }
+  if (!kernel_lint.empty()) {
+    os << "\nper-kernel access profile:\n" << lint_table().to_string();
+  }
+  return os.str();
+}
+
+}  // namespace maxwarp::simt

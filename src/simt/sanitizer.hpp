@@ -1,0 +1,273 @@
+// simtsan: warp-level sanitizer for the SIMT simulator.
+//
+// Because the device is a deterministic CPU simulation — warps run
+// sequentially in launch order, lanes in lane order — every memory access a
+// kernel issues can be checked *exactly*, not sampled. When
+// SimConfig::sanitize is on, every device allocation gets per-byte shadow
+// state and each warp-level access issued through WarpCtx is validated for
+// five classes of defects:
+//
+//   1. bounds    — out-of-bounds and use-after-free device accesses
+//                  (checked before the functional access touches host
+//                  memory; faults throw SanitizerFault);
+//   2. uninit    — reads of device memory no host upload/fill/write or
+//                  device store has ever initialized;
+//   3. intra-warp race — two lanes of the same instruction writing the
+//                  same location non-atomically with *different* values
+//                  (identical values are counted as benign: the outcome is
+//                  the same under any lane ordering);
+//   4. cross-warp race — conflicting non-atomic accesses to the same byte
+//                  from different warps within one launch. Differing-value
+//                  write-write conflicts are errors; read-write hazards and
+//                  mixed atomic/plain conflicts are warnings (the
+//                  level-synchronous graph kernels in this repo rely on
+//                  such monotonic-update hazards by design);
+//   5. perf lint — uncoalesced global accesses and shared-memory bank
+//                  conflicts above SanitizerOptions thresholds.
+//
+// Diagnostics accumulate into a SanitizerReport (text + machine-readable
+// util::Table dump). The layer is strictly opt-in: with sanitize=false no
+// Sanitizer is constructed and the only residue on the hot path is one
+// null-pointer test per memory primitive. Modeled cycle counts are never
+// affected either way.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "simt/config.hpp"
+#include "simt/mask.hpp"
+#include "util/table.hpp"
+
+namespace maxwarp::simt {
+
+/// What a warp-level memory instruction does to each touched location.
+enum class AccessKind : std::uint8_t { kLoad, kStore, kAtomic };
+
+const char* to_string(AccessKind kind);
+
+/// The five check classes (bank-conflict lint split from coalescing lint
+/// so thresholds and counts stay independent).
+enum class DiagClass : std::uint8_t {
+  kOutOfBounds,
+  kUseAfterFree,
+  kUninitRead,
+  kIntraWarpConflict,
+  kCrossWarpRace,
+  kUncoalesced,
+  kBankConflict,
+};
+
+inline constexpr std::size_t kDiagClassCount = 7;
+
+const char* to_string(DiagClass cls);
+
+enum class Severity : std::uint8_t { kError, kWarning, kLint };
+
+const char* to_string(Severity sev);
+
+/// One recorded finding. `instruction` is the issuing warp's
+/// issued-instruction ordinal — a stable access-site id under the
+/// simulator's determinism contract.
+struct Diagnostic {
+  DiagClass cls;
+  Severity severity;
+  std::string kernel;         ///< launch label (LaunchDims::label or kernel#N)
+  std::uint32_t warp = 0;     ///< global warp id of the issuing warp
+  std::uint64_t instruction = 0;
+  std::uint64_t vaddr = 0;    ///< first offending simulated address
+  std::string detail;
+};
+
+/// Per-kernel perf-lint aggregation.
+struct KernelLintStats {
+  std::uint64_t global_accesses = 0;
+  std::uint64_t uncoalesced = 0;
+  double worst_txn_per_lane = 0.0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t bank_conflicted = 0;
+  int worst_bank_replays = 0;
+};
+
+/// Structured result of a sanitized run.
+struct SanitizerReport {
+  /// Detailed records, capped at max_records_per_class per class.
+  std::vector<Diagnostic> records;
+
+  /// Total findings per class (never capped).
+  std::array<std::uint64_t, kDiagClassCount> class_counts{};
+
+  /// Total findings per severity (index = Severity).
+  std::array<std::uint64_t, 3> severity_counts{};
+
+  /// Same-location same-value non-atomic writes (intra- or cross-warp):
+  /// deterministic-outcome hazards counted separately, never diagnosed.
+  std::uint64_t benign_same_value_writes = 0;
+
+  std::uint64_t checked_accesses = 0;
+  std::uint64_t launches = 0;
+
+  std::uint64_t count(DiagClass cls) const {
+    return class_counts[static_cast<std::size_t>(cls)];
+  }
+  std::uint64_t errors() const { return severity_counts[0]; }
+  std::uint64_t warnings() const { return severity_counts[1]; }
+  std::uint64_t lints() const { return severity_counts[2]; }
+
+  /// True when no error-severity finding was recorded. Warnings and lint
+  /// findings do not spoil cleanliness.
+  bool clean() const { return errors() == 0; }
+
+  /// Per-kernel lint aggregation, keyed by launch label.
+  std::map<std::string, KernelLintStats> kernel_lint;
+
+  /// Machine-readable dump of the detailed records.
+  util::Table records_table() const;
+
+  /// Machine-readable per-kernel lint table.
+  util::Table lint_table() const;
+
+  /// Multi-line human-readable report.
+  std::string text() const;
+};
+
+/// Thrown on memory-safety faults (out-of-bounds / use-after-free): the
+/// functional access would touch host memory outside the backing store, so
+/// execution cannot safely continue. The finding is recorded in the report
+/// before throwing.
+class SanitizerFault : public std::runtime_error {
+ public:
+  SanitizerFault(DiagClass cls, const std::string& what)
+      : std::runtime_error(what), cls_(cls) {}
+  DiagClass fault_class() const { return cls_; }
+
+ private:
+  DiagClass cls_;
+};
+
+class Sanitizer {
+ public:
+  explicit Sanitizer(const SimConfig& cfg);
+
+  // --- allocation lifecycle (driven by gpu::DeviceBuffer) -----------------
+
+  /// Registers a device allocation at [base, base + bytes).
+  void on_alloc(std::uint64_t base, std::uint64_t bytes);
+
+  /// Marks the allocation freed. The region stays registered so dangling
+  /// DevPtr accesses report use-after-free (virtual addresses are never
+  /// reused by gpu::Device).
+  void on_free(std::uint64_t base);
+
+  /// Host-side write (upload / fill / single-element write): marks the
+  /// bytes initialized.
+  void on_host_write(std::uint64_t base, std::uint64_t offset,
+                     std::uint64_t bytes);
+
+  // --- launch lifecycle (driven by DeviceSim::launch) ---------------------
+
+  /// Opens a new race-detection epoch; accesses from different warps only
+  /// conflict within one epoch (launches are device-wide barriers).
+  void begin_launch(const std::string& label);
+
+  // --- per-access checks (driven by WarpCtx; may throw SanitizerFault) ----
+
+  /// Validates one warp-level global access. `anchor_vaddr` is the
+  /// DevPtr's base address, used to pin the access to its intended
+  /// allocation so overflow into a *neighbouring* allocation still faults.
+  /// For stores, `values`/`value_stride` describe the per-lane source
+  /// bytes (lane i's element at values + i*value_stride) so same-value
+  /// write conflicts can be separated from real races; pass nullptr for
+  /// loads and atomics.
+  void check_global(std::uint64_t anchor_vaddr, const std::uint64_t* addrs,
+                    LaneMask active, std::size_t access_bytes,
+                    AccessKind kind, std::uint32_t warp,
+                    std::uint64_t instruction, const void* values,
+                    std::size_t value_stride);
+
+  /// Validates one warp-level shared-memory access against the issuing
+  /// SharedArray's arena slice [arena_begin, arena_end). Shared memory is
+  /// per-warp in this simulator, so only bounds, intra-warp write
+  /// conflicts, and bank-conflict lint apply.
+  void check_shared(const std::uint64_t* offsets, LaneMask active,
+                    std::size_t access_bytes, std::uint64_t arena_begin,
+                    std::uint64_t arena_end, AccessKind kind,
+                    std::uint32_t warp, std::uint64_t instruction,
+                    const void* values, std::size_t value_stride);
+
+  const SanitizerReport& report() const { return report_; }
+
+  /// Clears accumulated diagnostics (shadow allocation state persists).
+  void reset_report();
+
+ private:
+  struct ShadowByte {
+    std::uint32_t epoch = 0;   ///< launch id of the last access, 0 = never
+    std::uint32_t writer = kNoWarp;
+    std::uint32_t reader = kNoWarp;
+    std::uint8_t flags = 0;    ///< kFlag* bits below
+    std::uint8_t value = 0;    ///< last non-atomically written byte
+  };
+
+  static constexpr std::uint32_t kNoWarp = 0xffffffffu;
+  static constexpr std::uint32_t kManyWarps = 0xfffffffeu;
+  static constexpr std::uint8_t kFlagWritten = 1;       ///< plain store
+  static constexpr std::uint8_t kFlagRead = 2;          ///< plain load
+  static constexpr std::uint8_t kFlagAtomic = 4;        ///< atomic RMW
+
+  struct Allocation {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t id = 0;      ///< allocation ordinal, for report text
+    bool freed = false;
+    std::vector<std::uint8_t> init;    ///< 1 = byte initialized
+    std::vector<ShadowByte> shadow;    ///< allocated lazily on first access
+  };
+
+  Allocation* find_allocation(std::uint64_t addr);
+  ShadowByte& shadow_byte(Allocation& alloc, std::uint64_t offset);
+
+  /// Records a finding (respecting the per-class record cap).
+  void diagnose(DiagClass cls, Severity sev, std::uint32_t warp,
+                std::uint64_t instruction, std::uint64_t vaddr,
+                std::string detail);
+
+  [[noreturn]] void fault(DiagClass cls, std::uint32_t warp,
+                          std::uint64_t instruction, std::uint64_t vaddr,
+                          std::string detail);
+
+  /// Bounds/liveness check common to global loads, stores and atomics.
+  Allocation& check_bounds(std::uint64_t anchor_vaddr,
+                           const std::uint64_t* addrs, LaneMask active,
+                           std::size_t access_bytes, AccessKind kind,
+                           std::uint32_t warp, std::uint64_t instruction);
+
+  void check_intra_warp_conflicts(const std::uint64_t* addrs,
+                                  LaneMask active, std::size_t access_bytes,
+                                  const char* space, std::uint32_t warp,
+                                  std::uint64_t instruction,
+                                  const void* values,
+                                  std::size_t value_stride);
+
+  void lint_global(const std::uint64_t* addrs, LaneMask active,
+                   std::size_t access_bytes, std::uint32_t warp,
+                   std::uint64_t instruction);
+  void lint_shared(const std::uint64_t* offsets, LaneMask active,
+                   std::uint32_t warp, std::uint64_t instruction);
+
+  SimConfig cfg_;  ///< copied: thresholds + transaction geometry
+  SanitizerReport report_;
+  /// Records stored so far per class (counts keep growing past the cap).
+  std::array<std::uint64_t, kDiagClassCount> recorded_{};
+  std::map<std::uint64_t, Allocation> allocations_;  ///< keyed by base
+  std::uint64_t next_alloc_id_ = 0;
+  std::uint32_t epoch_ = 0;           ///< 0 = outside any launch
+  std::string current_kernel_;
+};
+
+}  // namespace maxwarp::simt

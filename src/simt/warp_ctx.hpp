@@ -23,6 +23,7 @@
 #include "simt/lanes.hpp"
 #include "simt/mask.hpp"
 #include "simt/memory.hpp"
+#include "simt/sanitizer.hpp"
 #include "simt/stats.hpp"
 
 namespace maxwarp::simt {
@@ -39,15 +40,20 @@ class WarpCtx {
  public:
   /// `lanes_in_use` < 32 models the tail warp of a launch whose thread
   /// count is not a multiple of the warp size.
+  /// `sanitizer` is non-null only under SimConfig::sanitize; every memory
+  /// primitive then validates the access (shadow-memory checks) *before*
+  /// touching the host backing store.
   WarpCtx(std::uint32_t block_id, std::uint32_t warp_in_block,
           std::uint32_t warps_per_block, int lanes_in_use,
-          const SimConfig& cfg, CycleCounters& counters)
+          const SimConfig& cfg, CycleCounters& counters,
+          Sanitizer* sanitizer = nullptr)
       : block_id_(block_id),
         warp_in_block_(warp_in_block),
         warps_per_block_(warps_per_block),
         cfg_(cfg),
         counters_(counters),
-        mem_(cfg, counters) {
+        mem_(cfg, counters),
+        san_(sanitizer) {
     if (lanes_in_use < 1 || lanes_in_use > kWarpSize) {
       throw std::invalid_argument("lanes_in_use out of range");
     }
@@ -157,11 +163,30 @@ class WarpCtx {
                    Lanes<std::remove_const_t<T>>& out) {
     charge_issue();
     Lanes<std::uint64_t> addrs{};
-    for_each_lane(active(), [&](int lane) {
-      const auto i = static_cast<std::uint64_t>(idx(lane));
-      addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
-      out[static_cast<std::size_t>(lane)] = ptr.host[i];
-    });
+    if (san_ == nullptr) {
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+        out[static_cast<std::size_t>(lane)] = ptr.host[i];
+      });
+    } else {
+      // Sanitized path: validate every lane's address before the host read
+      // (an out-of-bounds index must fault, not touch the backing store).
+      Lanes<std::uint64_t> elems{};
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        elems[static_cast<std::size_t>(lane)] = i;
+        addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+      });
+      san_->check_global(ptr.vaddr, addrs.data(), active(),
+                         sizeof(std::remove_const_t<T>), AccessKind::kLoad,
+                         global_warp_id(), counters_.issued_instructions,
+                         nullptr, 0);
+      for_each_lane(active(), [&](int lane) {
+        out[static_cast<std::size_t>(lane)] =
+            ptr.host[elems[static_cast<std::size_t>(lane)]];
+      });
+    }
     mem_.access_global(addrs.data(), active(),
                        sizeof(std::remove_const_t<T>));
   }
@@ -175,6 +200,12 @@ class WarpCtx {
     Lanes<std::uint64_t> addrs{};
     const int leader = first_lane(active());
     addrs[static_cast<std::size_t>(leader)] = ptr.element_vaddr(idx);
+    if (san_ != nullptr) {
+      san_->check_global(ptr.vaddr, addrs.data(), lane_bit(leader),
+                         sizeof(std::remove_const_t<T>), AccessKind::kLoad,
+                         global_warp_id(), counters_.issued_instructions,
+                         nullptr, 0);
+    }
     mem_.access_global(addrs.data(), lane_bit(leader),
                        sizeof(std::remove_const_t<T>));
     return ptr.host[idx];
@@ -188,11 +219,32 @@ class WarpCtx {
     static_assert(!std::is_const_v<T>, "cannot store through a const ptr");
     charge_issue();
     Lanes<std::uint64_t> addrs{};
-    for_each_lane(active(), [&](int lane) {
-      const auto i = static_cast<std::uint64_t>(idx(lane));
-      addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
-      ptr.host[i] = val(lane);
-    });
+    if (san_ == nullptr) {
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+        ptr.host[i] = val(lane);
+      });
+    } else {
+      // Sanitized path: materialize indices and values first so the checker
+      // can compare conflicting lanes' values before anything is written.
+      Lanes<std::uint64_t> elems{};
+      Lanes<T> vals{};
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        elems[static_cast<std::size_t>(lane)] = i;
+        addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+        vals[static_cast<std::size_t>(lane)] = val(lane);
+      });
+      san_->check_global(ptr.vaddr, addrs.data(), active(), sizeof(T),
+                         AccessKind::kStore, global_warp_id(),
+                         counters_.issued_instructions, vals.data(),
+                         sizeof(T));
+      for_each_lane(active(), [&](int lane) {
+        ptr.host[elems[static_cast<std::size_t>(lane)]] =
+            vals[static_cast<std::size_t>(lane)];
+      });
+    }
     mem_.access_global(addrs.data(), active(), sizeof(T));
   }
 
@@ -303,12 +355,31 @@ class WarpCtx {
   void load_shared(const SharedArray<T>& arr, IdxF&& idx, Lanes<T>& out) {
     charge_issue();
     Lanes<std::uint64_t> offsets{};
-    for_each_lane(active(), [&](int lane) {
-      const auto i = static_cast<std::uint64_t>(idx(lane));
-      offsets[static_cast<std::size_t>(lane)] =
-          arr.base_offset + i * sizeof(T);
-      out[static_cast<std::size_t>(lane)] = arr.data[i];
-    });
+    if (san_ == nullptr) {
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        offsets[static_cast<std::size_t>(lane)] =
+            arr.base_offset + i * sizeof(T);
+        out[static_cast<std::size_t>(lane)] = arr.data[i];
+      });
+    } else {
+      Lanes<std::uint64_t> elems{};
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        elems[static_cast<std::size_t>(lane)] = i;
+        offsets[static_cast<std::size_t>(lane)] =
+            arr.base_offset + i * sizeof(T);
+      });
+      san_->check_shared(offsets.data(), active(), sizeof(T),
+                         arr.base_offset,
+                         arr.base_offset + arr.size * sizeof(T),
+                         AccessKind::kLoad, global_warp_id(),
+                         counters_.issued_instructions, nullptr, 0);
+      for_each_lane(active(), [&](int lane) {
+        out[static_cast<std::size_t>(lane)] =
+            arr.data[elems[static_cast<std::size_t>(lane)]];
+      });
+    }
     mem_.access_shared(offsets.data(), active());
   }
 
@@ -316,12 +387,34 @@ class WarpCtx {
   void store_shared(const SharedArray<T>& arr, IdxF&& idx, ValF&& val) {
     charge_issue();
     Lanes<std::uint64_t> offsets{};
-    for_each_lane(active(), [&](int lane) {
-      const auto i = static_cast<std::uint64_t>(idx(lane));
-      offsets[static_cast<std::size_t>(lane)] =
-          arr.base_offset + i * sizeof(T);
-      arr.data[i] = val(lane);
-    });
+    if (san_ == nullptr) {
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        offsets[static_cast<std::size_t>(lane)] =
+            arr.base_offset + i * sizeof(T);
+        arr.data[i] = val(lane);
+      });
+    } else {
+      Lanes<std::uint64_t> elems{};
+      Lanes<T> vals{};
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        elems[static_cast<std::size_t>(lane)] = i;
+        offsets[static_cast<std::size_t>(lane)] =
+            arr.base_offset + i * sizeof(T);
+        vals[static_cast<std::size_t>(lane)] = val(lane);
+      });
+      san_->check_shared(offsets.data(), active(), sizeof(T),
+                         arr.base_offset,
+                         arr.base_offset + arr.size * sizeof(T),
+                         AccessKind::kStore, global_warp_id(),
+                         counters_.issued_instructions, vals.data(),
+                         sizeof(T));
+      for_each_lane(active(), [&](int lane) {
+        arr.data[elems[static_cast<std::size_t>(lane)]] =
+            vals[static_cast<std::size_t>(lane)];
+      });
+    }
     mem_.access_shared(offsets.data(), active());
   }
 
@@ -350,12 +443,29 @@ class WarpCtx {
     charge_issue();
     Lanes<std::uint64_t> addrs{};
     Lanes<T> old{};
-    for_each_lane(active(), [&](int lane) {
-      const auto i = static_cast<std::uint64_t>(idx(lane));
-      addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
-      old[static_cast<std::size_t>(lane)] = ptr.host[i];
-      ptr.host[i] = update(ptr.host[i], lane);
-    });
+    if (san_ == nullptr) {
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+        old[static_cast<std::size_t>(lane)] = ptr.host[i];
+        ptr.host[i] = update(ptr.host[i], lane);
+      });
+    } else {
+      Lanes<std::uint64_t> elems{};
+      for_each_lane(active(), [&](int lane) {
+        const auto i = static_cast<std::uint64_t>(idx(lane));
+        elems[static_cast<std::size_t>(lane)] = i;
+        addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
+      });
+      san_->check_global(ptr.vaddr, addrs.data(), active(), sizeof(T),
+                         AccessKind::kAtomic, global_warp_id(),
+                         counters_.issued_instructions, nullptr, 0);
+      for_each_lane(active(), [&](int lane) {
+        const auto i = elems[static_cast<std::size_t>(lane)];
+        old[static_cast<std::size_t>(lane)] = ptr.host[i];
+        ptr.host[i] = update(ptr.host[i], lane);
+      });
+    }
     mem_.access_atomic(addrs.data(), active());
     return old;
   }
@@ -384,6 +494,7 @@ class WarpCtx {
   const SimConfig& cfg_;
   CycleCounters& counters_;
   MemoryModel mem_;
+  Sanitizer* san_ = nullptr;  ///< non-null only under SimConfig::sanitize
   LaneMask mask_stack_[kMaxDepth] = {};
   std::size_t depth_ = 0;
   std::vector<std::byte> shared_arena_;

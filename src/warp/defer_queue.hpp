@@ -8,6 +8,7 @@
 // threshold, while hub expansion proceeds at full SIMD width.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "gpu/buffer.hpp"
@@ -39,8 +40,15 @@ class DeferQueue {
   }
 
   /// Host read of the element count (a D2H copy, like the real code's
-  /// cudaMemcpy of the queue cursor between kernels).
+  /// cudaMemcpy of the queue cursor between kernels). Records *demand*:
+  /// pushes past capacity still bump the counter even though their entries
+  /// are dropped, so size() can exceed capacity().
   std::uint32_t size() const { return count_.read(0); }
+
+  /// Entries actually present in the queue storage: demand clamped to
+  /// capacity. This is the bound a drain kernel must iterate to — reading
+  /// entries [stored(), size()) would touch dropped (never-written) slots.
+  std::uint32_t stored() const { return std::min(size(), capacity()); }
 
   void reset() { count_.fill(0); }
 
@@ -76,9 +84,14 @@ inline void warp_aggregated_push(simt::WarpCtx& w,
     });
     const std::uint32_t start = w.broadcast(base, leader);
 
-    // Coalesced scatter.
+    // Coalesced scatter. The slot index is computed in 64 bits: once the
+    // queue has overflowed, `start` (the pre-overflow demand counter) can
+    // be arbitrarily large, and a 32-bit `start + slot` could wrap around
+    // back under `capacity` and clobber a live entry.
     const simt::LaneMask fits = w.ballot([&](int lane) {
-      return start + slot[static_cast<std::size_t>(lane)] < capacity;
+      return static_cast<std::uint64_t>(start) +
+                 slot[static_cast<std::size_t>(lane)] <
+             capacity;
     });
     w.with_mask(fits, [&] {
       w.store_global(entries, [&](int lane) {

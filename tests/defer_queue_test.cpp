@@ -1,0 +1,164 @@
+// DeferQueue / warp_aggregated_push edge cases: empty pushes, overflow
+// drops, demand-vs-stored accounting, multi-warp slot uniqueness, and the
+// defer-mode BFS at threshold extremes (0 defers everything, huge defers
+// nothing) — both validated against the CPU reference and run clean under
+// the sanitizer.
+#include "warp/defer_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cpu_reference.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::vw {
+namespace {
+
+/// Pushes lanes [0, lanes) of one warp, value = lane + value_base.
+void push_one_warp(gpu::Device& dev, DeferQueue& q, int lanes,
+                   std::uint32_t value_base = 100) {
+  const DeferQueueView view = q.view();
+  const std::uint32_t cap = q.capacity();
+  dev.launch(dev.dims_for_threads(simt::kWarpSize), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> value{};
+    w.alu([&](int l) {
+      value[static_cast<std::size_t>(l)] =
+          value_base + static_cast<std::uint32_t>(l);
+    });
+    defer_push(w, view, cap, simt::prefix_mask(lanes), value);
+  });
+}
+
+TEST(DeferQueue, PushUnderCapacityStoresInLaneOrder) {
+  gpu::Device dev;
+  DeferQueue q(dev, 64);
+  push_one_warp(dev, q, 5);
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.stored(), 5u);
+  const DeferQueueView view = q.view();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(view.entries.host[i], 100u + i);
+  }
+}
+
+TEST(DeferQueue, EmptyMaskPushIsANoop) {
+  gpu::Device dev;
+  DeferQueue q(dev, 8);
+  const DeferQueueView view = q.view();
+  dev.launch(dev.dims_for_threads(simt::kWarpSize), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> value{};
+    defer_push(w, view, q.capacity(), /*mask=*/0, value);
+  });
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.stored(), 0u);
+}
+
+TEST(DeferQueue, OverflowDropsEntriesButCountsDemand) {
+  gpu::Device dev;
+  DeferQueue q(dev, 2);
+  push_one_warp(dev, q, 5);
+  // All five pushes hit the counter; only two entries fit.
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.stored(), 2u);
+  const DeferQueueView view = q.view();
+  EXPECT_EQ(view.entries.host[0], 100u);
+  EXPECT_EQ(view.entries.host[1], 101u);
+}
+
+TEST(DeferQueue, SecondPushAfterOverflowWritesNothing) {
+  gpu::Device dev;
+  DeferQueue q(dev, 2);
+  push_one_warp(dev, q, 5, 100);
+  push_one_warp(dev, q, 3, 900);  // starts at demand 5, far past capacity
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(q.stored(), 2u);
+  const DeferQueueView view = q.view();
+  EXPECT_EQ(view.entries.host[0], 100u);  // first push's entries intact
+  EXPECT_EQ(view.entries.host[1], 101u);
+}
+
+TEST(DeferQueue, ZeroCapacityQueueDropsEverything) {
+  gpu::Device dev;
+  DeferQueue q(dev, 0);
+  push_one_warp(dev, q, 32);
+  EXPECT_EQ(q.size(), 32u);
+  EXPECT_EQ(q.stored(), 0u);
+}
+
+TEST(DeferQueue, MultiWarpPushesGetDistinctSlots) {
+  gpu::Device dev;
+  const std::uint32_t kWarps = 4;
+  DeferQueue q(dev, kWarps * simt::kWarpSize);
+  const DeferQueueView view = q.view();
+  dev.launch(dev.dims_for_warps(kWarps), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> value{};
+    w.alu([&](int l) {
+      value[static_cast<std::size_t>(l)] =
+          w.global_warp_id() * simt::kWarpSize +
+          static_cast<std::uint32_t>(l);
+    });
+    defer_push(w, view, q.capacity(), w.active(), value);
+  });
+  ASSERT_EQ(q.size(), kWarps * simt::kWarpSize);
+  EXPECT_EQ(q.stored(), q.size());
+  // Every pushed value landed in exactly one slot.
+  std::vector<std::uint32_t> got(view.entries.host,
+                                 view.entries.host + q.stored());
+  std::sort(got.begin(), got.end());
+  for (std::uint32_t i = 0; i < q.stored(); ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(DeferQueue, ResetClearsTheCounter) {
+  gpu::Device dev;
+  DeferQueue q(dev, 8);
+  push_one_warp(dev, q, 8);
+  EXPECT_EQ(q.size(), 8u);
+  q.reset();
+  EXPECT_EQ(q.size(), 0u);
+  push_one_warp(dev, q, 2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// ---- defer-mode BFS at threshold extremes --------------------------------
+
+void expect_defer_bfs_matches_cpu(std::uint32_t threshold, bool sanitize) {
+  const graph::Csr g = graph::rmat(256, 2048, {}, {.seed = 5,
+                                                   .undirected = true});
+  simt::SimConfig cfg;
+  cfg.sanitize = sanitize;
+  gpu::Device dev(cfg);
+  algorithms::KernelOptions opts;
+  opts.mapping = algorithms::Mapping::kWarpCentricDefer;
+  opts.defer_threshold = threshold;
+  const auto result = algorithms::bfs_gpu(dev, g, 0, opts);
+  const auto expected = algorithms::bfs_cpu(g, 0);
+  ASSERT_EQ(result.level.size(), expected.size());
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    EXPECT_EQ(result.level[v], expected[v]) << "node " << v;
+  }
+  if (sanitize) {
+    ASSERT_NE(dev.sanitizer(), nullptr);
+    EXPECT_TRUE(dev.sanitizer()->report().clean())
+        << dev.sanitizer()->report().text();
+  }
+}
+
+TEST(DeferBfs, ThresholdZeroDefersEveryVertexAndStaysCorrect) {
+  expect_defer_bfs_matches_cpu(/*threshold=*/0, /*sanitize=*/false);
+}
+
+TEST(DeferBfs, HugeThresholdDefersNothingAndStaysCorrect) {
+  expect_defer_bfs_matches_cpu(/*threshold=*/0xffffffffu,
+                               /*sanitize=*/false);
+}
+
+TEST(DeferBfs, ThresholdZeroRunsCleanUnderSanitizer) {
+  expect_defer_bfs_matches_cpu(/*threshold=*/0, /*sanitize=*/true);
+}
+
+}  // namespace
+}  // namespace maxwarp::vw

@@ -122,5 +122,95 @@ TEST_F(MemoryModelTest, SharedTwoWayConflict) {
   EXPECT_EQ(model_.access_shared(addrs_.data(), kFullMask), 1);
 }
 
+// ---- access_atomic serialization under partial masks ---------------------
+
+TEST_F(MemoryModelTest, AtomicEmptyMaskIsFree) {
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), 0), 0);
+  EXPECT_EQ(counters_.atomic_ops, 0u);
+  EXPECT_EQ(counters_.mem_cycles, 0u);
+}
+
+TEST_F(MemoryModelTest, AtomicTailWarpSameAddressSerializes) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x3000;
+  // Tail warp with 5 active lanes: 1 distinct address, 4 extra lanes.
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), prefix_mask(5)), 4);
+  EXPECT_EQ(counters_.atomic_ops, 5u);
+  EXPECT_EQ(counters_.atomic_conflicts, 4u);
+  EXPECT_EQ(counters_.mem_cycles,
+            cfg_.cycles_per_atomic + 4u * cfg_.cycles_per_atomic_conflict);
+}
+
+TEST_F(MemoryModelTest, AtomicIgnoresInactiveLanesAddresses) {
+  // Inactive lanes alias the active lane's address; only active lanes
+  // (0 and 5) may contribute, and they hit distinct addresses.
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x3000;
+  addrs_[5] = 0x4000;
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), lane_bit(0) | lane_bit(5)),
+            0);
+  EXPECT_EQ(counters_.atomic_ops, 2u);
+  EXPECT_EQ(counters_.atomic_conflicts, 0u);
+  // Each distinct address pays the base atomic cost and one transaction.
+  EXPECT_EQ(counters_.mem_cycles, 2u * cfg_.cycles_per_atomic);
+  EXPECT_EQ(counters_.global_transactions, 2u);
+}
+
+TEST_F(MemoryModelTest, AtomicSparseMaskMixedConflicts) {
+  // Active lanes 0,2,4,6 hit address A; 1,3 are inactive; 8,10 hit B.
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x5000;
+  addrs_[8] = addrs_[10] = 0x6000;
+  const LaneMask mask = lane_bit(0) | lane_bit(2) | lane_bit(4) |
+                        lane_bit(6) | lane_bit(8) | lane_bit(10);
+  // 2 distinct addresses, 6 ops -> 4 conflicts.
+  EXPECT_EQ(model_.access_atomic(addrs_.data(), mask), 4);
+  EXPECT_EQ(counters_.atomic_conflicts, 4u);
+}
+
+// ---- tail-warp partial-mask global/shared accesses -----------------------
+
+TEST_F(MemoryModelTest, TailWarpUnitStrideIsOneTransaction) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = 0x1000 + l * 4u;
+  EXPECT_EQ(model_.access_global(addrs_.data(), prefix_mask(5), 4), 1);
+  EXPECT_EQ(counters_.global_requests, 5u);
+  EXPECT_EQ(counters_.global_bytes, cfg_.mem_transaction_bytes);
+}
+
+TEST_F(MemoryModelTest, TailWarpScatterPaysPerActiveLane) {
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 4096u;
+  EXPECT_EQ(model_.access_global(addrs_.data(), prefix_mask(7), 4), 7);
+}
+
+TEST_F(MemoryModelTest, SharedTailWarpConflictsOnlyAmongActiveLanes) {
+  // All lanes would hit bank 0, but only 3 are active -> 2 replays.
+  for (int l = 0; l < kWarpSize; ++l) addrs_[l] = l * 32u * 4u;
+  EXPECT_EQ(model_.access_shared(addrs_.data(), prefix_mask(3)), 2);
+  EXPECT_EQ(counters_.shared_accesses, 3u);
+}
+
+TEST_F(MemoryModelTest, SharedEmptyMaskIsFree) {
+  EXPECT_EQ(model_.access_shared(addrs_.data(), 0), 0);
+  EXPECT_EQ(counters_.mem_cycles, 0u);
+}
+
+// ---- static helpers (shared by the cost model and the sanitizer lint) ----
+
+TEST(MemoryModelStatic, GlobalTransactionsPureHelper) {
+  std::array<std::uint64_t, kWarpSize> addrs{};
+  for (int l = 0; l < kWarpSize; ++l) addrs[l] = l * 4u;
+  EXPECT_EQ(MemoryModel::global_transactions(addrs.data(), kFullMask, 4, 128),
+            1);
+  EXPECT_EQ(MemoryModel::global_transactions(addrs.data(), kFullMask, 4, 32),
+            4);
+  EXPECT_EQ(MemoryModel::global_transactions(addrs.data(), 0, 4, 128), 0);
+}
+
+TEST(MemoryModelStatic, SharedReplaysPureHelper) {
+  std::array<std::uint64_t, kWarpSize> offsets{};
+  for (int l = 0; l < kWarpSize; ++l) offsets[l] = l * 32u * 4u;
+  EXPECT_EQ(MemoryModel::shared_replays(offsets.data(), kFullMask), 31);
+  for (int l = 0; l < kWarpSize; ++l) offsets[l] = l * 4u;
+  EXPECT_EQ(MemoryModel::shared_replays(offsets.data(), kFullMask), 0);
+  EXPECT_EQ(MemoryModel::shared_replays(offsets.data(), 0), 0);
+}
+
 }  // namespace
 }  // namespace maxwarp::simt

@@ -1,0 +1,600 @@
+// simtsan tests: one deliberately-buggy kernel per check class, the
+// warning/benign severity semantics the graph kernels rely on, and a full
+// sweep running every GPU algorithm clean under SimConfig::sanitize.
+#include "simt/sanitizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "algorithms/bc_gpu.hpp"
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/coloring_gpu.hpp"
+#include "algorithms/kcore_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/spmv_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "algorithms/tc_gpu.hpp"
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp {
+namespace {
+
+using algorithms::Frontier;
+using algorithms::Mapping;
+using simt::DiagClass;
+using simt::SanitizerFault;
+using simt::Severity;
+
+simt::SimConfig sanitized_cfg() {
+  simt::SimConfig cfg;
+  cfg.sanitize = true;
+  return cfg;
+}
+
+/// Launches `body` as a single-warp kernel and expects a SanitizerFault of
+/// the given class.
+template <typename Body>
+void expect_fault(gpu::Device& dev, const simt::LaunchDims& dims,
+                  DiagClass expected, Body&& body) {
+  bool threw = false;
+  try {
+    dev.launch(dims, body);
+  } catch (const SanitizerFault& f) {
+    threw = true;
+    EXPECT_EQ(f.fault_class(), expected) << f.what();
+  }
+  EXPECT_TRUE(threw) << "expected a " << simt::to_string(expected)
+                     << " fault";
+}
+
+TEST(Simtsan, DisabledByDefaultAndNullWhenOff) {
+  gpu::Device dev;  // default config: sanitize = false
+  EXPECT_EQ(dev.sanitizer(), nullptr);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 8);
+  auto p = buf.ptr();
+  // Kernel runs with no shadow checks at all.
+  dev.launch(dev.dims_for_threads(8), [&](simt::WarpCtx& w) {
+    w.store_global(p, [](int lane) { return lane; },
+                   [](int lane) { return lane; });
+  });
+  EXPECT_EQ(buf.read(3), 3u);
+}
+
+// ---- class 1: out-of-bounds and use-after-free ---------------------------
+
+TEST(Simtsan, OutOfBoundsLoadFaults) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 8);
+  buf.fill(0);
+  auto p = buf.cptr();
+  // 32 lanes index lane 0..31 into an 8-element buffer.
+  expect_fault(dev, dev.dims_for_threads(32).named("oob.load"),
+               DiagClass::kOutOfBounds, [&](simt::WarpCtx& w) {
+                 simt::Lanes<std::uint32_t> out{};
+                 w.load_global(p, [](int lane) { return lane; }, out);
+               });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kOutOfBounds), 1u);
+  EXPECT_FALSE(rep.clean());
+  ASSERT_FALSE(rep.records.empty());
+  EXPECT_EQ(rep.records.front().kernel, "oob.load");
+}
+
+TEST(Simtsan, OutOfBoundsStoreFaultsBeforeTouchingMemory) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 8);
+  buf.fill(0);
+  auto p = buf.ptr();
+  expect_fault(dev, dev.dims_for_threads(32), DiagClass::kOutOfBounds,
+               [&](simt::WarpCtx& w) {
+                 w.store_global(p, [](int lane) { return lane * 1000; },
+                                [](int) { return 42u; });
+               });
+  // The fault fired before *any* lane's store touched the backing store —
+  // even lane 0's in-bounds store must not have happened.
+  for (std::uint32_t v : buf.download()) EXPECT_EQ(v, 0u);
+}
+
+TEST(Simtsan, WildPointerFaults) {
+  gpu::Device dev(sanitized_cfg());
+  std::uint32_t backing[4] = {};
+  // A DevPtr whose vaddr was never allocated through the device.
+  simt::DevPtr<std::uint32_t> wild{backing, 0xdead0000u};
+  expect_fault(dev, dev.dims_for_threads(1), DiagClass::kOutOfBounds,
+               [&](simt::WarpCtx& w) {
+                 (void)w.load_global_uniform(wild, 0);
+               });
+}
+
+TEST(Simtsan, UseAfterFreeFaults) {
+  gpu::Device dev(sanitized_cfg());
+  simt::DevPtr<const std::uint32_t> dangling{};
+  {
+    gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+    buf.fill(1);
+    dangling = buf.cptr();
+  }  // ~DeviceBuffer marks the allocation freed
+  expect_fault(dev, dev.dims_for_threads(1), DiagClass::kUseAfterFree,
+               [&](simt::WarpCtx& w) {
+                 (void)w.load_global_uniform(dangling, 0);
+               });
+  EXPECT_GE(dev.sanitizer()->report().count(DiagClass::kUseAfterFree), 1u);
+}
+
+TEST(Simtsan, MovedFromBufferDoesNotFreeItsRange) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 16);
+  buf.fill(9);
+  gpu::DeviceBuffer<std::uint32_t> moved = std::move(buf);
+  auto p = moved.cptr();
+  // The moved-from shell's destructor must not mark the range freed.
+  EXPECT_NO_THROW(dev.launch(dev.dims_for_threads(1), [&](simt::WarpCtx& w) {
+    EXPECT_EQ(w.load_global_uniform(p, 5), 9u);
+  }));
+  EXPECT_TRUE(dev.sanitizer()->report().clean());
+}
+
+TEST(Simtsan, SharedOutOfBoundsFaults) {
+  gpu::Device dev(sanitized_cfg());
+  expect_fault(dev, dev.dims_for_threads(32), DiagClass::kOutOfBounds,
+               [&](simt::WarpCtx& w) {
+                 auto arr = w.shared_alloc<std::uint32_t>(16);
+                 // Lanes 16..31 run past the 16-element array.
+                 w.store_shared(arr, [](int lane) { return lane; },
+                                [](int lane) { return lane; });
+               });
+}
+
+// ---- class 2: uninitialized reads ----------------------------------------
+
+TEST(Simtsan, UninitializedReadIsAnError) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);  // never filled/uploaded
+  auto p = buf.cptr();
+  EXPECT_NO_THROW(dev.launch(dev.dims_for_threads(32).named("uninit.load"),
+                             [&](simt::WarpCtx& w) {
+                               simt::Lanes<std::uint32_t> out{};
+                               w.load_global(
+                                   p, [](int lane) { return lane; }, out);
+                             }));
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kUninitRead), 32u);  // one per lane
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GE(rep.errors(), 32u);
+}
+
+TEST(Simtsan, HostWritesInitializePerByte) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  buf.write(0, 5);  // only element 0 initialized
+  auto p = buf.cptr();
+  dev.launch(dev.dims_for_threads(1), [&](simt::WarpCtx& w) {
+    EXPECT_EQ(w.load_global_uniform(p, 0), 5u);  // clean
+  });
+  EXPECT_TRUE(dev.sanitizer()->report().clean());
+  dev.launch(dev.dims_for_threads(1), [&](simt::WarpCtx& w) {
+    (void)w.load_global_uniform(p, 1);  // element 1 never written
+  });
+  EXPECT_EQ(dev.sanitizer()->report().count(DiagClass::kUninitRead), 1u);
+}
+
+TEST(Simtsan, UploadAndFillInitialize) {
+  gpu::Device dev(sanitized_cfg());
+  std::vector<std::uint32_t> host(64);
+  std::iota(host.begin(), host.end(), 0u);
+  gpu::DeviceBuffer<std::uint32_t> uploaded(dev, host);
+  gpu::DeviceBuffer<std::uint32_t> filled(dev, 64);
+  filled.fill(7);
+  auto up = uploaded.cptr();
+  auto fp = filled.cptr();
+  dev.launch(dev.dims_for_threads(64), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> a{}, b{};
+    const auto base = w.global_warp_id() * simt::kWarpSize;
+    w.load_global(up, [&](int lane) { return base + lane; }, a);
+    w.load_global(fp, [&](int lane) { return base + lane; }, b);
+  });
+  EXPECT_TRUE(dev.sanitizer()->report().clean());
+}
+
+TEST(Simtsan, DeviceStoresInitializeForLaterLaunches) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_threads(32), [&](simt::WarpCtx& w) {
+    w.store_global(p, [](int lane) { return lane; },
+                   [](int lane) { return lane * 2; });
+  });
+  // Next launch reads what the previous one stored: initialized, and no
+  // cross-warp hazard either (launches are device-wide barriers).
+  dev.launch(dev.dims_for_threads(32), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(p, [](int lane) { return lane; }, out);
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.warnings(), 0u);
+}
+
+// ---- class 3: intra-warp same-instruction conflicts ----------------------
+
+TEST(Simtsan, IntraWarpDifferentValueStoreIsAnError) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 4);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_threads(32).named("intra.race"),
+             [&](simt::WarpCtx& w) {
+               // Every lane stores its own id to element 0: last lane wins,
+               // so the functional result hides a real lane-order race.
+               w.store_global(p, [](int) { return 0; },
+                              [](int lane) { return lane; });
+             });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kIntraWarpConflict), 1u);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(Simtsan, IntraWarpSameValueStoreIsBenign) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 4);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_threads(32), [&](simt::WarpCtx& w) {
+    // The "changed = 1" idiom every level-synchronous kernel uses.
+    w.store_global(p, [](int) { return 0; }, [](int) { return 1u; });
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.count(DiagClass::kIntraWarpConflict), 0u);
+  EXPECT_GE(rep.benign_same_value_writes, 1u);
+}
+
+TEST(Simtsan, IntraWarpSharedConflictDetected) {
+  gpu::Device dev(sanitized_cfg());
+  dev.launch(dev.dims_for_threads(32), [&](simt::WarpCtx& w) {
+    auto arr = w.shared_alloc<std::uint32_t>(8);
+    w.store_shared(arr, [](int) { return 3; },
+                   [](int lane) { return lane; });
+  });
+  EXPECT_GE(dev.sanitizer()->report().count(DiagClass::kIntraWarpConflict),
+            1u);
+}
+
+// ---- class 4: cross-warp races within a launch ---------------------------
+
+TEST(Simtsan, CrossWarpDifferentValueWriteWriteIsAnError) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 4);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_warps(2).named("xwarp.ww"),
+             [&](simt::WarpCtx& w) {
+               const std::uint32_t id = w.global_warp_id();
+               w.with_mask(1u, [&] {  // leader lane only: no intra-warp noise
+                 w.store_global(p, [](int) { return 0; },
+                                [&](int) { return id; });
+               });
+             });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kCrossWarpRace), 1u);
+  EXPECT_FALSE(rep.clean()) << rep.text();
+}
+
+TEST(Simtsan, CrossWarpSameValueWriteIsBenign) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 4);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_warps(4), [&](simt::WarpCtx& w) {
+    w.with_mask(1u, [&] {
+      w.store_global(p, [](int) { return 0; }, [](int) { return 1u; });
+    });
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_GE(rep.benign_same_value_writes, 1u);
+}
+
+TEST(Simtsan, CrossWarpReadAfterWriteIsAWarning) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 4);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_warps(2), [&](simt::WarpCtx& w) {
+    if (w.global_warp_id() == 0) {
+      w.with_mask(1u, [&] {
+        w.store_global(p, [](int) { return 0; }, [](int) { return 9u; });
+      });
+    } else {
+      (void)w.load_global_uniform(simt::DevPtr<const std::uint32_t>(p), 0);
+    }
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kCrossWarpRace), 1u);
+  EXPECT_GE(rep.warnings(), 1u);
+  EXPECT_TRUE(rep.clean());  // hazard, not an error
+}
+
+TEST(Simtsan, AtomicVsAtomicDoesNotConflict) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 1);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_warps(4), [&](simt::WarpCtx& w) {
+    (void)w.atomic_add(p, [](int) { return 0; }, [](int) { return 1u; });
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.count(DiagClass::kCrossWarpRace), 0u);
+  EXPECT_EQ(buf.read(0), 4u * 32u);
+}
+
+TEST(Simtsan, PlainStoreOverAtomicUpdateWarns) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 1);
+  buf.fill(0);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_warps(2), [&](simt::WarpCtx& w) {
+    if (w.global_warp_id() == 0) {
+      (void)w.atomic_add(p, [](int) { return 0; }, [](int) { return 1u; });
+    } else {
+      w.with_mask(1u, [&] {
+        w.store_global(p, [](int) { return 0; }, [](int) { return 7u; });
+      });
+    }
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.warnings(), 1u);
+  EXPECT_TRUE(rep.clean());
+}
+
+// ---- class 5: perf lint --------------------------------------------------
+
+TEST(Simtsan, FullyScatteredLoadLintsAsUncoalesced) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32 * 64);
+  buf.fill(0);
+  auto p = buf.cptr();
+  dev.launch(dev.dims_for_threads(32).named("scatter"),
+             [&](simt::WarpCtx& w) {
+               simt::Lanes<std::uint32_t> out{};
+               // 256-byte stride: every lane its own 128-byte segment.
+               w.load_global(p, [](int lane) { return lane * 64; }, out);
+             });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kUncoalesced), 1u);
+  EXPECT_GE(rep.lints(), 1u);
+  EXPECT_TRUE(rep.clean());  // lint never spoils cleanliness
+  const auto& kl = rep.kernel_lint.at("scatter");
+  EXPECT_EQ(kl.uncoalesced, 1u);
+  EXPECT_DOUBLE_EQ(kl.worst_txn_per_lane, 1.0);
+}
+
+TEST(Simtsan, UnitStrideLoadDoesNotLint) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  buf.fill(0);
+  auto p = buf.cptr();
+  dev.launch(dev.dims_for_threads(32), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(p, [](int lane) { return lane; }, out);
+  });
+  EXPECT_EQ(dev.sanitizer()->report().count(DiagClass::kUncoalesced), 0u);
+}
+
+TEST(Simtsan, SharedBankConflictLints) {
+  gpu::Device dev(sanitized_cfg());
+  dev.launch(dev.dims_for_threads(32).named("bank32"),
+             [&](simt::WarpCtx& w) {
+               auto arr = w.shared_alloc<std::uint32_t>(32 * 32);
+               simt::Lanes<std::uint32_t> out{};
+               // Stride-32 words: all 32 lanes hit bank 0 (31 replays).
+               w.load_shared(arr, [](int lane) { return lane * 32; }, out);
+             });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_GE(rep.count(DiagClass::kBankConflict), 1u);
+  EXPECT_EQ(rep.kernel_lint.at("bank32").worst_bank_replays, 31);
+  EXPECT_TRUE(rep.clean());
+}
+
+// ---- report plumbing -----------------------------------------------------
+
+TEST(Simtsan, RecordCapKeepsCountingPastStoredRecords) {
+  simt::SimConfig cfg = sanitized_cfg();
+  cfg.sanitizer.max_records_per_class = 2;
+  gpu::Device dev(cfg);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  auto p = buf.cptr();
+  dev.launch(dev.dims_for_threads(32), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(p, [](int lane) { return lane; }, out);  // 32 uninit reads
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_EQ(rep.count(DiagClass::kUninitRead), 32u);
+  EXPECT_EQ(rep.records.size(), 2u);
+}
+
+TEST(Simtsan, UnlabeledLaunchesGetOrdinalNames) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 1);
+  auto p = buf.cptr();
+  dev.launch(dev.dims_for_threads(1), [&](simt::WarpCtx& w) {
+    (void)w.load_global_uniform(p, 0);  // uninit: records kernel name
+  });
+  const auto& rep = dev.sanitizer()->report();
+  ASSERT_FALSE(rep.records.empty());
+  EXPECT_EQ(rep.records.front().kernel, "kernel#0");
+}
+
+TEST(Simtsan, TextReportMentionsFindings) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 8);
+  auto p = buf.cptr();
+  dev.launch(dev.dims_for_threads(8).named("demo"), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(p, [](int lane) { return lane; }, out);
+  });
+  const std::string text = dev.sanitizer()->report().text();
+  EXPECT_NE(text.find("simtsan:"), std::string::npos);
+  EXPECT_NE(text.find("uninit-read"), std::string::npos);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_GT(dev.sanitizer()->report().records_table().row_count(), 0u);
+}
+
+TEST(Simtsan, ResetReportClearsDiagnosticsButKeepsInitState) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 8);
+  buf.fill(3);
+  gpu::DeviceBuffer<std::uint32_t> uninit(dev, 8);
+  auto p = buf.cptr();
+  auto up = uninit.cptr();
+  dev.launch(dev.dims_for_threads(8), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(up, [](int lane) { return lane; }, out);  // errors
+  });
+  EXPECT_FALSE(dev.sanitizer()->report().clean());
+  dev.sanitizer()->reset_report();
+  EXPECT_TRUE(dev.sanitizer()->report().clean());
+  EXPECT_EQ(dev.sanitizer()->report().records.size(), 0u);
+  // Initialization state survived the reset: reading `buf` stays clean.
+  dev.launch(dev.dims_for_threads(8), [&](simt::WarpCtx& w) {
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(p, [](int lane) { return lane; }, out);
+  });
+  EXPECT_TRUE(dev.sanitizer()->report().clean());
+}
+
+TEST(Simtsan, TailWarpPartialMaskProducesNoFindings) {
+  gpu::Device dev(sanitized_cfg());
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 5);
+  auto p = buf.ptr();
+  dev.launch(dev.dims_for_threads(5), [&](simt::WarpCtx& w) {
+    w.store_global(p, [](int lane) { return lane; },
+                   [](int lane) { return lane + 1; });
+    simt::Lanes<std::uint32_t> out{};
+    w.load_global(simt::DevPtr<const std::uint32_t>(p),
+                  [](int lane) { return lane; }, out);
+  });
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.warnings(), 0u);
+  EXPECT_EQ(buf.read(4), 5u);
+}
+
+// ---- full-algorithm sweep: every GPU kernel runs clean -------------------
+
+graph::Csr sweep_graph() {
+  return graph::rmat(256, 2048, {}, {.seed = 11, .undirected = true});
+}
+
+/// Every algorithm must finish with zero error-severity findings.
+/// Warnings (monotonic-update hazards the level-synchronous kernels rely
+/// on) and perf lint are allowed — that is exactly what the severity split
+/// is for.
+void expect_clean_run(
+    const std::function<void(gpu::Device&, const graph::Csr&)>& run) {
+  gpu::Device dev(sanitized_cfg());
+  const graph::Csr g = sweep_graph();
+  run(dev, g);
+  ASSERT_NE(dev.sanitizer(), nullptr);
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_TRUE(rep.clean()) << rep.text();
+  EXPECT_GT(rep.checked_accesses, 0u);
+}
+
+TEST(SimtsanSweep, BfsAllMappingsAndFrontiers) {
+  for (const auto mapping :
+       {Mapping::kThreadMapped, Mapping::kWarpCentric,
+        Mapping::kWarpCentricDynamic, Mapping::kWarpCentricDefer}) {
+    for (const auto frontier : {Frontier::kLevelArray, Frontier::kQueue}) {
+      // The queue frontier only exists for the two static mappings.
+      if (frontier == Frontier::kQueue &&
+          mapping != Mapping::kThreadMapped &&
+          mapping != Mapping::kWarpCentric) {
+        continue;
+      }
+      expect_clean_run([&](gpu::Device& dev, const graph::Csr& g) {
+        algorithms::KernelOptions opts;
+        opts.mapping = mapping;
+        opts.frontier = frontier;
+        opts.virtual_warp_width = 8;
+        (void)algorithms::bfs_gpu(dev, g, 0, opts);
+      });
+    }
+  }
+}
+
+TEST(SimtsanSweep, BfsAdaptiveAndDirectionOptimized) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::bfs_gpu_adaptive(dev, g, 0);
+  });
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::bfs_gpu_direction_optimized(dev, g, 0);
+  });
+}
+
+TEST(SimtsanSweep, Sssp) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    graph::Csr weighted = g;
+    graph::assign_hash_weights(weighted, 20);
+    (void)algorithms::sssp_gpu(dev, weighted, 0);
+  });
+}
+
+TEST(SimtsanSweep, ConnectedComponents) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::connected_components_gpu(dev, g);
+  });
+}
+
+TEST(SimtsanSweep, PageRank) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::pagerank_gpu(dev, g);
+  });
+}
+
+TEST(SimtsanSweep, Betweenness) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    const std::vector<graph::NodeId> sources{0, 1, 2, 3};
+    (void)algorithms::betweenness_gpu(dev, g, sources);
+  });
+}
+
+TEST(SimtsanSweep, TriangleCount) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::triangle_count_gpu(dev, g);
+  });
+}
+
+TEST(SimtsanSweep, KCore) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::k_core_gpu(dev, g, 3);
+  });
+}
+
+TEST(SimtsanSweep, Coloring) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    (void)algorithms::color_graph_gpu(dev, g);
+  });
+}
+
+TEST(SimtsanSweep, Spmv) {
+  expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
+    graph::Csr weighted = g;
+    graph::assign_hash_weights(weighted, 20);
+    const std::vector<float> x(weighted.num_nodes(), 1.0f);
+    (void)algorithms::spmv_gpu(dev, weighted, x);
+  });
+}
+
+}  // namespace
+}  // namespace maxwarp
