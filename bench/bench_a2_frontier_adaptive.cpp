@@ -74,7 +74,7 @@ void print_panel2() {
     const auto source = benchx::hub_source(g);
 
     gpu::Device dev;
-    const auto adaptive = algorithms::bfs_gpu_adaptive(dev, g, source);
+    const auto adaptive = algorithms::bfs_gpu_adaptive(algorithms::GpuGraph(dev, g), source);
     const double adaptive_ms = adaptive.stats.kernel_ms(dev.config());
 
     double best_ms = 1e300;
@@ -122,10 +122,13 @@ void print_panel3() {
     gpu::Device d1;
     algorithms::KernelOptions push_opts;
     push_opts.virtual_warp_width = 8;
-    const auto push = algorithms::bfs_gpu(d1, g, source, push_opts);
+    const auto push = algorithms::bfs_gpu(algorithms::GpuGraph(d1, g), source, push_opts);
     gpu::Device d2;
-    const auto hybrid =
-        algorithms::bfs_gpu_direction_optimized(d2, g, source);
+    // Match the push baseline's W=8 (the legacy DirectionOptions default).
+    algorithms::KernelOptions hybrid_opts;
+    hybrid_opts.virtual_warp_width = 8;
+    const auto hybrid = algorithms::bfs_gpu_direction_optimized(
+        algorithms::GpuGraph(d2, g), source, hybrid_opts);
     int pull_levels = 0;
     for (int d : hybrid.level_directions) pull_levels += d;
     const double saved =

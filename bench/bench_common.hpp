@@ -70,7 +70,7 @@ inline BfsMeasurement measure_bfs(const graph::Csr& g, graph::NodeId source,
                                   const algorithms::KernelOptions& opts,
                                   simt::SimConfig cfg = {}) {
   gpu::Device dev(cfg);
-  const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+  const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), source, opts);
   BfsMeasurement m;
   m.modeled_ms = r.stats.kernel_ms(dev.config());
   m.elapsed_cycles = r.stats.kernels.elapsed_cycles;

@@ -1,0 +1,139 @@
+// E1 — stream-aware concurrent query engine (extension experiment, not a
+// paper figure).
+//
+// A graph service answers many traversal queries against one resident
+// graph. This experiment batches K BFS queries on LiveJournal* through
+// algorithms::QueryEngine and sweeps batch size x stream count, comparing
+// the overlap-aware modeled makespan against issuing the same K queries
+// serially (one stream, no fusion — exactly K back-to-back bfs_gpu calls).
+// Fusion packs up to 32 queries into one multi-source sweep (per-vertex
+// bitmasks), so the adjacency structure is read once per level for the
+// whole group; streams then overlap the remaining kernel/copy work.
+//
+// Acceptance: 32 batched queries must model >= 4x faster than 32 serial
+// bfs_gpu calls; the table prints the check explicitly.
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "algorithms/query_engine.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::BatchStats;
+using algorithms::GpuGraph;
+using algorithms::Query;
+using algorithms::QueryEngine;
+using algorithms::QueryEngineOptions;
+
+const graph::Csr& dataset() {
+  static const graph::Csr g =
+      graph::make_dataset("LiveJournal*", benchx::scale(), benchx::seed());
+  return g;
+}
+
+std::vector<Query> bfs_batch(const graph::Csr& g, std::uint32_t k) {
+  std::vector<Query> queries;
+  queries.reserve(k);
+  for (std::uint32_t q = 0; q < k; ++q) {
+    queries.push_back(Query::bfs((q * 2654435761u) % g.num_nodes()));
+  }
+  return queries;
+}
+
+/// Runs one batch on a fresh device so every configuration is charged an
+/// identical, isolated timeline.
+BatchStats run_batch(std::uint32_t batch, std::uint32_t streams, bool fuse,
+                     std::uint32_t group = 32) {
+  gpu::Device dev;
+  GpuGraph g(dev, dataset());
+  QueryEngine engine(g, QueryEngineOptions{.num_streams = streams,
+                                           .bfs_group_size = group,
+                                           .fuse_bfs = fuse});
+  const auto queries = bfs_batch(dataset(), batch);
+  (void)engine.run(queries);
+  return engine.last_batch_stats();
+}
+
+void print_table() {
+  benchx::print_banner(
+      "E1: stream-aware concurrent query engine",
+      "Batched BFS query service on LiveJournal*: fused multi-source "
+      "sweeps + stream overlap vs the same queries issued serially.");
+
+  // 32 queries throughout; sweep how they are packed (fused group size)
+  // and spread (stream count). group=1/streams=1 is the serial baseline:
+  // 32 back-to-back bfs_gpu calls.
+  const BatchStats serial = run_batch(32, 1, /*fuse=*/false);
+  util::Table table({"group", "streams", "units", "launches", "batched ms",
+                     "vs serial"});
+  table.row()
+      .cell(std::uint64_t{1})
+      .cell(std::uint64_t{1})
+      .cell(std::uint64_t{32})
+      .cell(serial.kernel_launches)
+      .cell(serial.modeled_ms, 3)
+      .cell(1.0, 2);
+  double best32 = 0.0;
+  for (const std::uint32_t group : {1u, 8u, 16u, 32u}) {
+    for (const std::uint32_t streams : {2u, 4u, 8u}) {
+      const BatchStats s = run_batch(32, streams, /*fuse=*/true, group);
+      const std::uint32_t units = group == 1 ? 32 : 32 / group;
+      table.row()
+          .cell(static_cast<std::uint64_t>(group))
+          .cell(static_cast<std::uint64_t>(streams))
+          .cell(static_cast<std::uint64_t>(units))
+          .cell(s.kernel_launches)
+          .cell(s.modeled_ms, 3)
+          .cell(serial.modeled_ms / s.modeled_ms, 2);
+      if (best32 == 0.0 || s.modeled_ms < best32) best32 = s.modeled_ms;
+    }
+  }
+  table.print();
+
+  const double speedup = best32 > 0 ? serial.modeled_ms / best32 : 0.0;
+  std::printf(
+      "\nacceptance: 32 batched vs 32 serial BFS queries -> %.2fx "
+      "(requirement: >= 4x) %s\n",
+      speedup, speedup >= 4.0 ? "PASS" : "FAIL");
+}
+
+void BM_QueryEngine(benchmark::State& state) {
+  const auto batch = static_cast<std::uint32_t>(state.range(0));
+  const auto streams = static_cast<std::uint32_t>(state.range(1));
+  const bool fuse = state.range(2) != 0;
+  const auto group = static_cast<std::uint32_t>(state.range(3));
+  BatchStats stats;
+  for (auto _ : state) {
+    stats = run_batch(batch, streams, fuse, group);
+    benchmark::DoNotOptimize(stats.modeled_ms);
+  }
+  state.counters["modeled_ms"] = stats.modeled_ms;
+  state.counters["serial_ms"] = stats.serial_ms;
+  state.counters["speedup"] =
+      stats.modeled_ms > 0 ? stats.serial_ms / stats.modeled_ms : 0.0;
+  state.counters["launches"] = static_cast<double>(stats.kernel_launches);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::RegisterBenchmark("query_engine/serial32", BM_QueryEngine)
+      ->Args({32, 1, 0, 32})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("query_engine/fused32_s1", BM_QueryEngine)
+      ->Args({32, 1, 1, 32})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("query_engine/fused32_s4", BM_QueryEngine)
+      ->Args({32, 4, 1, 32})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("query_engine/fused8x4_s4", BM_QueryEngine)
+      ->Args({32, 4, 1, 8})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -24,9 +24,7 @@ struct Row {
 Row measure(const graph::DatasetSpec& spec) {
   const graph::Csr g = spec.make(benchx::scale(), benchx::seed());
   gpu::Device dev;
-  const auto r = algorithms::bfs_gpu(
-      dev, g, benchx::hub_source(g),
-      benchx::bfs_options(algorithms::Mapping::kThreadMapped, 32));
+  const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), benchx::hub_source(g), benchx::bfs_options(algorithms::Mapping::kThreadMapped, 32));
   Row row;
   row.name = spec.name;
   row.util = r.stats.kernels.counters.simd_utilization();

@@ -22,7 +22,7 @@ struct MemRow {
 MemRow measure(const graph::Csr& g, graph::NodeId source,
                const algorithms::KernelOptions& opts) {
   gpu::Device dev;
-  const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+  const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), source, opts);
   MemRow row;
   row.txn_per_edge =
       r.traversed_edges

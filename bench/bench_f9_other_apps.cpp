@@ -25,14 +25,14 @@ algorithms::KernelOptions opt(Mapping m, int w) {
 
 double cc_ms(const graph::Csr& g, Mapping m, int w) {
   gpu::Device dev;
-  const auto r = algorithms::connected_components_gpu(dev, g, opt(m, w));
+  const auto r = algorithms::connected_components_gpu(algorithms::GpuGraph(dev, g), opt(m, w));
   return r.stats.kernel_ms(dev.config());
 }
 
 double sssp_ms(const graph::Csr& g, Mapping m, int w) {
   gpu::Device dev;
   const auto r =
-      algorithms::sssp_gpu(dev, g, benchx::hub_source(g), opt(m, w));
+      algorithms::sssp_gpu(algorithms::GpuGraph(dev, g), benchx::hub_source(g), opt(m, w));
   return r.stats.kernel_ms(dev.config());
 }
 
@@ -40,7 +40,7 @@ double pr_ms(const graph::Csr& g, Mapping m, int w) {
   gpu::Device dev;
   algorithms::PageRankParams params;
   params.iterations = 10;
-  const auto r = algorithms::pagerank_gpu(dev, g, params, opt(m, w));
+  const auto r = algorithms::pagerank_gpu(algorithms::GpuGraph(dev, g), params, opt(m, w));
   return r.stats.kernel_ms(dev.config());
 }
 
@@ -48,13 +48,13 @@ double bc_ms(const graph::Csr& g, Mapping m, int w) {
   gpu::Device dev;
   // Sampled BC: 4 fixed sources (exact all-sources BC is O(nm)).
   const std::vector<graph::NodeId> sources{0, 1, 2, 3};
-  const auto r = algorithms::betweenness_gpu(dev, g, sources, opt(m, w));
+  const auto r = algorithms::betweenness_gpu(algorithms::GpuGraph(dev, g), sources, opt(m, w));
   return r.stats.kernel_ms(dev.config());
 }
 
 double tc_ms(const graph::Csr& g, Mapping m, int w) {
   gpu::Device dev;
-  const auto r = algorithms::triangle_count_gpu(dev, g, opt(m, w));
+  const auto r = algorithms::triangle_count_gpu(algorithms::GpuGraph(dev, g), opt(m, w));
   return r.stats.kernel_ms(dev.config());
 }
 

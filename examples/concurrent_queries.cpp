@@ -1,0 +1,99 @@
+// Concurrent queries: serve a batch of BFS/SSSP queries against one
+// resident graph with algorithms::QueryEngine, and show what each layer
+// buys — fusing up to 32 BFS queries into one multi-source sweep, and
+// spreading independent work units across gpu::Streams so the overlap
+// timeline lets them share the machine.
+//
+//   ./concurrent_queries [--nodes N] [--avg-degree D] [--seed S]
+//                        [--queries Q] [--streams S] [--group K]
+#include <cstdio>
+#include <vector>
+
+#include "algorithms/query_engine.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+
+using namespace maxwarp;
+
+namespace {
+
+algorithms::BatchStats serve(const algorithms::GpuGraph& g,
+                             std::span<const algorithms::Query> queries,
+                             std::uint32_t streams, std::uint32_t group,
+                             bool fuse, const char* label) {
+  algorithms::QueryEngine engine(g, {.num_streams = streams,
+                                     .bfs_group_size = group,
+                                     .fuse_bfs = fuse});
+  (void)engine.run(queries);
+  const auto& s = engine.last_batch_stats();
+  std::printf(
+      "  %-28s %3u queries  %2u groups  %4llu launches  %8.3f ms\n", label,
+      s.queries, s.fused_groups,
+      static_cast<unsigned long long>(s.kernel_launches), s.modeled_ms);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const auto nodes =
+      static_cast<std::uint32_t>(args.get_int("nodes", 32768));
+  const auto avg_degree =
+      static_cast<std::uint64_t>(args.get_int("avg-degree", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto num_queries =
+      static_cast<std::uint32_t>(args.get_int("queries", 24));
+  const auto streams =
+      static_cast<std::uint32_t>(args.get_int("streams", 4));
+  const auto group = static_cast<std::uint32_t>(args.get_int("group", 8));
+
+  // One resident graph, uploaded once. Weights make SSSP meaningful.
+  graph::Csr host = graph::rmat(nodes, nodes * avg_degree, {}, {.seed = seed});
+  graph::assign_hash_weights(host, 64);
+  std::printf("graph: %s\n", host.describe().c_str());
+
+  gpu::Device dev;
+  algorithms::GpuGraph g(dev, host);
+
+  // A mixed workload: mostly BFS reachability probes, some shortest-path
+  // queries, sources spread over the graph.
+  std::vector<algorithms::Query> queries;
+  for (std::uint32_t i = 0; i < num_queries; ++i) {
+    const auto src =
+        static_cast<graph::NodeId>((i * 2654435761u) % host.num_nodes());
+    queries.push_back(i % 4 == 3 ? algorithms::Query::sssp(src)
+                                 : algorithms::Query::bfs(src));
+  }
+  std::printf("workload: %u queries (every 4th is SSSP)\n\n", num_queries);
+
+  std::printf("modeled batch time by engine configuration:\n");
+  const auto serial =
+      serve(g, queries, 1, 1, /*fuse=*/false, "serial (1 stream, no fuse)");
+  serve(g, queries, streams, 1, /*fuse=*/false, "streams only");
+  serve(g, queries, 1, group, /*fuse=*/true, "fusion only");
+  const auto full =
+      serve(g, queries, streams, group, /*fuse=*/true, "streams + fusion");
+
+  std::printf("\nbatch speedup vs serial: %.2fx\n",
+              serial.modeled_ms / full.modeled_ms);
+
+  // The engine is a scheduler, not a different algorithm: every query
+  // returns bit-identical results no matter the configuration.
+  algorithms::QueryEngine a(g, {.num_streams = 1, .fuse_bfs = false});
+  algorithms::QueryEngine b(g, {.num_streams = streams,
+                                .bfs_group_size = group,
+                                .fuse_bfs = true});
+  const auto ra = a.run(queries);
+  const auto rb = b.run(queries);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i].value != rb[i].value) {
+      std::fprintf(stderr, "BUG: query %zu disagrees across configs\n", i);
+      return 1;
+    }
+  }
+  std::printf("all %zu results bit-identical across configurations\n",
+              ra.size());
+  return 0;
+}

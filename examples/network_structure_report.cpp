@@ -58,11 +58,10 @@ int main(int argc, char** argv) {
     char finding[96];
     for (std::uint32_t k = 2;; k *= 2) {
       gpu::Device dev;
-      const auto r = algorithms::k_core_gpu(dev, g, k,
-                                            options(true, width));
+      const auto r = algorithms::k_core_gpu(algorithms::GpuGraph(dev, g), k, options(true, width));
       warp_ms += r.stats.kernel_ms(dev.config());
       gpu::Device dev2;
-      base_ms += algorithms::k_core_gpu(dev2, g, k, options(false, width))
+      base_ms += algorithms::k_core_gpu(algorithms::GpuGraph(dev2, g), k, options(false, width))
                      .stats.kernel_ms(dev2.config());
       if (r.survivors == 0) break;
       deepest = k;
@@ -77,12 +76,11 @@ int main(int argc, char** argv) {
   // --- clustering: triangles ----------------------------------------------
   {
     gpu::Device dev;
-    const auto r = algorithms::triangle_count_gpu(dev, g,
-                                                  options(true, width));
+    const auto r = algorithms::triangle_count_gpu(algorithms::GpuGraph(dev, g), options(true, width));
     const double warp_ms = r.stats.kernel_ms(dev.config());
     gpu::Device dev2;
     const double base_ms =
-        algorithms::triangle_count_gpu(dev2, g, options(false, width))
+        algorithms::triangle_count_gpu(algorithms::GpuGraph(dev2, g), options(false, width))
             .stats.kernel_ms(dev2.config());
     char finding[96];
     std::snprintf(finding, sizeof(finding), "%llu triangles",
@@ -95,11 +93,11 @@ int main(int argc, char** argv) {
   {
     gpu::Device dev;
     const auto r =
-        algorithms::color_graph_gpu(dev, g, options(true, width));
+        algorithms::color_graph_gpu(algorithms::GpuGraph(dev, g), options(true, width));
     const double warp_ms = r.stats.kernel_ms(dev.config());
     gpu::Device dev2;
     const double base_ms =
-        algorithms::color_graph_gpu(dev2, g, options(false, width))
+        algorithms::color_graph_gpu(algorithms::GpuGraph(dev2, g), options(false, width))
             .stats.kernel_ms(dev2.config());
     char finding[96];
     std::snprintf(finding, sizeof(finding),
@@ -116,13 +114,11 @@ int main(int argc, char** argv) {
       sources.push_back(s * (g.num_nodes() / 8));
     }
     gpu::Device dev;
-    const auto r = algorithms::betweenness_gpu(dev, g, sources,
-                                               options(true, width));
+    const auto r = algorithms::betweenness_gpu(algorithms::GpuGraph(dev, g), sources, options(true, width));
     const double warp_ms = r.stats.kernel_ms(dev.config());
     gpu::Device dev2;
     const double base_ms =
-        algorithms::betweenness_gpu(dev2, g, sources,
-                                    options(false, width))
+        algorithms::betweenness_gpu(algorithms::GpuGraph(dev2, g), sources, options(false, width))
             .stats.kernel_ms(dev2.config());
     const auto broker = static_cast<std::size_t>(
         std::max_element(r.centrality.begin(), r.centrality.end()) -

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   gpu::Device dev_base;
   algorithms::KernelOptions baseline;
   baseline.mapping = algorithms::Mapping::kThreadMapped;
-  const auto base = algorithms::bfs_gpu(dev_base, g, source, baseline);
+  const auto base = algorithms::bfs_gpu(algorithms::GpuGraph(dev_base, g), source, baseline);
   std::printf("thread-mapped baseline:\n%s\n",
               base.stats.kernels.summary(dev_base.config()).c_str());
 
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   algorithms::KernelOptions warp;
   warp.mapping = algorithms::Mapping::kWarpCentric;
   warp.virtual_warp_width = width;
-  const auto fast = algorithms::bfs_gpu(dev_warp, g, source, warp);
+  const auto fast = algorithms::bfs_gpu(algorithms::GpuGraph(dev_warp, g), source, warp);
   std::printf("virtual warp-centric (W=%d):\n%s\n", width,
               fast.stats.kernels.summary(dev_warp.config()).c_str());
 

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
                                 : algorithms::Mapping::kThreadMapped;
     opts.virtual_warp_width = width;
-    const auto r = algorithms::sssp_gpu(dev, roads, depot, opts);
+    const auto r = algorithms::sssp_gpu(algorithms::GpuGraph(dev, roads), depot, opts);
 
     // How much of the modeled time is fixed per-launch overhead? On
     // high-diameter graphs this is the dominant term (the paper's reason

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
                                 : algorithms::Mapping::kThreadMapped;
     opts.virtual_warp_width = width;
-    const auto r = algorithms::bfs_gpu(dev, social, seed_user, opts);
+    const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, social), seed_user, opts);
     char result[64];
     std::snprintf(result, sizeof(result), "%llu users within %u hops",
                   static_cast<unsigned long long>(r.reached_nodes),
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     opts.mapping = warp_centric ? algorithms::Mapping::kWarpCentric
                                 : algorithms::Mapping::kThreadMapped;
     opts.virtual_warp_width = width;
-    const auto r = algorithms::connected_components_gpu(dev, mutual, opts);
+    const auto r = algorithms::connected_components_gpu(algorithms::GpuGraph(dev, mutual), opts);
     std::uint32_t components = 0;
     for (std::uint32_t v = 0; v < mutual.num_nodes(); ++v) {
       if (r.label[v] == v) ++components;
@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
     opts.virtual_warp_width = width;
     algorithms::PageRankParams params;
     params.iterations = 20;
-    const auto r = algorithms::pagerank_gpu(dev, social, params, opts);
+    const auto r = algorithms::pagerank_gpu(algorithms::GpuGraph(dev, social), params, opts);
     graph::NodeId top = 0;
     for (std::uint32_t v = 1; v < social.num_nodes(); ++v) {
       if (r.rank[v] > r.rank[top]) top = v;

@@ -74,39 +74,39 @@ const std::vector<AlgoEntry>& registry() {
       {"bfs",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::bfs_gpu(d, g, 0, o);
+         (void)algorithms::bfs_gpu(algorithms::GpuGraph(d, g), 0, o);
        }},
       {"bfs-queue",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
          auto opts = o;
          opts.frontier = algorithms::Frontier::kQueue;
-         (void)algorithms::bfs_gpu(d, g, 0, opts);
+         (void)algorithms::bfs_gpu(algorithms::GpuGraph(d, g), 0, opts);
        }},
       {"bfs-adaptive",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions&) {
-         (void)algorithms::bfs_gpu_adaptive(d, g, 0);
+         (void)algorithms::bfs_gpu_adaptive(algorithms::GpuGraph(d, g), 0);
        }},
       {"bfs-dopt",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions&) {
-         (void)algorithms::bfs_gpu_direction_optimized(d, g, 0);
+         (void)algorithms::bfs_gpu_direction_optimized(algorithms::GpuGraph(d, g), 0);
        }},
       {"sssp",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::sssp_gpu(d, with_weights(g), 0, o);
+         (void)algorithms::sssp_gpu(algorithms::GpuGraph(d, with_weights(g)), 0, o);
        }},
       {"cc",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::connected_components_gpu(d, g, o);
+         (void)algorithms::connected_components_gpu(algorithms::GpuGraph(d, g), o);
        }},
       {"pagerank",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::pagerank_gpu(d, g, {}, o);
+         (void)algorithms::pagerank_gpu(algorithms::GpuGraph(d, g), {}, o);
        }},
       {"bc",
        [](gpu::Device& d, const graph::Csr& g,
@@ -114,29 +114,29 @@ const std::vector<AlgoEntry>& registry() {
          std::vector<graph::NodeId> sources(
              std::min<std::uint32_t>(4, g.num_nodes()));
          std::iota(sources.begin(), sources.end(), 0u);
-         (void)algorithms::betweenness_gpu(d, g, sources, o);
+         (void)algorithms::betweenness_gpu(algorithms::GpuGraph(d, g), sources, o);
        }},
       {"tc",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::triangle_count_gpu(d, g, o);
+         (void)algorithms::triangle_count_gpu(algorithms::GpuGraph(d, g), o);
        }},
       {"kcore",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::k_core_gpu(d, g, 3, o);
+         (void)algorithms::k_core_gpu(algorithms::GpuGraph(d, g), 3, o);
        }},
       {"coloring",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
-         (void)algorithms::color_graph_gpu(d, g, o);
+         (void)algorithms::color_graph_gpu(algorithms::GpuGraph(d, g), o);
        }},
       {"spmv",
        [](gpu::Device& d, const graph::Csr& g,
           const algorithms::KernelOptions& o) {
          const graph::Csr weighted = with_weights(g);
          const std::vector<float> x(weighted.num_nodes(), 1.0f);
-         (void)algorithms::spmv_gpu(d, weighted, x, o);
+         (void)algorithms::spmv_gpu(algorithms::GpuGraph(d, weighted), x, o);
        }},
   };
   return algos;

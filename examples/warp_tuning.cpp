@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
     gpu::Device dev;
     algorithms::KernelOptions opts;
     opts.mapping = algorithms::Mapping::kThreadMapped;
-    const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+    const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), source, opts);
     return r.stats.kernel_ms(dev.config());
   }();
 
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     algorithms::KernelOptions opts;
     opts.mapping = algorithms::Mapping::kWarpCentric;
     opts.virtual_warp_width = w;
-    const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+    const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), source, opts);
     const double ms = r.stats.kernel_ms(dev.config());
     const std::string name = "warp-centric W=" + std::to_string(w);
     table.row()
@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
     opts.virtual_warp_width = 16;
     opts.defer_threshold =
         std::max<std::uint32_t>(64, stats.max / 16);
-    const auto r = algorithms::bfs_gpu(dev, g, source, opts);
+    const auto r = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), source, opts);
     const double ms = r.stats.kernel_ms(dev.config());
     const std::string name = algorithms::to_string(mapping) + " W=16";
     table.row()

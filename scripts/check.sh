@@ -17,6 +17,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build -j "$jobs" --output-on-failure
 
+echo "== bench smoke (query engine) =="
+./build/bench/bench_e1_query_engine \
+  --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_query_engine.json \
+  --benchmark_out_format=json
+
 if [[ "$fast" == 0 ]]; then
   echo "== SANITIZE=ON configuration =="
   cmake -B build-asan -S . -DSANITIZE=ON >/dev/null

@@ -41,9 +41,10 @@ simt::KernelStats launch_over_vertices(gpu::Device& device,
 
 }  // namespace
 
-GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
+GpuBcResult betweenness_gpu(const GpuGraph& g,
                             std::span<const NodeId> sources,
                             const KernelOptions& opts) {
+  gpu::Device& device = g.device();
   if (opts.mapping != Mapping::kThreadMapped &&
       opts.mapping != Mapping::kWarpCentric) {
     throw std::invalid_argument(
@@ -56,7 +57,7 @@ GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
   if (n == 0) return result;
   const double transfer_before = device.transfer_totals().modeled_ms;
 
-  GpuCsr gpu_graph(device, g);
+  const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto adj = gpu_graph.adj();
 
@@ -323,6 +324,12 @@ std::vector<double> betweenness_cpu(const graph::Csr& g,
     }
   }
   return bc;
+}
+
+GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
+                            std::span<const NodeId> sources,
+                            const KernelOptions& opts) {
+  return betweenness_gpu(GpuGraph(device, g), sources, opts);
 }
 
 }  // namespace maxwarp::algorithms

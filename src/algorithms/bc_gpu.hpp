@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -28,6 +29,12 @@ struct GpuBcResult {
 
 /// Runs Brandes forward+backward passes for each source and accumulates.
 /// Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
+GpuBcResult betweenness_gpu(const GpuGraph& g,
+                            std::span<const graph::NodeId> sources,
+                            const KernelOptions& opts = {});
+
+[[deprecated(
+    "construct a GpuGraph once and call betweenness_gpu(graph, ...)")]]
 GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
                             std::span<const graph::NodeId> sources,
                             const KernelOptions& opts = {});

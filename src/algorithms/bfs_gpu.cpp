@@ -259,10 +259,10 @@ GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
   return result;
 }
 
-}  // namespace
-
-GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
-                     const KernelOptions& opts) {
+/// Level-array / queue dispatch over the device-resident CSR (the whole
+/// historical bfs_gpu body); the public entry points wrap it.
+GpuBfsResult bfs_gpu_on(gpu::Device& device, const GpuCsr& g, NodeId source,
+                        const KernelOptions& opts) {
   if (opts.frontier == Frontier::kQueue) {
     if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
       throw std::invalid_argument("bfs_gpu: invalid virtual warp width");
@@ -476,16 +476,18 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
   return result;
 }
 
+}  // namespace
+
+GpuBfsResult bfs_gpu(const GpuGraph& g, NodeId source,
+                     const KernelOptions& opts) {
+  GpuBfsResult result = bfs_gpu_on(g.device(), g.csr(), source, opts);
+  result.traversed_edges = g.traversed_edges(result.level, kUnreached);
+  return result;
+}
+
 GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
                      NodeId source, const KernelOptions& opts) {
-  GpuCsr gpu_graph(device, g);
-  GpuBfsResult result = bfs_gpu(device, gpu_graph, source, opts);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (v < result.level.size() && result.level[v] != kUnreached) {
-      result.traversed_edges += g.degree(v);
-    }
-  }
-  return result;
+  return bfs_gpu(GpuGraph(device, g), source, opts);
 }
 
 namespace {
@@ -559,10 +561,8 @@ int adaptive_width_for(std::uint64_t degree_sum, std::uint32_t frontier,
   return std::max(static_cast<int>(w), min_width);
 }
 
-}  // namespace
-
-GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const GpuCsr& g,
-                              NodeId source, int min_width) {
+GpuBfsResult bfs_gpu_adaptive_on(gpu::Device& device, const GpuCsr& g,
+                                 NodeId source, int min_width) {
   if (!vw::Layout::valid_width(min_width)) {
     throw std::invalid_argument("bfs_gpu_adaptive: invalid min_width");
   }
@@ -669,28 +669,31 @@ GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const GpuCsr& g,
   return result;
 }
 
-GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
-                              NodeId source, int min_width) {
-  GpuCsr gpu_graph(device, g);
-  GpuBfsResult result = bfs_gpu_adaptive(device, gpu_graph, source,
-                                         min_width);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    if (v < result.level.size() && result.level[v] != kUnreached) {
-      result.traversed_edges += g.degree(v);
-    }
-  }
+}  // namespace
+
+GpuBfsResult bfs_gpu_adaptive(const GpuGraph& g, NodeId source,
+                              int min_width) {
+  GpuBfsResult result =
+      bfs_gpu_adaptive_on(g.device(), g.csr(), source, min_width);
+  result.traversed_edges = g.traversed_edges(result.level, kUnreached);
   return result;
 }
 
-GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
-                                         const graph::Csr& g,
-                                         NodeId source,
-                                         const DirectionOptions& opts) {
-  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
+GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
+                              NodeId source, int min_width) {
+  return bfs_gpu_adaptive(GpuGraph(device, g), source, min_width);
+}
+
+namespace {
+
+GpuBfsResult bfs_gpu_dopt_on(const GpuGraph& g, NodeId source, int width,
+                             std::uint32_t alpha, std::uint32_t beta) {
+  gpu::Device& device = g.device();
+  if (!vw::Layout::valid_width(width)) {
     throw std::invalid_argument(
         "bfs_gpu_direction_optimized: invalid virtual warp width");
   }
-  if (opts.alpha == 0 || opts.beta == 0) {
+  if (alpha == 0 || beta == 0) {
     throw std::invalid_argument(
         "bfs_gpu_direction_optimized: alpha/beta must be > 0");
   }
@@ -702,16 +705,12 @@ GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
     return result;
   }
 
-  // The pull step scans in-neighbours; reuse the forward graph when it is
-  // already symmetric.
-  const bool symmetric = g.is_symmetric();
-  const graph::Csr reverse_host =
-      symmetric ? graph::Csr{} : graph::reverse(g);
-  const graph::Csr& pull_host = symmetric ? g : reverse_host;
-
+  // The pull step scans in-neighbours. The handle caches the transpose
+  // (and aliases the forward CSR when the graph is symmetric), so only
+  // the first directed run pays the build + upload.
   const double transfer_before = device.transfer_totals().modeled_ms;
-  GpuCsr fwd(device, g);
-  GpuCsr rev(device, pull_host);
+  const GpuCsr& fwd = g.csr();
+  const GpuCsr& rev = g.reverse_csr();
 
   gpu::DeviceBuffer<std::uint32_t> levels(device, n);
   levels.fill(kUnreached);
@@ -720,7 +719,7 @@ GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
 
   auto levels_ptr = levels.ptr();
   auto count_ptr = visited_count.ptr();
-  const vw::Layout layout(opts.virtual_warp_width);
+  const vw::Layout layout(width);
   const std::uint32_t leader_mask = leader_lane_mask(layout.width);
 
   const std::uint64_t warps_needed =
@@ -736,8 +735,8 @@ GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
 
   for (std::uint32_t current = 0;; ++current) {
     // Beamer-style switching with hysteresis.
-    if (!bottom_up && frontier_size > n / opts.alpha) bottom_up = true;
-    if (bottom_up && frontier_size < n / opts.beta) bottom_up = false;
+    if (!bottom_up && frontier_size > n / alpha) bottom_up = true;
+    if (bottom_up && frontier_size < n / beta) bottom_up = false;
     result.level_directions.push_back(bottom_up ? 1 : 0);
     visited_count.fill(0);
 
@@ -894,12 +893,27 @@ GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
   for (std::uint32_t v = 0; v < n; ++v) {
     if (result.level[v] != kUnreached) {
       ++result.reached_nodes;
-      result.traversed_edges += g.degree(v);
+      result.traversed_edges += g.host().degree(v);
     }
   }
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;
+}
+
+}  // namespace
+
+GpuBfsResult bfs_gpu_direction_optimized(const GpuGraph& g, NodeId source,
+                                         const KernelOptions& opts) {
+  return bfs_gpu_dopt_on(g, source, opts.virtual_warp_width,
+                         opts.direction.alpha, opts.direction.beta);
+}
+
+GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
+                                         const graph::Csr& g, NodeId source,
+                                         const DirectionOptions& opts) {
+  return bfs_gpu_dopt_on(GpuGraph(device, g), source,
+                         opts.virtual_warp_width, opts.alpha, opts.beta);
 }
 
 }  // namespace maxwarp::algorithms

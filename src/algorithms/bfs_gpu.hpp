@@ -13,6 +13,10 @@
 //   kWarpCentricDynamic  adds global work-chunk claiming via atomicAdd;
 //   kWarpCentricDefer    adds the outlier queue: degree > threshold is
 //                        deferred and drained by multi-warp teams.
+//
+// Every entry point takes a GpuGraph (gpu_graph.hpp): upload once, query
+// many times. The old (gpu::Device&, graph::Csr&) overloads survive as
+// deprecated shims that re-upload per call.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +24,7 @@
 
 #include "algorithms/cpu_reference.hpp"  // kUnreached
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -38,14 +43,9 @@ struct GpuBfsResult {
   std::vector<int> level_directions;
 };
 
-/// Runs BFS from `source` on an already-uploaded graph. Does not compute
-/// traversed_edges (needs host adjacency); the Csr overload fills it.
-GpuBfsResult bfs_gpu(gpu::Device& device, const GpuCsr& g,
-                     graph::NodeId source, const KernelOptions& opts = {});
-
-/// Uploads `g` (charged to the device's transfer model) and runs BFS.
-GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
-                     graph::NodeId source, const KernelOptions& opts = {});
+/// Runs BFS from `source` on the resident graph.
+GpuBfsResult bfs_gpu(const GpuGraph& g, graph::NodeId source,
+                     const KernelOptions& opts = {});
 
 /// Adaptive virtual-warp BFS (the follow-up the authors published after
 /// this paper: choose the implementation per level). Queue-frontier,
@@ -55,29 +55,48 @@ GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
 /// heuristic costs two extra gathers per claimed vertex and one device
 /// read per level). W_level = bit_ceil(avg out-degree), clamped to
 /// [min_width, 32]. Ignores opts.mapping/frontier/virtual_warp_width.
-GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const GpuCsr& g,
-                              graph::NodeId source, int min_width = 2);
-GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
-                              graph::NodeId source, int min_width = 2);
-
-/// Tuning for the direction-optimizing driver below.
-struct DirectionOptions {
-  /// Switch to bottom-up when the frontier exceeds n / alpha...
-  std::uint32_t alpha = 14;
-  /// ...and back to top-down when it shrinks below n / beta.
-  std::uint32_t beta = 24;
-  /// Virtual warp width for both step kernels.
-  int virtual_warp_width = 8;
-};
+GpuBfsResult bfs_gpu_adaptive(const GpuGraph& g, graph::NodeId source,
+                              int min_width = 2);
 
 /// Direction-optimizing BFS (Beamer-style push/pull hybrid — the
 /// extension later GPU BFS frameworks layered on top of warp-centric
 /// kernels). Small frontiers expand top-down (push); once the frontier
 /// covers a large fraction of the graph, unvisited vertices instead scan
 /// their *in*-neighbours for a frontier parent and stop at the first hit
-/// (pull), which skips most of the edge work of the boom level. The
-/// driver builds the reverse graph internally for directed inputs.
-/// `result.level_directions` records the direction chosen per level.
+/// (pull), which skips most of the edge work of the boom level. The pull
+/// step uses g.reverse_csr() — built once and cached on the handle.
+/// Thresholds come from opts.direction; both step kernels use
+/// opts.virtual_warp_width. `result.level_directions` records the
+/// direction chosen per level.
+GpuBfsResult bfs_gpu_direction_optimized(const GpuGraph& g,
+                                         graph::NodeId source,
+                                         const KernelOptions& opts = {});
+
+// -- deprecated re-uploading shims ------------------------------------------
+
+[[deprecated("construct a GpuGraph once and call bfs_gpu(graph, ...)")]]
+GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
+                     graph::NodeId source, const KernelOptions& opts = {});
+
+[[deprecated(
+    "construct a GpuGraph once and call bfs_gpu_adaptive(graph, ...)")]]
+GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
+                              graph::NodeId source, int min_width = 2);
+
+/// Tuning for the deprecated direction-optimizing shim below. New code
+/// sets KernelOptions::direction (and virtual_warp_width) instead. Note
+/// the defaults differ: this legacy struct defaults to W=8, the unified
+/// KernelOptions to W=32.
+struct DirectionOptions {
+  std::uint32_t alpha = 14;
+  std::uint32_t beta = 24;
+  int virtual_warp_width = 8;
+};
+
+[[deprecated(
+    "construct a GpuGraph once and call "
+    "bfs_gpu_direction_optimized(graph, source, KernelOptions) — "
+    "alpha/beta now live in KernelOptions::direction")]]
 GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
                                          const graph::Csr& g,
                                          graph::NodeId source,

@@ -10,8 +10,10 @@ using simt::LaneMask;
 using simt::Lanes;
 using simt::WarpCtx;
 
-GpuCcResult connected_components_gpu(gpu::Device& device, const GpuCsr& g,
-                                     const KernelOptions& opts) {
+namespace {
+
+GpuCcResult cc_gpu_on(gpu::Device& device, const GpuCsr& g,
+                      const KernelOptions& opts) {
   if (opts.mapping != Mapping::kThreadMapped &&
       opts.mapping != Mapping::kWarpCentric) {
     throw std::invalid_argument(
@@ -100,11 +102,17 @@ GpuCcResult connected_components_gpu(gpu::Device& device, const GpuCsr& g,
   return result;
 }
 
+}  // namespace
+
+GpuCcResult connected_components_gpu(const GpuGraph& g,
+                                     const KernelOptions& opts) {
+  return cc_gpu_on(g.device(), g.csr(), opts);
+}
+
 GpuCcResult connected_components_gpu(gpu::Device& device,
                                      const graph::Csr& g,
                                      const KernelOptions& opts) {
-  GpuCsr gpu_graph(device, g);
-  return connected_components_gpu(device, gpu_graph, opts);
+  return connected_components_gpu(GpuGraph(device, g), opts);
 }
 
 }  // namespace maxwarp::algorithms

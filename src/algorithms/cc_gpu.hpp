@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -21,9 +22,14 @@ struct GpuCcResult {
 };
 
 /// The graph must be symmetric (undirected closure); validate with
-/// Csr::is_symmetric() if unsure. Supports kThreadMapped and kWarpCentric.
-GpuCcResult connected_components_gpu(gpu::Device& device, const GpuCsr& g,
+/// GpuGraph::symmetric() if unsure. Supports kThreadMapped and
+/// kWarpCentric.
+GpuCcResult connected_components_gpu(const GpuGraph& g,
                                      const KernelOptions& opts = {});
+
+[[deprecated(
+    "construct a GpuGraph once and call "
+    "connected_components_gpu(graph, ...)")]]
 GpuCcResult connected_components_gpu(gpu::Device& device,
                                      const graph::Csr& g,
                                      const KernelOptions& opts = {});

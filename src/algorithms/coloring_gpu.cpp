@@ -32,8 +32,9 @@ bool outranks(NodeId u, NodeId v) {
 
 }  // namespace
 
-GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
+GpuColoringResult color_graph_gpu(const GpuGraph& g,
                                   const KernelOptions& opts) {
+  gpu::Device& device = g.device();
   if (opts.mapping != Mapping::kThreadMapped &&
       opts.mapping != Mapping::kWarpCentric) {
     throw std::invalid_argument(
@@ -45,7 +46,7 @@ GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
   if (n == 0) return result;
   const double transfer_before = device.transfer_totals().modeled_ms;
 
-  GpuCsr gpu_graph(device, g);
+  const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto adj = gpu_graph.adj();
   gpu::DeviceBuffer<std::uint32_t> color(device, n);
@@ -215,6 +216,11 @@ bool is_proper_coloring(const graph::Csr& g,
     }
   }
   return true;
+}
+
+GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
+                                  const KernelOptions& opts) {
+  return color_graph_gpu(GpuGraph(device, g), opts);
 }
 
 }  // namespace maxwarp::algorithms

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -32,6 +33,11 @@ struct GpuColoringResult {
 
 /// The graph must be undirected (symmetric). Supports kThreadMapped and
 /// kWarpCentric.
+GpuColoringResult color_graph_gpu(const GpuGraph& g,
+                                  const KernelOptions& opts = {});
+
+[[deprecated(
+    "construct a GpuGraph once and call color_graph_gpu(graph, ...)")]]
 GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
                                   const KernelOptions& opts = {});
 

@@ -50,6 +50,15 @@ struct KernelOptions {
   std::uint32_t warps_per_deferred_task = 4;
   /// Warps launched per SM by the persistent dynamic kernels.
   std::uint32_t resident_warps_per_sm = 24;
+
+  /// Direction-optimizing thresholds (bfs_gpu_direction_optimized only):
+  /// switch to bottom-up (pull) when the frontier exceeds n / alpha, back
+  /// to top-down (push) when it shrinks below n / beta.
+  struct Direction {
+    std::uint32_t alpha = 14;
+    std::uint32_t beta = 24;
+  };
+  Direction direction;
 };
 
 /// Per-run result statistics common to every GPU algorithm.

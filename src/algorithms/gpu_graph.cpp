@@ -1,0 +1,45 @@
+#include "algorithms/gpu_graph.hpp"
+
+#include <utility>
+
+#include "graph/builder.hpp"
+
+namespace maxwarp::algorithms {
+
+GpuGraph::GpuGraph(gpu::Device& device, graph::Csr host)
+    : device_(&device), host_(std::move(host)), csr_(device, host_) {}
+
+bool GpuGraph::symmetric() const {
+  if (!symmetric_) symmetric_ = host_.is_symmetric();
+  return *symmetric_;
+}
+
+const GpuCsr& GpuGraph::reverse_csr() const {
+  if (reverse_csr_) return *reverse_csr_;
+  if (symmetric()) return csr_;
+  if (!reverse_host_) {
+    reverse_host_ = std::make_unique<graph::Csr>(graph::reverse(host_));
+  }
+  reverse_csr_ = std::make_unique<GpuCsr>(*device_, *reverse_host_);
+  return *reverse_csr_;
+}
+
+const graph::Csr& GpuGraph::reverse_host() const {
+  if (symmetric()) return host_;
+  if (!reverse_host_) {
+    reverse_host_ = std::make_unique<graph::Csr>(graph::reverse(host_));
+  }
+  return *reverse_host_;
+}
+
+std::uint64_t GpuGraph::traversed_edges(
+    const std::vector<std::uint32_t>& reached, std::uint32_t unreached) const {
+  std::uint64_t edges = 0;
+  const std::uint32_t n = host_.num_nodes();
+  for (std::uint32_t v = 0; v < n && v < reached.size(); ++v) {
+    if (reached[v] != unreached) edges += host_.degree(v);
+  }
+  return edges;
+}
+
+}  // namespace maxwarp::algorithms

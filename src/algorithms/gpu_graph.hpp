@@ -1,0 +1,75 @@
+// GpuGraph — a device-resident graph handle, and the canonical first
+// argument of every GPU algorithm entry point.
+//
+// Constructing one uploads the CSR once (charged to the device's transfer
+// model on the current stream) and keeps the host copy, so per-query costs
+// stop re-paying the upload and host-side accounting (degrees, TEPS
+// numerators) needs no second graph argument. Algorithms that walk
+// in-edges — PageRank's pull sweep, the bottom-up half of
+// direction-optimizing BFS — ask for reverse_csr(), which is built,
+// uploaded, and cached on first use; symmetric graphs alias the forward
+// CSR and pay nothing.
+//
+// This replaces the old per-algorithm overload pairs
+// (gpu::Device&, GpuCsr) / (gpu::Device&, graph::Csr): the former forced
+// callers to juggle a second object with no host data, the latter
+// re-uploaded the graph on every call. The graph::Csr overloads survive as
+// [[deprecated]] shims that build a throwaway GpuGraph.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+class GpuGraph {
+ public:
+  /// Uploads `host` to `device` (H2D charged on the current stream) and
+  /// takes ownership of the host copy.
+  GpuGraph(gpu::Device& device, graph::Csr host);
+
+  GpuGraph(GpuGraph&&) noexcept = default;
+  GpuGraph& operator=(GpuGraph&&) noexcept = default;
+  GpuGraph(const GpuGraph&) = delete;
+  GpuGraph& operator=(const GpuGraph&) = delete;
+
+  /// The owning device (mutable: launches and lazy uploads go through it).
+  gpu::Device& device() const { return *device_; }
+
+  const graph::Csr& host() const { return host_; }
+  const GpuCsr& csr() const { return csr_; }
+
+  std::uint32_t num_nodes() const { return csr_.num_nodes(); }
+  std::uint64_t num_edges() const { return csr_.num_edges(); }
+  bool weighted() const { return csr_.weighted(); }
+
+  /// True iff the graph equals its own transpose (cached after the first
+  /// check — Csr::is_symmetric is an O(m) host scan).
+  bool symmetric() const;
+
+  /// Device-resident transpose, built/uploaded on first use and cached
+  /// for the lifetime of the handle; symmetric graphs return csr().
+  const GpuCsr& reverse_csr() const;
+
+  /// Host transpose backing reverse_csr(); host() when symmetric.
+  const graph::Csr& reverse_host() const;
+
+  /// Sum of out-degrees over nodes whose entry in `reached` differs from
+  /// `unreached` — the TEPS numerator every BFS result reports.
+  std::uint64_t traversed_edges(const std::vector<std::uint32_t>& reached,
+                                std::uint32_t unreached) const;
+
+ private:
+  gpu::Device* device_;
+  graph::Csr host_;
+  GpuCsr csr_;
+  mutable std::optional<bool> symmetric_;
+  mutable std::unique_ptr<graph::Csr> reverse_host_;
+  mutable std::unique_ptr<GpuCsr> reverse_csr_;
+};
+
+}  // namespace maxwarp::algorithms

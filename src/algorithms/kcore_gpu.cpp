@@ -13,8 +13,9 @@ using simt::LaneMask;
 using simt::Lanes;
 using simt::WarpCtx;
 
-GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
-                          std::uint32_t k, const KernelOptions& opts) {
+GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
+                          const KernelOptions& opts) {
+  gpu::Device& device = g.device();
   if (opts.mapping != Mapping::kThreadMapped &&
       opts.mapping != Mapping::kWarpCentric) {
     throw std::invalid_argument(
@@ -26,12 +27,12 @@ GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
   if (n == 0) return result;
   const double transfer_before = device.transfer_totals().modeled_ms;
 
-  GpuCsr gpu_graph(device, g);
+  const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto adj = gpu_graph.adj();
 
   std::vector<std::uint32_t> deg_host(n);
-  for (NodeId v = 0; v < n; ++v) deg_host[v] = g.degree(v);
+  for (NodeId v = 0; v < n; ++v) deg_host[v] = g.host().degree(v);
   gpu::DeviceBuffer<std::uint32_t> degree(device, deg_host);
   gpu::DeviceBuffer<std::uint32_t> alive(device, n);
   alive.fill(1);
@@ -140,6 +141,11 @@ std::vector<std::uint8_t> k_core_cpu(const graph::Csr& g, std::uint32_t k) {
     }
   }
   return in_core;
+}
+
+GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
+                          std::uint32_t k, const KernelOptions& opts) {
+  return k_core_gpu(GpuGraph(device, g), k, opts);
 }
 
 }  // namespace maxwarp::algorithms

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -25,6 +26,10 @@ struct GpuKCoreResult {
 
 /// The graph must be undirected (symmetric). Supports kThreadMapped and
 /// kWarpCentric.
+GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
+                          const KernelOptions& opts = {});
+
+[[deprecated("construct a GpuGraph once and call k_core_gpu(graph, ...)")]]
 GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
                           std::uint32_t k, const KernelOptions& opts = {});
 

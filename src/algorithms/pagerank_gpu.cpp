@@ -11,7 +11,7 @@ using simt::LaneMask;
 using simt::Lanes;
 using simt::WarpCtx;
 
-GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
+GpuPageRankResult pagerank_gpu(const GpuGraph& g,
                                const PageRankParams& params,
                                const KernelOptions& opts) {
   if (opts.mapping != Mapping::kThreadMapped &&
@@ -19,17 +19,18 @@ GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
     throw std::invalid_argument(
         "pagerank_gpu: supports thread-mapped and warp-centric");
   }
+  gpu::Device& device = g.device();
   const std::uint32_t n = g.num_nodes();
   GpuPageRankResult result;
   result.stats.kernels.launches = 0;
   if (n == 0) return result;
 
-  const graph::Csr rev = graph::reverse(g);
+  // Pull sweep runs over the transpose; the handle builds and uploads it
+  // once, so only the first run on a directed graph pays for it.
   const double transfer_before = device.transfer_totals().modeled_ms;
-
-  GpuCsr gpu_rev(device, rev);
+  const GpuCsr& gpu_rev = g.reverse_csr();
   std::vector<std::uint32_t> outdeg_host(n);
-  for (std::uint32_t v = 0; v < n; ++v) outdeg_host[v] = g.degree(v);
+  for (std::uint32_t v = 0; v < n; ++v) outdeg_host[v] = g.host().degree(v);
   gpu::DeviceBuffer<std::uint32_t> outdeg(device, outdeg_host);
 
   gpu::DeviceBuffer<float> rank(device, n);
@@ -155,6 +156,12 @@ GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;
+}
+
+GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
+                               const PageRankParams& params,
+                               const KernelOptions& opts) {
+  return pagerank_gpu(GpuGraph(device, g), params, opts);
 }
 
 }  // namespace maxwarp::algorithms

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -26,8 +27,14 @@ struct PageRankParams {
   int iterations = 20;
 };
 
-/// `g` is the *forward* graph; the driver builds the reverse internally.
-/// Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
+/// `g` is the *forward* graph; the pull sweep runs over g.reverse_csr(),
+/// built once and cached on the handle. Supports Mapping::kThreadMapped
+/// and Mapping::kWarpCentric.
+GpuPageRankResult pagerank_gpu(const GpuGraph& g,
+                               const PageRankParams& params = {},
+                               const KernelOptions& opts = {});
+
+[[deprecated("construct a GpuGraph once and call pagerank_gpu(graph, ...)")]]
 GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
                                const PageRankParams& params = {},
                                const KernelOptions& opts = {});

@@ -1,0 +1,327 @@
+#include "algorithms/query_engine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "gpu/stream.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+using graph::NodeId;
+using simt::LaneMask;
+using simt::Lanes;
+using simt::WarpCtx;
+
+GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
+                                    std::span<const NodeId> sources,
+                                    const KernelOptions& opts) {
+  const auto k = static_cast<std::uint32_t>(sources.size());
+  if (k > 32) {
+    throw std::invalid_argument(
+        "bfs_gpu_multi_source: at most 32 sources per fused group");
+  }
+  if (opts.mapping != Mapping::kThreadMapped &&
+      opts.mapping != Mapping::kWarpCentric) {
+    throw std::invalid_argument(
+        "bfs_gpu_multi_source: supports thread-mapped and warp-centric");
+  }
+  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
+    throw std::invalid_argument(
+        "bfs_gpu_multi_source: invalid virtual warp width");
+  }
+  gpu::Device& device = g.device();
+  const std::uint32_t n = g.num_nodes();
+
+  GpuMsBfsResult result;
+  result.stats.kernels.launches = 0;
+  result.level.assign(k, std::vector<std::uint32_t>(n, kUnreached));
+  if (k == 0 || n == 0) return result;
+  const double transfer_before = device.transfer_totals().modeled_ms;
+
+  // Per-vertex query bitmasks (bit q = query q) plus the flat level
+  // matrix, seeded on the host: one upload replaces k rounds of
+  // fill + write traffic. Out-of-range sources are simply never seeded
+  // (all-kUnreached result), matching bfs_gpu.
+  std::vector<std::uint32_t> frontier_host(n, 0);
+  std::vector<std::uint32_t> levels_host(static_cast<std::size_t>(k) * n,
+                                         kUnreached);
+  for (std::uint32_t q = 0; q < k; ++q) {
+    const NodeId s = sources[q];
+    if (s >= n) continue;
+    frontier_host[s] |= 1u << q;
+    levels_host[static_cast<std::size_t>(q) * n + s] = 0;
+  }
+
+  gpu::DeviceBuffer<std::uint32_t> frontier(device, frontier_host);
+  gpu::DeviceBuffer<std::uint32_t> visited(device, frontier_host);
+  gpu::DeviceBuffer<std::uint32_t> next(device, n);
+  next.fill(0);
+  gpu::DeviceBuffer<std::uint32_t> levels(device, levels_host);
+  gpu::DeviceBuffer<std::uint32_t> newly_reached(device, 1);
+
+  const auto row = g.csr().row();
+  const auto adj = g.csr().adj();
+  auto frontier_ptr = frontier.ptr();
+  auto visited_ptr = visited.ptr();
+  auto next_ptr = next.ptr();
+  auto levels_ptr = levels.ptr();
+  auto count_ptr = newly_reached.ptr();
+
+  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                              ? 1
+                              : opts.virtual_warp_width);
+  const std::uint64_t groups_needed =
+      (static_cast<std::uint64_t>(n) +
+       static_cast<std::uint64_t>(layout.groups()) - 1) /
+      static_cast<std::uint64_t>(layout.groups());
+  const auto expand_dims =
+      device.dims_for_threads(groups_needed * simt::kWarpSize);
+  const std::uint64_t total_groups =
+      expand_dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+  const auto update_dims = device.dims_for_threads(n);
+
+  for (std::uint32_t current = 0;; ++current) {
+    newly_reached.fill(0);
+
+    // Expand: frontier vertices push their query bits onto every
+    // out-neighbour's `next` mask. One adjacency read serves all k
+    // queries — the fusion win.
+    result.stats.kernels.add(device.launch(
+        expand_dims.named("msbfs.expand"), [&, n](WarpCtx& w) {
+          for (std::uint64_t r = 0; r * total_groups < n; ++r) {
+            Lanes<std::uint32_t> task{};
+            const LaneMask valid =
+                vw::assign_static_tasks(w, layout, r, total_groups, n, task);
+            if (valid == 0) continue;
+
+            Lanes<std::uint32_t> fmask{};
+            w.with_mask(valid, [&] {
+              w.load_global(frontier_ptr, [&](int l) {
+                return task[static_cast<std::size_t>(l)];
+              }, fmask);
+            });
+            const LaneMask on = valid & w.ballot([&](int l) {
+              return fmask[static_cast<std::size_t>(l)] != 0;
+            });
+            if (on == 0) continue;
+
+            Lanes<std::uint32_t> begin{}, end{};
+            vw::load_task_ranges(w, row, task, on, begin, end);
+            vw::simd_strip_loop(
+                w, layout, begin, end, on,
+                [&](const Lanes<std::uint32_t>& cursor) {
+                  Lanes<std::uint32_t> nbr{};
+                  w.load_global(adj, [&](int l) {
+                    return cursor[static_cast<std::size_t>(l)];
+                  }, nbr);
+                  // fmask is replicated to the task's lanes (same slot the
+                  // strip loop keyed cursor on), so each lane ORs its own
+                  // group's query bits.
+                  w.atomic_or(next_ptr, [&](int l) {
+                    return nbr[static_cast<std::size_t>(l)];
+                  }, [&](int l) {
+                    return fmask[static_cast<std::size_t>(l)];
+                  });
+                });
+          }
+        }));
+
+    // Update: vertex-owned, race-free. new = next & ~visited becomes the
+    // next frontier; levels are assigned per fresh bit; the per-warp
+    // count of freshly reached (vertex, query) pairs lands in one leader
+    // atomic.
+    result.stats.kernels.add(device.launch(
+        update_dims.named("msbfs.update"), [&, n, current](WarpCtx& w) {
+          Lanes<std::uint32_t> v{};
+          w.alu([&](int l) {
+            v[static_cast<std::size_t>(l)] = w.thread_id(l);
+          });
+          const LaneMask valid =
+              w.ballot([&](int l) { return w.thread_id(l) < n; });
+          if (valid == 0) return;
+
+          Lanes<std::uint32_t> nx{}, vis{};
+          w.with_mask(valid, [&] {
+            w.load_global(next_ptr, [&](int l) {
+              return v[static_cast<std::size_t>(l)];
+            }, nx);
+            w.load_global(visited_ptr, [&](int l) {
+              return v[static_cast<std::size_t>(l)];
+            }, vis);
+          });
+          Lanes<std::uint32_t> fresh{};
+          w.alu([&](int l) {
+            const auto i = static_cast<std::size_t>(l);
+            fresh[i] = nx[i] & ~vis[i];
+          });
+
+          w.with_mask(valid, [&] {
+            // v-owned stores: clear next, advance frontier/visited.
+            w.store_global(next_ptr, [&](int l) {
+              return v[static_cast<std::size_t>(l)];
+            }, [](int) { return 0u; });
+            w.store_global(frontier_ptr, [&](int l) {
+              return v[static_cast<std::size_t>(l)];
+            }, [&](int l) { return fresh[static_cast<std::size_t>(l)]; });
+          });
+
+          const LaneMask has = valid & w.ballot([&](int l) {
+            return fresh[static_cast<std::size_t>(l)] != 0;
+          });
+          if (has == 0) return;
+
+          w.with_mask(has, [&] {
+            w.store_global(visited_ptr, [&](int l) {
+              return v[static_cast<std::size_t>(l)];
+            }, [&](int l) {
+              const auto i = static_cast<std::size_t>(l);
+              return vis[i] | fresh[i];
+            });
+            // Peel fresh bits: each set bit q records level current+1 at
+            // levels[q * n + v]. Lanes with more bits loop longer — the
+            // same divergence profile as a degree-skewed strip loop.
+            Lanes<std::uint32_t> bits = fresh;
+            w.loop_while(
+                [&](int l) {
+                  return bits[static_cast<std::size_t>(l)] != 0;
+                },
+                [&] {
+                  w.store_global(levels_ptr, [&](int l) {
+                    const auto i = static_cast<std::size_t>(l);
+                    const auto q = static_cast<std::uint32_t>(
+                        std::countr_zero(bits[i]));
+                    return q * n + v[i];
+                  }, [&](int) { return current + 1; });
+                  w.alu([&](int l) {
+                    const auto i = static_cast<std::size_t>(l);
+                    bits[i] &= bits[i] - 1;
+                  });
+                });
+            // One aggregated count per warp keeps the flag free of the
+            // same-value store race a naive `changed = 1` would be.
+            Lanes<std::uint32_t> ones = simt::make_lanes<std::uint32_t>(1);
+            std::uint32_t total = 0;
+            (void)w.exclusive_scan_add(ones, total);
+            const int leader = simt::first_lane(w.active());
+            w.with_mask(simt::lane_bit(leader), [&] {
+              w.atomic_add(count_ptr, [](int) { return 0; },
+                           [&](int) { return total; });
+            });
+          });
+        }));
+
+    ++result.stats.iterations;
+    if (newly_reached.read(0) == 0) break;
+  }
+
+  const auto levels_out = levels.download();
+  for (std::uint32_t q = 0; q < k; ++q) {
+    const auto base = static_cast<std::size_t>(q) * n;
+    std::copy(levels_out.begin() + static_cast<std::ptrdiff_t>(base),
+              levels_out.begin() + static_cast<std::ptrdiff_t>(base + n),
+              result.level[q].begin());
+  }
+  result.stats.transfer_ms =
+      device.transfer_totals().modeled_ms - transfer_before;
+  return result;
+}
+
+QueryEngine::QueryEngine(const GpuGraph& graph,
+                         const QueryEngineOptions& opts)
+    : graph_(&graph), opts_(opts) {
+  if (opts_.num_streams == 0) {
+    throw std::invalid_argument("QueryEngine: num_streams must be >= 1");
+  }
+  if (opts_.bfs_group_size == 0 || opts_.bfs_group_size > 32) {
+    throw std::invalid_argument(
+        "QueryEngine: bfs_group_size must be in [1, 32]");
+  }
+}
+
+std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
+  gpu::Device& device = graph_->device();
+  stats_ = BatchStats{};
+  stats_.queries = static_cast<std::uint32_t>(queries.size());
+
+  std::vector<QueryResult> results(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    results[i].query = queries[i];
+  }
+  if (queries.empty()) return results;
+
+  // Work units, input order: BFS queries greedily packed into fused
+  // groups, SSSP queries as singles (Bellman-Ford state does not pack
+  // into bitmasks).
+  struct Unit {
+    std::vector<std::uint32_t> idx;
+    bool bfs = true;
+  };
+  std::vector<Unit> units;
+  const std::uint32_t group_cap = opts_.fuse_bfs ? opts_.bfs_group_size : 1;
+  std::vector<std::uint32_t> pending_bfs;
+  auto flush_bfs = [&] {
+    if (!pending_bfs.empty()) {
+      units.push_back({std::move(pending_bfs), /*bfs=*/true});
+      pending_bfs.clear();
+    }
+  };
+  for (std::uint32_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].kind == Query::Kind::kBfs) {
+      pending_bfs.push_back(i);
+      if (pending_bfs.size() >= group_cap) flush_bfs();
+    } else {
+      units.push_back({{i}, /*bfs=*/false});
+    }
+  }
+  flush_bfs();
+
+  const double serial_before = device.total_modeled_ms();
+  const double makespan_before = device.modeled_makespan_ms();
+  const std::uint64_t launches_before = device.kernel_totals().launches;
+
+  std::vector<gpu::Stream> streams;
+  const auto stream_count = static_cast<std::uint32_t>(
+      std::min<std::size_t>(opts_.num_streams, units.size()));
+  streams.reserve(stream_count);
+  for (std::uint32_t s = 0; s < stream_count; ++s) {
+    streams.emplace_back(device);
+  }
+  stats_.streams_used = stream_count;
+
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const Unit& unit = units[u];
+    // All launches/copies inside the traversal land on the unit's stream.
+    gpu::StreamScope scope(device, streams[u % streams.size()]);
+    if (unit.bfs && unit.idx.size() > 1) {
+      std::vector<NodeId> srcs;
+      srcs.reserve(unit.idx.size());
+      for (const std::uint32_t i : unit.idx) {
+        srcs.push_back(queries[i].source);
+      }
+      GpuMsBfsResult fused =
+          bfs_gpu_multi_source(*graph_, srcs, opts_.kernel);
+      ++stats_.fused_groups;
+      for (std::size_t j = 0; j < unit.idx.size(); ++j) {
+        results[unit.idx[j]].value = std::move(fused.level[j]);
+      }
+    } else if (unit.bfs) {
+      results[unit.idx[0]].value =
+          bfs_gpu(*graph_, queries[unit.idx[0]].source, opts_.kernel).level;
+    } else {
+      results[unit.idx[0]].value =
+          sssp_gpu(*graph_, queries[unit.idx[0]].source, opts_.kernel).dist;
+    }
+  }
+
+  stats_.serial_ms = device.total_modeled_ms() - serial_before;
+  stats_.modeled_ms = device.modeled_makespan_ms() - makespan_before;
+  stats_.kernel_launches = device.kernel_totals().launches - launches_before;
+  return results;
+}
+
+}  // namespace maxwarp::algorithms

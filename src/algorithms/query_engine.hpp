@@ -1,0 +1,119 @@
+// QueryEngine — batched concurrent graph queries against one resident graph.
+//
+// Graph servers rarely run one traversal at a time: they answer many
+// independent queries (reachability, distance) over the same structure.
+// Two GPU-side optimisations fall out of batching, and this engine does
+// both:
+//
+//   1. Fusion. Up to 32 BFS queries share ONE kernel sequence: each vertex
+//      carries a 32-bit frontier/visited bitmask (bit q = query q), so one
+//      edge expansion serves every query whose frontier touches it. The
+//      adjacency data — the dominant traffic — is read once per level for
+//      the whole group instead of once per query, and level counts stop
+//      multiplying: the fused sweep runs max_q(depth_q) levels, not
+//      sum_q(depth_q).
+//   2. Overlap. Work units (fused groups, SSSP singles) are issued
+//      round-robin across gpu::Streams via StreamScope, so the overlap
+//      timeline lets narrow tail levels of one query group fill the SMs
+//      another group leaves idle.
+//
+// Because the simulator executes eagerly in issue order, results are
+// bit-identical to running every query alone — levels are BFS distances,
+// which no execution order can change. Tests exploit this: fused output ==
+// serial bfs_gpu output, always.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+/// Result of the standalone fused multi-source BFS below.
+struct GpuMsBfsResult {
+  /// level[q][v] — BFS level of v from sources[q]; kUnreached if untouched.
+  std::vector<std::vector<std::uint32_t>> level;
+  GpuRunStats stats;
+};
+
+/// Fused multi-source BFS: K <= 32 traversals in one level-synchronous
+/// kernel sequence over shared per-vertex bitmasks (bit q = query q).
+/// Expansion is warp-centric per opts.mapping/virtual_warp_width; new
+/// frontier bits merge with WarpCtx::atomic_or, and a vertex-owned update
+/// kernel assigns levels race-free (sanitizer-clean). Each traversal's
+/// levels are identical to bfs_gpu(g, sources[q]).
+GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
+                                    std::span<const graph::NodeId> sources,
+                                    const KernelOptions& opts = {});
+
+/// One query against the engine's resident graph.
+struct Query {
+  enum class Kind { kBfs, kSssp };
+  Kind kind = Kind::kBfs;
+  graph::NodeId source = 0;
+
+  static Query bfs(graph::NodeId s) { return {Kind::kBfs, s}; }
+  static Query sssp(graph::NodeId s) { return {Kind::kSssp, s}; }
+};
+
+struct QueryResult {
+  Query query;
+  /// Per-node BFS levels (kUnreached sentinel) or SSSP distances
+  /// (kInfDist sentinel), depending on query.kind.
+  std::vector<std::uint32_t> value;
+};
+
+struct QueryEngineOptions {
+  /// Streams the batch is spread over (>= 1). More streams expose more
+  /// overlap to the timeline until Σ parallelism saturates the SMs.
+  std::uint32_t num_streams = 4;
+  /// BFS queries fused per kernel group, in [1, 32]. 1 disables fusion.
+  std::uint32_t bfs_group_size = 32;
+  /// Escape hatch: run every BFS serially even when grouping is possible.
+  bool fuse_bfs = true;
+  /// Kernel tuning forwarded to the underlying traversals.
+  KernelOptions kernel = {};
+};
+
+/// Modeled-time accounting for one run() batch.
+struct BatchStats {
+  /// Overlap-aware makespan of the batch (streams share SMs, copies ride
+  /// the DMA engines) — the number a wall clock would have shown.
+  double modeled_ms = 0.0;
+  /// The same ops under the serial model, back to back — what issuing
+  /// every query alone on the default stream would have cost.
+  double serial_ms = 0.0;
+  std::uint32_t queries = 0;
+  std::uint32_t fused_groups = 0;  ///< fused kernels covering >= 2 queries
+  std::uint32_t streams_used = 0;
+  std::uint64_t kernel_launches = 0;
+};
+
+class QueryEngine {
+ public:
+  /// The engine borrows `graph` (upload already paid); it must outlive
+  /// the engine. Throws on invalid options.
+  explicit QueryEngine(const GpuGraph& graph,
+                       const QueryEngineOptions& opts = {});
+
+  /// Executes the batch and returns results in input order. BFS queries
+  /// are greedily grouped (input order) into fused kernels of up to
+  /// bfs_group_size; SSSP queries run as singles; units round-robin
+  /// across num_streams streams. Accounting lands in last_batch_stats().
+  std::vector<QueryResult> run(std::span<const Query> queries);
+
+  const BatchStats& last_batch_stats() const { return stats_; }
+  const GpuGraph& graph() const { return *graph_; }
+  const QueryEngineOptions& options() const { return opts_; }
+
+ private:
+  const GpuGraph* graph_;
+  QueryEngineOptions opts_;
+  BatchStats stats_;
+};
+
+}  // namespace maxwarp::algorithms

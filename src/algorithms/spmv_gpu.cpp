@@ -11,9 +11,9 @@ using simt::LaneMask;
 using simt::Lanes;
 using simt::WarpCtx;
 
-GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
-                       std::span<const float> x,
+GpuSpmvResult spmv_gpu(const GpuGraph& g, std::span<const float> x,
                        const KernelOptions& opts) {
+  gpu::Device& device = g.device();
   if (opts.mapping != Mapping::kThreadMapped &&
       opts.mapping != Mapping::kWarpCentric) {
     throw std::invalid_argument(
@@ -31,7 +31,7 @@ GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
   if (n == 0) return result;
   const double transfer_before = device.transfer_totals().modeled_ms;
 
-  GpuCsr gpu_graph(device, g);
+  const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto col = gpu_graph.adj();
   const auto val = gpu_graph.weights();
@@ -112,6 +112,12 @@ std::vector<double> spmv_cpu(const graph::Csr& g, std::span<const float> x) {
     }
   }
   return y;
+}
+
+GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
+                       std::span<const float> x,
+                       const KernelOptions& opts) {
+  return spmv_gpu(GpuGraph(device, g), x, opts);
 }
 
 }  // namespace maxwarp::algorithms

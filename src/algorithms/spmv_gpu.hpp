@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -24,6 +25,10 @@ struct GpuSpmvResult {
 
 /// Requires a weighted graph; x.size() must equal num_nodes(). Supports
 /// Mapping::kThreadMapped (CSR-scalar) and kWarpCentric (CSR-vector).
+GpuSpmvResult spmv_gpu(const GpuGraph& g, std::span<const float> x,
+                       const KernelOptions& opts = {});
+
+[[deprecated("construct a GpuGraph once and call spmv_gpu(graph, ...)")]]
 GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
                        std::span<const float> x,
                        const KernelOptions& opts = {});

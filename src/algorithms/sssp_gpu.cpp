@@ -59,10 +59,8 @@ struct RelaxBody {
   }
 };
 
-}  // namespace
-
-GpuSsspResult sssp_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
-                       const KernelOptions& opts) {
+GpuSsspResult sssp_gpu_on(gpu::Device& device, const GpuCsr& g,
+                          NodeId source, const KernelOptions& opts) {
   if (!g.weighted()) {
     throw std::invalid_argument("sssp_gpu: graph must be weighted");
   }
@@ -160,10 +158,16 @@ GpuSsspResult sssp_gpu(gpu::Device& device, const GpuCsr& g, NodeId source,
   return result;
 }
 
+}  // namespace
+
+GpuSsspResult sssp_gpu(const GpuGraph& g, NodeId source,
+                       const KernelOptions& opts) {
+  return sssp_gpu_on(g.device(), g.csr(), source, opts);
+}
+
 GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,
                        NodeId source, const KernelOptions& opts) {
-  GpuCsr gpu_graph(device, g);
-  return sssp_gpu(device, gpu_graph, source, opts);
+  return sssp_gpu(GpuGraph(device, g), source, opts);
 }
 
 }  // namespace maxwarp::algorithms

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -23,10 +24,12 @@ struct GpuSsspResult {
   GpuRunStats stats;
 };
 
-/// Requires a weighted graph (Csr::weighted()); weights are uint32 >= 0.
-/// Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
-GpuSsspResult sssp_gpu(gpu::Device& device, const GpuCsr& g,
-                       graph::NodeId source, const KernelOptions& opts = {});
+/// Requires a weighted graph (GpuGraph::weighted()); weights are uint32
+/// >= 0. Supports Mapping::kThreadMapped and Mapping::kWarpCentric.
+GpuSsspResult sssp_gpu(const GpuGraph& g, graph::NodeId source,
+                       const KernelOptions& opts = {});
+
+[[deprecated("construct a GpuGraph once and call sssp_gpu(graph, ...)")]]
 GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,
                        graph::NodeId source, const KernelOptions& opts = {});
 

@@ -61,9 +61,9 @@ void run_merge(WarpCtx& w, simt::DevPtr<const std::uint32_t> adj,
 
 }  // namespace
 
-GpuTriangleResult triangle_count_gpu(gpu::Device& device,
-                                     const graph::Csr& g,
+GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
                                      const KernelOptions& opts) {
+  gpu::Device& device = g.device();
   if (opts.mapping != Mapping::kThreadMapped &&
       opts.mapping != Mapping::kWarpCentric) {
     throw std::invalid_argument(
@@ -75,7 +75,7 @@ GpuTriangleResult triangle_count_gpu(gpu::Device& device,
   if (n == 0) return result;
   const double transfer_before = device.transfer_totals().modeled_ms;
 
-  GpuCsr gpu_graph(device, g);
+  const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto adj = gpu_graph.adj();
   gpu::DeviceBuffer<std::uint64_t> counts(device, n);
@@ -234,6 +234,12 @@ std::uint64_t triangle_count_cpu(const graph::Csr& g) {
     }
   }
   return total;
+}
+
+GpuTriangleResult triangle_count_gpu(gpu::Device& device,
+                                     const graph::Csr& g,
+                                     const KernelOptions& opts) {
+  return triangle_count_gpu(GpuGraph(device, g), opts);
 }
 
 }  // namespace maxwarp::algorithms

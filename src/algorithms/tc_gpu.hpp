@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -26,6 +27,11 @@ struct GpuTriangleResult {
 
 /// The graph must be undirected (symmetric) with sorted adjacency — the
 /// builder's default output. Supports kThreadMapped and kWarpCentric.
+GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
+                                     const KernelOptions& opts = {});
+
+[[deprecated(
+    "construct a GpuGraph once and call triangle_count_gpu(graph, ...)")]]
 GpuTriangleResult triangle_count_gpu(gpu::Device& device,
                                      const graph::Csr& g,
                                      const KernelOptions& opts = {});

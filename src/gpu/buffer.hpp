@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gpu/device.hpp"
+#include "gpu/stream.hpp"
 #include "simt/devptr.hpp"
 
 namespace maxwarp::gpu {
@@ -73,21 +74,25 @@ class DeviceBuffer {
   simt::DevPtr<T> ptr() { return {storage_.data(), vaddr_}; }
   simt::DevPtr<const T> cptr() const { return {storage_.data(), vaddr_}; }
 
-  /// Host -> device copy of the full buffer prefix.
+  /// Host -> device copy of the full buffer prefix (current stream).
   void upload(std::span<const T> host) {
-    if (host.size() > storage_.size()) {
-      throw std::out_of_range("upload larger than buffer");
-    }
-    std::copy(host.begin(), host.end(), storage_.begin());
-    device_->note_copy(host.size() * sizeof(T), /*to_device=*/true);
-    if (auto* san = device_->sanitizer()) {
-      san->on_host_write(vaddr_, 0, host.size() * sizeof(T));
-    }
+    upload_on(host, device_->current_stream_id());
   }
 
-  /// Device -> host copy of the whole buffer.
+  /// cudaMemcpyAsync H2D: same copy, accounted on `stream`.
+  void upload_async(std::span<const T> host, const Stream& stream) {
+    upload_on(host, stream.id());
+  }
+
+  /// Device -> host copy of the whole buffer (current stream).
   std::vector<T> download() const {
     device_->note_copy(size_bytes(), /*to_device=*/false);
+    return storage_;
+  }
+
+  /// cudaMemcpyAsync D2H: same copy, accounted on `stream`.
+  std::vector<T> download_async(const Stream& stream) const {
+    device_->note_copy_on(stream.id(), size_bytes(), /*to_device=*/false);
     return storage_;
   }
 
@@ -96,6 +101,14 @@ class DeviceBuffer {
   T read(std::size_t index) const {
     assert(index < storage_.size());
     device_->note_copy(sizeof(T), /*to_device=*/false);
+    return storage_[index];
+  }
+
+  /// Single-element read accounted on `stream` (a per-level flag read in
+  /// a multi-stream driver must not serialize the other streams).
+  T read_async(std::size_t index, const Stream& stream) const {
+    assert(index < storage_.size());
+    device_->note_copy_on(stream.id(), sizeof(T), /*to_device=*/false);
     return storage_[index];
   }
 
@@ -119,6 +132,18 @@ class DeviceBuffer {
   }
 
  private:
+  void upload_on(std::span<const T> host, std::uint32_t stream_id) {
+    if (host.size() > storage_.size()) {
+      throw std::out_of_range("upload larger than buffer");
+    }
+    std::copy(host.begin(), host.end(), storage_.begin());
+    device_->note_copy_on(stream_id, host.size() * sizeof(T),
+                          /*to_device=*/true);
+    if (auto* san = device_->sanitizer()) {
+      san->on_host_write(vaddr_, 0, host.size() * sizeof(T));
+    }
+  }
+
   void release() {
     if (device_ == nullptr) return;
     if (auto* san = device_->sanitizer()) san->on_free(vaddr_);

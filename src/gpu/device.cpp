@@ -8,8 +8,18 @@ Device::Device(simt::SimConfig cfg) : sim_(cfg) {
 
 simt::KernelStats Device::launch(const simt::LaunchDims& dims,
                                  const simt::WarpFn& kernel) {
+  return launch_on(current_stream_, dims, kernel);
+}
+
+simt::KernelStats Device::launch_on(std::uint32_t stream_id,
+                                    const simt::LaunchDims& dims,
+                                    const simt::WarpFn& kernel) {
   const simt::KernelStats stats = sim_.launch(dims, kernel);
   kernel_totals_.add(stats);
+  const auto& cfg = config();
+  sim_.timeline().push_kernel(stream_id,
+                              cfg.cycles_to_ms(stats.elapsed_cycles),
+                              cfg.cycles_to_ms(stats.busy_cycles));
   return stats;
 }
 
@@ -31,6 +41,11 @@ std::uint64_t Device::allocate_vaddr(std::uint64_t bytes) {
 }
 
 void Device::note_copy(std::uint64_t bytes, bool to_device) {
+  note_copy_on(current_stream_, bytes, to_device);
+}
+
+void Device::note_copy_on(std::uint32_t stream_id, std::uint64_t bytes,
+                          bool to_device) {
   const auto& cfg = config();
   if (to_device) {
     transfer_totals_.bytes_to_device += bytes;
@@ -38,9 +53,11 @@ void Device::note_copy(std::uint64_t bytes, bool to_device) {
     transfer_totals_.bytes_to_host += bytes;
   }
   ++transfer_totals_.calls;
-  transfer_totals_.modeled_ms +=
+  const double duration_ms =
       cfg.copy_latency_us / 1e3 +
       static_cast<double>(bytes) / (cfg.copy_gbytes_per_sec * 1e9) * 1e3;
+  transfer_totals_.modeled_ms += duration_ms;
+  sim_.timeline().push_copy(stream_id, duration_ms, to_device);
 }
 
 }  // namespace maxwarp::gpu

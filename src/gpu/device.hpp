@@ -6,6 +6,13 @@
 // analogue. Kernel launches go through Device::launch, which forwards to the
 // simulator and tallies per-device totals, so an application can report
 // "kernel time" and "transfer time" separately — as GPU papers do.
+//
+// Streams: every launch and copy is also queued on the device's overlap
+// timeline (simt::Timeline) under a *current stream* — stream 0 unless a
+// gpu::StreamScope (stream.hpp) redirects it. total_modeled_ms() remains
+// the serial model (every op back to back); modeled_makespan_ms() is the
+// overlap-aware completion time of the same ops, where concurrent streams
+// share SMs and copies ride the DMA engines.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +42,17 @@ class Device {
   simt::Sanitizer* sanitizer() { return sim_.sanitizer(); }
   const simt::Sanitizer* sanitizer() const { return sim_.sanitizer(); }
 
-  /// Launches a kernel and adds its stats to the device totals.
+  /// Launches a kernel on the current stream and adds its stats to the
+  /// device totals.
   simt::KernelStats launch(const simt::LaunchDims& dims,
                            const simt::WarpFn& kernel);
+
+  /// Launches on an explicit stream (gpu::Stream::launch is the
+  /// ergonomic wrapper). Execution is immediate and deterministic in
+  /// issue order — streams reorder modeled *time*, never results.
+  simt::KernelStats launch_on(std::uint32_t stream_id,
+                              const simt::LaunchDims& dims,
+                              const simt::WarpFn& kernel);
 
   simt::LaunchDims dims_for_threads(std::uint64_t n) const {
     return sim_.dims_for_threads(n);
@@ -46,12 +61,34 @@ class Device {
     return sim_.dims_for_warps(n);
   }
 
+  // -- streams --------------------------------------------------------------
+
+  /// Registers a new stream on the timeline and returns its id. Stream
+  /// objects (stream.hpp) wrap these ids; id 0 is the default stream.
+  std::uint32_t create_stream_id() { return sim_.timeline().create_stream(); }
+
+  /// The stream that plain launch()/copy calls are accounted against.
+  /// Prefer gpu::StreamScope over calling the setter directly.
+  std::uint32_t current_stream_id() const { return current_stream_; }
+  void set_current_stream_id(std::uint32_t id) { current_stream_ = id; }
+
+  simt::Timeline& timeline() { return sim_.timeline(); }
+
+  /// Overlap-aware completion time of everything issued so far; equals
+  /// total_modeled_ms() for a single-stream (serial) program.
+  double modeled_makespan_ms() { return sim_.timeline().makespan_ms(); }
+
+  // -- totals ---------------------------------------------------------------
+
   /// Running totals since construction or the last reset_totals().
+  /// (reset_totals does not clear the overlap timeline; use
+  /// timeline().reset() for that.)
   const simt::KernelStats& kernel_totals() const { return kernel_totals_; }
   const TransferStats& transfer_totals() const { return transfer_totals_; }
   void reset_totals();
 
-  /// Total modeled time (kernels + transfers) in milliseconds.
+  /// Total modeled time (kernels + transfers) in milliseconds under the
+  /// serial model: every kernel and copy back to back, no overlap.
   double total_modeled_ms() const;
 
   // -- internal hooks used by DeviceBuffer ---------------------------------
@@ -59,12 +96,17 @@ class Device {
   /// Reserves a 256-byte-aligned simulated global address range.
   std::uint64_t allocate_vaddr(std::uint64_t bytes);
 
-  /// Charges a host<->device copy of the given size.
+  /// Charges a host<->device copy of the given size to the current stream.
   void note_copy(std::uint64_t bytes, bool to_device);
+
+  /// Charges a copy to an explicit stream.
+  void note_copy_on(std::uint32_t stream_id, std::uint64_t bytes,
+                    bool to_device);
 
  private:
   simt::DeviceSim sim_;
   std::uint64_t next_vaddr_ = 256;  // keep 0 an invalid address
+  std::uint32_t current_stream_ = 0;
   simt::KernelStats kernel_totals_;
   TransferStats transfer_totals_;
 };

@@ -1,0 +1,135 @@
+// CUDA-style streams and events over the overlap timeline.
+//
+// A Stream is a FIFO queue of kernels and copies: work on one stream runs
+// in issue order, work on different streams may overlap (kernels share
+// SMs, copies ride the DMA engines — see simt/timeline.hpp for the cost
+// model). An Event captures the completion of everything queued on a
+// stream at record time; other streams can wait on it, and two recorded
+// events give the CUDA elapsed-time idiom.
+//
+// Because the simulator executes kernels eagerly and deterministically in
+// host issue order, streams reorder *modeled time only* — functional
+// results are identical with any stream assignment. That makes stream
+// bugs (a missing wait_event) observable as timing anomalies in tests
+// without ever producing corrupt data, which is the reverse of the real
+// hardware's failure mode; the simtsan race checks cover the data side.
+//
+// StreamScope is the per-thread-default-stream analogue: it redirects the
+// plain Device::launch / DeviceBuffer copy calls — and therefore whole
+// algorithm drivers that know nothing about streams — onto a chosen
+// stream for its lifetime.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "gpu/device.hpp"
+
+namespace maxwarp::gpu {
+
+class Event;
+
+class Stream {
+ public:
+  /// Creates a new stream on `device` (cudaStreamCreate).
+  explicit Stream(Device& device)
+      : device_(&device), id_(device.create_stream_id()) {}
+
+  /// The device's default stream (id 0), shared by all plain launches.
+  static Stream default_stream(Device& device) { return Stream(&device, 0); }
+
+  Device& device() const { return *device_; }
+  std::uint32_t id() const { return id_; }
+
+  /// Queues a kernel on this stream (cudaLaunchKernel with a stream arg).
+  simt::KernelStats launch(const simt::LaunchDims& dims,
+                           const simt::WarpFn& kernel) const {
+    return device_->launch_on(id_, dims, kernel);
+  }
+
+  /// Modeled completion time of everything queued so far (0 if idle).
+  double ready_ms() const { return device_->timeline().stream_ready_ms(id_); }
+
+  /// Host-side cudaStreamSynchronize analogue. Execution is eager, so
+  /// there is nothing to wait for; returns the modeled completion time
+  /// the real call would have blocked until.
+  double synchronize() const { return ready_ms(); }
+
+  /// All work queued after this call waits for `e` (cudaStreamWaitEvent).
+  void wait(const Event& e) const;
+
+ private:
+  Stream(Device* device, std::uint32_t id) : device_(device), id_(id) {}
+
+  Device* device_;
+  std::uint32_t id_;
+};
+
+class Event {
+ public:
+  /// An unrecorded event (cudaEventCreate).
+  explicit Event(Device& device) : device_(&device) {}
+
+  /// Captures the completion of work queued on `s` so far; re-recording
+  /// overwrites (cudaEventRecord).
+  void record(const Stream& s) {
+    if (&s.device() != device_) {
+      throw std::invalid_argument("Event::record: stream on another device");
+    }
+    id_ = device_->timeline().record(s.id());
+    recorded_ = true;
+  }
+
+  bool recorded() const { return recorded_; }
+
+  /// Modeled timestamp of the recorded completion (cudaEventQuery /
+  /// cudaEventSynchronize rolled into one — execution is eager).
+  double ms() const {
+    if (!recorded_) {
+      throw std::logic_error("Event::ms: event was never recorded");
+    }
+    return device_->timeline().event_ms(id_);
+  }
+
+  /// cudaEventElapsedTime: modeled milliseconds from `start` to `stop`.
+  static double elapsed_ms(const Event& start, const Event& stop) {
+    return stop.ms() - start.ms();
+  }
+
+ private:
+  friend class Stream;
+
+  Device* device_;
+  simt::Timeline::EventId id_ = 0;
+  bool recorded_ = false;
+};
+
+inline void Stream::wait(const Event& e) const {
+  if (&e.device_->timeline() != &device_->timeline()) {
+    throw std::invalid_argument("Stream::wait: event on another device");
+  }
+  // CUDA treats waiting on a never-recorded event as a no-op.
+  if (e.recorded()) device_->timeline().wait_event(id_, e.id_);
+}
+
+/// Redirects the device's plain (stream-oblivious) launches and copies
+/// onto `stream` for the scope's lifetime, restoring the previous stream
+/// on exit. This is how stock algorithm drivers — bfs_gpu and friends —
+/// run concurrently: wrap each call in a scope bound to its own stream.
+class StreamScope {
+ public:
+  StreamScope(Device& device, const Stream& stream)
+      : device_(&device), previous_(device.current_stream_id()) {
+    device.set_current_stream_id(stream.id());
+  }
+  ~StreamScope() { device_->set_current_stream_id(previous_); }
+
+  StreamScope(const StreamScope&) = delete;
+  StreamScope& operator=(const StreamScope&) = delete;
+
+ private:
+  Device* device_;
+  std::uint32_t previous_;
+};
+
+}  // namespace maxwarp::gpu

@@ -77,6 +77,15 @@ struct SimConfig {
   double copy_gbytes_per_sec = 6.0;
   double copy_latency_us = 8.0;
 
+  /// DMA copy engines available to *asynchronous* copies (the Timeline's
+  /// overlap model). 1 models an old single-DMA part where H2D and D2H
+  /// serialize against each other; 2 (the common configuration since
+  /// Fermi) gives each direction its own engine, so an upload on one
+  /// stream overlaps a download on another. Copies in the *same*
+  /// direction always share one engine and serialize. Copies never
+  /// contend with kernels for SMs.
+  std::uint32_t copy_engines = 2;
+
   /// Warps per block used by convenience launch helpers.
   std::uint32_t default_warps_per_block = 8;
 
@@ -100,6 +109,9 @@ struct SimConfig {
     }
     if (default_warps_per_block == 0) {
       throw std::invalid_argument("default_warps_per_block must be > 0");
+    }
+    if (copy_engines == 0) {
+      throw std::invalid_argument("copy_engines must be > 0");
     }
   }
 

@@ -5,8 +5,8 @@
 
 namespace maxwarp::simt {
 
-DeviceSim::DeviceSim(SimConfig cfg) : cfg_(cfg) {
-  cfg_.validate();
+DeviceSim::DeviceSim(SimConfig cfg)
+    : cfg_((cfg.validate(), cfg)), timeline_(cfg_) {
   if (cfg_.sanitize) sanitizer_ = std::make_unique<Sanitizer>(cfg_);
 }
 

@@ -16,6 +16,7 @@
 #include "simt/config.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/stats.hpp"
+#include "simt/timeline.hpp"
 #include "simt/warp_ctx.hpp"
 
 namespace maxwarp::simt {
@@ -84,9 +85,17 @@ class DeviceSim {
   Sanitizer* sanitizer() { return sanitizer_.get(); }
   const Sanitizer* sanitizer() const { return sanitizer_.get(); }
 
+  /// The overlap-aware schedule of everything launched/copied on this
+  /// device (see simt/timeline.hpp). launch() itself only *executes* and
+  /// prices a kernel; the host runtime (gpu::Device / gpu::Stream) queues
+  /// the resulting spans here to account concurrency across streams.
+  Timeline& timeline() { return timeline_; }
+  const Timeline& timeline() const { return timeline_; }
+
  private:
   SimConfig cfg_;
   std::unique_ptr<Sanitizer> sanitizer_;
+  Timeline timeline_;
   std::uint64_t launch_seq_ = 0;
 };
 

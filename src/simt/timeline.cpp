@@ -1,0 +1,276 @@
+#include "simt/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace maxwarp::simt {
+
+namespace {
+
+/// Relative slack for floating-point completion tests: an op within this
+/// fraction of the current event time is considered finished (guards the
+/// event loop against drift-induced zero-length steps).
+constexpr double kRelEps = 1e-12;
+
+}  // namespace
+
+Timeline::Timeline(const SimConfig& cfg)
+    : num_sms_(cfg.num_sms), copy_engines_(cfg.copy_engines) {
+  stream_tail_.push_back(kNone);  // stream 0: the default stream
+  pending_waits_.emplace_back();
+  engine_tail_.assign(copy_engines_, kNone);
+}
+
+Timeline::StreamId Timeline::create_stream() {
+  stream_tail_.push_back(kNone);
+  pending_waits_.emplace_back();
+  return static_cast<StreamId>(stream_tail_.size() - 1);
+}
+
+void Timeline::push_op(Op op) {
+  const StreamId s = op.stream;
+  if (s >= stream_tail_.size()) {
+    throw std::out_of_range("Timeline: unknown stream");
+  }
+  if (stream_tail_[s] != kNone) op.deps.push_back(stream_tail_[s]);
+  for (const EventId e : pending_waits_[s]) {
+    if (events_[e] != kNone) op.deps.push_back(events_[e]);
+  }
+  pending_waits_[s].clear();
+  serial_ms_ += op.span_ms;
+  ops_.push_back(std::move(op));
+  stream_tail_[s] = static_cast<std::int64_t>(ops_.size() - 1);
+  resolved_ = false;
+}
+
+void Timeline::push_kernel(StreamId s, double span_ms, double work_sm_ms) {
+  Op op;
+  op.stream = s;
+  op.is_copy = false;
+  op.span_ms = span_ms;
+  // A zero-span kernel cannot carry work (the parallelism cap work/span
+  // would be undefined); treat it as instantaneous. Otherwise clamp the
+  // parallelism work/span into [1, num_sms]: a kernel occupies at least
+  // one SM for its whole span and can never use more than the machine.
+  if (span_ms <= 0) {
+    op.work = 0;
+  } else {
+    op.work = std::clamp(work_sm_ms, span_ms,
+                         span_ms * static_cast<double>(num_sms_));
+  }
+  push_op(std::move(op));
+}
+
+void Timeline::push_copy(StreamId s, double duration_ms, bool to_device) {
+  Op op;
+  op.stream = s;
+  op.is_copy = true;
+  op.span_ms = duration_ms;
+  // Engine assignment: H2D on engine 0, D2H on engine 1 when a second
+  // engine exists (per-direction queues, like the hardware's two DMA
+  // units); one engine serializes both directions. Contention becomes a
+  // dependency on the engine's previous copy.
+  const std::uint32_t engine = (!to_device && copy_engines_ > 1) ? 1 : 0;
+  if (engine_tail_[engine] != kNone) op.deps.push_back(engine_tail_[engine]);
+  push_op(std::move(op));
+  engine_tail_[engine] = static_cast<std::int64_t>(ops_.size() - 1);
+}
+
+Timeline::EventId Timeline::record(StreamId s) {
+  if (s >= stream_tail_.size()) {
+    throw std::out_of_range("Timeline: unknown stream");
+  }
+  events_.push_back(stream_tail_[s]);
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void Timeline::wait_event(StreamId s, EventId e) {
+  if (s >= stream_tail_.size()) {
+    throw std::out_of_range("Timeline: unknown stream");
+  }
+  if (e >= events_.size()) {
+    throw std::out_of_range("Timeline: unknown event");
+  }
+  pending_waits_[s].push_back(e);
+}
+
+double Timeline::stream_ready_ms(StreamId s) {
+  if (s >= stream_tail_.size()) {
+    throw std::out_of_range("Timeline: unknown stream");
+  }
+  if (stream_tail_[s] == kNone) return 0;
+  resolve();
+  return ops_[static_cast<std::size_t>(stream_tail_[s])].end;
+}
+
+double Timeline::event_ms(EventId e) {
+  if (e >= events_.size()) {
+    throw std::out_of_range("Timeline: unknown event");
+  }
+  if (events_[e] == kNone) return 0;  // recorded on an idle stream
+  resolve();
+  return ops_[static_cast<std::size_t>(events_[e])].end;
+}
+
+double Timeline::makespan_ms() {
+  resolve();
+  double m = 0;
+  for (const Op& op : ops_) m = std::max(m, op.end);
+  return m;
+}
+
+Timeline::OpSpan Timeline::op_span(std::size_t i) {
+  if (i >= ops_.size()) throw std::out_of_range("Timeline: unknown op");
+  resolve();
+  return {ops_[i].start, ops_[i].end};
+}
+
+void Timeline::reset() {
+  ops_.clear();
+  events_.clear();
+  std::fill(stream_tail_.begin(), stream_tail_.end(), kNone);
+  for (auto& waits : pending_waits_) waits.clear();
+  std::fill(engine_tail_.begin(), engine_tail_.end(), kNone);
+  serial_ms_ = 0;
+  resolved_ = true;
+}
+
+void Timeline::resolve() {
+  if (resolved_) return;
+  const std::size_t n = ops_.size();
+  const double capacity = static_cast<double>(num_sms_);
+
+  std::vector<char> started(n, 0), finished(n, 0);
+  std::vector<std::size_t> active_kernels;
+  std::vector<std::size_t> active_copies;
+  for (Op& op : ops_) {
+    op.start = 0;
+    op.end = 0;
+    op.remaining = op.work;
+  }
+
+  const auto deps_done = [&](std::size_t i) {
+    for (const std::int64_t d : ops_[i].deps) {
+      if (!finished[static_cast<std::size_t>(d)]) return false;
+    }
+    return true;
+  };
+
+  std::size_t done = 0;
+  double t = 0;
+  std::vector<double> rates;
+  while (done < n) {
+    // Start (and instantly finish, for zero-length ops) everything whose
+    // dependencies are satisfied at time t. Fixpoint: finishing a
+    // zero-length op can unblock the next one.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (started[i] || !deps_done(i)) continue;
+        started[i] = 1;
+        Op& op = ops_[i];
+        op.start = t;
+        if (op.is_copy) {
+          if (op.span_ms <= 0) {
+            finished[i] = 1;
+            op.end = t;
+            ++done;
+            progress = true;
+          } else {
+            op.end = t + op.span_ms;
+            active_copies.push_back(i);
+          }
+        } else {
+          if (op.remaining <= 0) {
+            finished[i] = 1;
+            op.end = t;
+            ++done;
+            progress = true;
+          } else {
+            active_kernels.push_back(i);
+          }
+        }
+      }
+    }
+    if (done == n) break;
+
+    // Water-fill the SM capacity over the active kernels: everyone is
+    // capped at its own parallelism; unused headroom flows to kernels
+    // that can absorb it.
+    rates.assign(active_kernels.size(), 0.0);
+    {
+      std::vector<std::size_t> open(active_kernels.size());
+      for (std::size_t k = 0; k < open.size(); ++k) open[k] = k;
+      double left = capacity;
+      while (!open.empty()) {
+        const double share = left / static_cast<double>(open.size());
+        bool capped_any = false;
+        for (std::size_t k = 0; k < open.size();) {
+          const Op& op = ops_[active_kernels[open[k]]];
+          const double cap = op.work / op.span_ms;  // parallelism
+          if (cap <= share) {
+            rates[open[k]] = cap;
+            left -= cap;
+            open[k] = open.back();
+            open.pop_back();
+            capped_any = true;
+          } else {
+            ++k;
+          }
+        }
+        if (!capped_any) {
+          for (const std::size_t k : open) rates[k] = share;
+          break;
+        }
+      }
+    }
+
+    // Next completion time across running kernels and in-flight copies.
+    double t_next = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < active_kernels.size(); ++k) {
+      const Op& op = ops_[active_kernels[k]];
+      t_next = std::min(t_next, t + op.remaining / rates[k]);
+    }
+    for (const std::size_t i : active_copies) {
+      t_next = std::min(t_next, ops_[i].end);
+    }
+
+    // Advance the clock, draining kernel work at the computed rates, and
+    // retire everything that completes at t_next.
+    const double dt = t_next - t;
+    const double eps = kRelEps * std::max(1.0, t_next);
+    for (std::size_t k = 0; k < active_kernels.size();) {
+      Op& op = ops_[active_kernels[k]];
+      op.remaining -= rates[k] * dt;
+      if (op.remaining <= eps * rates[k]) {
+        op.end = t_next;
+        finished[active_kernels[k]] = 1;
+        ++done;
+        active_kernels[k] = active_kernels.back();
+        rates[k] = rates.back();
+        active_kernels.pop_back();
+        rates.pop_back();
+      } else {
+        ++k;
+      }
+    }
+    for (std::size_t c = 0; c < active_copies.size();) {
+      if (ops_[active_copies[c]].end <= t_next + eps) {
+        finished[active_copies[c]] = 1;
+        ++done;
+        active_copies[c] = active_copies.back();
+        active_copies.pop_back();
+      } else {
+        ++c;
+      }
+    }
+    t = t_next;
+  }
+
+  resolved_ = true;
+}
+
+}  // namespace maxwarp::simt

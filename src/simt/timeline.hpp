@@ -1,0 +1,130 @@
+// Overlap-aware device timeline: the cost model behind streams.
+//
+// DeviceSim::launch answers "how long does this kernel take *alone*"
+// (elapsed cycles = launch overhead + busiest SM). The Timeline answers
+// the scheduling question on top: given a set of kernels and copies
+// issued onto CUDA-style streams, when does each one start and finish on
+// the shared machine?
+//
+// Resources and the fluid-flow model:
+//
+//   * Compute. A kernel alone keeps on average p = busy/elapsed SMs busy
+//     (its *parallelism*, in [1, num_sms]). The device processes SM-work
+//     at an aggregate rate of num_sms; concurrently active kernels split
+//     that rate by water-filling — each kernel is capped at its own p
+//     (extra SMs cannot speed it past its critical path), and leftover
+//     capacity flows to the kernels that can still use it. Consequences:
+//     a kernel alone finishes in exactly its serial-model span, kernels
+//     whose parallelisms sum to <= num_sms overlap perfectly, and a
+//     saturated device degrades all residents proportionally.
+//
+//   * Copies. Each H2D/D2H copy occupies one DMA engine for its full
+//     PCIe-modeled duration (SimConfig::copy_engines; with >= 2 engines
+//     the two directions are independent, same-direction copies
+//     serialize). Copies never contend with kernels — the transfer/
+//     kernel overlap that motivates streams in the first place.
+//
+// Ordering: ops on one stream run FIFO; ops on different streams are
+// independent unless an Event dependency (record on A, wait on B) links
+// them. Both op kinds are pushed with their standalone durations; start/
+// finish times are resolved lazily (and deterministically) on first
+// query, because a kernel's finish time depends on work issued *after*
+// it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/config.hpp"
+
+namespace maxwarp::simt {
+
+class Timeline {
+ public:
+  using StreamId = std::uint32_t;
+  using EventId = std::uint32_t;
+
+  /// Stream 0 (the default stream) exists from construction.
+  explicit Timeline(const SimConfig& cfg);
+
+  StreamId create_stream();
+  std::uint32_t stream_count() const {
+    return static_cast<std::uint32_t>(stream_tail_.size());
+  }
+
+  /// Queues a kernel on `s`. `span_ms` is its standalone modeled elapsed
+  /// time, `work_sm_ms` the total SM-time it consumes (busy cycles); the
+  /// ratio work/span is the parallelism cap described above.
+  void push_kernel(StreamId s, double span_ms, double work_sm_ms);
+
+  /// Queues a host<->device copy of the given modeled duration on `s`.
+  void push_copy(StreamId s, double duration_ms, bool to_device);
+
+  /// Captures the completion of everything queued on `s` so far.
+  EventId record(StreamId s);
+
+  /// All work queued on `s` *after* this call waits for `e` (CUDA
+  /// cudaStreamWaitEvent semantics; waiting on an event is cheap — it
+  /// adds a dependency edge, not an op).
+  void wait_event(StreamId s, EventId e);
+
+  // -- queries (resolve the schedule on demand) ----------------------------
+
+  /// Completion time of the last op queued on `s` (0 if none).
+  double stream_ready_ms(StreamId s);
+
+  /// Resolved timestamp of a recorded event.
+  double event_ms(EventId e);
+
+  /// Completion time of all queued work — the overlap-aware counterpart
+  /// of summing standalone durations.
+  double makespan_ms();
+
+  /// Sum of standalone durations of every queued op: what the same work
+  /// would cost fully serialized. makespan_ms() / serial_ms() is the
+  /// overlap win.
+  double serial_ms() const { return serial_ms_; }
+
+  std::size_t op_count() const { return ops_.size(); }
+
+  /// Start/end of the i-th queued op (issue order), for tests and
+  /// introspection.
+  struct OpSpan {
+    double start_ms = 0;
+    double end_ms = 0;
+  };
+  OpSpan op_span(std::size_t i);
+
+  /// Drops all queued ops and recorded events; stream ids stay valid.
+  void reset();
+
+ private:
+  static constexpr std::int64_t kNone = -1;
+
+  struct Op {
+    StreamId stream = 0;
+    bool is_copy = false;
+    double span_ms = 0;     ///< standalone duration (critical path)
+    double work = 0;        ///< kernels: SM-ms of work; copies: unused
+    std::vector<std::int64_t> deps;  ///< op indices this op starts after
+    // resolved by resolve():
+    double start = 0;
+    double end = 0;
+    double remaining = 0;   ///< scratch during resolve
+  };
+
+  void push_op(Op op);
+  void resolve();
+
+  std::uint32_t num_sms_;
+  std::uint32_t copy_engines_;
+  std::vector<Op> ops_;
+  std::vector<std::int64_t> stream_tail_;   ///< last op per stream
+  std::vector<std::vector<EventId>> pending_waits_;  ///< per stream
+  std::vector<std::int64_t> engine_tail_;   ///< last copy per DMA engine
+  std::vector<std::int64_t> events_;        ///< op whose end is the timestamp
+  double serial_ms_ = 0;
+  bool resolved_ = true;  ///< no ops -> trivially resolved
+};
+
+}  // namespace maxwarp::simt

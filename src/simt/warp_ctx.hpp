@@ -264,6 +264,14 @@ class WarpCtx {
     });
   }
 
+  /// atomicOr — the fused multi-query kernels use it to merge per-query
+  /// frontier bits into a shared bitmask word.
+  template <typename T, typename IdxF, typename ValF>
+  Lanes<T> atomic_or(DevPtr<T> ptr, IdxF&& idx, ValF&& val) {
+    return atomic_rmw(ptr, idx,
+                      [&](T old, int lane) -> T { return old | val(lane); });
+  }
+
   template <typename T, typename IdxF, typename ValF>
   Lanes<T> atomic_exch(DevPtr<T> ptr, IdxF&& idx, ValF&& val) {
     return atomic_rmw(ptr, idx,

@@ -21,7 +21,7 @@ std::vector<NodeId> all_nodes(const Csr& g) {
 void expect_matches_cpu(const Csr& g, std::span<const NodeId> sources,
                         const KernelOptions& opts, double tol = 1e-3) {
   gpu::Device dev;
-  const auto gpu_result = betweenness_gpu(dev, g, sources, opts);
+  const auto gpu_result = betweenness_gpu(GpuGraph(dev, g), sources, opts);
   const auto cpu_result = betweenness_cpu(g, sources);
   ASSERT_EQ(gpu_result.centrality.size(), cpu_result.size());
   for (std::size_t v = 0; v < cpu_result.size(); ++v) {
@@ -131,7 +131,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(BetweennessGpu, EmptySourcesGiveZeros) {
   gpu::Device dev;
-  const auto r = betweenness_gpu(dev, graph::chain(5), {});
+  const auto r = betweenness_gpu(GpuGraph(dev, graph::chain(5)), {});
   for (float x : r.centrality) EXPECT_EQ(x, 0.0f);
 }
 
@@ -140,14 +140,14 @@ TEST(BetweennessGpu, UnsupportedMappingThrows) {
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
   const std::vector<NodeId> sources{0};
-  EXPECT_THROW(betweenness_gpu(dev, graph::chain(4), sources, opts),
+  EXPECT_THROW(betweenness_gpu(GpuGraph(dev, graph::chain(4)), sources, opts),
                std::invalid_argument);
 }
 
 TEST(BetweennessGpu, OutOfRangeSourceThrows) {
   gpu::Device dev;
   const std::vector<NodeId> bad{42};
-  EXPECT_THROW(betweenness_gpu(dev, graph::chain(4), bad),
+  EXPECT_THROW(betweenness_gpu(GpuGraph(dev, graph::chain(4)), bad),
                std::out_of_range);
 }
 
@@ -155,8 +155,8 @@ TEST(BetweennessGpu, DeterministicAcrossRuns) {
   const Csr g = graph::watts_strogatz(128, 4, 0.2, {.seed = 43});
   const std::vector<NodeId> sources{0, 5, 9};
   gpu::Device d1, d2;
-  const auto a = betweenness_gpu(d1, g, sources);
-  const auto b = betweenness_gpu(d2, g, sources);
+  const auto a = betweenness_gpu(GpuGraph(d1, g), sources);
+  const auto b = betweenness_gpu(GpuGraph(d2, g), sources);
   EXPECT_EQ(a.centrality, b.centrality);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }
@@ -170,8 +170,8 @@ TEST(BetweennessGpu, WarpCentricFasterOnSkewedGraph) {
   KernelOptions warp;
   warp.mapping = Mapping::kWarpCentric;
   warp.virtual_warp_width = 16;
-  const auto b = betweenness_gpu(d1, g, sources, base);
-  const auto w = betweenness_gpu(d2, g, sources, warp);
+  const auto b = betweenness_gpu(GpuGraph(d1, g), sources, base);
+  const auto w = betweenness_gpu(GpuGraph(d2, g), sources, warp);
   EXPECT_LT(w.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }
 

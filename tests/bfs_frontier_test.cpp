@@ -26,7 +26,7 @@ KernelOptions queue_options(Mapping mapping, int width) {
 void expect_matches_cpu(const Csr& g, graph::NodeId source,
                         const KernelOptions& opts) {
   gpu::Device dev;
-  const auto gpu_result = bfs_gpu(dev, g, source, opts);
+  const auto gpu_result = bfs_gpu(GpuGraph(dev, g), source, opts);
   const auto cpu_levels = bfs_cpu(g, source);
   ASSERT_EQ(gpu_result.level, cpu_levels)
       << to_string(opts.mapping) << " W=" << opts.virtual_warp_width;
@@ -80,30 +80,26 @@ TEST(QueueBfs, AgreesWithLevelArrayVariant) {
   const Csr g = graph::make_dataset("RMAT", 0.0625, 33);
   gpu::Device d1, d2;
   KernelOptions level_opts;
-  const auto a = bfs_gpu(d1, g, 0, level_opts);
-  const auto b = bfs_gpu(d2, g, 0, queue_options(Mapping::kWarpCentric, 16));
+  const auto a = bfs_gpu(GpuGraph(d1, g), 0, level_opts);
+  const auto b = bfs_gpu(GpuGraph(d2, g), 0, queue_options(Mapping::kWarpCentric, 16));
   EXPECT_EQ(a.level, b.level);
   EXPECT_EQ(a.depth, b.depth);
 }
 
 TEST(QueueBfs, UnsupportedMappingsThrow) {
   gpu::Device dev;
-  EXPECT_THROW(bfs_gpu(dev, graph::chain(4), 0,
-                       queue_options(Mapping::kWarpCentricDynamic, 8)),
+  EXPECT_THROW(bfs_gpu(GpuGraph(dev, graph::chain(4)), 0, queue_options(Mapping::kWarpCentricDynamic, 8)),
                std::invalid_argument);
-  EXPECT_THROW(bfs_gpu(dev, graph::chain(4), 0,
-                       queue_options(Mapping::kWarpCentricDefer, 8)),
+  EXPECT_THROW(bfs_gpu(GpuGraph(dev, graph::chain(4)), 0, queue_options(Mapping::kWarpCentricDefer, 8)),
                std::invalid_argument);
 }
 
 TEST(QueueBfs, EmptyGraphAndBadSource) {
   gpu::Device dev;
   const auto empty =
-      bfs_gpu(dev, graph::empty_graph(0), 0,
-              queue_options(Mapping::kWarpCentric, 8));
+      bfs_gpu(GpuGraph(dev, graph::empty_graph(0)), 0, queue_options(Mapping::kWarpCentric, 8));
   EXPECT_TRUE(empty.level.empty());
-  const auto bad = bfs_gpu(dev, graph::chain(4), 99,
-                           queue_options(Mapping::kWarpCentric, 8));
+  const auto bad = bfs_gpu(GpuGraph(dev, graph::chain(4)), 99, queue_options(Mapping::kWarpCentric, 8));
   for (auto l : bad.level) EXPECT_EQ(l, kUnreached);
 }
 
@@ -114,9 +110,9 @@ TEST(QueueBfs, NaivePerLaneEnqueueSerializesAtomics) {
   const Csr g = graph::star(2000);
   gpu::Device d1, d2;
   const auto naive =
-      bfs_gpu(d1, g, 0, queue_options(Mapping::kThreadMapped, 32));
+      bfs_gpu(GpuGraph(d1, g), 0, queue_options(Mapping::kThreadMapped, 32));
   const auto agg =
-      bfs_gpu(d2, g, 0, queue_options(Mapping::kWarpCentric, 32));
+      bfs_gpu(GpuGraph(d2, g), 0, queue_options(Mapping::kWarpCentric, 32));
   EXPECT_GT(naive.stats.kernels.counters.atomic_conflicts,
             10 * agg.stats.kernels.counters.atomic_conflicts);
 }
@@ -129,9 +125,9 @@ TEST(QueueBfs, QueueSkipsFullScans) {
   gpu::Device d1, d2;
   KernelOptions level_opts;
   level_opts.virtual_warp_width = 4;
-  const auto scan = bfs_gpu(d1, g, 0, level_opts);
+  const auto scan = bfs_gpu(GpuGraph(d1, g), 0, level_opts);
   const auto queue =
-      bfs_gpu(d2, g, 0, queue_options(Mapping::kWarpCentric, 4));
+      bfs_gpu(GpuGraph(d2, g), 0, queue_options(Mapping::kWarpCentric, 4));
   EXPECT_EQ(scan.level, queue.level);
   EXPECT_GT(scan.stats.kernels.counters.issued_instructions,
             20 * queue.stats.kernels.counters.issued_instructions);
@@ -143,14 +139,14 @@ TEST(AdaptiveBfs, MatchesCpuOnDatasets) {
   for (const char* name : {"RMAT", "WikiTalk*", "Uniform", "Grid"}) {
     const Csr g = graph::make_dataset(name, 0.0625, 34);
     gpu::Device dev;
-    const auto r = bfs_gpu_adaptive(dev, g, 0);
+    const auto r = bfs_gpu_adaptive(GpuGraph(dev, g), 0);
     EXPECT_EQ(r.level, bfs_cpu(g, 0)) << name;
   }
 }
 
 TEST(AdaptiveBfs, RecordsOneWidthPerLevel) {
   gpu::Device dev;
-  const auto r = bfs_gpu_adaptive(dev, graph::chain(20), 0);
+  const auto r = bfs_gpu_adaptive(GpuGraph(dev, graph::chain(20)), 0);
   EXPECT_EQ(r.adaptive_widths.size(), r.stats.iterations);
   for (int w : r.adaptive_widths) {
     EXPECT_TRUE(w == 2 || w == 4 || w == 8 || w == 16 || w == 32);
@@ -161,15 +157,14 @@ TEST(AdaptiveBfs, WidthTracksFrontierDegree) {
   // Star entered from a leaf: level 0 expands the leaf (degree-1 work),
   // level 1 expands the hub (degree ~n) -> the chosen W must jump to 32.
   gpu::Device dev;
-  const auto r = bfs_gpu_adaptive(dev, graph::star(5000), 1);
+  const auto r = bfs_gpu_adaptive(GpuGraph(dev, graph::star(5000)), 1);
   ASSERT_GE(r.adaptive_widths.size(), 2u);
   EXPECT_EQ(r.adaptive_widths[1], 32);
   // On a degree-8 regular graph the frontier grows huge quickly, the
   // occupancy term vanishes, and the degree term picks W=8.
   gpu::Device dev2;
   const auto u =
-      bfs_gpu_adaptive(dev2, graph::uniform_degree(30000, 8, {.seed = 9}),
-                       0, /*min_width=*/2);
+      bfs_gpu_adaptive(GpuGraph(dev2, graph::uniform_degree(30000, 8, {.seed = 9})), 0, /*min_width=*/2);
   ASSERT_GE(u.adaptive_widths.size(), 5u);
   EXPECT_EQ(u.adaptive_widths[4], 8);
 }
@@ -179,7 +174,7 @@ TEST(AdaptiveBfs, SmallFrontierRaisesWidthForOccupancy) {
   // but with one warp total the SMs are idle either way — the occupancy
   // term picks the full warp so the (tiny) launch at least fills a warp.
   gpu::Device dev;
-  const auto c = bfs_gpu_adaptive(dev, graph::chain(50), 0, /*min_width=*/2);
+  const auto c = bfs_gpu_adaptive(GpuGraph(dev, graph::chain(50)), 0, /*min_width=*/2);
   for (std::size_t i = 1; i < c.adaptive_widths.size(); ++i) {
     EXPECT_EQ(c.adaptive_widths[i], 32);
   }
@@ -187,22 +182,22 @@ TEST(AdaptiveBfs, SmallFrontierRaisesWidthForOccupancy) {
 
 TEST(AdaptiveBfs, MinWidthRespectedAndValidated) {
   gpu::Device dev;
-  EXPECT_THROW(bfs_gpu_adaptive(dev, graph::chain(4), 0, /*min_width=*/3),
+  EXPECT_THROW(bfs_gpu_adaptive(GpuGraph(dev, graph::chain(4)), 0, /*min_width=*/3),
                std::invalid_argument);
-  const auto r = bfs_gpu_adaptive(dev, graph::chain(30), 0, /*min_width=*/8);
+  const auto r = bfs_gpu_adaptive(GpuGraph(dev, graph::chain(30)), 0, /*min_width=*/8);
   for (int w : r.adaptive_widths) EXPECT_GE(w, 8);
 }
 
 TEST(AdaptiveBfs, NearBestFixedWidthOnSkewedGraph) {
   const Csr g = graph::make_dataset("LiveJournal*", 0.125, 35);
   gpu::Device dev;
-  const auto adaptive = bfs_gpu_adaptive(dev, g, 0);
+  const auto adaptive = bfs_gpu_adaptive(GpuGraph(dev, g), 0);
   std::uint64_t best_fixed = ~0ull;
   for (int w : {4, 8, 16, 32}) {
     gpu::Device d2;
     best_fixed = std::min(
         best_fixed,
-        bfs_gpu(d2, g, 0, queue_options(Mapping::kWarpCentric, w))
+        bfs_gpu(GpuGraph(d2, g), 0, queue_options(Mapping::kWarpCentric, w))
             .stats.kernels.elapsed_cycles);
   }
   // Adaptive pays two extra gathers per vertex for its statistics; allow
@@ -217,7 +212,7 @@ TEST(DirectionBfs, MatchesCpuOnDatasets) {
   for (const char* name : {"RMAT", "LiveJournal*", "Uniform", "Grid"}) {
     const Csr g = graph::make_dataset(name, 0.0625, 37);
     gpu::Device dev;
-    const auto r = bfs_gpu_direction_optimized(dev, g, 0);
+    const auto r = bfs_gpu_direction_optimized(GpuGraph(dev, g), 0);
     EXPECT_EQ(r.level, bfs_cpu(g, 0)) << name;
   }
 }
@@ -226,7 +221,7 @@ TEST(DirectionBfs, MatchesCpuOnDirectedGraphs) {
   // Directed input forces the internal reverse-graph path for pull.
   const Csr g = graph::rmat(2048, 16384, {}, {.seed = 38});
   gpu::Device dev;
-  const auto r = bfs_gpu_direction_optimized(dev, g, 5);
+  const auto r = bfs_gpu_direction_optimized(GpuGraph(dev, g), 5);
   EXPECT_EQ(r.level, bfs_cpu(g, 5));
 }
 
@@ -236,7 +231,7 @@ TEST(DirectionBfs, UsesBottomUpOnTheBoomLevel) {
   const Csr g =
       graph::erdos_renyi(4096, 65536, {.seed = 39, .undirected = true});
   gpu::Device dev;
-  const auto r = bfs_gpu_direction_optimized(dev, g, 0);
+  const auto r = bfs_gpu_direction_optimized(GpuGraph(dev, g), 0);
   EXPECT_EQ(r.level, bfs_cpu(g, 0));
   bool any_pull = false;
   for (int d : r.level_directions) any_pull |= (d == 1);
@@ -248,7 +243,7 @@ TEST(DirectionBfs, StaysTopDownOnHighDiameterGraphs) {
   // Grid frontiers never exceed n/alpha.
   const Csr g = graph::grid2d(40, 40);
   gpu::Device dev;
-  const auto r = bfs_gpu_direction_optimized(dev, g, 0);
+  const auto r = bfs_gpu_direction_optimized(GpuGraph(dev, g), 0);
   for (int d : r.level_directions) EXPECT_EQ(d, 0);
 }
 
@@ -258,10 +253,10 @@ TEST(DirectionBfs, PullSkipsEdgeWorkOnDenseGraphs) {
   const Csr g =
       graph::erdos_renyi(4096, 65536, {.seed = 40, .undirected = true});
   gpu::Device d1, d2;
-  const auto hybrid = bfs_gpu_direction_optimized(d1, g, 0);
-  KernelOptions push_opts;
-  push_opts.virtual_warp_width = 8;
-  const auto push = bfs_gpu(d2, g, 0, push_opts);
+  KernelOptions w8;
+  w8.virtual_warp_width = 8;  // both sides at the legacy W=8
+  const auto hybrid = bfs_gpu_direction_optimized(GpuGraph(d1, g), 0, w8);
+  const auto push = bfs_gpu(GpuGraph(d2, g), 0, w8);
   EXPECT_EQ(hybrid.level, push.level);
   EXPECT_LT(hybrid.stats.kernels.counters.global_requests,
             push.stats.kernels.counters.global_requests);
@@ -269,22 +264,22 @@ TEST(DirectionBfs, PullSkipsEdgeWorkOnDenseGraphs) {
 
 TEST(DirectionBfs, ParameterValidation) {
   gpu::Device dev;
-  DirectionOptions bad;
+  KernelOptions bad;
   bad.virtual_warp_width = 3;
-  EXPECT_THROW(bfs_gpu_direction_optimized(dev, graph::chain(4), 0, bad),
+  EXPECT_THROW(bfs_gpu_direction_optimized(GpuGraph(dev, graph::chain(4)), 0, bad),
                std::invalid_argument);
-  DirectionOptions zero;
-  zero.alpha = 0;
-  EXPECT_THROW(bfs_gpu_direction_optimized(dev, graph::chain(4), 0, zero),
+  KernelOptions zero;
+  zero.direction.alpha = 0;
+  EXPECT_THROW(bfs_gpu_direction_optimized(GpuGraph(dev, graph::chain(4)), 0, zero),
                std::invalid_argument);
 }
 
 TEST(DirectionBfs, EmptyAndBadSource) {
   gpu::Device dev;
-  EXPECT_TRUE(bfs_gpu_direction_optimized(dev, graph::empty_graph(0), 0)
+  EXPECT_TRUE(bfs_gpu_direction_optimized(GpuGraph(dev, graph::empty_graph(0)), 0)
                   .level.empty());
   const auto r =
-      bfs_gpu_direction_optimized(dev, graph::chain(4), 99);
+      bfs_gpu_direction_optimized(GpuGraph(dev, graph::chain(4)), 99);
   for (auto l : r.level) EXPECT_EQ(l, kUnreached);
 }
 
@@ -292,8 +287,8 @@ TEST(DirectionBfs, DeterministicAcrossRuns) {
   const Csr g =
       graph::erdos_renyi(1024, 16384, {.seed = 41, .undirected = true});
   gpu::Device d1, d2;
-  const auto a = bfs_gpu_direction_optimized(d1, g, 0);
-  const auto b = bfs_gpu_direction_optimized(d2, g, 0);
+  const auto a = bfs_gpu_direction_optimized(GpuGraph(d1, g), 0);
+  const auto b = bfs_gpu_direction_optimized(GpuGraph(d2, g), 0);
   EXPECT_EQ(a.level, b.level);
   EXPECT_EQ(a.level_directions, b.level_directions);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
@@ -302,8 +297,8 @@ TEST(DirectionBfs, DeterministicAcrossRuns) {
 TEST(AdaptiveBfs, DeterministicAcrossRuns) {
   const Csr g = graph::rmat(512, 4096, {}, {.seed = 36});
   gpu::Device d1, d2;
-  const auto a = bfs_gpu_adaptive(d1, g, 0);
-  const auto b = bfs_gpu_adaptive(d2, g, 0);
+  const auto a = bfs_gpu_adaptive(GpuGraph(d1, g), 0);
+  const auto b = bfs_gpu_adaptive(GpuGraph(d2, g), 0);
   EXPECT_EQ(a.level, b.level);
   EXPECT_EQ(a.adaptive_widths, b.adaptive_widths);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);

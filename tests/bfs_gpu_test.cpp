@@ -23,7 +23,7 @@ KernelOptions options_for(Mapping mapping, int width) {
 void expect_matches_cpu(const Csr& g, graph::NodeId source,
                         const KernelOptions& opts) {
   gpu::Device dev;
-  const auto gpu_result = bfs_gpu(dev, g, source, opts);
+  const auto gpu_result = bfs_gpu(GpuGraph(dev, g), source, opts);
   const auto cpu_levels = bfs_cpu(g, source);
   ASSERT_EQ(gpu_result.level.size(), cpu_levels.size());
   for (std::size_t v = 0; v < cpu_levels.size(); ++v) {
@@ -116,9 +116,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(BfsGpu, EmptyGraphAndBadSource) {
   gpu::Device dev;
-  const auto empty = bfs_gpu(dev, graph::empty_graph(0), 0, {});
+  const auto empty = bfs_gpu(GpuGraph(dev, graph::empty_graph(0)), 0, {});
   EXPECT_TRUE(empty.level.empty());
-  const auto bad = bfs_gpu(dev, graph::chain(4), 99, {});
+  const auto bad = bfs_gpu(GpuGraph(dev, graph::chain(4)), 99, {});
   EXPECT_EQ(bad.reached_nodes, 0u);
   for (auto l : bad.level) EXPECT_EQ(l, kUnreached);
 }
@@ -127,20 +127,20 @@ TEST(BfsGpu, InvalidWidthThrows) {
   gpu::Device dev;
   KernelOptions opts;
   opts.virtual_warp_width = 5;
-  EXPECT_THROW(bfs_gpu(dev, graph::chain(4), 0, opts),
+  EXPECT_THROW(bfs_gpu(GpuGraph(dev, graph::chain(4)), 0, opts),
                std::invalid_argument);
 }
 
 TEST(BfsGpu, DepthMatchesEccentricity) {
   gpu::Device dev;
-  const auto r = bfs_gpu(dev, graph::chain(10), 0, {});
+  const auto r = bfs_gpu(GpuGraph(dev, graph::chain(10)), 0, {});
   EXPECT_EQ(r.depth, 9u);
 }
 
 TEST(BfsGpu, ReachedAndTraversedAccounting) {
   gpu::Device dev;
   const Csr g = graph::build_csr(4, {{0, 1}, {1, 2}, {3, 0}});
-  const auto r = bfs_gpu(dev, g, 0, {});
+  const auto r = bfs_gpu(GpuGraph(dev, g), 0, {});
   EXPECT_EQ(r.reached_nodes, 3u);        // 0, 1, 2
   EXPECT_EQ(r.traversed_edges, 2u);      // deg(0)+deg(1)+deg(2) = 1+1+0
 }
@@ -149,8 +149,8 @@ TEST(BfsGpu, DeterministicStats) {
   const Csr g = graph::rmat(512, 4096, {}, {.seed = 13});
   KernelOptions opts;
   gpu::Device d1, d2;
-  const auto a = bfs_gpu(d1, g, 0, opts);
-  const auto b = bfs_gpu(d2, g, 0, opts);
+  const auto a = bfs_gpu(GpuGraph(d1, g), 0, opts);
+  const auto b = bfs_gpu(GpuGraph(d2, g), 0, opts);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
   EXPECT_EQ(a.stats.kernels.counters.issued_instructions,
             b.stats.kernels.counters.issued_instructions);
@@ -158,7 +158,7 @@ TEST(BfsGpu, DeterministicStats) {
 
 TEST(BfsGpu, StatsArePopulated) {
   gpu::Device dev;
-  const auto r = bfs_gpu(dev, graph::grid2d(10, 10), 0, {});
+  const auto r = bfs_gpu(GpuGraph(dev, graph::grid2d(10, 10)), 0, {});
   EXPECT_GT(r.stats.kernels.launches, 0u);
   EXPECT_GT(r.stats.kernels.elapsed_cycles, 0u);
   EXPECT_GT(r.stats.transfer_ms, 0.0);
@@ -173,7 +173,7 @@ TEST(BfsGpu, DeferUsesQueueOnStarGraph) {
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
   opts.defer_threshold = 10;  // hub degree 499 >> threshold
-  const auto r = bfs_gpu(dev, graph::star(500), 0, opts);
+  const auto r = bfs_gpu(GpuGraph(dev, graph::star(500)), 0, opts);
   const auto cpu_levels = bfs_cpu(graph::star(500), 0);
   EXPECT_EQ(r.level, cpu_levels);
   // The drain pass adds launches beyond one per level.
@@ -185,7 +185,7 @@ TEST(BfsGpu, DeferThresholdAboveMaxDegreeNeverDrains) {
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
   opts.defer_threshold = 1 << 20;
-  const auto r = bfs_gpu(dev, graph::star(100), 0, opts);
+  const auto r = bfs_gpu(GpuGraph(dev, graph::star(100)), 0, opts);
   EXPECT_EQ(r.stats.kernels.launches, r.stats.iterations);
 }
 
@@ -194,8 +194,8 @@ TEST(BfsGpu, DeferThresholdAboveMaxDegreeNeverDrains) {
 TEST(BfsShape, WarpCentricBeatsThreadMappedOnSkewedGraph) {
   const Csr g = graph::rmat(4096, 32768, {}, {.seed = 14});
   gpu::Device d1, d2;
-  const auto base = bfs_gpu(d1, g, 0, options_for(Mapping::kThreadMapped, 32));
-  const auto warp = bfs_gpu(d2, g, 0, options_for(Mapping::kWarpCentric, 32));
+  const auto base = bfs_gpu(GpuGraph(d1, g), 0, options_for(Mapping::kThreadMapped, 32));
+  const auto warp = bfs_gpu(GpuGraph(d2, g), 0, options_for(Mapping::kWarpCentric, 32));
   EXPECT_LT(warp.stats.kernels.elapsed_cycles,
             base.stats.kernels.elapsed_cycles);
 }
@@ -205,8 +205,8 @@ TEST(BfsShape, ThreadMappedCompetitiveOnUniformGraph) {
   // must not lose (this is the other side of the paper's trade-off).
   const Csr g = graph::uniform_degree(4096, 8, {.seed = 15});
   gpu::Device d1, d2;
-  const auto base = bfs_gpu(d1, g, 0, options_for(Mapping::kThreadMapped, 32));
-  const auto warp = bfs_gpu(d2, g, 0, options_for(Mapping::kWarpCentric, 32));
+  const auto base = bfs_gpu(GpuGraph(d1, g), 0, options_for(Mapping::kThreadMapped, 32));
+  const auto warp = bfs_gpu(GpuGraph(d2, g), 0, options_for(Mapping::kWarpCentric, 32));
   EXPECT_LT(base.stats.kernels.elapsed_cycles,
             warp.stats.kernels.elapsed_cycles);
 }
@@ -214,15 +214,15 @@ TEST(BfsShape, ThreadMappedCompetitiveOnUniformGraph) {
 TEST(BfsShape, BaselineUtilizationLowOnSkewedGraph) {
   const Csr g = graph::rmat(4096, 32768, {}, {.seed = 16});
   gpu::Device dev;
-  const auto base = bfs_gpu(dev, g, 0, options_for(Mapping::kThreadMapped, 32));
+  const auto base = bfs_gpu(GpuGraph(dev, g), 0, options_for(Mapping::kThreadMapped, 32));
   EXPECT_LT(base.stats.kernels.counters.simd_utilization(), 0.5);
 }
 
 TEST(BfsShape, WarpCentricCoalescesBetter) {
   const Csr g = graph::rmat(4096, 32768, {}, {.seed = 17});
   gpu::Device d1, d2;
-  const auto base = bfs_gpu(d1, g, 0, options_for(Mapping::kThreadMapped, 32));
-  const auto warp = bfs_gpu(d2, g, 0, options_for(Mapping::kWarpCentric, 32));
+  const auto base = bfs_gpu(GpuGraph(d1, g), 0, options_for(Mapping::kThreadMapped, 32));
+  const auto warp = bfs_gpu(GpuGraph(d2, g), 0, options_for(Mapping::kWarpCentric, 32));
   EXPECT_LT(warp.stats.kernels.counters.transactions_per_request(),
             base.stats.kernels.counters.transactions_per_request());
 }

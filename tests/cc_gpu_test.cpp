@@ -15,7 +15,7 @@ using graph::Csr;
 
 void expect_matches_cpu(const Csr& g, const KernelOptions& opts) {
   gpu::Device dev;
-  const auto gpu_result = connected_components_gpu(dev, g, opts);
+  const auto gpu_result = connected_components_gpu(GpuGraph(dev, g), opts);
   const auto cpu_labels = connected_components_cpu(g);
   EXPECT_EQ(gpu_result.label, cpu_labels);
 }
@@ -71,7 +71,7 @@ TEST(CcGpu, ComponentCountMatchesUnionFind) {
   const Csr g =
       graph::erdos_renyi(500, 400, {.seed = 7, .undirected = true});
   gpu::Device dev;
-  const auto r = connected_components_gpu(dev, g, {});
+  const auto r = connected_components_gpu(GpuGraph(dev, g), {});
   std::set<std::uint32_t> gpu_components(r.label.begin(), r.label.end());
   std::vector<std::uint32_t> comp;
   const std::uint32_t expected = graph::weak_components(g, comp);
@@ -85,7 +85,7 @@ TEST(CcGpu, LabelsAreComponentMinima) {
   const Csr g = graph::build_csr(
       6, {{0, 2}, {2, 4}, {4, 0}, {1, 3}, {3, 5}, {5, 1}}, sym);
   gpu::Device dev;
-  const auto r = connected_components_gpu(dev, g, {});
+  const auto r = connected_components_gpu(GpuGraph(dev, g), {});
   EXPECT_EQ(r.label, (std::vector<std::uint32_t>{0, 1, 0, 1, 0, 1}));
 }
 
@@ -93,19 +93,19 @@ TEST(CcGpu, UnsupportedMappingThrows) {
   gpu::Device dev;
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDynamic;
-  EXPECT_THROW(connected_components_gpu(dev, graph::chain(4), opts),
+  EXPECT_THROW(connected_components_gpu(GpuGraph(dev, graph::chain(4)), opts),
                std::invalid_argument);
 }
 
 TEST(CcGpu, EmptyGraph) {
   gpu::Device dev;
-  const auto r = connected_components_gpu(dev, graph::empty_graph(0), {});
+  const auto r = connected_components_gpu(GpuGraph(dev, graph::empty_graph(0)), {});
   EXPECT_TRUE(r.label.empty());
 }
 
 TEST(CcGpu, SweepsBoundedByDiameter) {
   gpu::Device dev;
-  const auto r = connected_components_gpu(dev, graph::chain(64), {});
+  const auto r = connected_components_gpu(GpuGraph(dev, graph::chain(64)), {});
   // Min label floods one hop per sweep: 63 hops + quiescent check.
   EXPECT_LE(r.stats.iterations, 65u);
   EXPECT_GE(r.stats.iterations, 2u);
@@ -114,8 +114,8 @@ TEST(CcGpu, SweepsBoundedByDiameter) {
 TEST(CcGpu, DeterministicAcrossRuns) {
   const Csr g = graph::watts_strogatz(256, 6, 0.3, {.seed = 8});
   gpu::Device d1, d2;
-  const auto a = connected_components_gpu(d1, g, {});
-  const auto b = connected_components_gpu(d2, g, {});
+  const auto a = connected_components_gpu(GpuGraph(d1, g), {});
+  const auto b = connected_components_gpu(GpuGraph(d2, g), {});
   EXPECT_EQ(a.label, b.label);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }

@@ -66,7 +66,7 @@ TEST_P(ColoringSweep, MatchesSequentialJonesPlassmann) {
         graph::watts_strogatz(200, 6, 0.2, {.seed = 72}),
         graph::erdos_renyi(400, 2400, {.seed = 73, .undirected = true})}) {
     gpu::Device dev;
-    const auto r = color_graph_gpu(dev, g, opts);
+    const auto r = color_graph_gpu(GpuGraph(dev, g), opts);
     EXPECT_EQ(r.color, color_graph_cpu(g));
     EXPECT_TRUE(is_proper_coloring(g, r.color));
   }
@@ -80,7 +80,7 @@ TEST_P(ColoringSweep, HubGraphExercisesWindowSliding) {
   opts.virtual_warp_width = GetParam().width;
   const Csr g = graph::complete(100);
   gpu::Device dev;
-  const auto r = color_graph_gpu(dev, g, opts);
+  const auto r = color_graph_gpu(GpuGraph(dev, g), opts);
   EXPECT_TRUE(is_proper_coloring(g, r.color));
   EXPECT_EQ(r.colors_used, 100u);
   EXPECT_EQ(r.color, color_graph_cpu(g));
@@ -99,32 +99,32 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ColoringGpu, SkewedGraphProperAndMatching) {
   const Csr g = graph::rmat(512, 4096, {}, {.seed = 74, .undirected = true});
   gpu::Device dev;
-  const auto r = color_graph_gpu(dev, g, {});
+  const auto r = color_graph_gpu(GpuGraph(dev, g), {});
   EXPECT_TRUE(is_proper_coloring(g, r.color));
   EXPECT_EQ(r.color, color_graph_cpu(g));
 }
 
 TEST(ColoringGpu, ColorsUsedReported) {
   gpu::Device dev;
-  const auto r = color_graph_gpu(dev, graph::complete(5), {});
+  const auto r = color_graph_gpu(GpuGraph(dev, graph::complete(5)), {});
   EXPECT_EQ(r.colors_used, 5u);
 }
 
 TEST(ColoringGpu, EmptyGraphAndUnsupportedMapping) {
   gpu::Device dev;
-  EXPECT_EQ(color_graph_gpu(dev, graph::empty_graph(0), {}).colors_used,
+  EXPECT_EQ(color_graph_gpu(GpuGraph(dev, graph::empty_graph(0)), {}).colors_used,
             0u);
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDynamic;
-  EXPECT_THROW(color_graph_gpu(dev, graph::chain(4), opts),
+  EXPECT_THROW(color_graph_gpu(GpuGraph(dev, graph::chain(4)), opts),
                std::invalid_argument);
 }
 
 TEST(ColoringGpu, DeterministicAcrossRuns) {
   const Csr g = graph::watts_strogatz(300, 8, 0.3, {.seed = 75});
   gpu::Device d1, d2;
-  const auto a = color_graph_gpu(d1, g, {});
-  const auto b = color_graph_gpu(d2, g, {});
+  const auto a = color_graph_gpu(GpuGraph(d1, g), {});
+  const auto b = color_graph_gpu(GpuGraph(d2, g), {});
   EXPECT_EQ(a.color, b.color);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }

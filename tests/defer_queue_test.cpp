@@ -134,7 +134,7 @@ void expect_defer_bfs_matches_cpu(std::uint32_t threshold, bool sanitize) {
   algorithms::KernelOptions opts;
   opts.mapping = algorithms::Mapping::kWarpCentricDefer;
   opts.defer_threshold = threshold;
-  const auto result = algorithms::bfs_gpu(dev, g, 0, opts);
+  const auto result = algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), 0, opts);
   const auto expected = algorithms::bfs_cpu(g, 0);
   ASSERT_EQ(result.level.size(), expected.size());
   for (std::size_t v = 0; v < expected.size(); ++v) {

@@ -1,0 +1,143 @@
+// GpuGraph handle: upload-once accounting, lazy cached reverse CSR (with
+// symmetric aliasing), TEPS numerator helper, and equivalence of the
+// deprecated graph::Csr shims / DirectionOptions with the unified API.
+#include "algorithms/gpu_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+/// Directed 4-cycle 0->1->2->3->0: decidedly not symmetric.
+Csr directed_cycle() {
+  return graph::build_csr(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                          {.symmetrize = false});
+}
+
+TEST(GpuGraphTest, UploadIsChargedOnceAtConstruction) {
+  gpu::Device dev;
+  const Csr host = graph::rmat(1 << 10, 8u << 10, {}, {.seed = 21});
+  const std::uint64_t before = dev.transfer_totals().bytes_to_device;
+  GpuGraph g(dev, host);
+  const std::uint64_t after_build = dev.transfer_totals().bytes_to_device;
+  // Row offsets + column indices at minimum.
+  EXPECT_GE(after_build - before,
+            (host.num_nodes() + 1) * sizeof(std::uint32_t) +
+                host.num_edges() * sizeof(NodeId));
+
+  // Two identical runs charge identical per-run transfers — neither
+  // re-uploads the graph.
+  const auto r1 = bfs_gpu(g, 0);
+  const std::uint64_t after_run1 = dev.transfer_totals().bytes_to_device;
+  const auto r2 = bfs_gpu(g, 0);
+  const std::uint64_t after_run2 = dev.transfer_totals().bytes_to_device;
+  EXPECT_EQ(r1.level, r2.level);
+  EXPECT_EQ(after_run1 - after_build, after_run2 - after_run1);
+  EXPECT_LT(after_run1 - after_build, after_build - before);
+}
+
+TEST(GpuGraphTest, AccessorsMirrorTheHostCsr) {
+  gpu::Device dev;
+  Csr host = graph::erdos_renyi(256, 1024, {.seed = 6});
+  graph::assign_hash_weights(host, 64);
+  GpuGraph g(dev, host);
+  EXPECT_EQ(g.num_nodes(), host.num_nodes());
+  EXPECT_EQ(g.num_edges(), host.num_edges());
+  EXPECT_TRUE(g.weighted());
+  EXPECT_EQ(g.host().num_edges(), host.num_edges());
+  EXPECT_EQ(&g.device(), &dev);
+}
+
+TEST(GpuGraphTest, SymmetricGraphAliasesForwardCsrAsReverse) {
+  gpu::Device dev;
+  GpuGraph g(dev, graph::chain(16));
+  EXPECT_TRUE(g.symmetric());
+  EXPECT_EQ(&g.reverse_csr(), &g.csr());
+  EXPECT_EQ(&g.reverse_host(), &g.host());
+}
+
+TEST(GpuGraphTest, ReverseCsrIsLazyAndCached) {
+  gpu::Device dev;
+  GpuGraph g(dev, directed_cycle());
+  EXPECT_FALSE(g.symmetric());
+
+  // Lazy: constructing charged only the forward upload.
+  const std::uint64_t before = dev.transfer_totals().bytes_to_device;
+  const GpuCsr& rev = g.reverse_csr();
+  EXPECT_GT(dev.transfer_totals().bytes_to_device, before);
+  EXPECT_NE(&rev, &g.csr());
+
+  // Cached: second call is free and returns the same object.
+  const std::uint64_t after = dev.transfer_totals().bytes_to_device;
+  EXPECT_EQ(&g.reverse_csr(), &rev);
+  EXPECT_EQ(dev.transfer_totals().bytes_to_device, after);
+
+  // And it really is the transpose: in-edge of 1 is 0 -> out-edge 1->0.
+  const Csr& rev_host = g.reverse_host();
+  ASSERT_EQ(rev_host.degree(1), 1u);
+  EXPECT_EQ(rev_host.neighbors(1)[0], 0u);
+}
+
+TEST(GpuGraphTest, TraversedEdgesSumsReachedOutDegrees) {
+  gpu::Device dev;
+  // Two components: chain 0-1-2 plus isolated edge 3-4.
+  const Csr host = graph::build_csr(5, {{0, 1}, {1, 2}, {3, 4}},
+                                    {.symmetrize = true});
+  GpuGraph g(dev, host);
+  const std::uint32_t unreached = 0xffffffffu;
+  const std::vector<std::uint32_t> reached = {0, 1, 1, unreached, unreached};
+  // deg(0)=1, deg(1)=2, deg(2)=1.
+  EXPECT_EQ(g.traversed_edges(reached, unreached), 4u);
+
+  const auto r = bfs_gpu(g, 0);
+  EXPECT_EQ(r.traversed_edges, 4u);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(GpuGraphTest, DeprecatedCsrShimsMatchUnifiedApi) {
+  Csr host = graph::rmat(512, 4096, {}, {.seed = 17});
+  graph::assign_hash_weights(host, 64);
+  gpu::Device dev_new;
+  GpuGraph g(dev_new, host);
+  gpu::Device dev_old;
+
+  EXPECT_EQ(bfs_gpu(dev_old, host, 3).level, bfs_gpu(g, 3).level);
+  EXPECT_EQ(sssp_gpu(dev_old, host, 3).dist, sssp_gpu(g, 3).dist);
+  EXPECT_EQ(pagerank_gpu(dev_old, host).rank, pagerank_gpu(g).rank);
+}
+
+TEST(GpuGraphTest, DirectionOptionsFoldMatchesLegacyShim) {
+  const Csr host = graph::rmat(1 << 10, 8u << 10, {}, {.seed = 19});
+  gpu::Device dev_new;
+  GpuGraph g(dev_new, host);
+  gpu::Device dev_old;
+
+  KernelOptions opts;
+  opts.virtual_warp_width = 8;
+  opts.direction.alpha = 14;
+  opts.direction.beta = 24;
+  const auto unified = bfs_gpu_direction_optimized(g, 0, opts);
+
+  DirectionOptions legacy;  // alpha=14, beta=24, virtual_warp_width=8
+  const auto shimmed =
+      bfs_gpu_direction_optimized(dev_old, host, 0, legacy);
+  EXPECT_EQ(unified.level, shimmed.level);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace maxwarp::algorithms

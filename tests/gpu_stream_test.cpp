@@ -1,0 +1,173 @@
+// gpu::Stream / gpu::Event / gpu::StreamScope semantics over the overlap
+// timeline: per-stream FIFO, cross-stream overlap, event elapsed-time
+// identities, and the serial-program identity makespan == total_modeled_ms.
+#include "gpu/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+
+namespace maxwarp::gpu {
+namespace {
+
+using simt::KernelStats;
+using simt::WarpCtx;
+
+/// Exact-math device: no launch overhead, 16 SMs.
+Device make_device() {
+  simt::SimConfig cfg;
+  cfg.num_sms = 16;
+  cfg.kernel_launch_overhead_cycles = 0;
+  return Device(cfg);
+}
+
+/// A kernel of `blocks` single-warp blocks, each burning `iters` ALU
+/// slots: alone it keeps exactly `blocks` SMs busy (blocks <= num_sms),
+/// so its timeline parallelism cap is `blocks`.
+simt::WarpFn burner(int iters) {
+  return [iters](WarpCtx& w) {
+    for (int i = 0; i < iters; ++i) w.alu([](int) {});
+  };
+}
+
+double span_ms(const Device& dev, const KernelStats& stats) {
+  return dev.config().cycles_to_ms(stats.elapsed_cycles);
+}
+
+TEST(GpuStreamTest, SerialProgramMakespanEqualsSerialModel) {
+  Device dev;  // stock config, launch overhead included
+  DeviceBuffer<std::uint32_t> buf(dev, std::vector<std::uint32_t>(1024, 1));
+  dev.launch(dev.dims_for_warps(8), burner(100));
+  dev.launch(dev.dims_for_threads(4096), burner(10));
+  (void)buf.download();
+  const double serial = dev.total_modeled_ms();
+  ASSERT_GT(serial, 0.0);
+  EXPECT_NEAR(dev.modeled_makespan_ms(), serial, serial * 1e-12);
+}
+
+TEST(GpuStreamTest, SameStreamIsFifo) {
+  Device dev = make_device();
+  Stream s(dev);
+  const auto k1 = s.launch(dev.dims_for_warps(8), burner(100));
+  const auto k2 = s.launch(dev.dims_for_warps(8), burner(50));
+  const double expect = span_ms(dev, k1) + span_ms(dev, k2);
+  EXPECT_NEAR(s.ready_ms(), expect, expect * 1e-12);
+  EXPECT_NEAR(s.synchronize(), s.ready_ms(), 1e-15);
+}
+
+TEST(GpuStreamTest, TwoStreamsOverlapPerfectly) {
+  Device dev = make_device();
+  Stream a(dev), b(dev);
+  // 8 blocks each on 16 SMs: both fit side by side at full rate.
+  const auto k1 = a.launch(dev.dims_for_warps(8), burner(100));
+  const auto k2 = b.launch(dev.dims_for_warps(8), burner(100));
+  const double span = span_ms(dev, k1);
+  ASSERT_NEAR(span_ms(dev, k2), span, span * 1e-12);
+  EXPECT_NEAR(dev.modeled_makespan_ms(), span, span * 1e-12);
+}
+
+TEST(GpuStreamTest, ThreeStreamsWaterFillAt150Percent) {
+  Device dev = make_device();
+  Stream a(dev), b(dev), c(dev);
+  const auto k1 = a.launch(dev.dims_for_warps(8), burner(100));
+  b.launch(dev.dims_for_warps(8), burner(100));
+  c.launch(dev.dims_for_warps(8), burner(100));
+  // 3 x 8 SM-demand on 16 SMs: aggregate work 24C at rate 16 -> 1.5x.
+  const double span = span_ms(dev, k1);
+  EXPECT_NEAR(dev.modeled_makespan_ms(), 1.5 * span, span * 1e-12);
+}
+
+TEST(GpuStreamTest, EventElapsedMatchesKernelSpan) {
+  Device dev = make_device();
+  Stream s(dev);
+  Event start(dev), stop(dev);
+  s.launch(dev.dims_for_warps(4), burner(10));
+  start.record(s);
+  const auto k = s.launch(dev.dims_for_warps(8), burner(100));
+  stop.record(s);
+  const double span = span_ms(dev, k);
+  EXPECT_NEAR(Event::elapsed_ms(start, stop), span, span * 1e-12);
+}
+
+TEST(GpuStreamTest, UnrecordedEventThrowsAndWaitIsNoop) {
+  Device dev = make_device();
+  Stream s(dev);
+  Event e(dev);
+  EXPECT_FALSE(e.recorded());
+  EXPECT_THROW((void)e.ms(), std::logic_error);
+  s.wait(e);  // CUDA semantics: waiting on a never-recorded event is a no-op
+  const auto k = s.launch(dev.dims_for_warps(8), burner(100));
+  const double span = span_ms(dev, k);
+  EXPECT_NEAR(s.ready_ms(), span, span * 1e-12);
+}
+
+TEST(GpuStreamTest, CrossStreamWaitSerializes) {
+  Device dev = make_device();
+  Stream a(dev), b(dev);
+  Event e(dev);
+  const auto k1 = a.launch(dev.dims_for_warps(8), burner(100));
+  e.record(a);
+  b.wait(e);
+  const auto k2 = b.launch(dev.dims_for_warps(8), burner(100));
+  // Without the wait these would overlap perfectly (see above); the event
+  // forces b's kernel to start after a's finishes.
+  const double expect = span_ms(dev, k1) + span_ms(dev, k2);
+  EXPECT_NEAR(b.ready_ms(), expect, expect * 1e-12);
+  EXPECT_NEAR(dev.modeled_makespan_ms(), expect, expect * 1e-12);
+}
+
+TEST(GpuStreamTest, ReRecordingAnEventOverwrites) {
+  Device dev = make_device();
+  Stream s(dev);
+  Event e(dev);
+  s.launch(dev.dims_for_warps(8), burner(100));
+  e.record(s);
+  const double first = e.ms();
+  s.launch(dev.dims_for_warps(8), burner(100));
+  e.record(s);
+  EXPECT_GT(e.ms(), first);
+}
+
+TEST(GpuStreamTest, StreamScopeRedirectsPlainCalls) {
+  Device dev = make_device();
+  Stream s(dev);
+  EXPECT_EQ(dev.current_stream_id(), 0u);
+  {
+    StreamScope scope(dev, s);
+    EXPECT_EQ(dev.current_stream_id(), s.id());
+    dev.launch(dev.dims_for_warps(8), burner(100));  // plain launch
+  }
+  EXPECT_EQ(dev.current_stream_id(), 0u);
+  EXPECT_GT(s.ready_ms(), 0.0);
+  EXPECT_NEAR(dev.timeline().stream_ready_ms(0), 0.0, 1e-15);
+}
+
+TEST(GpuStreamTest, AsyncCopyOverlapsKernelCompletely) {
+  Device dev = make_device();
+  Stream a(dev), b(dev);
+  DeviceBuffer<std::uint32_t> buf(dev, std::size_t{1} << 20);
+  const auto k = a.launch(dev.dims_for_warps(16), burner(2000));
+  const double before_copy_ms = dev.transfer_totals().modeled_ms;
+  std::vector<std::uint32_t> host(buf.size(), 7);
+  buf.upload_async(host, b);
+  const double copy_ms = dev.transfer_totals().modeled_ms - before_copy_ms;
+  const double span = span_ms(dev, k);
+  ASSERT_GT(copy_ms, 0.0);
+  // Copies ride the DMA engine, kernels the SMs: full overlap.
+  const double expect = std::max(span, copy_ms);
+  EXPECT_NEAR(dev.modeled_makespan_ms(), expect, expect * 1e-12);
+}
+
+TEST(GpuStreamTest, DefaultStreamWrapsIdZero) {
+  Device dev = make_device();
+  Stream def = Stream::default_stream(dev);
+  EXPECT_EQ(def.id(), 0u);
+  Stream s(dev);
+  EXPECT_NE(s.id(), 0u);
+}
+
+}  // namespace
+}  // namespace maxwarp::gpu

@@ -43,7 +43,7 @@ TEST(Integration, AllDatasetsAllBfsMappingsAgreeWithCpu) {
       opts.virtual_warp_width = 16;
       opts.defer_threshold = 64;
       gpu::Device dev;
-      const auto result = bfs_gpu(dev, g, source, opts);
+      const auto result = bfs_gpu(GpuGraph(dev, g), source, opts);
       ASSERT_EQ(result.level, expected)
           << spec.name << " / " << to_string(mapping);
     }
@@ -58,7 +58,7 @@ TEST(Integration, WidthSweepIdenticalResults) {
     KernelOptions opts;
     opts.virtual_warp_width = width;
     gpu::Device dev;
-    ASSERT_EQ(bfs_gpu(dev, g, source, opts).level, expected)
+    ASSERT_EQ(bfs_gpu(GpuGraph(dev, g), source, opts).level, expected)
         << "W=" << width;
   }
 }
@@ -70,7 +70,7 @@ TEST(Integration, SsspOnWeightedDatasets) {
     const graph::NodeId source = best_source(g);
     const auto expected = sssp_cpu(g, source);
     gpu::Device dev;
-    const auto result = sssp_gpu(dev, g, source, {});
+    const auto result = sssp_gpu(GpuGraph(dev, g), source, {});
     for (std::size_t v = 0; v < expected.size(); ++v) {
       const std::uint32_t want =
           expected[v] == kUnreachedDist
@@ -88,7 +88,7 @@ TEST(Integration, ConnectedComponentsOnUndirectedClosure) {
   const graph::Csr g =
       graph::build_csr(raw.num_nodes(), graph::to_edge_list(raw), sym);
   gpu::Device dev;
-  const auto gpu_cc = connected_components_gpu(dev, g, {});
+  const auto gpu_cc = connected_components_gpu(GpuGraph(dev, g), {});
   EXPECT_EQ(gpu_cc.label, connected_components_cpu(g));
 }
 
@@ -97,7 +97,7 @@ TEST(Integration, PageRankOnDataset) {
   gpu::Device dev;
   PageRankParams params;
   params.iterations = 10;
-  const auto gpu_pr = pagerank_gpu(dev, g, params, {});
+  const auto gpu_pr = pagerank_gpu(GpuGraph(dev, g), params, {});
   const auto cpu_pr = pagerank_cpu(g, params.damping, params.iterations);
   for (std::size_t v = 0; v < cpu_pr.size(); ++v) {
     ASSERT_NEAR(gpu_pr.rank[v], cpu_pr[v], 5e-4) << "node " << v;
@@ -108,7 +108,7 @@ TEST(Integration, GpuAndParallelCpuAgree) {
   const graph::Csr g = graph::make_dataset("LiveJournal*", kScale, 26);
   const graph::NodeId source = best_source(g);
   gpu::Device dev;
-  const auto gpu_result = bfs_gpu(dev, g, source, {});
+  const auto gpu_result = bfs_gpu(GpuGraph(dev, g), source, {});
   const auto cpu_result = bfs_cpu_parallel(g, source, 4);
   EXPECT_EQ(gpu_result.level, cpu_result.level);
   EXPECT_EQ(gpu_result.depth, cpu_result.depth);
@@ -128,7 +128,7 @@ TEST(Integration, SkewedDatasetsFavorWarpCentric) {
     gpu::Device d1;
     KernelOptions base;
     base.mapping = Mapping::kThreadMapped;
-    const auto b = bfs_gpu(d1, g, source, base);
+    const auto b = bfs_gpu(GpuGraph(d1, g), source, base);
     // The paper tunes W per graph; take the best of a small and a large
     // width (low-avg-degree graphs like WikiTalk want small W).
     std::uint64_t best_warp_cycles = ~0ull;
@@ -138,7 +138,7 @@ TEST(Integration, SkewedDatasetsFavorWarpCentric) {
       warp.virtual_warp_width = width;
       gpu::Device d2;
       best_warp_cycles = std::min(
-          best_warp_cycles, bfs_gpu(d2, g, source, warp)
+          best_warp_cycles, bfs_gpu(GpuGraph(d2, g), source, warp)
                                 .stats.kernels.elapsed_cycles);
     }
     speedup[spec.name] =
@@ -162,7 +162,7 @@ TEST(Integration, BestWidthIsSmallerOnRegularGraphs) {
     KernelOptions opts;
     opts.virtual_warp_width = width;
     gpu::Device dev;
-    return bfs_gpu(dev, g, best_source(g), opts)
+    return bfs_gpu(GpuGraph(dev, g), best_source(g), opts)
         .stats.kernels.elapsed_cycles;
   };
   const graph::Csr uniform = graph::make_dataset("Uniform", kScale, 28);
@@ -175,7 +175,7 @@ TEST(Integration, BestWidthIsSmallerOnRegularGraphs) {
 TEST(Integration, TransferAndKernelTimeBothReported) {
   const graph::Csr g = graph::make_dataset("Random", kScale, 29);
   gpu::Device dev;
-  const auto r = bfs_gpu(dev, g, best_source(g), {});
+  const auto r = bfs_gpu(GpuGraph(dev, g), best_source(g), {});
   const auto& cfg = dev.config();
   EXPECT_GT(r.stats.kernel_ms(cfg), 0.0);
   EXPECT_GT(r.stats.transfer_ms, 0.0);

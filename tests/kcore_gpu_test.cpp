@@ -79,7 +79,7 @@ TEST_P(KCoreSweep, MatchesCpuOnRandomGraphs) {
     const Csr g =
         graph::erdos_renyi(600, 2400, {.seed = 61, .undirected = true});
     gpu::Device dev;
-    const auto r = k_core_gpu(dev, g, k, opts);
+    const auto r = k_core_gpu(GpuGraph(dev, g), k, opts);
     EXPECT_EQ(r.in_core, k_core_cpu(g, k)) << "k=" << k;
   }
 }
@@ -91,7 +91,7 @@ TEST_P(KCoreSweep, MatchesCpuOnSkewedGraph) {
   const Csr g =
       graph::rmat(1024, 8192, {}, {.seed = 62, .undirected = true});
   gpu::Device dev;
-  const auto r = k_core_gpu(dev, g, 5, opts);
+  const auto r = k_core_gpu(GpuGraph(dev, g), 5, opts);
   EXPECT_EQ(r.in_core, k_core_cpu(g, 5));
 }
 
@@ -100,7 +100,7 @@ TEST_P(KCoreSweep, CascadePeeling) {
   opts.mapping = GetParam().mapping;
   opts.virtual_warp_width = GetParam().width;
   gpu::Device dev;
-  const auto r = k_core_gpu(dev, graph::chain(64), 2, opts);
+  const auto r = k_core_gpu(GpuGraph(dev, graph::chain(64)), 2, opts);
   EXPECT_EQ(r.survivors, 0u);
   // Peeling one endpoint pair per round would need ~32 rounds; the
   // GPU cascade must terminate and agree regardless of round count.
@@ -120,7 +120,7 @@ TEST(KCoreGpu, SurvivorCountMatchesMask) {
   const Csr g =
       graph::erdos_renyi(400, 1600, {.seed = 63, .undirected = true});
   gpu::Device dev;
-  const auto r = k_core_gpu(dev, g, 3);
+  const auto r = k_core_gpu(GpuGraph(dev, g), 3);
   std::uint32_t count = 0;
   for (auto x : r.in_core) count += x;
   EXPECT_EQ(count, r.survivors);
@@ -128,18 +128,18 @@ TEST(KCoreGpu, SurvivorCountMatchesMask) {
 
 TEST(KCoreGpu, EmptyGraphAndUnsupportedMapping) {
   gpu::Device dev;
-  EXPECT_EQ(k_core_gpu(dev, graph::empty_graph(0), 2).survivors, 0u);
+  EXPECT_EQ(k_core_gpu(GpuGraph(dev, graph::empty_graph(0)), 2).survivors, 0u);
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
-  EXPECT_THROW(k_core_gpu(dev, graph::chain(4), 2, opts),
+  EXPECT_THROW(k_core_gpu(GpuGraph(dev, graph::chain(4)), 2, opts),
                std::invalid_argument);
 }
 
 TEST(KCoreGpu, DeterministicAcrossRuns) {
   const Csr g = graph::watts_strogatz(256, 6, 0.2, {.seed = 64});
   gpu::Device d1, d2;
-  const auto a = k_core_gpu(d1, g, 4);
-  const auto b = k_core_gpu(d2, g, 4);
+  const auto a = k_core_gpu(GpuGraph(d1, g), 4);
+  const auto b = k_core_gpu(GpuGraph(d2, g), 4);
   EXPECT_EQ(a.in_core, b.in_core);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }

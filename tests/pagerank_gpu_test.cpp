@@ -18,7 +18,7 @@ void expect_matches_cpu(const Csr& g, const KernelOptions& opts,
   gpu::Device dev;
   PageRankParams params;
   params.iterations = 15;
-  const auto gpu_result = pagerank_gpu(dev, g, params, opts);
+  const auto gpu_result = pagerank_gpu(GpuGraph(dev, g), params, opts);
   const auto cpu_rank = pagerank_cpu(g, params.damping, params.iterations);
   ASSERT_EQ(gpu_result.rank.size(), cpu_rank.size());
   for (std::size_t v = 0; v < cpu_rank.size(); ++v) {
@@ -70,7 +70,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PageRankGpu, RanksSumToOne) {
   gpu::Device dev;
   const auto r =
-      pagerank_gpu(dev, graph::rmat(512, 4096, {}, {.seed = 5}), {}, {});
+      pagerank_gpu(GpuGraph(dev, graph::rmat(512, 4096, {}, {.seed = 5})), {}, {});
   const double total = std::accumulate(r.rank.begin(), r.rank.end(), 0.0);
   EXPECT_NEAR(total, 1.0, 1e-3);
 }
@@ -80,7 +80,7 @@ TEST(PageRankGpu, HubOutranksLeaves) {
   graph::EdgeList edges;
   for (graph::NodeId v = 1; v < 50; ++v) edges.push_back({v, 0});
   gpu::Device dev;
-  const auto r = pagerank_gpu(dev, graph::build_csr(50, edges), {}, {});
+  const auto r = pagerank_gpu(GpuGraph(dev, graph::build_csr(50, edges)), {}, {});
   for (std::size_t v = 1; v < 50; ++v) {
     EXPECT_GT(r.rank[0], r.rank[v]);
   }
@@ -89,12 +89,12 @@ TEST(PageRankGpu, HubOutranksLeaves) {
 TEST(PageRankGpu, MappingsAgreeBitForBitApartFromFloatOrder) {
   const Csr g = graph::rmat(256, 2048, {}, {.seed = 6});
   gpu::Device d1, d2;
-  const auto a = pagerank_gpu(d1, g, {}, [] {
+  const auto a = pagerank_gpu(GpuGraph(d1, g), {}, [] {
     KernelOptions o;
     o.mapping = Mapping::kThreadMapped;
     return o;
   }());
-  const auto b = pagerank_gpu(d2, g, {}, [] {
+  const auto b = pagerank_gpu(GpuGraph(d2, g), {}, [] {
     KernelOptions o;
     o.mapping = Mapping::kWarpCentric;
     o.virtual_warp_width = 16;
@@ -109,13 +109,13 @@ TEST(PageRankGpu, UnsupportedMappingThrows) {
   gpu::Device dev;
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
-  EXPECT_THROW(pagerank_gpu(dev, graph::chain(4), {}, opts),
+  EXPECT_THROW(pagerank_gpu(GpuGraph(dev, graph::chain(4)), {}, opts),
                std::invalid_argument);
 }
 
 TEST(PageRankGpu, EmptyGraph) {
   gpu::Device dev;
-  const auto r = pagerank_gpu(dev, graph::empty_graph(0), {}, {});
+  const auto r = pagerank_gpu(GpuGraph(dev, graph::empty_graph(0)), {}, {});
   EXPECT_TRUE(r.rank.empty());
 }
 
@@ -123,7 +123,7 @@ TEST(PageRankGpu, IterationCountHonored) {
   gpu::Device dev;
   PageRankParams params;
   params.iterations = 7;
-  const auto r = pagerank_gpu(dev, graph::chain(10), params, {});
+  const auto r = pagerank_gpu(GpuGraph(dev, graph::chain(10)), params, {});
   EXPECT_EQ(r.stats.iterations, 7u);
   // Two launches per iteration (dangling reduce + gather).
   EXPECT_EQ(r.stats.kernels.launches, 14u);
@@ -132,8 +132,8 @@ TEST(PageRankGpu, IterationCountHonored) {
 TEST(PageRankGpu, DeterministicAcrossRuns) {
   const Csr g = graph::rmat(128, 1024, {}, {.seed = 7});
   gpu::Device d1, d2;
-  const auto a = pagerank_gpu(d1, g, {}, {});
-  const auto b = pagerank_gpu(d2, g, {}, {});
+  const auto a = pagerank_gpu(GpuGraph(d1, g), {}, {});
+  const auto b = pagerank_gpu(GpuGraph(d2, g), {}, {});
   EXPECT_EQ(a.rank, b.rank);  // bit-identical: simulator is deterministic
 }
 

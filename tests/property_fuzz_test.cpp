@@ -79,7 +79,7 @@ TEST_P(FuzzSweep, BfsAllVariantsAgree) {
     opts.virtual_warp_width = 1 << (GetParam() % 5 + 1);  // 2..32
     opts.defer_threshold = 32;
     gpu::Device dev;
-    const auto r = bfs_gpu(dev, g, source, opts);
+    const auto r = bfs_gpu(GpuGraph(dev, g), source, opts);
     ASSERT_EQ(r.level, expected) << to_string(mapping);
     check_run_invariants(r.stats, dev.config());
   }
@@ -88,9 +88,9 @@ TEST_P(FuzzSweep, BfsAllVariantsAgree) {
     KernelOptions opts;
     opts.frontier = Frontier::kQueue;
     gpu::Device dev;
-    ASSERT_EQ(bfs_gpu(dev, g, source, opts).level, expected);
+    ASSERT_EQ(bfs_gpu(GpuGraph(dev, g), source, opts).level, expected);
     gpu::Device dev2;
-    ASSERT_EQ(bfs_gpu_adaptive(dev2, g, source).level, expected);
+    ASSERT_EQ(bfs_gpu_adaptive(GpuGraph(dev2, g), source).level, expected);
   }
 }
 
@@ -104,7 +104,7 @@ TEST_P(FuzzSweep, SsspAgrees) {
     opts.mapping = mapping;
     opts.virtual_warp_width = 8;
     gpu::Device dev;
-    const auto r = sssp_gpu(dev, g, source, opts);
+    const auto r = sssp_gpu(GpuGraph(dev, g), source, opts);
     for (std::size_t v = 0; v < expected.size(); ++v) {
       const std::uint32_t want =
           expected[v] == kUnreachedDist
@@ -122,23 +122,23 @@ TEST_P(FuzzSweep, UndirectedKernelsAgree) {
   opts.virtual_warp_width = 16;
 
   gpu::Device d1;
-  const auto cc = connected_components_gpu(d1, g, opts);
+  const auto cc = connected_components_gpu(GpuGraph(d1, g), opts);
   EXPECT_EQ(cc.label, connected_components_cpu(g));
   check_run_invariants(cc.stats, d1.config());
 
   gpu::Device d2;
-  const auto tc = triangle_count_gpu(d2, g, opts);
+  const auto tc = triangle_count_gpu(GpuGraph(d2, g), opts);
   EXPECT_EQ(tc.triangles, triangle_count_cpu(g));
   check_run_invariants(tc.stats, d2.config());
 
   const std::uint32_t k = 2 + GetParam() % 6;
   gpu::Device d3;
-  const auto core = k_core_gpu(d3, g, k, opts);
+  const auto core = k_core_gpu(GpuGraph(d3, g), k, opts);
   EXPECT_EQ(core.in_core, k_core_cpu(g, k));
   check_run_invariants(core.stats, d3.config());
 
   gpu::Device d4;
-  const auto coloring = color_graph_gpu(d4, g, opts);
+  const auto coloring = color_graph_gpu(GpuGraph(d4, g), opts);
   EXPECT_TRUE(is_proper_coloring(g, coloring.color));
   EXPECT_EQ(coloring.color, color_graph_cpu(g));
   check_run_invariants(coloring.stats, d4.config());
@@ -155,7 +155,7 @@ TEST_P(FuzzSweep, CentralityAndPagerankAgree) {
         static_cast<NodeId>((GetParam() * 31 + i * 17) % g.num_nodes()));
   }
   gpu::Device d1;
-  const auto bc = betweenness_gpu(d1, g, sources, opts);
+  const auto bc = betweenness_gpu(GpuGraph(d1, g), sources, opts);
   const auto bc_ref = betweenness_cpu(g, sources);
   for (std::size_t v = 0; v < bc_ref.size(); ++v) {
     ASSERT_NEAR(bc.centrality[v], bc_ref[v],
@@ -166,7 +166,7 @@ TEST_P(FuzzSweep, CentralityAndPagerankAgree) {
   gpu::Device d2;
   PageRankParams params;
   params.iterations = 8;
-  const auto pr = pagerank_gpu(d2, g, params, opts);
+  const auto pr = pagerank_gpu(GpuGraph(d2, g), params, opts);
   const auto pr_ref = pagerank_cpu(g, params.damping, params.iterations);
   for (std::size_t v = 0; v < pr_ref.size(); ++v) {
     ASSERT_NEAR(pr.rank[v], pr_ref[v], 5e-4) << "node " << v;

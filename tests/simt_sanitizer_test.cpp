@@ -527,7 +527,7 @@ TEST(SimtsanSweep, BfsAllMappingsAndFrontiers) {
         opts.mapping = mapping;
         opts.frontier = frontier;
         opts.virtual_warp_width = 8;
-        (void)algorithms::bfs_gpu(dev, g, 0, opts);
+        (void)algorithms::bfs_gpu(algorithms::GpuGraph(dev, g), 0, opts);
       });
     }
   }
@@ -535,10 +535,10 @@ TEST(SimtsanSweep, BfsAllMappingsAndFrontiers) {
 
 TEST(SimtsanSweep, BfsAdaptiveAndDirectionOptimized) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::bfs_gpu_adaptive(dev, g, 0);
+    (void)algorithms::bfs_gpu_adaptive(algorithms::GpuGraph(dev, g), 0);
   });
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::bfs_gpu_direction_optimized(dev, g, 0);
+    (void)algorithms::bfs_gpu_direction_optimized(algorithms::GpuGraph(dev, g), 0);
   });
 }
 
@@ -546,44 +546,44 @@ TEST(SimtsanSweep, Sssp) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
     graph::Csr weighted = g;
     graph::assign_hash_weights(weighted, 20);
-    (void)algorithms::sssp_gpu(dev, weighted, 0);
+    (void)algorithms::sssp_gpu(algorithms::GpuGraph(dev, weighted), 0);
   });
 }
 
 TEST(SimtsanSweep, ConnectedComponents) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::connected_components_gpu(dev, g);
+    (void)algorithms::connected_components_gpu(algorithms::GpuGraph(dev, g));
   });
 }
 
 TEST(SimtsanSweep, PageRank) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::pagerank_gpu(dev, g);
+    (void)algorithms::pagerank_gpu(algorithms::GpuGraph(dev, g));
   });
 }
 
 TEST(SimtsanSweep, Betweenness) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
     const std::vector<graph::NodeId> sources{0, 1, 2, 3};
-    (void)algorithms::betweenness_gpu(dev, g, sources);
+    (void)algorithms::betweenness_gpu(algorithms::GpuGraph(dev, g), sources);
   });
 }
 
 TEST(SimtsanSweep, TriangleCount) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::triangle_count_gpu(dev, g);
+    (void)algorithms::triangle_count_gpu(algorithms::GpuGraph(dev, g));
   });
 }
 
 TEST(SimtsanSweep, KCore) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::k_core_gpu(dev, g, 3);
+    (void)algorithms::k_core_gpu(algorithms::GpuGraph(dev, g), 3);
   });
 }
 
 TEST(SimtsanSweep, Coloring) {
   expect_clean_run([](gpu::Device& dev, const graph::Csr& g) {
-    (void)algorithms::color_graph_gpu(dev, g);
+    (void)algorithms::color_graph_gpu(algorithms::GpuGraph(dev, g));
   });
 }
 
@@ -592,7 +592,7 @@ TEST(SimtsanSweep, Spmv) {
     graph::Csr weighted = g;
     graph::assign_hash_weights(weighted, 20);
     const std::vector<float> x(weighted.num_nodes(), 1.0f);
-    (void)algorithms::spmv_gpu(dev, weighted, x);
+    (void)algorithms::spmv_gpu(algorithms::GpuGraph(dev, weighted), x);
   });
 }
 

@@ -1,0 +1,165 @@
+// Unit tests for the overlap cost model (simt::Timeline): per-stream
+// FIFO, SM water-filling across concurrent kernels, copy-engine
+// assignment, and event timestamps. All numbers here are exact by
+// construction (integral spans, parallelism caps that divide num_sms), so
+// the assertions use tight tolerances.
+#include "simt/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simt/config.hpp"
+
+namespace maxwarp::simt {
+namespace {
+
+SimConfig make_cfg(std::uint32_t sms = 16, std::uint32_t engines = 2) {
+  SimConfig cfg;
+  cfg.num_sms = sms;
+  cfg.copy_engines = engines;
+  return cfg;
+}
+
+constexpr double kTol = 1e-9;
+
+TEST(TimelineTest, EmptyTimelineIsZero) {
+  Timeline tl(make_cfg());
+  EXPECT_EQ(tl.makespan_ms(), 0.0);
+  EXPECT_EQ(tl.serial_ms(), 0.0);
+  EXPECT_EQ(tl.op_count(), 0u);
+}
+
+TEST(TimelineTest, SingleKernelRunsAtItsStandaloneSpan) {
+  Timeline tl(make_cfg());
+  // A kernel that alone keeps 8 of 16 SMs busy for 2 ms.
+  tl.push_kernel(0, 2.0, 16.0);
+  EXPECT_NEAR(tl.makespan_ms(), 2.0, kTol);
+  EXPECT_NEAR(tl.serial_ms(), 2.0, kTol);
+}
+
+TEST(TimelineTest, SameStreamIsFifo) {
+  Timeline tl(make_cfg());
+  tl.push_kernel(0, 2.0, 16.0);
+  tl.push_kernel(0, 3.0, 24.0);
+  EXPECT_NEAR(tl.stream_ready_ms(0), 5.0, kTol);
+  EXPECT_NEAR(tl.makespan_ms(), 5.0, kTol);
+  EXPECT_NEAR(tl.serial_ms(), 5.0, kTol);
+}
+
+TEST(TimelineTest, TwoHalfWidthKernelsOverlapPerfectly) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  // Each kernel fills 8 SMs; together they exactly saturate 16 — zero
+  // slowdown from sharing.
+  tl.push_kernel(0, 2.0, 16.0);
+  tl.push_kernel(s1, 2.0, 16.0);
+  EXPECT_NEAR(tl.makespan_ms(), 2.0, kTol);
+  EXPECT_NEAR(tl.serial_ms(), 4.0, kTol);
+}
+
+TEST(TimelineTest, ThreeHalfWidthKernelsWaterFill) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  const auto s2 = tl.create_stream();
+  // 3 x 8 SM-demand on 16 SMs: total work 48 SM-ms at aggregate rate 16
+  // finishes at 3.0 ms (each kernel runs at 16/3 < its cap of 8).
+  tl.push_kernel(0, 2.0, 16.0);
+  tl.push_kernel(s1, 2.0, 16.0);
+  tl.push_kernel(s2, 2.0, 16.0);
+  EXPECT_NEAR(tl.makespan_ms(), 3.0, kTol);
+  EXPECT_NEAR(tl.serial_ms(), 6.0, kTol);
+}
+
+TEST(TimelineTest, FullWidthKernelAllowsNoOverlap) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  // work == span * num_sms: the kernel saturates the device by itself,
+  // so a second concurrent kernel cannot shorten the schedule below the
+  // serial sum.
+  tl.push_kernel(0, 2.0, 32.0);
+  tl.push_kernel(s1, 2.0, 32.0);
+  EXPECT_NEAR(tl.makespan_ms(), 4.0, kTol);
+}
+
+TEST(TimelineTest, CopiesRideEnginesNotSms) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  // A copy overlaps a device-saturating kernel completely.
+  tl.push_kernel(0, 2.0, 32.0);
+  tl.push_copy(s1, 1.5, /*to_device=*/true);
+  EXPECT_NEAR(tl.makespan_ms(), 2.0, kTol);
+}
+
+TEST(TimelineTest, SameDirectionCopiesSerializeOnOneEngine) {
+  Timeline tl(make_cfg(16, 2));
+  const auto s1 = tl.create_stream();
+  tl.push_copy(0, 1.0, /*to_device=*/true);
+  tl.push_copy(s1, 1.0, /*to_device=*/true);
+  EXPECT_NEAR(tl.makespan_ms(), 2.0, kTol);
+}
+
+TEST(TimelineTest, OppositeDirectionCopiesOverlapWithTwoEngines) {
+  Timeline tl(make_cfg(16, 2));
+  const auto s1 = tl.create_stream();
+  tl.push_copy(0, 1.0, /*to_device=*/true);
+  tl.push_copy(s1, 1.0, /*to_device=*/false);
+  EXPECT_NEAR(tl.makespan_ms(), 1.0, kTol);
+}
+
+TEST(TimelineTest, SingleEngineSerializesBothDirections) {
+  Timeline tl(make_cfg(16, 1));
+  const auto s1 = tl.create_stream();
+  tl.push_copy(0, 1.0, /*to_device=*/true);
+  tl.push_copy(s1, 1.0, /*to_device=*/false);
+  EXPECT_NEAR(tl.makespan_ms(), 2.0, kTol);
+}
+
+TEST(TimelineTest, EventTimestampAndCrossStreamWait) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  tl.push_kernel(0, 2.0, 16.0);
+  const auto e = tl.record(0);
+  tl.push_kernel(0, 1.0, 8.0);
+  // s1's kernel may not start before the event (end of stream 0's first
+  // kernel), even though s1 was otherwise idle.
+  tl.wait_event(s1, e);
+  tl.push_kernel(s1, 1.0, 8.0);
+  EXPECT_NEAR(tl.event_ms(e), 2.0, kTol);
+  EXPECT_NEAR(tl.stream_ready_ms(s1), 3.0, kTol);
+}
+
+TEST(TimelineTest, LaterWorkRefinesEarlierKernelFinishTimes) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  tl.push_kernel(0, 2.0, 16.0);
+  // Querying now resolves the schedule...
+  EXPECT_NEAR(tl.makespan_ms(), 2.0, kTol);
+  // ...but pushing an overlapping competitor afterwards re-resolves and
+  // slows the first kernel down (3 x 8 > 16 has no effect; use a
+  // saturating competitor instead: 8 + 16 > 16).
+  tl.push_kernel(s1, 2.0, 32.0);
+  // Total work 16 + 32 = 48 SM-ms; kernel A capped at 8, B at 16; fair
+  // share 8 each, A finishes its 16 SM-ms at t=2, B has 16 left and
+  // finishes at 2 + 16/16 = 3.
+  EXPECT_NEAR(tl.makespan_ms(), 3.0, kTol);
+}
+
+TEST(TimelineTest, ResetClearsOpsButKeepsStreams) {
+  Timeline tl(make_cfg());
+  const auto s1 = tl.create_stream();
+  tl.push_kernel(s1, 2.0, 16.0);
+  tl.reset();
+  EXPECT_EQ(tl.op_count(), 0u);
+  EXPECT_EQ(tl.makespan_ms(), 0.0);
+  tl.push_kernel(s1, 1.0, 8.0);  // stream id still valid
+  EXPECT_NEAR(tl.makespan_ms(), 1.0, kTol);
+}
+
+TEST(TimelineTest, ZeroSpanOpsAreInstant) {
+  Timeline tl(make_cfg());
+  tl.push_kernel(0, 0.0, 0.0);
+  tl.push_copy(0, 0.0, true);
+  EXPECT_EQ(tl.makespan_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace maxwarp::simt

@@ -212,6 +212,19 @@ TEST_F(WarpCtxTest, AtomicMinKeepsMinimum) {
   }
 }
 
+TEST_F(WarpCtxTest, AtomicOrMergesAllLaneBits) {
+  auto w = make();
+  std::vector<std::uint32_t> cell{0x80000000u};
+  const Lanes<std::uint32_t> old = w.atomic_or(
+      devptr(cell), [](int) { return 0; },
+      [](int l) { return 1u << l; });
+  // Lane order: each lane sees the OR of the initial value and all
+  // earlier lanes' bits.
+  EXPECT_EQ(old[0], 0x80000000u);
+  EXPECT_EQ(old[5], 0x80000000u | 0x1fu);
+  EXPECT_EQ(cell[0], 0xffffffffu);
+}
+
 TEST_F(WarpCtxTest, AtomicCasOnlySucceedsOnExpected) {
   auto w = make(2);
   std::vector<std::uint32_t> cell{5};

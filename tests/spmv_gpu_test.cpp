@@ -26,7 +26,7 @@ std::vector<float> random_x(std::uint32_t n, std::uint64_t seed) {
 void expect_matches_cpu(const Csr& g, const KernelOptions& opts) {
   const auto x = random_x(g.num_nodes(), 99);
   gpu::Device dev;
-  const auto gpu_result = spmv_gpu(dev, g, x, opts);
+  const auto gpu_result = spmv_gpu(GpuGraph(dev, g), x, opts);
   const auto cpu_result = spmv_cpu(g, x);
   ASSERT_EQ(gpu_result.y.size(), cpu_result.size());
   for (std::size_t v = 0; v < cpu_result.size(); ++v) {
@@ -69,7 +69,7 @@ TEST_P(SpmvSweep, EmptyRowsYieldZero) {
   g.weights = {3};
   const auto x = random_x(10, 7);
   gpu::Device dev;
-  const auto r = spmv_gpu(dev, g, x, opts);
+  const auto r = spmv_gpu(GpuGraph(dev, g), x, opts);
   EXPECT_FLOAT_EQ(r.y[0], 3.0f * x[1]);
   for (std::size_t v = 1; v < 10; ++v) EXPECT_EQ(r.y[v], 0.0f);
 }
@@ -87,13 +87,13 @@ TEST(Spmv, InputValidation) {
   gpu::Device dev;
   const Csr unweighted = graph::chain(4);
   const std::vector<float> x(4, 1.0f);
-  EXPECT_THROW(spmv_gpu(dev, unweighted, x, {}), std::invalid_argument);
+  EXPECT_THROW(spmv_gpu(GpuGraph(dev, unweighted), x, {}), std::invalid_argument);
   Csr g = weighted(graph::chain(4));
   const std::vector<float> wrong(3, 1.0f);
-  EXPECT_THROW(spmv_gpu(dev, g, wrong, {}), std::invalid_argument);
+  EXPECT_THROW(spmv_gpu(GpuGraph(dev, g), wrong, {}), std::invalid_argument);
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
-  EXPECT_THROW(spmv_gpu(dev, g, x, opts), std::invalid_argument);
+  EXPECT_THROW(spmv_gpu(GpuGraph(dev, g), x, opts), std::invalid_argument);
 }
 
 TEST(Spmv, CsrVectorBeatsCsrScalarOnSkewedRows) {
@@ -105,8 +105,8 @@ TEST(Spmv, CsrVectorBeatsCsrScalarOnSkewedRows) {
   KernelOptions vector;
   vector.mapping = Mapping::kWarpCentric;
   vector.virtual_warp_width = 16;
-  const auto s = spmv_gpu(d1, g, x, scalar);
-  const auto v = spmv_gpu(d2, g, x, vector);
+  const auto s = spmv_gpu(GpuGraph(d1, g), x, scalar);
+  const auto v = spmv_gpu(GpuGraph(d2, g), x, vector);
   EXPECT_LT(v.stats.kernels.elapsed_cycles, s.stats.kernels.elapsed_cycles);
 }
 

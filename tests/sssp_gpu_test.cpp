@@ -18,7 +18,7 @@ Csr weighted(Csr g, std::uint32_t max_w = 20) {
 void expect_matches_dijkstra(const Csr& g, graph::NodeId source,
                              const KernelOptions& opts) {
   gpu::Device dev;
-  const auto gpu_result = sssp_gpu(dev, g, source, opts);
+  const auto gpu_result = sssp_gpu(GpuGraph(dev, g), source, opts);
   const auto cpu_dist = sssp_cpu(g, source);
   ASSERT_EQ(gpu_result.dist.size(), cpu_dist.size());
   for (std::size_t v = 0; v < cpu_dist.size(); ++v) {
@@ -73,7 +73,7 @@ TEST_P(SsspSweep, DisconnectedStaysInfinite) {
   opts.virtual_warp_width = GetParam().width;
   Csr g = weighted(graph::build_csr(5, {{0, 1}, {1, 2}}));
   gpu::Device dev;
-  const auto r = sssp_gpu(dev, g, 0, opts);
+  const auto r = sssp_gpu(GpuGraph(dev, g), 0, opts);
   EXPECT_EQ(r.dist[3], kInfDist);
   EXPECT_EQ(r.dist[4], kInfDist);
 }
@@ -90,7 +90,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SsspGpu, UnweightedGraphThrows) {
   gpu::Device dev;
-  EXPECT_THROW(sssp_gpu(dev, graph::chain(4), 0, {}),
+  EXPECT_THROW(sssp_gpu(GpuGraph(dev, graph::chain(4)), 0, {}),
                std::invalid_argument);
 }
 
@@ -98,19 +98,19 @@ TEST(SsspGpu, UnsupportedMappingThrows) {
   gpu::Device dev;
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDefer;
-  EXPECT_THROW(sssp_gpu(dev, weighted(graph::chain(4)), 0, opts),
+  EXPECT_THROW(sssp_gpu(GpuGraph(dev, weighted(graph::chain(4))), 0, opts),
                std::invalid_argument);
 }
 
 TEST(SsspGpu, SourceDistanceZero) {
   gpu::Device dev;
-  const auto r = sssp_gpu(dev, weighted(graph::chain(10)), 3, {});
+  const auto r = sssp_gpu(GpuGraph(dev, weighted(graph::chain(10))), 3, {});
   EXPECT_EQ(r.dist[3], 0u);
 }
 
 TEST(SsspGpu, BadSourceReturnsAllInfinite) {
   gpu::Device dev;
-  const auto r = sssp_gpu(dev, weighted(graph::chain(4)), 50, {});
+  const auto r = sssp_gpu(GpuGraph(dev, weighted(graph::chain(4))), 50, {});
   for (auto d : r.dist) EXPECT_EQ(d, kInfDist);
 }
 
@@ -118,7 +118,7 @@ TEST(SsspGpu, UnitWeightsReduceToBfsLevels) {
   Csr g = graph::grid2d(8, 8);
   g.weights.assign(g.num_edges(), 1);
   gpu::Device dev;
-  const auto sssp = sssp_gpu(dev, g, 0, {});
+  const auto sssp = sssp_gpu(GpuGraph(dev, g), 0, {});
   const auto levels = bfs_cpu(g, 0);
   for (std::size_t v = 0; v < levels.size(); ++v) {
     EXPECT_EQ(sssp.dist[v], levels[v]);
@@ -127,7 +127,7 @@ TEST(SsspGpu, UnitWeightsReduceToBfsLevels) {
 
 TEST(SsspGpu, IterationsBoundedByRounds) {
   gpu::Device dev;
-  const auto r = sssp_gpu(dev, weighted(graph::chain(30)), 0, {});
+  const auto r = sssp_gpu(GpuGraph(dev, weighted(graph::chain(30))), 0, {});
   // A chain relaxes one hop per round plus the final quiescent round.
   EXPECT_LE(r.stats.iterations, 31u);
   EXPECT_GE(r.stats.iterations, 29u);
@@ -136,8 +136,8 @@ TEST(SsspGpu, IterationsBoundedByRounds) {
 TEST(SsspGpu, DeterministicAcrossRuns) {
   const Csr g = weighted(graph::rmat(256, 2048, {}, {.seed = 9}));
   gpu::Device d1, d2;
-  const auto a = sssp_gpu(d1, g, 0, {});
-  const auto b = sssp_gpu(d2, g, 0, {});
+  const auto a = sssp_gpu(GpuGraph(d1, g), 0, {});
+  const auto b = sssp_gpu(GpuGraph(d2, g), 0, {});
   EXPECT_EQ(a.dist, b.dist);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }

@@ -57,10 +57,10 @@ TEST_P(TcSweep, KnownSmallGraphs) {
   opts.mapping = GetParam().mapping;
   opts.virtual_warp_width = GetParam().width;
   gpu::Device dev;
-  EXPECT_EQ(triangle_count_gpu(dev, graph::complete(6), opts).triangles,
+  EXPECT_EQ(triangle_count_gpu(GpuGraph(dev, graph::complete(6)), opts).triangles,
             20u);
   gpu::Device dev2;
-  EXPECT_EQ(triangle_count_gpu(dev2, graph::grid2d(5, 5), opts).triangles,
+  EXPECT_EQ(triangle_count_gpu(GpuGraph(dev2, graph::grid2d(5, 5)), opts).triangles,
             0u);
 }
 
@@ -71,7 +71,7 @@ TEST_P(TcSweep, MatchesCpuOnRandomUndirected) {
   opts.mapping = GetParam().mapping;
   opts.virtual_warp_width = GetParam().width;
   gpu::Device dev;
-  EXPECT_EQ(triangle_count_gpu(dev, g, opts).triangles,
+  EXPECT_EQ(triangle_count_gpu(GpuGraph(dev, g), opts).triangles,
             triangle_count_cpu(g));
 }
 
@@ -82,7 +82,7 @@ TEST_P(TcSweep, MatchesCpuOnSkewedGraph) {
   opts.mapping = GetParam().mapping;
   opts.virtual_warp_width = GetParam().width;
   gpu::Device dev;
-  EXPECT_EQ(triangle_count_gpu(dev, g, opts).triangles,
+  EXPECT_EQ(triangle_count_gpu(GpuGraph(dev, g), opts).triangles,
             triangle_count_cpu(g));
 }
 
@@ -92,7 +92,7 @@ TEST_P(TcSweep, MatchesCpuOnSmallWorld) {
   opts.mapping = GetParam().mapping;
   opts.virtual_warp_width = GetParam().width;
   gpu::Device dev;
-  EXPECT_EQ(triangle_count_gpu(dev, g, opts).triangles,
+  EXPECT_EQ(triangle_count_gpu(GpuGraph(dev, g), opts).triangles,
             triangle_count_cpu(g));
 }
 
@@ -109,7 +109,7 @@ TEST(TriangleGpu, PerVertexAttributionSumsToTotal) {
   const Csr g =
       graph::erdos_renyi(300, 2500, {.seed = 54, .undirected = true});
   gpu::Device dev;
-  const auto r = triangle_count_gpu(dev, g, {});
+  const auto r = triangle_count_gpu(GpuGraph(dev, g), {});
   std::uint64_t sum = 0;
   for (auto c : r.per_vertex) sum += c;
   EXPECT_EQ(sum, r.triangles);
@@ -119,11 +119,11 @@ TEST(TriangleGpu, PerVertexAttributionSumsToTotal) {
 
 TEST(TriangleGpu, EmptyGraphAndUnsupportedMapping) {
   gpu::Device dev;
-  EXPECT_EQ(triangle_count_gpu(dev, graph::empty_graph(0), {}).triangles,
+  EXPECT_EQ(triangle_count_gpu(GpuGraph(dev, graph::empty_graph(0)), {}).triangles,
             0u);
   KernelOptions opts;
   opts.mapping = Mapping::kWarpCentricDynamic;
-  EXPECT_THROW(triangle_count_gpu(dev, graph::complete(4), opts),
+  EXPECT_THROW(triangle_count_gpu(GpuGraph(dev, graph::complete(4)), opts),
                std::invalid_argument);
 }
 
@@ -131,8 +131,8 @@ TEST(TriangleGpu, DeterministicAcrossRuns) {
   const Csr g =
       graph::rmat(256, 2048, {}, {.seed = 55, .undirected = true});
   gpu::Device d1, d2;
-  const auto a = triangle_count_gpu(d1, g, {});
-  const auto b = triangle_count_gpu(d2, g, {});
+  const auto a = triangle_count_gpu(GpuGraph(d1, g), {});
+  const auto b = triangle_count_gpu(GpuGraph(d2, g), {});
   EXPECT_EQ(a.triangles, b.triangles);
   EXPECT_EQ(a.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }
@@ -146,8 +146,8 @@ TEST(TriangleGpu, WarpCentricFasterOnSkewedGraph) {
   KernelOptions warp;
   warp.mapping = Mapping::kWarpCentric;
   warp.virtual_warp_width = 32;
-  const auto b = triangle_count_gpu(d1, g, base);
-  const auto w = triangle_count_gpu(d2, g, warp);
+  const auto b = triangle_count_gpu(GpuGraph(d1, g), base);
+  const auto w = triangle_count_gpu(GpuGraph(d2, g), warp);
   EXPECT_EQ(b.triangles, w.triangles);
   EXPECT_LT(w.stats.kernels.elapsed_cycles, b.stats.kernels.elapsed_cycles);
 }
