@@ -75,6 +75,7 @@ BENCHMARK(BM_SmSweep)->Arg(1)->Arg(8)->Arg(32)->Unit(
 int main(int argc, char** argv) {
   print_figure();
   benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -73,6 +73,7 @@ BENCHMARK(BM_Sensitivity)->Arg(32)->Arg(128)->Unit(
 int main(int argc, char** argv) {
   print_figure();
   benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -31,6 +31,18 @@ inline double scale() {
   return 1.0;
 }
 
+/// Records this binary's build flavour in google-benchmark's context (and
+/// thus in --benchmark_out JSON). The library's own "library_build_type"
+/// key describes the *benchmark library*, not us; scripts/check.sh gates
+/// on this key to refuse debug-build timing artifacts.
+inline void embed_build_info() {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("maxwarp_build_type", "release");
+#else
+  benchmark::AddCustomContext("maxwarp_build_type", "debug");
+#endif
+}
+
 inline std::uint64_t seed() {
   if (const char* env = std::getenv("MAXWARP_SEED")) {
     return std::strtoull(env, nullptr, 0);

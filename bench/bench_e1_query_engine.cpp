@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
       ->Args({32, 4, 1, 8})
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,0 +1,123 @@
+// E2: execution-engine throughput — warps simulated per second, serial
+// engine vs the opt-in host-thread pool.
+//
+// Unlike the figure benches, the quantity of interest here is the *wall
+// clock* of the simulator itself (the modeled GPU time is identical by
+// construction for the serial engine and semantically equivalent for the
+// threaded one). The table reports warps/sec for host_threads in {1, 2, 4}
+// over one BFS and one PageRank workload; the google-benchmark section
+// times the same runs so check.sh can archive them as JSON.
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/gpu_graph.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "gpu/device.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using benchx::scale;
+
+graph::Csr make_graph() {
+  const auto n = static_cast<std::uint32_t>(32768 * scale());
+  graph::GenOptions go;
+  go.seed = benchx::seed();
+  go.undirected = true;
+  return graph::rmat(n, static_cast<std::uint64_t>(n) * 16, {}, go);
+}
+
+struct EngineRun {
+  std::uint64_t warps = 0;
+  double wall_ms = 0;
+};
+
+/// One full algorithm run on a fresh device; returns simulated warps and
+/// the host wall time of the run (graph upload excluded).
+EngineRun run_once(const graph::Csr& g, std::uint32_t host_threads,
+                   bool pagerank) {
+  simt::SimConfig cfg;
+  cfg.host_threads = host_threads;
+  gpu::Device dev(cfg);
+  algorithms::GpuGraph gg(dev, g);
+  algorithms::KernelOptions opts;
+  opts.virtual_warp_width = 8;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t warps = 0;
+  if (pagerank) {
+    warps = algorithms::pagerank_gpu(gg, {}, opts).stats.kernels.warps;
+  } else {
+    warps = algorithms::bfs_gpu(gg, benchx::hub_source(g), opts)
+                .stats.kernels.warps;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  EngineRun r;
+  r.warps = warps;
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return r;
+}
+
+void print_table() {
+  benchx::print_banner(
+      "E2: simulator execution-engine throughput",
+      "Host warps/sec, serial engine vs host-thread pool (same workload)");
+  const auto g = make_graph();
+  util::Table t({"workload", "host_threads", "warps", "wall_ms",
+                 "kwarps_per_sec", "speedup_vs_serial"});
+  for (const bool pr : {false, true}) {
+    double serial_ms = 0;
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      const auto r = run_once(g, threads, pr);
+      if (threads == 1) serial_ms = r.wall_ms;
+      t.row()
+          .cell(pr ? "pagerank" : "bfs")
+          .cell(static_cast<int>(threads))
+          .cell(r.warps)
+          .cell(r.wall_ms, 2)
+          .cell(r.wall_ms > 0 ? static_cast<double>(r.warps) / r.wall_ms : 0,
+                1)
+          .cell(r.wall_ms > 0 ? serial_ms / r.wall_ms : 0, 2);
+    }
+  }
+  t.print();
+}
+
+void BM_SimEngine(benchmark::State& state) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  const bool pagerank = state.range(1) != 0;
+  const auto g = make_graph();
+  std::uint64_t warps = 0;
+  for (auto _ : state) {
+    warps += run_once(g, threads, pagerank).warps;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(warps));
+  state.counters["host_threads"] = threads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::RegisterBenchmark("sim_engine/bfs/serial", BM_SimEngine)
+      ->Args({1, 0})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("sim_engine/bfs/threads4", BM_SimEngine)
+      ->Args({4, 0})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("sim_engine/pagerank/serial", BM_SimEngine)
+      ->Args({1, 1})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("sim_engine/pagerank/threads4", BM_SimEngine)
+      ->Args({4, 1})
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -96,6 +96,7 @@ int main(int argc, char** argv) {
       ->Unit(benchmark::kMillisecond)
       ->Iterations(1);
   benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

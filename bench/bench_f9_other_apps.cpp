@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
     }
   }
   benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -69,6 +69,7 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond);
   }
   benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

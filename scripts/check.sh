@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build + test the normal configuration, then build + test
-# again with SANITIZE=ON (host-side ASan/UBSan over the whole tree,
-# complementary to the simulator's own simtsan layer).
+# Tier-1 gate: build + test the normal configuration, smoke the benchmark
+# harness (Release only — debug timings are refused), then rebuild + test
+# under the host-side sanitizers: ASan/UBSan over the whole tree, and TSan
+# over the parallel execution engine (both complementary to the simulator's
+# own simtsan layer, which checks *simulated* accesses).
 #
-#   scripts/check.sh            # both configurations
+#   scripts/check.sh            # all configurations
 #   scripts/check.sh --fast     # normal configuration only
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,22 +14,47 @@ jobs=$(nproc 2>/dev/null || echo 4)
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "== normal configuration =="
-cmake -B build -S . >/dev/null
+echo "== normal configuration (Release) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build -j "$jobs" --output-on-failure
+
+# Refuse benchmark artifacts from a debug build: the binaries embed their
+# build flavour in the JSON ("maxwarp_build_type"), check it after each run.
+require_release_bench() {
+  local json="$1"
+  if ! grep -q '"maxwarp_build_type": "release"' "$json"; then
+    echo "check.sh: $json was produced by a non-Release build" >&2
+    exit 1
+  fi
+}
 
 echo "== bench smoke (query engine) =="
 ./build/bench/bench_e1_query_engine \
   --benchmark_min_time=0.01 \
   --benchmark_out=BENCH_query_engine.json \
   --benchmark_out_format=json
+require_release_bench BENCH_query_engine.json
+
+echo "== bench smoke (execution engine) =="
+MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_e2_sim_engine \
+  --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_sim_engine.json \
+  --benchmark_out_format=json
+require_release_bench BENCH_sim_engine.json
 
 if [[ "$fast" == 0 ]]; then
-  echo "== SANITIZE=ON configuration =="
+  echo "== SANITIZE=ON configuration (ASan+UBSan) =="
   cmake -B build-asan -S . -DSANITIZE=ON >/dev/null
   cmake --build build-asan -j "$jobs"
   ctest --test-dir build-asan -j "$jobs" --output-on-failure
+
+  echo "== SANITIZE=thread configuration (TSan, engine tests) =="
+  cmake -B build-tsan -S . -DSANITIZE=thread \
+    -DMAXWARP_BUILD_BENCH=OFF -DMAXWARP_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j "$jobs" --target simt_engine_test
+  ctest --test-dir build-tsan -j "$jobs" --output-on-failure \
+    -R 'HostPool|Engine'
 fi
 
 echo "check.sh: all green"

@@ -13,6 +13,11 @@
 // the serial model (every op back to back); modeled_makespan_ms() is the
 // overlap-aware completion time of the same ops, where concurrent streams
 // share SMs and copies ride the DMA engines.
+//
+// Execution engine: the SimConfig passed at construction flows through to
+// the simulator unchanged, so SimConfig::host_threads selects the serial
+// (default, bit-deterministic) or pooled-parallel engine for every launch
+// made through this Device — see DESIGN.md "Execution engine".
 #pragma once
 
 #include <cstdint>

@@ -89,11 +89,25 @@ struct SimConfig {
   /// Warps per block used by convenience launch helpers.
   std::uint32_t default_warps_per_block = 8;
 
+  /// Host threads the execution engine may use to simulate the blocks of
+  /// one kernel launch (this is *wall-clock* parallelism of the simulator
+  /// itself; it never changes what is modeled). 1 (the default) keeps the
+  /// fully serial engine and its bit-for-bit determinism contract. Values
+  /// > 1 run blocks on a persistent worker pool: modeled cycle statistics
+  /// are still reduced in block order, global stores/atomics go through
+  /// relaxed word-sized std::atomic_ref (so the level-synchronous kernels'
+  /// benign same-value races are not host UB), and atomic *return values*
+  /// (e.g. queue slots) become scheduling-dependent — see
+  /// DESIGN.md "Execution engine" for exactly what stays deterministic.
+  /// Ignored (forced serial) while `sanitize` is on.
+  std::uint32_t host_threads = 1;
+
   /// Enables the warp-level sanitizer (simt/sanitizer.hpp): shadow-memory
   /// tracking of every device access with out-of-bounds / use-after-free /
   /// uninitialized-read / race / coalescing-lint checks. Functional results
   /// and all modeled cycle counts are unchanged; wall-clock cost is heavy.
   /// Must be set before the Device/DeviceSim is constructed.
+  /// Forces the execution engine serial regardless of `host_threads`.
   bool sanitize = false;
 
   /// Sanitizer thresholds; ignored unless `sanitize` is on.
@@ -112,6 +126,9 @@ struct SimConfig {
     }
     if (copy_engines == 0) {
       throw std::invalid_argument("copy_engines must be > 0");
+    }
+    if (host_threads == 0) {
+      throw std::invalid_argument("host_threads must be > 0");
     }
   }
 

@@ -1,9 +1,25 @@
 #include "simt/device_sim.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace maxwarp::simt {
+
+namespace {
+
+/// Active lanes of the warp starting at `warp_first_thread`, or 0 when the
+/// warp lies entirely past the launch's logical thread count (tail warps
+/// are skipped, partial tail warps run with fewer lanes).
+int lanes_for_warp(std::uint64_t warp_first_thread,
+                   std::uint64_t launch_threads) {
+  if (warp_first_thread >= launch_threads) return 0;
+  const std::uint64_t remaining = launch_threads - warp_first_thread;
+  return static_cast<int>(std::min<std::uint64_t>(remaining, kWarpSize));
+}
+
+}  // namespace
 
 DeviceSim::DeviceSim(SimConfig cfg)
     : cfg_((cfg.validate(), cfg)), timeline_(cfg_) {
@@ -15,18 +31,134 @@ LaunchDims DeviceSim::dims_for_threads(std::uint64_t n) const {
   dims.warps_per_block = cfg_.default_warps_per_block;
   const std::uint64_t threads_per_block =
       static_cast<std::uint64_t>(dims.warps_per_block) * kWarpSize;
-  dims.blocks = static_cast<std::uint32_t>(
-      (n + threads_per_block - 1) / threads_per_block);
+  const std::uint64_t blocks =
+      n / threads_per_block + (n % threads_per_block != 0 ? 1 : 0);
+  if (blocks > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error(
+        "dims_for_threads: block count exceeds uint32 range");
+  }
+  dims.blocks = static_cast<std::uint32_t>(blocks);
   dims.total_threads = n;
   return dims;
 }
 
 LaunchDims DeviceSim::dims_for_warps(std::uint64_t n_warps) const {
+  if (n_warps > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::overflow_error(
+        "dims_for_warps: block count exceeds uint32 range");
+  }
   LaunchDims dims;
   dims.warps_per_block = 1;
   dims.blocks = static_cast<std::uint32_t>(n_warps);
   dims.total_threads = n_warps * kWarpSize;
   return dims;
+}
+
+void DeviceSim::run_serial(const LaunchDims& dims, const WarpFn& kernel,
+                           Sanitizer* san, std::uint64_t launch_threads,
+                           KernelStats& stats,
+                           std::vector<std::uint64_t>& sm_cycles) {
+  // One pooled context for the whole launch: reset_warp() re-arms it per
+  // warp, so the >=96 KiB shared arena is allocated once per launch
+  // instead of once per simulated warp.
+  CycleCounters warp_counters;
+  WarpCtx ctx(0, 0, dims.warps_per_block, kWarpSize, cfg_, warp_counters,
+              san);
+
+  for (std::uint32_t block = 0; block < dims.blocks; ++block) {
+    std::uint64_t block_cycles = 0;
+    for (std::uint32_t w = 0; w < dims.warps_per_block; ++w) {
+      const std::uint64_t warp_first_thread =
+          (static_cast<std::uint64_t>(block) * dims.warps_per_block + w) *
+          kWarpSize;
+      const int lanes = lanes_for_warp(warp_first_thread, launch_threads);
+      if (lanes == 0) continue;  // fully past tail
+
+      warp_counters = CycleCounters{};
+      ctx.reset_warp(block, w, lanes);
+      kernel(ctx);
+
+      block_cycles += warp_counters.total_cycles();
+      stats.counters.add(warp_counters);
+      ++stats.warps;
+    }
+
+    if (dims.policy == SchedulePolicy::kRoundRobin) {
+      sm_cycles[block % cfg_.num_sms] += block_cycles;
+    } else {
+      // List scheduling: the block lands on whichever SM frees up first.
+      auto least = std::min_element(sm_cycles.begin(), sm_cycles.end());
+      *least += block_cycles;
+    }
+  }
+}
+
+void DeviceSim::run_parallel(const LaunchDims& dims, const WarpFn& kernel,
+                             std::uint64_t launch_threads,
+                             KernelStats& stats,
+                             std::vector<std::uint64_t>& block_cycles) {
+  if (!pool_ || pool_->slot_count() != cfg_.host_threads) {
+    pool_ = std::make_unique<HostPool>(cfg_.host_threads - 1);
+  }
+  const std::uint32_t slots = pool_->slot_count();
+
+  // Contiguous block chunks, several per thread so stragglers rebalance;
+  // chunk boundaries depend only on (blocks, host_threads), never on
+  // execution order.
+  const std::uint32_t chunk_blocks =
+      std::max<std::uint32_t>(1, dims.blocks / (slots * 8));
+  const std::uint32_t num_chunks =
+      (dims.blocks + chunk_blocks - 1) / chunk_blocks;
+
+  std::vector<CycleCounters> chunk_counters(num_chunks);
+  std::vector<std::uint64_t> chunk_warps(num_chunks, 0);
+
+  // Per-slot pooled state, created lazily on the executing thread. Each
+  // slot index is only ever touched by one thread per run().
+  struct SlotCtx {
+    CycleCounters counters;
+    WarpCtx ctx;
+    SlotCtx(const SimConfig& cfg, std::uint32_t warps_per_block)
+        : ctx(0, 0, warps_per_block, kWarpSize, cfg, counters, nullptr) {
+      ctx.set_concurrent(true);
+    }
+  };
+  std::vector<std::unique_ptr<SlotCtx>> slot_ctx(slots);
+
+  pool_->run(num_chunks, [&](std::uint32_t chunk, unsigned slot) {
+    auto& sc = slot_ctx[slot];
+    if (!sc) sc = std::make_unique<SlotCtx>(cfg_, dims.warps_per_block);
+
+    const std::uint32_t begin = chunk * chunk_blocks;
+    const std::uint32_t end =
+        std::min<std::uint32_t>(begin + chunk_blocks, dims.blocks);
+    for (std::uint32_t block = begin; block < end; ++block) {
+      std::uint64_t cycles = 0;
+      for (std::uint32_t w = 0; w < dims.warps_per_block; ++w) {
+        const std::uint64_t warp_first_thread =
+            (static_cast<std::uint64_t>(block) * dims.warps_per_block + w) *
+            kWarpSize;
+        const int lanes = lanes_for_warp(warp_first_thread, launch_threads);
+        if (lanes == 0) continue;
+
+        sc->counters = CycleCounters{};
+        sc->ctx.reset_warp(block, w, lanes);
+        kernel(sc->ctx);
+
+        cycles += sc->counters.total_cycles();
+        chunk_counters[chunk].add(sc->counters);
+        ++chunk_warps[chunk];
+      }
+      block_cycles[block] = cycles;
+    }
+  });
+
+  // Deterministic reduction: chunks are contiguous ascending block ranges,
+  // so accumulating them in chunk order is accumulation in block order.
+  for (std::uint32_t c = 0; c < num_chunks; ++c) {
+    stats.counters.add(chunk_counters[c]);
+    stats.warps += chunk_warps[c];
+  }
 }
 
 KernelStats DeviceSim::launch(const LaunchDims& dims, const WarpFn& kernel) {
@@ -50,33 +182,25 @@ KernelStats DeviceSim::launch(const LaunchDims& dims, const WarpFn& kernel) {
       dims.total_threads ? dims.total_threads
                          : dims.warp_count() * kWarpSize;
 
-  for (std::uint32_t block = 0; block < dims.blocks; ++block) {
-    std::uint64_t block_cycles = 0;
-    for (std::uint32_t w = 0; w < dims.warps_per_block; ++w) {
-      const std::uint64_t warp_first_thread =
-          (static_cast<std::uint64_t>(block) * dims.warps_per_block + w) *
-          kWarpSize;
-      if (warp_first_thread >= launch_threads) continue;  // fully past tail
-      const std::uint64_t remaining = launch_threads - warp_first_thread;
-      const int lanes =
-          static_cast<int>(std::min<std::uint64_t>(remaining, kWarpSize));
+  // The sanitizer's shadow state is single-threaded by design, so
+  // sanitized launches always run on the serial engine.
+  const bool parallel =
+      cfg_.host_threads > 1 && san == nullptr && dims.blocks > 1;
 
-      CycleCounters warp_counters;
-      WarpCtx ctx(block, w, dims.warps_per_block, lanes, cfg_,
-                  warp_counters, san);
-      kernel(ctx);
-
-      block_cycles += warp_counters.total_cycles();
-      stats.counters.add(warp_counters);
-      ++stats.warps;
-    }
-
-    if (dims.policy == SchedulePolicy::kRoundRobin) {
-      sm_cycles[block % cfg_.num_sms] += block_cycles;
-    } else {
-      // List scheduling: the block lands on whichever SM frees up first.
-      auto least = std::min_element(sm_cycles.begin(), sm_cycles.end());
-      *least += block_cycles;
+  if (!parallel) {
+    run_serial(dims, kernel, san, launch_threads, stats, sm_cycles);
+  } else {
+    std::vector<std::uint64_t> block_cycles(dims.blocks, 0);
+    run_parallel(dims, kernel, launch_threads, stats, block_cycles);
+    // Replay the block->SM schedule serially in block order: identical to
+    // what the serial loop would compute from the same per-block cycles.
+    for (std::uint32_t block = 0; block < dims.blocks; ++block) {
+      if (dims.policy == SchedulePolicy::kRoundRobin) {
+        sm_cycles[block % cfg_.num_sms] += block_cycles[block];
+      } else {
+        auto least = std::min_element(sm_cycles.begin(), sm_cycles.end());
+        *least += block_cycles[block];
+      }
     }
   }
 

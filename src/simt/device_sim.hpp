@@ -1,19 +1,31 @@
-// Device-level execution: schedules the blocks of a kernel launch across
-// simulated SMs and aggregates timing.
+// Device-level execution engine: runs the warps of a kernel launch (on
+// one host thread, or a persistent worker pool when
+// SimConfig::host_threads > 1), schedules the blocks across simulated SMs
+// and aggregates timing.
 //
 // Throughput model: every warp's charged cycles are summed per SM (blocks
 // are assigned round-robin), and the launch's modeled elapsed time is the
 // busiest SM plus a fixed launch overhead. This assumes occupancy hides
 // latency — the standard first-order model for bandwidth-bound kernels —
 // while still exposing cross-SM load imbalance.
+//
+// The parallel engine partitions a launch's blocks into contiguous chunks
+// that host threads claim dynamically. Per-chunk cycle counters are
+// reduced in block order afterwards and the block->SM schedule is replayed
+// serially from the per-block cycle totals, so the *timing* model is
+// evaluated exactly as the serial engine evaluates it. What can differ
+// from serial execution is cross-block memory visibility inside one
+// launch (see warp_ctx.hpp's contract comment and DESIGN.md).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "simt/config.hpp"
+#include "simt/host_pool.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/stats.hpp"
 #include "simt/timeline.hpp"
@@ -72,11 +84,13 @@ class DeviceSim {
   KernelStats launch(const LaunchDims& dims, const WarpFn& kernel);
 
   /// Computes dims covering n logical threads with the configured
-  /// default block size.
+  /// default block size. Throws std::overflow_error when the required
+  /// block count does not fit LaunchDims::blocks (uint32).
   LaunchDims dims_for_threads(std::uint64_t n) const;
 
   /// Dims with exactly one warp per block, n_warps blocks: maximum
   /// scheduling freedom, used by work-queue kernels that size themselves.
+  /// Throws std::overflow_error when n_warps does not fit uint32.
   LaunchDims dims_for_warps(std::uint64_t n_warps) const;
 
   /// The sanitizer instance, or nullptr when SimConfig::sanitize is off.
@@ -93,8 +107,22 @@ class DeviceSim {
   const Timeline& timeline() const { return timeline_; }
 
  private:
+  /// Serial engine: one pooled WarpCtx, warps in launch order, SM
+  /// scheduling folded into the loop (no per-block storage needed).
+  void run_serial(const LaunchDims& dims, const WarpFn& kernel,
+                  Sanitizer* san, std::uint64_t launch_threads,
+                  KernelStats& stats, std::vector<std::uint64_t>& sm_cycles);
+
+  /// Parallel engine: blocks on the worker pool, per-chunk counters
+  /// reduced in block order, block cycles recorded for the schedule
+  /// replay in launch().
+  void run_parallel(const LaunchDims& dims, const WarpFn& kernel,
+                    std::uint64_t launch_threads, KernelStats& stats,
+                    std::vector<std::uint64_t>& block_cycles);
+
   SimConfig cfg_;
   std::unique_ptr<Sanitizer> sanitizer_;
+  std::unique_ptr<HostPool> pool_;  ///< lazily created, persists launches
   Timeline timeline_;
   std::uint64_t launch_seq_ = 0;
 };

@@ -1,0 +1,89 @@
+#include "simt/host_pool.hpp"
+
+namespace maxwarp::simt {
+
+HostPool::HostPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i + 1); });
+  }
+}
+
+HostPool::~HostPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void HostPool::drain_tasks(const TaskFn& fn, std::uint32_t num_tasks,
+                           unsigned slot) {
+  while (!failed_.load(std::memory_order_relaxed)) {
+    const std::uint32_t t =
+        next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (t >= num_tasks) break;
+    try {
+      fn(t, slot);
+    } catch (...) {
+      failed_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void HostPool::run(std::uint32_t num_tasks, const TaskFn& fn) {
+  if (num_tasks == 0) return;
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  if (workers_.empty()) {
+    drain_tasks(fn, num_tasks, 0);
+    if (first_error_) std::rethrow_exception(first_error_);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_.store(0, std::memory_order_relaxed);
+    busy_workers_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is slot 0: claim tasks alongside the workers.
+  drain_tasks(fn, num_tasks, 0);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return busy_workers_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void HostPool::worker_main(unsigned slot) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const TaskFn* job = nullptr;
+    std::uint32_t num_tasks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      num_tasks = num_tasks_;
+    }
+    drain_tasks(*job, num_tasks, slot);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_workers_;
+      if (busy_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace maxwarp::simt

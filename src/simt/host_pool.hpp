@@ -1,0 +1,74 @@
+// Persistent host worker pool for the parallel execution engine.
+//
+// DeviceSim keeps one HostPool alive across kernel launches (thread
+// creation per launch would dwarf the simulation of small kernels) and
+// dispatches the blocks of each launch to it as an indexed task range.
+// Tasks are claimed from a shared atomic cursor, so chunks of blocks
+// balance dynamically across workers; the calling thread participates as
+// slot 0 instead of idling. run() returns only after every task finished,
+// and its mutex handshake publishes all worker writes to the caller — the
+// device-wide barrier a kernel launch already promises.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace maxwarp::simt {
+
+class HostPool {
+ public:
+  /// Task body: fn(task_index, slot). `slot` identifies the executing
+  /// thread (0 = caller, 1..worker_count() = pool workers) so callers can
+  /// keep per-thread scratch without locking.
+  using TaskFn = std::function<void(std::uint32_t, unsigned)>;
+
+  /// Spawns `workers` persistent worker threads (0 is allowed: run() then
+  /// executes everything on the calling thread).
+  explicit HostPool(unsigned workers);
+
+  HostPool(const HostPool&) = delete;
+  HostPool& operator=(const HostPool&) = delete;
+
+  ~HostPool();
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Number of distinct `slot` values tasks may observe.
+  unsigned slot_count() const { return worker_count() + 1; }
+
+  /// Runs fn(t, slot) for every t in [0, num_tasks), returning when all
+  /// tasks completed. Not reentrant: one run() at a time per pool. If any
+  /// task throws, remaining tasks are abandoned (already-claimed ones still
+  /// finish) and the first exception is rethrown on the calling thread.
+  void run(std::uint32_t num_tasks, const TaskFn& fn);
+
+ private:
+  void worker_main(unsigned slot);
+
+  /// Claims and runs tasks until the cursor is exhausted or a task threw.
+  /// Returns normally even on failure; the first exception is stashed.
+  void drain_tasks(const TaskFn& fn, std::uint32_t num_tasks, unsigned slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< workers wait for a new generation
+  std::condition_variable done_cv_;   ///< caller waits for workers to drain
+  const TaskFn* job_ = nullptr;       ///< valid while a generation is live
+  std::uint32_t num_tasks_ = 0;
+  std::atomic<std::uint32_t> next_task_{0};
+  std::atomic<bool> failed_{false};   ///< a task threw; stop claiming
+  std::exception_ptr first_error_;    ///< guarded by mutex_
+  unsigned busy_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace maxwarp::simt

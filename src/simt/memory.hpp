@@ -14,6 +14,9 @@
 // addresses is free, as on hardware).
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
@@ -28,29 +31,222 @@ class MemoryModel {
   MemoryModel(const SimConfig& cfg, CycleCounters& counters)
       : cfg_(cfg), counters_(counters) {}
 
+  // The access charge functions below run once per simulated warp memory
+  // instruction — tens of millions of times per benchmark run — so they
+  // are defined inline here: the callers in warp_ctx.hpp are themselves
+  // header-inline and the compiler folds the whole charge into the
+  // interpreter loop instead of issuing an out-of-line call per access.
+
   /// Charges one warp-level global load/store. `addrs[lane]` must be filled
   /// for every active lane; `access_bytes` is the per-lane element size.
   /// Returns the number of transactions (for tests).
   int access_global(const std::uint64_t* addrs, LaneMask active,
-                    std::size_t access_bytes);
+                    std::size_t access_bytes) {
+    if (active == 0) return 0;
+    const int txns = global_transactions(addrs, active, access_bytes,
+                                         cfg_.mem_transaction_bytes);
+
+    counters_.global_transactions += static_cast<std::uint64_t>(txns);
+    counters_.global_requests += static_cast<std::uint64_t>(popcount(active));
+    counters_.global_bytes +=
+        static_cast<std::uint64_t>(txns) * cfg_.mem_transaction_bytes;
+    counters_.mem_cycles +=
+        static_cast<std::uint64_t>(txns) * cfg_.cycles_per_mem_transaction;
+    return txns;
+  }
 
   /// Charges one warp-level atomic instruction. Returns the number of
   /// serialized conflicts (extra same-address lanes).
-  int access_atomic(const std::uint64_t* addrs, LaneMask active);
+  int access_atomic(const std::uint64_t* addrs, LaneMask active) {
+    if (active == 0) return 0;
+    // Fast-path the two dominant warp-atomic shapes before the quadratic
+    // dedup: every lane on one address (queue-tail counters: 1 distinct,
+    // all other lanes serialize) and strictly increasing per-lane addresses
+    // (affine per-lane targets, e.g. scatter-add with unit stride: all
+    // distinct, no serialization).
+    int distinct = 0;
+    int conflicts = 0;
+    {
+      bool all_same = true;
+      bool increasing = true;
+      std::uint64_t first_addr = 0;
+      std::uint64_t prev_addr = 0;
+      bool have_prev = false;
+      for_each_lane(active, [&](int lane) {
+        const std::uint64_t a = addrs[lane];
+        if (!have_prev) {
+          first_addr = a;
+          have_prev = true;
+        } else {
+          all_same &= a == first_addr;
+          increasing &= a > prev_addr;
+        }
+        prev_addr = a;
+      });
+      const int n = popcount(active);
+      if (all_same) {
+        distinct = 1;
+        conflicts = n - 1;
+      } else if (increasing) {
+        distinct = n;
+        conflicts = 0;
+      } else {
+        std::array<std::uint64_t, kWarpSize> seen{};
+        for_each_lane(active, [&](int lane) {
+          const std::uint64_t a = addrs[lane];
+          bool dup = false;
+          for (int i = 0; i < distinct; ++i) {
+            if (seen[static_cast<std::size_t>(i)] == a) {
+              dup = true;
+              break;
+            }
+          }
+          if (dup) {
+            ++conflicts;
+          } else {
+            seen[static_cast<std::size_t>(distinct++)] = a;
+          }
+        });
+      }
+    }
+
+    counters_.atomic_ops += static_cast<std::uint64_t>(popcount(active));
+    counters_.atomic_conflicts += static_cast<std::uint64_t>(conflicts);
+    counters_.mem_cycles +=
+        static_cast<std::uint64_t>(distinct) * cfg_.cycles_per_atomic +
+        static_cast<std::uint64_t>(conflicts) *
+            cfg_.cycles_per_atomic_conflict;
+    // Atomics also consume global-memory bandwidth.
+    counters_.global_transactions += static_cast<std::uint64_t>(distinct);
+    return conflicts;
+  }
 
   /// Charges one warp-level shared-memory access on 4-byte words at the
   /// given byte offsets. Returns the replay count (0 = conflict free).
-  int access_shared(const std::uint64_t* offsets, LaneMask active);
+  int access_shared(const std::uint64_t* offsets, LaneMask active) {
+    if (active == 0) return 0;
+    const int replays = shared_replays(offsets, active);
+
+    counters_.shared_accesses += static_cast<std::uint64_t>(popcount(active));
+    counters_.shared_bank_conflict_replays +=
+        static_cast<std::uint64_t>(replays);
+    counters_.mem_cycles += static_cast<std::uint64_t>(1 + replays) *
+                            cfg_.cycles_per_shared_access;
+    return replays;
+  }
 
   /// Pure coalescing model: transactions needed for one warp access with
   /// the given segment size. Shared with the sanitizer's coalescing lint.
   static int global_transactions(const std::uint64_t* addrs, LaneMask active,
                                  std::size_t access_bytes,
-                                 std::uint32_t segment_bytes);
+                                 std::uint32_t segment_bytes) {
+    if (active == 0) return 0;
+    // Collect the segment ids touched by every active lane. An element that
+    // straddles a segment boundary touches two segments. One pass also
+    // classifies the warp's pattern so the dominant shapes skip the sort:
+    //  - span of one segment (uniform / unit-stride accesses)  -> 1 txn
+    //  - span of two segments (both endpoints are touched)     -> 2 txns
+    //  - monotone non-straddling lane addresses (CSR strips)   -> linear scan
+    // segment_bytes is validated to be a power of two, so segment ids are
+    // shifts, not 64-bit divisions — this function runs once per simulated
+    // global access and dominated interpreter time as a division loop.
+    const auto shift = static_cast<unsigned>(std::countr_zero(segment_bytes));
+    const std::uint64_t spill = access_bytes - 1;
+
+    if ((active & (active - 1)) == 0) {
+      // Single active lane: 1 transaction, 2 if the element straddles.
+      const std::uint64_t addr = addrs[first_lane(active)];
+      return (addr >> shift) == ((addr + spill) >> shift) ? 1 : 2;
+    }
+
+    // First pass: only min/max of the raw addresses. x >> shift is
+    // monotone, so min(first) == min_addr >> shift and
+    // max(last) == (max_addr + spill) >> shift — enough to resolve the
+    // span-0/1 cases that unit-stride warps (the dominant pattern) hit,
+    // without collecting per-lane segment ids. For a fully active warp
+    // this is a straight 32-element reduction the compiler vectorizes.
+    std::uint64_t min_addr = ~std::uint64_t{0};
+    std::uint64_t max_addr = 0;
+    if (active == kFullMask) {
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        min_addr = std::min(min_addr, addrs[lane]);
+        max_addr = std::max(max_addr, addrs[lane]);
+      }
+    } else {
+      for_each_lane(active, [&](int lane) {
+        min_addr = std::min(min_addr, addrs[lane]);
+        max_addr = std::max(max_addr, addrs[lane]);
+      });
+    }
+    const std::uint64_t span =
+        ((max_addr + spill) >> shift) - (min_addr >> shift);
+    if (span == 0) return 1;
+    // Two adjacent segments: the lowest address touches the low segment
+    // and the highest address (plus spill) touches the high one, so
+    // exactly both are hit.
+    if (span == 1) return 2;
+
+    // Multi-segment warp: collect the touched segment ids per lane.
+    std::array<std::uint64_t, 2 * kWarpSize> segments{};
+    int count = 0;
+    std::uint64_t prev_addr = 0;
+    bool monotone = true;
+    bool straddle = false;
+    bool have_prev = false;
+    for_each_lane(active, [&](int lane) {
+      const std::uint64_t addr = addrs[lane];
+      const std::uint64_t first = addr >> shift;
+      const std::uint64_t last = (addr + spill) >> shift;
+      segments[static_cast<std::size_t>(count++)] = first;
+      if (last != first) {
+        segments[static_cast<std::size_t>(count++)] = last;
+        straddle = true;
+      }
+      if (have_prev && addr < prev_addr) monotone = false;
+      prev_addr = addr;
+      have_prev = true;
+    });
+    if (monotone && !straddle) {
+      // No lane straddles, so segments[] holds one entry per lane in lane
+      // order, already sorted: count the distinct ids in one pass.
+      int txns = 1;
+      for (int i = 1; i < count; ++i) {
+        txns += segments[static_cast<std::size_t>(i)] !=
+                segments[static_cast<std::size_t>(i - 1)];
+      }
+      return txns;
+    }
+    std::sort(segments.begin(), segments.begin() + count);
+    const auto unique_end =
+        std::unique(segments.begin(), segments.begin() + count);
+    return static_cast<int>(unique_end - segments.begin());
+  }
 
   /// Pure bank-conflict model: replay count for one shared access. Shared
   /// with the sanitizer's bank-conflict lint.
-  static int shared_replays(const std::uint64_t* offsets, LaneMask active);
+  static int shared_replays(const std::uint64_t* offsets, LaneMask active) {
+    if (active == 0) return 0;
+    // bank = word index mod 32; identical addresses broadcast for free.
+    std::array<int, kSharedBanks> bank_load{};
+    std::array<std::uint64_t, kWarpSize> first_addr_in_bank{};
+    std::array<bool, kSharedBanks> bank_multi{};
+    for_each_lane(active, [&](int lane) {
+      const std::uint64_t word = offsets[lane] / 4;
+      const auto bank = static_cast<std::size_t>(word % kSharedBanks);
+      if (bank_load[bank] == 0) {
+        first_addr_in_bank[bank] = word;
+        bank_load[bank] = 1;
+      } else if (first_addr_in_bank[bank] != word || bank_multi[bank]) {
+        // Distinct word in the same bank -> conflict. Treat any further
+        // access after a conflict pessimistically as another replay.
+        ++bank_load[bank];
+        bank_multi[bank] = true;
+      }
+    });
+    int replays = 0;
+    for (int load : bank_load) replays = std::max(replays, load);
+    return std::max(replays - 1, 0);
+  }
 
  private:
   const SimConfig& cfg_;

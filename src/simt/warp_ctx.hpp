@@ -7,11 +7,25 @@
 // once per iteration until its *slowest* lane exits, which is precisely the
 // work-imbalance pathology the paper studies.
 //
-// Determinism contract: lanes are visited in increasing lane order, warps
-// run sequentially in launch order, so every simulated quantity (including
-// atomics' return values) is reproducible bit-for-bit.
+// Determinism contract (see DESIGN.md "Execution engine" for the full
+// statement): lanes are always visited in increasing lane order. With the
+// serial engine (SimConfig::host_threads == 1, the default) warps also run
+// sequentially in launch order, so every simulated quantity — including
+// atomics' return values — is reproducible bit-for-bit. With the parallel
+// engine (host_threads > 1) blocks of a launch execute concurrently on a
+// host worker pool: modeled cycle statistics are still reduced in block
+// order, but cross-block memory *visibility* inside one launch becomes
+// scheduling-dependent, so atomic return values (queue slot order) and any
+// value read from a location another block writes in the same launch are
+// not deterministic. Global loads/stores/atomics then go through relaxed
+// word-sized std::atomic_ref so those races are benign on the host too.
+//
+// The engine pools one WarpCtx (and its shared-memory arena) per host
+// thread and re-arms it per warp via reset_warp() instead of paying a
+// >=96 KiB heap allocation per simulated warp.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -27,6 +41,19 @@
 #include "simt/stats.hpp"
 
 namespace maxwarp::simt {
+
+namespace detail {
+
+/// True when a global-memory element of type T can be accessed through a
+/// word-sized std::atomic_ref on the host (the parallel engine's race-free
+/// access path). Every device type the library's kernels use qualifies.
+template <typename T>
+inline constexpr bool kAtomicRefCapable =
+    std::is_trivially_copyable_v<T> &&
+    (sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8) &&
+    alignof(T) >= sizeof(T);
+
+}  // namespace detail
 
 /// A span of per-warp shared memory (see WarpCtx::shared_alloc).
 template <typename T>
@@ -63,6 +90,29 @@ class WarpCtx {
 
   WarpCtx(const WarpCtx&) = delete;
   WarpCtx& operator=(const WarpCtx&) = delete;
+
+  /// Re-arms this context for the next warp of a launch. The execution
+  /// engine pools one WarpCtx per host thread instead of constructing one
+  /// per simulated warp: the shared arena keeps its heap block but is
+  /// emptied, so shared_alloc() hands back value-initialized (zeroed)
+  /// memory exactly as a freshly constructed context would, and the
+  /// divergence stack restarts at the warp's root mask.
+  void reset_warp(std::uint32_t block_id, std::uint32_t warp_in_block,
+                  int lanes_in_use) {
+    if (lanes_in_use < 1 || lanes_in_use > kWarpSize) {
+      throw std::invalid_argument("lanes_in_use out of range");
+    }
+    block_id_ = block_id;
+    warp_in_block_ = warp_in_block;
+    depth_ = 0;
+    mask_stack_[0] = prefix_mask(lanes_in_use);
+    shared_arena_.clear();
+  }
+
+  /// Marks this context as running concurrently with other blocks of the
+  /// same launch (host_threads > 1): global loads/stores/atomics switch to
+  /// relaxed std::atomic_ref accesses. Engine-internal.
+  void set_concurrent(bool concurrent) { concurrent_ = concurrent; }
 
   // --- identity -----------------------------------------------------------
 
@@ -167,7 +217,7 @@ class WarpCtx {
       for_each_lane(active(), [&](int lane) {
         const auto i = static_cast<std::uint64_t>(idx(lane));
         addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
-        out[static_cast<std::size_t>(lane)] = ptr.host[i];
+        out[static_cast<std::size_t>(lane)] = engine_load(ptr.host + i);
       });
     } else {
       // Sanitized path: validate every lane's address before the host read
@@ -208,7 +258,7 @@ class WarpCtx {
     }
     mem_.access_global(addrs.data(), lane_bit(leader),
                        sizeof(std::remove_const_t<T>));
-    return ptr.host[idx];
+    return engine_load(ptr.host + idx);
   }
 
   /// Scatter: ptr[idx(lane)] = val(lane) for active lanes. When two active
@@ -223,7 +273,7 @@ class WarpCtx {
       for_each_lane(active(), [&](int lane) {
         const auto i = static_cast<std::uint64_t>(idx(lane));
         addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
-        ptr.host[i] = val(lane);
+        engine_store(ptr.host + i, static_cast<T>(val(lane)));
       });
     } else {
       // Sanitized path: materialize indices and values first so the checker
@@ -433,6 +483,58 @@ class WarpCtx {
   static constexpr std::size_t kMaxDepth = 64;
   static constexpr std::size_t kSharedArenaBytes = 96 * 1024;
 
+  // --- engine memory primitives -------------------------------------------
+  // In serial mode these compile down to the plain access. In concurrent
+  // mode (host_threads > 1) they use relaxed std::atomic_ref so concurrent
+  // blocks' benign races (same-value claims, monotonic flags) are defined
+  // behaviour on the host. Relaxed ordering is sufficient: the engine never
+  // relies on cross-block happens-before inside a launch, and the pool's
+  // join fence publishes everything to the host afterwards.
+
+  template <typename T>
+  std::remove_const_t<T> engine_load(T* p) const {
+    using U = std::remove_const_t<T>;
+    if constexpr (detail::kAtomicRefCapable<U>) {
+      if (concurrent_) {
+        return std::atomic_ref<U>(*const_cast<U*>(p))
+            .load(std::memory_order_relaxed);
+      }
+    }
+    return *p;
+  }
+
+  template <typename T>
+  void engine_store(T* p, T v) {
+    if constexpr (detail::kAtomicRefCapable<T>) {
+      if (concurrent_) {
+        std::atomic_ref<T>(*p).store(v, std::memory_order_relaxed);
+        return;
+      }
+    }
+    *p = v;
+  }
+
+  /// Read-modify-write of one element; returns the old value. Concurrent
+  /// mode uses a CAS loop, so the update is atomic against other blocks
+  /// (the per-warp lane order of the surrounding loop is untouched).
+  template <typename T, typename UpdateF>
+  T engine_rmw(T* p, int lane, UpdateF&& update) {
+    if constexpr (detail::kAtomicRefCapable<T>) {
+      if (concurrent_) {
+        std::atomic_ref<T> ref(*p);
+        T old = ref.load(std::memory_order_relaxed);
+        while (!ref.compare_exchange_weak(old, update(old, lane),
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+        }
+        return old;
+      }
+    }
+    const T old = *p;
+    *p = update(old, lane);
+    return old;
+  }
+
   void charge_issue() {
     ++counters_.issued_instructions;
     counters_.alu_cycles += cfg_.alu_cycles_per_instr;
@@ -455,8 +557,8 @@ class WarpCtx {
       for_each_lane(active(), [&](int lane) {
         const auto i = static_cast<std::uint64_t>(idx(lane));
         addrs[static_cast<std::size_t>(lane)] = ptr.element_vaddr(i);
-        old[static_cast<std::size_t>(lane)] = ptr.host[i];
-        ptr.host[i] = update(ptr.host[i], lane);
+        old[static_cast<std::size_t>(lane)] = engine_rmw(ptr.host + i, lane,
+                                                         update);
       });
     } else {
       Lanes<std::uint64_t> elems{};
@@ -503,6 +605,7 @@ class WarpCtx {
   CycleCounters& counters_;
   MemoryModel mem_;
   Sanitizer* san_ = nullptr;  ///< non-null only under SimConfig::sanitize
+  bool concurrent_ = false;   ///< running alongside other blocks' threads
   LaneMask mask_stack_[kMaxDepth] = {};
   std::size_t depth_ = 0;
   std::vector<std::byte> shared_arena_;

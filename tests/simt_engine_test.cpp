@@ -1,0 +1,525 @@
+// Execution-engine tests: the host worker pool, the pooled per-launch
+// WarpCtx/arena reuse, dims overflow guards, and serial/parallel engine
+// equivalence across every GPU algorithm.
+//
+// Determinism expectations (see DESIGN.md "Execution engine"):
+//  - host_threads == 1 is bit-for-bit deterministic, full stop.
+//  - host_threads > 1 keeps results semantically equal to serial for every
+//    algorithm. Modeled stats are bit-identical for kernels that never read
+//    a location another block writes in the same launch (pagerank, spmv,
+//    tc); for the level-synchronous kernels, benign same-value races can
+//    shift which warp does a claim, so their stats are only equal up to a
+//    small envelope.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "algorithms/bc_gpu.hpp"
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/coloring_gpu.hpp"
+#include "algorithms/gpu_graph.hpp"
+#include "algorithms/kcore_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/spmv_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "algorithms/tc_gpu.hpp"
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "simt/device_sim.hpp"
+#include "simt/host_pool.hpp"
+
+namespace maxwarp {
+namespace {
+
+using algorithms::GpuGraph;
+using algorithms::KernelOptions;
+using simt::WarpCtx;
+
+// ---------------------------------------------------------------------------
+// HostPool
+// ---------------------------------------------------------------------------
+
+TEST(HostPool, RunsEveryTaskExactlyOnce) {
+  for (unsigned workers : {0u, 1u, 3u}) {
+    simt::HostPool pool(workers);
+    EXPECT_EQ(pool.worker_count(), workers);
+    EXPECT_EQ(pool.slot_count(), workers + 1);
+
+    constexpr std::uint32_t kTasks = 1000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.run(kTasks, [&](std::uint32_t t, unsigned slot) {
+      ASSERT_LT(slot, pool.slot_count());
+      hits[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint32_t t = 0; t < kTasks; ++t) {
+      EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+    }
+  }
+}
+
+TEST(HostPool, ReusableAcrossGenerationsAndEmptyRuns) {
+  simt::HostPool pool(2);
+  std::atomic<std::uint32_t> total{0};
+  pool.run(0, [&](std::uint32_t, unsigned) { total += 1000; });
+  for (int gen = 0; gen < 50; ++gen) {
+    pool.run(7, [&](std::uint32_t, unsigned) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 7u);
+}
+
+TEST(HostPool, PropagatesTaskExceptionsAndStaysUsable) {
+  simt::HostPool pool(2);
+  std::atomic<std::uint32_t> ran{0};
+  EXPECT_THROW(
+      pool.run(100,
+               [&](std::uint32_t t, unsigned) {
+                 if (t == 13) throw std::runtime_error("boom");
+                 ran.fetch_add(1, std::memory_order_relaxed);
+               }),
+      std::runtime_error);
+  // Already-claimed tasks finished; nothing hung. The pool still works.
+  std::atomic<std::uint32_t> after{0};
+  pool.run(10, [&](std::uint32_t, unsigned) {
+    after.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(after.load(), 10u);
+}
+
+TEST(HostPool, KernelThrowInParallelLaunchReachesCaller) {
+  simt::SimConfig cfg;
+  cfg.host_threads = 4;
+  simt::DeviceSim sim(cfg);
+  const auto dims = sim.dims_for_warps(64);
+  EXPECT_THROW(sim.launch(dims,
+                          [](WarpCtx& w) {
+                            if (w.block_id() == 40) {
+                              throw std::runtime_error("kernel fault");
+                            }
+                          }),
+               std::runtime_error);
+  // The engine (and its pool) survive for the next launch.
+  const auto stats = sim.launch(dims, [](WarpCtx&) {});
+  EXPECT_EQ(stats.warps, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// SimConfig / dims guards
+// ---------------------------------------------------------------------------
+
+TEST(EngineConfig, ZeroHostThreadsRejected) {
+  simt::SimConfig cfg;
+  cfg.host_threads = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(EngineDims, ThreadsOverflowThrowsInsteadOfTruncating) {
+  simt::DeviceSim sim{simt::SimConfig{}};
+  const std::uint64_t threads_per_block =
+      static_cast<std::uint64_t>(sim.config().default_warps_per_block) *
+      simt::kWarpSize;
+  const std::uint64_t max_blocks = std::numeric_limits<std::uint32_t>::max();
+
+  // Largest representable launch still works...
+  const auto dims = sim.dims_for_threads(max_blocks * threads_per_block);
+  EXPECT_EQ(dims.blocks, max_blocks);
+  // ...one block more used to silently truncate to a tiny launch.
+  EXPECT_THROW(sim.dims_for_threads(max_blocks * threads_per_block + 1),
+               std::overflow_error);
+}
+
+TEST(EngineDims, WarpsOverflowThrowsInsteadOfTruncating) {
+  simt::DeviceSim sim{simt::SimConfig{}};
+  const std::uint64_t max_blocks = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(sim.dims_for_warps(max_blocks).blocks, max_blocks);
+  EXPECT_THROW(sim.dims_for_warps(max_blocks + 1), std::overflow_error);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled WarpCtx / shared-arena reuse
+// ---------------------------------------------------------------------------
+
+/// Every warp allocates shared arrays, expects them zero-initialized (a
+/// freshly constructed context guarantees that; the pooled engine must
+/// reproduce it via reset_warp), then scribbles on them so any leak into
+/// the next warp would be caught.
+void run_arena_reuse_probe(std::uint32_t host_threads) {
+  simt::SimConfig cfg;
+  cfg.host_threads = host_threads;
+  gpu::Device dev(cfg);
+
+  gpu::DeviceBuffer<std::uint32_t> dirty(dev, 1);
+  dirty.fill(0);
+  auto dirty_ptr = dirty.ptr();
+
+  auto dims = dev.dims_for_threads(4 * 8 * simt::kWarpSize);  // 4 blocks
+  const auto stats = dev.launch(dims, [&](WarpCtx& w) {
+    auto a = w.shared_alloc<std::uint32_t>(64);
+    auto b = w.shared_alloc<std::uint64_t>(32);
+    std::uint32_t nonzero = 0;
+    for (std::size_t i = 0; i < a.size; ++i) nonzero += a.data[i] != 0;
+    for (std::size_t i = 0; i < b.size; ++i) nonzero += b.data[i] != 0;
+    if (nonzero != 0) {
+      w.with_mask(1u, [&] {
+        w.atomic_add(dirty_ptr, [](int) { return 0; },
+                     [&](int) { return nonzero; });
+      });
+    }
+    // Scribble a warp-unique pattern; the next warp must not see it.
+    w.store_shared(a, [](int l) { return l; },
+                   [&](int) { return 0xdeadbeefu + w.global_warp_id(); });
+    w.store_shared(b, [](int l) { return l; },
+                   [](int) { return ~std::uint64_t{0}; });
+  });
+  EXPECT_EQ(stats.warps, 4u * 8u);
+  EXPECT_EQ(dirty.read(0), 0u)
+      << "shared arena leaked between pooled warps (host_threads="
+      << host_threads << ")";
+}
+
+TEST(EngineArena, SharedMemoryZeroedBetweenWarpsSerial) {
+  run_arena_reuse_probe(1);
+}
+
+TEST(EngineArena, SharedMemoryZeroedBetweenWarpsParallel) {
+  run_arena_reuse_probe(4);
+}
+
+TEST(EngineArena, DivergenceStateResetBetweenWarps) {
+  // A kernel that leaves deep divergence behind would poison the next warp
+  // if reset_warp failed to rewind the mask stack.
+  simt::SimConfig cfg;
+  gpu::Device dev(cfg);
+  gpu::DeviceBuffer<std::uint32_t> widths(dev, 64);
+  widths.fill(0);
+  auto widths_ptr = widths.ptr();
+  const auto dims = dev.dims_for_warps(64);
+  dev.launch(dims, [&](WarpCtx& w) {
+    EXPECT_EQ(w.active_count(), simt::kWarpSize);
+    w.store_global(widths_ptr, [&](int) { return w.block_id(); },
+                   [&](int) { return w.active_count(); });
+  });
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(widths.read(i), static_cast<std::uint32_t>(simt::kWarpSize));
+  }
+}
+
+TEST(EngineArena, TailWarpLaneCountSurvivesPooling) {
+  // 3 blocks of 256 threads + a 5-lane tail warp: the pooled context must
+  // re-arm the root mask per warp, not inherit the previous warp's.
+  simt::SimConfig cfg;
+  gpu::Device dev(cfg);
+  gpu::DeviceBuffer<std::uint32_t> lanes(dev, 32);
+  lanes.fill(0);
+  auto lanes_ptr = lanes.ptr();
+  const std::uint64_t threads = 3 * 256 + 5;
+  const auto dims = dev.dims_for_threads(threads);
+  dev.launch(dims, [&](WarpCtx& w) {
+    const bool tail = w.active_count() == 5;
+    w.with_mask(1u, [&] {
+      w.atomic_add(lanes_ptr, [&](int) { return tail ? 1 : 0; },
+                   [](int) { return 1u; });
+    });
+  });
+  // Exactly one warp (the tail) saw 5 active lanes; all others saw 32.
+  EXPECT_EQ(lanes.read(1), 1u);
+  EXPECT_EQ(lanes.read(0), (threads / 32));
+}
+
+// ---------------------------------------------------------------------------
+// Serial vs parallel engine equivalence over the GPU algorithms
+// ---------------------------------------------------------------------------
+
+struct AlgoRun {
+  simt::KernelStats kernels;
+  std::vector<std::uint32_t> u32;   ///< levels / distances / labels / colors
+  std::vector<float> f32;           ///< ranks / centrality / y
+  std::uint64_t scalar = 0;         ///< triangles / survivors / depth
+};
+
+template <typename F>
+AlgoRun run_with_threads(std::uint32_t host_threads, const graph::Csr& g,
+                         F&& body) {
+  simt::SimConfig cfg;
+  cfg.host_threads = host_threads;
+  gpu::Device dev(cfg);
+  GpuGraph handle(dev, g);
+  return body(handle);
+}
+
+void expect_stats_bit_identical(const simt::KernelStats& a,
+                                const simt::KernelStats& b,
+                                const char* what) {
+  EXPECT_EQ(a.counters.issued_instructions, b.counters.issued_instructions)
+      << what;
+  EXPECT_EQ(a.counters.alu_cycles, b.counters.alu_cycles) << what;
+  EXPECT_EQ(a.counters.mem_cycles, b.counters.mem_cycles) << what;
+  EXPECT_EQ(a.counters.active_lane_ops, b.counters.active_lane_ops) << what;
+  EXPECT_EQ(a.counters.global_transactions, b.counters.global_transactions)
+      << what;
+  EXPECT_EQ(a.counters.global_requests, b.counters.global_requests) << what;
+  EXPECT_EQ(a.counters.atomic_ops, b.counters.atomic_ops) << what;
+  EXPECT_EQ(a.counters.atomic_conflicts, b.counters.atomic_conflicts) << what;
+  EXPECT_EQ(a.counters.branch_divergences, b.counters.branch_divergences)
+      << what;
+  EXPECT_EQ(a.counters.loop_iterations, b.counters.loop_iterations) << what;
+  EXPECT_EQ(a.elapsed_cycles, b.elapsed_cycles) << what;
+  EXPECT_EQ(a.busy_cycles, b.busy_cycles) << what;
+  EXPECT_EQ(a.launches, b.launches) << what;
+  EXPECT_EQ(a.warps, b.warps) << what;
+}
+
+/// Benign same-value races can shift which warp performs a claim, so the
+/// level-synchronous kernels' modeled totals may drift slightly under
+/// host parallelism — but only slightly; a real engine bug (lost work,
+/// double simulation) blows far past this envelope.
+void expect_stats_within_envelope(const simt::KernelStats& a,
+                                  const simt::KernelStats& b,
+                                  double rel, const char* what) {
+  const auto close = [&](std::uint64_t x, std::uint64_t y, double r,
+                         const char* field) {
+    const double hi = static_cast<double>(std::max(x, y));
+    const double lo = static_cast<double>(std::min(x, y));
+    EXPECT_LE(hi - lo, r * hi + 1.0) << what << ": " << field;
+  };
+  close(a.counters.issued_instructions, b.counters.issued_instructions, rel,
+        "issued_instructions");
+  close(a.counters.mem_cycles, b.counters.mem_cycles, rel, "mem_cycles");
+  // elapsed_cycles is the SM list-scheduling makespan — a max, not a sum —
+  // so shifting a few cycles between blocks moves it disproportionately.
+  close(a.elapsed_cycles, b.elapsed_cycles, 3.0 * rel, "elapsed_cycles");
+  close(a.warps, b.warps, rel, "warps");
+}
+
+void expect_f32_close(const std::vector<float>& a, const std::vector<float>& b,
+                      double rel, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a[i];
+    const double y = b[i];
+    EXPECT_NEAR(x, y, rel * std::max(1.0, std::max(std::abs(x), std::abs(y))))
+        << what << " at " << i;
+  }
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineEquivalence, AllAlgorithmsMatchSerial) {
+  const std::uint64_t seed = GetParam();
+  graph::GenOptions go;
+  go.seed = seed;
+  go.undirected = true;  // cc / coloring / kcore need a symmetric graph
+
+  // Two generator families per seed: skewed (RMAT) and preferential
+  // attachment — the degree shapes that stress the virtual-warp kernels.
+  const std::vector<graph::Csr> graphs = {
+      graph::rmat(1024, 1024 * 8, {}, go),
+      graph::barabasi_albert(1024, 6, go),
+  };
+
+  KernelOptions opts;
+  opts.mapping = algorithms::Mapping::kWarpCentric;
+  opts.virtual_warp_width = 8;
+
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const graph::Csr& g = graphs[gi];
+    graph::Csr weighted = g;
+    graph::assign_hash_weights(weighted, 16);
+    const std::string where =
+        "graph " + std::to_string(gi) + " seed " + std::to_string(seed);
+
+    const auto both = [&](const graph::Csr& host_graph, auto&& body) {
+      const AlgoRun serial = run_with_threads(1, host_graph, body);
+      const AlgoRun parallel = run_with_threads(4, host_graph, body);
+      return std::pair<AlgoRun, AlgoRun>(serial, parallel);
+    };
+
+    {  // BFS, level-array frontier: levels are exact (claims write the
+       // unique BFS level regardless of which block wins the race).
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::bfs_gpu(h, 0, opts);
+        return AlgoRun{r.stats.kernels, std::move(r.level), {}, r.depth};
+      });
+      EXPECT_EQ(s.u32, p.u32) << "bfs levels, " << where;
+      EXPECT_EQ(s.scalar, p.scalar) << "bfs depth, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.05,
+                                   ("bfs " + where).c_str());
+    }
+    {  // BFS, queue frontier: enqueue order is scheduling-dependent, the
+       // claimed *set* per level (hence levels and depth) is not.
+      KernelOptions qo = opts;
+      qo.frontier = algorithms::Frontier::kQueue;
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::bfs_gpu(h, 0, qo);
+        return AlgoRun{r.stats.kernels, std::move(r.level), {}, r.depth};
+      });
+      EXPECT_EQ(s.u32, p.u32) << "bfs.queue levels, " << where;
+      EXPECT_EQ(s.scalar, p.scalar) << "bfs.queue depth, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.05,
+                                   ("bfs.queue " + where).c_str());
+    }
+    {  // Adaptive BFS: width schedule derives from frontier sizes and
+       // degree sums (both integers, race-invariant), so levels are exact.
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::bfs_gpu_adaptive(h, 0, 2);
+        return AlgoRun{r.stats.kernels, std::move(r.level), {}, r.depth};
+      });
+      EXPECT_EQ(s.u32, p.u32) << "bfs.adaptive levels, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.05,
+                                   ("bfs.adaptive " + where).c_str());
+    }
+    {  // Direction-optimized BFS.
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::bfs_gpu_direction_optimized(h, 0, opts);
+        return AlgoRun{r.stats.kernels, std::move(r.level), {}, r.depth};
+      });
+      EXPECT_EQ(s.u32, p.u32) << "bfs.dopt levels, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.05,
+                                   ("bfs.dopt " + where).c_str());
+    }
+    {  // SSSP: distances converge to the unique shortest-path fixpoint.
+      auto [s, p] = both(weighted, [&](GpuGraph& h) {
+        auto r = algorithms::sssp_gpu(h, 0, opts);
+        return AlgoRun{r.stats.kernels, std::move(r.dist), {}, 0};
+      });
+      EXPECT_EQ(s.u32, p.u32) << "sssp distances, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.15,
+                                   ("sssp " + where).c_str());
+    }
+    {  // Connected components: min-label fixpoint is unique.
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::connected_components_gpu(h, opts);
+        return AlgoRun{r.stats.kernels, std::move(r.label), {}, 0};
+      });
+      EXPECT_EQ(s.u32, p.u32) << "cc labels, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.25,
+                                   ("cc " + where).c_str());
+    }
+    {  // PageRank: pull-based owner-computes sweeps with a fixed iteration
+       // count — no kernel reads anything written in the same launch, so
+       // modeled stats are bit-identical. Rank values can differ in final
+       // ulps (the dangling-mass atomic accumulates in block order).
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::pagerank_gpu(h, {}, opts);
+        return AlgoRun{r.stats.kernels, {}, std::move(r.rank), 0};
+      });
+      expect_stats_bit_identical(s.kernels, p.kernels,
+                                 ("pagerank " + where).c_str());
+      expect_f32_close(s.f32, p.f32, 1e-4, ("pagerank " + where).c_str());
+    }
+    {  // SpMV: owner-computes over read-only inputs — fully deterministic,
+       // results bit-identical (per-row accumulation is in lane order).
+      auto [s, p] = both(weighted, [&](GpuGraph& h) {
+        std::vector<float> x(g.num_nodes(), 1.0f);
+        auto r = algorithms::spmv_gpu(h, x, opts);
+        return AlgoRun{r.stats.kernels, {}, std::move(r.y), 0};
+      });
+      expect_stats_bit_identical(s.kernels, p.kernels,
+                                 ("spmv " + where).c_str());
+      EXPECT_EQ(s.f32, p.f32) << "spmv y, " << where;
+    }
+    {  // Triangle counting: reads only the (immutable) adjacency; integer
+       // atomic sums are order-invariant — fully deterministic.
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::triangle_count_gpu(h, opts);
+        return AlgoRun{r.stats.kernels, {}, {}, r.triangles};
+      });
+      expect_stats_bit_identical(s.kernels, p.kernels,
+                                 ("tc " + where).c_str());
+      EXPECT_EQ(s.scalar, p.scalar) << "tc triangles, " << where;
+    }
+    {  // k-core: the k-core of a graph is unique, whatever the peel order.
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::k_core_gpu(h, 4, opts);
+        AlgoRun out{r.stats.kernels, {}, {}, r.survivors};
+        out.u32.assign(r.in_core.begin(), r.in_core.end());
+        return out;
+      });
+      EXPECT_EQ(s.u32, p.u32) << "kcore membership, " << where;
+      EXPECT_EQ(s.scalar, p.scalar) << "kcore survivors, " << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.25,
+                                   ("kcore " + where).c_str());
+    }
+    {  // Coloring: Jones-Plassmann races can legitimately produce a
+       // *different* proper coloring; properness is the invariant.
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::color_graph_gpu(h, opts);
+        return AlgoRun{r.stats.kernels, std::move(r.color), {},
+                       r.colors_used};
+      });
+      EXPECT_TRUE(algorithms::is_proper_coloring(g, s.u32)) << where;
+      EXPECT_TRUE(algorithms::is_proper_coloring(g, p.u32)) << where;
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.25,
+                                   ("coloring " + where).c_str());
+    }
+    {  // Betweenness: float dependency accumulation order varies across
+       // blocks; centrality is compared with tolerance.
+      const std::vector<graph::NodeId> sources{0, 1, 2, 3};
+      auto [s, p] = both(g, [&](GpuGraph& h) {
+        auto r = algorithms::betweenness_gpu(h, sources, opts);
+        return AlgoRun{r.stats.kernels, {}, std::move(r.centrality), 0};
+      });
+      expect_f32_close(s.f32, p.f32, 1e-3, ("bc " + where).c_str());
+      expect_stats_within_envelope(s.kernels, p.kernels, 0.05,
+                                   ("bc " + where).c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence, ::testing::Values(1, 2));
+
+TEST(EngineSerial, HostThreadsOneIsBitDeterministic) {
+  // Two fully serial runs must agree on *everything* — the pooled-context
+  // fast paths may not perturb a single modeled number.
+  graph::GenOptions go;
+  go.seed = 3;
+  const auto g = graph::rmat(2048, 2048 * 8, {}, go);
+  KernelOptions opts;
+  opts.virtual_warp_width = 4;
+  const auto once = [&] {
+    return run_with_threads(1, g, [&](GpuGraph& h) {
+      auto r = algorithms::bfs_gpu(h, 0, opts);
+      return AlgoRun{r.stats.kernels, std::move(r.level), {}, r.depth};
+    });
+  };
+  const AlgoRun a = once();
+  const AlgoRun b = once();
+  EXPECT_EQ(a.u32, b.u32);
+  expect_stats_bit_identical(a.kernels, b.kernels, "serial determinism");
+}
+
+TEST(EngineSerial, SanitizeForcesSerialEngine) {
+  // sanitize + host_threads > 1 must run (serially) without tripping the
+  // sanitizer's single-threaded shadow state.
+  graph::GenOptions go;
+  go.seed = 4;
+  const auto g = graph::rmat(512, 512 * 4, {}, go);
+  simt::SimConfig cfg;
+  cfg.host_threads = 8;
+  cfg.sanitize = true;
+  gpu::Device dev(cfg);
+  GpuGraph handle(dev, g);
+  const auto r = algorithms::bfs_gpu(handle, 0, {});
+  EXPECT_FALSE(r.level.empty());
+  ASSERT_NE(dev.sanitizer(), nullptr);
+  // BFS legitimately draws warnings/lints (benign races, uncoalesced
+  // access); what must not happen is a memory-safety *error* — or a crash
+  // from running the single-threaded shadow state concurrently.
+  const auto& rep = dev.sanitizer()->report();
+  EXPECT_EQ(rep.severity_counts[static_cast<std::size_t>(
+                simt::Severity::kError)],
+            0u);
+  EXPECT_GT(rep.checked_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace maxwarp

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
+#include <vector>
 
 namespace maxwarp::simt {
 namespace {
@@ -210,6 +213,136 @@ TEST(MemoryModelStatic, SharedReplaysPureHelper) {
   for (int l = 0; l < kWarpSize; ++l) offsets[l] = l * 4u;
   EXPECT_EQ(MemoryModel::shared_replays(offsets.data(), kFullMask), 0);
   EXPECT_EQ(MemoryModel::shared_replays(offsets.data(), 0), 0);
+}
+
+// ---- fast paths vs the naive model ---------------------------------------
+// global_transactions short-circuits single-lane, span-0/1, and monotone
+// shapes before the sort+unique fallback; access_atomic short-circuits the
+// all-same and strictly-increasing shapes. Fuzz every shape family against
+// a from-scratch reference so a fast path can never drift from the model.
+
+int reference_transactions(const std::uint64_t* addrs, LaneMask active,
+                           std::size_t access_bytes,
+                           std::uint32_t segment_bytes) {
+  std::vector<std::uint64_t> segs;
+  for_each_lane(active, [&](int lane) {
+    for (std::uint64_t b = 0; b < access_bytes; ++b) {
+      segs.push_back((addrs[lane] + b) / segment_bytes);
+    }
+  });
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  return static_cast<int>(segs.size());
+}
+
+int reference_atomic_conflicts(const std::uint64_t* addrs, LaneMask active) {
+  std::vector<std::uint64_t> seen;
+  int conflicts = 0;
+  for_each_lane(active, [&](int lane) {
+    if (std::find(seen.begin(), seen.end(), addrs[lane]) != seen.end()) {
+      ++conflicts;
+    } else {
+      seen.push_back(addrs[lane]);
+    }
+  });
+  return conflicts;
+}
+
+/// Deterministic xorshift so the fuzz cases are reproducible.
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+TEST(MemoryModelFuzz, GlobalTransactionsMatchNaiveModel) {
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::array<std::uint64_t, kWarpSize> addrs{};
+    const std::uint32_t segment_bytes = 32u << (next_rand(rng) % 3);  // 32..128
+    const std::size_t access_bytes = std::size_t{1} << (next_rand(rng) % 4);
+    const LaneMask active =
+        static_cast<LaneMask>(next_rand(rng)) & kFullMask;
+    const std::uint64_t base = next_rand(rng) % 0x10000;
+    switch (iter % 6) {
+      case 0:  // unit stride (span 0/1 fast path)
+        for (int l = 0; l < kWarpSize; ++l) addrs[l] = base + l * 4u;
+        break;
+      case 1:  // uniform (all-same fast path)
+        for (int l = 0; l < kWarpSize; ++l) addrs[l] = base;
+        break;
+      case 2:  // monotone CSR strip with repeats, no straddle
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = (l ? addrs[l - 1] : base * 4) +
+                     4 * (next_rand(rng) % 40);
+        }
+        break;
+      case 3:  // random scatter (sort fallback)
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = next_rand(rng) % 0x40000;
+        }
+        break;
+      case 4:  // random scatter with straddling (unaligned addresses)
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = next_rand(rng) % 0x1000;
+        }
+        break;
+      case 5:  // two clusters (span-1 or fallback depending on distance)
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = base + (l % 2) * segment_bytes + 4 * (l / 2);
+        }
+        break;
+    }
+    if (active == 0) continue;
+    EXPECT_EQ(MemoryModel::global_transactions(addrs.data(), active,
+                                               access_bytes, segment_bytes),
+              reference_transactions(addrs.data(), active, access_bytes,
+                                     segment_bytes))
+        << "iter " << iter << " mask " << active << " seg " << segment_bytes
+        << " bytes " << access_bytes;
+  }
+}
+
+TEST(MemoryModelFuzz, AtomicConflictsMatchNaiveModel) {
+  std::uint64_t rng = 0x2545f4914f6cdd1dull;
+  for (int iter = 0; iter < 4000; ++iter) {
+    SimConfig cfg;
+    CycleCounters counters;
+    MemoryModel model(cfg, counters);
+    std::array<std::uint64_t, kWarpSize> addrs{};
+    const LaneMask active =
+        static_cast<LaneMask>(next_rand(rng)) & kFullMask;
+    switch (iter % 4) {
+      case 0:  // all same (fast path)
+        for (int l = 0; l < kWarpSize; ++l) addrs[l] = 0x3000;
+        break;
+      case 1:  // strictly increasing (fast path)
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = (l ? addrs[l - 1] : 64) + 4 + 4 * (next_rand(rng) % 3);
+        }
+        break;
+      case 2:  // few hot addresses (fallback)
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = 4 * (next_rand(rng) % 5);
+        }
+        break;
+      case 3:  // random mix
+        for (int l = 0; l < kWarpSize; ++l) {
+          addrs[l] = 4 * (next_rand(rng) % 64);
+        }
+        break;
+    }
+    if (active == 0) continue;
+    const int expected = reference_atomic_conflicts(addrs.data(), active);
+    EXPECT_EQ(model.access_atomic(addrs.data(), active), expected)
+        << "iter " << iter << " mask " << active;
+    EXPECT_EQ(counters.atomic_conflicts, static_cast<std::uint64_t>(expected));
+    // distinct = ops - conflicts, and each distinct address costs one
+    // global transaction — this pins the fast paths' `distinct` too.
+    EXPECT_EQ(counters.global_transactions,
+              counters.atomic_ops - counters.atomic_conflicts);
+  }
 }
 
 }  // namespace
