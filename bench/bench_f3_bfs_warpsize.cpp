@@ -4,6 +4,8 @@
 // of the warp-centric kernel at W in {1(=A-W2 ablation), 2, 4, 8, 16, 32},
 // plus the implied MTEPS. The virtual-warp trade-off appears as a U-shape
 // in W whose minimum shifts right as the degree distribution gets heavier.
+// This static-W sweep is the baseline the degree-binned Mapping::kAdaptive
+// is measured against (bench_a2_frontier_adaptive prints the head-to-head).
 #include "bench_common.hpp"
 
 namespace {

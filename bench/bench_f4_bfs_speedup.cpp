@@ -3,7 +3,9 @@
 // The paper's summary bars: for each dataset, the speedup of (a) the
 // fixed W=32 warp-centric kernel, (b) the best W from the sweep, and
 // (c) best W combined with the dynamic-distribution and defer-queue
-// techniques, all relative to the thread-mapped baseline.
+// techniques, all relative to the thread-mapped baseline. The best-W
+// column doubles as the static baseline for Mapping::kAdaptive
+// (bench_a2_frontier_adaptive).
 #include "bench_common.hpp"
 
 namespace {

@@ -4,7 +4,9 @@
 // Bellman-Ford SSSP and pull-based PageRank share the same "scan a
 // variable-length neighbor list per vertex" inner loop. For each kernel
 // and dataset: thread-mapped vs warp-centric (best of W in {8, 32})
-// modeled time and the speedup.
+// modeled time and the speedup. These static-W numbers are the baseline
+// the degree-binned Mapping::kAdaptive is compared against
+// (bench_a2_frontier_adaptive).
 #include "bench_common.hpp"
 
 #include "algorithms/bc_gpu.hpp"

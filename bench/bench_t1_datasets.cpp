@@ -42,6 +42,15 @@ void print_table() {
         .cell(spec.skewed ? "yes" : "no");
   }
   table.print();
+  // One line per dataset: the degree quantiles the adaptive auto-tuner
+  // bins on (tune_adaptive_plan reads the same histogram/percentiles).
+  std::printf("\nDegree percentiles (adaptive bin-tuner input):\n");
+  for (const auto& spec : graph::paper_datasets()) {
+    const graph::Csr g = spec.make(benchx::scale(), benchx::seed());
+    const auto pct = graph::degree_percentiles(g);
+    std::printf("  %-14s p50=%-6u p90=%-6u p99=%-6u max=%u\n",
+                spec.name.c_str(), pct.p50, pct.p90, pct.p99, pct.max);
+  }
   std::printf(
       "\nExpected shape: RMAT/LiveJournal*/Patents*/WikiTalk* show high "
       "gini and top-1%% share;\nRandom/Uniform/Grid are flat. The skewed "

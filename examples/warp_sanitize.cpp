@@ -182,6 +182,8 @@ int main(int argc, char** argv) {
     opts.mapping = algorithms::Mapping::kWarpCentricDynamic;
   } else if (mapping == "defer") {
     opts.mapping = algorithms::Mapping::kWarpCentricDefer;
+  } else if (mapping == "adaptive") {
+    opts.mapping = algorithms::Mapping::kAdaptive;
   }
 
   const graph::Csr g = load_graph(args);

@@ -43,6 +43,21 @@ MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_e2_sim_engine \
   --benchmark_out_format=json
 require_release_bench BENCH_sim_engine.json
 
+echo "== bench smoke (adaptive frontier) =="
+MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_a2_frontier_adaptive \
+  --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_frontier_adaptive.json \
+  --benchmark_out_format=json
+require_release_bench BENCH_frontier_adaptive.json
+
+echo "== perf regression guard (modeled counters vs committed JSONs) =="
+if command -v python3 >/dev/null; then
+  python3 scripts/perf_guard.py \
+    BENCH_query_engine.json BENCH_sim_engine.json BENCH_frontier_adaptive.json
+else
+  echo "check.sh: python3 not found, skipping perf guard" >&2
+fi
+
 if [[ "$fast" == 0 ]]; then
   echo "== SANITIZE=ON configuration (ASan+UBSan) =="
   cmake -B build-asan -S . -DSANITIZE=ON >/dev/null

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf-regression guard over committed benchmark JSON artifacts.
+
+Compares freshly produced ``--benchmark_out`` JSON files against the
+version committed at HEAD (``git show HEAD:<file>``) and fails when any
+*modeled* metric drifts beyond a tolerance band.
+
+Only user counters are compared (``adaptive_ms``, ``modeled_ms``,
+``ratio``, ...): they come from the deterministic simulator cost model,
+so any drift is a real behavioural change. Wall-clock fields
+(``real_time`` / ``cpu_time`` / ``items_per_second``) are machine noise
+and are never gated on.
+
+Usage:
+    scripts/perf_guard.py [--tolerance 0.10] BENCH_a.json BENCH_b.json ...
+
+Exit status: 0 when every compared counter stays within the band (files
+with no committed baseline are skipped with a note), 1 otherwise. The
+band can also be set via MAXWARP_PERF_TOLERANCE.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Google-benchmark per-run bookkeeping: everything else in a benchmark
+# entry is a user counter.
+STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "label", "error_occurred",
+    "error_message",
+    # wall-clock derived — machine noise, never gated:
+    "items_per_second", "bytes_per_second",
+}
+
+
+def counters(entry):
+    return {
+        k: v
+        for k, v in entry.items()
+        if k not in STANDARD_KEYS and isinstance(v, (int, float))
+    }
+
+
+def load_committed(path):
+    """The file's content at HEAD, or None when it is not committed."""
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:{path}"],
+            capture_output=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    return json.loads(out)
+
+
+def compare(path, tolerance):
+    """Returns a list of violation strings for one artifact."""
+    baseline = load_committed(path)
+    if baseline is None:
+        print(f"perf_guard: {path}: no committed baseline, skipping")
+        return []
+    with open(path) as f:
+        fresh = json.load(f)
+
+    base_runs = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    fresh_runs = {b["name"]: b for b in fresh.get("benchmarks", [])}
+
+    violations = []
+    for name in sorted(base_runs.keys() - fresh_runs.keys()):
+        violations.append(f"{path}: benchmark disappeared: {name}")
+    for name in sorted(fresh_runs.keys() - base_runs.keys()):
+        print(f"perf_guard: {path}: new benchmark (no baseline): {name}")
+
+    checked = 0
+    for name in sorted(base_runs.keys() & fresh_runs.keys()):
+        base_c = counters(base_runs[name])
+        fresh_c = counters(fresh_runs[name])
+        for key in sorted(base_c.keys() & fresh_c.keys()):
+            old, new = base_c[key], fresh_c[key]
+            checked += 1
+            if old == new:
+                continue
+            denom = abs(old) if old != 0 else 1.0
+            drift = abs(new - old) / denom
+            if drift > tolerance:
+                violations.append(
+                    f"{path}: {name}: {key} drifted "
+                    f"{old:.6g} -> {new:.6g} ({drift:+.1%} > {tolerance:.0%})"
+                )
+    print(f"perf_guard: {path}: {checked} counters within {tolerance:.0%}"
+          if not violations else
+          f"perf_guard: {path}: {len(violations)} violation(s)")
+    return violations
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="fresh benchmark JSONs")
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("MAXWARP_PERF_TOLERANCE", "0.10")),
+        help="allowed relative drift per counter (default 0.10)")
+    args = parser.parse_args()
+
+    all_violations = []
+    for path in args.files:
+        if not os.path.exists(path):
+            all_violations.append(f"{path}: fresh artifact missing")
+            continue
+        all_violations.extend(compare(path, args.tolerance))
+
+    if all_violations:
+        print("perf_guard: FAILED", file=sys.stderr)
+        for v in all_violations:
+            print(f"  {v}", file=sys.stderr)
+        return 1
+    print("perf_guard: all modeled counters within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

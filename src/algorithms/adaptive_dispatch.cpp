@@ -1,0 +1,166 @@
+#include "algorithms/adaptive_dispatch.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace maxwarp::algorithms {
+
+namespace {
+
+/// Candidate widths for calibrating one bin: every valid width from the
+/// configured floor up. Probes are cheap (256 vertices, setup-cached), so
+/// there is no reason to trust the analytic pick's neighbourhood only.
+std::vector<int> probe_widths(int min_width) {
+  std::vector<int> out;
+  for (int w : {1, 2, 4, 8, 16, 32}) {
+    if (w >= min_width) out.push_back(w);
+  }
+  return out;
+}
+
+/// Measured refinement of the analytic plan: per non-team bin, expand a
+/// deterministic strided sample of its vertices (a generic gather body
+/// shaped like the expand kernels) under each candidate W and keep the
+/// cheapest. Candidates are compared on busy_cycles (total work summed
+/// over SMs): a 256-vertex probe underfills the machine by a different
+/// factor per W, so makespans would bias toward whichever W launches
+/// more warps, while total work is fill-independent and tracks the
+/// full-graph makespan of a machine-filling sweep. The sample is drawn
+/// as contiguous 32-entry runs spread evenly across the bin: a real
+/// sweep strips consecutive entries, so narrow widths earn cross-group
+/// coalescing of adjacent CSR segments — per-lane striding would erase
+/// exactly that effect and bias every probe toward wide W, while a plain
+/// prefix would over-weight whatever structure sits at the bin's front.
+/// Probe launches land in the setup ledger, not in any run's stats.
+void calibrate(gpu::Device& device, const GpuCsr& csr, AdaptiveState& st,
+               const KernelOptions& opts, const std::string& label) {
+  const simt::DevPtr<const std::uint32_t> row = csr.row();
+  const simt::DevPtr<const std::uint32_t> adj = csr.adj();
+  const simt::DevPtr<const std::uint32_t> entries = st.entries();
+  const std::vector<int> widths = probe_widths(opts.adaptive.min_width);
+  if (widths.size() < 2) {
+    st.plan.calibrated = true;
+    return;
+  }
+  for (std::size_t b = 0; b < st.bins(); ++b) {
+    AdaptiveBin& bin = st.plan.bins[b];
+    if (bin.team_warps > 1) continue;
+    const std::uint32_t count = st.bin_count(b);
+    const std::uint32_t sample = std::min<std::uint32_t>(count, 256);
+    if (sample == 0) continue;
+    const std::uint32_t run_len = std::min<std::uint32_t>(sample, 32);
+    const std::uint32_t runs = (sample + run_len - 1) / run_len;
+    const std::uint32_t run_stride =
+        runs > 1 ? (count - run_len) / (runs - 1) : 0;
+    const std::uint32_t first = st.bin_first(b);
+    const auto sample_entry = [=](std::uint32_t idx) {
+      return first + (idx / run_len) * run_stride + idx % run_len;
+    };
+    int best = bin.width;
+    std::uint64_t best_cycles = 0;
+    bool have_best = false;
+    for (int w : widths) {
+      const vw::Layout layout(w);
+      const std::string probe_label = label + ".probe." +
+                                      bin_label(st.plan, b) + ".w" +
+                                      std::to_string(w);
+      const std::uint64_t warps_needed =
+          (sample + static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(warps_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+      const simt::KernelStats ks = device.launch(
+          dims.named(probe_label), [&](simt::WarpCtx& ctx) {
+            for (std::uint64_t round = 0; round * total_groups < sample;
+                 ++round) {
+              simt::Lanes<std::uint32_t> idx{};
+              const simt::LaneMask valid = vw::assign_static_tasks(
+                  ctx, layout, round, total_groups, sample, idx);
+              if (valid == 0) continue;
+              simt::Lanes<std::uint32_t> v{};
+              ctx.with_mask(valid, [&] {
+                ctx.load_global(entries, [&](int lane) {
+                  return sample_entry(idx[static_cast<std::size_t>(lane)]);
+                }, v);
+              });
+              simt::Lanes<std::uint32_t> begin{}, end{};
+              vw::load_task_ranges(ctx, row, v, valid, begin, end);
+              vw::simd_strip_loop(
+                  ctx, layout, begin, end, valid,
+                  [&](const simt::Lanes<std::uint32_t>& cursor) {
+                    simt::Lanes<std::uint32_t> nbr{};
+                    ctx.load_global(adj, [&](int lane) {
+                      return cursor[static_cast<std::size_t>(lane)];
+                    }, nbr);
+                    // Scattered per-neighbour gather, the load every
+                    // expand kernel performs (levels/labels/ranks).
+                    simt::Lanes<std::uint32_t> probe{};
+                    ctx.load_global(row, [&](int lane) {
+                      return nbr[static_cast<std::size_t>(lane)];
+                    }, probe);
+                    ctx.alu([](int) {});
+                  });
+            }
+          });
+      st.setup.add(probe_label, ks);
+      if (!have_best || ks.busy_cycles < best_cycles) {
+        have_best = true;
+        best_cycles = ks.busy_cycles;
+        best = w;
+      }
+    }
+    bin.width = best;
+  }
+  st.plan.calibrated = true;
+}
+
+}  // namespace
+
+AdaptiveState build_adaptive_state(gpu::Device& device, const GpuCsr& csr,
+                                   const graph::Csr& host,
+                                   const KernelOptions& opts,
+                                   const std::string& label) {
+  AdaptiveState st;
+  st.plan = tune_adaptive_plan(host, device.config(), opts);
+  st.partitioner = std::make_unique<vw::BinPartitioner>(
+      device, std::max<std::uint32_t>(1, csr.num_nodes()), st.plan.bounds(),
+      label + ".partition");
+  st.partition = st.partitioner->partition_range(csr.row(), csr.num_nodes());
+  st.setup.add(label + ".partition", st.partition.stats);
+  if (opts.adaptive.calibrate) {
+    calibrate(device, csr, st, opts, label);
+    // Calibration can equalize neighbouring widths; merging those bins
+    // (and repartitioning under the merged bounds) drops slot
+    // bookkeeping and can restore the single-bin identity fast path.
+    bool merged = false;
+    for (std::size_t b = 0; b + 1 < st.plan.bins.size();) {
+      AdaptiveBin& cur = st.plan.bins[b];
+      const AdaptiveBin& nxt = st.plan.bins[b + 1];
+      if (cur.team_warps == 1 && nxt.team_warps == 1 &&
+          cur.width == nxt.width) {
+        cur.max_degree = nxt.max_degree;
+        st.plan.bins.erase(st.plan.bins.begin() +
+                           static_cast<std::ptrdiff_t>(b) + 1);
+        merged = true;
+      } else {
+        ++b;
+      }
+    }
+    if (merged) {
+      st.partitioner = std::make_unique<vw::BinPartitioner>(
+          device, std::max<std::uint32_t>(1, csr.num_nodes()),
+          st.plan.bounds(), label + ".partition");
+      st.partition =
+          st.partitioner->partition_range(csr.row(), csr.num_nodes());
+      st.setup.add(label + ".partition", st.partition.stats);
+    }
+  }
+  // A one-bin full-range partition lists vertices 0..n-1 verbatim, so
+  // sweeps can skip the indirection load.
+  st.identity_entries = st.plan.bins.size() == 1;
+  return st;
+}
+
+}  // namespace maxwarp::algorithms

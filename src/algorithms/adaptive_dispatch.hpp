@@ -1,0 +1,345 @@
+// Degree-binned adaptive dispatch (Mapping::kAdaptive).
+//
+// An AdaptiveState is the cached per-graph half: the auto-tuned plan
+// (tune_adaptive_plan), the full-vertex degree partition produced by
+// vw::BinPartitioner, and the setup cost ledger. GpuGraph builds one
+// lazily per direction (forward / reverse CSR) and caches it, so repeated
+// runs — a QueryEngine batch, a PageRank iteration loop — pay the
+// partition and optional calibration once, exactly like the cached
+// reverse-CSR upload.
+//
+// The per-run half is adaptive_sweep: all plain bins run in ONE fused
+// launch (launch_bins_fused) whose warp slots are dealt round-robin
+// across the bins; each warp resolves its bin and runs the caller's
+// group body with that bin's virtual-warp Layout. Fusing matters: separate per-bin kernels
+// serialize on the stream and each underfills the machine (a hub bin is
+// a few hundred warps), so their summed makespans lose to a single
+// full-occupancy launch even when every bin's W is optimal. Bins whose
+// plan entry has team_warps > 1 (outlier hubs) are still drained by a
+// separate team kernel — several cooperating physical warps per vertex,
+// the defer-queue drain idiom — when the algorithm's edge phase is
+// order-safe (integer atomics / idempotent stores). Ordered
+// floating-point kernels pass no team body and outlier bins fold into
+// the fused sweep at W=32.
+//
+// Determinism: bins partition the vertex set, every bin segment lists its
+// vertices in ascending id order, and warps execute in launch order, so a
+// sweep visits each vertex exactly once under a fixed, reproducible
+// schedule. Combined with vw::simd_strip_accumulate (sequential-edge-
+// order folds) this keeps kAdaptive results bit-identical to any static
+// mapping for every algorithm in this library.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "simt/lanes.hpp"
+#include "simt/mask.hpp"
+#include "simt/stats.hpp"
+#include "simt/warp_ctx.hpp"
+#include "warp/bin_partition.hpp"
+#include "warp/virtual_warp.hpp"
+
+namespace maxwarp::algorithms {
+
+/// Cached per-graph adaptive dispatch state (see file comment).
+struct AdaptiveState {
+  AdaptivePlan plan;
+  /// Owns the bin-grouped vertex-id buffer; retained (not re-run) so the
+  /// cached full-vertex partition below stays valid for the lifetime of
+  /// the graph handle. Frontier partitions use their own partitioner.
+  std::unique_ptr<vw::BinPartitioner> partitioner;
+  vw::BinPartition partition;  ///< full-vertex segments, ascending ids
+  /// One-time cost of building this state (partition kernels, calibration
+  /// probes), amortized across every run that reuses the cache.
+  simt::StatsLedger setup;
+
+  /// True when the cached partition is the identity permutation (single-
+  /// bin plan over the full vertex range): sweeps then skip the entry
+  /// indirection load entirely, making one-bin kAdaptive cost-identical
+  /// to the equivalent static launch.
+  bool identity_entries = false;
+
+  std::size_t bins() const { return plan.bins.size(); }
+  std::uint32_t bin_first(std::size_t b) const {
+    return partition.offset[b];
+  }
+  std::uint32_t bin_count(std::size_t b) const { return partition.count(b); }
+  simt::DevPtr<const std::uint32_t> entries() const {
+    return partitioner->entries();
+  }
+};
+
+/// Builds (tunes + partitions + optionally calibrates) the state for one
+/// CSR. `label` prefixes the setup kernel names ("adaptive" /
+/// "adaptive.rev").
+AdaptiveState build_adaptive_state(gpu::Device& device, const GpuCsr& csr,
+                                   const graph::Csr& host,
+                                   const KernelOptions& opts,
+                                   const std::string& label);
+
+/// Launches `body` once over `count` entries starting at `entries[first]`
+/// with the given virtual-warp layout. The body sees
+/// body(w, layout, valid, vertex): `vertex[lane]` is the group's resolved
+/// vertex id (replicated across the group), `valid` the usual mask.
+template <typename BodyF>
+simt::KernelStats launch_bin(gpu::Device& device,
+                             simt::DevPtr<const std::uint32_t> entries,
+                             std::uint32_t first, std::uint32_t count,
+                             const vw::Layout& layout,
+                             const std::string& label, BodyF&& body) {
+  const std::uint64_t warps_needed =
+      (static_cast<std::uint64_t>(count) +
+       static_cast<std::uint64_t>(layout.groups()) - 1) /
+      static_cast<std::uint64_t>(layout.groups());
+  const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
+  const std::uint64_t total_groups =
+      dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+  return device.launch(dims.named(label), [&](simt::WarpCtx& w) {
+    for (std::uint64_t round = 0; round * total_groups < count; ++round) {
+      simt::Lanes<std::uint32_t> idx{};
+      const simt::LaneMask valid =
+          vw::assign_static_tasks(w, layout, round, total_groups, count, idx);
+      if (valid == 0) continue;
+      simt::Lanes<std::uint32_t> vertex{};
+      w.with_mask(valid, [&] {
+        // Resolve the bin entry to a vertex id (replicated per group;
+        // consecutive groups read consecutive entries, so this coalesces).
+        w.load_global(entries, [&](int lane) {
+          return first + idx[static_cast<std::size_t>(lane)];
+        }, vertex);
+      });
+      body(w, layout, valid, vertex);
+    }
+  });
+}
+
+/// One bin's slice of a fused launch: `count` entries starting at
+/// `entries[first]`, swept at virtual-warp width `width`.
+struct BinSlice {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  int width = 32;
+};
+
+/// Fused multi-bin launch: each physical warp grid-strides over warp
+/// slots, resolves its slot's bin, and runs `body` with that bin's
+/// layout. One launch fills the machine where per-bin kernels would each
+/// underfill it and serialize. Slots are dealt proportionally across
+/// bins (bin b's k-th warp at fraction (2k+1)/(2*c_b) of the deal):
+/// per-slot cost differs by bin, and under the simulator's
+/// block-round-robin SM placement a bin-major deal parks whole
+/// same-cost bins on the same few SMs — the proportional deal flattens
+/// per-block cost so the makespan tracks busy/num_sms. `identity` marks `entries` as the identity
+/// permutation (single-bin full-range partitions), eliding the
+/// indirection load. The deal order is a pure function of the slice
+/// table, so the visit schedule stays deterministic, and each vertex is
+/// swept by the same (bin, W, group) regardless of slot order.
+template <typename BodyF>
+simt::KernelStats launch_bins_fused(
+    gpu::Device& device, simt::DevPtr<const std::uint32_t> entries,
+    const std::vector<BinSlice>& slices, bool identity,
+    const std::string& label, BodyF&& body) {
+  std::vector<std::uint64_t> bin_warps(slices.size(), 0);
+  std::uint64_t total_slots = 0;
+  for (std::size_t b = 0; b < slices.size(); ++b) {
+    const vw::Layout layout(slices[b].width);
+    bin_warps[b] = (static_cast<std::uint64_t>(slices[b].count) +
+                    static_cast<std::uint64_t>(layout.groups()) - 1) /
+                   static_cast<std::uint64_t>(layout.groups());
+    total_slots += bin_warps[b];
+  }
+  // Host-side slot table: slot -> (bin, warp index within bin).
+  struct SlotRef {
+    std::uint32_t bin;
+    std::uint32_t warp;
+  };
+  std::vector<SlotRef> slot_map;
+  slot_map.reserve(total_slots);
+  // Proportional merge: bin b's warp k sits at fraction (2k+1)/(2*c_b)
+  // of the deal, so a 12-warp bin lands every total/12 slots instead of
+  // bunching at the front (a one-per-round deal would exhaust small bins
+  // in the first few blocks, recreating the hot-SM cluster).
+  std::vector<std::uint64_t> next(slices.size(), 0);
+  const auto pos_less = [&](std::size_t a, std::size_t b) {
+    // (2*next[a]+1)/c_a < (2*next[b]+1)/c_b, exact in 128-bit.
+    const unsigned __int128 lhs =
+        static_cast<unsigned __int128>(2 * next[a] + 1) * bin_warps[b];
+    const unsigned __int128 rhs =
+        static_cast<unsigned __int128>(2 * next[b] + 1) * bin_warps[a];
+    return lhs < rhs;
+  };
+  while (slot_map.size() < total_slots) {
+    std::size_t pick = slices.size();
+    for (std::size_t b = 0; b < slices.size(); ++b) {
+      if (next[b] >= bin_warps[b]) continue;
+      if (pick == slices.size() || pos_less(b, pick)) pick = b;
+    }
+    slot_map.push_back({static_cast<std::uint32_t>(pick),
+                        static_cast<std::uint32_t>(next[pick])});
+    ++next[pick];
+  }
+  const auto dims = device.dims_for_threads(
+      std::max<std::uint64_t>(1, total_slots) * simt::kWarpSize);
+  const std::uint64_t stride = dims.warp_count();
+  return device.launch(dims.named(label), [&](simt::WarpCtx& w) {
+    for (std::uint64_t slot = w.global_warp_id(); slot < total_slots;
+         slot += stride) {
+      const SlotRef ref = slot_map[slot];
+      const BinSlice& s = slices[ref.bin];
+      const vw::Layout layout(s.width);
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(ref.warp) *
+          static_cast<std::uint64_t>(layout.groups());
+      simt::Lanes<std::uint32_t> idx{};
+      w.alu([&](int lane) {
+        idx[static_cast<std::size_t>(lane)] = static_cast<std::uint32_t>(
+            base + static_cast<std::uint64_t>(layout.group_of(lane)));
+      });
+      const simt::LaneMask valid = w.ballot([&](int lane) {
+        return base + static_cast<std::uint64_t>(layout.group_of(lane)) <
+               s.count;
+      });
+      if (valid == 0) continue;
+      simt::Lanes<std::uint32_t> vertex{};
+      if (identity) {
+        w.alu([&](int lane) {
+          const auto i = static_cast<std::size_t>(lane);
+          vertex[i] = s.first + idx[i];
+        });
+      } else {
+        w.with_mask(valid, [&] {
+          // Consecutive groups read consecutive entries: coalesces.
+          w.load_global(entries, [&](int lane) {
+            return s.first + idx[static_cast<std::size_t>(lane)];
+          }, vertex);
+        });
+      }
+      body(w, layout, valid, vertex);
+    }
+  });
+}
+
+/// Team drain for an outlier bin: `team_warps` physical warps cooperate
+/// on each vertex (the defer-queue drain geometry — one warp per block,
+/// least-loaded scheduling, grid-strided over the bin). The team body
+/// sees team(w, vertex, part, team_warps) with `vertex` warp-uniform and
+/// `part` this warp's index within its team; pair with
+/// adaptive_team_strip to strip the vertex's edges across the team.
+template <typename TeamF>
+simt::KernelStats launch_bin_teams(
+    gpu::Device& device, simt::DevPtr<const std::uint32_t> entries,
+    std::uint32_t first, std::uint32_t count, std::uint32_t team_warps,
+    std::uint32_t resident_warps_per_sm, const std::string& label,
+    TeamF&& team) {
+  const std::uint64_t cap =
+      std::uint64_t{device.config().num_sms} * resident_warps_per_sm /
+      std::max<std::uint32_t>(1, team_warps);
+  const std::uint64_t team_count =
+      std::max<std::uint64_t>(1, std::min<std::uint64_t>(count, cap));
+  const std::uint64_t n_warps = team_count * team_warps;
+  auto dims = device.dims_for_warps(n_warps);
+  dims.policy = simt::SchedulePolicy::kLeastLoaded;
+  return device.launch(dims.named(label), [&](simt::WarpCtx& w) {
+    const std::uint64_t t = w.global_warp_id() / team_warps;
+    const auto part = static_cast<std::uint32_t>(
+        w.global_warp_id() % team_warps);
+    for (std::uint64_t e = t; e < count; e += team_count) {
+      const std::uint32_t v = w.load_global_uniform(entries, first + e);
+      team(w, v, part, team_warps);
+    }
+  });
+}
+
+/// Strips vertex `v`'s [row[v], row[v+1]) range across a team: warp
+/// `part` of `team_warps` covers edges part*32 + lane, stepping
+/// team_warps*32 — each warp stays fully coalesced while the team spans
+/// the hub. `edge(cursor)` runs per strip like simd_strip_loop's body.
+template <typename EdgeF>
+void adaptive_team_strip(simt::WarpCtx& w,
+                         simt::DevPtr<const std::uint32_t> row,
+                         std::uint32_t v, std::uint32_t part,
+                         std::uint32_t team_warps, EdgeF&& edge) {
+  const std::uint32_t begin = w.load_global_uniform(row, v);
+  const std::uint32_t end = w.load_global_uniform(row, v + 1);
+  simt::Lanes<std::uint32_t> cursor{};
+  w.alu([&](int lane) {
+    cursor[static_cast<std::size_t>(lane)] =
+        begin + part * static_cast<std::uint32_t>(simt::kWarpSize) +
+        static_cast<std::uint32_t>(lane);
+  });
+  const std::uint32_t step =
+      team_warps * static_cast<std::uint32_t>(simt::kWarpSize);
+  w.loop_while(
+      [&](int lane) {
+        return cursor[static_cast<std::size_t>(lane)] < end;
+      },
+      [&] {
+        edge(cursor);
+        w.alu([&](int lane) {
+          cursor[static_cast<std::size_t>(lane)] += step;
+        });
+      });
+}
+
+/// Full adaptive sweep: every non-empty bin folded into one fused launch
+/// tagged "<name>.binned" in stats.bins (team-marked bins run at W=32 —
+/// this overload has no order-safe team body).
+template <typename BodyF>
+void adaptive_sweep(gpu::Device& device, const AdaptiveState& st,
+                    const std::string& name, GpuRunStats& stats,
+                    BodyF&& body) {
+  std::vector<BinSlice> slices;
+  slices.reserve(st.bins());
+  for (std::size_t b = 0; b < st.bins(); ++b) {
+    const std::uint32_t count = st.bin_count(b);
+    if (count == 0) continue;
+    slices.push_back({st.bin_first(b), count, st.plan.bins[b].width});
+  }
+  if (slices.empty()) return;
+  const std::string label = name + ".binned";
+  const simt::KernelStats ks = launch_bins_fused(
+      device, st.entries(), slices, st.identity_entries, label, body);
+  stats.kernels.add(ks);
+  stats.bins.add(label, ks);
+}
+
+/// Adaptive sweep with a team drain for outlier bins (order-safe edge
+/// phases only — see file comment): plain bins fuse into one
+/// "<name>.binned" launch, each team bin drains as its own
+/// "<name>.<bin label>" kernel.
+template <typename BodyF, typename TeamF>
+void adaptive_sweep_with_teams(gpu::Device& device, const AdaptiveState& st,
+                               std::uint32_t resident_warps_per_sm,
+                               const std::string& name, GpuRunStats& stats,
+                               BodyF&& body, TeamF&& team) {
+  std::vector<BinSlice> slices;
+  slices.reserve(st.bins());
+  for (std::size_t b = 0; b < st.bins(); ++b) {
+    const std::uint32_t count = st.bin_count(b);
+    if (count == 0 || st.plan.bins[b].team_warps > 1) continue;
+    slices.push_back({st.bin_first(b), count, st.plan.bins[b].width});
+  }
+  if (!slices.empty()) {
+    const std::string label = name + ".binned";
+    const simt::KernelStats ks = launch_bins_fused(
+        device, st.entries(), slices, st.identity_entries, label, body);
+    stats.kernels.add(ks);
+    stats.bins.add(label, ks);
+  }
+  for (std::size_t b = 0; b < st.bins(); ++b) {
+    const std::uint32_t count = st.bin_count(b);
+    if (count == 0 || st.plan.bins[b].team_warps <= 1) continue;
+    const std::string label = name + "." + bin_label(st.plan, b);
+    const simt::KernelStats ks = launch_bin_teams(
+        device, st.entries(), st.bin_first(b), count,
+        st.plan.bins[b].team_warps, resident_warps_per_sm, label, team);
+    stats.kernels.add(ks);
+    stats.bins.add(label, ks);
+  }
+}
+
+}  // namespace maxwarp::algorithms

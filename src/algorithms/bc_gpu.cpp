@@ -3,6 +3,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "algorithms/cpu_reference.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
@@ -16,12 +17,14 @@ using simt::WarpCtx;
 
 namespace {
 
-/// Runs `body(w, task, valid)` for every vertex task under the given
-/// layout (the static grid-stride pattern shared by all BC kernels).
+/// Runs `body(w, layout, valid, task)` for every vertex task under the
+/// given layout (the static grid-stride pattern shared by all BC kernels).
 template <typename BodyF>
 simt::KernelStats launch_over_vertices(gpu::Device& device,
                                        const vw::Layout& layout,
-                                       std::uint32_t n, BodyF&& body) {
+                                       std::uint32_t n,
+                                       const std::string& label,
+                                       BodyF&& body) {
   const std::uint64_t warps_needed =
       (static_cast<std::uint64_t>(n) +
        static_cast<std::uint64_t>(layout.groups()) - 1) /
@@ -29,12 +32,12 @@ simt::KernelStats launch_over_vertices(gpu::Device& device,
   const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
   const std::uint64_t total_groups =
       dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
-  return device.launch(dims, [&, n](WarpCtx& w) {
+  return device.launch(dims.named(label), [&, n](WarpCtx& w) {
     for (std::uint64_t round = 0; round * total_groups < n; ++round) {
       Lanes<std::uint32_t> task{};
       const LaneMask valid =
           vw::assign_static_tasks(w, layout, round, total_groups, n, task);
-      if (valid != 0) body(w, task, valid);
+      if (valid != 0) body(w, layout, valid, task);
     }
   });
 }
@@ -45,10 +48,13 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
                             std::span<const NodeId> sources,
                             const KernelOptions& opts) {
   gpu::Device& device = g.device();
+  validate_kernel_options(opts, "betweenness_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "betweenness_gpu: supports thread-mapped and warp-centric");
+        "betweenness_gpu: supports thread-mapped, warp-centric, and "
+        "adaptive");
   }
   const std::uint32_t n = g.num_nodes();
   GpuBcResult result;
@@ -60,6 +66,21 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
   const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto adj = gpu_graph.adj();
+  // Shortest-path counts are gathered as a pull over the transpose so the
+  // per-vertex sum runs in sequential in-edge order — the push variant's
+  // float atomics would make sigma depend on warp scheduling and break
+  // the cross-mapping bit-identity contract.
+  const GpuCsr& gpu_rev = g.reverse_csr();
+  const auto rev_row = gpu_rev.row();
+  const auto rev_adj = gpu_rev.adj();
+  // Ordered float folds tolerate no team drains, so both directions use
+  // plain per-bin sweeps (outlier bins fall back to full warps).
+  const AdaptiveState* fwd_adaptive = opts.mapping == Mapping::kAdaptive
+                                          ? &g.adaptive_state(opts)
+                                          : nullptr;
+  const AdaptiveState* rev_adaptive = opts.mapping == Mapping::kAdaptive
+                                          ? &g.adaptive_state(opts, true)
+                                          : nullptr;
 
   gpu::DeviceBuffer<std::uint32_t> level(device, n);
   gpu::DeviceBuffer<float> sigma(device, n);
@@ -92,182 +113,189 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
     std::uint32_t depth = 0;
     for (std::uint32_t current = 0;; ++current) {
       changed.fill(0);
-      // Pass 1: settle level current+1 (plain BFS step).
-      result.stats.kernels.add(launch_over_vertices(
-          device, layout, n,
-          [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
-              LaneMask valid) {
-            Lanes<std::uint32_t> lvl{};
-            w.with_mask(valid, [&] {
+      // Pass 1: settle level current+1 (plain BFS step; the level store
+      // is idempotent, so any bin split or W gives the same array).
+      const auto expand_body = [&](WarpCtx& w, const vw::Layout& bl,
+                                   LaneMask valid,
+                                   const Lanes<std::uint32_t>& task) {
+        Lanes<std::uint32_t> lvl{};
+        w.with_mask(valid, [&] {
+          w.load_global(level_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, lvl);
+        });
+        const LaneMask on = valid & w.ballot([&](int l) {
+          return lvl[static_cast<std::size_t>(l)] == current;
+        });
+        if (on == 0) return;
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, on, begin, end);
+        vw::simd_strip_loop(
+            w, bl, begin, end, on,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              Lanes<std::uint32_t> nbr{};
+              w.load_global(adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, nbr);
+              Lanes<std::uint32_t> nl{};
               w.load_global(level_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, lvl);
+                return nbr[static_cast<std::size_t>(l)];
+              }, nl);
+              const LaneMask fresh = w.ballot([&](int l) {
+                return nl[static_cast<std::size_t>(l)] == kUnreached;
+              });
+              w.with_mask(fresh, [&] {
+                w.store_global(level_ptr, [&](int l) {
+                  return nbr[static_cast<std::size_t>(l)];
+                }, [&](int) { return current + 1; });
+                w.store_global(changed_ptr, [](int) { return 0; },
+                               [](int) { return 1u; });
+              });
             });
-            const LaneMask on = valid & w.ballot([&](int l) {
-              return lvl[static_cast<std::size_t>(l)] == current;
-            });
-            if (on == 0) return;
-            Lanes<std::uint32_t> begin{}, end{};
-            vw::load_task_ranges(w, row, task, on, begin, end);
-            vw::simd_strip_loop(
-                w, layout, begin, end, on,
-                [&](const Lanes<std::uint32_t>& cursor) {
-                  Lanes<std::uint32_t> nbr{};
-                  w.load_global(adj, [&](int l) {
-                    return cursor[static_cast<std::size_t>(l)];
-                  }, nbr);
-                  Lanes<std::uint32_t> nl{};
-                  w.load_global(level_ptr, [&](int l) {
-                    return nbr[static_cast<std::size_t>(l)];
-                  }, nl);
-                  const LaneMask fresh = w.ballot([&](int l) {
-                    return nl[static_cast<std::size_t>(l)] == kUnreached;
-                  });
-                  w.with_mask(fresh, [&] {
-                    w.store_global(level_ptr, [&](int l) {
-                      return nbr[static_cast<std::size_t>(l)];
-                    }, [&](int) { return current + 1; });
-                    w.store_global(changed_ptr, [](int) { return 0; },
-                                   [](int) { return 1u; });
-                  });
-                });
-          }));
+      };
+      if (fwd_adaptive != nullptr) {
+        adaptive_sweep(device, *fwd_adaptive, "bc.expand", result.stats,
+                       expand_body);
+      } else {
+        result.stats.kernels.add(launch_over_vertices(
+            device, layout, n, "bc.expand", expand_body));
+      }
       ++result.stats.iterations;
       if (changed.read(0) == 0) {
         depth = current;
         break;
       }
-      // Pass 2: accumulate sigma into the freshly settled level.
-      result.stats.kernels.add(launch_over_vertices(
-          device, layout, n,
-          [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
-              LaneMask valid) {
-            Lanes<std::uint32_t> lvl{};
-            w.with_mask(valid, [&] {
+      // Pass 2: sigma for the freshly settled level, pulled over in-edges
+      // in sequential order (predecessors are exactly the in-neighbours
+      // sitting one level up).
+      const auto sigma_body = [&](WarpCtx& w, const vw::Layout& bl,
+                                  LaneMask valid,
+                                  const Lanes<std::uint32_t>& task) {
+        Lanes<std::uint32_t> lvl{};
+        w.with_mask(valid, [&] {
+          w.load_global(level_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, lvl);
+        });
+        const LaneMask on = valid & w.ballot([&](int l) {
+          return lvl[static_cast<std::size_t>(l)] == current + 1;
+        });
+        if (on == 0) return;
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, rev_row, task, on, begin, end);
+        Lanes<std::uint32_t> src{}, sl{};
+        Lanes<float> ss{};
+        const Lanes<float> sums = vw::simd_strip_accumulate<float>(
+            w, bl, begin, end, on,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              w.load_global(rev_adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, src);
               w.load_global(level_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, lvl);
-            });
-            const LaneMask on = valid & w.ballot([&](int l) {
-              return lvl[static_cast<std::size_t>(l)] == current;
-            });
-            if (on == 0) return;
-            Lanes<float> sig{};
-            w.with_mask(on, [&] {
+                return src[static_cast<std::size_t>(l)];
+              }, sl);
               w.load_global(sigma_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, sig);
+                return src[static_cast<std::size_t>(l)];
+              }, ss);
+            },
+            [&](int l) {
+              const auto i = static_cast<std::size_t>(l);
+              return sl[i] == current ? ss[i] : 0.0f;
             });
-            Lanes<std::uint32_t> begin{}, end{};
-            vw::load_task_ranges(w, row, task, on, begin, end);
-            vw::simd_strip_loop(
-                w, layout, begin, end, on,
-                [&](const Lanes<std::uint32_t>& cursor) {
-                  Lanes<std::uint32_t> nbr{};
-                  w.load_global(adj, [&](int l) {
-                    return cursor[static_cast<std::size_t>(l)];
-                  }, nbr);
-                  Lanes<std::uint32_t> nl{};
-                  w.load_global(level_ptr, [&](int l) {
-                    return nbr[static_cast<std::size_t>(l)];
-                  }, nl);
-                  const LaneMask downstream = w.ballot([&](int l) {
-                    return nl[static_cast<std::size_t>(l)] == current + 1;
-                  });
-                  w.with_mask(downstream, [&] {
-                    w.atomic_add(sigma_ptr, [&](int l) {
-                      return nbr[static_cast<std::size_t>(l)];
-                    }, [&](int l) {
-                      return sig[static_cast<std::size_t>(l)];
-                    });
-                  });
-                });
-          }));
+        w.with_mask(on & leader_lane_mask(bl.width), [&] {
+          w.store_global(sigma_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
+        });
+      };
+      if (rev_adaptive != nullptr) {
+        adaptive_sweep(device, *rev_adaptive, "bc.sigma", result.stats,
+                       sigma_body);
+      } else {
+        result.stats.kernels.add(launch_over_vertices(
+            device, layout, n, "bc.sigma", sigma_body));
+      }
     }
 
     // ---- backward: dependency accumulation ------------------------------
     // Levels depth-1 .. 0; delta[v] = sum over successors u of
-    // sigma[v]/sigma[u] * (1 + delta[u]). Each group owns v: lanes gather
-    // partial sums, a group reduction writes delta and updates bc.
-    const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+    // sigma[v]/sigma[u] * (1 + delta[u]), folded in sequential edge order
+    // so the float value is the same under every mapping.
     for (std::uint32_t lvl_i = depth; lvl_i-- > 0;) {
-      result.stats.kernels.add(launch_over_vertices(
-          device, layout, n,
-          [&](WarpCtx& w, const Lanes<std::uint32_t>& task,
-              LaneMask valid) {
-            Lanes<std::uint32_t> lvl{};
-            w.with_mask(valid, [&] {
+      const auto dep_body = [&](WarpCtx& w, const vw::Layout& bl,
+                                LaneMask valid,
+                                const Lanes<std::uint32_t>& task) {
+        Lanes<std::uint32_t> lvl{};
+        w.with_mask(valid, [&] {
+          w.load_global(level_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, lvl);
+        });
+        const LaneMask on = valid & w.ballot([&](int l) {
+          return lvl[static_cast<std::size_t>(l)] == lvl_i;
+        });
+        if (on == 0) return;
+        Lanes<float> own_sigma{};
+        w.with_mask(on, [&] {
+          w.load_global(sigma_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, own_sigma);
+        });
+        Lanes<std::uint32_t> begin{}, end{};
+        vw::load_task_ranges(w, row, task, on, begin, end);
+        Lanes<std::uint32_t> nbr{}, nl{};
+        Lanes<float> nbr_sigma{}, nbr_delta{};
+        const Lanes<float> dep = vw::simd_strip_accumulate<float>(
+            w, bl, begin, end, on,
+            [&](const Lanes<std::uint32_t>& cursor) {
+              w.load_global(adj, [&](int l) {
+                return cursor[static_cast<std::size_t>(l)];
+              }, nbr);
               w.load_global(level_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, lvl);
-            });
-            const LaneMask on = valid & w.ballot([&](int l) {
-              return lvl[static_cast<std::size_t>(l)] == lvl_i;
-            });
-            if (on == 0) return;
-            Lanes<float> own_sigma{};
-            w.with_mask(on, [&] {
+                return nbr[static_cast<std::size_t>(l)];
+              }, nl);
               w.load_global(sigma_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, own_sigma);
+                return nbr[static_cast<std::size_t>(l)];
+              }, nbr_sigma);
+              w.load_global(delta_ptr, [&](int l) {
+                return nbr[static_cast<std::size_t>(l)];
+              }, nbr_delta);
+            },
+            [&](int l) {
+              const auto i = static_cast<std::size_t>(l);
+              if (nl[i] != lvl_i + 1) return 0.0f;
+              return own_sigma[i] / nbr_sigma[i] * (1.0f + nbr_delta[i]);
             });
-            Lanes<std::uint32_t> begin{}, end{};
-            vw::load_task_ranges(w, row, task, on, begin, end);
-            Lanes<float> partial{};
-            vw::simd_strip_loop(
-                w, layout, begin, end, on,
-                [&](const Lanes<std::uint32_t>& cursor) {
-                  Lanes<std::uint32_t> nbr{};
-                  w.load_global(adj, [&](int l) {
-                    return cursor[static_cast<std::size_t>(l)];
-                  }, nbr);
-                  Lanes<std::uint32_t> nl{};
-                  w.load_global(level_ptr, [&](int l) {
-                    return nbr[static_cast<std::size_t>(l)];
-                  }, nl);
-                  const LaneMask succ = w.ballot([&](int l) {
-                    return nl[static_cast<std::size_t>(l)] == lvl_i + 1;
-                  });
-                  w.with_mask(succ, [&] {
-                    Lanes<float> nbr_sigma{}, nbr_delta{};
-                    w.load_global(sigma_ptr, [&](int l) {
-                      return nbr[static_cast<std::size_t>(l)];
-                    }, nbr_sigma);
-                    w.load_global(delta_ptr, [&](int l) {
-                      return nbr[static_cast<std::size_t>(l)];
-                    }, nbr_delta);
-                    w.alu([&](int l) {
-                      const auto i = static_cast<std::size_t>(l);
-                      partial[i] += own_sigma[i] / nbr_sigma[i] *
-                                    (1.0f + nbr_delta[i]);
-                    });
-                  });
-                });
-            const Lanes<float> dep =
-                vw::group_reduce_add(w, layout, partial, on);
-            const LaneMask leaders = on & leader_mask;
-            w.with_mask(leaders, [&] {
-              w.store_global(delta_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, [&](int l) { return dep[static_cast<std::size_t>(l)]; });
-              // bc[v] += delta[v] for v != source.
-              const LaneMask not_source = w.ballot([&](int l) {
-                return task[static_cast<std::size_t>(l)] != source;
-              });
-              w.with_mask(not_source, [&] {
-                Lanes<float> prev{};
-                w.load_global(bc_ptr, [&](int l) {
-                  return task[static_cast<std::size_t>(l)];
-                }, prev);
-                w.store_global(bc_ptr, [&](int l) {
-                  return task[static_cast<std::size_t>(l)];
-                }, [&](int l) {
-                  const auto i = static_cast<std::size_t>(l);
-                  return prev[i] + dep[i];
-                });
-              });
+        const LaneMask leaders = on & leader_lane_mask(bl.width);
+        w.with_mask(leaders, [&] {
+          w.store_global(delta_ptr, [&](int l) {
+            return task[static_cast<std::size_t>(l)];
+          }, [&](int l) { return dep[static_cast<std::size_t>(l)]; });
+          // bc[v] += delta[v] for v != source.
+          const LaneMask not_source = w.ballot([&](int l) {
+            return task[static_cast<std::size_t>(l)] != source;
+          });
+          w.with_mask(not_source, [&] {
+            Lanes<float> prev{};
+            w.load_global(bc_ptr, [&](int l) {
+              return task[static_cast<std::size_t>(l)];
+            }, prev);
+            w.store_global(bc_ptr, [&](int l) {
+              return task[static_cast<std::size_t>(l)];
+            }, [&](int l) {
+              const auto i = static_cast<std::size_t>(l);
+              return prev[i] + dep[i];
             });
-          }));
+          });
+        });
+      };
+      if (fwd_adaptive != nullptr) {
+        adaptive_sweep(device, *fwd_adaptive, "bc.delta", result.stats,
+                       dep_body);
+      } else {
+        result.stats.kernels.add(launch_over_vertices(
+            device, layout, n, "bc.delta", dep_body));
+      }
       ++result.stats.iterations;
     }
   }

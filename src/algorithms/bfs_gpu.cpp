@@ -1,10 +1,13 @@
 #include "algorithms/bfs_gpu.hpp"
 
+#include <memory>
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "graph/builder.hpp"
 
 #include "simt/device_sim.hpp"
+#include "warp/bin_partition.hpp"
 #include "warp/defer_queue.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -133,12 +136,16 @@ struct QueueExpandBody {
 };
 
 /// Queue-frontier BFS driver (Frontier::kQueue).
-GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
-                           NodeId source, const KernelOptions& opts) {
+GpuBfsResult bfs_gpu_queue(const GpuGraph& gg, NodeId source,
+                           const KernelOptions& opts) {
+  gpu::Device& device = gg.device();
+  const GpuCsr& g = gg.csr();
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "bfs_gpu: queue frontier supports thread-mapped and warp-centric");
+        "bfs_gpu: queue frontier supports thread-mapped, warp-centric, and "
+        "adaptive");
   }
   const std::uint32_t n = g.num_nodes();
   GpuBfsResult result;
@@ -165,6 +172,20 @@ GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
                               : opts.virtual_warp_width);
   const bool aggregated = opts.mapping != Mapping::kThreadMapped;
 
+  // kAdaptive re-bins every frontier: the cached full-vertex partition in
+  // the graph's AdaptiveState does not describe a queue, so a run-local
+  // partitioner splits each level's frontier by degree (those kernels are
+  // charged to this run). Single-bin plans skip the partition entirely.
+  const AdaptivePlan* plan = nullptr;
+  std::unique_ptr<vw::BinPartitioner> frontier_bins;
+  if (opts.mapping == Mapping::kAdaptive) {
+    plan = &gg.adaptive_state(opts).plan;
+    if (plan->bins.size() > 1) {
+      frontier_bins = std::make_unique<vw::BinPartitioner>(
+          device, n, plan->bounds(), "bfs.queue.partition");
+    }
+  }
+
   std::uint32_t frontier_size = 1;
   std::uint32_t current = 0;
   gpu::DeviceBuffer<std::uint32_t>* in = &queue_a;
@@ -177,7 +198,78 @@ GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
                                aggregated};
     auto in_ptr = in->cptr();
 
-    if (opts.mapping == Mapping::kThreadMapped) {
+    if (opts.mapping == Mapping::kAdaptive) {
+      // Frontier vertices arrive resolved (launch_bin indirects through
+      // the queue / bin entries); load the range and strip-expand.
+      const auto expand_entry = [&](WarpCtx& w, const vw::Layout& bl,
+                                    LaneMask valid,
+                                    const Lanes<std::uint32_t>& v) {
+        Lanes<std::uint32_t> begin{}, end{};
+        w.with_mask(valid, [&] {
+          w.load_global(row, [&](int l) {
+            return v[static_cast<std::size_t>(l)];
+          }, begin);
+          w.load_global(row, [&](int l) {
+            return v[static_cast<std::size_t>(l)] + 1;
+          }, end);
+        });
+        vw::simd_strip_loop(w, bl, begin, end, valid,
+                            [&](const Lanes<std::uint32_t>& cursor) {
+                              body(w, cursor);
+                            });
+      };
+      if (frontier_bins == nullptr) {
+        // One-bin plan: the whole frontier runs at that bin's width.
+        const vw::Layout bl(plan->bins[0].width);
+        const std::string label =
+            "bfs.queue.expand." + bin_label(*plan, 0);
+        const simt::KernelStats ks = launch_bin(
+            device, in_ptr, 0, frontier_size, bl, label, expand_entry);
+        result.stats.kernels.add(ks);
+        result.stats.bins.add(label, ks);
+      } else {
+        const vw::BinPartition bp =
+            frontier_bins->partition_list(row, in_ptr, frontier_size);
+        result.stats.kernels.add(bp.stats);
+        result.stats.bins.add("bfs.queue.partition", bp.stats);
+        // Plain bins fuse into one full-occupancy launch; team-marked
+        // hub bins drain separately (CAS claims and aggregated pushes
+        // are order-safe under warp teams).
+        std::vector<BinSlice> slices;
+        slices.reserve(plan->bins.size());
+        for (std::size_t b = 0; b < plan->bins.size(); ++b) {
+          const std::uint32_t cnt = bp.count(b);
+          if (cnt == 0 || plan->bins[b].team_warps > 1) continue;
+          slices.push_back({bp.offset[b], cnt, plan->bins[b].width});
+        }
+        if (!slices.empty()) {
+          const simt::KernelStats ks = launch_bins_fused(
+              device, frontier_bins->entries(), slices,
+              /*identity=*/false, "bfs.queue.expand.binned", expand_entry);
+          result.stats.kernels.add(ks);
+          result.stats.bins.add("bfs.queue.expand.binned", ks);
+        }
+        for (std::size_t b = 0; b < plan->bins.size(); ++b) {
+          const std::uint32_t cnt = bp.count(b);
+          if (cnt == 0 || plan->bins[b].team_warps <= 1) continue;
+          const std::string label =
+              "bfs.queue.expand." + bin_label(*plan, b);
+          const simt::KernelStats ks = launch_bin_teams(
+              device, frontier_bins->entries(), bp.offset[b], cnt,
+              plan->bins[b].team_warps, opts.resident_warps_per_sm, label,
+              [&](WarpCtx& w, std::uint32_t v, std::uint32_t part,
+                  std::uint32_t tw) {
+                adaptive_team_strip(
+                    w, row, v, part, tw,
+                    [&](const Lanes<std::uint32_t>& cursor) {
+                      body(w, cursor);
+                    });
+              });
+          result.stats.kernels.add(ks);
+          result.stats.bins.add(label, ks);
+        }
+      }
+    } else if (opts.mapping == Mapping::kThreadMapped) {
       const auto dims = device.dims_for_threads(frontier_size);
       result.stats.kernels.add(device.launch(
           dims.named("bfs.queue.expand.thread"), [&, frontier_size](
@@ -259,19 +351,16 @@ GpuBfsResult bfs_gpu_queue(gpu::Device& device, const GpuCsr& g,
   return result;
 }
 
-/// Level-array / queue dispatch over the device-resident CSR (the whole
+/// Level-array / queue dispatch over the graph handle (the whole
 /// historical bfs_gpu body); the public entry points wrap it.
-GpuBfsResult bfs_gpu_on(gpu::Device& device, const GpuCsr& g, NodeId source,
+GpuBfsResult bfs_gpu_on(const GpuGraph& gg, NodeId source,
                         const KernelOptions& opts) {
+  validate_kernel_options(opts, "bfs_gpu");
   if (opts.frontier == Frontier::kQueue) {
-    if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
-      throw std::invalid_argument("bfs_gpu: invalid virtual warp width");
-    }
-    return bfs_gpu_queue(device, g, source, opts);
+    return bfs_gpu_queue(gg, source, opts);
   }
-  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
-    throw std::invalid_argument("bfs_gpu: invalid virtual warp width");
-  }
+  gpu::Device& device = gg.device();
+  const GpuCsr& g = gg.csr();
   const std::uint32_t n = g.num_nodes();
   GpuBfsResult result;
   result.stats.kernels.launches = 0;
@@ -302,13 +391,37 @@ GpuBfsResult bfs_gpu_on(gpu::Device& device, const GpuCsr& g, NodeId source,
                               : opts.virtual_warp_width);
   const std::uint32_t leader_mask =
       leader_lane_mask(layout.width);
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &gg.adaptive_state(opts)
+                                      : nullptr;
 
   for (std::uint32_t current = 0;; ++current) {
     changed.fill(0);
     const std::uint32_t next = current + 1;
     const ExpandBody body{adj, levels_ptr, changed_ptr, next};
 
-    if (opts.mapping == Mapping::kThreadMapped) {
+    if (adaptive != nullptr) {
+      // Degree-binned sweep; the level store is idempotent, so outlier
+      // hubs may be drained by warp teams without changing the result.
+      const auto bin_body = [&](WarpCtx& w, const vw::Layout& bl,
+                                LaneMask valid,
+                                const Lanes<std::uint32_t>& task) {
+        expand_groups(w, bl, task, valid, row, current, body, nullptr, 0, 0,
+                      leader_lane_mask(bl.width));
+      };
+      const auto team_body = [&](WarpCtx& w, std::uint32_t v,
+                                 std::uint32_t part, std::uint32_t tw) {
+        if (w.load_global_uniform(levels_ptr, v) != current) return;
+        adaptive_team_strip(w, row, v, part, tw,
+                            [&](const Lanes<std::uint32_t>& cursor) {
+                              body(w, cursor);
+                            });
+      };
+      adaptive_sweep_with_teams(device, *adaptive,
+                                opts.resident_warps_per_sm,
+                                "bfs.level.expand", result.stats, bin_body,
+                                team_body);
+    } else if (opts.mapping == Mapping::kThreadMapped) {
       // Baseline: thread t owns vertex t and expands its list serially —
       // written exactly as the CUDA original (per-lane while loop).
       const auto dims = device.dims_for_threads(n);
@@ -480,7 +593,7 @@ GpuBfsResult bfs_gpu_on(gpu::Device& device, const GpuCsr& g, NodeId source,
 
 GpuBfsResult bfs_gpu(const GpuGraph& g, NodeId source,
                      const KernelOptions& opts) {
-  GpuBfsResult result = bfs_gpu_on(g.device(), g.csr(), source, opts);
+  GpuBfsResult result = bfs_gpu_on(g, source, opts);
   result.traversed_edges = g.traversed_edges(result.level, kUnreached);
   return result;
 }
@@ -905,6 +1018,7 @@ GpuBfsResult bfs_gpu_dopt_on(const GpuGraph& g, NodeId source, int width,
 
 GpuBfsResult bfs_gpu_direction_optimized(const GpuGraph& g, NodeId source,
                                          const KernelOptions& opts) {
+  validate_kernel_options(opts, "bfs_gpu_direction_optimized");
   return bfs_gpu_dopt_on(g, source, opts.virtual_warp_width,
                          opts.direction.alpha, opts.direction.beta);
 }

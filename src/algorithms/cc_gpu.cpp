@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "warp/virtual_warp.hpp"
 
 namespace maxwarp::algorithms {
@@ -12,12 +13,16 @@ using simt::WarpCtx;
 
 namespace {
 
-GpuCcResult cc_gpu_on(gpu::Device& device, const GpuCsr& g,
-                      const KernelOptions& opts) {
+GpuCcResult cc_gpu_on(const GpuGraph& gg, const KernelOptions& opts) {
+  gpu::Device& device = gg.device();
+  const GpuCsr& g = gg.csr();
+  validate_kernel_options(opts, "connected_components_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "connected_components_gpu: supports thread-mapped and warp-centric");
+        "connected_components_gpu: supports thread-mapped, warp-centric, "
+        "and adaptive");
   }
   const std::uint32_t n = g.num_nodes();
   GpuCcResult result;
@@ -40,57 +45,90 @@ GpuCcResult cc_gpu_on(gpu::Device& device, const GpuCsr& g,
   const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
                               ? 1
                               : opts.virtual_warp_width);
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &gg.adaptive_state(opts)
+                                      : nullptr;
+
+  // Edge phase shared by every variant: push the vertex's label to each
+  // neighbour with atomic_min and raise the changed flag on improvement.
+  const auto push_edges = [&](WarpCtx& w,
+                              const Lanes<std::uint32_t>& cursor,
+                              const Lanes<std::uint32_t>& own_label) {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    const Lanes<std::uint32_t> old = w.atomic_min(
+        label_ptr,
+        [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
+        [&](int l) { return own_label[static_cast<std::size_t>(l)]; });
+    const LaneMask improved = w.ballot([&](int l) {
+      const auto i = static_cast<std::size_t>(l);
+      return own_label[i] < old[i];
+    });
+    w.with_mask(improved, [&] {
+      w.store_global(changed_ptr, [](int) { return 0; },
+                     [](int) { return 1u; });
+    });
+  };
+  const auto sweep_body = [&](WarpCtx& w, const vw::Layout& bl,
+                              LaneMask valid,
+                              const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> own_label{};
+    w.with_mask(valid, [&] {
+      w.load_global(label_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, own_label);
+    });
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, valid, begin, end);
+    vw::simd_strip_loop(w, bl, begin, end, valid,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          push_edges(w, cursor, own_label);
+                        });
+  };
+  // atomic_min label propagation commutes, so outlier hubs can be split
+  // across cooperating warp teams without changing the fixpoint.
+  const auto team_body = [&](WarpCtx& w, std::uint32_t v,
+                             std::uint32_t part, std::uint32_t tw) {
+    const std::uint32_t lbl = w.load_global_uniform(label_ptr, v);
+    Lanes<std::uint32_t> own_label{};
+    w.alu([&](int l) {
+      own_label[static_cast<std::size_t>(l)] = lbl;
+    });
+    adaptive_team_strip(w, row, v, part, tw,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          push_edges(w, cursor, own_label);
+                        });
+  };
 
   for (;;) {
     changed.fill(0);
-    const std::uint64_t groups_needed =
-        (static_cast<std::uint64_t>(n) +
-         static_cast<std::uint64_t>(layout.groups()) - 1) /
-        static_cast<std::uint64_t>(layout.groups());
-    const auto dims = device.dims_for_threads(groups_needed * simt::kWarpSize);
-    const std::uint64_t total_groups =
-        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+    if (adaptive != nullptr) {
+      adaptive_sweep_with_teams(device, *adaptive,
+                                opts.resident_warps_per_sm, "cc.push",
+                                result.stats, sweep_body, team_body);
+    } else {
+      const std::uint64_t groups_needed =
+          (static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(groups_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
 
-    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
-      for (std::uint64_t r = 0; r * total_groups < n; ++r) {
-        Lanes<std::uint32_t> task{};
-        const LaneMask valid =
-            vw::assign_static_tasks(w, layout, r, total_groups, n, task);
-        if (valid == 0) continue;
-
-        Lanes<std::uint32_t> own_label{};
-        w.with_mask(valid, [&] {
-          w.load_global(label_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, own_label);
-        });
-
-        Lanes<std::uint32_t> begin{}, end{};
-        vw::load_task_ranges(w, row, task, valid, begin, end);
-        vw::simd_strip_loop(
-            w, layout, begin, end, valid,
-            [&](const Lanes<std::uint32_t>& cursor) {
-              Lanes<std::uint32_t> nbr{};
-              w.load_global(adj, [&](int l) {
-                return cursor[static_cast<std::size_t>(l)];
-              }, nbr);
-              const Lanes<std::uint32_t> old = w.atomic_min(
-                  label_ptr,
-                  [&](int l) { return nbr[static_cast<std::size_t>(l)]; },
-                  [&](int l) {
-                    return own_label[static_cast<std::size_t>(l)];
-                  });
-              const LaneMask improved = w.ballot([&](int l) {
-                const auto i = static_cast<std::size_t>(l);
-                return own_label[i] < old[i];
-              });
-              w.with_mask(improved, [&] {
-                w.store_global(changed_ptr, [](int) { return 0; },
-                               [](int) { return 1u; });
-              });
-            });
-      }
-    }));
+      result.stats.kernels.add(
+          device.launch(dims.named("cc.push"), [&, n](WarpCtx& w) {
+        for (std::uint64_t r = 0; r * total_groups < n; ++r) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid =
+              vw::assign_static_tasks(w, layout, r, total_groups, n, task);
+          if (valid == 0) continue;
+          sweep_body(w, layout, valid, task);
+        }
+      }));
+    }
 
     ++result.stats.iterations;
     if (changed.read(0) == 0) break;
@@ -106,7 +144,7 @@ GpuCcResult cc_gpu_on(gpu::Device& device, const GpuCsr& g,
 
 GpuCcResult connected_components_gpu(const GpuGraph& g,
                                      const KernelOptions& opts) {
-  return cc_gpu_on(g.device(), g.csr(), opts);
+  return cc_gpu_on(g, opts);
 }
 
 GpuCcResult connected_components_gpu(gpu::Device& device,

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -35,10 +36,13 @@ bool outranks(NodeId u, NodeId v) {
 GpuColoringResult color_graph_gpu(const GpuGraph& g,
                                   const KernelOptions& opts) {
   gpu::Device& device = g.device();
+  validate_kernel_options(opts, "color_graph_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "color_graph_gpu: supports thread-mapped and warp-centric");
+        "color_graph_gpu: supports thread-mapped, warp-centric, and "
+        "adaptive");
   }
   const std::uint32_t n = g.num_nodes();
   GpuColoringResult result;
@@ -51,100 +55,135 @@ GpuColoringResult color_graph_gpu(const GpuGraph& g,
   const auto adj = gpu_graph.adj();
   gpu::DeviceBuffer<std::uint32_t> color(device, n);
   color.fill(kNoColor);
+  // Round-start snapshot of the colors: every round reads neighbour state
+  // from here and writes decisions into `color`, so a round's winner set
+  // and forbidden bitmaps are pure Jones-Plassmann — independent of warp
+  // execution order, hence identical across mappings and bin splits (and
+  // equal to the CPU reference's simultaneous semantics).
+  gpu::DeviceBuffer<std::uint32_t> prev(device, n);
   gpu::DeviceBuffer<std::uint32_t> colored_counter(device, 1);
   colored_counter.fill(0);
 
   auto color_ptr = color.ptr();
+  auto prev_ptr = prev.ptr();
   auto counter_ptr = colored_counter.ptr();
   const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
                               ? 1
                               : opts.virtual_warp_width);
-  const std::uint32_t leader_mask = leader_lane_mask(layout.width);
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &g.adaptive_state(opts)
+                                      : nullptr;
 
   std::uint32_t colored = 0;
   std::uint32_t window_base = 0;
   while (colored < n) {
     const std::uint32_t colored_before = colored;
-    const std::uint64_t warps_needed =
-        (static_cast<std::uint64_t>(n) +
-         static_cast<std::uint64_t>(layout.groups()) - 1) /
-        static_cast<std::uint64_t>(layout.groups());
-    const auto dims =
-        device.dims_for_threads(warps_needed * simt::kWarpSize);
-    const std::uint64_t total_groups =
-        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
     const std::uint32_t base = window_base;
 
-    result.stats.kernels.add(device.launch(dims, [&, n, base](WarpCtx& w) {
-      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
-        Lanes<std::uint32_t> task{};
-        const LaneMask valid =
-            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
-        if (valid == 0) continue;
+    // Snapshot pass: prev = color (one coalesced copy kernel per round).
+    {
+      const auto dims = device.dims_for_threads(n);
+      result.stats.kernels.add(device.launch(
+          dims.named("coloring.snapshot"), [&](WarpCtx& w) {
+        Lanes<std::uint32_t> c{};
+        w.load_global(color_ptr, [&](int l) { return w.thread_id(l); }, c);
+        w.store_global(prev_ptr, [&](int l) { return w.thread_id(l); },
+                       [&](int l) { return c[static_cast<std::size_t>(l)]; });
+      }));
+    }
 
-        Lanes<std::uint32_t> own_color{};
-        w.with_mask(valid, [&] {
-          w.load_global(color_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, own_color);
-        });
-        const LaneMask uncolored = valid & w.ballot([&](int l) {
-          return own_color[static_cast<std::size_t>(l)] == kNoColor;
-        });
-        if (uncolored == 0) continue;
+    const auto round_body = [&](WarpCtx& w, const vw::Layout& bl,
+                                LaneMask valid,
+                                const Lanes<std::uint32_t>& task) {
+      Lanes<std::uint32_t> own_color{};
+      w.with_mask(valid, [&] {
+        w.load_global(prev_ptr, [&](int l) {
+          return task[static_cast<std::size_t>(l)];
+        }, own_color);
+      });
+      const LaneMask uncolored = valid & w.ballot([&](int l) {
+        return own_color[static_cast<std::size_t>(l)] == kNoColor;
+      });
+      if (uncolored == 0) return;
 
-        Lanes<std::uint32_t> begin{}, end{};
-        vw::load_task_ranges(w, row, task, uncolored, begin, end);
+      Lanes<std::uint32_t> begin{}, end{};
+      vw::load_task_ranges(w, row, task, uncolored, begin, end);
 
-        Lanes<std::uint64_t> partial_forbidden{};
-        Lanes<std::uint32_t> partial_blocked{};  // 1 if a higher-priority
-                                                 // uncolored neighbor exists
-        vw::simd_strip_loop(
-            w, layout, begin, end, uncolored,
-            [&](const Lanes<std::uint32_t>& cursor) {
-              Lanes<std::uint32_t> nbr{};
-              w.load_global(adj, [&](int l) {
-                return cursor[static_cast<std::size_t>(l)];
-              }, nbr);
-              Lanes<std::uint32_t> nbr_color{};
-              w.load_global(color_ptr, [&](int l) {
-                return nbr[static_cast<std::size_t>(l)];
-              }, nbr_color);
-              w.alu([&](int l) {
-                const auto i = static_cast<std::size_t>(l);
-                if (nbr_color[i] == kNoColor) {
-                  if (outranks(nbr[i], task[i])) partial_blocked[i] = 1;
-                } else if (nbr_color[i] >= base &&
-                           nbr_color[i] < base + 64) {
-                  partial_forbidden[i] |= std::uint64_t{1}
-                                          << (nbr_color[i] - base);
-                }
-              });
-            });
-
-        const Lanes<std::uint32_t> blocked =
-            vw::group_reduce_or(w, layout, partial_blocked, uncolored);
-        const Lanes<std::uint64_t> forbidden =
-            vw::group_reduce_or(w, layout, partial_forbidden, uncolored);
-
-        const LaneMask winners =
-            uncolored & leader_mask & w.ballot([&](int l) {
+      Lanes<std::uint64_t> partial_forbidden{};
+      Lanes<std::uint32_t> partial_blocked{};  // 1 if a higher-priority
+                                               // uncolored neighbor exists
+      vw::simd_strip_loop(
+          w, bl, begin, end, uncolored,
+          [&](const Lanes<std::uint32_t>& cursor) {
+            Lanes<std::uint32_t> nbr{};
+            w.load_global(adj, [&](int l) {
+              return cursor[static_cast<std::size_t>(l)];
+            }, nbr);
+            Lanes<std::uint32_t> nbr_color{};
+            w.load_global(prev_ptr, [&](int l) {
+              return nbr[static_cast<std::size_t>(l)];
+            }, nbr_color);
+            w.alu([&](int l) {
               const auto i = static_cast<std::size_t>(l);
-              return blocked[i] == 0 && forbidden[i] != ~std::uint64_t{0};
+              if (nbr_color[i] == kNoColor) {
+                if (outranks(nbr[i], task[i])) partial_blocked[i] = 1;
+              } else if (nbr_color[i] >= base &&
+                         nbr_color[i] < base + 64) {
+                partial_forbidden[i] |= std::uint64_t{1}
+                                        << (nbr_color[i] - base);
+              }
             });
-        w.with_mask(winners, [&] {
-          w.store_global(color_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, [&](int l) {
-            const auto i = static_cast<std::size_t>(l);
-            return base + static_cast<std::uint32_t>(
-                              std::countr_one(forbidden[i]));
           });
-          w.atomic_add(counter_ptr, [](int) { return 0; },
-                       [](int) { return 1u; });
+
+      const Lanes<std::uint32_t> blocked =
+          vw::group_reduce_or(w, bl, partial_blocked, uncolored);
+      const Lanes<std::uint64_t> forbidden =
+          vw::group_reduce_or(w, bl, partial_forbidden, uncolored);
+
+      const LaneMask winners =
+          uncolored & leader_lane_mask(bl.width) & w.ballot([&](int l) {
+            const auto i = static_cast<std::size_t>(l);
+            return blocked[i] == 0 && forbidden[i] != ~std::uint64_t{0};
+          });
+      w.with_mask(winners, [&] {
+        w.store_global(color_ptr, [&](int l) {
+          return task[static_cast<std::size_t>(l)];
+        }, [&](int l) {
+          const auto i = static_cast<std::size_t>(l);
+          return base + static_cast<std::uint32_t>(
+                            std::countr_one(forbidden[i]));
         });
-      }
-    }));
+        w.atomic_add(counter_ptr, [](int) { return 0; },
+                     [](int) { return 1u; });
+      });
+    };
+
+    if (adaptive != nullptr) {
+      // Winner decisions need the whole adjacency reduced inside one
+      // group, so outlier bins run as full-warp sweeps (no teams).
+      adaptive_sweep(device, *adaptive, "coloring.round", result.stats,
+                     round_body);
+    } else {
+      const std::uint64_t warps_needed =
+          (static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(warps_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+      result.stats.kernels.add(device.launch(
+          dims.named("coloring.round"), [&, n](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid = vw::assign_static_tasks(
+              w, layout, round, total_groups, n, task);
+          if (valid == 0) continue;
+          round_body(w, layout, valid, task);
+        }
+      }));
+    }
     ++result.stats.iterations;
 
     colored = colored_counter.read(0);

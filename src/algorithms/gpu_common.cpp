@@ -1,6 +1,14 @@
 #include "algorithms/gpu_common.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/metrics.hpp"
 #include "simt/mask.hpp"
+#include "warp/virtual_warp.hpp"
 
 namespace maxwarp::algorithms {
 
@@ -14,6 +22,8 @@ std::string to_string(Mapping mapping) {
       return "warp-centric+dynamic";
     case Mapping::kWarpCentricDefer:
       return "warp-centric+defer";
+    case Mapping::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
 }
@@ -28,12 +38,324 @@ std::string to_string(Frontier frontier) {
   return "unknown";
 }
 
+void validate_kernel_options(const KernelOptions& opts, const char* where) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument(std::string(where) + ": " + what);
+  };
+  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
+    fail("virtual_warp_width must be a power-of-two divisor of 32, got " +
+         std::to_string(opts.virtual_warp_width));
+  }
+  if (opts.dynamic_chunk == 0) {
+    fail("dynamic_chunk must be at least 1 (tasks claimed per atomic)");
+  }
+  if (opts.warps_per_deferred_task == 0) {
+    fail("warps_per_deferred_task must be at least 1");
+  }
+  if (opts.resident_warps_per_sm == 0) {
+    fail("resident_warps_per_sm must be at least 1");
+  }
+  if (opts.direction.alpha == 0 || opts.direction.beta == 0) {
+    fail("direction.alpha and direction.beta must be positive "
+         "(thresholds are n/alpha and n/beta)");
+  }
+  if (opts.direction.alpha > opts.direction.beta) {
+    fail("direction thresholds inverted: alpha (" +
+         std::to_string(opts.direction.alpha) +
+         ") must not exceed beta (" + std::to_string(opts.direction.beta) +
+         "); pull engages above n/alpha and disengages below n/beta");
+  }
+  if (!vw::Layout::valid_width(opts.adaptive.min_width)) {
+    fail("adaptive.min_width must be a power-of-two divisor of 32, got " +
+         std::to_string(opts.adaptive.min_width));
+  }
+  if (opts.adaptive.max_bins == 0) {
+    fail("adaptive.max_bins must be at least 1");
+  }
+  if (!(opts.adaptive.bin_merge_tolerance >= 0.0)) {
+    fail("adaptive.bin_merge_tolerance must be non-negative");
+  }
+}
+
 std::uint32_t leader_lane_mask(int virtual_warp_width) {
   std::uint32_t mask = 0;
   for (int lane = 0; lane < simt::kWarpSize; lane += virtual_warp_width) {
     mask |= simt::lane_bit(lane);
   }
   return mask;
+}
+
+// -- adaptive plan ----------------------------------------------------------
+
+std::size_t AdaptivePlan::bin_of(std::uint32_t degree) const {
+  for (std::size_t b = 0; b + 1 < bins.size(); ++b) {
+    if (degree <= bins[b].max_degree) return b;
+  }
+  return bins.empty() ? 0 : bins.size() - 1;
+}
+
+std::vector<std::uint32_t> AdaptivePlan::bounds() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(bins.size());
+  for (const AdaptiveBin& b : bins) out.push_back(b.max_degree);
+  return out;
+}
+
+std::string AdaptivePlan::summary() const {
+  std::ostringstream out;
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    if (b) out << " | ";
+    out << bin_label(*this, b) << " w=" << bins[b].width;
+    if (bins[b].max_degree != 0xffffffffu) {
+      out << " d<=" << bins[b].max_degree;
+    }
+    if (bins[b].team_warps > 1) out << " team=" << bins[b].team_warps;
+  }
+  if (calibrated) out << " (calibrated)";
+  return out.str();
+}
+
+std::string bin_label(const AdaptivePlan& plan, std::size_t b) {
+  if (b >= plan.bins.size()) return "bin" + std::to_string(b);
+  if (plan.bins[b].team_warps > 1) return "outlier";
+  static const char* kNames[] = {"tiny", "small", "medium", "large", "huge"};
+  if (b < std::size(kNames)) return kNames[b];
+  return "bin" + std::to_string(b);
+}
+
+double adaptive_model_cost(std::uint32_t degree, int width,
+                           const simt::SimConfig& cfg) {
+  const double w = width;
+  const double groups = 32.0 / w;
+  const double alu = cfg.alu_cycles_per_instr;
+  const double txn = cfg.cycles_per_mem_transaction;
+  const double txn_words = cfg.mem_transaction_bytes / 4.0;
+  // SISD phase (task assignment, filter load, row-range loads): issued
+  // once per warp for 32/W tasks, so one vertex's share is W/32 of roughly
+  // eight instructions plus three coalesced transactions.
+  const double sisd = (w / 32.0) * (8.0 * alu + 3.0 * txn);
+  // SIMD phase: ceil(d/W) strips, each issuing a handful of warp-wide
+  // instructions (amortized the same way). Adjacency-gather transactions
+  // per warp-strip depend on the memory footprint: the warp's 32/W groups
+  // each read W consecutive neighbour ids, and because a bin sweeps
+  // consecutive vertices their CSR segments are adjacent — for short
+  // lists the strip's combined span ((32/W - 1)·d + W words) coalesces
+  // into few transactions, while long lists scatter the groups into one
+  // transaction each. Charging a flat transaction per strip (the naive
+  // model) overprices W=1/2 on low-degree tails by ~8x and drives the
+  // tuner toward needlessly wide bins.
+  const double strips = degree == 0 ? 0.0 : std::ceil(degree / w);
+  const double span_words = (groups - 1.0) * degree + w;
+  const double warp_txns =
+      std::min(groups, std::ceil(span_words / txn_words));
+  const double per_strip =
+      (w / 32.0) * (6.0 * alu + warp_txns * txn);
+  return sisd + strips * per_strip;
+}
+
+namespace {
+
+constexpr int kWidths[] = {1, 2, 4, 8, 16, 32};
+
+int best_width(double degree, int min_width, const simt::SimConfig& cfg) {
+  int best = 0;
+  double best_cost = 0;
+  for (int w : kWidths) {
+    if (w < min_width) continue;
+    const double c = adaptive_model_cost(
+        static_cast<std::uint32_t>(std::lround(degree)), w, cfg);
+    if (best == 0 || c < best_cost) {
+      best = w;
+      best_cost = c;
+    }
+  }
+  return best == 0 ? 32 : best;
+}
+
+/// One power-of-two degree class: class 0 holds degree 0, class k >= 1
+/// holds degrees in [2^(k-1), 2^k) — the Log2Histogram bucketing.
+struct DegreeClass {
+  std::uint64_t count = 0;
+  std::uint64_t degree_sum = 0;
+  double mean_degree() const {
+    return count ? static_cast<double>(degree_sum) /
+                       static_cast<double>(count)
+                 : 0.0;
+  }
+  std::uint32_t upper() const {  // inclusive class upper bound
+    if (index == 0) return 0u;
+    if (index >= 32) return 0xffffffffu;
+    return (1u << index) - 1u;
+  }
+  std::size_t index = 0;
+  int width = 1;
+};
+
+}  // namespace
+
+AdaptivePlan tune_adaptive_plan(const graph::Csr& graph,
+                                const simt::SimConfig& cfg,
+                                const KernelOptions& opts) {
+  AdaptivePlan plan;
+  const std::uint32_t n = graph.num_nodes();
+  if (n == 0) {
+    plan.bins.push_back({0xffffffffu, std::max(1, opts.adaptive.min_width), 1});
+    return plan;
+  }
+
+  // Exact per-class count and degree sum (one host pass, like the
+  // Log2Histogram in graph::degree_stats but keeping the class means the
+  // width model needs).
+  std::vector<DegreeClass> classes(34);
+  for (std::size_t k = 0; k < classes.size(); ++k) classes[k].index = k;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::uint32_t d = graph.degree(v);
+    const std::size_t k =
+        d == 0 ? 0 : static_cast<std::size_t>(std::bit_width(d));
+    classes[k].count += 1;
+    classes[k].degree_sum += d;
+  }
+
+  // Per-class model-optimal width at the class's mean degree, forced
+  // monotone non-decreasing so bin boundaries stay meaningful.
+  int running = std::max(1, opts.adaptive.min_width);
+  for (DegreeClass& c : classes) {
+    if (c.count == 0) {
+      c.width = running;
+      continue;
+    }
+    c.width = std::max(running,
+                       best_width(c.mean_degree(), opts.adaptive.min_width,
+                                  cfg));
+    running = c.width;
+  }
+
+  // Outlier boundary: hubs beyond max(outlier_degree, p99) drain with
+  // cooperating warp teams when the caller enables them.
+  const graph::DegreePercentiles pct = graph::degree_percentiles(graph);
+  std::uint32_t outlier_bound = 0xffffffffu;
+  if (opts.adaptive.outlier_degree > 0 &&
+      opts.warps_per_deferred_task > 1) {
+    const std::uint32_t b =
+        std::max(opts.adaptive.outlier_degree, pct.p99);
+    if (pct.max > b) outlier_bound = b;
+  }
+
+  // Merge adjacent classes that agree on W into bins (classes past the
+  // outlier boundary are excluded; they form the team bin below).
+  std::size_t last_class = 0;
+  for (std::size_t k = 0; k < classes.size(); ++k) {
+    if (classes[k].count > 0) last_class = k;
+  }
+  for (std::size_t k = 0; k <= last_class; ++k) {
+    const DegreeClass& c = classes[k];
+    if (c.count == 0) continue;
+    if (outlier_bound != 0xffffffffu && c.upper() > outlier_bound &&
+        (k == 0 || (std::uint64_t{1} << (k - 1)) > outlier_bound)) {
+      continue;  // entirely above the outlier boundary
+    }
+    const std::uint32_t upper = std::min(c.upper(), outlier_bound);
+    if (!plan.bins.empty() && plan.bins.back().width == c.width) {
+      plan.bins.back().max_degree = upper;
+    } else {
+      plan.bins.push_back({upper, c.width, 1});
+    }
+  }
+  if (plan.bins.empty()) {
+    plan.bins.push_back(
+        {outlier_bound, std::max(1, opts.adaptive.min_width), 1});
+  }
+
+  // Cap the non-outlier bin count: repeatedly merge the adjacent pair
+  // whose union holds the fewest vertices (the cheapest compromise).
+  const auto pair_population = [&](std::size_t b) {
+    // vertices whose degree lands in bins b or b+1
+    const std::uint32_t lo =
+        b == 0 ? 0u : plan.bins[b - 1].max_degree + 1u;
+    const std::uint32_t hi = plan.bins[b + 1].max_degree;
+    std::uint64_t total = 0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const std::uint32_t d = graph.degree(v);
+      if (d >= lo && d <= hi) total += 1;
+    }
+    return total;
+  };
+  while (plan.bins.size() > opts.adaptive.max_bins) {
+    std::size_t best_pair = 0;
+    std::uint64_t best_pop = ~0ull;
+    for (std::size_t b = 0; b + 1 < plan.bins.size(); ++b) {
+      const std::uint64_t pop = pair_population(b);
+      if (pop < best_pop) {
+        best_pop = pop;
+        best_pair = b;
+      }
+    }
+    plan.bins[best_pair].max_degree = plan.bins[best_pair + 1].max_degree;
+    plan.bins[best_pair].width = plan.bins[best_pair + 1].width;
+    plan.bins.erase(plan.bins.begin() +
+                    static_cast<std::ptrdiff_t>(best_pair) + 1);
+  }
+
+  // Marginal-split merge: a split has real costs the width model does not
+  // see (the entry indirection load, de-coalesced vertex ids for the
+  // split-off minority, extra warp slots), so adjacent bins merge while
+  // the cheapest merge raises the plan's modeled sweep cost by at most
+  // bin_merge_tolerance. Near-uniform degree profiles collapse back to a
+  // single identity bin; skewed profiles keep their splits because the
+  // modeled gap between hub and tail widths is far above the tolerance.
+  const auto bin_cost = [&](std::size_t b, int w) {
+    const std::uint32_t lo =
+        b == 0 ? 0u : plan.bins[b - 1].max_degree + 1u;
+    const std::uint32_t hi = plan.bins[b].max_degree;
+    double total = 0;
+    for (const DegreeClass& c : classes) {
+      if (c.count == 0) continue;
+      const auto mean =
+          static_cast<std::uint32_t>(std::lround(c.mean_degree()));
+      if (mean < lo || mean > hi) continue;
+      total += static_cast<double>(c.count) *
+               adaptive_model_cost(mean, w, cfg);
+    }
+    return total;
+  };
+  while (plan.bins.size() > 1 && opts.adaptive.bin_merge_tolerance > 0.0) {
+    double plan_cost = 0;
+    for (std::size_t b = 0; b < plan.bins.size(); ++b) {
+      plan_cost += bin_cost(b, plan.bins[b].width);
+    }
+    std::size_t best_pair = plan.bins.size();
+    int best_w = 0;
+    double best_delta = 0;
+    for (std::size_t b = 0; b + 1 < plan.bins.size(); ++b) {
+      const double split =
+          bin_cost(b, plan.bins[b].width) +
+          bin_cost(b + 1, plan.bins[b + 1].width);
+      for (int w : {plan.bins[b].width, plan.bins[b + 1].width}) {
+        const double delta = bin_cost(b, w) + bin_cost(b + 1, w) - split;
+        if (best_pair == plan.bins.size() || delta < best_delta) {
+          best_pair = b;
+          best_w = w;
+          best_delta = delta;
+        }
+      }
+    }
+    if (best_pair == plan.bins.size() ||
+        best_delta > opts.adaptive.bin_merge_tolerance * plan_cost) {
+      break;
+    }
+    plan.bins[best_pair].max_degree = plan.bins[best_pair + 1].max_degree;
+    plan.bins[best_pair].width = best_w;
+    plan.bins.erase(plan.bins.begin() +
+                    static_cast<std::ptrdiff_t>(best_pair) + 1);
+  }
+
+  if (outlier_bound != 0xffffffffu) {
+    plan.bins.back().max_degree = outlier_bound;
+    plan.bins.push_back({0xffffffffu, 32, opts.warps_per_deferred_task});
+  } else {
+    plan.bins.back().max_degree = 0xffffffffu;
+  }
+  return plan;
 }
 
 }  // namespace maxwarp::algorithms

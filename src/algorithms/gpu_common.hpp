@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "gpu/buffer.hpp"
 #include "gpu/device.hpp"
@@ -18,6 +19,12 @@ enum class Mapping {
   kWarpCentric,          ///< virtual warps, static grid-stride assignment
   kWarpCentricDynamic,   ///< virtual warps + dynamic (atomic) distribution
   kWarpCentricDefer,     ///< virtual warps + outlier deferral queue
+  /// Degree-binned dispatch: the vertex set is partitioned into degree
+  /// bins and each bin launches with its own fitted strategy (W=1 for
+  /// tiny degrees, bin-matched virtual warps in between, cooperating
+  /// warp teams for outlier hubs). Bin boundaries and per-bin W come
+  /// from the auto-tuner (tune_adaptive_plan), cached per GpuGraph.
+  kAdaptive,
 };
 
 std::string to_string(Mapping mapping);
@@ -59,13 +66,97 @@ struct KernelOptions {
     std::uint32_t beta = 24;
   };
   Direction direction;
+
+  /// kAdaptive knobs (ignored by the other mappings).
+  struct Adaptive {
+    /// Floor on any bin's virtual warp width (power-of-two divisor of 32).
+    int min_width = 1;
+    /// Refine the analytic plan with short measured probes per bin
+    /// (deterministic in the simulator; charged to the cached
+    /// AdaptiveState's setup stats, not to runs). On by default: the
+    /// analytic width model is a coarse transaction count and measured
+    /// probes pick the true per-bin optimum; disable to exercise the
+    /// pure model or to skip the one-time probe cost.
+    bool calibrate = true;
+    /// Upper bound on non-outlier bins (tiny/small/medium/large/huge).
+    std::uint32_t max_bins = 5;
+    /// Degree above which hub expansion is drained by cooperating warp
+    /// teams (warps_per_deferred_task warps per vertex) where the
+    /// algorithm supports it; 0 disables the outlier bin entirely.
+    std::uint32_t outlier_degree = 1024;
+    /// Adjacent bins merge while the cheapest merge raises the plan's
+    /// modeled sweep cost by at most this fraction. Splitting a bin off
+    /// has unmodeled costs (the indirection load, de-coalesced ids for
+    /// the split-off minority, extra warp slots), so a split must buy a
+    /// clear modeled win to survive; near-uniform graphs collapse to one
+    /// identity bin. 0 keeps every split the width model asks for.
+    double bin_merge_tolerance = 0.10;
+
+    bool operator==(const Adaptive&) const = default;
+  };
+  Adaptive adaptive;
 };
+
+/// Validates every tuning knob once, at the algorithm entry point, so a
+/// bad configuration fails with a clear message instead of deep inside a
+/// kernel. `where` names the entry point in the thrown message. Throws
+/// std::invalid_argument.
+void validate_kernel_options(const KernelOptions& opts, const char* where);
+
+// -- adaptive plan ----------------------------------------------------------
+
+/// One degree bin of an adaptive plan. Bins partition [0, 2^32): bin b
+/// holds vertices with degree in (bins[b-1].max_degree, bins[b].max_degree].
+struct AdaptiveBin {
+  std::uint32_t max_degree = 0xffffffffu;  ///< inclusive upper bound
+  int width = 32;                          ///< virtual warp width for the bin
+  /// Physical warps cooperating per vertex when draining this bin with a
+  /// team kernel (outlier bins only); 1 = ordinary virtual-warp sweep.
+  std::uint32_t team_warps = 1;
+};
+
+/// Auto-tuned degree-bin layout: ascending max_degree, last bin unbounded.
+struct AdaptivePlan {
+  std::vector<AdaptiveBin> bins;
+  bool calibrated = false;  ///< widths refined by measured probes
+
+  std::size_t bin_of(std::uint32_t degree) const;
+  /// Inclusive per-bin upper bounds (the partitioner's input).
+  std::vector<std::uint32_t> bounds() const;
+  /// "w=1 d<=2 | w=8 d<=64 | w=32 team=4" style one-liner.
+  std::string summary() const;
+};
+
+/// Human label of bin `b` ("tiny", "small", ..., "outlier" for team bins):
+/// used to tag per-bin kernel launches in a StatsLedger.
+std::string bin_label(const AdaptivePlan& plan, std::size_t b);
+
+/// Modeled per-vertex expansion cost (cycles) of a degree-`degree` vertex
+/// under virtual warp width `width` — the analytic objective the
+/// auto-tuner minimizes. Mirrors the simulator's cost model: the SISD
+/// phase is issued once per warp (a vertex pays W/32 of it) and the SIMD
+/// phase pays per strip; W-invariant scattered per-edge traffic is
+/// omitted because it does not move the argmin.
+double adaptive_model_cost(std::uint32_t degree, int width,
+                           const simt::SimConfig& cfg);
+
+/// Selects bin boundaries and per-bin W from the graph's degree
+/// histogram/percentiles (graph::metrics): per power-of-two degree class,
+/// pick the model-optimal W at the class's mean degree, merge adjacent
+/// classes that agree, cap the bin count, and mark degrees above
+/// max(adaptive.outlier_degree, p99) as a warp-team outlier bin.
+AdaptivePlan tune_adaptive_plan(const graph::Csr& graph,
+                                const simt::SimConfig& cfg,
+                                const KernelOptions& opts);
 
 /// Per-run result statistics common to every GPU algorithm.
 struct GpuRunStats {
   simt::KernelStats kernels;   ///< aggregated over every launch of the run
   double transfer_ms = 0;      ///< modeled H2D/D2H during the run
   std::uint32_t iterations = 0;  ///< levels / relaxation rounds / sweeps
+  /// Per-label launch breakdown; kAdaptive fills one entry per degree bin
+  /// ("bfs.level.expand.tiny", ...). Empty for the static mappings.
+  simt::StatsLedger bins;
 
   double kernel_ms(const simt::SimConfig& cfg) const {
     return kernels.elapsed_ms(cfg);

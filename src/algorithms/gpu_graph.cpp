@@ -2,12 +2,32 @@
 
 #include <utility>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "graph/builder.hpp"
 
 namespace maxwarp::algorithms {
 
 GpuGraph::GpuGraph(gpu::Device& device, graph::Csr host)
     : device_(&device), host_(std::move(host)), csr_(device, host_) {}
+
+GpuGraph::~GpuGraph() = default;
+GpuGraph::GpuGraph(GpuGraph&&) noexcept = default;
+GpuGraph& GpuGraph::operator=(GpuGraph&&) noexcept = default;
+
+const AdaptiveState& GpuGraph::adaptive_state(const KernelOptions& opts,
+                                              bool reverse) const {
+  if (reverse && symmetric()) reverse = false;  // transpose aliases csr()
+  const std::size_t slot = reverse ? 1 : 0;
+  const AdaptiveKey key{opts.adaptive, opts.warps_per_deferred_task};
+  if (!adaptive_[slot] || !(adaptive_key_[slot] == key)) {
+    const GpuCsr& csr = reverse ? reverse_csr() : csr_;
+    const graph::Csr& host = reverse ? reverse_host() : host_;
+    adaptive_[slot] = std::make_unique<AdaptiveState>(build_adaptive_state(
+        *device_, csr, host, opts, reverse ? "adaptive.rev" : "adaptive"));
+    adaptive_key_[slot] = key;
+  }
+  return *adaptive_[slot];
+}
 
 bool GpuGraph::symmetric() const {
   if (!symmetric_) symmetric_ = host_.is_symmetric();

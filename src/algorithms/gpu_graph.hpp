@@ -26,14 +26,17 @@
 
 namespace maxwarp::algorithms {
 
+struct AdaptiveState;  // adaptive_dispatch.hpp
+
 class GpuGraph {
  public:
   /// Uploads `host` to `device` (H2D charged on the current stream) and
   /// takes ownership of the host copy.
   GpuGraph(gpu::Device& device, graph::Csr host);
+  ~GpuGraph();
 
-  GpuGraph(GpuGraph&&) noexcept = default;
-  GpuGraph& operator=(GpuGraph&&) noexcept = default;
+  GpuGraph(GpuGraph&&) noexcept;
+  GpuGraph& operator=(GpuGraph&&) noexcept;
   GpuGraph(const GpuGraph&) = delete;
   GpuGraph& operator=(const GpuGraph&) = delete;
 
@@ -63,13 +66,32 @@ class GpuGraph {
   std::uint64_t traversed_edges(const std::vector<std::uint32_t>& reached,
                                 std::uint32_t unreached) const;
 
+  /// Cached kAdaptive dispatch state (auto-tuned plan + full-vertex
+  /// degree partition; see adaptive_dispatch.hpp), built on first use
+  /// like reverse_csr() and shared by every later run on this handle —
+  /// a QueryEngine batch tunes and partitions once, not per query.
+  /// Rebuilt only when the options' adaptive knobs change. `reverse`
+  /// selects a second state keyed to the transpose's degrees (PageRank's
+  /// and BC's pull sweeps).
+  const AdaptiveState& adaptive_state(const KernelOptions& opts,
+                                      bool reverse = false) const;
+
  private:
+  /// The option fields the cached state depends on.
+  struct AdaptiveKey {
+    KernelOptions::Adaptive adaptive;
+    std::uint32_t warps_per_deferred_task = 0;
+    bool operator==(const AdaptiveKey&) const = default;
+  };
+
   gpu::Device* device_;
   graph::Csr host_;
   GpuCsr csr_;
   mutable std::optional<bool> symmetric_;
   mutable std::unique_ptr<graph::Csr> reverse_host_;
   mutable std::unique_ptr<GpuCsr> reverse_csr_;
+  mutable std::unique_ptr<AdaptiveState> adaptive_[2];
+  mutable AdaptiveKey adaptive_key_[2];
 };
 
 }  // namespace maxwarp::algorithms

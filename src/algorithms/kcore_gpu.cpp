@@ -3,6 +3,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -16,10 +17,12 @@ using simt::WarpCtx;
 GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
                           const KernelOptions& opts) {
   gpu::Device& device = g.device();
+  validate_kernel_options(opts, "k_core_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "k_core_gpu: supports thread-mapped and warp-centric");
+        "k_core_gpu: supports thread-mapped, warp-centric, and adaptive");
   }
   const std::uint32_t n = g.num_nodes();
   GpuKCoreResult result;
@@ -30,6 +33,9 @@ GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
   const GpuCsr& gpu_graph = g.csr();
   const auto row = gpu_graph.row();
   const auto adj = gpu_graph.adj();
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &g.adaptive_state(opts)
+                                      : nullptr;
 
   std::vector<std::uint32_t> deg_host(n);
   for (NodeId v = 0; v < n; ++v) deg_host[v] = g.host().degree(v);
@@ -45,64 +51,98 @@ GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
                               ? 1
                               : opts.virtual_warp_width);
 
+  // Decrement every neighbour's residual degree (the peel edge phase).
+  const auto decrement_edges = [&](WarpCtx& w,
+                                   const Lanes<std::uint32_t>& cursor) {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    // Residual degree of a dead vertex may go stale; only the
+    // alive check consumes it, and dead stays dead.
+    w.atomic_add(degree_ptr, [&](int l) {
+      return nbr[static_cast<std::size_t>(l)];
+    }, [](int) { return 0xffffffffu; });  // -1 in two's complement
+  };
+  const auto peel_body = [&](WarpCtx& w, const vw::Layout& bl,
+                             LaneMask valid,
+                             const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> is_alive{}, deg{};
+    w.with_mask(valid, [&] {
+      w.load_global(alive_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, is_alive);
+      w.load_global(degree_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, deg);
+    });
+    const LaneMask peel = valid & w.ballot([&](int l) {
+      const auto i = static_cast<std::size_t>(l);
+      return is_alive[i] != 0 && deg[i] < k;
+    });
+    if (peel == 0) return;
+
+    w.with_mask(peel, [&] {
+      w.store_global(alive_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, [](int) { return 0u; });
+      w.store_global(changed_ptr, [](int) { return 0; },
+                     [](int) { return 1u; });
+    });
+
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, peel, begin, end);
+    vw::simd_strip_loop(w, bl, begin, end, peel,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          decrement_edges(w, cursor);
+                        });
+  };
+  // Hub peel via warp teams: the kill store is idempotent and the
+  // decrements commute, so the split cannot change the fixpoint.
+  const auto peel_team = [&](WarpCtx& w, std::uint32_t v,
+                             std::uint32_t part, std::uint32_t tw) {
+    if (w.load_global_uniform(alive_ptr, v) == 0) return;
+    if (w.load_global_uniform(degree_ptr, v) >= k) return;
+    const LaneMask one = simt::lane_bit(0);
+    w.with_mask(one, [&] {
+      w.store_global(alive_ptr, [&, v](int) { return v; },
+                     [](int) { return 0u; });
+      w.store_global(changed_ptr, [](int) { return 0; },
+                     [](int) { return 1u; });
+    });
+    adaptive_team_strip(w, row, v, part, tw,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          decrement_edges(w, cursor);
+                        });
+  };
+
   for (;;) {
     changed.fill(0);
-    const std::uint64_t warps_needed =
-        (static_cast<std::uint64_t>(n) +
-         static_cast<std::uint64_t>(layout.groups()) - 1) /
-        static_cast<std::uint64_t>(layout.groups());
-    const auto dims =
-        device.dims_for_threads(warps_needed * simt::kWarpSize);
-    const std::uint64_t total_groups =
-        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+    if (adaptive != nullptr) {
+      adaptive_sweep_with_teams(device, *adaptive,
+                                opts.resident_warps_per_sm, "kcore.peel",
+                                result.stats, peel_body, peel_team);
+    } else {
+      const std::uint64_t warps_needed =
+          (static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(warps_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
 
-    result.stats.kernels.add(device.launch(dims, [&, n, k](WarpCtx& w) {
-      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
-        Lanes<std::uint32_t> task{};
-        const LaneMask valid =
-            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
-        if (valid == 0) continue;
-
-        Lanes<std::uint32_t> is_alive{}, deg{};
-        w.with_mask(valid, [&] {
-          w.load_global(alive_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, is_alive);
-          w.load_global(degree_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, deg);
-        });
-        const LaneMask peel = valid & w.ballot([&](int l) {
-          const auto i = static_cast<std::size_t>(l);
-          return is_alive[i] != 0 && deg[i] < k;
-        });
-        if (peel == 0) continue;
-
-        w.with_mask(peel, [&] {
-          w.store_global(alive_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, [](int) { return 0u; });
-          w.store_global(changed_ptr, [](int) { return 0; },
-                         [](int) { return 1u; });
-        });
-
-        Lanes<std::uint32_t> begin{}, end{};
-        vw::load_task_ranges(w, row, task, peel, begin, end);
-        vw::simd_strip_loop(
-            w, layout, begin, end, peel,
-            [&](const Lanes<std::uint32_t>& cursor) {
-              Lanes<std::uint32_t> nbr{};
-              w.load_global(adj, [&](int l) {
-                return cursor[static_cast<std::size_t>(l)];
-              }, nbr);
-              // Residual degree of a dead vertex may go stale; only the
-              // alive check above consumes it, and dead stays dead.
-              w.atomic_add(degree_ptr, [&](int l) {
-                return nbr[static_cast<std::size_t>(l)];
-              }, [](int) { return 0xffffffffu; });  // -1 in two's complement
-            });
-      }
-    }));
+      result.stats.kernels.add(device.launch(
+          dims.named("kcore.peel"), [&, n](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid = vw::assign_static_tasks(
+              w, layout, round, total_groups, n, task);
+          if (valid == 0) continue;
+          peel_body(w, layout, valid, task);
+        }
+      }));
+    }
     ++result.stats.iterations;
     if (changed.read(0) == 0) break;
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "graph/builder.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -14,10 +15,12 @@ using simt::WarpCtx;
 GpuPageRankResult pagerank_gpu(const GpuGraph& g,
                                const PageRankParams& params,
                                const KernelOptions& opts) {
+  validate_kernel_options(opts, "pagerank_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "pagerank_gpu: supports thread-mapped and warp-centric");
+        "pagerank_gpu: supports thread-mapped, warp-centric, and adaptive");
   }
   gpu::Device& device = g.device();
   const std::uint32_t n = g.num_nodes();
@@ -26,9 +29,14 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
   if (n == 0) return result;
 
   // Pull sweep runs over the transpose; the handle builds and uploads it
-  // once, so only the first run on a directed graph pays for it.
+  // once, so only the first run on a directed graph pays for it. The
+  // adaptive state is likewise cached — keyed to the transpose's degrees,
+  // since those are the lists this kernel strips.
   const double transfer_before = device.transfer_totals().modeled_ms;
   const GpuCsr& gpu_rev = g.reverse_csr();
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &g.adaptive_state(opts, true)
+                                      : nullptr;
   std::vector<std::uint32_t> outdeg_host(n);
   for (std::uint32_t v = 0; v < n; ++v) outdeg_host[v] = g.host().degree(v);
   gpu::DeviceBuffer<std::uint32_t> outdeg(device, outdeg_host);
@@ -50,14 +58,58 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
   const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
                               ? 1
                               : opts.virtual_warp_width);
+  float dangling_share = 0.0f;
+
+  // The gather body is shared by the static sweep and every adaptive bin;
+  // simd_strip_accumulate folds contributions in sequential edge order,
+  // so the float result is bit-identical for every W (and every bin
+  // split) — see the determinism note in adaptive_dispatch.hpp.
+  const auto gather_body = [&](WarpCtx& w, const vw::Layout& body_layout,
+                               LaneMask valid,
+                               const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, valid, begin, end);
+    Lanes<std::uint32_t> src{};
+    Lanes<float> src_rank{};
+    Lanes<std::uint32_t> src_deg{};
+    const Lanes<float> group_sum = vw::simd_strip_accumulate<float>(
+        w, body_layout, begin, end, valid,
+        [&](const Lanes<std::uint32_t>& cursor) {
+          w.load_global(adj, [&](int l) {
+            return cursor[static_cast<std::size_t>(l)];
+          }, src);
+          w.load_global(rank_ptr, [&](int l) {
+            return src[static_cast<std::size_t>(l)];
+          }, src_rank);
+          w.load_global(outdeg_ptr, [&](int l) {
+            return src[static_cast<std::size_t>(l)];
+          }, src_deg);
+        },
+        [&](int l) {
+          const auto i = static_cast<std::size_t>(l);
+          // src_deg > 0: a reverse edge implies an out-edge at src.
+          return src_rank[i] / static_cast<float>(src_deg[i]);
+        });
+    const LaneMask leaders = valid & leader_lane_mask(body_layout.width);
+    w.with_mask(leaders, [&] {
+      w.store_global(next_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, [&](int l) {
+        return base + damping * group_sum[static_cast<std::size_t>(l)] +
+               dangling_share;
+      });
+    });
+  };
 
   for (int iter = 0; iter < params.iterations; ++iter) {
     // Pass 1: dangling-mass reduction. Thread-mapped with a per-warp
-    // shuffle reduction and one leader atomic, the standard idiom.
+    // shuffle reduction and one leader atomic, the standard idiom; the
+    // same launch under every mapping, so the sum is mapping-invariant.
     dangling_acc.fill(0.0f);
     {
       const auto dims = device.dims_for_threads(n);
-      result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+      result.stats.kernels.add(
+          device.launch(dims.named("pagerank.dangling"), [&, n](WarpCtx& w) {
         Lanes<std::uint32_t> v{};
         w.alu([&](int l) {
           v[static_cast<std::size_t>(l)] =
@@ -87,64 +139,34 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
       }));
     }
     const float dangling = dangling_acc.read(0);
-    const float dangling_share = damping * dangling / static_cast<float>(n);
+    dangling_share = damping * dangling / static_cast<float>(n);
 
     // Pass 2: gather over in-edges.
-    const std::uint64_t groups_needed =
-        (static_cast<std::uint64_t>(n) +
-         static_cast<std::uint64_t>(layout.groups()) - 1) /
-        static_cast<std::uint64_t>(layout.groups());
-    const auto dims = device.dims_for_threads(groups_needed * simt::kWarpSize);
-    const std::uint64_t total_groups =
-        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+    if (adaptive != nullptr) {
+      adaptive_sweep(device, *adaptive, "pagerank.gather", result.stats,
+                     gather_body);
+    } else {
+      const std::uint64_t groups_needed =
+          (static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(groups_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
 
-    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
-      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
-        Lanes<std::uint32_t> task{};
-        const LaneMask valid =
-            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
-        if (valid == 0) continue;
-
-        Lanes<std::uint32_t> begin{}, end{};
-        vw::load_task_ranges(w, row, task, valid, begin, end);
-
-        Lanes<float> partial{};
-        vw::simd_strip_loop(
-            w, layout, begin, end, valid,
-            [&](const Lanes<std::uint32_t>& cursor) {
-              Lanes<std::uint32_t> src{};
-              w.load_global(adj, [&](int l) {
-                return cursor[static_cast<std::size_t>(l)];
-              }, src);
-              Lanes<float> src_rank{};
-              w.load_global(rank_ptr, [&](int l) {
-                return src[static_cast<std::size_t>(l)];
-              }, src_rank);
-              Lanes<std::uint32_t> src_deg{};
-              w.load_global(outdeg_ptr, [&](int l) {
-                return src[static_cast<std::size_t>(l)];
-              }, src_deg);
-              w.alu([&](int l) {
-                const auto i = static_cast<std::size_t>(l);
-                // src_deg > 0: a reverse edge implies an out-edge at src.
-                partial[i] += src_rank[i] / static_cast<float>(src_deg[i]);
-              });
-            });
-
-        const Lanes<float> group_sum =
-            vw::group_reduce_add(w, layout, partial, valid);
-        const LaneMask leaders =
-            valid & leader_lane_mask(layout.width);
-        w.with_mask(leaders, [&] {
-          w.store_global(next_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, [&](int l) {
-            return base + damping * group_sum[static_cast<std::size_t>(l)] +
-                   dangling_share;
-          });
-        });
-      }
-    }));
+      result.stats.kernels.add(
+          device.launch(dims.named("pagerank.gather"), [&, n](WarpCtx& w) {
+        for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid =
+              vw::assign_static_tasks(w, layout, round, total_groups, n,
+                                      task);
+          if (valid == 0) continue;
+          gather_body(w, layout, valid, task);
+        }
+      }));
+    }
 
     std::swap(rank, next);
     rank_ptr = rank.ptr();

@@ -28,8 +28,8 @@ struct PageRankParams {
 };
 
 /// `g` is the *forward* graph; the pull sweep runs over g.reverse_csr(),
-/// built once and cached on the handle. Supports Mapping::kThreadMapped
-/// and Mapping::kWarpCentric.
+/// built once and cached on the handle. Supports Mapping::kThreadMapped,
+/// Mapping::kWarpCentric, and Mapping::kAdaptive.
 GpuPageRankResult pagerank_gpu(const GpuGraph& g,
                                const PageRankParams& params = {},
                                const KernelOptions& opts = {});

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "algorithms/bfs_gpu.hpp"
 #include "algorithms/sssp_gpu.hpp"
 #include "gpu/stream.hpp"
@@ -25,14 +26,13 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
     throw std::invalid_argument(
         "bfs_gpu_multi_source: at most 32 sources per fused group");
   }
+  validate_kernel_options(opts, "bfs_gpu_multi_source");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "bfs_gpu_multi_source: supports thread-mapped and warp-centric");
-  }
-  if (!vw::Layout::valid_width(opts.virtual_warp_width)) {
-    throw std::invalid_argument(
-        "bfs_gpu_multi_source: invalid virtual warp width");
+        "bfs_gpu_multi_source: supports thread-mapped, warp-centric, and "
+        "adaptive");
   }
   gpu::Device& device = g.device();
   const std::uint32_t n = g.num_nodes();
@@ -75,6 +75,9 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
   const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
                               ? 1
                               : opts.virtual_warp_width);
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &g.adaptive_state(opts)
+                                      : nullptr;
   const std::uint64_t groups_needed =
       (static_cast<std::uint64_t>(n) +
        static_cast<std::uint64_t>(layout.groups()) - 1) /
@@ -85,51 +88,80 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
       expand_dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
   const auto update_dims = device.dims_for_threads(n);
 
+  // Edge phase shared by every variant: OR the pushing vertex's query
+  // bits onto each out-neighbour's `next` mask. fmask is replicated to
+  // the task's lanes (same slot the strip loop keyed cursor on), so each
+  // lane ORs its own group's query bits.
+  const auto push_bits = [&](WarpCtx& w, const Lanes<std::uint32_t>& cursor,
+                             const Lanes<std::uint32_t>& fmask) {
+    Lanes<std::uint32_t> nbr{};
+    w.load_global(adj, [&](int l) {
+      return cursor[static_cast<std::size_t>(l)];
+    }, nbr);
+    w.atomic_or(next_ptr, [&](int l) {
+      return nbr[static_cast<std::size_t>(l)];
+    }, [&](int l) {
+      return fmask[static_cast<std::size_t>(l)];
+    });
+  };
+  const auto expand_body = [&](WarpCtx& w, const vw::Layout& bl,
+                               LaneMask valid,
+                               const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> fmask{};
+    w.with_mask(valid, [&] {
+      w.load_global(frontier_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, fmask);
+    });
+    const LaneMask on = valid & w.ballot([&](int l) {
+      return fmask[static_cast<std::size_t>(l)] != 0;
+    });
+    if (on == 0) return;
+
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, on, begin, end);
+    vw::simd_strip_loop(w, bl, begin, end, on,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          push_bits(w, cursor, fmask);
+                        });
+  };
+  // Hub expansion via warp teams: atomic_or pushes commute, so splitting
+  // an outlier's adjacency across cooperating warps cannot change the
+  // reachability fixpoint the update pass extracts.
+  const auto expand_team = [&](WarpCtx& w, std::uint32_t v,
+                               std::uint32_t part, std::uint32_t tw) {
+    const std::uint32_t fm = w.load_global_uniform(frontier_ptr, v);
+    if (fm == 0) return;
+    Lanes<std::uint32_t> fmask{};
+    w.alu([&](int l) { fmask[static_cast<std::size_t>(l)] = fm; });
+    adaptive_team_strip(w, row, v, part, tw,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          push_bits(w, cursor, fmask);
+                        });
+  };
+
   for (std::uint32_t current = 0;; ++current) {
     newly_reached.fill(0);
 
     // Expand: frontier vertices push their query bits onto every
     // out-neighbour's `next` mask. One adjacency read serves all k
     // queries — the fusion win.
-    result.stats.kernels.add(device.launch(
-        expand_dims.named("msbfs.expand"), [&, n](WarpCtx& w) {
-          for (std::uint64_t r = 0; r * total_groups < n; ++r) {
-            Lanes<std::uint32_t> task{};
-            const LaneMask valid =
-                vw::assign_static_tasks(w, layout, r, total_groups, n, task);
-            if (valid == 0) continue;
-
-            Lanes<std::uint32_t> fmask{};
-            w.with_mask(valid, [&] {
-              w.load_global(frontier_ptr, [&](int l) {
-                return task[static_cast<std::size_t>(l)];
-              }, fmask);
-            });
-            const LaneMask on = valid & w.ballot([&](int l) {
-              return fmask[static_cast<std::size_t>(l)] != 0;
-            });
-            if (on == 0) continue;
-
-            Lanes<std::uint32_t> begin{}, end{};
-            vw::load_task_ranges(w, row, task, on, begin, end);
-            vw::simd_strip_loop(
-                w, layout, begin, end, on,
-                [&](const Lanes<std::uint32_t>& cursor) {
-                  Lanes<std::uint32_t> nbr{};
-                  w.load_global(adj, [&](int l) {
-                    return cursor[static_cast<std::size_t>(l)];
-                  }, nbr);
-                  // fmask is replicated to the task's lanes (same slot the
-                  // strip loop keyed cursor on), so each lane ORs its own
-                  // group's query bits.
-                  w.atomic_or(next_ptr, [&](int l) {
-                    return nbr[static_cast<std::size_t>(l)];
-                  }, [&](int l) {
-                    return fmask[static_cast<std::size_t>(l)];
-                  });
-                });
-          }
-        }));
+    if (adaptive != nullptr) {
+      adaptive_sweep_with_teams(device, *adaptive,
+                                opts.resident_warps_per_sm, "msbfs.expand",
+                                result.stats, expand_body, expand_team);
+    } else {
+      result.stats.kernels.add(device.launch(
+          expand_dims.named("msbfs.expand"), [&, n](WarpCtx& w) {
+            for (std::uint64_t r = 0; r * total_groups < n; ++r) {
+              Lanes<std::uint32_t> task{};
+              const LaneMask valid = vw::assign_static_tasks(
+                  w, layout, r, total_groups, n, task);
+              if (valid == 0) continue;
+              expand_body(w, layout, valid, task);
+            }
+          }));
+    }
 
     // Update: vertex-owned, race-free. new = next & ~visited becomes the
     // next frontier; levels are assigned per fresh bit; the per-warp
@@ -241,6 +273,7 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
     throw std::invalid_argument(
         "QueryEngine: bfs_group_size must be in [1, 32]");
   }
+  validate_kernel_options(opts_.kernel, "QueryEngine");
 }
 
 std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {

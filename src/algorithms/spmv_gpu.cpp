@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -14,10 +15,12 @@ using simt::WarpCtx;
 GpuSpmvResult spmv_gpu(const GpuGraph& g, std::span<const float> x,
                        const KernelOptions& opts) {
   gpu::Device& device = g.device();
+  validate_kernel_options(opts, "spmv_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "spmv_gpu: supports thread-mapped and warp-centric");
+        "spmv_gpu: supports thread-mapped, warp-centric, and adaptive");
   }
   if (!g.weighted()) {
     throw std::invalid_argument("spmv_gpu: graph must carry edge weights");
@@ -32,6 +35,9 @@ GpuSpmvResult spmv_gpu(const GpuGraph& g, std::span<const float> x,
   const double transfer_before = device.transfer_totals().modeled_ms;
 
   const GpuCsr& gpu_graph = g.csr();
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &g.adaptive_state(opts)
+                                      : nullptr;
   const auto row = gpu_graph.row();
   const auto col = gpu_graph.adj();
   const auto val = gpu_graph.weights();
@@ -42,55 +48,65 @@ GpuSpmvResult spmv_gpu(const GpuGraph& g, std::span<const float> x,
   const auto x_ptr = x_dev.cptr();
   auto y_ptr = y_dev.ptr();
 
-  const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
-                              ? 1
-                              : opts.virtual_warp_width);
-  const std::uint32_t leader_mask = leader_lane_mask(layout.width);
-  const std::uint64_t warps_needed =
-      (static_cast<std::uint64_t>(n) +
-       static_cast<std::uint64_t>(layout.groups()) - 1) /
-      static_cast<std::uint64_t>(layout.groups());
-  const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
-  const std::uint64_t total_groups =
-      dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+  // Shared row body: the ordered fold keeps y[v] the strict sequential
+  // sum over the row for every W and every bin split (bit-identical
+  // across mappings).
+  const auto row_body = [&](WarpCtx& w, const vw::Layout& layout,
+                            LaneMask valid,
+                            const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, valid, begin, end);
+    Lanes<std::uint32_t> c{}, a{};
+    Lanes<float> xv{};
+    const Lanes<float> sums = vw::simd_strip_accumulate<float>(
+        w, layout, begin, end, valid,
+        [&](const Lanes<std::uint32_t>& cursor) {
+          w.load_global(col, [&](int l) {
+            return cursor[static_cast<std::size_t>(l)];
+          }, c);
+          w.load_global(val, [&](int l) {
+            return cursor[static_cast<std::size_t>(l)];
+          }, a);
+          w.load_global(x_ptr, [&](int l) {
+            return c[static_cast<std::size_t>(l)];
+          }, xv);
+        },
+        [&](int l) {
+          const auto i = static_cast<std::size_t>(l);
+          return static_cast<float>(a[i]) * xv[i];
+        });
+    w.with_mask(valid & leader_lane_mask(layout.width), [&] {
+      w.store_global(y_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
+    });
+  };
 
-  result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
-    for (std::uint64_t round = 0; round * total_groups < n; ++round) {
-      Lanes<std::uint32_t> task{};
-      const LaneMask valid =
-          vw::assign_static_tasks(w, layout, round, total_groups, n, task);
-      if (valid == 0) continue;
-      Lanes<std::uint32_t> begin{}, end{};
-      vw::load_task_ranges(w, row, task, valid, begin, end);
-      Lanes<float> partial{};
-      vw::simd_strip_loop(
-          w, layout, begin, end, valid,
-          [&](const Lanes<std::uint32_t>& cursor) {
-            Lanes<std::uint32_t> c{}, a{};
-            w.load_global(col, [&](int l) {
-              return cursor[static_cast<std::size_t>(l)];
-            }, c);
-            w.load_global(val, [&](int l) {
-              return cursor[static_cast<std::size_t>(l)];
-            }, a);
-            Lanes<float> xv{};
-            w.load_global(x_ptr, [&](int l) {
-              return c[static_cast<std::size_t>(l)];
-            }, xv);
-            w.alu([&](int l) {
-              const auto i = static_cast<std::size_t>(l);
-              partial[i] += static_cast<float>(a[i]) * xv[i];
-            });
-          });
-      const Lanes<float> sums =
-          vw::group_reduce_add(w, layout, partial, valid);
-      w.with_mask(valid & leader_mask, [&] {
-        w.store_global(y_ptr, [&](int l) {
-          return task[static_cast<std::size_t>(l)];
-        }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
-      });
-    }
-  }));
+  if (adaptive != nullptr) {
+    adaptive_sweep(device, *adaptive, "spmv.row", result.stats, row_body);
+  } else {
+    const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
+                                ? 1
+                                : opts.virtual_warp_width);
+    const std::uint64_t warps_needed =
+        (static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(layout.groups()) - 1) /
+        static_cast<std::uint64_t>(layout.groups());
+    const auto dims = device.dims_for_threads(warps_needed * simt::kWarpSize);
+    const std::uint64_t total_groups =
+        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+
+    result.stats.kernels.add(
+        device.launch(dims.named("spmv.row"), [&, n](WarpCtx& w) {
+      for (std::uint64_t round = 0; round * total_groups < n; ++round) {
+        Lanes<std::uint32_t> task{};
+        const LaneMask valid =
+            vw::assign_static_tasks(w, layout, round, total_groups, n, task);
+        if (valid == 0) continue;
+        row_body(w, layout, valid, task);
+      }
+    }));
+  }
 
   result.stats.iterations = 1;
   result.y = y_dev.download();

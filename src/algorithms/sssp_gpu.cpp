@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "warp/virtual_warp.hpp"
 
 namespace maxwarp::algorithms {
@@ -59,15 +60,20 @@ struct RelaxBody {
   }
 };
 
-GpuSsspResult sssp_gpu_on(gpu::Device& device, const GpuCsr& g,
-                          NodeId source, const KernelOptions& opts) {
+GpuSsspResult sssp_gpu_on(const GpuGraph& gg, NodeId source,
+                          const KernelOptions& opts) {
+  gpu::Device& device = gg.device();
+  const GpuCsr& g = gg.csr();
+  validate_kernel_options(opts, "sssp_gpu");
   if (!g.weighted()) {
     throw std::invalid_argument("sssp_gpu: graph must be weighted");
   }
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "sssp_gpu: supports thread-mapped and warp-centric mappings");
+        "sssp_gpu: supports thread-mapped, warp-centric, and adaptive "
+        "mappings");
   }
   const std::uint32_t n = g.num_nodes();
   GpuSsspResult result;
@@ -92,57 +98,90 @@ GpuSsspResult sssp_gpu_on(gpu::Device& device, const GpuCsr& g,
   const vw::Layout layout(opts.mapping == Mapping::kThreadMapped
                               ? 1
                               : opts.virtual_warp_width);
+  const AdaptiveState* adaptive = opts.mapping == Mapping::kAdaptive
+                                      ? &gg.adaptive_state(opts)
+                                      : nullptr;
 
   auto active_now_ptr = active_now.ptr();
   RelaxBody body{g.adj(), g.weights(), dist.ptr(), active_next.ptr(),
                  changed.ptr()};
+
+  // Shared by the static sweep and every adaptive bin: SISD active
+  // filter, distance fetch, SIMD relaxation.
+  const auto relax_vertices = [&](WarpCtx& w, const vw::Layout& bl,
+                                  LaneMask valid,
+                                  const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> is_active{};
+    w.with_mask(valid, [&] {
+      w.load_global(active_now_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, is_active);
+    });
+    const LaneMask on = valid & w.ballot([&](int l) {
+      return is_active[static_cast<std::size_t>(l)] != 0;
+    });
+    if (on == 0) return;
+
+    Lanes<std::uint32_t> dist_of_task{};
+    w.with_mask(on, [&] {
+      w.load_global(body.dist, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, dist_of_task);
+    });
+
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, on, begin, end);
+    vw::simd_strip_loop(w, bl, begin, end, on,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          body(w, cursor, dist_of_task);
+                        });
+  };
+  // Team drain for outlier hubs: atomic_min relaxations commute, so the
+  // split across cooperating warps cannot change the fixpoint.
+  const auto relax_team = [&](WarpCtx& w, std::uint32_t v,
+                              std::uint32_t part, std::uint32_t tw) {
+    if (w.load_global_uniform(active_now_ptr, v) == 0) return;
+    const std::uint32_t dv = w.load_global_uniform(body.dist, v);
+    Lanes<std::uint32_t> dist_of_task{};
+    w.alu([&](int l) {
+      dist_of_task[static_cast<std::size_t>(l)] = dv;
+    });
+    adaptive_team_strip(w, row, v, part, tw,
+                        [&](const Lanes<std::uint32_t>& cursor) {
+                          body(w, cursor, dist_of_task);
+                        });
+  };
 
   // n rounds upper-bounds Bellman-Ford with non-negative weights.
   for (std::uint32_t round = 0; round < n; ++round) {
     changed.fill(0);
     active_next.fill(0);
 
-    const std::uint64_t groups_needed =
-        (static_cast<std::uint64_t>(n) +
-         static_cast<std::uint64_t>(layout.groups()) - 1) /
-        static_cast<std::uint64_t>(layout.groups());
-    const auto dims = device.dims_for_threads(groups_needed * simt::kWarpSize);
-    const std::uint64_t total_groups =
-        dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
+    if (adaptive != nullptr) {
+      adaptive_sweep_with_teams(device, *adaptive,
+                                opts.resident_warps_per_sm, "sssp.relax",
+                                result.stats, relax_vertices, relax_team);
+    } else {
+      const std::uint64_t groups_needed =
+          (static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(layout.groups()) - 1) /
+          static_cast<std::uint64_t>(layout.groups());
+      const auto dims =
+          device.dims_for_threads(groups_needed * simt::kWarpSize);
+      const std::uint64_t total_groups =
+          dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
 
-    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
-      for (std::uint64_t r = 0; r * total_groups < n; ++r) {
-        Lanes<std::uint32_t> task{};
-        const LaneMask valid =
-            vw::assign_static_tasks(w, layout, r, total_groups, n, task);
-        if (valid == 0) continue;
-
-        Lanes<std::uint32_t> is_active{};
-        w.with_mask(valid, [&] {
-          w.load_global(active_now_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, is_active);
-        });
-        const LaneMask on = valid & w.ballot([&](int l) {
-          return is_active[static_cast<std::size_t>(l)] != 0;
-        });
-        if (on == 0) continue;
-
-        Lanes<std::uint32_t> dist_of_task{};
-        w.with_mask(on, [&] {
-          w.load_global(body.dist, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, dist_of_task);
-        });
-
-        Lanes<std::uint32_t> begin{}, end{};
-        vw::load_task_ranges(w, row, task, on, begin, end);
-        vw::simd_strip_loop(w, layout, begin, end, on,
-                            [&](const Lanes<std::uint32_t>& cursor) {
-                              body(w, cursor, dist_of_task);
-                            });
-      }
-    }));
+      result.stats.kernels.add(
+          device.launch(dims.named("sssp.relax"), [&, n](WarpCtx& w) {
+        for (std::uint64_t r = 0; r * total_groups < n; ++r) {
+          Lanes<std::uint32_t> task{};
+          const LaneMask valid =
+              vw::assign_static_tasks(w, layout, r, total_groups, n, task);
+          if (valid == 0) continue;
+          relax_vertices(w, layout, valid, task);
+        }
+      }));
+    }
 
     ++result.stats.iterations;
     const std::uint32_t any = changed.read(0);
@@ -162,7 +201,7 @@ GpuSsspResult sssp_gpu_on(gpu::Device& device, const GpuCsr& g,
 
 GpuSsspResult sssp_gpu(const GpuGraph& g, NodeId source,
                        const KernelOptions& opts) {
-  return sssp_gpu_on(g.device(), g.csr(), source, opts);
+  return sssp_gpu_on(g, source, opts);
 }
 
 GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,

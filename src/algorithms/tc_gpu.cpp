@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "algorithms/adaptive_dispatch.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -64,10 +65,13 @@ void run_merge(WarpCtx& w, simt::DevPtr<const std::uint32_t> adj,
 GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
                                      const KernelOptions& opts) {
   gpu::Device& device = g.device();
+  validate_kernel_options(opts, "triangle_count_gpu");
   if (opts.mapping != Mapping::kThreadMapped &&
-      opts.mapping != Mapping::kWarpCentric) {
+      opts.mapping != Mapping::kWarpCentric &&
+      opts.mapping != Mapping::kAdaptive) {
     throw std::invalid_argument(
-        "triangle_count_gpu: supports thread-mapped and warp-centric");
+        "triangle_count_gpu: supports thread-mapped, warp-centric, and "
+        "adaptive");
   }
   const std::uint32_t n = g.num_nodes();
   GpuTriangleResult result;
@@ -82,9 +86,61 @@ GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
   counts.fill(0);
   auto counts_ptr = counts.ptr();
 
-  if (opts.mapping == Mapping::kThreadMapped) {
+  // Group body shared by the warp-centric launch and every adaptive bin:
+  // strip the vertex's edge list, merge-intersect each forward edge, and
+  // reduce the per-lane triangle counts (integer sums — order-invariant,
+  // so any W or bin split yields identical per-vertex counts).
+  const auto count_body = [&](WarpCtx& w, const vw::Layout& bl,
+                              LaneMask valid,
+                              const Lanes<std::uint32_t>& task) {
+    Lanes<std::uint32_t> begin{}, end{};
+    vw::load_task_ranges(w, row, task, valid, begin, end);
+    Lanes<std::uint64_t> tri{};
+    vw::simd_strip_loop(
+        w, bl, begin, end, valid,
+        [&](const Lanes<std::uint32_t>& cursor) {
+          Lanes<std::uint32_t> u{};
+          w.load_global(adj, [&](int l) {
+            return cursor[static_cast<std::size_t>(l)];
+          }, u);
+          const LaneMask forward = w.ballot([&](int l) {
+            const auto k = static_cast<std::size_t>(l);
+            return u[k] > task[k];
+          });
+          w.with_mask(forward, [&] {
+            MergeState s;
+            s.count = &tri;
+            w.load_global(row, [&](int l) {
+              return u[static_cast<std::size_t>(l)];
+            }, s.j);
+            w.load_global(row, [&](int l) {
+              return u[static_cast<std::size_t>(l)] + 1;
+            }, s.end_j);
+            w.alu([&](int l) {
+              const auto k = static_cast<std::size_t>(l);
+              s.i[k] = cursor[k] + 1;
+              s.end_i[k] = end[k];
+              s.u[k] = u[k];
+            });
+            run_merge(w, adj, s);
+          });
+        });
+    const Lanes<std::uint64_t> sums =
+        vw::group_reduce_add(w, bl, tri, valid);
+    w.with_mask(valid & leader_lane_mask(bl.width), [&] {
+      w.store_global(counts_ptr, [&](int l) {
+        return task[static_cast<std::size_t>(l)];
+      }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
+    });
+  };
+
+  if (opts.mapping == Mapping::kAdaptive) {
+    adaptive_sweep(device, g.adaptive_state(opts), "tc.count",
+                   result.stats, count_body);
+  } else if (opts.mapping == Mapping::kThreadMapped) {
     const auto dims = device.dims_for_threads(n);
-    result.stats.kernels.add(device.launch(dims, [&](WarpCtx& w) {
+    result.stats.kernels.add(device.launch(
+        dims.named("tc.count.thread"), [&](WarpCtx& w) {
       Lanes<std::uint32_t> v{};
       w.alu([&](int l) {
         v[static_cast<std::size_t>(l)] =
@@ -138,7 +194,6 @@ GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
     }));
   } else {
     const vw::Layout layout(opts.virtual_warp_width);
-    const std::uint32_t leader_mask = leader_lane_mask(layout.width);
     const std::uint64_t warps_needed =
         (static_cast<std::uint64_t>(n) +
          static_cast<std::uint64_t>(layout.groups()) - 1) /
@@ -148,53 +203,14 @@ GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
     const std::uint64_t total_groups =
         dims.warp_count() * static_cast<std::uint64_t>(layout.groups());
 
-    result.stats.kernels.add(device.launch(dims, [&, n](WarpCtx& w) {
+    result.stats.kernels.add(device.launch(
+        dims.named("tc.count"), [&, n](WarpCtx& w) {
       for (std::uint64_t round = 0; round * total_groups < n; ++round) {
         Lanes<std::uint32_t> task{};
         const LaneMask valid =
             vw::assign_static_tasks(w, layout, round, total_groups, n, task);
         if (valid == 0) continue;
-        Lanes<std::uint32_t> begin{}, end{};
-        vw::load_task_ranges(w, row, task, valid, begin, end);
-        Lanes<std::uint64_t> tri{};
-        // SIMD phase: W lanes strip over the vertex's edge list; each
-        // active lane runs one edge's merge.
-        vw::simd_strip_loop(
-            w, layout, begin, end, valid,
-            [&](const Lanes<std::uint32_t>& cursor) {
-              Lanes<std::uint32_t> u{};
-              w.load_global(adj, [&](int l) {
-                return cursor[static_cast<std::size_t>(l)];
-              }, u);
-              const LaneMask forward = w.ballot([&](int l) {
-                const auto k = static_cast<std::size_t>(l);
-                return u[k] > task[k];
-              });
-              w.with_mask(forward, [&] {
-                MergeState s;
-                s.count = &tri;
-                w.load_global(row, [&](int l) {
-                  return u[static_cast<std::size_t>(l)];
-                }, s.j);
-                w.load_global(row, [&](int l) {
-                  return u[static_cast<std::size_t>(l)] + 1;
-                }, s.end_j);
-                w.alu([&](int l) {
-                  const auto k = static_cast<std::size_t>(l);
-                  s.i[k] = cursor[k] + 1;
-                  s.end_i[k] = end[k];
-                  s.u[k] = u[k];
-                });
-                run_merge(w, adj, s);
-              });
-            });
-        const Lanes<std::uint64_t> sums =
-            vw::group_reduce_add(w, layout, tri, valid);
-        w.with_mask(valid & leader_mask, [&] {
-          w.store_global(counts_ptr, [&](int l) {
-            return task[static_cast<std::size_t>(l)];
-          }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
-        });
+        count_body(w, layout, valid, task);
       }
     }));
   }

@@ -1,6 +1,7 @@
 #include "graph/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <queue>
 
@@ -34,6 +35,55 @@ DegreeStats degree_stats(const Csr& graph) {
   const auto m = static_cast<double>(graph.num_edges());
   stats.top1pct_edge_share = m > 0 ? top_edges / m : 0.0;
   return stats;
+}
+
+namespace {
+
+/// Counting-sort histogram of degrees; index d holds #vertices of degree d.
+std::vector<std::uint64_t> degree_counts(const Csr& graph) {
+  std::uint32_t max_degree = 0;
+  const std::uint32_t n = graph.num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, graph.degree(v));
+  }
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(max_degree) + 1,
+                                    0);
+  for (NodeId v = 0; v < n; ++v) ++counts[graph.degree(v)];
+  return counts;
+}
+
+std::uint32_t percentile_from_counts(const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t n, double q) {
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the degree of the ceil(q*n)-th smallest vertex (1-based).
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    seen += counts[d];
+    if (seen >= rank) return static_cast<std::uint32_t>(d);
+  }
+  return static_cast<std::uint32_t>(counts.size() - 1);
+}
+
+}  // namespace
+
+std::uint32_t degree_percentile(const Csr& graph, double q) {
+  return percentile_from_counts(degree_counts(graph), graph.num_nodes(), q);
+}
+
+DegreePercentiles degree_percentiles(const Csr& graph) {
+  DegreePercentiles p;
+  const std::uint32_t n = graph.num_nodes();
+  if (n == 0) return p;
+  const auto counts = degree_counts(graph);
+  p.p50 = percentile_from_counts(counts, n, 0.50);
+  p.p90 = percentile_from_counts(counts, n, 0.90);
+  p.p99 = percentile_from_counts(counts, n, 0.99);
+  p.max = static_cast<std::uint32_t>(counts.size() - 1);
+  return p;
 }
 
 std::uint32_t reachable_count(const Csr& graph, NodeId source) {

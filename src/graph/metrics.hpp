@@ -26,6 +26,24 @@ struct DegreeStats {
 
 DegreeStats degree_stats(const Csr& graph);
 
+/// The degree quantiles the adaptive auto-tuner keys its bin boundaries
+/// off (and the columns of the dataset-summary line in bench_t1).
+struct DegreePercentiles {
+  std::uint32_t p50 = 0;
+  std::uint32_t p90 = 0;
+  std::uint32_t p99 = 0;
+  std::uint32_t max = 0;
+};
+
+/// Exact degree percentile: the smallest degree d such that at least
+/// `q * n` of the n vertices have degree <= d (nearest-rank definition,
+/// q in [0, 1]). Runs in O(max_degree) space via a counting sort, so it
+/// is cheap enough to call at GpuGraph-construction time.
+std::uint32_t degree_percentile(const Csr& graph, double q);
+
+/// p50/p90/p99/max in one pass over the degree array.
+DegreePercentiles degree_percentiles(const Csr& graph);
+
 /// Nodes reachable from `source` following out-edges (sequential BFS).
 std::uint32_t reachable_count(const Csr& graph, NodeId source);
 

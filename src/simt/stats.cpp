@@ -66,4 +66,35 @@ std::string KernelStats::summary(const SimConfig& cfg) const {
   return out.str();
 }
 
+void StatsLedger::add(const std::string& label, const KernelStats& stats) {
+  for (auto& [name, agg] : entries_) {
+    if (name == label) {
+      agg.add(stats);
+      return;
+    }
+  }
+  entries_.emplace_back(label, stats);
+}
+
+void StatsLedger::add(const StatsLedger& other) {
+  for (const auto& [name, stats] : other.entries_) add(name, stats);
+}
+
+const KernelStats* StatsLedger::find(const std::string& label) const {
+  for (const auto& [name, stats] : entries_) {
+    if (name == label) return &stats;
+  }
+  return nullptr;
+}
+
+std::string StatsLedger::summary(const SimConfig& cfg) const {
+  std::ostringstream out;
+  for (const auto& [name, stats] : entries_) {
+    out << name << ": " << stats.launches << " launches, "
+        << stats.elapsed_ms(cfg) << " ms, "
+        << stats.counters.simd_utilization() * 100.0 << " % SIMD\n";
+  }
+  return out.str();
+}
+
 }  // namespace maxwarp::simt

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "simt/config.hpp"
 
@@ -79,6 +81,34 @@ struct KernelStats {
 
   /// Multi-line human-readable dump (used by examples).
   std::string summary(const SimConfig& cfg) const;
+};
+
+/// Per-label launch-stat aggregation, insertion-ordered. The adaptive
+/// dispatcher uses one ledger per run to break the total down by degree
+/// bin ("bfs.expand.small", "bfs.expand.outlier", ...); anything that
+/// launches under distinct labels can use it the same way.
+class StatsLedger {
+ public:
+  /// Accumulates `stats` under `label`, creating the entry on first use.
+  void add(const std::string& label, const KernelStats& stats);
+
+  /// Merge another ledger (entry-wise; preserves this ledger's order and
+  /// appends labels it has not seen).
+  void add(const StatsLedger& other);
+
+  bool empty() const { return entries_.empty(); }
+  const std::vector<std::pair<std::string, KernelStats>>& entries() const {
+    return entries_;
+  }
+
+  /// The entry for `label`, or nullptr if that label never launched.
+  const KernelStats* find(const std::string& label) const;
+
+  /// One line per label: launches, modeled ms, SIMD utilization.
+  std::string summary(const SimConfig& cfg) const;
+
+ private:
+  std::vector<std::pair<std::string, KernelStats>> entries_;
 };
 
 }  // namespace maxwarp::simt

@@ -1,0 +1,194 @@
+#include "warp/bin_partition.hpp"
+
+#include <span>
+#include <stdexcept>
+
+#include "simt/lanes.hpp"
+#include "simt/mask.hpp"
+#include "simt/warp_ctx.hpp"
+
+namespace maxwarp::vw {
+
+namespace {
+
+/// Loads the vertex id and degree for each lane's input slot; returns the
+/// in-range mask. Shared verbatim by the count and scatter kernels so both
+/// classify identically.
+simt::LaneMask load_lane_degrees(simt::WarpCtx& w,
+                                 simt::DevPtr<const std::uint32_t> row,
+                                 const simt::DevPtr<const std::uint32_t>* input,
+                                 std::uint32_t n,
+                                 simt::Lanes<std::uint32_t>& vertex,
+                                 simt::Lanes<std::uint32_t>& degree) {
+  simt::Lanes<std::uint32_t> idx{};
+  w.alu([&](int lane) {
+    idx[static_cast<std::size_t>(lane)] =
+        static_cast<std::uint32_t>(w.thread_id(lane));
+  });
+  const simt::LaneMask valid = w.ballot([&](int lane) {
+    return idx[static_cast<std::size_t>(lane)] < n;
+  });
+  if (valid == 0) return 0;
+  w.with_mask(valid, [&] {
+    if (input != nullptr) {
+      w.load_global(*input, [&](int lane) {
+        return idx[static_cast<std::size_t>(lane)];
+      }, vertex);
+    } else {
+      w.alu([&](int lane) {
+        vertex[static_cast<std::size_t>(lane)] =
+            idx[static_cast<std::size_t>(lane)];
+      });
+    }
+    simt::Lanes<std::uint32_t> begin{}, end{};
+    w.load_global(row, [&](int lane) {
+      return vertex[static_cast<std::size_t>(lane)];
+    }, begin);
+    w.load_global(row, [&](int lane) {
+      return vertex[static_cast<std::size_t>(lane)] + 1;
+    }, end);
+    w.alu([&](int lane) {
+      const auto k = static_cast<std::size_t>(lane);
+      degree[k] = end[k] - begin[k];
+    });
+  });
+  return valid;
+}
+
+}  // namespace
+
+BinPartitioner::BinPartitioner(gpu::Device& device, std::uint32_t capacity,
+                               std::vector<std::uint32_t> upper_bounds,
+                               std::string label)
+    : device_(&device),
+      bounds_(std::move(upper_bounds)),
+      label_(std::move(label)),
+      entries_(device, capacity),
+      cursor_(device, bounds_.empty() ? 1 : bounds_.size()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("BinPartitioner: no bins");
+  }
+  for (std::size_t b = 1; b < bounds_.size(); ++b) {
+    if (bounds_[b] <= bounds_[b - 1]) {
+      throw std::invalid_argument(
+          "BinPartitioner: bin bounds must be strictly ascending");
+    }
+  }
+  if (bounds_.back() != 0xffffffffu) {
+    throw std::invalid_argument(
+        "BinPartitioner: last bin bound must be 0xffffffff");
+  }
+}
+
+BinPartition BinPartitioner::partition_range(
+    simt::DevPtr<const std::uint32_t> row, std::uint32_t n) {
+  return run(row, nullptr, n);
+}
+
+BinPartition BinPartitioner::partition_list(
+    simt::DevPtr<const std::uint32_t> row,
+    simt::DevPtr<const std::uint32_t> input, std::uint32_t count) {
+  return run(row, &input, count);
+}
+
+BinPartition BinPartitioner::run(simt::DevPtr<const std::uint32_t> row,
+                                 const simt::DevPtr<const std::uint32_t>* input,
+                                 std::uint32_t n) {
+  using simt::LaneMask;
+  using simt::Lanes;
+  using simt::WarpCtx;
+
+  BinPartition part;
+  part.offset.assign(bounds_.size() + 1, 0);
+  part.stats.launches = 0;
+  if (n == 0) return part;
+  if (n > entries_.size()) {
+    throw std::invalid_argument(
+        "BinPartitioner: input larger than configured capacity");
+  }
+
+  const std::size_t num_bins = bounds_.size();
+  cursor_.fill(0);
+  const auto dims = device_->dims_for_threads(n);
+
+  // Per-lane bin classification against the (warp-uniform) bounds: one
+  // compare per bin, and one ballot per bin to form its lane mask.
+  const auto bin_mask = [&](WarpCtx& w, const Lanes<std::uint32_t>& degree,
+                            LaneMask valid, std::size_t b) {
+    const std::uint32_t lo = b == 0 ? 0u : bounds_[b - 1] + 1u;
+    const std::uint32_t hi = bounds_[b];
+    return valid & w.ballot([&](int lane) {
+      const std::uint32_t d = degree[static_cast<std::size_t>(lane)];
+      return d >= lo && d <= hi;
+    });
+  };
+
+  part.stats.add(device_->launch(
+      dims.named(label_ + ".count"), [&](WarpCtx& w) {
+        Lanes<std::uint32_t> vertex{}, degree{};
+        const LaneMask valid =
+            load_lane_degrees(w, row, input, n, vertex, degree);
+        if (valid == 0) return;
+        for (std::size_t b = 0; b < num_bins; ++b) {
+          const LaneMask in_bin = bin_mask(w, degree, valid, b);
+          if (in_bin == 0) continue;
+          w.with_mask(in_bin, [&] {
+            // Aggregate: one scan + one leader atomic per bin per warp.
+            Lanes<std::uint32_t> ones = simt::make_lanes<std::uint32_t>(1);
+            std::uint32_t total = 0;
+            w.exclusive_scan_add(ones, total);
+            const int leader = simt::first_lane(w.active());
+            w.with_mask(simt::lane_bit(leader), [&] {
+              w.atomic_add(cursor_.ptr(),
+                           [&](int) { return static_cast<std::uint64_t>(b); },
+                           [&](int) { return total; });
+            });
+          });
+        }
+      }));
+
+  // Host exclusive prefix sum over the <= 8 counts, re-uploaded as the
+  // scatter cursors (each bin's running write position).
+  const std::vector<std::uint32_t> counts = cursor_.download();
+  for (std::size_t b = 0; b < num_bins; ++b) {
+    part.offset[b + 1] = part.offset[b] + counts[b];
+  }
+  cursor_.upload(std::span<const std::uint32_t>(part.offset.data(), num_bins));
+
+  part.stats.add(device_->launch(
+      dims.named(label_ + ".scatter"), [&](WarpCtx& w) {
+        Lanes<std::uint32_t> vertex{}, degree{};
+        const LaneMask valid =
+            load_lane_degrees(w, row, input, n, vertex, degree);
+        if (valid == 0) return;
+        for (std::size_t b = 0; b < num_bins; ++b) {
+          const LaneMask in_bin = bin_mask(w, degree, valid, b);
+          if (in_bin == 0) continue;
+          w.with_mask(in_bin, [&] {
+            // Aggregated push into the bin's segment: slot by scan, one
+            // leader atomic for the base, coalesced scatter of the ids.
+            Lanes<std::uint32_t> ones = simt::make_lanes<std::uint32_t>(1);
+            std::uint32_t total = 0;
+            const Lanes<std::uint32_t> slot = w.exclusive_scan_add(ones, total);
+            Lanes<std::uint32_t> base = simt::make_lanes<std::uint32_t>(0);
+            const int leader = simt::first_lane(w.active());
+            w.with_mask(simt::lane_bit(leader), [&] {
+              base = w.atomic_add(
+                  cursor_.ptr(),
+                  [&](int) { return static_cast<std::uint64_t>(b); },
+                  [&](int) { return total; });
+            });
+            const std::uint32_t start = w.broadcast(base, leader);
+            w.store_global(entries_.ptr(), [&](int lane) {
+              return start + slot[static_cast<std::size_t>(lane)];
+            }, [&](int lane) {
+              return vertex[static_cast<std::size_t>(lane)];
+            });
+          });
+        }
+      }));
+
+  return part;
+}
+
+}  // namespace maxwarp::vw

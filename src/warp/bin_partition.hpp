@@ -1,0 +1,80 @@
+// Degree-bin partitioner for adaptive dispatch.
+//
+// Splits a vertex set (the whole graph, or an explicit frontier list) into
+// degree bins with two kernels and a host prefix sum:
+//
+//   count    — every warp classifies its 32 vertices against the inclusive
+//              per-bin degree bounds and bumps each bin's counter with one
+//              warp-aggregated atomic (exclusive scan + leader atomicAdd);
+//   (host)   — exclusive prefix sum over the <= 8 bin counts yields the
+//              per-bin segment offsets, uploaded back as scatter cursors;
+//   scatter  — the same classification again, but now each warp appends
+//              its vertices to their bin segments with the aggregated-push
+//              idiom (scan for slots, one atomic per bin per warp, then a
+//              coalesced store).
+//
+// Both kernels visit warps — and lanes within a warp — in ascending order,
+// so each bin segment lists its vertices in ascending input order: the
+// partition is deterministic and independent of any tuning knob.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+#include "simt/stats.hpp"
+
+namespace maxwarp::vw {
+
+/// Result of one partition pass. Bin b owns entries
+/// [offset[b], offset[b+1]) of the partitioner's entries buffer.
+struct BinPartition {
+  std::vector<std::uint32_t> offset;  ///< size bins()+1, exclusive prefix
+  simt::KernelStats stats;            ///< count + scatter kernel cost
+
+  std::uint32_t count(std::size_t b) const {
+    return offset[b + 1] - offset[b];
+  }
+  std::uint32_t total() const { return offset.empty() ? 0 : offset.back(); }
+};
+
+class BinPartitioner {
+ public:
+  /// `upper_bounds` are the inclusive per-bin degree bounds, ascending,
+  /// with the last entry 0xffffffff (every degree lands somewhere).
+  /// `capacity` bounds the vertex count of any later partition call;
+  /// `label` prefixes the kernel names ("<label>.count" / ".scatter").
+  BinPartitioner(gpu::Device& device, std::uint32_t capacity,
+                 std::vector<std::uint32_t> upper_bounds, std::string label);
+
+  std::size_t bins() const { return bounds_.size(); }
+
+  /// Partitions vertices 0..n-1 by out-degree row[v+1] - row[v].
+  BinPartition partition_range(simt::DevPtr<const std::uint32_t> row,
+                               std::uint32_t n);
+
+  /// Partitions an explicit vertex list (a queue frontier) the same way.
+  BinPartition partition_list(simt::DevPtr<const std::uint32_t> row,
+                              simt::DevPtr<const std::uint32_t> input,
+                              std::uint32_t count);
+
+  /// The bin-grouped vertex ids written by the last partition call.
+  simt::DevPtr<const std::uint32_t> entries() const {
+    return entries_.cptr();
+  }
+
+ private:
+  BinPartition run(simt::DevPtr<const std::uint32_t> row,
+                   const simt::DevPtr<const std::uint32_t>* input,
+                   std::uint32_t n);
+
+  gpu::Device* device_;
+  std::vector<std::uint32_t> bounds_;
+  std::string label_;
+  gpu::DeviceBuffer<std::uint32_t> entries_;
+  gpu::DeviceBuffer<std::uint32_t> cursor_;  ///< per-bin counter/cursor cells
+};
+
+}  // namespace maxwarp::vw

@@ -164,6 +164,45 @@ void simd_strip_loop(simt::WarpCtx& w, const Layout& layout,
   });
 }
 
+/// Strip-mined per-group accumulation with a *width-invariant* result:
+/// runs the strip loop and, per strip, folds each active lane's
+/// contribution into its group leader's accumulator slot in ascending
+/// lane order — which is ascending edge order within the group, so the
+/// final per-task sum is the strict sequential fold over the task's
+/// [begin, end) range for ANY W (and any mapping built from these
+/// layouts). This is what makes floating-point kernels (PageRank, SpMV,
+/// BC) bit-identical across virtual warp widths and under adaptive
+/// dispatch.
+///
+/// `prepare(cursor)` issues the strip's loads; `value(lane)` computes the
+/// lane's contribution from them inside the single fold instruction.
+/// Charges one ALU op per strip (the fold) plus the same log2(W) tail as
+/// group_reduce, matching the cost of the partial-accumulator + tree
+/// pattern it replaces. Leader lanes hold the totals; other slots are 0.
+template <typename T, typename PrepareF, typename ValueF>
+simt::Lanes<T> simd_strip_accumulate(simt::WarpCtx& w, const Layout& layout,
+                                     const simt::Lanes<std::uint32_t>& begin,
+                                     const simt::Lanes<std::uint32_t>& end,
+                                     simt::LaneMask valid, PrepareF&& prepare,
+                                     ValueF&& value) {
+  simt::Lanes<T> acc{};
+  simd_strip_loop(w, layout, begin, end, valid,
+                  [&](const simt::Lanes<std::uint32_t>& cursor) {
+                    prepare(cursor);
+                    w.alu([&](int lane) {
+                      const int leader =
+                          layout.leader_lane(layout.group_of(lane));
+                      acc[static_cast<std::size_t>(leader)] += value(lane);
+                    });
+                  });
+  // Same shuffle-tree charge as group_reduce: the replaced pattern paid
+  // log2(W) combine steps after the strips; so does this one.
+  int steps = 0;
+  for (int span = 1; span < layout.width; span *= 2) ++steps;
+  w.alu_n(steps == 0 ? 1 : steps, [](int) {});
+  return acc;
+}
+
 /// Per-group tree reduction with an arbitrary associative op: combines
 /// each group's lanes of `values` into the group's leader lane (other
 /// lanes keep partial garbage, as after a real shfl-down tree). Charges

@@ -1,0 +1,350 @@
+// Mapping::kAdaptive end-to-end coverage: bit-identical results vs the
+// static warp-centric mapping across every GPU algorithm and both degree
+// profiles (skewed rmat, flat uniform_degree), the auto-tuned plan's
+// structural invariants, the forced-outlier team path, the per-run bins
+// ledger, and a simtsan-clean sweep.
+//
+// Determinism contract under test (see adaptive_dispatch.hpp): bins
+// partition the vertex set, each vertex is swept by exactly one (bin, W)
+// group, integer phases commute and float phases fold in sequential edge
+// order — so kAdaptive must EQUAL static results bit-for-bit, not merely
+// approximate them.
+#include "algorithms/adaptive_dispatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algorithms/bc_gpu.hpp"
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/coloring_gpu.hpp"
+#include "algorithms/kcore_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/query_engine.hpp"
+#include "algorithms/spmv_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "algorithms/tc_gpu.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "simt/sanitizer.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using graph::Csr;
+using graph::NodeId;
+
+Csr skewed_graph() {
+  return graph::rmat(512, 4096, {}, {.seed = 7, .undirected = true});
+}
+
+Csr flat_graph() {
+  return graph::uniform_degree(512, 8, {.seed = 7, .undirected = true});
+}
+
+KernelOptions adaptive_opts() {
+  KernelOptions opts;
+  opts.mapping = Mapping::kAdaptive;
+  return opts;
+}
+
+KernelOptions static_opts() {
+  KernelOptions opts;
+  opts.mapping = Mapping::kWarpCentric;
+  return opts;
+}
+
+/// Runs `algo(graph, opts)` under both mappings on a fresh device each and
+/// expects bit-identical results.
+template <typename RunF>
+void expect_bit_identical(const Csr& g, RunF&& run) {
+  gpu::Device dev_static;
+  gpu::Device dev_adaptive;
+  const auto expected = run(GpuGraph(dev_static, g), static_opts());
+  const auto actual = run(GpuGraph(dev_adaptive, g), adaptive_opts());
+  EXPECT_EQ(expected, actual);
+}
+
+class AdaptiveBitIdentity : public ::testing::TestWithParam<bool> {
+ protected:
+  Csr make_graph() const {
+    return GetParam() ? skewed_graph() : flat_graph();
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Profiles, AdaptiveBitIdentity,
+                         ::testing::Values(true, false),
+                         [](const auto& param_info) {
+                           return param_info.param ? "rmat" : "uniform";
+                         });
+
+TEST_P(AdaptiveBitIdentity, BfsLevelArray) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    return bfs_gpu(g, 0, opts).level;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, BfsQueueFrontier) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    KernelOptions o = opts;
+    o.frontier = Frontier::kQueue;
+    return bfs_gpu(g, 0, o).level;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, Sssp) {
+  Csr g = make_graph();
+  graph::assign_hash_weights(g, 16);
+  expect_bit_identical(g, [](const GpuGraph& gg, const KernelOptions& opts) {
+    return sssp_gpu(gg, 0, opts).dist;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, PageRank) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    return pagerank_gpu(g, {}, opts).rank;  // floats: bitwise equality
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, ConnectedComponents) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    return connected_components_gpu(g, opts).label;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, Spmv) {
+  Csr g = make_graph();
+  graph::assign_hash_weights(g, 16);
+  std::vector<float> x(g.num_nodes());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 1.0f / static_cast<float>(i + 1);
+  }
+  expect_bit_identical(g, [&](const GpuGraph& gg, const KernelOptions& opts) {
+    return spmv_gpu(gg, x, opts).y;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, Betweenness) {
+  const std::vector<NodeId> sources{0, 1, 2, 3};
+  expect_bit_identical(make_graph(), [&](const GpuGraph& g,
+                                         const KernelOptions& opts) {
+    return betweenness_gpu(g, sources, opts).centrality;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, TriangleCount) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    return triangle_count_gpu(g, opts).per_vertex;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, Coloring) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    return color_graph_gpu(g, opts).color;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, KCore) {
+  expect_bit_identical(make_graph(), [](const GpuGraph& g,
+                                        const KernelOptions& opts) {
+    return k_core_gpu(g, 3, opts).in_core;
+  });
+}
+
+TEST_P(AdaptiveBitIdentity, MultiSourceBfs) {
+  const std::vector<NodeId> sources{0, 3, 9, 27};
+  expect_bit_identical(make_graph(), [&](const GpuGraph& g,
+                                         const KernelOptions& opts) {
+    return bfs_gpu_multi_source(g, sources, opts).level;
+  });
+}
+
+// ---- forced-outlier team drain -------------------------------------------
+
+TEST(AdaptiveTeams, ForcedOutlierBinMatchesStatic) {
+  // star(400): hub degree 399 vs leaf degree 1. Forcing the outlier bound
+  // down to 64 puts the hub in a team bin (warps_per_deferred_task warps
+  // cooperate per hub) for the order-safe integer algorithms.
+  const Csr g = graph::star(400);
+  KernelOptions opts = adaptive_opts();
+  opts.adaptive.outlier_degree = 64;
+  opts.warps_per_deferred_task = 4;
+
+  gpu::Device dev;
+  const GpuGraph gg(dev, g);
+  const AdaptivePlan& plan = gg.adaptive_state(opts).plan;
+  ASSERT_GE(plan.bins.size(), 2u);
+  EXPECT_EQ(plan.bins.back().team_warps, 4u);
+
+  gpu::Device dev_static;
+  EXPECT_EQ(bfs_gpu(GpuGraph(dev_static, g), 0, static_opts()).level,
+            bfs_gpu(gg, 0, opts).level);
+
+  gpu::Device dev_s2;
+  gpu::Device dev_a2;
+  EXPECT_EQ(
+      connected_components_gpu(GpuGraph(dev_s2, g), static_opts()).label,
+      connected_components_gpu(GpuGraph(dev_a2, g), opts).label);
+}
+
+// ---- bins ledger ----------------------------------------------------------
+
+TEST(AdaptiveLedger, FusedSweepLogsBinnedLabel) {
+  gpu::Device dev;
+  const auto r = pagerank_gpu(GpuGraph(dev, skewed_graph()), {},
+                              adaptive_opts());
+  const auto* entry = r.stats.bins.find("pagerank.gather.binned");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GT(entry->launches, 0u);
+  // The fused sweep is the only gather kernel: its launches match the
+  // iteration count.
+  EXPECT_EQ(entry->launches, static_cast<std::uint64_t>(r.stats.iterations));
+}
+
+TEST(AdaptiveLedger, SetupChargedToStateNotRuns) {
+  gpu::Device dev;
+  const GpuGraph gg(dev, skewed_graph());
+  const KernelOptions opts = adaptive_opts();
+  const AdaptiveState& st = gg.adaptive_state(opts);
+  // Partition kernels (and calibration probes when enabled) land in the
+  // cached state's setup ledger.
+  EXPECT_NE(st.setup.find("adaptive.partition"), nullptr);
+  EXPECT_TRUE(st.plan.calibrated);
+  // A second run reuses the cached state: same object, no re-partition.
+  EXPECT_EQ(&st, &gg.adaptive_state(opts));
+}
+
+// ---- plan structure -------------------------------------------------------
+
+TEST(AdaptivePlanTuning, FlatProfileCollapsesToIdentityBin) {
+  const Csr g = flat_graph();
+  const simt::SimConfig cfg;
+  const KernelOptions opts = adaptive_opts();
+  const AdaptivePlan plan = tune_adaptive_plan(g, cfg, opts);
+  ASSERT_EQ(plan.bins.size(), 1u);
+  EXPECT_EQ(plan.bins[0].max_degree, 0xffffffffu);
+
+  gpu::Device dev;
+  const GpuGraph gg(dev, g);
+  EXPECT_TRUE(gg.adaptive_state(opts).identity_entries);
+}
+
+TEST(AdaptivePlanTuning, MergeToleranceCollapsesMarginalSplits) {
+  // grid2d degrees are 2..4 — the model wants a narrow/wide split whose
+  // benefit is marginal; the default tolerance merges it away, tolerance
+  // zero keeps every split the width model asks for.
+  const Csr g = graph::grid2d(64, 64);
+  const simt::SimConfig cfg;
+  KernelOptions opts = adaptive_opts();
+  const AdaptivePlan merged = tune_adaptive_plan(g, cfg, opts);
+  EXPECT_EQ(merged.bins.size(), 1u);
+
+  opts.adaptive.bin_merge_tolerance = 0.0;
+  const AdaptivePlan split = tune_adaptive_plan(g, cfg, opts);
+  EXPECT_GE(split.bins.size(), 2u);
+}
+
+TEST(AdaptivePlanTuning, SkewedProfileKeepsSplitsAndMonotoneWidths) {
+  const simt::SimConfig cfg;
+  const AdaptivePlan plan =
+      tune_adaptive_plan(graph::star(1000), cfg, adaptive_opts());
+  ASSERT_GE(plan.bins.size(), 2u);
+  EXPECT_EQ(plan.bins.back().max_degree, 0xffffffffu);
+  for (std::size_t b = 0; b + 1 < plan.bins.size(); ++b) {
+    EXPECT_LT(plan.bins[b].max_degree, plan.bins[b + 1].max_degree);
+    EXPECT_LE(plan.bins[b].width, plan.bins[b + 1].width);
+  }
+  // bin_of is consistent with the bounds.
+  for (std::uint32_t d : {0u, 1u, 2u, 999u}) {
+    const std::size_t b = plan.bin_of(d);
+    EXPECT_LE(d, plan.bins[b].max_degree);
+    if (b > 0) {
+      EXPECT_GT(d, plan.bins[b - 1].max_degree);
+    }
+  }
+}
+
+// ---- simtsan sweep --------------------------------------------------------
+
+TEST(AdaptiveSanitizer, AllAlgorithmsRunClean) {
+  simt::SimConfig cfg;
+  cfg.sanitize = true;
+  Csr weighted = skewed_graph();
+  graph::assign_hash_weights(weighted, 16);
+  const std::vector<NodeId> sources{0, 1, 2, 3};
+  std::vector<float> x(weighted.num_nodes(), 0.5f);
+
+  const std::vector<std::function<void(const GpuGraph&)>> runs{
+      [](const GpuGraph& g) { (void)bfs_gpu(g, 0, adaptive_opts()); },
+      [](const GpuGraph& g) {
+        KernelOptions o = adaptive_opts();
+        o.frontier = Frontier::kQueue;
+        (void)bfs_gpu(g, 0, o);
+      },
+      [](const GpuGraph& g) { (void)sssp_gpu(g, 0, adaptive_opts()); },
+      [](const GpuGraph& g) { (void)pagerank_gpu(g, {}, adaptive_opts()); },
+      [](const GpuGraph& g) {
+        (void)connected_components_gpu(g, adaptive_opts());
+      },
+      [&](const GpuGraph& g) { (void)spmv_gpu(g, x, adaptive_opts()); },
+      [&](const GpuGraph& g) {
+        (void)betweenness_gpu(g, sources, adaptive_opts());
+      },
+      [](const GpuGraph& g) { (void)triangle_count_gpu(g, adaptive_opts()); },
+      [](const GpuGraph& g) { (void)color_graph_gpu(g, adaptive_opts()); },
+      [](const GpuGraph& g) { (void)k_core_gpu(g, 3, adaptive_opts()); },
+      [&](const GpuGraph& g) {
+        (void)bfs_gpu_multi_source(g, sources, adaptive_opts());
+      },
+  };
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    gpu::Device dev(cfg);
+    runs[i](GpuGraph(dev, weighted));
+    ASSERT_NE(dev.sanitizer(), nullptr);
+    const auto& rep = dev.sanitizer()->report();
+    EXPECT_TRUE(rep.clean()) << "run " << i << ":\n" << rep.text();
+    EXPECT_GT(rep.checked_accesses, 0u);
+  }
+}
+
+// ---- option validation ----------------------------------------------------
+
+TEST(AdaptiveValidation, EntryPointsRejectBadOptions) {
+  const Csr g = graph::chain(8);
+  gpu::Device dev;
+  const GpuGraph gg(dev, g);
+
+  KernelOptions bad_width = adaptive_opts();
+  bad_width.adaptive.min_width = 5;
+  EXPECT_THROW((void)bfs_gpu(gg, 0, bad_width), std::invalid_argument);
+
+  KernelOptions bad_bins = adaptive_opts();
+  bad_bins.adaptive.max_bins = 0;
+  EXPECT_THROW((void)pagerank_gpu(gg, {}, bad_bins), std::invalid_argument);
+
+  KernelOptions bad_tolerance = adaptive_opts();
+  bad_tolerance.adaptive.bin_merge_tolerance = -0.5;
+  EXPECT_THROW((void)connected_components_gpu(gg, bad_tolerance),
+               std::invalid_argument);
+
+  // The thrown message names the entry point.
+  try {
+    (void)bfs_gpu(gg, 0, bad_width);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bfs_gpu"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,131 @@
+// BinPartitioner unit tests: degree classification against inclusive
+// bounds, deterministic ascending order within each bin segment, the
+// explicit-list (frontier) path, and the two-kernel launch accounting.
+#include "warp/bin_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+
+namespace maxwarp::vw {
+namespace {
+
+/// Builds a CSR row-offset array from explicit out-degrees.
+std::vector<std::uint32_t> row_from_degrees(
+    const std::vector<std::uint32_t>& degrees) {
+  std::vector<std::uint32_t> row(degrees.size() + 1, 0);
+  std::partial_sum(degrees.begin(), degrees.end(), row.begin() + 1);
+  return row;
+}
+
+/// Reads bin b's segment of the partitioner's entries buffer.
+std::vector<std::uint32_t> bin_entries(const BinPartitioner& p,
+                                       const BinPartition& part,
+                                       std::size_t b) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = part.offset[b]; i < part.offset[b + 1]; ++i) {
+    out.push_back(p.entries().host[i]);
+  }
+  return out;
+}
+
+TEST(BinPartition, RangeGroupsByDegreeInAscendingOrder) {
+  const std::vector<std::uint32_t> degrees{0, 1, 2, 5, 3, 1, 4, 0, 2, 6};
+  const auto row = row_from_degrees(degrees);
+
+  gpu::Device dev;
+  const gpu::DeviceBuffer<std::uint32_t> row_buf(dev, row);
+  // Bounds {1, 3, inf}: bin0 holds d <= 1, bin1 2..3, bin2 the rest.
+  BinPartitioner part(dev, 10, {1, 3, 0xffffffffu}, "test");
+  ASSERT_EQ(part.bins(), 3u);
+
+  const BinPartition p = part.partition_range(row_buf.cptr(), 10);
+  ASSERT_EQ(p.offset.size(), 4u);
+  EXPECT_EQ(p.offset.front(), 0u);
+  EXPECT_EQ(p.total(), 10u);
+  EXPECT_EQ(p.count(0), 4u);
+  EXPECT_EQ(p.count(1), 3u);
+  EXPECT_EQ(p.count(2), 3u);
+  EXPECT_EQ(bin_entries(part, p, 0),
+            (std::vector<std::uint32_t>{0, 1, 5, 7}));
+  EXPECT_EQ(bin_entries(part, p, 1), (std::vector<std::uint32_t>{2, 4, 8}));
+  EXPECT_EQ(bin_entries(part, p, 2), (std::vector<std::uint32_t>{3, 6, 9}));
+}
+
+TEST(BinPartition, ListKeepsInputOrderWithinBins) {
+  const auto row = row_from_degrees({0, 1, 2, 5, 3, 1, 4, 0, 2, 6});
+
+  gpu::Device dev;
+  const gpu::DeviceBuffer<std::uint32_t> row_buf(dev, row);
+  // A frontier visits vertices in its own order; each bin segment must
+  // preserve that order (position in the input list, not vertex id).
+  const std::vector<std::uint32_t> frontier{3, 5, 0, 9, 2};
+  const gpu::DeviceBuffer<std::uint32_t> frontier_buf(dev, frontier);
+  BinPartitioner part(dev, 10, {1, 3, 0xffffffffu}, "test");
+
+  const BinPartition p =
+      part.partition_list(row_buf.cptr(), frontier_buf.cptr(), 5);
+  EXPECT_EQ(p.total(), 5u);
+  EXPECT_EQ(bin_entries(part, p, 0), (std::vector<std::uint32_t>{5, 0}));
+  EXPECT_EQ(bin_entries(part, p, 1), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(bin_entries(part, p, 2), (std::vector<std::uint32_t>{3, 9}));
+}
+
+TEST(BinPartition, ManyWarpsStaysDeterministic) {
+  // 1000 vertices spanning many warps and blocks: degree i % 5 cycles
+  // through the bins, exercising the warp-aggregated atomics.
+  std::vector<std::uint32_t> degrees(1000);
+  for (std::uint32_t i = 0; i < degrees.size(); ++i) degrees[i] = i % 5;
+  const auto row = row_from_degrees(degrees);
+
+  gpu::Device dev;
+  const gpu::DeviceBuffer<std::uint32_t> row_buf(dev, row);
+  BinPartitioner part(dev, 1000, {1, 3, 0xffffffffu}, "test");
+  const BinPartition p = part.partition_range(row_buf.cptr(), 1000);
+
+  EXPECT_EQ(p.count(0), 400u);  // d in {0, 1}
+  EXPECT_EQ(p.count(1), 400u);  // d in {2, 3}
+  EXPECT_EQ(p.count(2), 200u);  // d == 4
+  EXPECT_EQ(p.total(), 1000u);
+  for (std::size_t b = 0; b < part.bins(); ++b) {
+    const auto ids = bin_entries(part, p, b);
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      ASSERT_LT(ids[i], ids[i + 1]) << "bin " << b << " not ascending";
+    }
+    for (const std::uint32_t v : ids) {
+      const std::uint32_t d = degrees[v];
+      if (b == 0) EXPECT_LE(d, 1u);
+      if (b == 1) EXPECT_TRUE(d >= 2 && d <= 3) << d;
+      if (b == 2) EXPECT_EQ(d, 4u);
+    }
+  }
+}
+
+TEST(BinPartition, StatsCoverCountAndScatterKernels) {
+  const auto row = row_from_degrees({2, 2, 2, 2});
+  gpu::Device dev;
+  const gpu::DeviceBuffer<std::uint32_t> row_buf(dev, row);
+  BinPartitioner part(dev, 4, {1, 0xffffffffu}, "test");
+  const BinPartition p = part.partition_range(row_buf.cptr(), 4);
+  EXPECT_EQ(p.stats.launches, 2u);  // one count pass + one scatter pass
+  EXPECT_GT(p.stats.elapsed_cycles, 0u);
+}
+
+TEST(BinPartition, EmptyRangeYieldsEmptyBins) {
+  const std::vector<std::uint32_t> row{0};
+  gpu::Device dev;
+  const gpu::DeviceBuffer<std::uint32_t> row_buf(dev, row);
+  BinPartitioner part(dev, 1, {1, 0xffffffffu}, "test");
+  const BinPartition p = part.partition_range(row_buf.cptr(), 0);
+  EXPECT_EQ(p.total(), 0u);
+  EXPECT_EQ(p.count(0), 0u);
+  EXPECT_EQ(p.count(1), 0u);
+}
+
+}  // namespace
+}  // namespace maxwarp::vw

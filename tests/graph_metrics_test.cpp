@@ -45,6 +45,43 @@ TEST(DegreeStats, RmatMoreSkewedThanRandom) {
   EXPECT_GT(skew.top1pct_edge_share, flat.top1pct_edge_share);
 }
 
+TEST(DegreePercentiles, RegularGraphIsFlat) {
+  const auto p = degree_percentiles(uniform_degree(500, 6, {.seed = 1}));
+  EXPECT_EQ(p.p50, 6u);
+  EXPECT_EQ(p.p90, 6u);
+  EXPECT_EQ(p.p99, 6u);
+  EXPECT_EQ(p.max, 6u);
+}
+
+TEST(DegreePercentiles, StarSeparatesHubFromLeaves) {
+  const auto p = degree_percentiles(star(101));
+  EXPECT_EQ(p.p50, 1u);  // the 100 leaves dominate every low quantile
+  EXPECT_EQ(p.p90, 1u);
+  EXPECT_EQ(p.max, 100u);
+}
+
+TEST(DegreePercentiles, QuantilesAreMonotone) {
+  const auto p = degree_percentiles(rmat(2048, 16384, {}, {.seed = 2}));
+  EXPECT_LE(p.p50, p.p90);
+  EXPECT_LE(p.p90, p.p99);
+  EXPECT_LE(p.p99, p.max);
+  EXPECT_LT(p.p50, p.max);  // RMAT is skewed: hubs far above the median
+}
+
+TEST(DegreePercentiles, SingleQuantileMatchesBatch) {
+  const Csr g = rmat(1024, 8192, {}, {.seed = 3});
+  const auto p = degree_percentiles(g);
+  EXPECT_EQ(degree_percentile(g, 0.50), p.p50);
+  EXPECT_EQ(degree_percentile(g, 0.90), p.p90);
+  EXPECT_EQ(degree_percentile(g, 0.99), p.p99);
+}
+
+TEST(DegreePercentiles, EmptyGraphIsZero) {
+  const auto p = degree_percentiles(empty_graph(0));
+  EXPECT_EQ(p.p50, 0u);
+  EXPECT_EQ(p.max, 0u);
+}
+
 TEST(Reachable, ChainFullyReachable) {
   EXPECT_EQ(reachable_count(chain(10), 0), 10u);
   EXPECT_EQ(reachable_count(chain(10), 5), 10u);

@@ -1,0 +1,407 @@
+// minibench: a self-contained, header-only subset of the Google Benchmark
+// API, just large enough for this repo's bench/ binaries.
+//
+// Why it exists: the only prebuilt libbenchmark available in the build
+// image is a Debug flavour, which stamps `"library_build_type": "debug"`
+// into every --benchmark_out JSON and makes the committed artifacts look
+// like debug-build timings. Building this shim in-tree means the harness
+// inherits the project's own build type (Release by default), so the JSON
+// context reflects reality. The timings it reports are wall times of the
+// *simulator* — the figures of record are the modeled-ms counters the
+// benches attach — so a faithful reimplementation of Google Benchmark's
+// statistical machinery is intentionally out of scope.
+//
+// Supported surface (everything bench/*.cpp uses):
+//   State (range / counters / SetItemsProcessed / items_processed),
+//   RegisterBenchmark(name, fn, bound_args...), BENCHMARK(fn),
+//   Benchmark::Arg/Args/Iterations/Unit, kMillisecond et al.,
+//   Initialize (--benchmark_min_time/out/out_format/filter),
+//   RunSpecifiedBenchmarks, Shutdown, AddCustomContext, DoNotOptimize.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+namespace internal {
+
+inline double unit_multiplier(TimeUnit u) {
+  switch (u) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+inline const char* unit_name(TimeUnit u) {
+  switch (u) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+struct Flags {
+  double min_time = 0.5;  // seconds, Google Benchmark's default
+  std::string out_path;
+  std::string out_format = "json";
+  std::string filter;
+};
+
+inline Flags& flags() {
+  static Flags f;
+  return f;
+}
+
+inline std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> ctx;
+  return ctx;
+}
+
+}  // namespace internal
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::int64_t max_iterations)
+      : args_(std::move(args)), max_iterations_(max_iterations) {}
+
+  /// Range-for protocol: timing starts at begin() and stops when the
+  /// iterator count runs out (the != comparison that ends the loop).
+  /// Loop variable type: the non-trivial destructor keeps `for (auto _ :
+  /// state)` clear of -Wunused-variable.
+  struct Value {
+    ~Value() {}
+  };
+  struct iterator {
+    State* state;
+    std::int64_t remaining;
+    bool operator!=(const iterator&) {
+      if (remaining > 0) return true;
+      state->stop_timer();
+      return false;
+    }
+    void operator++() { --remaining; }
+    Value operator*() const { return Value{}; }
+  };
+
+  iterator begin() {
+    start_timer();
+    return iterator{this, max_iterations_};
+  }
+  iterator end() { return iterator{this, 0}; }
+
+  std::int64_t range(std::size_t i = 0) const {
+    return i < args_.size() ? args_[i] : 0;
+  }
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  std::int64_t items_processed() const { return items_processed_; }
+  std::int64_t iterations() const { return max_iterations_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+  /// User counters: the benches only assign doubles, so a plain map is a
+  /// faithful stand-in for benchmark::UserCounters.
+  std::map<std::string, double> counters;
+
+ private:
+  void start_timer() { start_ = std::chrono::steady_clock::now(); }
+  void stop_timer() {
+    elapsed_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+  }
+
+  std::vector<std::int64_t> args_;
+  std::int64_t max_iterations_ = 1;
+  std::int64_t items_processed_ = 0;
+  double elapsed_seconds_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+class Benchmark {
+ public:
+  Benchmark(std::string name, std::function<void(State&)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Benchmark* Arg(std::int64_t a) {
+    arg_sets_.push_back({a});
+    return this;
+  }
+  Benchmark* Args(const std::vector<std::int64_t>& args) {
+    arg_sets_.push_back(args);
+    return this;
+  }
+  Benchmark* Iterations(std::int64_t n) {
+    fixed_iterations_ = n;
+    return this;
+  }
+  Benchmark* Unit(TimeUnit unit) {
+    unit_ = unit;
+    return this;
+  }
+
+  const std::string& name() const { return name_; }
+
+  struct Run {
+    std::string name;
+    std::int64_t iterations = 0;
+    double real_time = 0;  // per iteration, in `unit`
+    TimeUnit unit = kNanosecond;
+    std::int64_t items_processed = 0;
+    std::map<std::string, double> counters;
+  };
+
+  std::vector<Run> run_all() const {
+    std::vector<Run> runs;
+    if (arg_sets_.empty()) {
+      runs.push_back(run_one({}, name_));
+    } else {
+      for (const auto& args : arg_sets_) {
+        std::string run_name = name_;
+        for (const std::int64_t a : args) {
+          run_name += '/';
+          run_name += std::to_string(a);
+        }
+        runs.push_back(run_one(args, run_name));
+      }
+    }
+    return runs;
+  }
+
+ private:
+  Run run_one(const std::vector<std::int64_t>& args,
+              const std::string& run_name) const {
+    // Fixed --benchmark_min_time semantics, simplified: rerun with a
+    // growing iteration count until one timed batch covers min_time.
+    std::int64_t iters = fixed_iterations_ > 0 ? fixed_iterations_ : 1;
+    for (;;) {
+      State state(args, iters);
+      fn_(state);
+      const double elapsed = state.elapsed_seconds();
+      if (fixed_iterations_ > 0 || elapsed >= internal::flags().min_time ||
+          iters >= (std::int64_t{1} << 30)) {
+        Run run;
+        run.name = run_name;
+        run.iterations = iters;
+        run.unit = unit_;
+        run.real_time = (iters > 0 ? elapsed / static_cast<double>(iters)
+                                   : 0.0) *
+                        internal::unit_multiplier(unit_);
+        run.items_processed = state.items_processed();
+        run.counters = state.counters;
+        return run;
+      }
+      // Aim straight for min_time with 40% headroom; at least double.
+      const double per_iter =
+          elapsed > 0 ? elapsed / static_cast<double>(iters) : 0;
+      std::int64_t next =
+          per_iter > 0 ? static_cast<std::int64_t>(
+                             1.4 * internal::flags().min_time / per_iter)
+                       : iters * 8;
+      if (next < iters * 2) next = iters * 2;
+      iters = next;
+    }
+  }
+
+  std::string name_;
+  std::function<void(State&)> fn_;
+  std::vector<std::vector<std::int64_t>> arg_sets_;
+  std::int64_t fixed_iterations_ = 0;
+  TimeUnit unit_ = kNanosecond;
+};
+
+namespace internal {
+
+inline std::vector<std::unique_ptr<Benchmark>>& registry() {
+  static std::vector<std::unique_ptr<Benchmark>> benches;
+  return benches;
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void write_json(std::FILE* f, const std::vector<Benchmark::Run>& runs) {
+  char date[64];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm_buf);
+
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"date\": \"%s\",\n", date);
+  std::fprintf(f, "    \"library_name\": \"minibench\",\n");
+#ifdef NDEBUG
+  std::fprintf(f, "    \"library_build_type\": \"release\"");
+#else
+  std::fprintf(f, "    \"library_build_type\": \"debug\"");
+#endif
+  for (const auto& [key, value] : custom_context()) {
+    std::fprintf(f, ",\n    \"%s\": \"%s\"", json_escape(key).c_str(),
+                 json_escape(value).c_str());
+  }
+  std::fprintf(f, "\n  },\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n",
+                 json_escape(r.name).c_str());
+    std::fprintf(f, "      \"run_name\": \"%s\",\n",
+                 json_escape(r.name).c_str());
+    std::fprintf(f, "      \"run_type\": \"iteration\",\n");
+    std::fprintf(f, "      \"iterations\": %lld,\n",
+                 static_cast<long long>(r.iterations));
+    std::fprintf(f, "      \"real_time\": %.6e,\n", r.real_time);
+    std::fprintf(f, "      \"cpu_time\": %.6e,\n", r.real_time);
+    std::fprintf(f, "      \"time_unit\": \"%s\"", unit_name(r.unit));
+    if (r.items_processed > 0) {
+      std::fprintf(f, ",\n      \"items_processed\": %lld",
+                   static_cast<long long>(r.items_processed));
+    }
+    for (const auto& [key, value] : r.counters) {
+      std::fprintf(f, ",\n      \"%s\": %.6e", json_escape(key).c_str(),
+                   value);
+    }
+    std::fprintf(f, "\n    }%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
+}  // namespace internal
+
+template <typename Fn, typename... BoundArgs>
+Benchmark* RegisterBenchmark(const std::string& name, Fn&& fn,
+                             BoundArgs&&... bound) {
+  auto wrapped = [fn = std::forward<Fn>(fn),
+                  ... args = std::forward<BoundArgs>(bound)](State& state) {
+    fn(state, args...);
+  };
+  internal::registry().push_back(
+      std::make_unique<Benchmark>(name, std::move(wrapped)));
+  return internal::registry().back().get();
+}
+
+inline void Initialize(int* argc, char** argv) {
+  auto& f = internal::flags();
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](const char* prefix, std::string& out) {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.compare(0, n, prefix) == 0) {
+        out = arg.substr(n);
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (take("--benchmark_min_time=", value)) {
+      // Accept both the bare-seconds spelling and the "0.01s"/"4x" forms.
+      if (!value.empty() && value.back() == 'x') {
+        // N-iterations form: approximate by leaving min_time at a floor.
+        f.min_time = 0;
+      } else {
+        f.min_time = std::atof(value.c_str());
+      }
+    } else if (take("--benchmark_out=", f.out_path)) {
+    } else if (take("--benchmark_out_format=", f.out_format)) {
+    } else if (take("--benchmark_filter=", f.filter)) {
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      // Unknown benchmark flag: ignore, mirroring the library's tolerance.
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+inline std::size_t RunSpecifiedBenchmarks() {
+  std::vector<Benchmark::Run> runs;
+  for (const auto& bench : internal::registry()) {
+    if (!internal::flags().filter.empty() &&
+        bench->name().find(internal::flags().filter) == std::string::npos) {
+      continue;
+    }
+    for (auto& run : bench->run_all()) {
+      std::printf("%-48s %12.3f %s %10lld iters", run.name.c_str(),
+                  run.real_time, internal::unit_name(run.unit),
+                  static_cast<long long>(run.iterations));
+      for (const auto& [key, value] : run.counters) {
+        std::printf(" %s=%.4g", key.c_str(), value);
+      }
+      std::printf("\n");
+      runs.push_back(std::move(run));
+    }
+  }
+  if (!internal::flags().out_path.empty()) {
+    if (std::FILE* f = std::fopen(internal::flags().out_path.c_str(), "w")) {
+      internal::write_json(f, runs);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "minibench: cannot open %s\n",
+                   internal::flags().out_path.c_str());
+    }
+  }
+  return runs.size();
+}
+
+inline void Shutdown() {}
+
+inline void AddCustomContext(const std::string& key,
+                             const std::string& value) {
+  internal::custom_context().emplace_back(key, value);
+}
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+template <typename T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+}  // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::Benchmark* MINIBENCH_CONCAT(                \
+      minibench_registered_, __LINE__) =                          \
+      ::benchmark::RegisterBenchmark(#fn, fn)
