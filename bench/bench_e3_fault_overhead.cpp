@@ -1,0 +1,169 @@
+// E3 — cost of the fault-tolerance machinery when nothing is injected
+// (extension experiment, not a paper figure).
+//
+// PR 5 threads a fault boundary through the execution stack: every launch
+// consults the FaultInjector, every iterative driver runs inside a
+// ResilientLoop, and the QueryEngine carries a degradation ladder. All of
+// that must be free when no fault plan is armed — the checkpoint policy
+// defaults to kAuto, which only snapshots while a plan is armed, so the
+// unarmed modeled time must match a build-equivalent run with resilience
+// explicitly off (Checkpoint::kOff, zero retries).
+//
+// Acceptance: unarmed overhead <= 2% modeled time on BFS, PageRank and a
+// 16-query fused batch. An armed-but-inert plan (label matching no
+// kernel) is reported alongside for reference: arming turns checkpoints
+// on, so that column shows the price of standing protection, not of the
+// framework's existence.
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/query_engine.hpp"
+#include "simt/fault.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::GpuGraph;
+using algorithms::KernelOptions;
+using algorithms::Query;
+using algorithms::QueryEngine;
+
+constexpr double kMaxOverhead = 0.02;  // 2%
+
+// A plan whose label matches no kernel: the injector is consulted on
+// every launch but never fires.
+const char* kInertPlan = "launch:nth=1:label=no-such-kernel;seed=3";
+
+const graph::Csr& dataset() {
+  static const graph::Csr g =
+      graph::make_dataset("LiveJournal*", benchx::scale(), benchx::seed());
+  return g;
+}
+
+KernelOptions resilience_off() {
+  KernelOptions opts;
+  opts.resilience.checkpoint =
+      KernelOptions::Resilience::Checkpoint::kOff;
+  opts.resilience.max_retries = 0;
+  return opts;
+}
+
+enum class Mode { kOff, kUnarmed, kArmedInert };
+
+double bfs_ms(Mode mode) {
+  gpu::Device dev;
+  GpuGraph g(dev, dataset());
+  if (mode == Mode::kArmedInert)
+    dev.faults().arm(simt::FaultPlan::parse(kInertPlan));
+  const KernelOptions opts =
+      mode == Mode::kOff ? resilience_off() : KernelOptions{};
+  const auto r =
+      algorithms::bfs_gpu(g, benchx::hub_source(dataset()), opts);
+  return r.stats.total_ms(dev.config());
+}
+
+double pagerank_ms(Mode mode) {
+  gpu::Device dev;
+  GpuGraph g(dev, dataset());
+  if (mode == Mode::kArmedInert)
+    dev.faults().arm(simt::FaultPlan::parse(kInertPlan));
+  const KernelOptions opts =
+      mode == Mode::kOff ? resilience_off() : KernelOptions{};
+  const auto r = algorithms::pagerank_gpu(g, {}, opts);
+  return r.stats.total_ms(dev.config());
+}
+
+double query_batch_ms(Mode mode) {
+  gpu::Device dev;
+  GpuGraph g(dev, dataset());
+  if (mode == Mode::kArmedInert)
+    dev.faults().arm(simt::FaultPlan::parse(kInertPlan));
+  algorithms::QueryEngineOptions opts;
+  if (mode == Mode::kOff) {
+    opts.kernel = resilience_off();
+    opts.max_retries = 0;
+  }
+  QueryEngine engine(g, opts);
+  std::vector<Query> batch;
+  for (std::uint32_t q = 0; q < 16; ++q) {
+    batch.push_back(Query::bfs((q * 2654435761u) % dataset().num_nodes()));
+  }
+  (void)engine.run(batch);
+  return engine.last_batch_stats().modeled_ms;
+}
+
+struct Workload {
+  const char* name;
+  double (*run)(Mode);
+};
+
+const Workload kWorkloads[] = {
+    {"bfs", bfs_ms},
+    {"pagerank", pagerank_ms},
+    {"query_batch16", query_batch_ms},
+};
+
+void print_table() {
+  benchx::print_banner(
+      "E3: fault-tolerance machinery overhead",
+      "Modeled time with resilience off vs default-unarmed vs an "
+      "armed-but-inert plan. Unarmed must be within 2% of off.");
+
+  util::Table table({"workload", "off ms", "unarmed ms", "overhead",
+                     "armed-inert ms"});
+  bool pass = true;
+  for (const Workload& w : kWorkloads) {
+    const double off = w.run(Mode::kOff);
+    const double unarmed = w.run(Mode::kUnarmed);
+    const double inert = w.run(Mode::kArmedInert);
+    const double overhead = off > 0 ? unarmed / off - 1.0 : 0.0;
+    pass = pass && overhead <= kMaxOverhead;
+    table.row()
+        .cell(w.name)
+        .cell(off, 3)
+        .cell(unarmed, 3)
+        .cell(overhead * 100.0, 3)
+        .cell(inert, 3);
+  }
+  table.print();
+  std::printf(
+      "\nacceptance: unarmed fault machinery overhead <= %.0f%% modeled "
+      "time on every workload -> %s\n",
+      kMaxOverhead * 100.0, pass ? "PASS" : "FAIL");
+}
+
+void BM_FaultOverhead(benchmark::State& state) {
+  const Workload& w = kWorkloads[state.range(0)];
+  double off = 0.0, unarmed = 0.0, inert = 0.0;
+  for (auto _ : state) {
+    off = w.run(Mode::kOff);
+    unarmed = w.run(Mode::kUnarmed);
+    inert = w.run(Mode::kArmedInert);
+    benchmark::DoNotOptimize(unarmed);
+  }
+  state.counters["off_ms"] = off;
+  state.counters["unarmed_ms"] = unarmed;
+  state.counters["armed_inert_ms"] = inert;
+  state.counters["overhead_pct"] =
+      off > 0 ? (unarmed / off - 1.0) * 100.0 : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (int i = 0; i < 3; ++i) {
+    benchmark::RegisterBenchmark(
+        (std::string("fault_overhead/") + kWorkloads[i].name).c_str(),
+        BM_FaultOverhead)
+        ->Arg(i)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

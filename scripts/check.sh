@@ -50,10 +50,25 @@ MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_a2_frontier_adaptive 
   --benchmark_out_format=json
 require_release_bench BENCH_frontier_adaptive.json
 
+echo "== fault drill (recovery + determinism under injected faults) =="
+./build/examples/fault_drill --nodes 4096 --queries 16 \
+  --plan "hang:nth=3;ecc-fatal:p=0.02:max=0;launch:p=0.02:max=0;seed=11"
+
+echo "== bench smoke (fault-machinery overhead) =="
+MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_e3_fault_overhead \
+  --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_fault_overhead.json \
+  --benchmark_out_format=json
+require_release_bench BENCH_fault_overhead.json
+
 echo "== perf regression guard (modeled counters vs committed JSONs) =="
 if command -v python3 >/dev/null; then
+  # The fault-overhead artifact is held to a tighter 2% band: its whole
+  # point is that unarmed fault machinery stays within 2% of free.
   python3 scripts/perf_guard.py \
-    BENCH_query_engine.json BENCH_sim_engine.json BENCH_frontier_adaptive.json
+    --file-tolerance BENCH_fault_overhead.json=0.02 \
+    BENCH_query_engine.json BENCH_sim_engine.json \
+    BENCH_frontier_adaptive.json BENCH_fault_overhead.json
 else
   echo "check.sh: python3 not found, skipping perf guard" >&2
 fi

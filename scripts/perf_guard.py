@@ -13,6 +13,12 @@ and are never gated on.
 
 Usage:
     scripts/perf_guard.py [--tolerance 0.10] BENCH_a.json BENCH_b.json ...
+    scripts/perf_guard.py --file-tolerance BENCH_fault_overhead.json=0.02 \
+        BENCH_a.json BENCH_fault_overhead.json
+
+``--file-tolerance FILE=BAND`` (repeatable) overrides the band for one
+artifact — e.g. the fault-overhead gate is held to 2% while the default
+band stays 10%.
 
 Exit status: 0 when every compared counter stays within the band (files
 with no committed baseline are skipped with a note), 1 otherwise. The
@@ -104,14 +110,29 @@ def main():
         "--tolerance", type=float,
         default=float(os.environ.get("MAXWARP_PERF_TOLERANCE", "0.10")),
         help="allowed relative drift per counter (default 0.10)")
+    parser.add_argument(
+        "--file-tolerance", action="append", default=[],
+        metavar="FILE=BAND",
+        help="per-artifact tolerance override, repeatable")
     args = parser.parse_args()
+
+    per_file = {}
+    for spec in args.file_tolerance:
+        path, sep, band = spec.partition("=")
+        if not sep:
+            parser.error(f"--file-tolerance needs FILE=BAND, got '{spec}'")
+        try:
+            per_file[path] = float(band)
+        except ValueError:
+            parser.error(f"--file-tolerance band must be a number: '{spec}'")
 
     all_violations = []
     for path in args.files:
         if not os.path.exists(path):
             all_violations.append(f"{path}: fresh artifact missing")
             continue
-        all_violations.extend(compare(path, args.tolerance))
+        all_violations.extend(
+            compare(path, per_file.get(path, args.tolerance)))
 
     if all_violations:
         print("perf_guard: FAILED", file=sys.stderr)

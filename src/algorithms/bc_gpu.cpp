@@ -5,6 +5,7 @@
 
 #include "algorithms/adaptive_dispatch.hpp"
 #include "algorithms/cpu_reference.hpp"
+#include "algorithms/resilience.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -99,6 +100,15 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
                               ? 1
                               : opts.virtual_warp_width);
 
+  // Checkpoint/retry at each pass barrier (inactive unless a fault plan
+  // is armed). bc accumulates across sources, so it must roll back too.
+  ResilientLoop loop(g, opts, "betweenness_gpu");
+  loop.track(level);
+  loop.track(sigma);
+  loop.track(delta);
+  loop.track(bc);
+  loop.track(changed);
+
   for (const NodeId source : sources) {
     if (source >= n) {
       throw std::out_of_range("betweenness_gpu: source out of range");
@@ -112,6 +122,7 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
     // ---- forward: levels and shortest-path counts -----------------------
     std::uint32_t depth = 0;
     for (std::uint32_t current = 0;; ++current) {
+      loop.iteration([&] {
       changed.fill(0);
       // Pass 1: settle level current+1 (plain BFS step; the level store
       // is idempotent, so any bin split or W gives the same array).
@@ -160,6 +171,7 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
         result.stats.kernels.add(launch_over_vertices(
             device, layout, n, "bc.expand", expand_body));
       }
+      });
       ++result.stats.iterations;
       if (changed.read(0) == 0) {
         depth = current;
@@ -208,6 +220,7 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
           }, [&](int l) { return sums[static_cast<std::size_t>(l)]; });
         });
       };
+      loop.iteration([&] {
       if (rev_adaptive != nullptr) {
         adaptive_sweep(device, *rev_adaptive, "bc.sigma", result.stats,
                        sigma_body);
@@ -215,6 +228,7 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
         result.stats.kernels.add(launch_over_vertices(
             device, layout, n, "bc.sigma", sigma_body));
       }
+      });
     }
 
     // ---- backward: dependency accumulation ------------------------------
@@ -289,6 +303,7 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
           });
         });
       };
+      loop.iteration([&] {
       if (fwd_adaptive != nullptr) {
         adaptive_sweep(device, *fwd_adaptive, "bc.delta", result.stats,
                        dep_body);
@@ -296,11 +311,13 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
         result.stats.kernels.add(launch_over_vertices(
             device, layout, n, "bc.delta", dep_body));
       }
+      });
       ++result.stats.iterations;
     }
   }
 
   result.centrality = bc.download();
+  result.stats.recovery = loop.stats();
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;

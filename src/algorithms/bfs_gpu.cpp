@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "algorithms/adaptive_dispatch.hpp"
+#include "algorithms/resilience.hpp"
 #include "graph/builder.hpp"
 
 #include "simt/device_sim.hpp"
@@ -191,7 +192,17 @@ GpuBfsResult bfs_gpu_queue(const GpuGraph& gg, NodeId source,
   gpu::DeviceBuffer<std::uint32_t>* in = &queue_a;
   gpu::DeviceBuffer<std::uint32_t>* out = &queue_b;
 
+  // Checkpoint/retry at the level barrier (inactive unless a fault plan
+  // is armed). Host state (frontier_size/current/in/out) only advances
+  // after a level commits, so a rollback is purely device-side.
+  ResilientLoop loop(gg, opts, "bfs_gpu.queue");
+  loop.track(levels);
+  loop.track(queue_a);
+  loop.track(queue_b);
+  loop.track(count_out);
+
   while (frontier_size > 0) {
+    loop.iteration([&] {
     count_out.fill(0);
     const QueueExpandBody body{adj,       levels_ptr,      out->ptr(),
                                count_out.ptr(), current + 1, n,
@@ -334,6 +345,7 @@ GpuBfsResult bfs_gpu_queue(const GpuGraph& gg, NodeId source,
         }
       }));
     }
+    });
 
     ++result.stats.iterations;
     frontier_size = count_out.read(0);
@@ -346,6 +358,7 @@ GpuBfsResult bfs_gpu_queue(const GpuGraph& gg, NodeId source,
   for (std::uint32_t v = 0; v < n; ++v) {
     if (result.level[v] != kUnreached) ++result.reached_nodes;
   }
+  result.stats.recovery = loop.stats();
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;
@@ -395,7 +408,16 @@ GpuBfsResult bfs_gpu_on(const GpuGraph& gg, NodeId source,
                                       ? &gg.adaptive_state(opts)
                                       : nullptr;
 
+  // Checkpoint/retry at the level barrier (inactive unless a fault plan
+  // is armed). The defer queue is rebuilt from scratch inside each level,
+  // so it needs no tracking.
+  ResilientLoop loop(gg, opts, "bfs_gpu.level");
+  loop.track(levels);
+  loop.track(changed);
+  loop.track(work_counter);
+
   for (std::uint32_t current = 0;; ++current) {
+    loop.iteration([&] {
     changed.fill(0);
     const std::uint32_t next = current + 1;
     const ExpandBody body{adj, levels_ptr, changed_ptr, next};
@@ -572,6 +594,7 @@ GpuBfsResult bfs_gpu_on(const GpuGraph& gg, NodeId source,
         }
       }
     }
+    });
 
     ++result.stats.iterations;
     if (changed.read(0) == 0) {
@@ -584,6 +607,7 @@ GpuBfsResult bfs_gpu_on(const GpuGraph& gg, NodeId source,
   for (std::uint32_t v = 0; v < n; ++v) {
     if (result.level[v] != kUnreached) ++result.reached_nodes;
   }
+  result.stats.recovery = loop.stats();
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "algorithms/adaptive_dispatch.hpp"
+#include "algorithms/resilience.hpp"
 #include "warp/virtual_warp.hpp"
 
 namespace maxwarp::algorithms {
@@ -102,7 +103,14 @@ GpuCcResult cc_gpu_on(const GpuGraph& gg, const KernelOptions& opts) {
                         });
   };
 
+  // Checkpoint/retry at the sweep barrier (inactive unless a fault plan
+  // is armed).
+  ResilientLoop loop(gg, opts, "connected_components_gpu");
+  loop.track(label);
+  loop.track(changed);
+
   for (;;) {
+    loop.iteration([&] {
     changed.fill(0);
     if (adaptive != nullptr) {
       adaptive_sweep_with_teams(device, *adaptive,
@@ -129,12 +137,14 @@ GpuCcResult cc_gpu_on(const GpuGraph& gg, const KernelOptions& opts) {
         }
       }));
     }
+    });
 
     ++result.stats.iterations;
     if (changed.read(0) == 0) break;
   }
 
   result.label = label.download();
+  result.stats.recovery = loop.stats();
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;

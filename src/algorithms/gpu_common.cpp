@@ -75,6 +75,12 @@ void validate_kernel_options(const KernelOptions& opts, const char* where) {
   if (!(opts.adaptive.bin_merge_tolerance >= 0.0)) {
     fail("adaptive.bin_merge_tolerance must be non-negative");
   }
+  if (!(opts.resilience.backoff_ms >= 0.0)) {
+    fail("resilience.backoff_ms must be non-negative");
+  }
+  if (!(opts.resilience.watchdog_ms >= 0.0)) {
+    fail("resilience.watchdog_ms must be non-negative");
+  }
 }
 
 std::uint32_t leader_lane_mask(int virtual_warp_width) {

@@ -67,6 +67,31 @@ struct KernelOptions {
   };
   Direction direction;
 
+  /// Fault-recovery knobs consumed by the iterative GPU drivers (see
+  /// DESIGN.md "Fault model and recovery"). With checkpoint = kAuto and
+  /// no FaultPlan armed, the drivers skip checkpointing entirely, so the
+  /// fault-free path pays nothing for these.
+  struct Resilience {
+    /// Re-executions of one failed iteration (from its checkpoint)
+    /// before the failure escapes to the caller.
+    std::uint32_t max_retries = 2;
+    /// Modeled backoff before retry r: backoff_ms * 2^r, charged to the
+    /// current stream via Device::charge_delay_ms — recovery is not free.
+    double backoff_ms = 0.05;
+    /// Per-launch watchdog (modeled ms) armed for the driver's lifetime;
+    /// 0 inherits the device-wide SimConfig::default_watchdog_ms.
+    double watchdog_ms = 0;
+    enum class Checkpoint {
+      kAuto,    ///< checkpoint only while a fault plan is armed
+      kAlways,  ///< checkpoint unconditionally (pays modeled transfers)
+      kOff,     ///< never: a faulted iteration fails the whole run
+    };
+    Checkpoint checkpoint = Checkpoint::kAuto;
+
+    bool operator==(const Resilience&) const = default;
+  };
+  Resilience resilience;
+
   /// kAdaptive knobs (ignored by the other mappings).
   struct Adaptive {
     /// Floor on any bin's virtual warp width (power-of-two divisor of 32).
@@ -149,6 +174,16 @@ AdaptivePlan tune_adaptive_plan(const graph::Csr& graph,
                                 const simt::SimConfig& cfg,
                                 const KernelOptions& opts);
 
+/// What the recovery machinery did during one run (zeros on the
+/// fault-free path).
+struct RecoveryStats {
+  std::uint32_t retries = 0;      ///< iteration re-executions after faults
+  std::uint32_t checkpoints = 0;  ///< per-iteration snapshots taken
+  std::uint32_t restores = 0;     ///< rollbacks to the last good snapshot
+  std::uint32_t graph_refreshes = 0;  ///< CSR re-uploads after fatal ECC
+  double backoff_ms = 0;          ///< modeled retry backoff charged
+};
+
 /// Per-run result statistics common to every GPU algorithm.
 struct GpuRunStats {
   simt::KernelStats kernels;   ///< aggregated over every launch of the run
@@ -157,6 +192,9 @@ struct GpuRunStats {
   /// Per-label launch breakdown; kAdaptive fills one entry per degree bin
   /// ("bfs.level.expand.tiny", ...). Empty for the static mappings.
   simt::StatsLedger bins;
+  /// Checkpoint/retry activity (resilience.hpp); zeros when no fault
+  /// plan was armed.
+  RecoveryStats recovery;
 
   double kernel_ms(const simt::SimConfig& cfg) const {
     return kernels.elapsed_ms(cfg);
@@ -179,6 +217,19 @@ class GpuCsr {
   std::uint32_t num_nodes() const { return n_; }
   std::uint64_t num_edges() const { return m_; }
   bool weighted() const { return weights_.size() == m_ && m_ > 0; }
+
+  /// Re-uploads the CSR arrays from `host` (which must be the graph this
+  /// object was built from): recovery path after an uncorrectable ECC
+  /// event corrupted resident graph data. Charges the H2D transfers.
+  void reupload(const graph::Csr& host) {
+    if (host.row.size() != row_.size() || host.adj.size() != adj_.size() ||
+        host.weights.size() != weights_.size()) {
+      throw std::invalid_argument("GpuCsr::reupload: shape mismatch");
+    }
+    row_.upload(host.row);
+    adj_.upload(host.adj);
+    if (!host.weights.empty()) weights_.upload(host.weights);
+  }
 
   simt::DevPtr<const std::uint32_t> row() const { return row_.cptr(); }
   simt::DevPtr<const std::uint32_t> adj() const { return adj_.cptr(); }

@@ -29,6 +29,27 @@ const AdaptiveState& GpuGraph::adaptive_state(const KernelOptions& opts,
   return *adaptive_[slot];
 }
 
+void GpuGraph::refresh_device_data() const {
+  csr_.reupload(host_);
+  if (reverse_csr_) reverse_csr_->reupload(*reverse_host_);
+  // The cached adaptive partitions are device-resident too and could be
+  // the ECC victim. Rebuild them *in place*: drivers hold a raw
+  // AdaptiveState pointer across iterations, so the object's address
+  // must survive the refresh.
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    if (!adaptive_[slot]) continue;
+    KernelOptions opts;
+    opts.adaptive = adaptive_key_[slot].adaptive;
+    opts.warps_per_deferred_task =
+        adaptive_key_[slot].warps_per_deferred_task;
+    const bool reverse = slot == 1;
+    *adaptive_[slot] = build_adaptive_state(
+        *device_, reverse ? *reverse_csr_ : csr_,
+        reverse ? *reverse_host_ : host_, opts,
+        reverse ? "adaptive.rev" : "adaptive");
+  }
+}
+
 bool GpuGraph::symmetric() const {
   if (!symmetric_) symmetric_ = host_.is_symmetric();
   return *symmetric_;

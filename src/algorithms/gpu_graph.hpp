@@ -61,6 +61,14 @@ class GpuGraph {
   /// Host transpose backing reverse_csr(); host() when symmetric.
   const graph::Csr& reverse_host() const;
 
+  /// Re-uploads the device-resident CSR arrays (forward and, if already
+  /// built, reverse) from the pristine host copies. Recovery path after
+  /// an uncorrectable ECC event: the fault may have corrupted graph data
+  /// rather than algorithm state, and the host copy is the ground truth.
+  /// Charges the H2D transfers on the current stream. (Re-uploading only
+  /// the corrupted pages instead of the full CSR is ROADMAP follow-on.)
+  void refresh_device_data() const;
+
   /// Sum of out-degrees over nodes whose entry in `reached` differs from
   /// `unreached` — the TEPS numerator every BFS result reports.
   std::uint64_t traversed_edges(const std::vector<std::uint32_t>& reached,
@@ -86,7 +94,7 @@ class GpuGraph {
 
   gpu::Device* device_;
   graph::Csr host_;
-  GpuCsr csr_;
+  mutable GpuCsr csr_;  ///< mutable: refresh_device_data re-uploads in place
   mutable std::optional<bool> symmetric_;
   mutable std::unique_ptr<graph::Csr> reverse_host_;
   mutable std::unique_ptr<GpuCsr> reverse_csr_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "algorithms/adaptive_dispatch.hpp"
+#include "algorithms/resilience.hpp"
 #include "gpu/buffer.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -116,7 +117,15 @@ GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
                         });
   };
 
+  // Checkpoint/retry at the peel barrier (inactive unless a fault plan
+  // is armed).
+  ResilientLoop loop(g, opts, "k_core_gpu");
+  loop.track(degree);
+  loop.track(alive);
+  loop.track(changed);
+
   for (;;) {
+    loop.iteration([&] {
     changed.fill(0);
     if (adaptive != nullptr) {
       adaptive_sweep_with_teams(device, *adaptive,
@@ -143,9 +152,11 @@ GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
         }
       }));
     }
+    });
     ++result.stats.iterations;
     if (changed.read(0) == 0) break;
   }
+  result.stats.recovery = loop.stats();
 
   const auto alive_host = alive.download();
   result.in_core.resize(n);

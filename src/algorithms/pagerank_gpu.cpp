@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "algorithms/adaptive_dispatch.hpp"
+#include "algorithms/resilience.hpp"
 #include "graph/builder.hpp"
 #include "warp/virtual_warp.hpp"
 
@@ -101,7 +102,17 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
     });
   };
 
+  // Checkpoint/retry at the iteration barrier: rank/next/dangling_acc
+  // evolve, outdeg is a run-constant ECC victim candidate. Inactive (and
+  // free) unless a fault plan is armed.
+  ResilientLoop loop(g, opts, "pagerank_gpu");
+  loop.track_constant(outdeg);
+  loop.track(rank);
+  loop.track(next);
+  loop.track(dangling_acc);
+
   for (int iter = 0; iter < params.iterations; ++iter) {
+    loop.iteration([&] {
     // Pass 1: dangling-mass reduction. Thread-mapped with a per-warp
     // shuffle reduction and one leader atomic, the standard idiom; the
     // same launch under every mapping, so the sum is mapping-invariant.
@@ -167,6 +178,7 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
         }
       }));
     }
+    });
 
     std::swap(rank, next);
     rank_ptr = rank.ptr();
@@ -175,6 +187,7 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
   }
 
   result.rank = rank.download();
+  result.stats.recovery = loop.stats();
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;

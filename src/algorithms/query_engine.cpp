@@ -5,10 +5,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include <functional>
+#include <optional>
+
 #include "algorithms/adaptive_dispatch.hpp"
 #include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cpu_reference.hpp"
 #include "algorithms/sssp_gpu.hpp"
 #include "gpu/stream.hpp"
+#include "simt/sanitizer.hpp"
 #include "warp/virtual_warp.hpp"
 
 namespace maxwarp::algorithms {
@@ -263,6 +268,31 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
   return result;
 }
 
+const char* to_string(QueryPath path) {
+  switch (path) {
+    case QueryPath::kNone: return "none";
+    case QueryPath::kFusedGpu: return "fused-gpu";
+    case QueryPath::kSingleGpu: return "single-gpu";
+    case QueryPath::kCpuHost: return "cpu-host";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Host Dijkstra folded to the GPU drivers' 32-bit distance convention.
+std::vector<std::uint32_t> sssp_host_dist(const graph::Csr& g, NodeId s) {
+  const auto wide = sssp_cpu(g, s);
+  std::vector<std::uint32_t> dist(wide.size());
+  for (std::size_t v = 0; v < wide.size(); ++v) {
+    dist[v] = wide[v] >= kInfDist ? kInfDist
+                                  : static_cast<std::uint32_t>(wide[v]);
+  }
+  return dist;
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const GpuGraph& graph,
                          const QueryEngineOptions& opts)
     : graph_(&graph), opts_(opts) {
@@ -273,6 +303,10 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
     throw std::invalid_argument(
         "QueryEngine: bfs_group_size must be in [1, 32]");
   }
+  if (opts_.retry_backoff_ms < 0 || opts_.default_deadline_ms < 0) {
+    throw std::invalid_argument(
+        "QueryEngine: retry_backoff_ms/default_deadline_ms must be >= 0");
+  }
   validate_kernel_options(opts_.kernel, "QueryEngine");
 }
 
@@ -280,6 +314,8 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   gpu::Device& device = graph_->device();
   stats_ = BatchStats{};
   stats_.queries = static_cast<std::uint32_t>(queries.size());
+  const std::uint32_t n = graph_->num_nodes();
+  const bool weighted = graph_->csr().weighted();
 
   std::vector<QueryResult> results(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -287,9 +323,35 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   }
   if (queries.empty()) return results;
 
-  // Work units, input order: BFS queries greedily packed into fused
-  // groups, SSSP queries as singles (Bellman-Ford state does not pack
-  // into bitmasks).
+  // Admission: malformed queries get a structured per-query error up
+  // front and never reach a launch — one bad source cannot take down the
+  // batch (or poison a fused group's bitmasks).
+  std::vector<std::uint32_t> admitted;
+  admitted.reserve(queries.size());
+  for (std::uint32_t i = 0; i < queries.size(); ++i) {
+    if (queries[i].source >= n) {
+      results[i].status = gpu::Status(
+          gpu::ErrorCode::kInvalidArgument,
+          "QueryEngine: source " + std::to_string(queries[i].source) +
+              " out of range [0, " + std::to_string(n) + ")");
+    } else if (queries[i].kind == Query::Kind::kSssp && !weighted) {
+      results[i].status =
+          gpu::Status(gpu::ErrorCode::kInvalidArgument,
+                      "QueryEngine: sssp query on an unweighted graph");
+    } else {
+      admitted.push_back(i);
+    }
+  }
+
+  const auto effective_deadline = [&](const Query& q) {
+    return q.deadline_ms > 0 ? q.deadline_ms : opts_.default_deadline_ms;
+  };
+
+  // Work units over admitted queries, input order: BFS queries greedily
+  // packed into fused groups, SSSP queries as singles (Bellman-Ford
+  // state does not pack into bitmasks). Deadlines are per-query, so a
+  // fused group only contains queries sharing one deadline — otherwise
+  // the tightest member's budget would fail its groupmates.
   struct Unit {
     std::vector<std::uint32_t> idx;
     bool bfs = true;
@@ -297,14 +359,18 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   std::vector<Unit> units;
   const std::uint32_t group_cap = opts_.fuse_bfs ? opts_.bfs_group_size : 1;
   std::vector<std::uint32_t> pending_bfs;
+  double pending_deadline = 0.0;
   auto flush_bfs = [&] {
     if (!pending_bfs.empty()) {
       units.push_back({std::move(pending_bfs), /*bfs=*/true});
       pending_bfs.clear();
     }
   };
-  for (std::uint32_t i = 0; i < queries.size(); ++i) {
+  for (const std::uint32_t i : admitted) {
     if (queries[i].kind == Query::Kind::kBfs) {
+      const double d = effective_deadline(queries[i]);
+      if (!pending_bfs.empty() && d != pending_deadline) flush_bfs();
+      pending_deadline = d;
       pending_bfs.push_back(i);
       if (pending_bfs.size() >= group_cap) flush_bfs();
     } else {
@@ -330,25 +396,149 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     const Unit& unit = units[u];
     // All launches/copies inside the traversal land on the unit's stream.
     gpu::StreamScope scope(device, streams[u % streams.size()]);
+
+    // The unit budget is the tightest member deadline; it doubles as a
+    // per-kernel watchdog so a modeled hang is charged the deadline, not
+    // the open-ended default.
+    double deadline = 0.0;
+    for (const std::uint32_t i : unit.idx) {
+      const double d = effective_deadline(queries[i]);
+      if (d > 0 && (deadline == 0 || d < deadline)) deadline = d;
+    }
+    std::optional<gpu::WatchdogScope> watchdog;
+    if (deadline > 0) watchdog.emplace(device, deadline);
+
+    const double unit_start = device.total_modeled_ms();
+    const auto over_deadline = [&] {
+      return deadline > 0 &&
+             device.total_modeled_ms() - unit_start > deadline;
+    };
+
+    // One rung of the ladder: run `body` with engine-level retries and
+    // exponential modeled backoff. Sanitizer findings are program bugs,
+    // not device faults — no retry can help, so they fail the rung
+    // immediately (and descend, where isolation may sidestep the buggy
+    // kernel).
+    const auto try_gpu = [&](const std::function<void()>& body,
+                             std::uint32_t& attempts) -> gpu::Status {
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        if (over_deadline()) {
+          return gpu::Status(gpu::ErrorCode::kDeadlineExceeded,
+                             "QueryEngine: deadline exhausted before "
+                             "attempt");
+        }
+        ++attempts;
+        try {
+          body();
+          return gpu::Status();
+        } catch (const simt::SanitizerFault& f) {
+          return gpu::Status(gpu::ErrorCode::kLaunchFailed,
+                             std::string("sanitizer finding: ") + f.what());
+        } catch (const gpu::DeviceError& e) {
+          if (e.status().code() == gpu::ErrorCode::kEccUncorrectable) {
+            // The flip may have hit the resident CSR itself; re-seed
+            // device truth from the host before anything re-reads it.
+            graph_->refresh_device_data();
+          }
+          if (!e.status().transient() || attempt >= opts_.max_retries) {
+            return e.status();
+          }
+          ++stats_.retries;
+          device.charge_delay_ms(opts_.retry_backoff_ms *
+                                 static_cast<double>(1u << attempt));
+        }
+      }
+    };
+
+    // Final rung for one query: single-query GPU traversal, then the
+    // host reference (unless disabled), then a structured error.
+    const auto run_single = [&](std::uint32_t i) {
+      QueryResult& r = results[i];
+      const Query& q = queries[i];
+      std::uint32_t attempts = 0;
+      const gpu::Status st = try_gpu(
+          [&] {
+            r.value = q.kind == Query::Kind::kBfs
+                          ? bfs_gpu(*graph_, q.source, opts_.kernel).level
+                          : sssp_gpu(*graph_, q.source, opts_.kernel).dist;
+          },
+          attempts);
+      r.gpu_attempts += attempts;
+      if (st.ok()) {
+        r.path = QueryPath::kSingleGpu;
+        return;
+      }
+      if (over_deadline()) {
+        r.status = gpu::Status(gpu::ErrorCode::kDeadlineExceeded,
+                               "QueryEngine: deadline exceeded");
+        r.value.clear();
+        return;
+      }
+      if (opts_.cpu_fallback) {
+        // Host references cannot fault; answer degraded but correct.
+        r.value = q.kind == Query::Kind::kBfs
+                      ? bfs_cpu(graph_->host(), q.source)
+                      : sssp_host_dist(graph_->host(), q.source);
+        r.path = QueryPath::kCpuHost;
+        r.degraded = true;
+        return;
+      }
+      r.status = st;
+      r.value.clear();
+    };
+
     if (unit.bfs && unit.idx.size() > 1) {
       std::vector<NodeId> srcs;
       srcs.reserve(unit.idx.size());
       for (const std::uint32_t i : unit.idx) {
         srcs.push_back(queries[i].source);
       }
-      GpuMsBfsResult fused =
-          bfs_gpu_multi_source(*graph_, srcs, opts_.kernel);
-      ++stats_.fused_groups;
-      for (std::size_t j = 0; j < unit.idx.size(); ++j) {
-        results[unit.idx[j]].value = std::move(fused.level[j]);
+      GpuMsBfsResult fused;
+      std::uint32_t attempts = 0;
+      const gpu::Status st = try_gpu(
+          [&] { fused = bfs_gpu_multi_source(*graph_, srcs, opts_.kernel); },
+          attempts);
+      for (const std::uint32_t i : unit.idx) {
+        results[i].gpu_attempts += attempts;
       }
-    } else if (unit.bfs) {
-      results[unit.idx[0]].value =
-          bfs_gpu(*graph_, queries[unit.idx[0]].source, opts_.kernel).level;
+      if (st.ok()) {
+        ++stats_.fused_groups;
+        for (std::size_t j = 0; j < unit.idx.size(); ++j) {
+          results[unit.idx[j]].value = std::move(fused.level[j]);
+          results[unit.idx[j]].path = QueryPath::kFusedGpu;
+        }
+      } else {
+        // Isolate: the faulting query only sinks itself, not its
+        // 31 groupmates.
+        ++stats_.isolated_groups;
+        for (const std::uint32_t i : unit.idx) {
+          results[i].degraded = true;
+          run_single(i);
+        }
+      }
     } else {
-      results[unit.idx[0]].value =
-          sssp_gpu(*graph_, queries[unit.idx[0]].source, opts_.kernel).dist;
+      run_single(unit.idx[0]);
     }
+
+    // A unit that answered but blew its budget keeps the best-effort
+    // value alongside the deadline error.
+    const double unit_ms = device.total_modeled_ms() - unit_start;
+    for (const std::uint32_t i : unit.idx) {
+      QueryResult& r = results[i];
+      r.modeled_ms = unit_ms;
+      const double d = effective_deadline(queries[i]);
+      if (d > 0 && unit_ms > d && r.ok()) {
+        r.status = gpu::Status(gpu::ErrorCode::kDeadlineExceeded,
+                               "QueryEngine: deadline exceeded");
+        r.degraded = true;
+      }
+    }
+  }
+
+  for (const QueryResult& r : results) {
+    if (!r.ok()) ++stats_.failed_queries;
+    if (r.degraded) ++stats_.degraded_queries;
+    if (r.path == QueryPath::kCpuHost) ++stats_.fallback_queries;
   }
 
   stats_.serial_ms = device.total_modeled_ms() - serial_before;

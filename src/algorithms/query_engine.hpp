@@ -21,6 +21,15 @@
 // bit-identical to running every query alone — levels are BFS distances,
 // which no execution order can change. Tests exploit this: fused output ==
 // serial bfs_gpu output, always.
+//
+// The engine also serves as the fault boundary for query serving: a
+// device fault (simt/fault.hpp) never takes down the batch. Each work
+// unit descends a degradation ladder — fused GPU group, engine-level
+// retries with modeled backoff, isolation into single-query GPU runs,
+// and finally the sequential host reference — until an answer or a
+// structured per-query error (QueryResult::status) comes out. Queries
+// can carry modeled-time deadlines; exceeding one yields
+// kDeadlineExceeded rather than an open-ended wait.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,7 @@
 
 #include "algorithms/gpu_common.hpp"
 #include "algorithms/gpu_graph.hpp"
+#include "gpu/status.hpp"
 #include "graph/csr.hpp"
 
 namespace maxwarp::algorithms {
@@ -55,16 +65,52 @@ struct Query {
   enum class Kind { kBfs, kSssp };
   Kind kind = Kind::kBfs;
   graph::NodeId source = 0;
+  /// Per-query modeled-time budget in ms; 0 inherits
+  /// QueryEngineOptions::default_deadline_ms (0 there = no deadline).
+  double deadline_ms = 0.0;
 
-  static Query bfs(graph::NodeId s) { return {Kind::kBfs, s}; }
-  static Query sssp(graph::NodeId s) { return {Kind::kSssp, s}; }
+  static Query bfs(graph::NodeId s, double deadline = 0.0) {
+    return {Kind::kBfs, s, deadline};
+  }
+  static Query sssp(graph::NodeId s, double deadline = 0.0) {
+    return {Kind::kSssp, s, deadline};
+  }
 };
+
+/// How a query's answer was ultimately produced.
+enum class QueryPath {
+  kNone,      ///< no execution (rejected up front, or batch aborted)
+  kFusedGpu,  ///< answered by a fused multi-source BFS kernel group
+  kSingleGpu, ///< answered by a dedicated single-query GPU traversal
+  kCpuHost,   ///< answered by the sequential host reference (degraded)
+};
+const char* to_string(QueryPath path);
 
 struct QueryResult {
   Query query;
   /// Per-node BFS levels (kUnreached sentinel) or SSSP distances
-  /// (kInfDist sentinel), depending on query.kind.
+  /// (kInfDist sentinel), depending on query.kind. Empty when the query
+  /// failed before producing an answer (status() tells why); on a
+  /// deadline overrun the best-effort value is kept alongside the
+  /// kDeadlineExceeded status.
   std::vector<std::uint32_t> value;
+  /// kOk, or the structured reason this query failed (kInvalidArgument
+  /// for a rejected source, kDeadlineExceeded, or the last GPU error
+  /// once retries and fallbacks were exhausted).
+  gpu::Status status;
+  /// Execution path that produced `value`.
+  QueryPath path = QueryPath::kNone;
+  /// GPU execution attempts spent on this query (first try + retries,
+  /// counting both fused and isolated-single attempts).
+  std::uint32_t gpu_attempts = 0;
+  /// True when the engine had to leave the fast path (fused group broken
+  /// up, CPU fallback, or a kept-but-late deadline answer).
+  bool degraded = false;
+  /// Modeled serial milliseconds this query's work unit consumed
+  /// (shared across members of a fused group).
+  double modeled_ms = 0.0;
+
+  bool ok() const { return status.ok(); }
 };
 
 struct QueryEngineOptions {
@@ -77,6 +123,18 @@ struct QueryEngineOptions {
   bool fuse_bfs = true;
   /// Kernel tuning forwarded to the underlying traversals.
   KernelOptions kernel = {};
+  /// GPU re-attempts of one work unit after a transient fault (on top of
+  /// the first try). Iteration-level retry inside the drivers happens
+  /// first; this rung re-runs the whole unit.
+  std::uint32_t max_retries = 1;
+  /// Modeled backoff charged before engine-level retry r:
+  /// retry_backoff_ms * 2^r on the unit's stream.
+  double retry_backoff_ms = 0.05;
+  /// Deadline applied to queries that carry none of their own; 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Last rung of the ladder: answer on the host reference when the GPU
+  /// keeps faulting. Off = exhausted queries return their error instead.
+  bool cpu_fallback = true;
 };
 
 /// Modeled-time accounting for one run() batch.
@@ -91,6 +149,12 @@ struct BatchStats {
   std::uint32_t fused_groups = 0;  ///< fused kernels covering >= 2 queries
   std::uint32_t streams_used = 0;
   std::uint64_t kernel_launches = 0;
+  // -- fault-tolerance accounting (all zero on a clean batch) --
+  std::uint32_t failed_queries = 0;    ///< results with !ok()
+  std::uint32_t degraded_queries = 0;  ///< results answered off the fast path
+  std::uint32_t fallback_queries = 0;  ///< answered by the host reference
+  std::uint32_t retries = 0;           ///< engine-level unit re-attempts
+  std::uint32_t isolated_groups = 0;   ///< fused groups broken into singles
 };
 
 class QueryEngine {

@@ -1,0 +1,70 @@
+#include "algorithms/resilience.hpp"
+
+#include "gpu/status.hpp"
+
+namespace maxwarp::algorithms {
+
+ResilientLoop::ResilientLoop(const GpuGraph& graph, const KernelOptions& opts,
+                             const char* /*where*/)
+    : graph_(&graph),
+      device_(&graph.device()),
+      resilience_(opts.resilience) {
+  using Checkpoint = KernelOptions::Resilience::Checkpoint;
+  active_ = resilience_.checkpoint != Checkpoint::kOff &&
+            (resilience_.checkpoint == Checkpoint::kAlways ||
+             device_->faults().armed());
+  if (resilience_.watchdog_ms > 0) {
+    watchdog_.emplace(*device_, resilience_.watchdog_ms);
+  }
+}
+
+void ResilientLoop::save_checkpoint() {
+  for (Tracked& t : tracked_) {
+    if (t.constant && t.saved) continue;
+    t.save();
+    t.saved = true;
+  }
+  ++stats_.checkpoints;
+}
+
+void ResilientLoop::restore_checkpoint() {
+  for (Tracked& t : tracked_) {
+    if (t.saved) t.restore();
+  }
+  ++stats_.restores;
+}
+
+void ResilientLoop::iteration(const std::function<void()>& body) {
+  if (!active_) {
+    body();
+    return;
+  }
+  save_checkpoint();
+  std::uint32_t attempt = 0;
+  for (;;) {
+    try {
+      body();
+      return;
+    } catch (const gpu::DeviceError& e) {
+      if (!e.status().transient() || attempt >= resilience_.max_retries) {
+        throw;
+      }
+      // Exponential backoff, honestly charged to the device clock.
+      const double backoff =
+          resilience_.backoff_ms * static_cast<double>(1u << attempt);
+      device_->charge_delay_ms(backoff);
+      stats_.backoff_ms += backoff;
+      ++stats_.retries;
+      ++attempt;
+      if (e.status().code() == gpu::ErrorCode::kEccUncorrectable) {
+        // The victim byte may be graph data, not iteration state; the
+        // host copy is ground truth.
+        graph_->refresh_device_data();
+        ++stats_.graph_refreshes;
+      }
+      restore_checkpoint();
+    }
+  }
+}
+
+}  // namespace maxwarp::algorithms

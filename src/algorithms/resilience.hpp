@@ -1,0 +1,108 @@
+// Checkpoint/retry harness for the iterative GPU drivers.
+//
+// Every level-synchronous algorithm here has the same shape: a handful of
+// device buffers evolve across iterations separated by device-wide
+// barriers. That makes the iteration boundary a natural checkpoint: snap
+// the evolving buffers before the iteration, and if any launch inside it
+// fails (injected fault, watchdog overrun, allocation failure), roll the
+// buffers back and re-execute just that iteration — not the whole run.
+//
+// ResilientLoop packages that: a driver declares its evolving buffers
+// with track() (and run-constant inputs with track_constant()), then
+// wraps each iteration body in iteration(). When inactive — no fault
+// plan armed and checkpointing not forced — iteration(body) is exactly
+// body(): no snapshots, no try/catch in the hot path's modeled time, so
+// the fault-free path is bit- and cost-identical to the pre-resilience
+// drivers. When active, checkpoints are charged as the real D2H/H2D
+// transfers they are, and retry backoff is charged to modeled time via
+// Device::charge_delay_ms.
+//
+// Failure routing inside iteration():
+//   * transient DeviceError (launch fail / deadline / OOM / ECC): back
+//     off, restore the checkpoint — after an uncorrectable ECC also
+//     re-upload the graph, since the victim byte may be CSR data — and
+//     retry, up to resilience.max_retries times; then rethrow.
+//   * non-transient DeviceError and every other exception (including
+//     simt::SanitizerFault, which is deterministic and would just repeat):
+//     rethrow immediately.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algorithms/gpu_common.hpp"
+#include "algorithms/gpu_graph.hpp"
+#include "gpu/buffer.hpp"
+
+namespace maxwarp::algorithms {
+
+class ResilientLoop {
+ public:
+  /// Reads opts.resilience; arms a WatchdogScope for the loop's lifetime
+  /// when resilience.watchdog_ms > 0. `where` names the driver in
+  /// nothing today (kept for diagnostics symmetry with
+  /// validate_kernel_options).
+  ResilientLoop(const GpuGraph& graph, const KernelOptions& opts,
+                const char* where);
+
+  ResilientLoop(const ResilientLoop&) = delete;
+  ResilientLoop& operator=(const ResilientLoop&) = delete;
+
+  /// True when iterations actually checkpoint: a fault plan is armed (or
+  /// checkpoint == kAlways) and checkpointing is not switched off.
+  bool active() const { return active_; }
+
+  /// Declares a buffer that evolves across iterations: snapped before
+  /// every iteration, rolled back on retry. No-op when inactive.
+  template <typename T>
+  void track(gpu::DeviceBuffer<T>& buf) {
+    add_tracked(buf, /*constant=*/false);
+  }
+
+  /// Declares a run-constant device input (e.g. PageRank's out-degree
+  /// array): snapped once, restored on retry only because an ECC flip
+  /// could have landed in it.
+  template <typename T>
+  void track_constant(gpu::DeviceBuffer<T>& buf) {
+    add_tracked(buf, /*constant=*/true);
+  }
+
+  /// Runs one iteration with checkpoint/retry as described above.
+  void iteration(const std::function<void()>& body);
+
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  struct Tracked {
+    std::function<void()> save;
+    std::function<void()> restore;
+    bool constant = false;
+    bool saved = false;
+  };
+
+  template <typename T>
+  void add_tracked(gpu::DeviceBuffer<T>& buf, bool constant) {
+    if (!active_) return;
+    auto snap = std::make_shared<std::vector<T>>();
+    Tracked t;
+    t.save = [&buf, snap] { *snap = buf.download(); };
+    t.restore = [&buf, snap] { buf.upload(*snap); };
+    t.constant = constant;
+    tracked_.push_back(std::move(t));
+  }
+
+  void save_checkpoint();
+  void restore_checkpoint();
+
+  const GpuGraph* graph_;
+  gpu::Device* device_;
+  KernelOptions::Resilience resilience_;
+  bool active_ = false;
+  std::optional<gpu::WatchdogScope> watchdog_;
+  std::vector<Tracked> tracked_;
+  RecoveryStats stats_;
+};
+
+}  // namespace maxwarp::algorithms

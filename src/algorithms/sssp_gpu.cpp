@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "algorithms/adaptive_dispatch.hpp"
+#include "algorithms/resilience.hpp"
 #include "warp/virtual_warp.hpp"
 
 namespace maxwarp::algorithms {
@@ -152,8 +153,17 @@ GpuSsspResult sssp_gpu_on(const GpuGraph& gg, NodeId source,
                         });
   };
 
+  // Checkpoint/retry at the round barrier (inactive unless a fault plan
+  // is armed).
+  ResilientLoop loop(gg, opts, "sssp_gpu");
+  loop.track(dist);
+  loop.track(active_now);
+  loop.track(active_next);
+  loop.track(changed);
+
   // n rounds upper-bounds Bellman-Ford with non-negative weights.
   for (std::uint32_t round = 0; round < n; ++round) {
+    loop.iteration([&] {
     changed.fill(0);
     active_next.fill(0);
 
@@ -182,6 +192,7 @@ GpuSsspResult sssp_gpu_on(const GpuGraph& gg, NodeId source,
         }
       }));
     }
+    });
 
     ++result.stats.iterations;
     const std::uint32_t any = changed.read(0);
@@ -192,6 +203,7 @@ GpuSsspResult sssp_gpu_on(const GpuGraph& gg, NodeId source,
   }
 
   result.dist = dist.download();
+  result.stats.recovery = loop.stats();
   result.stats.transfer_ms =
       device.transfer_totals().modeled_ms - transfer_before;
   return result;

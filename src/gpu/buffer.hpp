@@ -8,11 +8,15 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
+#include <new>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
 #include "gpu/device.hpp"
+#include "gpu/status.hpp"
 #include "gpu/stream.hpp"
 #include "simt/devptr.hpp"
 
@@ -25,13 +29,55 @@ class DeviceBuffer {
   /// Under the sanitizer the allocation is registered as *uninitialized*
   /// device memory — kernels reading it before an upload/fill/store are
   /// reported — even though the host backing store is value-constructed.
-  DeviceBuffer(Device& device, std::size_t count)
-      : device_(&device),
-        storage_(count),
-        vaddr_(device.allocate_vaddr(count * sizeof(T))) {
-    if (auto* san = device.sanitizer()) {
-      san->on_alloc(vaddr_, count * sizeof(T));
+  ///
+  /// Throws DeviceError: INVALID_ARGUMENT when count * sizeof(T)
+  /// overflows (near-SIZE_MAX requests used to wrap silently),
+  /// OUT_OF_MEMORY when the fault injector or its byte budget refuses
+  /// the allocation. Zero-byte buffers are valid (and free). try_create
+  /// is the non-throwing form.
+  DeviceBuffer(Device& device, std::size_t count) : device_(&device) {
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    if (count > kMax / sizeof(T)) {
+      device_ = nullptr;
+      throw DeviceError({ErrorCode::kInvalidArgument,
+                         "DeviceBuffer: count " + std::to_string(count) +
+                             " overflows the byte size"});
     }
+    const std::uint64_t bytes = static_cast<std::uint64_t>(count) * sizeof(T);
+    Status st = device.try_allocate(bytes, &vaddr_);
+    if (!st.ok()) {
+      device_ = nullptr;
+      throw DeviceError(std::move(st));
+    }
+    storage_.resize(count);
+    device.register_alloc(vaddr_,
+                          reinterpret_cast<std::uint8_t*>(storage_.data()),
+                          bytes);
+    if (auto* san = device.sanitizer()) {
+      san->on_alloc(vaddr_, bytes);
+    }
+  }
+
+  /// Non-throwing allocation: nullopt on failure, with the reason in
+  /// *status when given. Also converts host backing-store exhaustion
+  /// (std::bad_alloc on a huge but non-overflowing request) into
+  /// OUT_OF_MEMORY instead of propagating.
+  static std::optional<DeviceBuffer> try_create(Device& device,
+                                                std::size_t count,
+                                                Status* status = nullptr) {
+    try {
+      DeviceBuffer buf(device, count);
+      if (status != nullptr) *status = Status::Ok();
+      return buf;
+    } catch (const DeviceError& e) {
+      if (status != nullptr) *status = e.status();
+    } catch (const std::bad_alloc&) {
+      if (status != nullptr) {
+        *status = {ErrorCode::kOutOfMemory,
+                   "host backing store allocation failed"};
+      }
+    }
+    return std::nullopt;
   }
 
   /// Allocates and uploads the host data (cudaMemcpy H2D included).
@@ -146,13 +192,14 @@ class DeviceBuffer {
 
   void release() {
     if (device_ == nullptr) return;
+    device_->unregister_alloc(vaddr_);
     if (auto* san = device_->sanitizer()) san->on_free(vaddr_);
     device_ = nullptr;
   }
 
   Device* device_;
   std::vector<T> storage_;
-  std::uint64_t vaddr_;
+  std::uint64_t vaddr_ = 0;
 };
 
 }  // namespace maxwarp::gpu

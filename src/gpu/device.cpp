@@ -1,6 +1,22 @@
 #include "gpu/device.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <string>
+
 namespace maxwarp::gpu {
+
+namespace {
+
+std::uint64_t ms_to_cycles(const simt::SimConfig& cfg, double ms) {
+  return static_cast<std::uint64_t>(std::llround(ms * cfg.clock_ghz * 1e6));
+}
+
+std::string label_of(const simt::LaunchDims& dims) {
+  return dims.label.empty() ? std::string("<unnamed>") : dims.label;
+}
+
+}  // namespace
 
 Device::Device(simt::SimConfig cfg) : sim_(cfg) {
   kernel_totals_.launches = 0;
@@ -14,23 +30,120 @@ simt::KernelStats Device::launch(const simt::LaunchDims& dims,
 simt::KernelStats Device::launch_on(std::uint32_t stream_id,
                                     const simt::LaunchDims& dims,
                                     const simt::WarpFn& kernel) {
-  const simt::KernelStats stats = sim_.launch(dims, kernel);
-  kernel_totals_.add(stats);
+  LaunchReport report = try_launch_on(stream_id, dims, kernel);
+  if (!report.ok()) throw DeviceError(std::move(report.status));
+  return report.stats;
+}
+
+LaunchReport Device::try_launch(const simt::LaunchDims& dims,
+                                const simt::WarpFn& kernel) {
+  return try_launch_on(current_stream_, dims, kernel);
+}
+
+LaunchReport Device::try_launch_on(std::uint32_t stream_id,
+                                   const simt::LaunchDims& dims,
+                                   const simt::WarpFn& kernel) {
   const auto& cfg = config();
+  LaunchReport report;
+
+  std::optional<simt::FaultEvent> fault;
+  if (sim_.faults().armed()) {
+    fault = sim_.faults().on_launch(dims.label, memory_.live_bytes);
+  }
+
+  if (fault && fault->kind == simt::FaultKind::kLaunchFail) {
+    // Rejected before any warp ran: only the driver-side launch overhead
+    // is consumed, and the kernel's side effects never happen.
+    report.stats = simt::KernelStats{};
+    report.stats.elapsed_cycles = cfg.kernel_launch_overhead_cycles;
+    report.stats.busy_cycles = cfg.kernel_launch_overhead_cycles;
+    report.fault = fault;
+    report.status = {ErrorCode::kLaunchFailed,
+                     "kernel '" + label_of(dims) +
+                         "' rejected by injected launch failure"};
+  } else if (fault && fault->kind == simt::FaultKind::kEccUncorrectable) {
+    // Uncorrectable ECC aborts the kernel, mirroring real hardware: the
+    // victim bit flips, the kernel's side effects never land, and the
+    // context is poisoned until recovery re-uploads device state. The
+    // kernel must not execute against the corrupted image — a flipped
+    // row offset would send it (and the functional simulator) out of
+    // bounds.
+    apply_ecc(*fault, /*corrupt=*/true);
+    report.stats = simt::KernelStats{};
+    report.stats.elapsed_cycles = cfg.kernel_launch_overhead_cycles;
+    report.stats.busy_cycles = cfg.kernel_launch_overhead_cycles;
+    report.fault = fault;
+    report.status = {ErrorCode::kEccUncorrectable,
+                     "uncorrectable ECC event aborted kernel '" +
+                         label_of(dims) + "'"};
+  } else {
+    report.stats = sim_.launch(dims, kernel);
+    report.fault = fault;
+
+    const double watchdog = effective_watchdog_ms();
+    if (fault && fault->kind == simt::FaultKind::kKernelHang) {
+      // The kernel "hangs": the host gives up at the watchdog deadline
+      // (or the documented default when none is armed), so that much
+      // modeled time is consumed; side effects may have landed.
+      const double deadline = watchdog > 0 ? watchdog : kDefaultHangMs;
+      report.stats.elapsed_cycles = std::max(
+          report.stats.elapsed_cycles, ms_to_cycles(cfg, deadline));
+      report.status = {ErrorCode::kDeadlineExceeded,
+                       "kernel '" + label_of(dims) +
+                           "' hung (injected) and hit the " +
+                           std::to_string(deadline) + " ms watchdog"};
+    } else if (watchdog > 0 &&
+               cfg.cycles_to_ms(report.stats.elapsed_cycles) > watchdog) {
+      report.status = {ErrorCode::kDeadlineExceeded,
+                       "kernel '" + label_of(dims) + "' ran " +
+                           std::to_string(cfg.cycles_to_ms(
+                               report.stats.elapsed_cycles)) +
+                           " ms, over the " + std::to_string(watchdog) +
+                           " ms watchdog"};
+    }
+    // kEccCorrectable: corrected in flight — the launch succeeds and the
+    // event is only recorded (report.fault / injector history).
+  }
+
+  kernel_totals_.add(report.stats);
   sim_.timeline().push_kernel(stream_id,
-                              cfg.cycles_to_ms(stats.elapsed_cycles),
-                              cfg.cycles_to_ms(stats.busy_cycles));
-  return stats;
+                              cfg.cycles_to_ms(report.stats.elapsed_cycles),
+                              cfg.cycles_to_ms(report.stats.busy_cycles));
+  return report;
+}
+
+void Device::apply_ecc(const simt::FaultEvent& ev, bool corrupt) {
+  std::uint64_t off = ev.byte_offset;
+  for (auto& [vaddr, alloc] : allocs_) {
+    if (off < alloc.bytes) {
+      if (corrupt && alloc.data != nullptr) {
+        alloc.data[off] ^= static_cast<std::uint8_t>(1u << ev.bit);
+        // Keep the sanitizer's shadow consistent: the byte now holds a
+        // (corrupt but) defined value.
+        if (auto* san = sanitizer()) san->on_host_write(vaddr, off, 1);
+      }
+      return;
+    }
+    off -= alloc.bytes;
+  }
 }
 
 void Device::reset_totals() {
   kernel_totals_ = simt::KernelStats{};
   kernel_totals_.launches = 0;
   transfer_totals_ = TransferStats{};
+  delay_total_ms_ = 0;
 }
 
 double Device::total_modeled_ms() const {
-  return kernel_totals_.elapsed_ms(config()) + transfer_totals_.modeled_ms;
+  return kernel_totals_.elapsed_ms(config()) + transfer_totals_.modeled_ms +
+         delay_total_ms_;
+}
+
+void Device::charge_delay_ms(double ms) {
+  if (ms <= 0) return;
+  delay_total_ms_ += ms;
+  sim_.timeline().push_delay(current_stream_, ms);
 }
 
 std::uint64_t Device::allocate_vaddr(std::uint64_t bytes) {
@@ -38,6 +151,33 @@ std::uint64_t Device::allocate_vaddr(std::uint64_t bytes) {
   const std::uint64_t aligned = (bytes + 255) / 256 * 256;
   next_vaddr_ += aligned == 0 ? 256 : aligned;
   return base;
+}
+
+Status Device::try_allocate(std::uint64_t bytes, std::uint64_t* vaddr) {
+  if (sim_.faults().on_alloc(bytes, memory_.live_bytes)) {
+    ++memory_.failed_allocs;
+    return {ErrorCode::kOutOfMemory,
+            "allocation of " + std::to_string(bytes) + " bytes refused (" +
+                std::to_string(memory_.live_bytes) + " bytes live)"};
+  }
+  *vaddr = allocate_vaddr(bytes);
+  return Status::Ok();
+}
+
+void Device::register_alloc(std::uint64_t vaddr, std::uint8_t* data,
+                            std::uint64_t bytes) {
+  allocs_[vaddr] = Alloc{data, bytes};
+  memory_.live_bytes += bytes;
+  memory_.peak_bytes = std::max(memory_.peak_bytes, memory_.live_bytes);
+  ++memory_.allocs;
+}
+
+void Device::unregister_alloc(std::uint64_t vaddr) {
+  auto it = allocs_.find(vaddr);
+  if (it == allocs_.end()) return;
+  memory_.live_bytes -= it->second.bytes;
+  ++memory_.frees;
+  allocs_.erase(it);
 }
 
 void Device::note_copy(std::uint64_t bytes, bool to_device) {

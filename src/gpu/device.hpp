@@ -14,6 +14,14 @@
 // overlap-aware completion time of the same ops, where concurrent streams
 // share SMs and copies ride the DMA engines.
 //
+// Failure: launches and allocations can fail — injected by the fault
+// engine (simt/fault.hpp) or genuinely (watchdog overrun, byte budget).
+// try_launch / try_launch_on return a LaunchReport carrying a gpu::Status
+// instead of throwing; the classic launch / launch_on wrappers stay and
+// throw DeviceError on a non-ok report, so fault-oblivious code keeps its
+// exact old behaviour (with no plan armed and no watchdog, every launch
+// reports OK). See DESIGN.md "Fault model and recovery".
+//
 // Execution engine: the SimConfig passed at construction flows through to
 // the simulator unchanged, so SimConfig::host_threads selects the serial
 // (default, bit-deterministic) or pooled-parallel engine for every launch
@@ -21,7 +29,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 
+#include "gpu/status.hpp"
 #include "simt/device_sim.hpp"
 
 namespace maxwarp::gpu {
@@ -33,6 +44,32 @@ struct TransferStats {
   std::uint64_t calls = 0;
   double modeled_ms = 0.0;
 };
+
+/// Accumulated device-memory accounting (the allocation registry).
+struct MemoryStats {
+  std::uint64_t live_bytes = 0;    ///< currently resident
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t failed_allocs = 0; ///< refused (injected OOM / byte budget)
+};
+
+/// What one try_launch produced: a Status, the kernel's stats (also
+/// already added to the device totals — a failed launch still consumed
+/// modeled time), and the injected fault, if one fired.
+struct LaunchReport {
+  Status status;
+  simt::KernelStats stats;
+  std::optional<simt::FaultEvent> fault;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Modeled duration charged to a kernel that hangs when no watchdog is
+/// armed anywhere: the simulator needs *some* finite deadline to charge,
+/// and 1000 ms is recognisably pathological next to sub-millisecond
+/// kernels without overflowing downstream arithmetic.
+inline constexpr double kDefaultHangMs = 1000.0;
 
 class Device {
  public:
@@ -47,8 +84,14 @@ class Device {
   simt::Sanitizer* sanitizer() { return sim_.sanitizer(); }
   const simt::Sanitizer* sanitizer() const { return sim_.sanitizer(); }
 
+  /// The fault-injection engine. Arm a FaultPlan here; every launch and
+  /// allocation on this device then consults it.
+  simt::FaultInjector& faults() { return sim_.faults(); }
+  const simt::FaultInjector& faults() const { return sim_.faults(); }
+
   /// Launches a kernel on the current stream and adds its stats to the
-  /// device totals.
+  /// device totals. Throws DeviceError when the launch fails (injected
+  /// fault or watchdog overrun); fault-free devices never throw.
   simt::KernelStats launch(const simt::LaunchDims& dims,
                            const simt::WarpFn& kernel);
 
@@ -59,11 +102,33 @@ class Device {
                               const simt::LaunchDims& dims,
                               const simt::WarpFn& kernel);
 
+  /// Non-throwing launch: failure comes back as LaunchReport::status.
+  /// The report's stats are already in the device totals either way.
+  LaunchReport try_launch(const simt::LaunchDims& dims,
+                          const simt::WarpFn& kernel);
+  LaunchReport try_launch_on(std::uint32_t stream_id,
+                             const simt::LaunchDims& dims,
+                             const simt::WarpFn& kernel);
+
   simt::LaunchDims dims_for_threads(std::uint64_t n) const {
     return sim_.dims_for_threads(n);
   }
   simt::LaunchDims dims_for_warps(std::uint64_t n) const {
     return sim_.dims_for_warps(n);
+  }
+
+  // -- watchdog -------------------------------------------------------------
+
+  /// Per-scope kernel deadline in modeled ms; overrides the device-wide
+  /// SimConfig::default_watchdog_ms while > 0. Prefer WatchdogScope over
+  /// calling the setter directly.
+  double launch_watchdog_ms() const { return watchdog_ms_; }
+  void set_launch_watchdog_ms(double ms) { watchdog_ms_ = ms; }
+
+  /// The deadline try_launch enforces right now: the scope override if
+  /// one is armed, else the device-wide default; 0 = no watchdog.
+  double effective_watchdog_ms() const {
+    return watchdog_ms_ > 0 ? watchdog_ms_ : config().default_watchdog_ms;
   }
 
   // -- streams --------------------------------------------------------------
@@ -90,16 +155,39 @@ class Device {
   /// timeline().reset() for that.)
   const simt::KernelStats& kernel_totals() const { return kernel_totals_; }
   const TransferStats& transfer_totals() const { return transfer_totals_; }
+  const MemoryStats& memory_totals() const { return memory_; }
   void reset_totals();
 
-  /// Total modeled time (kernels + transfers) in milliseconds under the
-  /// serial model: every kernel and copy back to back, no overlap.
+  /// Total modeled time (kernels + transfers + charged delays) in
+  /// milliseconds under the serial model: every op back to back.
   double total_modeled_ms() const;
+
+  /// Modeled host-side delays charged via charge_delay_ms (retry
+  /// backoff) since construction / reset_totals().
+  double delay_total_ms() const { return delay_total_ms_; }
+
+  /// Charges a host-side wait of `ms` modeled milliseconds to the current
+  /// stream (and to total_modeled_ms). The recovery paths use this so
+  /// retry backoff shows up honestly in modeled time instead of being
+  /// free.
+  void charge_delay_ms(double ms);
 
   // -- internal hooks used by DeviceBuffer ---------------------------------
 
   /// Reserves a 256-byte-aligned simulated global address range.
+  /// Infallible by itself; fallible allocation goes through try_allocate.
   std::uint64_t allocate_vaddr(std::uint64_t bytes);
+
+  /// Fallible allocation: consults the fault injector (alloc faults and
+  /// the plan's byte budget against current live bytes) and on success
+  /// reserves an address range into *vaddr. Zero-byte requests succeed.
+  Status try_allocate(std::uint64_t bytes, std::uint64_t* vaddr);
+
+  /// Registers/unregisters a live allocation's host backing store so ECC
+  /// faults can pick a victim byte and memory_totals() can account it.
+  void register_alloc(std::uint64_t vaddr, std::uint8_t* data,
+                      std::uint64_t bytes);
+  void unregister_alloc(std::uint64_t vaddr);
 
   /// Charges a host<->device copy of the given size to the current stream.
   void note_copy(std::uint64_t bytes, bool to_device);
@@ -109,11 +197,45 @@ class Device {
                     bool to_device);
 
  private:
+  struct Alloc {
+    std::uint8_t* data = nullptr;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Resolves an injected ECC event's flat byte offset (drawn over the
+  /// live footprint) to an allocation; corrupts the byte for
+  /// uncorrectable events.
+  void apply_ecc(const simt::FaultEvent& ev, bool corrupt);
+
   simt::DeviceSim sim_;
   std::uint64_t next_vaddr_ = 256;  // keep 0 an invalid address
   std::uint32_t current_stream_ = 0;
+  double watchdog_ms_ = 0;
   simt::KernelStats kernel_totals_;
   TransferStats transfer_totals_;
+  MemoryStats memory_;
+  double delay_total_ms_ = 0;
+  std::map<std::uint64_t, Alloc> allocs_;  ///< vaddr-ordered live registry
+};
+
+/// RAII per-scope watchdog: every launch inside the scope must finish
+/// within `watchdog_ms` modeled milliseconds or report DEADLINE_EXCEEDED.
+/// The algorithm drivers arm one when KernelOptions resilience carries a
+/// watchdog, so callers never touch the setter.
+class WatchdogScope {
+ public:
+  WatchdogScope(Device& device, double watchdog_ms)
+      : device_(&device), previous_(device.launch_watchdog_ms()) {
+    device.set_launch_watchdog_ms(watchdog_ms);
+  }
+  ~WatchdogScope() { device_->set_launch_watchdog_ms(previous_); }
+
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+ private:
+  Device* device_;
+  double previous_;
 };
 
 }  // namespace maxwarp::gpu

@@ -1,0 +1,104 @@
+// Structured error channel for the GPU host runtime.
+//
+// The execution stack historically had exactly one failure mode: throw and
+// unwind the whole program. Serving workloads need failure as a *value* —
+// a query that hits a device fault must report what happened without
+// killing its batchmates. gpu::Status is that value (cudaError_t with a
+// message), DeviceError is the exception that carries one across layers
+// that still unwind (the throwing Device::launch wrapper keeps ~all legacy
+// call sites working), and Device::try_launch / DeviceBuffer::try_create
+// are the non-throwing entry points built on it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace maxwarp::gpu {
+
+enum class ErrorCode {
+  kOk = 0,
+  /// Caller error (bad size, bad option); retrying cannot help.
+  kInvalidArgument,
+  /// Allocation refused: byte budget exhausted or injected OOM.
+  kOutOfMemory,
+  /// The launch was rejected before any warp ran (driver/stream failure).
+  kLaunchFailed,
+  /// The kernel exceeded its watchdog deadline (hang, or a genuine
+  /// overrun of an armed deadline).
+  kDeadlineExceeded,
+  /// An uncorrectable ECC event poisoned device memory during the launch;
+  /// resident data can no longer be trusted and must be restored.
+  kEccUncorrectable,
+};
+
+const char* to_string(ErrorCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for failures worth retrying on the same device: the fault was
+  /// transient (injected or environmental), not a caller error.
+  bool transient() const {
+    return code_ == ErrorCode::kLaunchFailed ||
+           code_ == ErrorCode::kDeadlineExceeded ||
+           code_ == ErrorCode::kEccUncorrectable ||
+           code_ == ErrorCode::kOutOfMemory;
+  }
+
+  /// "DEADLINE_EXCEEDED: kernel 'bfs.level.expand' ..." style one-liner.
+  std::string to_string() const;
+
+  bool operator==(const Status& o) const { return code_ == o.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Exception form of a non-ok Status, thrown by the legacy throwing entry
+/// points (Device::launch, the DeviceBuffer constructors). Catching it and
+/// reading status() is the bridge from unwind-style code to the error
+/// channel.
+class DeviceError : public std::runtime_error {
+ public:
+  explicit DeviceError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case ErrorCode::kLaunchFailed: return "LAUNCH_FAILED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kEccUncorrectable: return "ECC_UNCORRECTABLE";
+  }
+  return "UNKNOWN";
+}
+
+inline std::string Status::to_string() const {
+  std::string s = maxwarp::gpu::to_string(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace maxwarp::gpu

@@ -47,6 +47,14 @@ class Stream {
     return device_->launch_on(id_, dims, kernel);
   }
 
+  /// Non-throwing launch on this stream: failure (injected fault,
+  /// watchdog overrun) comes back as LaunchReport::status instead of a
+  /// DeviceError.
+  LaunchReport try_launch(const simt::LaunchDims& dims,
+                          const simt::WarpFn& kernel) const {
+    return device_->try_launch_on(id_, dims, kernel);
+  }
+
   /// Modeled completion time of everything queued so far (0 if idle).
   double ready_ms() const { return device_->timeline().stream_ready_ms(id_); }
 

@@ -113,6 +113,14 @@ struct SimConfig {
   /// Sanitizer thresholds; ignored unless `sanitize` is on.
   SanitizerOptions sanitizer;
 
+  /// Device-wide kernel watchdog in modeled milliseconds: a launch whose
+  /// modeled elapsed time exceeds this reports DEADLINE_EXCEEDED through
+  /// the gpu::Status error channel instead of succeeding. 0 (the
+  /// default) disables the watchdog, preserving the historical
+  /// "kernels always complete" behaviour. A KernelOptions resilience
+  /// watchdog or a gpu::WatchdogScope overrides this per scope.
+  double default_watchdog_ms = 0.0;
+
   void validate() const {
     if (num_sms == 0) throw std::invalid_argument("num_sms must be > 0");
     if (clock_ghz <= 0) throw std::invalid_argument("clock_ghz must be > 0");
@@ -129,6 +137,9 @@ struct SimConfig {
     }
     if (host_threads == 0) {
       throw std::invalid_argument("host_threads must be > 0");
+    }
+    if (default_watchdog_ms < 0) {
+      throw std::invalid_argument("default_watchdog_ms must be >= 0");
     }
   }
 

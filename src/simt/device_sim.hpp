@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "simt/config.hpp"
+#include "simt/fault.hpp"
 #include "simt/host_pool.hpp"
 #include "simt/sanitizer.hpp"
 #include "simt/stats.hpp"
@@ -106,6 +107,14 @@ class DeviceSim {
   Timeline& timeline() { return timeline_; }
   const Timeline& timeline() const { return timeline_; }
 
+  /// The fault-injection engine (simt/fault.hpp), disarmed by default.
+  /// Like the timeline, the injector only lives here; the host runtime
+  /// (gpu::Device) consults it per launch/allocation and applies the
+  /// outcomes, because outcomes need the allocation registry and the
+  /// Status error channel that live up there.
+  FaultInjector& faults() { return faults_; }
+  const FaultInjector& faults() const { return faults_; }
+
  private:
   /// Serial engine: one pooled WarpCtx, warps in launch order, SM
   /// scheduling folded into the loop (no per-block storage needed).
@@ -124,6 +133,7 @@ class DeviceSim {
   std::unique_ptr<Sanitizer> sanitizer_;
   std::unique_ptr<HostPool> pool_;  ///< lazily created, persists launches
   Timeline timeline_;
+  FaultInjector faults_;
   std::uint64_t launch_seq_ = 0;
 };
 

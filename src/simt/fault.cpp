@@ -1,0 +1,226 @@
+#include "simt/fault.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace maxwarp::simt {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kEccCorrectable: return "ecc";
+    case FaultKind::kEccUncorrectable: return "ecc-fatal";
+    case FaultKind::kKernelHang: return "hang";
+    case FaultKind::kAllocFail: return "alloc";
+    case FaultKind::kLaunchFail: return "launch";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad_plan(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("FaultPlan::parse: " + why + " in \"" +
+                              std::string(text) + "\"");
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view tok) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc() || p != tok.data() + tok.size())
+    bad_plan(text, "bad integer '" + std::string(tok) + "'");
+  return v;
+}
+
+double parse_prob(std::string_view text, std::string_view tok) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(std::string(tok), &used);
+    if (used != tok.size() || v < 0.0 || v > 1.0) throw std::exception();
+    return v;
+  } catch (...) {
+    bad_plan(text, "bad probability '" + std::string(tok) + "'");
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    auto semi = rest.find(';');
+    std::string_view item = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    // Trim surrounding spaces.
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (item.empty()) continue;
+
+    if (item.substr(0, 5) == "seed=") {
+      plan.seed = parse_u64(text, item.substr(5));
+      continue;
+    }
+    if (item.substr(0, 4) == "oom=") {
+      plan.oom_byte_budget = parse_u64(text, item.substr(4));
+      continue;
+    }
+
+    FaultSpec spec;
+    auto colon = item.find(':');
+    std::string_view kind = item.substr(0, colon);
+    if (kind == "ecc") spec.kind = FaultKind::kEccCorrectable;
+    else if (kind == "ecc-fatal") spec.kind = FaultKind::kEccUncorrectable;
+    else if (kind == "hang") spec.kind = FaultKind::kKernelHang;
+    else if (kind == "alloc") spec.kind = FaultKind::kAllocFail;
+    else if (kind == "launch") spec.kind = FaultKind::kLaunchFail;
+    else bad_plan(text, "unknown fault kind '" + std::string(kind) + "'");
+
+    item = colon == std::string_view::npos ? std::string_view{}
+                                           : item.substr(colon + 1);
+    while (!item.empty()) {
+      colon = item.find(':');
+      std::string_view opt = item.substr(0, colon);
+      item = colon == std::string_view::npos ? std::string_view{}
+                                             : item.substr(colon + 1);
+      if (opt.substr(0, 2) == "p=") {
+        spec.trigger.probability = parse_prob(text, opt.substr(2));
+      } else if (opt.substr(0, 4) == "nth=") {
+        std::string_view v = opt.substr(4);
+        if (!v.empty() && v.back() == '+') {
+          spec.trigger.sticky = true;
+          v.remove_suffix(1);
+        }
+        spec.trigger.nth = parse_u64(text, v);
+        if (spec.trigger.nth == 0) bad_plan(text, "nth must be >= 1");
+      } else if (opt.substr(0, 6) == "label=") {
+        spec.label = std::string(opt.substr(6));
+      } else if (opt.substr(0, 4) == "max=") {
+        spec.max_fires = parse_u64(text, opt.substr(4));
+      } else {
+        bad_plan(text, "unknown option '" + std::string(opt) + "'");
+      }
+    }
+    if (spec.trigger.probability == 0.0 && spec.trigger.nth == 0)
+      bad_plan(text, "fault needs a trigger (p= or nth=)");
+    plan.faults.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  auto append = [&out](const std::string& item) {
+    if (!out.empty()) out += ';';
+    out += item;
+  };
+  for (const FaultSpec& spec : faults) {
+    std::string item = simt::to_string(spec.kind);
+    if (spec.trigger.nth > 0) {
+      item += ":nth=" + std::to_string(spec.trigger.nth);
+      if (spec.trigger.sticky) item += '+';
+    } else {
+      item += ":p=" + std::to_string(spec.trigger.probability);
+    }
+    if (!spec.label.empty()) item += ":label=" + spec.label;
+    if (spec.max_fires != 1) item += ":max=" + std::to_string(spec.max_fires);
+    append(item);
+  }
+  if (oom_byte_budget > 0) append("oom=" + std::to_string(oom_byte_budget));
+  append("seed=" + std::to_string(seed));
+  return out;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  plan_ = std::move(plan);
+  armed_ = true;
+  rng_ = util::Rng(plan_.seed);
+  state_.assign(plan_.faults.size(), SpecState{});
+  history_.clear();
+  launches_seen_ = 0;
+  allocs_seen_ = 0;
+}
+
+void FaultInjector::disarm() { armed_ = false; }
+
+bool FaultInjector::should_fire(std::size_t i) {
+  const FaultSpec& spec = plan_.faults[i];
+  SpecState& st = state_[i];
+  ++st.occurrences;
+  if (spec.max_fires > 0 && st.fires >= spec.max_fires) return false;
+  bool fire;
+  if (spec.trigger.nth > 0) {
+    fire = spec.trigger.sticky ? st.occurrences >= spec.trigger.nth
+                               : st.occurrences == spec.trigger.nth;
+  } else {
+    // One draw per eligible occurrence, fired or not, so the stream
+    // position depends only on the operation sequence.
+    fire = rng_.next_bool(spec.trigger.probability);
+  }
+  if (fire) ++st.fires;
+  return fire;
+}
+
+std::optional<FaultEvent> FaultInjector::on_launch(
+    std::string_view label, std::uint64_t resident_bytes) {
+  if (!armed_) return std::nullopt;
+  ++launches_seen_;
+  // Every spec observes every eligible launch (counters and probability
+  // draws advance unconditionally) so one spec firing cannot shift
+  // another spec's occurrence stream. The first firing spec claims the
+  // launch; a later spec's fire on the same launch is swallowed.
+  std::optional<FaultEvent> result;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& spec = plan_.faults[i];
+    if (spec.kind == FaultKind::kAllocFail) continue;
+    if (!spec.label.empty() && label.find(spec.label) == std::string_view::npos)
+      continue;
+    bool is_ecc = spec.kind == FaultKind::kEccCorrectable ||
+                  spec.kind == FaultKind::kEccUncorrectable;
+    if (is_ecc && resident_bytes == 0) continue;  // nothing to corrupt
+    if (!should_fire(i) || result) continue;
+
+    FaultEvent ev;
+    ev.kind = spec.kind;
+    ev.occurrence = state_[i].occurrences;
+    ev.label = std::string(label);
+    if (is_ecc) {
+      ev.byte_offset = rng_.next_below(resident_bytes);
+      ev.bit = static_cast<std::uint32_t>(rng_.next_below(8));
+    }
+    result = std::move(ev);
+  }
+  if (result) history_.push_back(*result);
+  return result;
+}
+
+bool FaultInjector::on_alloc(std::uint64_t bytes, std::uint64_t live_bytes) {
+  if (!armed_) return false;
+  ++allocs_seen_;
+  // Spec counters advance on every allocation even when the byte budget
+  // already refuses it — see the counter-stability note in on_launch.
+  bool fail = false;
+  std::uint64_t occurrence = allocs_seen_;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    if (plan_.faults[i].kind != FaultKind::kAllocFail) continue;
+    if (should_fire(i) && !fail) {
+      fail = true;
+      occurrence = state_[i].occurrences;
+    }
+  }
+  if (plan_.oom_byte_budget > 0 &&
+      (bytes > plan_.oom_byte_budget ||
+       live_bytes > plan_.oom_byte_budget - bytes)) {
+    fail = true;
+    occurrence = allocs_seen_;
+  }
+  if (fail) {
+    FaultEvent ev;
+    ev.kind = FaultKind::kAllocFail;
+    ev.occurrence = occurrence;
+    history_.push_back(ev);
+  }
+  return fail;
+}
+
+}  // namespace maxwarp::simt

@@ -1,0 +1,182 @@
+// Deterministic, seedable fault injection for the SIMT simulator.
+//
+// Real GPU serving fleets see transient ECC events, hung kernels,
+// allocation failures and launch rejections. None of those can be
+// provoked on demand against real hardware, which is exactly why the
+// recovery paths above them rot. The simulator can do better: a
+// FaultInjector owned by DeviceSim decides — from a fixed-seed RNG and a
+// declarative FaultPlan — which kernel launches and allocations fail and
+// how, so every failure scenario is a reproducible test input.
+//
+// Determinism contract: given the same FaultPlan (same seed) and the same
+// sequence of operations (launch labels in order, allocation sizes in
+// order), the injector makes bit-identical decisions. Probability
+// triggers draw from one xoshiro256** stream advanced once per *eligible*
+// operation, so unrelated code paths cannot perturb each other's draws.
+//
+// The injector only *decides*; applying an outcome (flipping a bit in a
+// buffer, timing out a launch, failing an allocation) is the host
+// runtime's job (gpu::Device), which owns the allocation registry and the
+// Status error channel. See DESIGN.md "Fault model and recovery".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace maxwarp::simt {
+
+enum class FaultKind {
+  /// Single-bit memory flip, corrected by ECC: the data is unharmed but
+  /// the event is logged (and, on real hardware, the error counter
+  /// ticks). Launch succeeds.
+  kEccCorrectable,
+  /// Multi-bit / uncorrectable flip: a bit in some live allocation is
+  /// actually corrupted and the launch is aborted (its side effects
+  /// never land, as on real hardware) reporting ECC_UNCORRECTABLE.
+  /// Recovery must assume any resident data — results or topology —
+  /// may be the victim.
+  kEccUncorrectable,
+  /// Kernel hang: the launch runs to the watchdog deadline and is
+  /// reported DEADLINE_EXCEEDED; its side effects are indeterminate
+  /// (the simulator lets them land, which is the adversarial case for
+  /// recovery code).
+  kKernelHang,
+  /// Allocation failure: the next matching allocation reports
+  /// OUT_OF_MEMORY.
+  kAllocFail,
+  /// Launch rejection: the kernel never runs; only launch overhead is
+  /// charged. Reported LAUNCH_FAILED.
+  kLaunchFail,
+};
+
+const char* to_string(FaultKind kind);
+
+/// When a FaultSpec fires. Exactly one of `probability` / `nth` is used:
+/// nth > 0 counts *eligible* occurrences (label-matched launches, or
+/// allocations) and fires on the nth one; otherwise each eligible
+/// occurrence fires independently with `probability`.
+struct FaultTrigger {
+  double probability = 0.0;
+  std::uint64_t nth = 0;
+  /// With nth: keep firing on every occurrence >= nth ("sticky"), not
+  /// just the nth itself. Used to model a persistently bad path (a
+  /// kernel that will never succeed), which is what drives code down the
+  /// degradation ladder rather than round a retry loop.
+  bool sticky = false;
+};
+
+/// One injectable fault: what to inject, when, and where.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLaunchFail;
+  FaultTrigger trigger;
+  /// Substring filter on the kernel label; empty matches every launch.
+  /// Ignored by kAllocFail (allocations have no label).
+  std::string label;
+  /// Cap on total fires; 0 = unlimited. Default 1: most tests want one
+  /// well-placed failure, not a storm.
+  std::uint64_t max_fires = 1;
+};
+
+/// A complete armed scenario: an ordered list of fault specs (first
+/// matching spec fires; at most one fault per operation) plus the RNG
+/// seed and an optional device byte budget.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  std::uint64_t seed = 1;
+  /// When > 0, Device::try_allocate fails with OUT_OF_MEMORY once live
+  /// bytes would exceed this budget — deterministic OOM without a spec.
+  std::uint64_t oom_byte_budget = 0;
+
+  bool empty() const { return faults.empty() && oom_byte_budget == 0; }
+
+  /// Parses the compact plan syntax used by tests, examples and the
+  /// fault_drill CLI:
+  ///
+  ///   plan   := item (';' item)*
+  ///   item   := fault | "seed=" N | "oom=" BYTES
+  ///   fault  := kind (':' opt)*
+  ///   kind   := "ecc" | "ecc-fatal" | "hang" | "alloc" | "launch"
+  ///   opt    := "p=" FLOAT | "nth=" N ['+'] | "label=" SUBSTR | "max=" N
+  ///
+  /// Examples:
+  ///   "launch:nth=3:label=bfs.level"        fail the 3rd bfs.level launch
+  ///   "ecc-fatal:p=0.01;seed=42"            1% uncorrectable ECC, seed 42
+  ///   "hang:nth=1+:label=msbfs:max=0"       every msbfs launch hangs
+  ///
+  /// Throws std::invalid_argument on malformed input.
+  static FaultPlan parse(std::string_view text);
+
+  /// Round-trips back to the parse() syntax (diagnostics, fault_drill).
+  std::string to_string() const;
+};
+
+/// One injected fault, as recorded in the injector's history.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLaunchFail;
+  std::uint64_t occurrence = 0;  ///< eligible-op ordinal that fired (1-based)
+  std::string label;             ///< kernel label ("" for allocations)
+  /// ECC only: flat byte offset into the victim allocation and bit index,
+  /// chosen by the injector; the device resolves them to an allocation.
+  std::uint64_t byte_offset = 0;
+  std::uint32_t bit = 0;
+};
+
+/// The per-operation decision engine. Owned by DeviceSim (one per
+/// simulated device); consulted by gpu::Device on every kernel launch and
+/// allocation. All methods are deterministic functions of (plan, history
+/// of calls).
+class FaultInjector {
+ public:
+  /// Arms `plan`. Resets all counters and reseeds the RNG, so arming the
+  /// same plan twice replays the same decision sequence.
+  void arm(FaultPlan plan);
+
+  /// Disarms; subsequent operations are fault-free. History is kept.
+  void disarm();
+
+  bool armed() const { return armed_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Decision for a kernel launch with the given label. Returns the fault
+  /// to apply, or nullopt for a clean launch. kAllocFail specs never
+  /// match here. For ECC kinds the event carries a (byte_offset, bit)
+  /// drawn over `resident_bytes` (the device's current live footprint);
+  /// resident_bytes == 0 suppresses ECC faults (nothing to corrupt).
+  std::optional<FaultEvent> on_launch(std::string_view label,
+                                      std::uint64_t resident_bytes);
+
+  /// Decision for an allocation of `bytes` with `live_bytes` already
+  /// resident. True = fail the allocation. Covers both kAllocFail specs
+  /// and the plan's oom_byte_budget.
+  bool on_alloc(std::uint64_t bytes, std::uint64_t live_bytes);
+
+  /// Every fault injected since the last arm(), in order.
+  const std::vector<FaultEvent>& history() const { return history_; }
+
+  std::uint64_t launches_seen() const { return launches_seen_; }
+  std::uint64_t allocs_seen() const { return allocs_seen_; }
+
+ private:
+  struct SpecState {
+    std::uint64_t occurrences = 0;  ///< eligible ops seen by this spec
+    std::uint64_t fires = 0;
+  };
+
+  /// Whether spec `i` fires for its current eligible occurrence.
+  bool should_fire(std::size_t i);
+
+  FaultPlan plan_;
+  bool armed_ = false;
+  util::Rng rng_{1};
+  std::vector<SpecState> state_;
+  std::vector<FaultEvent> history_;
+  std::uint64_t launches_seen_ = 0;
+  std::uint64_t allocs_seen_ = 0;
+};
+
+}  // namespace maxwarp::simt

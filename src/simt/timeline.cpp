@@ -78,6 +78,16 @@ void Timeline::push_copy(StreamId s, double duration_ms, bool to_device) {
   engine_tail_[engine] = static_cast<std::int64_t>(ops_.size() - 1);
 }
 
+void Timeline::push_delay(StreamId s, double duration_ms) {
+  Op op;
+  op.stream = s;
+  // Shaped like a copy (fixed duration, no SM water-filling) but pushed
+  // without an engine dependency, so it holds no DMA engine either.
+  op.is_copy = true;
+  op.span_ms = duration_ms;
+  push_op(std::move(op));
+}
+
 Timeline::EventId Timeline::record(StreamId s) {
   if (s >= stream_tail_.size()) {
     throw std::out_of_range("Timeline: unknown stream");

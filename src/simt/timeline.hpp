@@ -60,6 +60,12 @@ class Timeline {
   /// Queues a host<->device copy of the given modeled duration on `s`.
   void push_copy(StreamId s, double duration_ms, bool to_device);
 
+  /// Queues a fixed-duration stall on `s`: it delays the stream (and
+  /// counts toward serial_ms) but consumes no SM capacity and no DMA
+  /// engine. Models host-side waits charged to the device clock — retry
+  /// backoff in the fault-recovery path.
+  void push_delay(StreamId s, double duration_ms);
+
   /// Captures the completion of everything queued on `s` so far.
   EventId record(StreamId s);
 

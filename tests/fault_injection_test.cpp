@@ -1,0 +1,471 @@
+// Fault-injection engine: plan parsing, injector determinism, per-kind
+// device behaviour, alloc-path robustness, and the recovery fault matrix
+// (every fault kind against bfs/pagerank with bit-identical replay).
+#include "simt/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/gpu_graph.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "gpu/buffer.hpp"
+#include "gpu/device.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp {
+namespace {
+
+using algorithms::GpuGraph;
+using algorithms::KernelOptions;
+using simt::FaultEvent;
+using simt::FaultKind;
+using simt::FaultPlan;
+
+// ---------------------------------------------------------------- parsing --
+
+TEST(FaultPlanTest, ParsesEveryKindAndOption) {
+  const FaultPlan plan = FaultPlan::parse(
+      "ecc:p=0.25;ecc-fatal:nth=3:label=bfs;hang:nth=2+:max=0;"
+      "alloc:nth=1;launch:p=0.5:max=7;oom=1024;seed=42");
+  ASSERT_EQ(plan.faults.size(), 5u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kEccCorrectable);
+  EXPECT_DOUBLE_EQ(plan.faults[0].trigger.probability, 0.25);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::kEccUncorrectable);
+  EXPECT_EQ(plan.faults[1].trigger.nth, 3u);
+  EXPECT_EQ(plan.faults[1].label, "bfs");
+  EXPECT_EQ(plan.faults[2].kind, FaultKind::kKernelHang);
+  EXPECT_TRUE(plan.faults[2].trigger.sticky);
+  EXPECT_EQ(plan.faults[2].max_fires, 0u);
+  EXPECT_EQ(plan.faults[3].kind, FaultKind::kAllocFail);
+  EXPECT_EQ(plan.faults[4].kind, FaultKind::kLaunchFail);
+  EXPECT_EQ(plan.faults[4].max_fires, 7u);
+  EXPECT_EQ(plan.oom_byte_budget, 1024u);
+  EXPECT_EQ(plan.seed, 42u);
+}
+
+TEST(FaultPlanTest, RoundTripsThroughToString) {
+  const char* text =
+      "ecc-fatal:nth=3:label=bfs;hang:nth=2+:max=0;oom=1024;seed=42";
+  const FaultPlan plan = FaultPlan::parse(text);
+  const FaultPlan again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(plan.to_string(), again.to_string());
+  EXPECT_EQ(again.faults.size(), 2u);
+  EXPECT_EQ(again.seed, 42u);
+  EXPECT_EQ(again.oom_byte_budget, 1024u);
+}
+
+TEST(FaultPlanTest, RejectsMalformedInput) {
+  EXPECT_THROW(FaultPlan::parse("frobnicate:nth=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("launch"), std::invalid_argument);  // no trig
+  EXPECT_THROW(FaultPlan::parse("launch:nth=0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("launch:p=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("launch:p=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("launch:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed=xyz"), std::invalid_argument);
+}
+
+TEST(FaultPlanTest, EmptyPlanIsEmpty) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(" ; ; ").empty());
+  EXPECT_FALSE(FaultPlan::parse("oom=100").empty());
+}
+
+// --------------------------------------------------------------- injector --
+
+TEST(FaultInjectorTest, NthFiresExactlyOnce) {
+  simt::FaultInjector inj;
+  inj.arm(FaultPlan::parse("launch:nth=3"));
+  for (int i = 0; i < 10; ++i) {
+    const auto ev = inj.on_launch("k", 0);
+    EXPECT_EQ(ev.has_value(), i == 2) << "launch " << i;
+  }
+  EXPECT_EQ(inj.history().size(), 1u);
+  EXPECT_EQ(inj.launches_seen(), 10u);
+}
+
+TEST(FaultInjectorTest, StickyNthKeepsFiringUpToMax) {
+  simt::FaultInjector inj;
+  inj.arm(FaultPlan::parse("launch:nth=2+:max=3"));
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.on_launch("k", 0)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);  // launches 2, 3, 4
+
+  inj.arm(FaultPlan::parse("launch:nth=2+:max=0"));  // unlimited
+  fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.on_launch("k", 0)) ++fired;
+  }
+  EXPECT_EQ(fired, 9);
+}
+
+TEST(FaultInjectorTest, LabelSubstringFilter) {
+  simt::FaultInjector inj;
+  inj.arm(FaultPlan::parse("launch:nth=1:label=bfs.level:max=0"));
+  EXPECT_FALSE(inj.on_launch("pagerank.gather", 0));
+  EXPECT_FALSE(inj.on_launch("bfs.queue.expand", 0));
+  // Occurrences count only label-matched launches, so the first matching
+  // one is the "nth=1" victim regardless of what ran before.
+  EXPECT_TRUE(inj.on_launch("bfs.level.expand", 0));
+}
+
+TEST(FaultInjectorTest, ProbabilityReplaysBitIdentically) {
+  const FaultPlan plan = FaultPlan::parse("launch:p=0.3:max=0;seed=7");
+  simt::FaultInjector inj;
+  std::vector<bool> first;
+  inj.arm(plan);
+  for (int i = 0; i < 200; ++i) {
+    first.push_back(inj.on_launch("k", 0).has_value());
+  }
+  // Re-arming the same plan resets counters and reseeds: same decisions.
+  inj.arm(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(inj.on_launch("k", 0).has_value(), first[i]) << "launch " << i;
+  }
+  // A different seed gives a different (but valid) sequence.
+  FaultPlan other = plan;
+  other.seed = 8;
+  inj.arm(other);
+  std::vector<bool> second;
+  for (int i = 0; i < 200; ++i) {
+    second.push_back(inj.on_launch("k", 0).has_value());
+  }
+  EXPECT_NE(first, second);
+}
+
+TEST(FaultInjectorTest, EccSuppressedWithNothingResident) {
+  simt::FaultInjector inj;
+  inj.arm(FaultPlan::parse("ecc-fatal:nth=1+:max=0"));
+  EXPECT_FALSE(inj.on_launch("k", 0));     // no victim bytes
+  const auto ev = inj.on_launch("k", 4096);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_LT(ev->byte_offset, 4096u);
+  EXPECT_LT(ev->bit, 8u);
+}
+
+TEST(FaultInjectorTest, DisarmStopsDecisions) {
+  simt::FaultInjector inj;
+  inj.arm(FaultPlan::parse("launch:nth=1+:max=0"));
+  EXPECT_TRUE(inj.on_launch("k", 0));
+  inj.disarm();
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.on_launch("k", 0));
+}
+
+// ----------------------------------------------------- device application --
+
+TEST(DeviceFaultTest, LaunchFailSkipsTheKernel) {
+  gpu::Device dev;
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  buf.fill(0);
+  dev.faults().arm(FaultPlan::parse("launch:nth=1"));
+  auto ptr = buf.ptr();
+  const auto report = dev.try_launch(
+      dev.dims_for_threads(32).named("t.store"), [&](simt::WarpCtx& w) {
+        w.store_global(ptr, [&](int l) { return w.thread_id(l); },
+                       [](int) { return 7u; });
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), gpu::ErrorCode::kLaunchFailed);
+  ASSERT_TRUE(report.fault.has_value());
+  EXPECT_EQ(report.fault->kind, FaultKind::kLaunchFail);
+  // The kernel never ran: only launch overhead was charged, no stores.
+  EXPECT_EQ(buf.download(), std::vector<std::uint32_t>(32, 0));
+  EXPECT_EQ(report.stats.elapsed_cycles,
+            dev.config().kernel_launch_overhead_cycles);
+}
+
+TEST(DeviceFaultTest, HangRunsChargesDeadlineAndReportsIt) {
+  gpu::Device dev;
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  buf.fill(0);
+  dev.faults().arm(FaultPlan::parse("hang:nth=1"));
+  auto ptr = buf.ptr();
+  gpu::WatchdogScope watchdog(dev, 2.0);
+  const auto report = dev.try_launch(
+      dev.dims_for_threads(32).named("t.store"), [&](simt::WarpCtx& w) {
+        w.store_global(ptr, [&](int l) { return w.thread_id(l); },
+                       [](int) { return 7u; });
+      });
+  EXPECT_EQ(report.status.code(), gpu::ErrorCode::kDeadlineExceeded);
+  // Adversarial hang model: side effects land anyway (recovery must
+  // treat the state as dirty)...
+  EXPECT_EQ(buf.download(), std::vector<std::uint32_t>(32, 7));
+  // ...and the modeled cost is the watchdog deadline, not the kernel.
+  EXPECT_GE(report.stats.elapsed_ms(dev.config()), 2.0);
+}
+
+TEST(DeviceFaultTest, HangWithoutAnyWatchdogChargesDefaultHangMs) {
+  gpu::Device dev;
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 32);
+  dev.faults().arm(FaultPlan::parse("hang:nth=1"));
+  const auto report = dev.try_launch(dev.dims_for_threads(32).named("t"),
+                                     [](simt::WarpCtx& w) {
+                                       w.alu([](int) {});
+                                     });
+  EXPECT_EQ(report.status.code(), gpu::ErrorCode::kDeadlineExceeded);
+  EXPECT_GE(report.stats.elapsed_ms(dev.config()), gpu::kDefaultHangMs);
+}
+
+TEST(DeviceFaultTest, CorrectableEccLogsWithoutCorruption) {
+  gpu::Device dev;
+  std::vector<std::uint32_t> host(64, 0xdeadbeefu);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, host);
+  dev.faults().arm(FaultPlan::parse("ecc:nth=1"));
+  const auto report = dev.try_launch(dev.dims_for_threads(32).named("t"),
+                                     [](simt::WarpCtx& w) {
+                                       w.alu([](int) {});
+                                     });
+  EXPECT_TRUE(report.ok());  // corrected: the launch succeeds
+  ASSERT_TRUE(report.fault.has_value());
+  EXPECT_EQ(report.fault->kind, FaultKind::kEccCorrectable);
+  EXPECT_EQ(buf.download(), host);  // data unharmed
+}
+
+TEST(DeviceFaultTest, UncorrectableEccFlipsExactlyOneBit) {
+  gpu::Device dev;
+  std::vector<std::uint32_t> host(64, 0);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, host);
+  dev.faults().arm(FaultPlan::parse("ecc-fatal:nth=1;seed=5"));
+  const auto report = dev.try_launch(dev.dims_for_threads(32).named("t"),
+                                     [](simt::WarpCtx& w) {
+                                       w.alu([](int) {});
+                                     });
+  EXPECT_EQ(report.status.code(), gpu::ErrorCode::kEccUncorrectable);
+  const auto after = buf.download();
+  int flipped_bits = 0;
+  for (const std::uint32_t word : after) {
+    std::uint32_t diff = word;
+    while (diff != 0) {
+      ++flipped_bits;
+      diff &= diff - 1;
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST(DeviceFaultTest, GenuineWatchdogOverrunNeedsNoPlan) {
+  simt::SimConfig cfg;
+  cfg.default_watchdog_ms = 1e-9;  // everything overruns
+  gpu::Device dev(cfg);
+  const auto report = dev.try_launch(dev.dims_for_threads(1024).named("t"),
+                                     [](simt::WarpCtx& w) {
+                                       w.alu([](int) {});
+                                     });
+  EXPECT_EQ(report.status.code(), gpu::ErrorCode::kDeadlineExceeded);
+  EXPECT_FALSE(report.fault.has_value());  // genuine, not injected
+}
+
+TEST(DeviceFaultTest, ThrowingLaunchWrapsReportInDeviceError) {
+  gpu::Device dev;
+  dev.faults().arm(FaultPlan::parse("launch:nth=1"));
+  try {
+    dev.launch(dev.dims_for_threads(32).named("t"),
+               [](simt::WarpCtx& w) { w.alu([](int) {}); });
+    FAIL() << "expected DeviceError";
+  } catch (const gpu::DeviceError& e) {
+    EXPECT_EQ(e.status().code(), gpu::ErrorCode::kLaunchFailed);
+    EXPECT_TRUE(e.status().transient());
+  }
+}
+
+// -------------------------------------------------------------- alloc path --
+
+TEST(AllocFaultTest, ByteBudgetRefusesOverCommit) {
+  gpu::Device dev;
+  dev.faults().arm(FaultPlan::parse("oom=1024"));
+  gpu::Status st;
+  auto small = gpu::DeviceBuffer<std::uint32_t>::try_create(dev, 128, &st);
+  ASSERT_TRUE(small.has_value()) << st.to_string();  // 512 bytes fit
+  auto big = gpu::DeviceBuffer<std::uint32_t>::try_create(dev, 256, &st);
+  EXPECT_FALSE(big.has_value());  // 512 live + 1024 > budget
+  EXPECT_EQ(st.code(), gpu::ErrorCode::kOutOfMemory);
+  EXPECT_EQ(dev.memory_totals().failed_allocs, 1u);
+  // Freeing the first buffer makes room again.
+  small.reset();
+  auto retry = gpu::DeviceBuffer<std::uint32_t>::try_create(dev, 256, &st);
+  EXPECT_TRUE(retry.has_value()) << st.to_string();
+}
+
+TEST(AllocFaultTest, NthAllocFailsWithStatusNotUb) {
+  gpu::Device dev;
+  dev.faults().arm(FaultPlan::parse("alloc:nth=2"));
+  gpu::DeviceBuffer<std::uint32_t> first(dev, 16);
+  EXPECT_THROW(gpu::DeviceBuffer<std::uint32_t>(dev, 16), gpu::DeviceError);
+  gpu::DeviceBuffer<std::uint32_t> third(dev, 16);  // fault spent
+  EXPECT_EQ(third.size(), 16u);
+}
+
+TEST(AllocFaultTest, ZeroByteAllocationIsValid) {
+  gpu::Device dev;
+  dev.faults().arm(FaultPlan::parse("oom=1"));  // tightest possible budget
+  gpu::DeviceBuffer<std::uint32_t> empty(dev, 0);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.size_bytes(), 0u);
+  EXPECT_EQ(empty.download(), std::vector<std::uint32_t>{});
+}
+
+TEST(AllocFaultTest, NearSizeMaxCountReportsInvalidArgument) {
+  gpu::Device dev;
+  gpu::Status st;
+  const auto huge = gpu::DeviceBuffer<std::uint64_t>::try_create(
+      dev, std::numeric_limits<std::size_t>::max() - 1, &st);
+  EXPECT_FALSE(huge.has_value());
+  EXPECT_EQ(st.code(), gpu::ErrorCode::kInvalidArgument);
+  // The device is untouched and fully usable afterwards.
+  gpu::DeviceBuffer<std::uint32_t> ok(dev, 8);
+  EXPECT_EQ(ok.size(), 8u);
+}
+
+// ------------------------------------------------------------ fault matrix --
+
+// Recovery contract: for every injectable fault kind, the resilient
+// drivers produce results bit-identical to the fault-free run, and the
+// same plan replays to the same recovery path.
+class FaultMatrixTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultMatrixTest, BfsRecoversBitIdentically) {
+  const graph::Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 11});
+
+  gpu::Device clean_dev;
+  const auto expected =
+      algorithms::bfs_gpu(GpuGraph(clean_dev, host), 0).level;
+
+  const std::string plan = std::string(GetParam()) + ";seed=13";
+  for (int replay = 0; replay < 2; ++replay) {
+    gpu::Device dev;
+    GpuGraph g(dev, host);
+    dev.faults().arm(FaultPlan::parse(plan));
+    const auto got = algorithms::bfs_gpu(g, 0);
+    EXPECT_EQ(got.level, expected) << "plan " << plan;
+    EXPECT_EQ(dev.faults().history().size(), 1u);
+    if (dev.faults().history()[0].kind != FaultKind::kEccCorrectable) {
+      EXPECT_GE(got.stats.recovery.retries, 1u);
+      EXPECT_GE(got.stats.recovery.restores, 1u);
+    }
+  }
+}
+
+TEST_P(FaultMatrixTest, PagerankRecoversBitIdentically) {
+  const graph::Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 11});
+  const algorithms::PageRankParams params{.iterations = 8};
+
+  gpu::Device clean_dev;
+  const auto expected =
+      algorithms::pagerank_gpu(GpuGraph(clean_dev, host), params).rank;
+
+  const std::string plan = std::string(GetParam()) + ";seed=13";
+  for (int replay = 0; replay < 2; ++replay) {
+    gpu::Device dev;
+    GpuGraph g(dev, host);
+    dev.faults().arm(FaultPlan::parse(plan));
+    const auto got = algorithms::pagerank_gpu(g, params);
+    EXPECT_EQ(got.rank, expected) << "plan " << plan;
+    if (dev.faults().history()[0].kind == FaultKind::kEccUncorrectable) {
+      EXPECT_GE(got.stats.recovery.graph_refreshes, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, FaultMatrixTest,
+                         ::testing::Values("ecc:nth=2", "ecc-fatal:nth=2",
+                                           "hang:nth=2", "launch:nth=2"),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == ':' || c == '=' || c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(FaultRecoveryTest, BackoffIsChargedToModeledTime) {
+  const graph::Csr host = graph::erdos_renyi(256, 1024, {.seed = 3});
+  gpu::Device dev;
+  GpuGraph g(dev, host);
+  dev.faults().arm(FaultPlan::parse("launch:nth=3"));
+  KernelOptions opts;
+  opts.resilience.backoff_ms = 0.5;
+  const auto got = algorithms::bfs_gpu(g, 0, opts);
+  ASSERT_GE(got.stats.recovery.retries, 1u);
+  EXPECT_GE(got.stats.recovery.backoff_ms, 0.5);
+  EXPECT_GE(dev.delay_total_ms(), 0.5);  // not free: lands in the model
+}
+
+TEST(FaultRecoveryTest, CheckpointOffFailsTheRun) {
+  const graph::Csr host = graph::erdos_renyi(256, 1024, {.seed = 3});
+  gpu::Device dev;
+  GpuGraph g(dev, host);
+  dev.faults().arm(FaultPlan::parse("launch:nth=3"));
+  KernelOptions opts;
+  opts.resilience.checkpoint = KernelOptions::Resilience::Checkpoint::kOff;
+  EXPECT_THROW(algorithms::bfs_gpu(g, 0, opts), gpu::DeviceError);
+}
+
+TEST(FaultRecoveryTest, RetriesExhaustedEscapesWithLastStatus) {
+  const graph::Csr host = graph::erdos_renyi(256, 1024, {.seed = 3});
+  gpu::Device dev;
+  GpuGraph g(dev, host);
+  // A persistently bad kernel: every launch of the run fails.
+  dev.faults().arm(FaultPlan::parse("launch:nth=1+:max=0"));
+  try {
+    algorithms::bfs_gpu(g, 0);
+    FAIL() << "expected DeviceError";
+  } catch (const gpu::DeviceError& e) {
+    EXPECT_EQ(e.status().code(), gpu::ErrorCode::kLaunchFailed);
+  }
+}
+
+TEST(FaultRecoveryTest, UnarmedRunTakesNoCheckpoints) {
+  const graph::Csr host = graph::erdos_renyi(256, 1024, {.seed = 3});
+  gpu::Device dev;
+  GpuGraph g(dev, host);
+  const auto got = algorithms::bfs_gpu(g, 0);
+  EXPECT_EQ(got.stats.recovery.checkpoints, 0u);
+  EXPECT_EQ(got.stats.recovery.retries, 0u);
+  EXPECT_EQ(got.stats.recovery.backoff_ms, 0.0);
+}
+
+// Randomized soak: probabilistic multi-kind plans across seeds. Every
+// outcome is legal — full recovery (bit-identical result) or a
+// structured error once retries are exhausted — and every seed must
+// replay to the identical outcome.
+TEST(FaultSoakTest, RandomizedPlansAreDeterministicAndRecoverable) {
+  const graph::Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 21});
+  gpu::Device clean_dev;
+  const auto expected =
+      algorithms::bfs_gpu(GpuGraph(clean_dev, host), 0).level;
+
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const std::string plan =
+        "hang:p=0.02:max=0;ecc-fatal:p=0.01:max=0;launch:p=0.02:max=0;"
+        "seed=" + std::to_string(seed);
+    std::vector<std::vector<std::uint32_t>> levels;
+    std::vector<std::string> outcomes;
+    for (int replay = 0; replay < 2; ++replay) {
+      gpu::Device dev;
+      GpuGraph g(dev, host);
+      dev.faults().arm(FaultPlan::parse(plan));
+      try {
+        const auto got = algorithms::bfs_gpu(g, 0);
+        EXPECT_EQ(got.level, expected) << "seed " << seed;
+        levels.push_back(got.level);
+        outcomes.push_back("ok");
+      } catch (const gpu::DeviceError& e) {
+        levels.push_back({});
+        outcomes.push_back(gpu::to_string(e.status().code()));
+      }
+    }
+    EXPECT_EQ(outcomes[0], outcomes[1]) << "seed " << seed;
+    EXPECT_EQ(levels[0], levels[1]) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace maxwarp
