@@ -128,7 +128,7 @@ void print_panel3() {
     push_opts.virtual_warp_width = 8;
     const auto push = algorithms::bfs_gpu(algorithms::GpuGraph(d1, g), source, push_opts);
     gpu::Device d2;
-    // Match the push baseline's W=8 (the legacy DirectionOptions default).
+    // Match the push baseline's W=8 so only the direction choice differs.
     algorithms::KernelOptions hybrid_opts;
     hybrid_opts.virtual_warp_width = 8;
     const auto hybrid = algorithms::bfs_gpu_direction_optimized(

@@ -15,9 +15,22 @@ fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
 echo "== normal configuration (Release) =="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build -j "$jobs"
 ctest --test-dir build -j "$jobs" --output-on-failure
+
+echo "== clang-tidy (bugprone / performance / naming, warnings-as-errors) =="
+# .clang-tidy at the repo root sets the check list and WarningsAsErrors;
+# the stage is advisory-skipped where LLVM tooling is not installed.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -quiet -p build "$(pwd)/(src|bench|examples|tests)/.*"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  git ls-files 'src/**/*.cpp' | xargs -P "$jobs" -n 4 \
+    clang-tidy -quiet -p build
+else
+  echo "check.sh: clang-tidy not found, skipping tidy stage" >&2
+fi
 
 # Refuse benchmark artifacts from a debug build: the binaries embed their
 # build flavour in the JSON ("maxwarp_build_type"), check it after each run.
@@ -54,6 +67,16 @@ echo "== fault drill (recovery + determinism under injected faults) =="
 ./build/examples/fault_drill --nodes 4096 --queries 16 \
   --plan "hang:nth=3;ecc-fatal:p=0.02:max=0;launch:p=0.02:max=0;seed=11"
 
+echo "== launch-graph verify (clean batch, then seeded missing-wait) =="
+./build/examples/launch_graph_verify --nodes 4096 --queries 16
+if ./build/examples/launch_graph_verify --nodes 4096 --queries 16 \
+  --inject-missing-wait >/dev/null; then
+  echo "check.sh: analyzer MISSED the seeded missing-wait hazard" >&2
+  exit 1
+else
+  echo "seeded missing-wait hazard caught (nonzero exit), as required"
+fi
+
 echo "== bench smoke (fault-machinery overhead) =="
 MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_e3_fault_overhead \
   --benchmark_min_time=0.01 \
@@ -63,10 +86,12 @@ require_release_bench BENCH_fault_overhead.json
 
 echo "== perf regression guard (modeled counters vs committed JSONs) =="
 if command -v python3 >/dev/null; then
-  # The fault-overhead artifact is held to a tighter 2% band: its whole
-  # point is that unarmed fault machinery stays within 2% of free.
+  # Two artifacts are held to a tighter 2% band: the whole point of the
+  # fault-overhead and launch-graph-recording gates is that the unarmed
+  # machinery stays within 2% of free.
   python3 scripts/perf_guard.py \
     --file-tolerance BENCH_fault_overhead.json=0.02 \
+    --file-tolerance BENCH_query_engine.json=0.02 \
     BENCH_query_engine.json BENCH_sim_engine.json \
     BENCH_frontier_adaptive.json BENCH_fault_overhead.json
 else

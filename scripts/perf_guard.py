@@ -20,8 +20,12 @@ Usage:
 artifact — e.g. the fault-overhead gate is held to 2% while the default
 band stays 10%.
 
-Exit status: 0 when every compared counter stays within the band (files
-with no committed baseline are skipped with a note), 1 otherwise. The
+Exit status: 0 when every compared counter stays within the band, 1
+otherwise. A fresh artifact with no committed baseline is a failure (the
+gate would otherwise silently stop guarding a renamed/deleted artifact);
+pass ``--allow-missing-baseline`` to downgrade that to a note, e.g. on
+the first commit that introduces a new benchmark. A malformed JSON on
+either side is reported as a named violation, never a traceback. The
 band can also be set via MAXWARP_PERF_TOLERANCE.
 """
 
@@ -52,25 +56,41 @@ def counters(entry):
 
 
 def load_committed(path):
-    """The file's content at HEAD, or None when it is not committed."""
+    """(baseline dict, error string) — exactly one of the two is None."""
     try:
         out = subprocess.run(
             ["git", "show", f"HEAD:{path}"],
             capture_output=True, check=True,
         ).stdout
-    except (subprocess.CalledProcessError, FileNotFoundError):
-        return None
-    return json.loads(out)
+    except FileNotFoundError:
+        return None, f"{path}: git not found, cannot read committed baseline"
+    except subprocess.CalledProcessError:
+        return None, f"{path}: no baseline committed at HEAD"
+    try:
+        baseline = json.loads(out)
+    except json.JSONDecodeError as e:
+        return None, f"{path}: committed baseline is not valid JSON ({e})"
+    if not isinstance(baseline, dict):
+        return None, f"{path}: committed baseline is not a JSON object"
+    return baseline, None
 
 
-def compare(path, tolerance):
+def compare(path, tolerance, allow_missing_baseline):
     """Returns a list of violation strings for one artifact."""
-    baseline = load_committed(path)
+    baseline, err = load_committed(path)
     if baseline is None:
-        print(f"perf_guard: {path}: no committed baseline, skipping")
-        return []
-    with open(path) as f:
-        fresh = json.load(f)
+        if allow_missing_baseline and err.endswith("committed at HEAD"):
+            print(f"perf_guard: {path}: no committed baseline, skipping "
+                  "(--allow-missing-baseline)")
+            return []
+        return [err]
+    try:
+        with open(path) as f:
+            fresh = json.load(f)
+    except json.JSONDecodeError as e:
+        return [f"{path}: fresh artifact is not valid JSON ({e})"]
+    if not isinstance(fresh, dict):
+        return [f"{path}: fresh artifact is not a JSON object"]
 
     base_runs = {b["name"]: b for b in baseline.get("benchmarks", [])}
     fresh_runs = {b["name"]: b for b in fresh.get("benchmarks", [])}
@@ -114,6 +134,9 @@ def main():
         "--file-tolerance", action="append", default=[],
         metavar="FILE=BAND",
         help="per-artifact tolerance override, repeatable")
+    parser.add_argument(
+        "--allow-missing-baseline", action="store_true",
+        help="skip (instead of fail) artifacts with no committed baseline")
     args = parser.parse_args()
 
     per_file = {}
@@ -132,7 +155,8 @@ def main():
             all_violations.append(f"{path}: fresh artifact missing")
             continue
         all_violations.extend(
-            compare(path, per_file.get(path, args.tolerance)))
+            compare(path, per_file.get(path, args.tolerance),
+                    args.allow_missing_baseline))
 
     if all_violations:
         print("perf_guard: FAILED", file=sys.stderr)

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Smoke tests for perf_guard.py failure modes.
+
+Runs the guard as a subprocess against a throwaway git repo so the
+``git show HEAD:<file>`` path is exercised for real. Verifies the three
+behaviours the tier-1 gate depends on: in-band counters pass, drifted
+counters fail with a named violation, and missing/malformed baselines
+fail with a clear one-line message instead of a traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GUARD = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "perf_guard.py")
+
+
+def bench_json(modeled_ms):
+    return json.dumps({
+        "context": {"maxwarp_build_type": "release"},
+        "benchmarks": [{
+            "name": "bm_query_engine/batch32",
+            "run_type": "iteration",
+            "iterations": 3,
+            "real_time": 1.0,
+            "cpu_time": 1.0,
+            "time_unit": "ms",
+            "modeled_ms": modeled_ms,
+        }],
+    })
+
+
+class PerfGuardTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.repo = self.dir.name
+        self.git("init", "-q")
+        self.git("config", "user.email", "perf@guard.test")
+        self.git("config", "user.name", "perf guard test")
+
+    def tearDown(self):
+        self.dir.cleanup()
+
+    def git(self, *argv):
+        subprocess.run(["git", *argv], cwd=self.repo, check=True,
+                       capture_output=True)
+
+    def commit(self, name, content):
+        with open(os.path.join(self.repo, name), "w") as f:
+            f.write(content)
+        self.git("add", name)
+        self.git("commit", "-q", "-m", f"baseline {name}")
+
+    def write(self, name, content):
+        with open(os.path.join(self.repo, name), "w") as f:
+            f.write(content)
+
+    def guard(self, *argv):
+        return subprocess.run(
+            [sys.executable, GUARD, *argv], cwd=self.repo,
+            capture_output=True, text=True)
+
+    def test_within_tolerance_passes(self):
+        self.commit("BENCH_x.json", bench_json(10.0))
+        self.write("BENCH_x.json", bench_json(10.5))
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("within tolerance", r.stdout)
+
+    def test_drift_fails_with_named_counter(self):
+        self.commit("BENCH_x.json", bench_json(10.0))
+        self.write("BENCH_x.json", bench_json(20.0))
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("modeled_ms drifted", r.stderr)
+
+    def test_missing_baseline_fails_clearly(self):
+        self.write("BENCH_new.json", bench_json(1.0))
+        # The repo needs at least one commit for HEAD to resolve.
+        self.commit("other.txt", "x\n")
+        r = self.guard("BENCH_new.json")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("no baseline committed at HEAD", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_missing_baseline_can_be_allowed(self):
+        self.write("BENCH_new.json", bench_json(1.0))
+        self.commit("other.txt", "x\n")
+        r = self.guard("--allow-missing-baseline", "BENCH_new.json")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_malformed_committed_baseline_fails_clearly(self):
+        self.commit("BENCH_x.json", "{not json")
+        self.write("BENCH_x.json", bench_json(1.0))
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("committed baseline is not valid JSON", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_malformed_fresh_artifact_fails_clearly(self):
+        self.commit("BENCH_x.json", bench_json(1.0))
+        self.write("BENCH_x.json", "also not json")
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("fresh artifact is not valid JSON", r.stderr)
+        self.assertNotIn("Traceback", r.stderr)
+
+    def test_absent_fresh_artifact_fails(self):
+        self.commit("other.txt", "x\n")
+        r = self.guard("BENCH_gone.json")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("fresh artifact missing", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

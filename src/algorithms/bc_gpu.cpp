@@ -371,10 +371,4 @@ std::vector<double> betweenness_cpu(const graph::Csr& g,
   return bc;
 }
 
-GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
-                            std::span<const NodeId> sources,
-                            const KernelOptions& opts) {
-  return betweenness_gpu(GpuGraph(device, g), sources, opts);
-}
-
 }  // namespace maxwarp::algorithms

@@ -33,12 +33,6 @@ GpuBcResult betweenness_gpu(const GpuGraph& g,
                             std::span<const graph::NodeId> sources,
                             const KernelOptions& opts = {});
 
-[[deprecated(
-    "construct a GpuGraph once and call betweenness_gpu(graph, ...)")]]
-GpuBcResult betweenness_gpu(gpu::Device& device, const graph::Csr& g,
-                            std::span<const graph::NodeId> sources,
-                            const KernelOptions& opts = {});
-
 /// CPU reference (double precision) with the same source-set semantics.
 std::vector<double> betweenness_cpu(const graph::Csr& g,
                                     std::span<const graph::NodeId> sources);

@@ -622,11 +622,6 @@ GpuBfsResult bfs_gpu(const GpuGraph& g, NodeId source,
   return result;
 }
 
-GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
-                     NodeId source, const KernelOptions& opts) {
-  return bfs_gpu(GpuGraph(device, g), source, opts);
-}
-
 namespace {
 
 /// Queue expansion that additionally accumulates the claimed vertices'
@@ -814,11 +809,6 @@ GpuBfsResult bfs_gpu_adaptive(const GpuGraph& g, NodeId source,
       bfs_gpu_adaptive_on(g.device(), g.csr(), source, min_width);
   result.traversed_edges = g.traversed_edges(result.level, kUnreached);
   return result;
-}
-
-GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
-                              NodeId source, int min_width) {
-  return bfs_gpu_adaptive(GpuGraph(device, g), source, min_width);
 }
 
 namespace {
@@ -1045,13 +1035,6 @@ GpuBfsResult bfs_gpu_direction_optimized(const GpuGraph& g, NodeId source,
   validate_kernel_options(opts, "bfs_gpu_direction_optimized");
   return bfs_gpu_dopt_on(g, source, opts.virtual_warp_width,
                          opts.direction.alpha, opts.direction.beta);
-}
-
-GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
-                                         const graph::Csr& g, NodeId source,
-                                         const DirectionOptions& opts) {
-  return bfs_gpu_dopt_on(GpuGraph(device, g), source,
-                         opts.virtual_warp_width, opts.alpha, opts.beta);
 }
 
 }  // namespace maxwarp::algorithms

@@ -15,8 +15,7 @@
 //                        deferred and drained by multi-warp teams.
 //
 // Every entry point takes a GpuGraph (gpu_graph.hpp): upload once, query
-// many times. The old (gpu::Device&, graph::Csr&) overloads survive as
-// deprecated shims that re-upload per call.
+// many times.
 #pragma once
 
 #include <cstdint>
@@ -71,35 +70,5 @@ GpuBfsResult bfs_gpu_adaptive(const GpuGraph& g, graph::NodeId source,
 GpuBfsResult bfs_gpu_direction_optimized(const GpuGraph& g,
                                          graph::NodeId source,
                                          const KernelOptions& opts = {});
-
-// -- deprecated re-uploading shims ------------------------------------------
-
-[[deprecated("construct a GpuGraph once and call bfs_gpu(graph, ...)")]]
-GpuBfsResult bfs_gpu(gpu::Device& device, const graph::Csr& g,
-                     graph::NodeId source, const KernelOptions& opts = {});
-
-[[deprecated(
-    "construct a GpuGraph once and call bfs_gpu_adaptive(graph, ...)")]]
-GpuBfsResult bfs_gpu_adaptive(gpu::Device& device, const graph::Csr& g,
-                              graph::NodeId source, int min_width = 2);
-
-/// Tuning for the deprecated direction-optimizing shim below. New code
-/// sets KernelOptions::direction (and virtual_warp_width) instead. Note
-/// the defaults differ: this legacy struct defaults to W=8, the unified
-/// KernelOptions to W=32.
-struct DirectionOptions {
-  std::uint32_t alpha = 14;
-  std::uint32_t beta = 24;
-  int virtual_warp_width = 8;
-};
-
-[[deprecated(
-    "construct a GpuGraph once and call "
-    "bfs_gpu_direction_optimized(graph, source, KernelOptions) — "
-    "alpha/beta now live in KernelOptions::direction")]]
-GpuBfsResult bfs_gpu_direction_optimized(gpu::Device& device,
-                                         const graph::Csr& g,
-                                         graph::NodeId source,
-                                         const DirectionOptions& opts = {});
 
 }  // namespace maxwarp::algorithms

@@ -157,10 +157,4 @@ GpuCcResult connected_components_gpu(const GpuGraph& g,
   return cc_gpu_on(g, opts);
 }
 
-GpuCcResult connected_components_gpu(gpu::Device& device,
-                                     const graph::Csr& g,
-                                     const KernelOptions& opts) {
-  return connected_components_gpu(GpuGraph(device, g), opts);
-}
-
 }  // namespace maxwarp::algorithms

@@ -27,11 +27,4 @@ struct GpuCcResult {
 GpuCcResult connected_components_gpu(const GpuGraph& g,
                                      const KernelOptions& opts = {});
 
-[[deprecated(
-    "construct a GpuGraph once and call "
-    "connected_components_gpu(graph, ...)")]]
-GpuCcResult connected_components_gpu(gpu::Device& device,
-                                     const graph::Csr& g,
-                                     const KernelOptions& opts = {});
-
 }  // namespace maxwarp::algorithms

@@ -257,9 +257,4 @@ bool is_proper_coloring(const graph::Csr& g,
   return true;
 }
 
-GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
-                                  const KernelOptions& opts) {
-  return color_graph_gpu(GpuGraph(device, g), opts);
-}
-
 }  // namespace maxwarp::algorithms

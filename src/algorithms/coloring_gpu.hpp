@@ -36,11 +36,6 @@ struct GpuColoringResult {
 GpuColoringResult color_graph_gpu(const GpuGraph& g,
                                   const KernelOptions& opts = {});
 
-[[deprecated(
-    "construct a GpuGraph once and call color_graph_gpu(graph, ...)")]]
-GpuColoringResult color_graph_gpu(gpu::Device& device, const graph::Csr& g,
-                                  const KernelOptions& opts = {});
-
 /// Sequential Jones-Plassmann with the same priorities and color rule;
 /// the GPU result must match it exactly.
 std::vector<std::uint32_t> color_graph_cpu(const graph::Csr& g);

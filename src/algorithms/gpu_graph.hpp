@@ -10,11 +10,10 @@
 // uploaded, and cached on first use; symmetric graphs alias the forward
 // CSR and pay nothing.
 //
-// This replaces the old per-algorithm overload pairs
+// This replaced the old per-algorithm overload pairs
 // (gpu::Device&, GpuCsr) / (gpu::Device&, graph::Csr): the former forced
 // callers to juggle a second object with no host data, the latter
-// re-uploaded the graph on every call. The graph::Csr overloads survive as
-// [[deprecated]] shims that build a throwaway GpuGraph.
+// re-uploaded the graph on every call.
 #pragma once
 
 #include <memory>

@@ -194,9 +194,4 @@ std::vector<std::uint8_t> k_core_cpu(const graph::Csr& g, std::uint32_t k) {
   return in_core;
 }
 
-GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
-                          std::uint32_t k, const KernelOptions& opts) {
-  return k_core_gpu(GpuGraph(device, g), k, opts);
-}
-
 }  // namespace maxwarp::algorithms

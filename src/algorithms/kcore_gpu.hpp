@@ -29,10 +29,6 @@ struct GpuKCoreResult {
 GpuKCoreResult k_core_gpu(const GpuGraph& g, std::uint32_t k,
                           const KernelOptions& opts = {});
 
-[[deprecated("construct a GpuGraph once and call k_core_gpu(graph, ...)")]]
-GpuKCoreResult k_core_gpu(gpu::Device& device, const graph::Csr& g,
-                          std::uint32_t k, const KernelOptions& opts = {});
-
 /// CPU reference (queue-based peeling).
 std::vector<std::uint8_t> k_core_cpu(const graph::Csr& g, std::uint32_t k);
 

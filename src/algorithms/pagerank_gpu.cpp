@@ -193,10 +193,4 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
   return result;
 }
 
-GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
-                               const PageRankParams& params,
-                               const KernelOptions& opts) {
-  return pagerank_gpu(GpuGraph(device, g), params, opts);
-}
-
 }  // namespace maxwarp::algorithms

@@ -34,9 +34,4 @@ GpuPageRankResult pagerank_gpu(const GpuGraph& g,
                                const PageRankParams& params = {},
                                const KernelOptions& opts = {});
 
-[[deprecated("construct a GpuGraph once and call pagerank_gpu(graph, ...)")]]
-GpuPageRankResult pagerank_gpu(gpu::Device& device, const graph::Csr& g,
-                               const PageRankParams& params = {},
-                               const KernelOptions& opts = {});
-
 }  // namespace maxwarp::algorithms

@@ -145,6 +145,21 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
                         });
   };
 
+  // Declared access sets let the launch-graph recorder
+  // (SimConfig::record_launch_graph) know each kernel's read/write sets
+  // even when the sanitizer is not armed to observe them.
+  const auto expand_launch = expand_dims.named("msbfs.expand")
+                                 .reads(row.vaddr)
+                                 .reads(adj.vaddr)
+                                 .reads(frontier_ptr.vaddr)
+                                 .atomics(next_ptr.vaddr);
+  const auto update_launch = update_dims.named("msbfs.update")
+                                 .reads_writes(next_ptr.vaddr)
+                                 .reads_writes(visited_ptr.vaddr)
+                                 .writes(frontier_ptr.vaddr)
+                                 .writes(levels_ptr.vaddr)
+                                 .atomics(count_ptr.vaddr);
+
   for (std::uint32_t current = 0;; ++current) {
     newly_reached.fill(0);
 
@@ -157,7 +172,7 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
                                 result.stats, expand_body, expand_team);
     } else {
       result.stats.kernels.add(device.launch(
-          expand_dims.named("msbfs.expand"), [&, n](WarpCtx& w) {
+          expand_launch, [&, n](WarpCtx& w) {
             for (std::uint64_t r = 0; r * total_groups < n; ++r) {
               Lanes<std::uint32_t> task{};
               const LaneMask valid = vw::assign_static_tasks(
@@ -173,7 +188,7 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
     // count of freshly reached (vertex, query) pairs lands in one leader
     // atomic.
     result.stats.kernels.add(device.launch(
-        update_dims.named("msbfs.update"), [&, n, current](WarpCtx& w) {
+        update_launch, [&, n, current](WarpCtx& w) {
           Lanes<std::uint32_t> v{};
           w.alu([&](int l) {
             v[static_cast<std::size_t>(l)] = w.thread_id(l);
@@ -308,6 +323,11 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
         "QueryEngine: retry_backoff_ms/default_deadline_ms must be >= 0");
   }
   validate_kernel_options(opts_.kernel, "QueryEngine");
+  if (opts_.verify && graph.device().launch_graph() == nullptr) {
+    throw std::invalid_argument(
+        "QueryEngine: options.verify requires a device constructed with "
+        "SimConfig::record_launch_graph");
+  }
 }
 
 std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
@@ -544,6 +564,11 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   stats_.serial_ms = device.total_modeled_ms() - serial_before;
   stats_.modeled_ms = device.modeled_makespan_ms() - makespan_before;
   stats_.kernel_launches = device.kernel_totals().launches - launches_before;
+
+  // Verify mode: analyze everything recorded on the device so far (the
+  // resident-graph upload included — a batch racing the upload is exactly
+  // the bug class this catches).
+  if (opts_.verify) hazard_ = device.verify_launch_graph();
   return results;
 }
 

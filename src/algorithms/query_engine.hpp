@@ -38,6 +38,7 @@
 
 #include "algorithms/gpu_common.hpp"
 #include "algorithms/gpu_graph.hpp"
+#include "analysis/hazard_analyzer.hpp"
 #include "gpu/status.hpp"
 #include "graph/csr.hpp"
 
@@ -135,6 +136,11 @@ struct QueryEngineOptions {
   /// Last rung of the ladder: answer on the host reference when the GPU
   /// keeps faulting. Off = exhausted queries return their error instead.
   bool cpu_fallback = true;
+  /// Verify mode: after each run(), analyze the device's recorded launch
+  /// graph for cross-stream hazards over the whole batch and store the
+  /// result in last_hazard_report(). Requires a device constructed with
+  /// SimConfig::record_launch_graph (the constructor enforces this).
+  bool verify = false;
 };
 
 /// Modeled-time accounting for one run() batch.
@@ -174,10 +180,17 @@ class QueryEngine {
   const GpuGraph& graph() const { return *graph_; }
   const QueryEngineOptions& options() const { return opts_; }
 
+  /// Hazard analysis of the last run() batch; empty unless
+  /// QueryEngineOptions::verify is on.
+  const analysis::HazardReport& last_hazard_report() const {
+    return hazard_;
+  }
+
  private:
   const GpuGraph* graph_;
   QueryEngineOptions opts_;
   BatchStats stats_;
+  analysis::HazardReport hazard_;
 };
 
 }  // namespace maxwarp::algorithms

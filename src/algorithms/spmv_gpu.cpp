@@ -130,10 +130,4 @@ std::vector<double> spmv_cpu(const graph::Csr& g, std::span<const float> x) {
   return y;
 }
 
-GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
-                       std::span<const float> x,
-                       const KernelOptions& opts) {
-  return spmv_gpu(GpuGraph(device, g), x, opts);
-}
-
 }  // namespace maxwarp::algorithms

@@ -28,11 +28,6 @@ struct GpuSpmvResult {
 GpuSpmvResult spmv_gpu(const GpuGraph& g, std::span<const float> x,
                        const KernelOptions& opts = {});
 
-[[deprecated("construct a GpuGraph once and call spmv_gpu(graph, ...)")]]
-GpuSpmvResult spmv_gpu(gpu::Device& device, const graph::Csr& g,
-                       std::span<const float> x,
-                       const KernelOptions& opts = {});
-
 /// Double-precision host reference.
 std::vector<double> spmv_cpu(const graph::Csr& g,
                              std::span<const float> x);

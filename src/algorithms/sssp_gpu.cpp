@@ -216,9 +216,4 @@ GpuSsspResult sssp_gpu(const GpuGraph& g, NodeId source,
   return sssp_gpu_on(g, source, opts);
 }
 
-GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,
-                       NodeId source, const KernelOptions& opts) {
-  return sssp_gpu(GpuGraph(device, g), source, opts);
-}
-
 }  // namespace maxwarp::algorithms

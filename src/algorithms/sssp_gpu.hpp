@@ -29,8 +29,4 @@ struct GpuSsspResult {
 GpuSsspResult sssp_gpu(const GpuGraph& g, graph::NodeId source,
                        const KernelOptions& opts = {});
 
-[[deprecated("construct a GpuGraph once and call sssp_gpu(graph, ...)")]]
-GpuSsspResult sssp_gpu(gpu::Device& device, const graph::Csr& g,
-                       graph::NodeId source, const KernelOptions& opts = {});
-
 }  // namespace maxwarp::algorithms

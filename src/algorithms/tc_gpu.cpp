@@ -252,10 +252,4 @@ std::uint64_t triangle_count_cpu(const graph::Csr& g) {
   return total;
 }
 
-GpuTriangleResult triangle_count_gpu(gpu::Device& device,
-                                     const graph::Csr& g,
-                                     const KernelOptions& opts) {
-  return triangle_count_gpu(GpuGraph(device, g), opts);
-}
-
 }  // namespace maxwarp::algorithms

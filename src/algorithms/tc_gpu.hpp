@@ -30,12 +30,6 @@ struct GpuTriangleResult {
 GpuTriangleResult triangle_count_gpu(const GpuGraph& g,
                                      const KernelOptions& opts = {});
 
-[[deprecated(
-    "construct a GpuGraph once and call triangle_count_gpu(graph, ...)")]]
-GpuTriangleResult triangle_count_gpu(gpu::Device& device,
-                                     const graph::Csr& g,
-                                     const KernelOptions& opts = {});
-
 /// CPU reference with identical counting semantics.
 std::uint64_t triangle_count_cpu(const graph::Csr& g);
 

@@ -1,0 +1,296 @@
+#include "analysis/hazard_analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "simt/access.hpp"
+
+namespace maxwarp::analysis {
+
+using simt::kAccessAtomic;
+using simt::kAccessRead;
+using simt::kAccessWrite;
+using simt::Severity;
+
+const char* to_string(HazardClass cls) {
+  switch (cls) {
+    case HazardClass::kRaw: return "raw";
+    case HazardClass::kWar: return "war";
+    case HazardClass::kWaw: return "waw";
+    case HazardClass::kUseAfterFree: return "use-after-free";
+    case HazardClass::kDeadUpload: return "dead-upload";
+    case HazardClass::kDeadStore: return "dead-store";
+    case HazardClass::kLeak: return "leak";
+    case HazardClass::kUnknownAccess: return "unknown-access";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+constexpr std::uint8_t kWritesMask = kAccessWrite | kAccessAtomic;
+constexpr std::uint8_t kReadsMask = kAccessRead | kAccessAtomic;
+
+}  // namespace
+
+HazardReport HazardAnalyzer::analyze(const LaunchGraph& graph) const {
+  const std::vector<Node>& nodes = graph.nodes();
+  const std::size_t n = nodes.size();
+  if (n > opts_.max_nodes) {
+    throw std::runtime_error(
+        "HazardAnalyzer: launch graph has " + std::to_string(n) +
+        " nodes (limit " + std::to_string(opts_.max_nodes) +
+        "); verify in windows and call LaunchGraph::clear() between phases");
+  }
+
+  HazardReport rep;
+  rep.nodes = n;
+
+  // Issue order is a topological order of the DAG (every dep precedes its
+  // node), so one forward pass builds the full ancestor closure as one
+  // bitset row per node.
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::uint64_t> reach(words * n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* row = &reach[i * words];
+    for (std::uint32_t d : nodes[i].deps) {
+      const std::uint64_t* drow = &reach[static_cast<std::size_t>(d) * words];
+      for (std::size_t w = 0; w < words; ++w) row[w] |= drow[w];
+      row[d / 64] |= std::uint64_t{1} << (d % 64);
+    }
+  }
+  // True when node a happens-before node b; requires a < b in issue order.
+  auto hb = [&](std::uint32_t a, std::uint32_t b) {
+    return (reach[static_cast<std::size_t>(b) * words + a / 64] >>
+            (a % 64)) & 1;
+  };
+
+  struct Access {
+    std::uint32_t node;
+    std::uint8_t modes;
+    std::uint64_t bytes;
+    bool full;
+  };
+  struct BufferInfo {
+    std::uint32_t alloc = kNoNode;
+    std::uint32_t freed = kNoNode;
+    std::uint64_t bytes = 0;
+    std::vector<Access> acc;  ///< in issue order
+  };
+  std::map<std::uint64_t, BufferInfo> buffers;
+  std::uint64_t unknown_nodes = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& nd = nodes[i];
+    const auto id = static_cast<std::uint32_t>(i);
+    if (nd.kind == NodeKind::kAlloc) {
+      BufferInfo& b = buffers[nd.uses[0].vaddr];
+      b.alloc = id;
+      b.bytes = nd.uses[0].bytes;
+      continue;
+    }
+    if (nd.kind == NodeKind::kFree) {
+      buffers[nd.uses[0].vaddr].freed = id;
+      continue;
+    }
+    if (!nd.uses_known) {
+      ++unknown_nodes;
+      continue;
+    }
+    for (const BufferUse& u : nd.uses) {
+      buffers[u.vaddr].acc.push_back({id, u.modes, u.bytes, u.full});
+    }
+  }
+
+  std::array<std::uint64_t, kHazardClassCount> recorded{};
+  auto record = [&](HazardClass cls, Severity sev, std::uint64_t vaddr,
+                    std::uint32_t a, std::uint32_t b, std::string detail) {
+    const auto ci = static_cast<std::size_t>(cls);
+    ++rep.class_counts[ci];
+    ++rep.severity_counts[static_cast<std::size_t>(sev)];
+    if (recorded[ci] < opts_.max_records_per_class) {
+      ++recorded[ci];
+      rep.records.push_back({cls, sev, vaddr, a, b, std::move(detail)});
+    }
+  };
+
+  auto describe = [&](std::uint32_t id) {
+    const Node& nd = nodes[id];
+    std::ostringstream os;
+    os << to_string(nd.kind);
+    if (!nd.label.empty()) os << " '" << nd.label << "'";
+    os << " [node " << id << ", stream " << nd.stream << "]";
+    return os.str();
+  };
+
+  for (const auto& [vaddr, b] : buffers) {
+    const std::string buf =
+        "buffer " + hex(vaddr) + " (" + std::to_string(b.bytes) + "B)";
+
+    // Lifetime: every access must be ordered before the buffer's free.
+    if (b.freed != kNoNode) {
+      for (const Access& a : b.acc) {
+        if (a.node < b.freed && hb(a.node, b.freed)) continue;
+        const bool after = a.node > b.freed && hb(b.freed, a.node);
+        record(HazardClass::kUseAfterFree, Severity::kError, vaddr,
+               std::min(a.node, b.freed), std::max(a.node, b.freed),
+               describe(a.node) +
+                   (after ? " runs after " : " is not ordered before ") +
+                   describe(b.freed) + " of " + buf);
+      }
+    }
+
+    // Cross-stream data races: conflicting accesses with no HB path.
+    for (std::size_t i = 0; i < b.acc.size(); ++i) {
+      for (std::size_t j = i + 1; j < b.acc.size(); ++j) {
+        const Access& x = b.acc[i];
+        const Access& y = b.acc[j];
+        if (x.node == y.node) continue;
+        const bool x_writes = x.modes & kWritesMask;
+        const bool y_writes = y.modes & kWritesMask;
+        if (!x_writes && !y_writes) continue;  // read-read never conflicts
+        if (x.modes == kAccessAtomic && y.modes == kAccessAtomic) {
+          continue;  // pure atomic updates commute
+        }
+        ++rep.pairs_checked;
+        if (hb(x.node, y.node)) continue;
+
+        HazardClass cls;
+        const char* what;
+        if (x_writes && y_writes) {
+          cls = HazardClass::kWaw;
+          what = " overwrites data written by ";
+        } else if (x_writes) {
+          cls = HazardClass::kRaw;
+          what = " reads data written by ";
+        } else {
+          cls = HazardClass::kWar;
+          what = " overwrites data still being read by ";
+        }
+        const Severity sev = ((x.modes | y.modes) & kAccessAtomic)
+                                 ? Severity::kWarning
+                                 : Severity::kError;
+        record(cls, sev, vaddr, x.node, y.node,
+               describe(y.node) + what + describe(x.node) + " on " + buf +
+                   " with no happens-before path (missing Event::record / "
+                   "Stream::wait?)");
+      }
+    }
+  }
+
+  // Dead-dataflow checks need the *complete* read set, so any
+  // unknown-access node suppresses them.
+  if (unknown_nodes == 0) {
+    for (const auto& [vaddr, b] : buffers) {
+      const std::string buf =
+          "buffer " + hex(vaddr) + " (" + std::to_string(b.bytes) + "B)";
+      auto read_in = [&](std::uint32_t lo, std::uint32_t hi) {
+        for (const Access& a : b.acc) {
+          if (a.node > lo && a.node < hi && (a.modes & kReadsMask)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      for (std::size_t i = 0; i < b.acc.size(); ++i) {
+        const Access& a = b.acc[i];
+        const NodeKind kind = nodes[a.node].kind;
+        const bool host_write = (kind == NodeKind::kUpload ||
+                                 kind == NodeKind::kFill) &&
+                                !(a.modes & kReadsMask);
+        if (!host_write) continue;
+        if (opts_.report_dead_uploads && kind == NodeKind::kUpload &&
+            !read_in(a.node, kNoNode)) {
+          record(HazardClass::kDeadUpload, Severity::kWarning, vaddr, a.node,
+                 kNoNode,
+                 describe(a.node) + " writes " + buf +
+                     " but nothing ever reads it");
+          continue;  // also trivially overwritten-without-read; report once
+        }
+        if (!opts_.report_dead_stores || !a.full) continue;
+        for (std::size_t j = i + 1; j < b.acc.size(); ++j) {
+          const Access& o = b.acc[j];
+          const NodeKind okind = nodes[o.node].kind;
+          const bool over = (okind == NodeKind::kUpload ||
+                             okind == NodeKind::kFill) &&
+                            o.full && !(o.modes & kReadsMask);
+          if (!over || !hb(a.node, o.node)) continue;
+          if (!read_in(a.node, o.node)) {
+            record(HazardClass::kDeadStore, Severity::kLint, vaddr, a.node,
+                   o.node,
+                   describe(a.node) + " fully overwritten by " +
+                       describe(o.node) + " with no intervening read of " +
+                       buf);
+          }
+          break;  // only the nearest overwriter matters
+        }
+      }
+    }
+  }
+
+  if (opts_.report_leaks) {
+    for (const auto& [vaddr, b] : buffers) {
+      if (b.alloc == kNoNode || b.freed != kNoNode) continue;
+      record(HazardClass::kLeak, Severity::kWarning, vaddr, b.alloc, kNoNode,
+             describe(b.alloc) + " of buffer " + hex(vaddr) + " (" +
+                 std::to_string(b.bytes) + "B) has no matching free");
+    }
+  }
+
+  if (unknown_nodes > 0) {
+    record(HazardClass::kUnknownAccess, Severity::kLint, 0, kNoNode, kNoNode,
+           std::to_string(unknown_nodes) +
+               " launch(es) recorded without access information (sanitizer "
+               "off and no LaunchDims declarations); they are excluded from "
+               "hazard checks and dead-dataflow checks are suppressed");
+  }
+
+  return rep;
+}
+
+util::Table HazardReport::records_table() const {
+  util::Table t({"class", "severity", "buffer", "node_a", "node_b",
+                 "detail"});
+  for (const HazardRecord& r : records) {
+    t.row()
+        .cell(to_string(r.cls))
+        .cell(simt::to_string(r.severity))
+        .cell(hex(r.vaddr))
+        .cell(r.node_a == kNoNode ? std::string("-")
+                                  : std::to_string(r.node_a))
+        .cell(r.node_b == kNoNode ? std::string("-")
+                                  : std::to_string(r.node_b))
+        .cell(r.detail);
+  }
+  return t;
+}
+
+std::string HazardReport::text() const {
+  std::ostringstream os;
+  os << "launch-graph verify: " << nodes << " nodes, " << pairs_checked
+     << " conflicting pairs checked — " << errors() << " errors, "
+     << warnings() << " warnings, " << lints() << " lints\n";
+  for (const HazardRecord& r : records) {
+    os << "  [" << simt::to_string(r.severity) << "] " << to_string(r.cls)
+       << ": " << r.detail << "\n";
+  }
+  std::uint64_t stored = records.size();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : class_counts) total += c;
+  if (total > stored) {
+    os << "  ... " << (total - stored) << " further finding(s) counted but "
+       << "not recorded (max_records_per_class)\n";
+  }
+  if (total == 0) os << "  no hazards found\n";
+  return os.str();
+}
+
+}  // namespace maxwarp::analysis

@@ -1,0 +1,132 @@
+// Happens-before hazard analysis over a recorded launch graph.
+//
+// The analyzer treats the recorded nodes (launch_graph.hpp) as a DAG whose
+// edges are the ordering guarantees the program actually established, and
+// reports every pair of *unordered* nodes whose access sets conflict —
+// the operations real CUDA hardware would have been free to overlap:
+//
+//   RAW / WAR / WAW  cross-stream data races on a device buffer. Plain
+//                    read/write conflicts are errors; conflicts where one
+//                    side is atomic are warnings (monotonic-update hazards
+//                    the level-synchronous kernels rely on by design —
+//                    the same policy simtsan applies within a launch).
+//                    Atomic-vs-atomic overlap is not diagnosed.
+//   use-after-free   an access not ordered *before* the buffer's
+//                    stream-ordered free — either HB-after it or racing
+//                    it. Always an error.
+//   dead upload      H2D copy whose buffer is never read afterwards
+//                    (warning: wasted PCIe traffic, or a missing launch).
+//   dead store       full-buffer copy/fill overwritten by another
+//                    full-buffer copy/fill with no intervening read
+//                    (lint). Kernel writes never count as overwriters —
+//                    partial coverage cannot be proven dead.
+//   leak             allocation never freed before verification (warning;
+//                    off by default since verify may run mid-lifetime —
+//                    enable at teardown via AnalyzerOptions).
+//   unknown access   kernels recorded without access information
+//                    (sanitizer off, no declarations) are excluded from
+//                    pairwise checks and surfaced as one aggregate lint;
+//                    dead-dataflow checks are suppressed entirely, since
+//                    an unobserved kernel may read anything.
+//
+// Severity tiers (error / warning / lint) and the report shape mirror
+// simt::SanitizerReport, so callers can gate on clean() the same way.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/launch_graph.hpp"
+#include "simt/sanitizer.hpp"  // simt::Severity
+#include "util/table.hpp"
+
+namespace maxwarp::analysis {
+
+enum class HazardClass : std::uint8_t {
+  kRaw,
+  kWar,
+  kWaw,
+  kUseAfterFree,
+  kDeadUpload,
+  kDeadStore,
+  kLeak,
+  kUnknownAccess,
+};
+
+inline constexpr std::size_t kHazardClassCount = 8;
+
+const char* to_string(HazardClass cls);
+
+struct AnalyzerOptions {
+  /// Report allocations with no recorded free. Off by default: verifying
+  /// mid-run would flag every live buffer. Enable for teardown checks.
+  bool report_leaks = false;
+
+  /// Dead-dataflow checks (suppressed automatically when the graph
+  /// contains unknown-access nodes).
+  bool report_dead_uploads = true;
+  bool report_dead_stores = true;
+
+  /// Detailed records kept per hazard class; further findings are still
+  /// counted but not stored.
+  std::size_t max_records_per_class = 16;
+
+  /// Hard cap on analyzable graph size: the happens-before closure uses
+  /// O(nodes^2 / 8) bytes. Larger graphs throw std::runtime_error —
+  /// scope the window with LaunchGraph::clear() between phases instead.
+  std::size_t max_nodes = 32768;
+};
+
+/// One finding. `node_a` issued before `node_b` (kNoNode when the record
+/// concerns a single node, e.g. dead upload or leak). `detail` carries the
+/// kernel-label / stream provenance.
+struct HazardRecord {
+  HazardClass cls;
+  simt::Severity severity;
+  std::uint64_t vaddr = 0;       ///< buffer base
+  std::uint32_t node_a = kNoNode;
+  std::uint32_t node_b = kNoNode;
+  std::string detail;
+};
+
+struct HazardReport {
+  std::vector<HazardRecord> records;
+  std::array<std::uint64_t, kHazardClassCount> class_counts{};
+  std::array<std::uint64_t, 3> severity_counts{};  ///< index = Severity
+
+  std::uint64_t nodes = 0;
+  std::uint64_t pairs_checked = 0;
+
+  std::uint64_t count(HazardClass cls) const {
+    return class_counts[static_cast<std::size_t>(cls)];
+  }
+  std::uint64_t errors() const { return severity_counts[0]; }
+  std::uint64_t warnings() const { return severity_counts[1]; }
+  std::uint64_t lints() const { return severity_counts[2]; }
+
+  /// True when no error-severity hazard was found (same contract as
+  /// SanitizerReport::clean()).
+  bool clean() const { return errors() == 0; }
+
+  /// Machine-readable dump of the detailed records.
+  util::Table records_table() const;
+
+  /// Multi-line human-readable report.
+  std::string text() const;
+};
+
+class HazardAnalyzer {
+ public:
+  explicit HazardAnalyzer(AnalyzerOptions opts = {}) : opts_(opts) {}
+
+  /// Analyzes a finished (or windowed) launch graph. Pure function of the
+  /// graph: may be called repeatedly as recording continues.
+  HazardReport analyze(const LaunchGraph& graph) const;
+
+ private:
+  AnalyzerOptions opts_;
+};
+
+}  // namespace maxwarp::analysis

@@ -1,0 +1,244 @@
+#include "analysis/launch_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace maxwarp::analysis {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kKernel: return "kernel";
+    case NodeKind::kUpload: return "H2D";
+    case NodeKind::kDownload: return "D2H";
+    case NodeKind::kFill: return "fill";
+    case NodeKind::kAlloc: return "alloc";
+    case NodeKind::kFree: return "free";
+  }
+  return "?";
+}
+
+std::uint32_t LaunchGraph::tail(std::uint32_t stream) const {
+  return stream < stream_tail_.size() ? stream_tail_[stream] : kNoNode;
+}
+
+std::uint32_t LaunchGraph::add_node(Node node) {
+  const std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  const std::uint32_t stream = node.stream;
+  if (stream >= stream_tail_.size()) {
+    stream_tail_.resize(stream + 1, kNoNode);
+    pending_waits_.resize(stream + 1);
+  }
+
+  std::vector<std::uint32_t>& deps = node.deps;
+  if (stream_tail_[stream] != kNoNode) deps.push_back(stream_tail_[stream]);
+  for (std::uint32_t d : pending_waits_[stream]) deps.push_back(d);
+  pending_waits_[stream].clear();
+  for (std::uint32_t d : host_frontier_) deps.push_back(d);
+
+  // Legacy default-stream semantics: stream 0 is a device-wide ordering
+  // point. A stream-0 node waits on every stream's tail; every node waits
+  // on the last stream-0 node.
+  if (stream == 0) {
+    for (std::uint32_t t : stream_tail_) {
+      if (t != kNoNode) deps.push_back(t);
+    }
+  } else if (last_default_ != kNoNode) {
+    deps.push_back(last_default_);
+  }
+
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  nodes_.push_back(std::move(node));
+  stream_tail_[stream] = id;
+  if (stream == 0) last_default_ = id;
+  return id;
+}
+
+std::uint32_t LaunchGraph::add_kernel(std::uint32_t stream, std::string label,
+                                      std::vector<BufferUse> uses,
+                                      bool uses_known) {
+  Node n;
+  n.kind = NodeKind::kKernel;
+  n.stream = stream;
+  n.label = std::move(label);
+  n.uses = std::move(uses);
+  n.uses_known = uses_known;
+  return add_node(std::move(n));
+}
+
+std::uint32_t LaunchGraph::add_copy(std::uint32_t stream, bool to_device,
+                                    BufferUse use, std::string label) {
+  Node n;
+  n.kind = to_device ? NodeKind::kUpload : NodeKind::kDownload;
+  n.stream = stream;
+  n.label = std::move(label);
+  n.uses.push_back(use);
+  return add_node(std::move(n));
+}
+
+std::uint32_t LaunchGraph::add_fill(std::uint32_t stream, BufferUse use,
+                                    std::string label) {
+  Node n;
+  n.kind = NodeKind::kFill;
+  n.stream = stream;
+  n.label = std::move(label);
+  n.uses.push_back(use);
+  return add_node(std::move(n));
+}
+
+std::uint32_t LaunchGraph::add_alloc(std::uint32_t stream,
+                                     std::uint64_t vaddr, std::uint64_t bytes,
+                                     std::string label) {
+  Node n;
+  n.kind = NodeKind::kAlloc;
+  n.stream = stream;
+  n.label = std::move(label);
+  n.uses.push_back({vaddr, bytes, 0, true});
+  return add_node(std::move(n));
+}
+
+std::uint32_t LaunchGraph::add_free(std::uint32_t stream,
+                                    std::uint64_t vaddr) {
+  Node n;
+  n.kind = NodeKind::kFree;
+  n.stream = stream;
+  n.uses.push_back({vaddr, 0, 0, true});
+  return add_node(std::move(n));
+}
+
+void LaunchGraph::on_event_record(std::uint64_t event, std::uint32_t stream) {
+  event_capture_[event] = tail(stream);
+}
+
+void LaunchGraph::on_stream_wait(std::uint32_t stream, std::uint64_t event) {
+  auto it = event_capture_.find(event);
+  if (it == event_capture_.end() || it->second == kNoNode) return;
+  if (stream >= pending_waits_.size()) {
+    stream_tail_.resize(stream + 1, kNoNode);
+    pending_waits_.resize(stream + 1);
+  }
+  pending_waits_[stream].push_back(it->second);
+}
+
+void LaunchGraph::on_host_sync_stream(std::uint32_t stream) {
+  const std::uint32_t t = tail(stream);
+  if (t != kNoNode) host_frontier_.push_back(t);
+}
+
+void LaunchGraph::on_host_sync_event(std::uint64_t event) {
+  auto it = event_capture_.find(event);
+  if (it == event_capture_.end() || it->second == kNoNode) return;
+  host_frontier_.push_back(it->second);
+}
+
+void LaunchGraph::clear() {
+  nodes_.clear();
+  stream_tail_.assign(stream_tail_.size(), kNoNode);
+  for (auto& w : pending_waits_) w.clear();
+  event_capture_.clear();
+  host_frontier_.clear();
+  last_default_ = kNoNode;
+}
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::string modes_str(std::uint8_t modes) {
+  std::string s;
+  if (modes & 1) s += 'r';
+  if (modes & 2) s += 'w';
+  if (modes & 4) s += 'a';
+  return s.empty() ? "-" : s;
+}
+
+const char* dot_color(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kKernel: return "lightblue";
+    case NodeKind::kUpload: return "palegreen";
+    case NodeKind::kDownload: return "khaki";
+    case NodeKind::kFill: return "palegreen";
+    case NodeKind::kAlloc: return "gray90";
+    case NodeKind::kFree: return "lightpink";
+  }
+  return "white";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string LaunchGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph launch_graph {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    os << "  n" << i << " [fillcolor=" << dot_color(n.kind) << ", label=\"#"
+       << i << " " << to_string(n.kind);
+    if (!n.label.empty()) os << " " << json_escape(n.label);
+    os << "\\nstream " << n.stream;
+    for (const BufferUse& u : n.uses) {
+      os << "\\n" << hex(u.vaddr) << " " << modes_str(u.modes) << " "
+         << u.bytes << "B";
+    }
+    if (!n.uses_known) os << "\\n(accesses unknown)";
+    os << "\"];\n";
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::uint32_t d : nodes_[i].deps) {
+      os << "  n" << d << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string LaunchGraph::to_json() const {
+  std::ostringstream os;
+  os << "{\"nodes\":[";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (i) os << ",";
+    os << "{\"id\":" << i << ",\"kind\":\"" << to_string(n.kind)
+       << "\",\"stream\":" << n.stream << ",\"label\":\""
+       << json_escape(n.label) << "\",\"uses_known\":"
+       << (n.uses_known ? "true" : "false") << ",\"deps\":[";
+    for (std::size_t d = 0; d < n.deps.size(); ++d) {
+      if (d) os << ",";
+      os << n.deps[d];
+    }
+    os << "],\"uses\":[";
+    for (std::size_t u = 0; u < n.uses.size(); ++u) {
+      if (u) os << ",";
+      os << "{\"vaddr\":" << n.uses[u].vaddr << ",\"bytes\":"
+         << n.uses[u].bytes << ",\"modes\":\"" << modes_str(n.uses[u].modes)
+         << "\",\"full\":" << (n.uses[u].full ? "true" : "false") << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace maxwarp::analysis

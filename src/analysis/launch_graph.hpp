@@ -1,0 +1,136 @@
+// Launch-graph recorder: the raw material for post-hoc stream verification.
+//
+// The simulator executes every operation *eagerly* in host issue order, so
+// streams and events reorder modeled time only — a missing Stream::wait
+// never corrupts results here the way it would on real hardware, which
+// makes exactly that bug class invisible to functional tests. The recorder
+// closes the gap: when SimConfig::record_launch_graph is on, gpu::Device
+// appends one node per kernel launch, host<->device copy, fill, allocation
+// and free, together with the happens-before edges the stream/event API
+// actually established:
+//
+//   * program order within one stream (per-stream FIFO);
+//   * Event::record on stream A / Stream::wait on stream B edges;
+//   * host synchronization (Stream::synchronize, Event::ms) — every node
+//     issued afterwards, on any stream, is ordered after the synced work;
+//   * legacy default-stream semantics: like CUDA's legacy default stream,
+//     an operation on stream 0 is a device-wide ordering point — it waits
+//     for all prior work and all later work waits for it. Code that keeps
+//     everything on stream 0 is therefore trivially race-free, matching
+//     both real CUDA and this simulator's sequential execution.
+//
+// DeviceBuffer allocation and free are modeled as *stream-ordered* on the
+// issuing (current) stream, the cudaMallocAsync/cudaFreeAsync contract:
+// freeing a buffer while an unordered stream may still be using it is
+// exactly the lifetime bug the analyzer exists to flag.
+//
+// Each node carries its buffer-level access set: exact when the sanitizer
+// is armed (it observes every access), declared via LaunchDims::reads /
+// writes / atomics otherwise, or unknown (such nodes are excluded from
+// pairwise hazard checks and surfaced as a coverage lint).
+//
+// The recorder itself never diagnoses anything — HazardAnalyzer
+// (analysis/hazard_analyzer.hpp) consumes the finished graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace maxwarp::analysis {
+
+enum class NodeKind : std::uint8_t {
+  kKernel,
+  kUpload,    ///< H2D copy (upload / write / fill source side is host)
+  kDownload,  ///< D2H copy (download / read)
+  kFill,      ///< host-initiated constant fill
+  kAlloc,
+  kFree,
+};
+
+const char* to_string(NodeKind kind);
+
+/// One buffer access of a node. `vaddr` is the *base* address of the
+/// allocation (buffer identity), `bytes` the bytes this node touches of
+/// it, `modes` a simt::kAccess* bitmask. `full` is set when the access
+/// provably covers the whole allocation (known only for copies/fills),
+/// which the dead-store check requires.
+struct BufferUse {
+  std::uint64_t vaddr = 0;
+  std::uint64_t bytes = 0;
+  std::uint8_t modes = 0;
+  bool full = false;
+};
+
+inline constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+struct Node {
+  NodeKind kind = NodeKind::kKernel;
+  std::uint32_t stream = 0;
+  std::string label;            ///< kernel label / copy description
+  std::vector<BufferUse> uses;
+  bool uses_known = true;       ///< false: kernel with no capture, no decls
+  std::vector<std::uint32_t> deps;  ///< happens-before predecessors
+};
+
+class LaunchGraph {
+ public:
+  // --- node recording (driven by gpu::Device / gpu::DeviceBuffer) ---------
+
+  std::uint32_t add_kernel(std::uint32_t stream, std::string label,
+                           std::vector<BufferUse> uses, bool uses_known);
+  std::uint32_t add_copy(std::uint32_t stream, bool to_device, BufferUse use,
+                         std::string label);
+  std::uint32_t add_fill(std::uint32_t stream, BufferUse use,
+                         std::string label);
+  std::uint32_t add_alloc(std::uint32_t stream, std::uint64_t vaddr,
+                          std::uint64_t bytes, std::string label);
+  std::uint32_t add_free(std::uint32_t stream, std::uint64_t vaddr);
+
+  // --- ordering edges (driven by gpu::Stream / gpu::Event) ----------------
+
+  /// Event::record: captures the recording stream's current tail under the
+  /// event id. Re-recording overwrites, like CUDA.
+  void on_event_record(std::uint64_t event, std::uint32_t stream);
+
+  /// Stream::wait: the waiting stream's next node depends on the node the
+  /// event captured. Waiting on a never-recorded event is a no-op (the
+  /// caller already filters that case, mirroring Timeline::wait_event).
+  void on_stream_wait(std::uint32_t stream, std::uint64_t event);
+
+  /// Host blocked until `stream`'s work completed (Stream::synchronize):
+  /// everything issued afterwards on any stream is ordered after it.
+  void on_host_sync_stream(std::uint32_t stream);
+
+  /// Host blocked until an event's captured work completed (Event::ms).
+  void on_host_sync_event(std::uint64_t event);
+
+  // --- inspection ---------------------------------------------------------
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Forgets all nodes and edges but keeps the event/stream bookkeeping
+  /// consistent (subsequent nodes start a fresh window). Use to scope
+  /// verification to a phase; cross-window hazards are not reported.
+  void clear();
+
+  /// Graphviz dump: one box per node, colored by kind, HB edges.
+  std::string to_dot() const;
+
+  /// Machine-readable dump of nodes, deps and access sets.
+  std::string to_json() const;
+
+ private:
+  std::uint32_t add_node(Node node);
+  std::uint32_t tail(std::uint32_t stream) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> stream_tail_;       ///< last node per stream
+  std::vector<std::vector<std::uint32_t>> pending_waits_;  ///< per stream
+  std::unordered_map<std::uint64_t, std::uint32_t> event_capture_;
+  std::vector<std::uint32_t> host_frontier_;  ///< host-synced tails
+  std::uint32_t last_default_ = kNoNode;      ///< last stream-0 node
+};
+
+}  // namespace maxwarp::analysis

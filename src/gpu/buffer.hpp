@@ -133,12 +133,16 @@ class DeviceBuffer {
   /// Device -> host copy of the whole buffer (current stream).
   std::vector<T> download() const {
     device_->note_copy(size_bytes(), /*to_device=*/false);
+    record_copy(device_->current_stream_id(), /*to_device=*/false, 0,
+                size_bytes(), "download");
     return storage_;
   }
 
   /// cudaMemcpyAsync D2H: same copy, accounted on `stream`.
   std::vector<T> download_async(const Stream& stream) const {
     device_->note_copy_on(stream.id(), size_bytes(), /*to_device=*/false);
+    record_copy(stream.id(), /*to_device=*/false, 0, size_bytes(),
+                "download");
     return storage_;
   }
 
@@ -147,6 +151,8 @@ class DeviceBuffer {
   T read(std::size_t index) const {
     assert(index < storage_.size());
     device_->note_copy(sizeof(T), /*to_device=*/false);
+    record_copy(device_->current_stream_id(), /*to_device=*/false, index,
+                sizeof(T), "read");
     return storage_[index];
   }
 
@@ -155,6 +161,7 @@ class DeviceBuffer {
   T read_async(std::size_t index, const Stream& stream) const {
     assert(index < storage_.size());
     device_->note_copy_on(stream.id(), sizeof(T), /*to_device=*/false);
+    record_copy(stream.id(), /*to_device=*/false, index, sizeof(T), "read");
     return storage_[index];
   }
 
@@ -166,6 +173,8 @@ class DeviceBuffer {
     if (auto* san = device_->sanitizer()) {
       san->on_host_write(vaddr_, index * sizeof(T), sizeof(T));
     }
+    record_copy(device_->current_stream_id(), /*to_device=*/true, index,
+                sizeof(T), "write");
   }
 
   /// Device-side fill (cudaMemset analogue): charged as one kernel-free
@@ -174,6 +183,13 @@ class DeviceBuffer {
     std::fill(storage_.begin(), storage_.end(), value);
     if (auto* san = device_->sanitizer()) {
       san->on_host_write(vaddr_, 0, size_bytes());
+    }
+    if (size_bytes() > 0) {
+      if (auto* lg = device_->launch_graph()) {
+        lg->add_fill(device_->current_stream_id(),
+                     {vaddr_, size_bytes(), simt::kAccessWrite, true},
+                     "fill");
+      }
     }
   }
 
@@ -188,6 +204,24 @@ class DeviceBuffer {
     if (auto* san = device_->sanitizer()) {
       san->on_host_write(vaddr_, 0, host.size() * sizeof(T));
     }
+    record_copy(stream_id, /*to_device=*/true, 0, host.size() * sizeof(T),
+                "upload");
+  }
+
+  /// Launch-graph recording of one copy touching [offset, offset+bytes).
+  /// `offset` only decides full-buffer coverage (the recorder tracks
+  /// whole allocations); zero-byte traffic is not recorded.
+  void record_copy(std::uint32_t stream_id, bool to_device,
+                   std::uint64_t offset, std::uint64_t bytes,
+                   const char* what) const {
+    if (bytes == 0) return;
+    auto* lg = device_->launch_graph();
+    if (lg == nullptr) return;
+    const std::uint8_t modes =
+        to_device ? simt::kAccessWrite : simt::kAccessRead;
+    lg->add_copy(stream_id, to_device,
+                 {vaddr_, bytes, modes, offset == 0 && bytes == size_bytes()},
+                 what);
   }
 
   void release() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 
 namespace maxwarp::gpu {
@@ -20,6 +21,49 @@ std::string label_of(const simt::LaunchDims& dims) {
 
 Device::Device(simt::SimConfig cfg) : sim_(cfg) {
   kernel_totals_.launches = 0;
+  if (config().record_launch_graph) {
+    graph_ = std::make_unique<analysis::LaunchGraph>();
+  }
+}
+
+analysis::HazardReport Device::verify_launch_graph(
+    const analysis::AnalyzerOptions& opts) const {
+  if (!graph_) {
+    throw std::logic_error(
+        "Device::verify_launch_graph requires a device constructed with "
+        "SimConfig::record_launch_graph");
+  }
+  return analysis::HazardAnalyzer(opts).analyze(*graph_);
+}
+
+void Device::record_kernel_node(std::uint32_t stream_id,
+                                const simt::LaunchDims& dims) {
+  std::vector<analysis::BufferUse> uses;
+  bool known = false;
+  if (const auto* san = sim_.sanitizer()) {
+    for (const auto& t : san->launch_touched()) {
+      uses.push_back({t.base, t.bytes, t.modes, false});
+    }
+    known = true;
+  } else if (!dims.accesses.empty()) {
+    for (const simt::KernelAccessDecl& d : dims.accesses) {
+      // Resolve the declared address to its containing live allocation so
+      // interior pointers (DevPtr arithmetic) still name the right buffer.
+      std::uint64_t base = d.vaddr;
+      std::uint64_t bytes = 0;
+      auto it = allocs_.upper_bound(d.vaddr);
+      if (it != allocs_.begin()) {
+        --it;
+        if (d.vaddr < it->first + it->second.bytes) {
+          base = it->first;
+          bytes = it->second.bytes;
+        }
+      }
+      uses.push_back({base, bytes, d.modes, false});
+    }
+    known = true;
+  }
+  graph_->add_kernel(stream_id, label_of(dims), std::move(uses), known);
 }
 
 simt::KernelStats Device::launch(const simt::LaunchDims& dims,
@@ -103,6 +147,10 @@ LaunchReport Device::try_launch_on(std::uint32_t stream_id,
     }
     // kEccCorrectable: corrected in flight — the launch succeeds and the
     // event is only recorded (report.fault / injector history).
+
+    // Record only launches that actually executed: a rejected/aborted
+    // launch has no side effects, so it cannot participate in a hazard.
+    if (graph_) record_kernel_node(stream_id, dims);
   }
 
   kernel_totals_.add(report.stats);
@@ -170,11 +218,20 @@ void Device::register_alloc(std::uint64_t vaddr, std::uint8_t* data,
   memory_.live_bytes += bytes;
   memory_.peak_bytes = std::max(memory_.peak_bytes, memory_.live_bytes);
   ++memory_.allocs;
+  // Stream-ordered allocation (the cudaMallocAsync contract): the alloc is
+  // a node on the issuing stream. Zero-byte buffers are skipped — they
+  // have no addressable contents to race on.
+  if (graph_ && bytes > 0) {
+    graph_->add_alloc(current_stream_, vaddr, bytes, "");
+  }
 }
 
 void Device::unregister_alloc(std::uint64_t vaddr) {
   auto it = allocs_.find(vaddr);
   if (it == allocs_.end()) return;
+  if (graph_ && it->second.bytes > 0) {
+    graph_->add_free(current_stream_, vaddr);
+  }
   memory_.live_bytes -= it->second.bytes;
   ++memory_.frees;
   allocs_.erase(it);

@@ -30,8 +30,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "analysis/hazard_analyzer.hpp"
+#include "analysis/launch_graph.hpp"
 #include "gpu/status.hpp"
 #include "simt/device_sim.hpp"
 
@@ -88,6 +91,21 @@ class Device {
   /// allocation on this device then consults it.
   simt::FaultInjector& faults() { return sim_.faults(); }
   const simt::FaultInjector& faults() const { return sim_.faults(); }
+
+  /// The launch-graph recorder, or nullptr unless the device was
+  /// constructed with SimConfig::record_launch_graph. Every launch, copy,
+  /// fill, alloc and free (and the stream/event ordering among them) is
+  /// appended here for verify_launch_graph().
+  analysis::LaunchGraph* launch_graph() { return graph_.get(); }
+  const analysis::LaunchGraph* launch_graph() const { return graph_.get(); }
+
+  /// Runs the happens-before hazard analysis over everything recorded so
+  /// far (analysis/hazard_analyzer.hpp): cross-stream RAW/WAR/WAW races,
+  /// lifetime bugs, dead dataflow. Throws std::logic_error when the
+  /// device is not recording. Non-destructive — recording continues; use
+  /// launch_graph()->clear() to start a fresh verification window.
+  analysis::HazardReport verify_launch_graph(
+      const analysis::AnalyzerOptions& opts = {}) const;
 
   /// Launches a kernel on the current stream and adds its stats to the
   /// device totals. Throws DeviceError when the launch fails (injected
@@ -207,6 +225,12 @@ class Device {
   /// uncorrectable events.
   void apply_ecc(const simt::FaultEvent& ev, bool corrupt);
 
+  /// Appends the launch's node to the recorder: exact access set from the
+  /// sanitizer when armed, declared set (resolved to containing
+  /// allocations) otherwise, unknown when neither exists.
+  void record_kernel_node(std::uint32_t stream_id,
+                          const simt::LaunchDims& dims);
+
   simt::DeviceSim sim_;
   std::uint64_t next_vaddr_ = 256;  // keep 0 an invalid address
   std::uint32_t current_stream_ = 0;
@@ -216,6 +240,7 @@ class Device {
   MemoryStats memory_;
   double delay_total_ms_ = 0;
   std::map<std::uint64_t, Alloc> allocs_;  ///< vaddr-ordered live registry
+  std::unique_ptr<analysis::LaunchGraph> graph_;  ///< null unless recording
 };
 
 /// RAII per-scope watchdog: every launch inside the scope must finish

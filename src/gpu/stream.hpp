@@ -60,8 +60,13 @@ class Stream {
 
   /// Host-side cudaStreamSynchronize analogue. Execution is eager, so
   /// there is nothing to wait for; returns the modeled completion time
-  /// the real call would have blocked until.
-  double synchronize() const { return ready_ms(); }
+  /// the real call would have blocked until. The launch-graph recorder
+  /// treats it as a real sync: everything issued afterwards (any stream)
+  /// is ordered after this stream's work.
+  double synchronize() const {
+    if (auto* lg = device_->launch_graph()) lg->on_host_sync_stream(id_);
+    return ready_ms();
+  }
 
   /// All work queued after this call waits for `e` (cudaStreamWaitEvent).
   void wait(const Event& e) const;
@@ -86,6 +91,7 @@ class Event {
     }
     id_ = device_->timeline().record(s.id());
     recorded_ = true;
+    if (auto* lg = device_->launch_graph()) lg->on_event_record(id_, s.id());
   }
 
   bool recorded() const { return recorded_; }
@@ -96,6 +102,9 @@ class Event {
     if (!recorded_) {
       throw std::logic_error("Event::ms: event was never recorded");
     }
+    // cudaEventSynchronize semantics: the host now knows the captured
+    // work finished, so later issues are ordered after it.
+    if (auto* lg = device_->launch_graph()) lg->on_host_sync_event(id_);
     return device_->timeline().event_ms(id_);
   }
 
@@ -117,7 +126,10 @@ inline void Stream::wait(const Event& e) const {
     throw std::invalid_argument("Stream::wait: event on another device");
   }
   // CUDA treats waiting on a never-recorded event as a no-op.
-  if (e.recorded()) device_->timeline().wait_event(id_, e.id_);
+  if (e.recorded()) {
+    device_->timeline().wait_event(id_, e.id_);
+    if (auto* lg = device_->launch_graph()) lg->on_stream_wait(id_, e.id_);
+  }
 }
 
 /// Redirects the device's plain (stream-oblivious) launches and copies

@@ -1,0 +1,36 @@
+// Buffer-level access descriptions shared by the launch recorder.
+//
+// The launch-graph verifier (analysis/launch_graph.hpp) needs to know, for
+// every kernel launch, which device allocations the kernel read, wrote or
+// atomically updated. Two capture paths produce that information:
+//
+//   * exact  — when the sanitizer is armed, every access a launch issues
+//     is observed and summarized per allocation (Sanitizer::launch_touched);
+//   * declared — when it is not, a launch may carry KernelAccessDecl
+//     entries on its LaunchDims (LaunchDims::reads / writes / atomics),
+//     the simulator analogue of the read/write sets Gunrock-style runtimes
+//     attach to their operators.
+//
+// Mode bits combine: a kernel that both reads and overwrites a buffer
+// declares kAccessRead | kAccessWrite.
+#pragma once
+
+#include <cstdint>
+
+namespace maxwarp::simt {
+
+inline constexpr std::uint8_t kAccessRead = 1;    ///< plain loads
+inline constexpr std::uint8_t kAccessWrite = 2;   ///< plain stores
+inline constexpr std::uint8_t kAccessAtomic = 4;  ///< atomic RMW updates
+
+/// One declared buffer access of a kernel launch. `vaddr` is any simulated
+/// address inside the target allocation — typically DevPtr::vaddr of the
+/// buffer's base pointer; the device resolves it to the containing
+/// allocation. A declaration must cover *all* of the launch's traffic to
+/// be useful: a partially declared launch mis-scopes the hazard analysis.
+struct KernelAccessDecl {
+  std::uint64_t vaddr = 0;
+  std::uint8_t modes = 0;  ///< kAccess* bits
+};
+
+}  // namespace maxwarp::simt

@@ -113,6 +113,15 @@ struct SimConfig {
   /// Sanitizer thresholds; ignored unless `sanitize` is on.
   SanitizerOptions sanitizer;
 
+  /// Records one launch-graph node per kernel launch / copy / fill /
+  /// alloc / free, for post-hoc happens-before hazard analysis
+  /// (analysis/launch_graph.hpp, Device::verify_launch_graph()).
+  /// Functional results and modeled times are unchanged; recording is a
+  /// small constant cost per *API call*, not per simulated access, so it
+  /// is cheap even on large graphs. Access sets are exact when `sanitize`
+  /// is also on, otherwise taken from LaunchDims access declarations.
+  bool record_launch_graph = false;
+
   /// Device-wide kernel watchdog in modeled milliseconds: a launch whose
   /// modeled elapsed time exceeds this reports DEADLINE_EXCEEDED through
   /// the gpu::Status error channel instead of succeeding. 0 (the

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "simt/access.hpp"
 #include "simt/config.hpp"
 #include "simt/fault.hpp"
 #include "simt/host_pool.hpp"
@@ -59,6 +60,12 @@ struct LaunchDims {
   /// Unlabeled launches report as "kernel#<launch ordinal>".
   std::string label;
 
+  /// Optional declared access set consumed by the launch-graph recorder
+  /// (SimConfig::record_launch_graph) when the sanitizer is not armed to
+  /// capture accesses exactly. Empty means "accesses unknown"; a
+  /// non-empty list must cover every buffer the kernel touches.
+  std::vector<KernelAccessDecl> accesses;
+
   std::uint64_t warp_count() const {
     return static_cast<std::uint64_t>(blocks) * warps_per_block;
   }
@@ -68,6 +75,26 @@ struct LaunchDims {
     LaunchDims d = *this;
     d.label = std::move(name);
     return d;
+  }
+
+  /// Fluent access-declaration helpers, chained like named():
+  ///   dims.named("bfs.expand").reads(row.vaddr).atomics(next.vaddr)
+  LaunchDims declares(std::uint64_t vaddr, std::uint8_t modes) const {
+    LaunchDims d = *this;
+    d.accesses.push_back({vaddr, modes});
+    return d;
+  }
+  LaunchDims reads(std::uint64_t vaddr) const {
+    return declares(vaddr, kAccessRead);
+  }
+  LaunchDims writes(std::uint64_t vaddr) const {
+    return declares(vaddr, kAccessWrite);
+  }
+  LaunchDims reads_writes(std::uint64_t vaddr) const {
+    return declares(vaddr, kAccessRead | kAccessWrite);
+  }
+  LaunchDims atomics(std::uint64_t vaddr) const {
+    return declares(vaddr, kAccessAtomic);
   }
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "simt/access.hpp"
 #include "simt/memory.hpp"
 
 namespace maxwarp::simt {
@@ -89,6 +90,14 @@ void Sanitizer::begin_launch(const std::string& label) {
   ++epoch_;
   current_kernel_ = label;
   ++report_.launches;
+  touched_.clear();
+}
+
+std::vector<Sanitizer::TouchedBuffer> Sanitizer::launch_touched() const {
+  std::vector<TouchedBuffer> out;
+  out.reserve(touched_.size());
+  for (const auto& [base, tb] : touched_) out.push_back(tb);
+  return out;
 }
 
 void Sanitizer::reset_report() {
@@ -264,6 +273,12 @@ void Sanitizer::check_global(std::uint64_t anchor_vaddr,
   ++report_.checked_accesses;
   Allocation& alloc = check_bounds(anchor_vaddr, addrs, active, access_bytes,
                                    kind, warp, instruction);
+  TouchedBuffer& touched = touched_[alloc.base];
+  touched.base = alloc.base;
+  touched.bytes = alloc.bytes;
+  touched.modes |= kind == AccessKind::kLoad    ? kAccessRead
+                   : kind == AccessKind::kStore ? kAccessWrite
+                                                : kAccessAtomic;
   if (kind == AccessKind::kStore) {
     check_intra_warp_conflicts(addrs, active, access_bytes, "global", warp,
                                instruction, values, value_stride);

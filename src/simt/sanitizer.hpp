@@ -205,6 +205,18 @@ class Sanitizer {
   /// Clears accumulated diagnostics (shadow allocation state persists).
   void reset_report();
 
+  /// Buffer-level summary of one launch's device-memory traffic: one entry
+  /// per distinct allocation touched since the last begin_launch, ordered
+  /// by base address. `modes` is a kAccess* bitmask. Consumed by the
+  /// launch-graph recorder (analysis/launch_graph.hpp) to get exact
+  /// access sets without declarations.
+  struct TouchedBuffer {
+    std::uint64_t base = 0;
+    std::uint64_t bytes = 0;
+    std::uint8_t modes = 0;
+  };
+  std::vector<TouchedBuffer> launch_touched() const;
+
  private:
   struct ShadowByte {
     std::uint32_t epoch = 0;   ///< launch id of the last access, 0 = never
@@ -268,6 +280,9 @@ class Sanitizer {
   std::uint64_t next_alloc_id_ = 0;
   std::uint32_t epoch_ = 0;           ///< 0 = outside any launch
   std::string current_kernel_;
+  /// Per-launch touched-allocation summary, keyed by base; cleared by
+  /// begin_launch, updated by check_global after bounds resolution.
+  std::map<std::uint64_t, TouchedBuffer> touched_;
 };
 
 }  // namespace maxwarp::simt

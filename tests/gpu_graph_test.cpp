@@ -1,6 +1,5 @@
 // GpuGraph handle: upload-once accounting, lazy cached reverse CSR (with
-// symmetric aliasing), TEPS numerator helper, and equivalence of the
-// deprecated graph::Csr shims / DirectionOptions with the unified API.
+// symmetric aliasing), and the TEPS numerator helper.
 #include "algorithms/gpu_graph.hpp"
 
 #include <gtest/gtest.h>
@@ -103,41 +102,6 @@ TEST(GpuGraphTest, TraversedEdgesSumsReachedOutDegrees) {
   const auto r = bfs_gpu(g, 0);
   EXPECT_EQ(r.traversed_edges, 4u);
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(GpuGraphTest, DeprecatedCsrShimsMatchUnifiedApi) {
-  Csr host = graph::rmat(512, 4096, {}, {.seed = 17});
-  graph::assign_hash_weights(host, 64);
-  gpu::Device dev_new;
-  GpuGraph g(dev_new, host);
-  gpu::Device dev_old;
-
-  EXPECT_EQ(bfs_gpu(dev_old, host, 3).level, bfs_gpu(g, 3).level);
-  EXPECT_EQ(sssp_gpu(dev_old, host, 3).dist, sssp_gpu(g, 3).dist);
-  EXPECT_EQ(pagerank_gpu(dev_old, host).rank, pagerank_gpu(g).rank);
-}
-
-TEST(GpuGraphTest, DirectionOptionsFoldMatchesLegacyShim) {
-  const Csr host = graph::rmat(1 << 10, 8u << 10, {}, {.seed = 19});
-  gpu::Device dev_new;
-  GpuGraph g(dev_new, host);
-  gpu::Device dev_old;
-
-  KernelOptions opts;
-  opts.virtual_warp_width = 8;
-  opts.direction.alpha = 14;
-  opts.direction.beta = 24;
-  const auto unified = bfs_gpu_direction_optimized(g, 0, opts);
-
-  DirectionOptions legacy;  // alpha=14, beta=24, virtual_warp_width=8
-  const auto shimmed =
-      bfs_gpu_direction_optimized(dev_old, host, 0, legacy);
-  EXPECT_EQ(unified.level, shimmed.level);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace maxwarp::algorithms

@@ -1,0 +1,351 @@
+// Launch-graph recorder + hazard analyzer: the seeded missing-wait_event
+// RAW hazard (with kernel-label and stream provenance), the clean sweep
+// over every GPU algorithm and a fused 32-query QueryEngine batch,
+// declaration-based capture without the sanitizer, lifetime and
+// dead-dataflow fixtures, and the DOT/JSON dumps.
+#include "analysis/hazard_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithms/bc_gpu.hpp"
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cc_gpu.hpp"
+#include "algorithms/coloring_gpu.hpp"
+#include "algorithms/kcore_gpu.hpp"
+#include "algorithms/pagerank_gpu.hpp"
+#include "algorithms/query_engine.hpp"
+#include "algorithms/spmv_gpu.hpp"
+#include "algorithms/sssp_gpu.hpp"
+#include "algorithms/tc_gpu.hpp"
+#include "gpu/buffer.hpp"
+#include "gpu/stream.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace maxwarp::algorithms {
+namespace {
+
+using analysis::HazardClass;
+using analysis::HazardRecord;
+using graph::Csr;
+using graph::NodeId;
+
+Csr test_graph() {
+  return graph::rmat(512, 4096, {}, {.seed = 7, .undirected = true});
+}
+
+simt::SimConfig recording_config(bool sanitize) {
+  simt::SimConfig cfg;
+  cfg.sanitize = sanitize;
+  cfg.record_launch_graph = true;
+  return cfg;
+}
+
+// ---- the seeded missing-wait_event hazard ---------------------------------
+
+// Upload the resident graph on a private stream, then serve a fused batch
+// whose kernels run on the engine's own streams *without* waiting on the
+// upload. Execution is eager so results are still correct — exactly the
+// bug the analyzer exists to catch — and the report must carry RAW
+// records naming the fused kernels and the unordered streams.
+TEST(LaunchGraphVerify, SeededMissingWaitIsFlaggedAsRaw) {
+  gpu::Device dev(recording_config(/*sanitize=*/true));
+  const Csr host = test_graph();
+
+  gpu::Stream upload_stream(dev);
+  std::optional<GpuGraph> graph;
+  {
+    gpu::StreamScope scope(dev, upload_stream);
+    graph.emplace(dev, host);
+    // BUG under test: no upload_stream.synchronize() / Event wait here.
+  }
+
+  QueryEngineOptions opts;
+  opts.verify = true;
+  QueryEngine engine(*graph, opts);
+  std::vector<Query> queries;
+  for (NodeId s = 0; s < 8; ++s) queries.push_back(Query::bfs(s));
+  const auto results = engine.run(queries);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+
+  const analysis::HazardReport& rep = engine.last_hazard_report();
+  EXPECT_FALSE(rep.clean());
+  ASSERT_GE(rep.count(HazardClass::kRaw), 1u) << rep.text();
+
+  // Provenance: at least one RAW record pairs the CSR upload on the
+  // private stream with a fused kernel on a different (engine) stream.
+  const auto& nodes = dev.launch_graph()->nodes();
+  bool found = false;
+  for (const HazardRecord& r : rep.records) {
+    if (r.cls != HazardClass::kRaw) continue;
+    const auto& writer = nodes[r.node_a];
+    const auto& reader = nodes[r.node_b];
+    if (writer.kind == analysis::NodeKind::kUpload &&
+        writer.stream == upload_stream.id() &&
+        reader.label.rfind("msbfs.", 0) == 0 &&
+        reader.stream != writer.stream) {
+      found = true;
+      EXPECT_NE(r.detail.find("msbfs."), std::string::npos);
+      EXPECT_NE(r.detail.find("stream"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << rep.text();
+}
+
+// The same program with the one missing synchronize added is clean.
+TEST(LaunchGraphVerify, SynchronizedUploadIsClean) {
+  gpu::Device dev(recording_config(/*sanitize=*/true));
+  const Csr host = test_graph();
+
+  gpu::Stream upload_stream(dev);
+  std::optional<GpuGraph> graph;
+  {
+    gpu::StreamScope scope(dev, upload_stream);
+    graph.emplace(dev, host);
+  }
+  upload_stream.synchronize();  // the fix
+
+  QueryEngineOptions opts;
+  opts.verify = true;
+  QueryEngine engine(*graph, opts);
+  std::vector<Query> queries;
+  for (NodeId s = 0; s < 8; ++s) queries.push_back(Query::bfs(s));
+  (void)engine.run(queries);
+
+  EXPECT_EQ(engine.last_hazard_report().errors(), 0u)
+      << engine.last_hazard_report().text();
+}
+
+// ---- clean sweep ----------------------------------------------------------
+
+TEST(LaunchGraphVerify, CleanSweepOverAllAlgorithms) {
+  Csr weighted = test_graph();
+  graph::assign_hash_weights(weighted, 16);
+  const std::vector<NodeId> sources{0, 1, 2, 3};
+  std::vector<float> x(weighted.num_nodes(), 0.5f);
+
+  const std::vector<std::function<void(const GpuGraph&)>> runs{
+      [](const GpuGraph& g) { (void)bfs_gpu(g, 0); },
+      [](const GpuGraph& g) {
+        KernelOptions o;
+        o.frontier = Frontier::kQueue;
+        (void)bfs_gpu(g, 0, o);
+      },
+      [](const GpuGraph& g) { (void)bfs_gpu_adaptive(g, 0); },
+      [](const GpuGraph& g) { (void)bfs_gpu_direction_optimized(g, 0); },
+      [](const GpuGraph& g) { (void)sssp_gpu(g, 0); },
+      [](const GpuGraph& g) { (void)pagerank_gpu(g); },
+      [](const GpuGraph& g) { (void)connected_components_gpu(g); },
+      [&](const GpuGraph& g) { (void)spmv_gpu(g, x); },
+      [&](const GpuGraph& g) { (void)betweenness_gpu(g, sources); },
+      [](const GpuGraph& g) { (void)triangle_count_gpu(g); },
+      [](const GpuGraph& g) { (void)color_graph_gpu(g); },
+      [](const GpuGraph& g) { (void)k_core_gpu(g, 3); },
+      [&](const GpuGraph& g) { (void)bfs_gpu_multi_source(g, sources); },
+  };
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    gpu::Device dev(recording_config(/*sanitize=*/true));
+    runs[i](GpuGraph(dev, weighted));
+    const auto rep = dev.verify_launch_graph();
+    EXPECT_EQ(rep.errors(), 0u) << "run " << i << ":\n" << rep.text();
+    EXPECT_GT(rep.nodes, 0u);
+  }
+}
+
+TEST(LaunchGraphVerify, CleanFused32QueryBatch) {
+  gpu::Device dev(recording_config(/*sanitize=*/true));
+  const Csr host = test_graph();
+  const GpuGraph graph(dev, host);  // default stream: ordered device-wide
+
+  QueryEngineOptions opts;
+  opts.verify = true;
+  opts.num_streams = 4;
+  opts.bfs_group_size = 8;  // 32 queries -> 4 fused groups over 4 streams
+  QueryEngine engine(graph, opts);
+  std::vector<Query> queries;
+  for (NodeId s = 0; s < 32; ++s) {
+    queries.push_back(Query::bfs(s % host.num_nodes()));
+  }
+  const auto results = engine.run(queries);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+  EXPECT_GE(engine.last_batch_stats().fused_groups, 4u);
+  EXPECT_EQ(engine.last_batch_stats().streams_used, 4u);
+
+  const analysis::HazardReport& rep = engine.last_hazard_report();
+  EXPECT_EQ(rep.errors(), 0u) << rep.text();
+  EXPECT_GT(rep.pairs_checked, 0u);
+}
+
+// ---- declaration-based capture (sanitizer off) ----------------------------
+
+TEST(LaunchGraphVerify, DeclaredAccessesFindRawWithoutSanitizer) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  gpu::Stream s1(dev);
+  gpu::Stream s2(dev);
+
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 256);
+  const std::vector<std::uint32_t> host(256, 7);
+  buf.upload_async(host, s1);
+
+  const auto dims = dev.dims_for_threads(256)
+                        .named("decl.reader")
+                        .reads(buf.ptr().vaddr);
+  s2.launch(dims, [](simt::WarpCtx&) {});
+
+  const auto rep = dev.verify_launch_graph();
+  EXPECT_EQ(rep.count(HazardClass::kRaw), 1u) << rep.text();
+  EXPECT_FALSE(rep.clean());
+  // The declared-capture lint must NOT fire: the launch declared its set.
+  EXPECT_EQ(rep.count(HazardClass::kUnknownAccess), 0u);
+}
+
+TEST(LaunchGraphVerify, EventWaitOrdersDeclaredReader) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  gpu::Stream s1(dev);
+  gpu::Stream s2(dev);
+
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, 256);
+  const std::vector<std::uint32_t> host(256, 7);
+  buf.upload_async(host, s1);
+
+  gpu::Event uploaded(dev);
+  uploaded.record(s1);
+  s2.wait(uploaded);  // the fix: record/wait edge orders the reader
+
+  const auto dims = dev.dims_for_threads(256)
+                        .named("decl.reader")
+                        .reads(buf.ptr().vaddr);
+  s2.launch(dims, [](simt::WarpCtx&) {});
+
+  const auto rep = dev.verify_launch_graph();
+  EXPECT_EQ(rep.errors(), 0u) << rep.text();
+}
+
+TEST(LaunchGraphVerify, UndeclaredKernelIsSurfacedAsCoverageLint) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  dev.launch(dev.dims_for_threads(32).named("mystery"),
+             [](simt::WarpCtx&) {});
+  const auto rep = dev.verify_launch_graph();
+  EXPECT_EQ(rep.count(HazardClass::kUnknownAccess), 1u);
+  EXPECT_EQ(rep.errors(), 0u);
+}
+
+// ---- lifetime -------------------------------------------------------------
+
+TEST(LaunchGraphVerify, CrossStreamFreeIsUseAfterFree) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  gpu::Stream s1(dev);
+  gpu::Stream s2(dev);
+
+  std::optional<gpu::DeviceBuffer<std::uint32_t>> buf;
+  buf.emplace(dev, 64);
+  const auto dims = dev.dims_for_threads(64)
+                        .named("uaf.reader")
+                        .reads(buf->ptr().vaddr);
+  s1.launch(dims, [](simt::WarpCtx&) {});
+  {
+    // Stream-ordered free on s2, unordered with the reader on s1.
+    gpu::StreamScope scope(dev, s2);
+    buf.reset();
+  }
+
+  const auto rep = dev.verify_launch_graph();
+  ASSERT_EQ(rep.count(HazardClass::kUseAfterFree), 1u) << rep.text();
+  for (const HazardRecord& r : rep.records) {
+    if (r.cls != HazardClass::kUseAfterFree) continue;
+    EXPECT_EQ(r.severity, simt::Severity::kError);
+    EXPECT_NE(r.detail.find("uaf.reader"), std::string::npos) << r.detail;
+  }
+}
+
+TEST(LaunchGraphVerify, OrderedFreeIsClean) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  gpu::Stream s1(dev);
+
+  std::optional<gpu::DeviceBuffer<std::uint32_t>> buf;
+  buf.emplace(dev, 64);
+  const auto dims = dev.dims_for_threads(64)
+                        .named("uaf.reader")
+                        .reads(buf->ptr().vaddr);
+  s1.launch(dims, [](simt::WarpCtx&) {});
+  s1.synchronize();
+  buf.reset();  // free on stream 0 after the sync: ordered
+
+  const auto rep = dev.verify_launch_graph();
+  EXPECT_EQ(rep.count(HazardClass::kUseAfterFree), 0u) << rep.text();
+}
+
+TEST(LaunchGraphVerify, LeakReportingIsOptIn) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  gpu::DeviceBuffer<std::uint32_t> live(dev, 64);
+  live.fill(1);
+
+  EXPECT_EQ(dev.verify_launch_graph().count(HazardClass::kLeak), 0u);
+
+  analysis::AnalyzerOptions opts;
+  opts.report_leaks = true;
+  const auto rep = dev.verify_launch_graph(opts);
+  EXPECT_EQ(rep.count(HazardClass::kLeak), 1u) << rep.text();
+  EXPECT_EQ(rep.errors(), 0u);  // leaks are warnings, not errors
+}
+
+// ---- dead dataflow --------------------------------------------------------
+
+TEST(LaunchGraphVerify, DeadUploadIsReported) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  const std::vector<std::uint32_t> host(128, 3);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, host);  // uploaded, never read
+
+  const auto rep = dev.verify_launch_graph();
+  EXPECT_EQ(rep.count(HazardClass::kDeadUpload), 1u) << rep.text();
+  EXPECT_EQ(rep.errors(), 0u);
+}
+
+TEST(LaunchGraphVerify, OverwrittenUploadIsDeadStore) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  const std::vector<std::uint32_t> host(128, 3);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, host);
+  buf.upload(host);       // full overwrite, nothing read in between
+  (void)buf.download();   // final read keeps the second upload live
+
+  const auto rep = dev.verify_launch_graph();
+  EXPECT_EQ(rep.count(HazardClass::kDeadStore), 1u) << rep.text();
+  EXPECT_EQ(rep.count(HazardClass::kDeadUpload), 0u);
+  EXPECT_EQ(rep.errors(), 0u);
+}
+
+// ---- recorder plumbing ----------------------------------------------------
+
+TEST(LaunchGraphVerify, DumpsAndClearWindowing) {
+  gpu::Device dev(recording_config(/*sanitize=*/false));
+  const std::vector<std::uint32_t> host(16, 1);
+  gpu::DeviceBuffer<std::uint32_t> buf(dev, host);
+
+  const std::string dot = dev.launch_graph()->to_dot();
+  EXPECT_NE(dot.find("digraph launch_graph"), std::string::npos);
+  EXPECT_NE(dot.find("H2D"), std::string::npos);
+  const std::string json = dev.launch_graph()->to_json();
+  EXPECT_NE(json.find("\"kind\":\"H2D\""), std::string::npos);
+
+  dev.launch_graph()->clear();
+  EXPECT_EQ(dev.verify_launch_graph().nodes, 0u);
+}
+
+TEST(LaunchGraphVerify, VerifyThrowsWhenNotRecording) {
+  gpu::Device dev;  // record_launch_graph off
+  EXPECT_EQ(dev.launch_graph(), nullptr);
+  EXPECT_THROW((void)dev.verify_launch_graph(), std::logic_error);
+
+  const GpuGraph graph(dev, graph::chain(8));
+  QueryEngineOptions opts;
+  opts.verify = true;
+  EXPECT_THROW(QueryEngine(graph, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace maxwarp::algorithms
