@@ -1,0 +1,164 @@
+// E4 — cost of multi-device failover serving (extension experiment, not
+// a paper figure).
+//
+// A gpu::DeviceGroup puts spare devices behind the QueryEngine ladder.
+// Standing by must be close to free: an unarmed two-device group serves
+// a batch through exactly the single-device code path (the spare only
+// holds a replica), so its modeled batch time must be within 2% of the
+// plain single-device engine. Lazy upload keeps even the replica cost at
+// zero until a failover actually happens.
+//
+// The drill column prices a real failover: an ecc-fatal plan kills the
+// primary mid-batch and the unit migrates to the spare, resuming fused
+// traversals from their iteration-barrier checkpoint. That run is pure
+// recovery cost — reported and regression-guarded, not gated against the
+// clean baseline.
+#include "bench_common.hpp"
+
+#include <vector>
+
+#include "algorithms/query_engine.hpp"
+#include "gpu/device_group.hpp"
+#include "simt/fault.hpp"
+
+namespace {
+
+using namespace maxwarp;
+using algorithms::GpuGraph;
+using algorithms::Query;
+using algorithms::QueryEngine;
+using algorithms::ReplicatedGraph;
+
+constexpr double kMaxOverhead = 0.02;  // 2%
+const char* kKillPlan = "ecc-fatal:nth=2+:max=0;seed=7";
+
+const graph::Csr& dataset() {
+  static const graph::Csr g =
+      graph::make_dataset("LiveJournal*", benchx::scale(), benchx::seed());
+  return g;
+}
+
+std::vector<Query> batch16() {
+  std::vector<Query> batch;
+  for (std::uint32_t q = 0; q < 16; ++q) {
+    batch.push_back(Query::bfs((q * 2654435761u) % dataset().num_nodes()));
+  }
+  return batch;
+}
+
+double single_device_ms() {
+  gpu::Device dev;
+  GpuGraph g(dev, dataset());
+  QueryEngine engine(g);
+  const auto batch = batch16();
+  (void)engine.run(batch);
+  return engine.last_batch_stats().modeled_ms;
+}
+
+struct GroupNumbers {
+  double batch_ms = 0.0;
+  double spare_upload_ms = 0.0;  ///< modeled time the spare paid up front
+  double migrations = 0.0;
+  double checkpoint_resumes = 0.0;
+};
+
+GroupNumbers group_run(ReplicatedGraph::Upload upload, const char* plan) {
+  gpu::DeviceGroup group(2);
+  if (plan != nullptr) {
+    group.arm(0, simt::FaultPlan::parse(plan));
+  }
+  QueryEngine engine(group, dataset(), {}, upload);
+  GroupNumbers out;
+  out.spare_upload_ms = group.device(1).total_modeled_ms();
+  const auto batch = batch16();
+  (void)engine.run(batch);
+  const auto& stats = engine.last_batch_stats();
+  out.batch_ms = stats.modeled_ms;
+  out.migrations = stats.migrations;
+  out.checkpoint_resumes = stats.checkpoint_resumes;
+  return out;
+}
+
+void print_table() {
+  benchx::print_banner(
+      "E4: multi-device failover serving",
+      "Modeled 16-query batch: single device vs an unarmed two-device "
+      "group (eager and lazy spare upload) vs a killed-primary migration "
+      "drill. Unarmed must be within 2% of single-device.");
+
+  const double single = single_device_ms();
+  const GroupNumbers eager =
+      group_run(ReplicatedGraph::Upload::kEager, nullptr);
+  const GroupNumbers lazy =
+      group_run(ReplicatedGraph::Upload::kLazy, nullptr);
+  const GroupNumbers drill =
+      group_run(ReplicatedGraph::Upload::kEager, kKillPlan);
+
+  util::Table table({"configuration", "batch ms", "spare upload ms",
+                     "migrations"});
+  table.row().cell("single device").cell(single, 3).cell(0.0, 3).cell(0.0, 0);
+  table.row()
+      .cell("two devices, eager")
+      .cell(eager.batch_ms, 3)
+      .cell(eager.spare_upload_ms, 3)
+      .cell(eager.migrations, 0);
+  table.row()
+      .cell("two devices, lazy")
+      .cell(lazy.batch_ms, 3)
+      .cell(lazy.spare_upload_ms, 3)
+      .cell(lazy.migrations, 0);
+  table.row()
+      .cell("killed primary (drill)")
+      .cell(drill.batch_ms, 3)
+      .cell(drill.spare_upload_ms, 3)
+      .cell(drill.migrations, 0);
+  table.print();
+
+  const double worst =
+      single > 0
+          ? std::max(eager.batch_ms, lazy.batch_ms) / single - 1.0
+          : 0.0;
+  const bool pass = worst <= kMaxOverhead;
+  std::printf(
+      "\nacceptance: unarmed two-device batch overhead <= %.0f%% of "
+      "single-device modeled time (worst %.3f%%) -> %s\n",
+      kMaxOverhead * 100.0, worst * 100.0, pass ? "PASS" : "FAIL");
+}
+
+void BM_MultiDevice(benchmark::State& state) {
+  double single = 0.0;
+  GroupNumbers eager, lazy, drill;
+  for (auto _ : state) {
+    single = single_device_ms();
+    eager = group_run(ReplicatedGraph::Upload::kEager, nullptr);
+    lazy = group_run(ReplicatedGraph::Upload::kLazy, nullptr);
+    drill = group_run(ReplicatedGraph::Upload::kEager, kKillPlan);
+    benchmark::DoNotOptimize(eager.batch_ms);
+  }
+  state.counters["single_ms"] = single;
+  state.counters["eager_ms"] = eager.batch_ms;
+  state.counters["lazy_ms"] = lazy.batch_ms;
+  state.counters["drill_ms"] = drill.batch_ms;
+  state.counters["spare_upload_ms"] = eager.spare_upload_ms;
+  // Ratios hover around 1.0, which keeps the perf_guard relative band
+  // meaningful (a pct counter near 0 cannot absorb rounding noise).
+  state.counters["eager_overhead_ratio"] =
+      single > 0 ? eager.batch_ms / single : 1.0;
+  state.counters["lazy_overhead_ratio"] =
+      single > 0 ? lazy.batch_ms / single : 1.0;
+  state.counters["drill_migrations"] = drill.migrations;
+  state.counters["drill_checkpoint_resumes"] = drill.checkpoint_resumes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::RegisterBenchmark("multi_device/serving16", BM_MultiDevice)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  maxwarp::benchx::embed_build_info();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

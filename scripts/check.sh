@@ -67,6 +67,13 @@ echo "== fault drill (recovery + determinism under injected faults) =="
 ./build/examples/fault_drill --nodes 4096 --queries 16 \
   --plan "hang:nth=3;ecc-fatal:p=0.02:max=0;launch:p=0.02:max=0;seed=11"
 
+echo "== failover drill (unarmed fleet, then killed primary) =="
+# The drill asserts internally: an unarmed group must not migrate, and a
+# killed primary must migrate to the spare — never the host reference.
+./build/examples/failover_drill --nodes 4096 --queries 32 --plan none
+./build/examples/failover_drill --nodes 4096 --queries 32 \
+  --plan "ecc-fatal:nth=1+:max=0;seed=7"
+
 echo "== launch-graph verify (clean batch, then seeded missing-wait) =="
 ./build/examples/launch_graph_verify --nodes 4096 --queries 16
 if ./build/examples/launch_graph_verify --nodes 4096 --queries 16 \
@@ -84,16 +91,25 @@ MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_e3_fault_overhead \
   --benchmark_out_format=json
 require_release_bench BENCH_fault_overhead.json
 
+echo "== bench smoke (multi-device failover) =="
+MAXWARP_SCALE="${MAXWARP_SCALE:-0.25}" ./build/bench/bench_e4_multi_device \
+  --benchmark_min_time=0.01 \
+  --benchmark_out=BENCH_multi_device.json \
+  --benchmark_out_format=json
+require_release_bench BENCH_multi_device.json
+
 echo "== perf regression guard (modeled counters vs committed JSONs) =="
 if command -v python3 >/dev/null; then
-  # Two artifacts are held to a tighter 2% band: the whole point of the
-  # fault-overhead and launch-graph-recording gates is that the unarmed
-  # machinery stays within 2% of free.
+  # Three artifacts are held to a tighter 2% band: the whole point of the
+  # fault-overhead, launch-graph-recording and unarmed-spare gates is
+  # that the standing machinery stays within 2% of free.
   python3 scripts/perf_guard.py \
     --file-tolerance BENCH_fault_overhead.json=0.02 \
     --file-tolerance BENCH_query_engine.json=0.02 \
+    --file-tolerance BENCH_multi_device.json=0.02 \
     BENCH_query_engine.json BENCH_sim_engine.json \
-    BENCH_frontier_adaptive.json BENCH_fault_overhead.json
+    BENCH_frontier_adaptive.json BENCH_fault_overhead.json \
+    BENCH_multi_device.json
 else
   echo "check.sh: python3 not found, skipping perf guard" >&2
 fi

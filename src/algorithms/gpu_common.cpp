@@ -75,8 +75,14 @@ void validate_kernel_options(const KernelOptions& opts, const char* where) {
   if (!(opts.adaptive.bin_merge_tolerance >= 0.0)) {
     fail("adaptive.bin_merge_tolerance must be non-negative");
   }
-  if (!(opts.resilience.backoff_ms >= 0.0)) {
-    fail("resilience.backoff_ms must be non-negative");
+  // Validate the merged policy, so a bad value set through either the
+  // nested policy or a deprecated alias fails the same way.
+  const ResiliencePolicy policy = opts.resilience.effective_policy();
+  if (!(policy.retry_backoff_ms >= 0.0)) {
+    fail("resilience.policy.retry_backoff_ms must be non-negative");
+  }
+  if (!(policy.default_deadline_ms >= 0.0)) {
+    fail("resilience.policy.default_deadline_ms must be non-negative");
   }
   if (!(opts.resilience.watchdog_ms >= 0.0)) {
     fail("resilience.watchdog_ms must be non-negative");

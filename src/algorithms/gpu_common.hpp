@@ -42,6 +42,34 @@ enum class Frontier {
 
 std::string to_string(Frontier frontier);
 
+/// The retry/backoff/deadline/fallback policy shared by the two
+/// degradation ladders: the iteration-level checkpoint/retry loop
+/// (ResilientLoop, via KernelOptions::Resilience) and the work-unit-level
+/// QueryEngine ladder (via QueryEngineOptions). Before this type the two
+/// duplicated the same knobs with drifting defaults; now both consume one
+/// documented source of truth and callers can hand a single policy to
+/// either layer.
+struct ResiliencePolicy {
+  /// Re-attempts after a transient failure, on top of the first try.
+  /// In ResilientLoop this is per-iteration re-execution from the
+  /// checkpoint; in the QueryEngine it is whole-work-unit re-runs.
+  std::uint32_t max_retries = 2;
+  /// Modeled backoff charged before retry r: retry_backoff_ms * 2^r on
+  /// the failing unit's stream (Device::charge_delay_ms) — recovery is
+  /// not free.
+  double retry_backoff_ms = 0.05;
+  /// Modeled-time deadline applied to queries that carry none of their
+  /// own; 0 = none. Consumed by the QueryEngine ladder only (the
+  /// iteration loop's per-launch bound is Resilience::watchdog_ms).
+  double default_deadline_ms = 0.0;
+  /// Last rung of the ladder: answer on the host reference when every
+  /// device is exhausted. Off = exhausted queries return their error.
+  /// QueryEngine-level; ResilientLoop ignores it (its callers decide).
+  bool cpu_fallback = true;
+
+  bool operator==(const ResiliencePolicy&) const = default;
+};
+
 /// Tuning knobs shared by the level-synchronous algorithms.
 struct KernelOptions {
   Mapping mapping = Mapping::kWarpCentric;
@@ -71,13 +99,19 @@ struct KernelOptions {
   /// DESIGN.md "Fault model and recovery"). With checkpoint = kAuto and
   /// no FaultPlan armed, the drivers skip checkpointing entirely, so the
   /// fault-free path pays nothing for these.
+  ///
+  /// The diagnostic region spans the whole struct so that synthesizing
+  /// its special members (which touch the deprecated aliases' default
+  /// initializers) stays silent; alias *writes* in caller code still
+  /// warn at the caller's own location.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   struct Resilience {
-    /// Re-executions of one failed iteration (from its checkpoint)
-    /// before the failure escapes to the caller.
-    std::uint32_t max_retries = 2;
-    /// Modeled backoff before retry r: backoff_ms * 2^r, charged to the
-    /// current stream via Device::charge_delay_ms — recovery is not free.
-    double backoff_ms = 0.05;
+    /// Shared retry policy (ResiliencePolicy): the loop consumes
+    /// policy.max_retries (re-executions of one failed iteration from its
+    /// checkpoint) and policy.retry_backoff_ms; the engine-level fields
+    /// (default_deadline_ms, cpu_fallback) are ignored here.
+    ResiliencePolicy policy = {};
     /// Per-launch watchdog (modeled ms) armed for the driver's lifetime;
     /// 0 inherits the device-wide SimConfig::default_watchdog_ms.
     double watchdog_ms = 0;
@@ -88,8 +122,29 @@ struct KernelOptions {
     };
     Checkpoint checkpoint = Checkpoint::kAuto;
 
-    bool operator==(const Resilience&) const = default;
+    /// Deprecated aliases of the policy fields, kept for one release so
+    /// pre-policy call sites still compile. Sentinel (negative) = unset;
+    /// a set alias overrides the nested policy in effective_policy().
+    [[deprecated("set resilience.policy.max_retries instead")]]
+    std::int64_t max_retries = -1;
+    [[deprecated("set resilience.policy.retry_backoff_ms instead")]]
+    double backoff_ms = -1.0;
+
+    /// The policy the loop actually runs: `policy` with any set
+    /// deprecated aliases folded in.
+    ResiliencePolicy effective_policy() const {
+      ResiliencePolicy p = policy;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+      if (max_retries >= 0) {
+        p.max_retries = static_cast<std::uint32_t>(max_retries);
+      }
+      if (backoff_ms >= 0) p.retry_backoff_ms = backoff_ms;
+#pragma GCC diagnostic pop
+      return p;
+    }
   };
+#pragma GCC diagnostic pop
   Resilience resilience;
 
   /// kAdaptive knobs (ignored by the other mappings).
@@ -229,6 +284,32 @@ class GpuCsr {
     row_.upload(host.row);
     adj_.upload(host.adj);
     if (!host.weights.empty()) weights_.upload(host.weights);
+  }
+
+  /// Partial-recovery fast path: re-uploads only the CSR array whose
+  /// device allocation starts at `vaddr` — the ECC victim's containing
+  /// allocation (gpu::Device::resolve_ecc_offset) — charging that one
+  /// array's H2D transfer instead of the full reupload(). Returns false
+  /// (uploading nothing) when no CSR array lives at `vaddr`: the victim
+  /// was someone else's buffer.
+  bool reupload_containing(std::uint64_t vaddr, const graph::Csr& host) {
+    if (host.row.size() != row_.size() || host.adj.size() != adj_.size() ||
+        host.weights.size() != weights_.size()) {
+      throw std::invalid_argument("GpuCsr::reupload_containing: shape mismatch");
+    }
+    if (row_.size() > 0 && vaddr == row_.cptr().vaddr) {
+      row_.upload(host.row);
+      return true;
+    }
+    if (adj_.size() > 0 && vaddr == adj_.cptr().vaddr) {
+      adj_.upload(host.adj);
+      return true;
+    }
+    if (weights_.size() > 0 && vaddr == weights_.cptr().vaddr) {
+      weights_.upload(host.weights);
+      return true;
+    }
+    return false;
   }
 
   simt::DevPtr<const std::uint32_t> row() const { return row_.cptr(); }

@@ -4,11 +4,17 @@
 
 #include "algorithms/adaptive_dispatch.hpp"
 #include "graph/builder.hpp"
+#include "simt/fault.hpp"
 
 namespace maxwarp::algorithms {
 
 GpuGraph::GpuGraph(gpu::Device& device, graph::Csr host)
-    : device_(&device), host_(std::move(host)), csr_(device, host_) {}
+    : GpuGraph(device,
+               std::make_shared<const graph::Csr>(std::move(host))) {}
+
+GpuGraph::GpuGraph(gpu::Device& device,
+                   std::shared_ptr<const graph::Csr> host)
+    : device_(&device), host_(std::move(host)), csr_(device, *host_) {}
 
 GpuGraph::~GpuGraph() = default;
 GpuGraph::GpuGraph(GpuGraph&&) noexcept = default;
@@ -21,7 +27,7 @@ const AdaptiveState& GpuGraph::adaptive_state(const KernelOptions& opts,
   const AdaptiveKey key{opts.adaptive, opts.warps_per_deferred_task};
   if (!adaptive_[slot] || !(adaptive_key_[slot] == key)) {
     const GpuCsr& csr = reverse ? reverse_csr() : csr_;
-    const graph::Csr& host = reverse ? reverse_host() : host_;
+    const graph::Csr& host = reverse ? reverse_host() : *host_;
     adaptive_[slot] = std::make_unique<AdaptiveState>(build_adaptive_state(
         *device_, csr, host, opts, reverse ? "adaptive.rev" : "adaptive"));
     adaptive_key_[slot] = key;
@@ -29,29 +35,65 @@ const AdaptiveState& GpuGraph::adaptive_state(const KernelOptions& opts,
   return *adaptive_[slot];
 }
 
+void GpuGraph::rebuild_adaptive_slot(std::size_t slot) const {
+  // Rebuild *in place*: drivers hold a raw AdaptiveState pointer across
+  // iterations, so the object's address must survive the refresh.
+  KernelOptions opts;
+  opts.adaptive = adaptive_key_[slot].adaptive;
+  opts.warps_per_deferred_task = adaptive_key_[slot].warps_per_deferred_task;
+  const bool reverse = slot == 1;
+  *adaptive_[slot] = build_adaptive_state(
+      *device_, reverse ? *reverse_csr_ : csr_,
+      reverse ? *reverse_host_ : *host_, opts,
+      reverse ? "adaptive.rev" : "adaptive");
+}
+
 void GpuGraph::refresh_device_data() const {
-  csr_.reupload(host_);
+  csr_.reupload(*host_);
   if (reverse_csr_) reverse_csr_->reupload(*reverse_host_);
   // The cached adaptive partitions are device-resident too and could be
-  // the ECC victim. Rebuild them *in place*: drivers hold a raw
-  // AdaptiveState pointer across iterations, so the object's address
-  // must survive the refresh.
+  // the ECC victim.
   for (std::size_t slot = 0; slot < 2; ++slot) {
-    if (!adaptive_[slot]) continue;
-    KernelOptions opts;
-    opts.adaptive = adaptive_key_[slot].adaptive;
-    opts.warps_per_deferred_task =
-        adaptive_key_[slot].warps_per_deferred_task;
-    const bool reverse = slot == 1;
-    *adaptive_[slot] = build_adaptive_state(
-        *device_, reverse ? *reverse_csr_ : csr_,
-        reverse ? *reverse_host_ : host_, opts,
-        reverse ? "adaptive.rev" : "adaptive");
+    if (adaptive_[slot]) rebuild_adaptive_slot(slot);
   }
 }
 
+void GpuGraph::refresh_device_data(const simt::FaultEvent& event) const {
+  // Only an uncorrectable ECC event names a victim byte; anything else
+  // (or an offset that no longer resolves — the allocation was freed
+  // between fault and recovery) cannot be attributed, so pay the full
+  // conservative refresh.
+  if (event.kind != simt::FaultKind::kEccUncorrectable) {
+    refresh_device_data();
+    return;
+  }
+  const auto victim = device_->resolve_ecc_offset(event.byte_offset);
+  if (!victim) {
+    refresh_device_data();
+    return;
+  }
+  if (csr_.reupload_containing(victim->vaddr, *host_)) return;
+  if (reverse_csr_ &&
+      reverse_csr_->reupload_containing(victim->vaddr, *reverse_host_)) {
+    return;
+  }
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    if (!adaptive_[slot]) continue;
+    // The sweeps read only the partition's entries buffer at run time;
+    // a flip there re-runs the (charged) partition build for that slot.
+    if (adaptive_[slot]->entries().vaddr == victim->vaddr) {
+      rebuild_adaptive_slot(slot);
+      return;
+    }
+  }
+  // The victim is algorithm scratch (or another caller's buffer): graph
+  // data is intact, and the checkpoint-restore path that follows every
+  // ECC recovery re-seeds scratch state anyway. Re-uploading the CSR
+  // here would only charge transfers for nothing.
+}
+
 bool GpuGraph::symmetric() const {
-  if (!symmetric_) symmetric_ = host_.is_symmetric();
+  if (!symmetric_) symmetric_ = host_->is_symmetric();
   return *symmetric_;
 }
 
@@ -59,16 +101,16 @@ const GpuCsr& GpuGraph::reverse_csr() const {
   if (reverse_csr_) return *reverse_csr_;
   if (symmetric()) return csr_;
   if (!reverse_host_) {
-    reverse_host_ = std::make_unique<graph::Csr>(graph::reverse(host_));
+    reverse_host_ = std::make_unique<graph::Csr>(graph::reverse(*host_));
   }
   reverse_csr_ = std::make_unique<GpuCsr>(*device_, *reverse_host_);
   return *reverse_csr_;
 }
 
 const graph::Csr& GpuGraph::reverse_host() const {
-  if (symmetric()) return host_;
+  if (symmetric()) return *host_;
   if (!reverse_host_) {
-    reverse_host_ = std::make_unique<graph::Csr>(graph::reverse(host_));
+    reverse_host_ = std::make_unique<graph::Csr>(graph::reverse(*host_));
   }
   return *reverse_host_;
 }
@@ -76,9 +118,9 @@ const graph::Csr& GpuGraph::reverse_host() const {
 std::uint64_t GpuGraph::traversed_edges(
     const std::vector<std::uint32_t>& reached, std::uint32_t unreached) const {
   std::uint64_t edges = 0;
-  const std::uint32_t n = host_.num_nodes();
+  const std::uint32_t n = host_->num_nodes();
   for (std::uint32_t v = 0; v < n && v < reached.size(); ++v) {
-    if (reached[v] != unreached) edges += host_.degree(v);
+    if (reached[v] != unreached) edges += host_->degree(v);
   }
   return edges;
 }

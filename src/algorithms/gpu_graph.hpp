@@ -23,6 +23,10 @@
 #include "algorithms/gpu_common.hpp"
 #include "graph/csr.hpp"
 
+namespace maxwarp::simt {
+struct FaultEvent;  // simt/fault.hpp
+}
+
 namespace maxwarp::algorithms {
 
 struct AdaptiveState;  // adaptive_dispatch.hpp
@@ -32,6 +36,13 @@ class GpuGraph {
   /// Uploads `host` to `device` (H2D charged on the current stream) and
   /// takes ownership of the host copy.
   GpuGraph(gpu::Device& device, graph::Csr host);
+
+  /// Shared-host constructor: uploads *host without copying it. Replica
+  /// sets (algorithms::ReplicatedGraph) hand every per-device handle the
+  /// same immutable host CSR, so N replicas hold one host copy — and
+  /// bit-identity across devices is structural, not a property to test
+  /// per upload.
+  GpuGraph(gpu::Device& device, std::shared_ptr<const graph::Csr> host);
   ~GpuGraph();
 
   GpuGraph(GpuGraph&&) noexcept;
@@ -42,7 +53,9 @@ class GpuGraph {
   /// The owning device (mutable: launches and lazy uploads go through it).
   gpu::Device& device() const { return *device_; }
 
-  const graph::Csr& host() const { return host_; }
+  const graph::Csr& host() const { return *host_; }
+  /// The shared host copy (see the shared-host constructor).
+  const std::shared_ptr<const graph::Csr>& host_ptr() const { return host_; }
   const GpuCsr& csr() const { return csr_; }
 
   std::uint32_t num_nodes() const { return csr_.num_nodes(); }
@@ -64,9 +77,19 @@ class GpuGraph {
   /// built, reverse) from the pristine host copies. Recovery path after
   /// an uncorrectable ECC event: the fault may have corrupted graph data
   /// rather than algorithm state, and the host copy is the ground truth.
-  /// Charges the H2D transfers on the current stream. (Re-uploading only
-  /// the corrupted pages instead of the full CSR is ROADMAP follow-on.)
+  /// Charges the H2D transfers on the current stream.
   void refresh_device_data() const;
+
+  /// Targeted recovery: resolves the uncorrectable ECC event's victim
+  /// byte (gpu::Device::resolve_ecc_offset) and re-uploads only the
+  /// containing graph allocation — one CSR array, or one rebuilt
+  /// adaptive partition — charging proportionally less modeled transfer
+  /// time than the full refresh. A victim outside graph-owned memory
+  /// (algorithm scratch) needs no re-upload at all: the caller's
+  /// checkpoint restore re-seeds scratch state. Falls back to the full
+  /// refresh_device_data() when the event cannot be attributed (not an
+  /// ECC event, or the allocation was freed since).
+  void refresh_device_data(const simt::FaultEvent& event) const;
 
   /// Sum of out-degrees over nodes whose entry in `reached` differs from
   /// `unreached` — the TEPS numerator every BFS result reports.
@@ -91,8 +114,11 @@ class GpuGraph {
     bool operator==(const AdaptiveKey&) const = default;
   };
 
+  /// Re-runs build_adaptive_state for one cached slot, in place.
+  void rebuild_adaptive_slot(std::size_t slot) const;
+
   gpu::Device* device_;
-  graph::Csr host_;
+  std::shared_ptr<const graph::Csr> host_;
   mutable GpuCsr csr_;  ///< mutable: refresh_device_data re-uploads in place
   mutable std::optional<bool> symmetric_;
   mutable std::unique_ptr<graph::Csr> reverse_host_;

@@ -11,6 +11,7 @@
 #include "algorithms/adaptive_dispatch.hpp"
 #include "algorithms/bfs_gpu.hpp"
 #include "algorithms/cpu_reference.hpp"
+#include "algorithms/resilience.hpp"
 #include "algorithms/sssp_gpu.hpp"
 #include "gpu/stream.hpp"
 #include "simt/sanitizer.hpp"
@@ -25,7 +26,9 @@ using simt::WarpCtx;
 
 GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
                                     std::span<const NodeId> sources,
-                                    const KernelOptions& opts) {
+                                    const KernelOptions& opts,
+                                    MsBfsHandoff* handoff,
+                                    const MsBfsHandoff* resume) {
   const auto k = static_cast<std::uint32_t>(sources.size());
   if (k > 32) {
     throw std::invalid_argument(
@@ -39,6 +42,7 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
         "bfs_gpu_multi_source: supports thread-mapped, warp-centric, and "
         "adaptive");
   }
+  if (handoff != nullptr) *handoff = MsBfsHandoff{};
   gpu::Device& device = g.device();
   const std::uint32_t n = g.num_nodes();
 
@@ -46,28 +50,66 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
   result.stats.kernels.launches = 0;
   result.level.assign(k, std::vector<std::uint32_t>(n, kUnreached));
   if (k == 0 || n == 0) return result;
+  const bool resuming = resume != nullptr && resume->valid();
+  if (resuming &&
+      (resume->frontier->size() != n || resume->visited->size() != n ||
+       resume->levels->size() != static_cast<std::size_t>(k) * n)) {
+    throw std::invalid_argument(
+        "bfs_gpu_multi_source: resume checkpoint does not match this "
+        "graph/query-group shape");
+  }
   const double transfer_before = device.transfer_totals().modeled_ms;
 
   // Per-vertex query bitmasks (bit q = query q) plus the flat level
   // matrix, seeded on the host: one upload replaces k rounds of
   // fill + write traffic. Out-of-range sources are simply never seeded
-  // (all-kUnreached result), matching bfs_gpu.
+  // (all-kUnreached result), matching bfs_gpu. A resume seeds the
+  // traversal mid-flight from another run's handoff snapshots instead:
+  // same sources, any device, bit-identical final levels (BFS levels are
+  // distances — the fixpoint does not care where the iterations ran).
   std::vector<std::uint32_t> frontier_host(n, 0);
+  std::vector<std::uint32_t> visited_host;
   std::vector<std::uint32_t> levels_host(static_cast<std::size_t>(k) * n,
                                          kUnreached);
-  for (std::uint32_t q = 0; q < k; ++q) {
-    const NodeId s = sources[q];
-    if (s >= n) continue;
-    frontier_host[s] |= 1u << q;
-    levels_host[static_cast<std::size_t>(q) * n + s] = 0;
+  if (resuming) {
+    frontier_host = *resume->frontier;
+    visited_host = *resume->visited;
+    levels_host = *resume->levels;
+  } else {
+    for (std::uint32_t q = 0; q < k; ++q) {
+      const NodeId s = sources[q];
+      if (s >= n) continue;
+      frontier_host[s] |= 1u << q;
+      levels_host[static_cast<std::size_t>(q) * n + s] = 0;
+    }
+    visited_host = frontier_host;
   }
 
   gpu::DeviceBuffer<std::uint32_t> frontier(device, frontier_host);
-  gpu::DeviceBuffer<std::uint32_t> visited(device, frontier_host);
+  gpu::DeviceBuffer<std::uint32_t> visited(device, visited_host);
   gpu::DeviceBuffer<std::uint32_t> next(device, n);
   next.fill(0);
   gpu::DeviceBuffer<std::uint32_t> levels(device, levels_host);
   gpu::DeviceBuffer<std::uint32_t> newly_reached(device, 1);
+
+  // Iteration-barrier checkpointing, like every other iterative driver:
+  // inactive (zero-cost) unless a fault plan is armed or checkpointing
+  // is forced. The caller's handoff aliases the loop's own snapshots, so
+  // exporting the last good state costs nothing extra.
+  ResilientLoop loop(g, opts, "bfs_gpu_multi_source");
+  if (loop.active()) {
+    auto frontier_snap = loop.track(frontier);
+    auto visited_snap = loop.track(visited);
+    auto levels_snap = loop.track(levels);
+    // `next` is all-zero at every iteration barrier but may hold a
+    // failed attempt's partial pushes; tracked so rollback clears it.
+    loop.track(next);
+    if (handoff != nullptr) {
+      handoff->frontier = std::move(frontier_snap);
+      handoff->visited = std::move(visited_snap);
+      handoff->levels = std::move(levels_snap);
+    }
+  }
 
   const auto row = g.csr().row();
   const auto adj = g.csr().adj();
@@ -160,7 +202,13 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
                                  .writes(levels_ptr.vaddr)
                                  .atomics(count_ptr.vaddr);
 
-  for (std::uint32_t current = 0;; ++current) {
+  const std::uint32_t start_level = resuming ? resume->level : 0;
+  for (std::uint32_t current = start_level;; ++current) {
+    // The loop's snapshots describe the state *entering* this iteration;
+    // record the matching level before it runs so a handoff taken after
+    // a mid-iteration failure resumes exactly here.
+    if (handoff != nullptr) handoff->level = current;
+    loop.iteration([&] {
     newly_reached.fill(0);
 
     // Expand: frontier vertices push their query bits onto every
@@ -266,10 +314,12 @@ GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
             });
           });
         }));
+    });
 
     ++result.stats.iterations;
     if (newly_reached.read(0) == 0) break;
   }
+  result.stats.recovery = loop.stats();
 
   const auto levels_out = levels.download();
   for (std::uint32_t q = 0; q < k; ++q) {
@@ -310,7 +360,31 @@ std::vector<std::uint32_t> sssp_host_dist(const graph::Csr& g, NodeId s) {
 
 QueryEngine::QueryEngine(const GpuGraph& graph,
                          const QueryEngineOptions& opts)
-    : graph_(&graph), opts_(opts) {
+    : owned_graphs_(std::make_unique<ReplicatedGraph>(graph)), opts_(opts) {
+  graphs_ = owned_graphs_.get();
+  policy_ = opts_.effective_policy();
+  validate_options();
+}
+
+QueryEngine::QueryEngine(ReplicatedGraph& graphs,
+                         const QueryEngineOptions& opts)
+    : graphs_(&graphs), opts_(opts) {
+  policy_ = opts_.effective_policy();
+  validate_options();
+}
+
+QueryEngine::QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
+                         const QueryEngineOptions& opts,
+                         ReplicatedGraph::Upload upload)
+    : owned_graphs_(std::make_unique<ReplicatedGraph>(group, std::move(host),
+                                                      upload)),
+      opts_(opts) {
+  graphs_ = owned_graphs_.get();
+  policy_ = opts_.effective_policy();
+  validate_options();
+}
+
+void QueryEngine::validate_options() const {
   if (opts_.num_streams == 0) {
     throw std::invalid_argument("QueryEngine: num_streams must be >= 1");
   }
@@ -318,24 +392,32 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
     throw std::invalid_argument(
         "QueryEngine: bfs_group_size must be in [1, 32]");
   }
-  if (opts_.retry_backoff_ms < 0 || opts_.default_deadline_ms < 0) {
+  if (policy_.retry_backoff_ms < 0 || policy_.default_deadline_ms < 0) {
     throw std::invalid_argument(
         "QueryEngine: retry_backoff_ms/default_deadline_ms must be >= 0");
   }
   validate_kernel_options(opts_.kernel, "QueryEngine");
-  if (opts_.verify && graph.device().launch_graph() == nullptr) {
-    throw std::invalid_argument(
-        "QueryEngine: options.verify requires a device constructed with "
-        "SimConfig::record_launch_graph");
+  if (opts_.verify) {
+    // Every group member must record: migrated work would otherwise
+    // escape analysis on whichever device it landed on.
+    const gpu::DeviceGroup& group = graphs_->group();
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (group.device(i).launch_graph() == nullptr) {
+        throw std::invalid_argument(
+            "QueryEngine: options.verify requires a device constructed "
+            "with SimConfig::record_launch_graph");
+      }
+    }
   }
 }
 
 std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
-  gpu::Device& device = graph_->device();
+  gpu::DeviceGroup& group = graphs_->group();
   stats_ = BatchStats{};
   stats_.queries = static_cast<std::uint32_t>(queries.size());
-  const std::uint32_t n = graph_->num_nodes();
-  const bool weighted = graph_->csr().weighted();
+  const GpuGraph& primary = graphs_->replica(0);
+  const std::uint32_t n = primary.num_nodes();
+  const bool weighted = primary.csr().weighted();
 
   std::vector<QueryResult> results(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -364,7 +446,7 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   }
 
   const auto effective_deadline = [&](const Query& q) {
-    return q.deadline_ms > 0 ? q.deadline_ms : opts_.default_deadline_ms;
+    return q.deadline_ms > 0 ? q.deadline_ms : policy_.default_deadline_ms;
   };
 
   // Work units over admitted queries, input order: BFS queries greedily
@@ -399,23 +481,43 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   }
   flush_bfs();
 
-  const double serial_before = device.total_modeled_ms();
-  const double makespan_before = device.modeled_makespan_ms();
-  const std::uint64_t launches_before = device.kernel_totals().launches;
+  // Per-device baselines: batch stats are deltas, summed across the
+  // group, so a migrated unit's spare-device work is not lost (and a
+  // healthy run's spares contribute exactly zero).
+  struct DeviceBase {
+    double serial_ms = 0.0;
+    double makespan_ms = 0.0;
+    std::uint64_t launches = 0;
+    std::uint32_t units = 0;
+  };
+  std::vector<DeviceBase> base(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    gpu::Device& d = group.device(i);
+    base[i].serial_ms = d.total_modeled_ms();
+    base[i].makespan_ms = d.modeled_makespan_ms();
+    base[i].launches = d.kernel_totals().launches;
+  }
 
-  std::vector<gpu::Stream> streams;
+  // Per-device stream pools, built on first use: spares that never
+  // receive work never pay for stream creation.
   const auto stream_count = static_cast<std::uint32_t>(
       std::min<std::size_t>(opts_.num_streams, units.size()));
-  streams.reserve(stream_count);
-  for (std::uint32_t s = 0; s < stream_count; ++s) {
-    streams.emplace_back(device);
-  }
+  std::vector<std::vector<gpu::Stream>> pools(group.size());
+  const auto ensure_streams =
+      [&](std::size_t di) -> std::vector<gpu::Stream>& {
+    auto& pool = pools[di];
+    if (pool.empty()) {
+      pool.reserve(stream_count);
+      for (std::uint32_t s = 0; s < stream_count; ++s) {
+        pool.emplace_back(group.device(di));
+      }
+    }
+    return pool;
+  };
   stats_.streams_used = stream_count;
 
   for (std::size_t u = 0; u < units.size(); ++u) {
     const Unit& unit = units[u];
-    // All launches/copies inside the traversal land on the unit's stream.
-    gpu::StreamScope scope(device, streams[u % streams.size()]);
 
     // The unit budget is the tightest member deadline; it doubles as a
     // per-kernel watchdog so a modeled hang is charged the deadline, not
@@ -425,80 +527,133 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       const double d = effective_deadline(queries[i]);
       if (d > 0 && (deadline == 0 || d < deadline)) deadline = d;
     }
-    std::optional<gpu::WatchdogScope> watchdog;
-    if (deadline > 0) watchdog.emplace(device, deadline);
 
-    const double unit_start = device.total_modeled_ms();
-    const auto over_deadline = [&] {
-      return deadline > 0 &&
-             device.total_modeled_ms() - unit_start > deadline;
+    // Modeled time this unit has consumed, accumulated across every
+    // device it ran on: migration moves the work, not the budget.
+    double spent = 0.0;
+    std::vector<bool> ran_on(group.size(), false);
+    const auto budget_exhausted = [&] {
+      return deadline > 0 && spent > deadline;
     };
 
-    // One rung of the ladder: run `body` with engine-level retries and
-    // exponential modeled backoff. Sanitizer findings are program bugs,
-    // not device faults — no retry can help, so they fail the rung
+    // One rung of the ladder on the group's active device: run `body`
+    // against that device's replica with engine-level retries and
+    // exponential modeled backoff, all launches/copies on the unit's
+    // stream from that device's pool. Sanitizer findings are program
+    // bugs, not device faults — no retry can help, so they fail the rung
     // immediately (and descend, where isolation may sidestep the buggy
     // kernel).
-    const auto try_gpu = [&](const std::function<void()>& body,
+    const auto try_gpu = [&](const std::function<void(const GpuGraph&)>& body,
                              std::uint32_t& attempts) -> gpu::Status {
+      const std::size_t di = group.active_index();
+      const GpuGraph& g = graphs_->replica(di);
+      gpu::Device& device = g.device();
+      auto& pool = ensure_streams(di);
+      gpu::StreamScope scope(device, pool[u % pool.size()]);
+      std::optional<gpu::WatchdogScope> watchdog;
+      if (deadline > 0) watchdog.emplace(device, deadline);
+      ran_on[di] = true;
+      const double start = device.total_modeled_ms();
+      const auto over_deadline = [&] {
+        return deadline > 0 &&
+               spent + device.total_modeled_ms() - start > deadline;
+      };
+      gpu::Status status;
       for (std::uint32_t attempt = 0;; ++attempt) {
         if (over_deadline()) {
-          return gpu::Status(gpu::ErrorCode::kDeadlineExceeded,
-                             "QueryEngine: deadline exhausted before "
-                             "attempt");
+          status = gpu::Status(gpu::ErrorCode::kDeadlineExceeded,
+                               "QueryEngine: deadline exhausted before "
+                               "attempt");
+          break;
         }
         ++attempts;
         try {
-          body();
-          return gpu::Status();
+          body(g);
+          break;
         } catch (const simt::SanitizerFault& f) {
-          return gpu::Status(gpu::ErrorCode::kLaunchFailed,
-                             std::string("sanitizer finding: ") + f.what());
+          status =
+              gpu::Status(gpu::ErrorCode::kLaunchFailed,
+                          std::string("sanitizer finding: ") + f.what());
+          break;
         } catch (const gpu::DeviceError& e) {
           if (e.status().code() == gpu::ErrorCode::kEccUncorrectable) {
-            // The flip may have hit the resident CSR itself; re-seed
-            // device truth from the host before anything re-reads it.
-            graph_->refresh_device_data();
+            // The flip may have hit the resident CSR itself. The fault
+            // record pinpoints the victim byte, so only the containing
+            // allocation is re-uploaded; scratch victims cost nothing —
+            // the next attempt re-seeds its own buffers anyway.
+            const auto& history = device.faults().history();
+            if (!history.empty()) {
+              g.refresh_device_data(history.back());
+            } else {
+              g.refresh_device_data();
+            }
           }
-          if (!e.status().transient() || attempt >= opts_.max_retries) {
-            return e.status();
+          if (!e.status().transient() || attempt >= policy_.max_retries) {
+            status = e.status();
+            break;
           }
           ++stats_.retries;
-          device.charge_delay_ms(opts_.retry_backoff_ms *
+          device.charge_delay_ms(policy_.retry_backoff_ms *
                                  static_cast<double>(1u << attempt));
         }
       }
+      spent += device.total_modeled_ms() - start;
+      return status;
     };
 
-    // Final rung for one query: single-query GPU traversal, then the
-    // host reference (unless disabled), then a structured error.
+    // The rung plus spare-device migration: when the active device
+    // exhausts its retries on a transient fault and the group holds a
+    // healthy spare, fail over and run the rung again there — the group
+    // cursor moves for the whole batch, so later units start on the
+    // spare directly. Non-transient failures descend the ladder instead
+    // (another device cannot fix a program bug), and an exhausted budget
+    // never migrates (migration moves work, it does not refund time).
+    const auto try_gpu_with_failover =
+        [&](const std::function<void(const GpuGraph&)>& body,
+            std::uint32_t& attempts, bool& migrated) -> gpu::Status {
+      for (;;) {
+        const gpu::Status st = try_gpu(body, attempts);
+        if (st.ok() || !st.transient()) return st;
+        if (budget_exhausted()) return st;
+        if (!group.fail_over(st.to_string())) return st;
+        ++stats_.migrations;
+        migrated = true;
+      }
+    };
+
+    // Final rung for one query: single-query GPU traversal across the
+    // group, then the host reference (unless disabled), then a
+    // structured error.
     const auto run_single = [&](std::uint32_t i) {
       QueryResult& r = results[i];
       const Query& q = queries[i];
       std::uint32_t attempts = 0;
-      const gpu::Status st = try_gpu(
-          [&] {
+      bool migrated = false;
+      const gpu::Status st = try_gpu_with_failover(
+          [&](const GpuGraph& g) {
             r.value = q.kind == Query::Kind::kBfs
-                          ? bfs_gpu(*graph_, q.source, opts_.kernel).level
-                          : sssp_gpu(*graph_, q.source, opts_.kernel).dist;
+                          ? bfs_gpu(g, q.source, opts_.kernel).level
+                          : sssp_gpu(g, q.source, opts_.kernel).dist;
           },
-          attempts);
+          attempts, migrated);
       r.gpu_attempts += attempts;
       if (st.ok()) {
         r.path = QueryPath::kSingleGpu;
+        r.device = group.active().ordinal();
+        if (migrated) ++stats_.migrated_units;
         return;
       }
-      if (over_deadline()) {
+      if (budget_exhausted()) {
         r.status = gpu::Status(gpu::ErrorCode::kDeadlineExceeded,
                                "QueryEngine: deadline exceeded");
         r.value.clear();
         return;
       }
-      if (opts_.cpu_fallback) {
+      if (policy_.cpu_fallback) {
         // Host references cannot fault; answer degraded but correct.
         r.value = q.kind == Query::Kind::kBfs
-                      ? bfs_cpu(graph_->host(), q.source)
-                      : sssp_host_dist(graph_->host(), q.source);
+                      ? bfs_cpu(graphs_->host(), q.source)
+                      : sssp_host_dist(graphs_->host(), q.source);
         r.path = QueryPath::kCpuHost;
         r.degraded = true;
         return;
@@ -514,18 +669,38 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
         srcs.push_back(queries[i].source);
       }
       GpuMsBfsResult fused;
+      MsBfsHandoff handoff;
       std::uint32_t attempts = 0;
-      const gpu::Status st = try_gpu(
-          [&] { fused = bfs_gpu_multi_source(*graph_, srcs, opts_.kernel); },
-          attempts);
+      bool migrated = false;
+      bool resumed = false;
+      const gpu::Status st = try_gpu_with_failover(
+          [&](const GpuGraph& g) {
+            // Snapshot the previous attempt's handoff before this run
+            // overwrites it: with a fault plan armed, the traversal
+            // checkpoints at iteration barriers, and a re-run — on this
+            // device or a spare — resumes from the last good iteration
+            // instead of level 0.
+            const MsBfsHandoff checkpoint = handoff;
+            if (checkpoint.valid()) resumed = true;
+            fused = bfs_gpu_multi_source(
+                g, srcs, opts_.kernel, &handoff,
+                checkpoint.valid() ? &checkpoint : nullptr);
+          },
+          attempts, migrated);
       for (const std::uint32_t i : unit.idx) {
         results[i].gpu_attempts += attempts;
       }
       if (st.ok()) {
         ++stats_.fused_groups;
+        if (migrated) {
+          ++stats_.migrated_units;
+          if (resumed) ++stats_.checkpoint_resumes;
+        }
+        const int answered_on = group.active().ordinal();
         for (std::size_t j = 0; j < unit.idx.size(); ++j) {
           results[unit.idx[j]].value = std::move(fused.level[j]);
           results[unit.idx[j]].path = QueryPath::kFusedGpu;
+          results[unit.idx[j]].device = answered_on;
         }
       } else {
         // Isolate: the faulting query only sinks itself, not its
@@ -540,9 +715,13 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       run_single(unit.idx[0]);
     }
 
+    for (std::size_t di = 0; di < group.size(); ++di) {
+      if (ran_on[di]) ++base[di].units;
+    }
+
     // A unit that answered but blew its budget keeps the best-effort
     // value alongside the deadline error.
-    const double unit_ms = device.total_modeled_ms() - unit_start;
+    const double unit_ms = spent;
     for (const std::uint32_t i : unit.idx) {
       QueryResult& r = results[i];
       r.modeled_ms = unit_ms;
@@ -561,14 +740,31 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     if (r.path == QueryPath::kCpuHost) ++stats_.fallback_queries;
   }
 
-  stats_.serial_ms = device.total_modeled_ms() - serial_before;
-  stats_.modeled_ms = device.modeled_makespan_ms() - makespan_before;
-  stats_.kernel_launches = device.kernel_totals().launches - launches_before;
+  stats_.per_device.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    gpu::Device& d = group.device(i);
+    BatchStats::DeviceStats ds;
+    ds.device = d.ordinal();
+    ds.units = base[i].units;
+    ds.kernel_launches = d.kernel_totals().launches - base[i].launches;
+    ds.serial_ms = d.total_modeled_ms() - base[i].serial_ms;
+    ds.modeled_ms = d.modeled_makespan_ms() - base[i].makespan_ms;
+    stats_.per_device.push_back(ds);
+    stats_.serial_ms += ds.serial_ms;
+    stats_.modeled_ms += ds.modeled_ms;
+    stats_.kernel_launches += ds.kernel_launches;
+  }
 
-  // Verify mode: analyze everything recorded on the device so far (the
-  // resident-graph upload included — a batch racing the upload is exactly
-  // the bug class this catches).
-  if (opts_.verify) hazard_ = device.verify_launch_graph();
+  // Verify mode: analyze everything recorded on every group device so
+  // far (the resident-graph uploads included — a batch racing an upload
+  // is exactly the bug class this catches). Reports merge, so migrated
+  // work is analyzed on whichever device it landed on.
+  if (opts_.verify) {
+    hazard_ = analysis::HazardReport{};
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      hazard_.merge(group.device(i).verify_launch_graph());
+    }
+  }
   return results;
 }
 

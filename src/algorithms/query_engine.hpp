@@ -38,7 +38,9 @@
 
 #include "algorithms/gpu_common.hpp"
 #include "algorithms/gpu_graph.hpp"
+#include "algorithms/replicated_graph.hpp"
 #include "analysis/hazard_analyzer.hpp"
+#include "gpu/device_group.hpp"
 #include "gpu/status.hpp"
 #include "graph/csr.hpp"
 
@@ -51,15 +53,45 @@ struct GpuMsBfsResult {
   GpuRunStats stats;
 };
 
+/// Host-side iteration-barrier checkpoint of a fused MS-BFS in flight:
+/// the ResilientLoop snapshots of the three evolving buffers plus the
+/// level those snapshots belong to. When the driver exhausts same-device
+/// retries and throws, the handoff it was filling still holds the last
+/// good iteration's state — the failover path replays it onto a spare's
+/// replica (bfs_gpu_multi_source's `resume` parameter) and the traversal
+/// continues from `level` instead of from the sources.
+struct MsBfsHandoff {
+  std::uint32_t level = 0;  ///< iteration the snapshots precede
+  std::shared_ptr<const std::vector<std::uint32_t>> frontier;
+  std::shared_ptr<const std::vector<std::uint32_t>> visited;
+  std::shared_ptr<const std::vector<std::uint32_t>> levels;
+
+  /// True when the snapshots exist (the source loop was checkpointing)
+  /// and have been filled at least once.
+  bool valid() const {
+    return frontier && visited && levels && !frontier->empty();
+  }
+};
+
 /// Fused multi-source BFS: K <= 32 traversals in one level-synchronous
 /// kernel sequence over shared per-vertex bitmasks (bit q = query q).
 /// Expansion is warp-centric per opts.mapping/virtual_warp_width; new
 /// frontier bits merge with WarpCtx::atomic_or, and a vertex-owned update
 /// kernel assigns levels race-free (sanitizer-clean). Each traversal's
 /// levels are identical to bfs_gpu(g, sources[q]).
+///
+/// Iterations run under a ResilientLoop (KernelOptions resilience), so a
+/// transient fault retries from the iteration checkpoint like every other
+/// driver. `handoff`, if given, is wired to the loop's snapshots so the
+/// caller holds the last good state even after an exhausted-retries
+/// throw. `resume`, if valid, seeds the traversal from a previous run's
+/// handoff instead of from `sources` — same sources, any device — and
+/// produces bit-identical final levels.
 GpuMsBfsResult bfs_gpu_multi_source(const GpuGraph& g,
                                     std::span<const graph::NodeId> sources,
-                                    const KernelOptions& opts = {});
+                                    const KernelOptions& opts = {},
+                                    MsBfsHandoff* handoff = nullptr,
+                                    const MsBfsHandoff* resume = nullptr);
 
 /// One query against the engine's resident graph.
 struct Query {
@@ -108,12 +140,23 @@ struct QueryResult {
   /// up, CPU fallback, or a kept-but-late deadline answer).
   bool degraded = false;
   /// Modeled serial milliseconds this query's work unit consumed
-  /// (shared across members of a fused group).
+  /// (shared across members of a fused group, summed across devices when
+  /// the unit migrated).
   double modeled_ms = 0.0;
+  /// Group ordinal of the device that produced `value`, or -1 when the
+  /// answer came from the host (kCpuHost), the query never ran, or the
+  /// engine serves a standalone single device (which stays anonymous).
+  int device = -1;
 
   bool ok() const { return status.ok(); }
 };
 
+/// The diagnostic region spans the whole struct so that synthesizing its
+/// special members (which touch the deprecated aliases' default
+/// initializers) stays silent; alias *writes* in caller code still warn
+/// at the caller's own location.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct QueryEngineOptions {
   /// Streams the batch is spread over (>= 1). More streams expose more
   /// overlap to the timeline until Σ parallelism saturates the SMs.
@@ -124,24 +167,51 @@ struct QueryEngineOptions {
   bool fuse_bfs = true;
   /// Kernel tuning forwarded to the underlying traversals.
   KernelOptions kernel = {};
-  /// GPU re-attempts of one work unit after a transient fault (on top of
-  /// the first try). Iteration-level retry inside the drivers happens
-  /// first; this rung re-runs the whole unit.
-  std::uint32_t max_retries = 1;
-  /// Modeled backoff charged before engine-level retry r:
-  /// retry_backoff_ms * 2^r on the unit's stream.
-  double retry_backoff_ms = 0.05;
-  /// Deadline applied to queries that carry none of their own; 0 = none.
-  double default_deadline_ms = 0.0;
-  /// Last rung of the ladder: answer on the host reference when the GPU
-  /// keeps faulting. Off = exhausted queries return their error instead.
-  bool cpu_fallback = true;
-  /// Verify mode: after each run(), analyze the device's recorded launch
-  /// graph for cross-stream hazards over the whole batch and store the
-  /// result in last_hazard_report(). Requires a device constructed with
-  /// SimConfig::record_launch_graph (the constructor enforces this).
+  /// The engine's ladder policy — retries, backoff, deadlines, host
+  /// fallback — shared with the iteration-level loop as
+  /// algorithms::ResiliencePolicy (one documented source of truth).
+  /// max_retries here means whole-work-unit re-runs after the drivers'
+  /// own iteration-level retry gave up.
+  ResiliencePolicy resilience = {};
+  /// Verify mode: after each run(), analyze every device's recorded
+  /// launch graph for cross-stream hazards over the whole batch and
+  /// store the merged result in last_hazard_report(). Requires devices
+  /// constructed with SimConfig::record_launch_graph (the constructor
+  /// enforces this).
   bool verify = false;
+
+  /// Deprecated aliases of the policy fields, kept for one release so
+  /// pre-policy call sites still compile. Sentinel (negative / unset) =
+  /// inherit the nested policy; a set alias overrides it in
+  /// effective_policy(). NOTE the unified default: max_retries now
+  /// defaults to ResiliencePolicy's 2 (this engine's old default was 1).
+  [[deprecated("set resilience.max_retries instead")]]
+  std::int64_t max_retries = -1;
+  [[deprecated("set resilience.retry_backoff_ms instead")]]
+  double retry_backoff_ms = -1.0;
+  [[deprecated("set resilience.default_deadline_ms instead")]]
+  double default_deadline_ms = -1.0;
+  /// Tri-state: -1 unset, 0 false, 1 true (bool assignment still works).
+  [[deprecated("set resilience.cpu_fallback instead")]]
+  int cpu_fallback = -1;
+
+  /// The policy the engine actually runs: `resilience` with any set
+  /// deprecated aliases folded in.
+  ResiliencePolicy effective_policy() const {
+    ResiliencePolicy p = resilience;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    if (max_retries >= 0) {
+      p.max_retries = static_cast<std::uint32_t>(max_retries);
+    }
+    if (retry_backoff_ms >= 0) p.retry_backoff_ms = retry_backoff_ms;
+    if (default_deadline_ms >= 0) p.default_deadline_ms = default_deadline_ms;
+    if (cpu_fallback >= 0) p.cpu_fallback = cpu_fallback != 0;
+#pragma GCC diagnostic pop
+    return p;
+  }
 };
+#pragma GCC diagnostic pop
 
 /// Modeled-time accounting for one run() batch.
 struct BatchStats {
@@ -161,34 +231,84 @@ struct BatchStats {
   std::uint32_t fallback_queries = 0;  ///< answered by the host reference
   std::uint32_t retries = 0;           ///< engine-level unit re-attempts
   std::uint32_t isolated_groups = 0;   ///< fused groups broken into singles
+  // -- multi-device accounting (all zero on a single-device engine) --
+  /// Device failovers during the batch: the active device exhausted its
+  /// retries and the group migrated to a healthy spare.
+  std::uint32_t migrations = 0;
+  /// Work units that completed on a different device than they started
+  /// on.
+  std::uint32_t migrated_units = 0;
+  /// Migrated fused units that resumed from their iteration-barrier
+  /// checkpoint instead of restarting from the sources.
+  std::uint32_t checkpoint_resumes = 0;
+  /// Per-device share of the batch, index-aligned with the group's
+  /// devices (one entry even for devices that stayed idle). The
+  /// single-device constructors leave one entry with device = -1.
+  struct DeviceStats {
+    int device = -1;               ///< group ordinal
+    std::uint32_t units = 0;       ///< work units that ran (even partly) here
+    std::uint64_t kernel_launches = 0;
+    double modeled_ms = 0.0;       ///< makespan delta on this device
+    double serial_ms = 0.0;        ///< serial-model delta on this device
+  };
+  std::vector<DeviceStats> per_device;
 };
 
 class QueryEngine {
  public:
-  /// The engine borrows `graph` (upload already paid); it must outlive
-  /// the engine. Throws on invalid options.
+  /// Single-device adapter: borrows `graph` (upload already paid; it
+  /// must outlive the engine) and wraps it as a one-device group, so the
+  /// single entry point and the failover entry points run the same
+  /// ladder code. Throws on invalid options.
   explicit QueryEngine(const GpuGraph& graph,
                        const QueryEngineOptions& opts = {});
+
+  /// Failover serving over an existing replica set (which must outlive
+  /// the engine): work units start on the group's active device and
+  /// migrate to healthy spares when it exhausts its retries, falling
+  /// back to the host only when every device is exhausted.
+  explicit QueryEngine(ReplicatedGraph& graphs,
+                       const QueryEngineOptions& opts = {});
+
+  /// Failover serving that owns its replicas: uploads `host` across
+  /// `group` (eagerly or lazily per `upload`) and serves over it. The
+  /// group must outlive the engine.
+  QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
+              const QueryEngineOptions& opts = {},
+              ReplicatedGraph::Upload upload = ReplicatedGraph::Upload::kEager);
 
   /// Executes the batch and returns results in input order. BFS queries
   /// are greedily grouped (input order) into fused kernels of up to
   /// bfs_group_size; SSSP queries run as singles; units round-robin
-  /// across num_streams streams. Accounting lands in last_batch_stats().
+  /// across num_streams streams (per device). Accounting lands in
+  /// last_batch_stats().
   std::vector<QueryResult> run(std::span<const Query> queries);
 
   const BatchStats& last_batch_stats() const { return stats_; }
-  const GpuGraph& graph() const { return *graph_; }
+  /// The primary device's replica (the only one for the single-device
+  /// constructor).
+  const GpuGraph& graph() { return graphs_->replica(0); }
   const QueryEngineOptions& options() const { return opts_; }
+  /// The ladder policy in force: options().resilience with deprecated
+  /// aliases folded in (QueryEngineOptions::effective_policy).
+  const ResiliencePolicy& policy() const { return policy_; }
+  /// The device group work is scheduled over (a one-device group for the
+  /// single-device constructor).
+  const gpu::DeviceGroup& device_group() const { return graphs_->group(); }
 
-  /// Hazard analysis of the last run() batch; empty unless
-  /// QueryEngineOptions::verify is on.
+  /// Hazard analysis of the last run() batch, merged across every
+  /// recording device; empty unless QueryEngineOptions::verify is on.
   const analysis::HazardReport& last_hazard_report() const {
     return hazard_;
   }
 
  private:
-  const GpuGraph* graph_;
+  void validate_options() const;
+
+  ReplicatedGraph* graphs_;
+  std::unique_ptr<ReplicatedGraph> owned_graphs_;
   QueryEngineOptions opts_;
+  ResiliencePolicy policy_;
   BatchStats stats_;
   analysis::HazardReport hazard_;
 };

@@ -1,0 +1,46 @@
+#include "algorithms/replicated_graph.hpp"
+
+#include <utility>
+
+namespace maxwarp::algorithms {
+
+ReplicatedGraph::ReplicatedGraph(gpu::DeviceGroup& group, graph::Csr host,
+                                 Upload upload)
+    : ReplicatedGraph(group,
+                      std::make_shared<const graph::Csr>(std::move(host)),
+                      upload) {}
+
+ReplicatedGraph::ReplicatedGraph(gpu::DeviceGroup& group,
+                                 std::shared_ptr<const graph::Csr> host,
+                                 Upload upload)
+    : group_(&group), host_(std::move(host)), upload_(upload) {
+  replicas_.assign(group_->size(), nullptr);
+  owned_replicas_.resize(group_->size());
+  const std::size_t first = upload_ == Upload::kEager ? group_->size() : 1;
+  for (std::size_t i = 0; i < first; ++i) {
+    owned_replicas_[i] =
+        std::make_unique<GpuGraph>(group_->device(i), host_);
+    replicas_[i] = owned_replicas_[i].get();
+  }
+}
+
+ReplicatedGraph::ReplicatedGraph(const GpuGraph& graph)
+    : owned_group_(std::make_unique<gpu::DeviceGroup>(
+          std::vector<gpu::Device*>{&graph.device()})),
+      host_(graph.host_ptr()) {
+  group_ = owned_group_.get();
+  replicas_.assign(1, &graph);
+  owned_replicas_.resize(1);
+}
+
+const GpuGraph& ReplicatedGraph::replica(std::size_t i) {
+  if (replicas_.at(i) != nullptr) return *replicas_[i];
+  // Lazy spare upload, paid now: the GpuGraph constructor charges the
+  // H2D transfer to device i's modeled time — exactly the cost a real
+  // first failover would observe.
+  owned_replicas_[i] = std::make_unique<GpuGraph>(group_->device(i), host_);
+  replicas_[i] = owned_replicas_[i].get();
+  return *replicas_[i];
+}
+
+}  // namespace maxwarp::algorithms

@@ -1,0 +1,82 @@
+// ReplicatedGraph — per-device GpuGraph replicas over a gpu::DeviceGroup.
+//
+// gpu::DeviceGroup deliberately knows nothing about graphs (it sits below
+// the algorithm layer); this class is the other half of the failover
+// story: one immutable host CSR, shared by every replica
+// (GpuGraph::host_ptr), with a device-resident copy per group member.
+// Because all replicas upload from the same host bytes, bit-identity
+// across devices is structural — a migrated work unit reads exactly the
+// data the failed device held.
+//
+// Spare uploads are eager (at construction, every device pays its H2D
+// transfer up front) or lazy (a spare's replica is built on first use —
+// i.e. on first failover — charging the upload to modeled time at the
+// moment a real deployment would pay it). Either way the primary's
+// replica always exists: callers need somewhere to run immediately.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "algorithms/gpu_graph.hpp"
+#include "gpu/device_group.hpp"
+#include "graph/csr.hpp"
+
+namespace maxwarp::algorithms {
+
+class ReplicatedGraph {
+ public:
+  /// When spare devices receive their replica upload.
+  enum class Upload {
+    kEager,  ///< every device at construction
+    kLazy,   ///< primary at construction, spares on first replica(i)
+  };
+
+  /// Replicates `host` across `group` (which must outlive this object).
+  ReplicatedGraph(gpu::DeviceGroup& group, graph::Csr host,
+                  Upload upload = Upload::kEager);
+  ReplicatedGraph(gpu::DeviceGroup& group,
+                  std::shared_ptr<const graph::Csr> host,
+                  Upload upload = Upload::kEager);
+
+  /// Adapter: wraps one existing GpuGraph (borrowed; must outlive this
+  /// object) as a single-replica set over an internally owned one-device
+  /// group. This is how the single-device QueryEngine constructor folds
+  /// into the group code path with zero re-upload and unchanged
+  /// single-device error text.
+  explicit ReplicatedGraph(const GpuGraph& graph);
+
+  ReplicatedGraph(const ReplicatedGraph&) = delete;
+  ReplicatedGraph& operator=(const ReplicatedGraph&) = delete;
+
+  gpu::DeviceGroup& group() { return *group_; }
+  const gpu::DeviceGroup& group() const { return *group_; }
+
+  std::size_t size() const { return replicas_.size(); }
+
+  /// True when device i's replica is device-resident (its upload has
+  /// been paid). Always true for the primary and under eager upload.
+  bool resident(std::size_t i) const { return replicas_.at(i) != nullptr; }
+
+  /// Device i's replica, building (and charging) it first under lazy
+  /// upload.
+  const GpuGraph& replica(std::size_t i);
+
+  /// The active device's replica — where the next work unit runs.
+  const GpuGraph& active() { return replica(group_->active_index()); }
+
+  const std::shared_ptr<const graph::Csr>& host_ptr() const { return host_; }
+  const graph::Csr& host() const { return *host_; }
+
+ private:
+  gpu::DeviceGroup* group_;
+  std::unique_ptr<gpu::DeviceGroup> owned_group_;  ///< adapter ctor only
+  std::shared_ptr<const graph::Csr> host_;
+  Upload upload_ = Upload::kEager;
+  /// Index-aligned with the group's devices; null = not yet uploaded.
+  /// The adapter ctor borrows slot 0 instead (owned_replicas_ empty).
+  std::vector<const GpuGraph*> replicas_;
+  std::vector<std::unique_ptr<GpuGraph>> owned_replicas_;
+};
+
+}  // namespace maxwarp::algorithms

@@ -5,16 +5,23 @@
 namespace maxwarp::algorithms {
 
 ResilientLoop::ResilientLoop(const GpuGraph& graph, const KernelOptions& opts,
-                             const char* /*where*/)
+                             const char* where)
+    : ResilientLoop(graph, opts.resilience.effective_policy(), where,
+                    opts.resilience.watchdog_ms, opts.resilience.checkpoint) {}
+
+ResilientLoop::ResilientLoop(const GpuGraph& graph,
+                             const ResiliencePolicy& policy,
+                             const char* /*where*/, double watchdog_ms,
+                             KernelOptions::Resilience::Checkpoint checkpoint)
     : graph_(&graph),
       device_(&graph.device()),
-      resilience_(opts.resilience) {
+      policy_(policy),
+      checkpoint_(checkpoint) {
   using Checkpoint = KernelOptions::Resilience::Checkpoint;
-  active_ = resilience_.checkpoint != Checkpoint::kOff &&
-            (resilience_.checkpoint == Checkpoint::kAlways ||
-             device_->faults().armed());
-  if (resilience_.watchdog_ms > 0) {
-    watchdog_.emplace(*device_, resilience_.watchdog_ms);
+  active_ = checkpoint_ != Checkpoint::kOff &&
+            (checkpoint_ == Checkpoint::kAlways || device_->faults().armed());
+  if (watchdog_ms > 0) {
+    watchdog_.emplace(*device_, watchdog_ms);
   }
 }
 
@@ -46,20 +53,27 @@ void ResilientLoop::iteration(const std::function<void()>& body) {
       body();
       return;
     } catch (const gpu::DeviceError& e) {
-      if (!e.status().transient() || attempt >= resilience_.max_retries) {
+      if (!e.status().transient() || attempt >= policy_.max_retries) {
         throw;
       }
       // Exponential backoff, honestly charged to the device clock.
       const double backoff =
-          resilience_.backoff_ms * static_cast<double>(1u << attempt);
+          policy_.retry_backoff_ms * static_cast<double>(1u << attempt);
       device_->charge_delay_ms(backoff);
       stats_.backoff_ms += backoff;
       ++stats_.retries;
       ++attempt;
       if (e.status().code() == gpu::ErrorCode::kEccUncorrectable) {
         // The victim byte may be graph data, not iteration state; the
-        // host copy is ground truth.
-        graph_->refresh_device_data();
+        // host copy is ground truth. The injector's history names the
+        // victim, so recovery re-uploads only the containing allocation
+        // (falling back to the full refresh when it cannot attribute).
+        const auto& history = device_->faults().history();
+        if (!history.empty()) {
+          graph_->refresh_device_data(history.back());
+        } else {
+          graph_->refresh_device_data();
+        }
         ++stats_.graph_refreshes;
       }
       restore_checkpoint();

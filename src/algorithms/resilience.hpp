@@ -40,12 +40,22 @@ namespace maxwarp::algorithms {
 
 class ResilientLoop {
  public:
-  /// Reads opts.resilience; arms a WatchdogScope for the loop's lifetime
-  /// when resilience.watchdog_ms > 0. `where` names the driver in
-  /// nothing today (kept for diagnostics symmetry with
-  /// validate_kernel_options).
+  /// Reads opts.resilience (deprecated aliases folded in via
+  /// effective_policy); arms a WatchdogScope for the loop's lifetime when
+  /// resilience.watchdog_ms > 0. `where` names the driver in nothing
+  /// today (kept for diagnostics symmetry with validate_kernel_options).
   ResilientLoop(const GpuGraph& graph, const KernelOptions& opts,
                 const char* where);
+
+  /// Explicit-policy constructor: callers that already hold the shared
+  /// ResiliencePolicy (the QueryEngine ladder) hand it over directly
+  /// instead of faking a KernelOptions. `watchdog_ms` and `checkpoint`
+  /// keep their KernelOptions::Resilience meanings.
+  ResilientLoop(
+      const GpuGraph& graph, const ResiliencePolicy& policy, const char* where,
+      double watchdog_ms = 0,
+      KernelOptions::Resilience::Checkpoint checkpoint =
+          KernelOptions::Resilience::Checkpoint::kAuto);
 
   ResilientLoop(const ResilientLoop&) = delete;
   ResilientLoop& operator=(const ResilientLoop&) = delete;
@@ -55,10 +65,14 @@ class ResilientLoop {
   bool active() const { return active_; }
 
   /// Declares a buffer that evolves across iterations: snapped before
-  /// every iteration, rolled back on retry. No-op when inactive.
+  /// every iteration, rolled back on retry. Returns the host-side
+  /// snapshot the loop rolls back to (refreshed at every checkpoint) so
+  /// a failover path can carry the last good iteration's state to
+  /// another device; nullptr when the loop is inactive (nothing is ever
+  /// snapped).
   template <typename T>
-  void track(gpu::DeviceBuffer<T>& buf) {
-    add_tracked(buf, /*constant=*/false);
+  std::shared_ptr<const std::vector<T>> track(gpu::DeviceBuffer<T>& buf) {
+    return add_tracked(buf, /*constant=*/false);
   }
 
   /// Declares a run-constant device input (e.g. PageRank's out-degree
@@ -83,14 +97,16 @@ class ResilientLoop {
   };
 
   template <typename T>
-  void add_tracked(gpu::DeviceBuffer<T>& buf, bool constant) {
-    if (!active_) return;
+  std::shared_ptr<const std::vector<T>> add_tracked(gpu::DeviceBuffer<T>& buf,
+                                                    bool constant) {
+    if (!active_) return nullptr;
     auto snap = std::make_shared<std::vector<T>>();
     Tracked t;
     t.save = [&buf, snap] { *snap = buf.download(); };
     t.restore = [&buf, snap] { buf.upload(*snap); };
     t.constant = constant;
     tracked_.push_back(std::move(t));
+    return snap;
   }
 
   void save_checkpoint();
@@ -98,7 +114,8 @@ class ResilientLoop {
 
   const GpuGraph* graph_;
   gpu::Device* device_;
-  KernelOptions::Resilience resilience_;
+  ResiliencePolicy policy_;
+  KernelOptions::Resilience::Checkpoint checkpoint_;
   bool active_ = false;
   std::optional<gpu::WatchdogScope> watchdog_;
   std::vector<Tracked> tracked_;

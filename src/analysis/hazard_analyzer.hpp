@@ -110,6 +110,24 @@ struct HazardReport {
   /// SanitizerReport::clean()).
   bool clean() const { return errors() == 0; }
 
+  /// Folds another report into this one: detailed records concatenate,
+  /// counters and totals sum. Multi-device verification analyzes each
+  /// device's recorded graph separately (devices share no buffers, so
+  /// cross-device pairs cannot race) and merges the reports into one
+  /// batch verdict.
+  void merge(const HazardReport& other) {
+    records.insert(records.end(), other.records.begin(),
+                   other.records.end());
+    for (std::size_t i = 0; i < kHazardClassCount; ++i) {
+      class_counts[i] += other.class_counts[i];
+    }
+    for (std::size_t i = 0; i < severity_counts.size(); ++i) {
+      severity_counts[i] += other.severity_counts[i];
+    }
+    nodes += other.nodes;
+    pairs_checked += other.pairs_checked;
+  }
+
   /// Machine-readable dump of the detailed records.
   util::Table records_table() const;
 

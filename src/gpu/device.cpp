@@ -157,22 +157,38 @@ LaunchReport Device::try_launch_on(std::uint32_t stream_id,
   sim_.timeline().push_kernel(stream_id,
                               cfg.cycles_to_ms(report.stats.elapsed_cycles),
                               cfg.cycles_to_ms(report.stats.busy_cycles));
+  if (!report.status.ok() && ordinal_ >= 0) {
+    report.status.set_device(ordinal_);
+  }
   return report;
 }
 
-void Device::apply_ecc(const simt::FaultEvent& ev, bool corrupt) {
-  std::uint64_t off = ev.byte_offset;
-  for (auto& [vaddr, alloc] : allocs_) {
+std::optional<EccVictim> Device::resolve_ecc_offset(
+    std::uint64_t flat_offset) const {
+  std::uint64_t off = flat_offset;
+  for (const auto& [vaddr, alloc] : allocs_) {
     if (off < alloc.bytes) {
-      if (corrupt && alloc.data != nullptr) {
-        alloc.data[off] ^= static_cast<std::uint8_t>(1u << ev.bit);
-        // Keep the sanitizer's shadow consistent: the byte now holds a
-        // (corrupt but) defined value.
-        if (auto* san = sanitizer()) san->on_host_write(vaddr, off, 1);
-      }
-      return;
+      return EccVictim{vaddr, alloc.bytes, off};
     }
     off -= alloc.bytes;
+  }
+  return std::nullopt;
+}
+
+void Device::apply_ecc(const simt::FaultEvent& ev, bool corrupt) {
+  const auto victim = resolve_ecc_offset(ev.byte_offset);
+  if (!victim) return;
+  auto it = allocs_.find(victim->vaddr);
+  if (it == allocs_.end()) return;
+  Alloc& alloc = it->second;
+  if (corrupt && alloc.data != nullptr) {
+    alloc.data[victim->offset_in_alloc] ^=
+        static_cast<std::uint8_t>(1u << ev.bit);
+    // Keep the sanitizer's shadow consistent: the byte now holds a
+    // (corrupt but) defined value.
+    if (auto* san = sanitizer()) {
+      san->on_host_write(victim->vaddr, victim->offset_in_alloc, 1);
+    }
   }
 }
 
@@ -204,9 +220,12 @@ std::uint64_t Device::allocate_vaddr(std::uint64_t bytes) {
 Status Device::try_allocate(std::uint64_t bytes, std::uint64_t* vaddr) {
   if (sim_.faults().on_alloc(bytes, memory_.live_bytes)) {
     ++memory_.failed_allocs;
-    return {ErrorCode::kOutOfMemory,
-            "allocation of " + std::to_string(bytes) + " bytes refused (" +
-                std::to_string(memory_.live_bytes) + " bytes live)"};
+    Status status{ErrorCode::kOutOfMemory,
+                  "allocation of " + std::to_string(bytes) +
+                      " bytes refused (" + std::to_string(memory_.live_bytes) +
+                      " bytes live)"};
+    if (ordinal_ >= 0) status.set_device(ordinal_);
+    return status;
   }
   *vaddr = allocate_vaddr(bytes);
   return Status::Ok();

@@ -74,12 +74,29 @@ struct LaunchReport {
 /// kernels without overflowing downstream arithmetic.
 inline constexpr double kDefaultHangMs = 1000.0;
 
+/// A flat ECC byte offset resolved to its containing live allocation
+/// (Device::resolve_ecc_offset). The recovery fast path uses the vaddr to
+/// decide whether the victim landed in graph data or scratch state.
+struct EccVictim {
+  std::uint64_t vaddr = 0;            ///< base of the containing allocation
+  std::uint64_t bytes = 0;            ///< size of the containing allocation
+  std::uint64_t offset_in_alloc = 0;  ///< victim byte within it
+};
+
 class Device {
  public:
   explicit Device(simt::SimConfig cfg = {});
 
   const simt::SimConfig& config() const { return sim_.config(); }
   simt::DeviceSim& sim() { return sim_; }
+
+  /// Ordinal within a gpu::DeviceGroup, or -1 for a standalone device.
+  /// DeviceGroup stamps this at registration; every failure Status the
+  /// device produces then carries it (Status::device), so the failover
+  /// ladder can attribute faults to hardware without threading a device
+  /// pointer through every error path.
+  int ordinal() const { return ordinal_; }
+  void set_ordinal(int ordinal) { ordinal_ = ordinal; }
 
   /// The sanitizer, or nullptr unless the device was constructed with
   /// SimConfig::sanitize. DeviceBuffer uses this to register allocations;
@@ -214,6 +231,13 @@ class Device {
   void note_copy_on(std::uint32_t stream_id, std::uint64_t bytes,
                     bool to_device);
 
+  /// Resolves a FaultEvent's flat byte offset (drawn uniformly over the
+  /// live footprint) to the containing allocation, or nullopt when the
+  /// offset falls past the live bytes (allocation freed since the event).
+  /// The partial re-upload fast path uses this to find which buffer an
+  /// uncorrectable ECC event actually poisoned.
+  std::optional<EccVictim> resolve_ecc_offset(std::uint64_t flat_offset) const;
+
  private:
   struct Alloc {
     std::uint8_t* data = nullptr;
@@ -232,6 +256,7 @@ class Device {
                           const simt::LaunchDims& dims);
 
   simt::DeviceSim sim_;
+  int ordinal_ = -1;                ///< DeviceGroup ordinal; -1 = standalone
   std::uint64_t next_vaddr_ = 256;  // keep 0 an invalid address
   std::uint32_t current_stream_ = 0;
   double watchdog_ms_ = 0;

@@ -1,0 +1,85 @@
+#include "gpu/device_group.hpp"
+
+#include <stdexcept>
+
+namespace maxwarp::gpu {
+
+DeviceGroup::DeviceGroup(std::size_t count, const simt::SimConfig& cfg) {
+  if (count == 0) {
+    throw std::invalid_argument("DeviceGroup needs at least one device");
+  }
+  owned_.reserve(count);
+  devices_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    owned_.push_back(std::make_unique<Device>(cfg));
+    owned_.back()->set_ordinal(static_cast<int>(i));
+    devices_.push_back(owned_.back().get());
+  }
+  healthy_.assign(count, true);
+}
+
+DeviceGroup::DeviceGroup(std::vector<Device*> devices)
+    : devices_(std::move(devices)) {
+  if (devices_.empty()) {
+    throw std::invalid_argument("DeviceGroup needs at least one device");
+  }
+  for (Device* d : devices_) {
+    if (d == nullptr) {
+      throw std::invalid_argument("DeviceGroup given a null device");
+    }
+  }
+  // A borrowed singleton stays anonymous (ordinal -1): the group is then a
+  // pure adapter and error messages must read exactly as they did without
+  // it. With spares present, attribution matters more than stability.
+  if (devices_.size() > 1) {
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      devices_[i]->set_ordinal(static_cast<int>(i));
+    }
+  }
+  healthy_.assign(devices_.size(), true);
+}
+
+std::size_t DeviceGroup::healthy_count() const {
+  std::size_t n = 0;
+  for (bool h : healthy_) n += h ? 1 : 0;
+  return n;
+}
+
+bool DeviceGroup::fail_over(const std::string& reason) {
+  // Find the next healthy device after the active one, wrapping; the
+  // active device itself is the one being declared dead, so it cannot be
+  // the answer.
+  for (std::size_t step = 1; step < devices_.size(); ++step) {
+    const std::size_t candidate = (active_ + step) % devices_.size();
+    if (!healthy_[candidate]) continue;
+    failover_log_.push_back(FailoverRecord{static_cast<int>(active_),
+                                           static_cast<int>(candidate),
+                                           reason});
+    healthy_[active_] = false;
+    active_ = candidate;
+    return true;
+  }
+  return false;
+}
+
+void DeviceGroup::reset_health() {
+  healthy_.assign(devices_.size(), true);
+  active_ = 0;
+  failover_log_.clear();
+}
+
+void DeviceGroup::arm(std::size_t i, const simt::FaultPlan& plan) {
+  device(i).faults().arm(plan);
+}
+
+void DeviceGroup::disarm_all() {
+  for (Device* d : devices_) d->faults().disarm();
+}
+
+double DeviceGroup::total_modeled_ms() const {
+  double total = 0;
+  for (const Device* d : devices_) total += d->total_modeled_ms();
+  return total;
+}
+
+}  // namespace maxwarp::gpu

@@ -1,0 +1,120 @@
+// gpu::DeviceGroup — an ordered set of devices behind one failover contract.
+//
+// The fault framework (simt/fault.hpp, DESIGN.md "Fault model and recovery")
+// recovers *within* one device: checkpoint, rollback, retry, and finally the
+// host reference. A serving deployment has a better option before the host —
+// healthy spare hardware. DeviceGroup models that: device 0 is the primary,
+// devices 1..n-1 are spares, each with its *own* simulated device and
+// therefore its own simt::FaultInjector plan, so a drill can kill the
+// primary while the spares stay clean.
+//
+// The group tracks per-device health and an active cursor. When a caller
+// (the QueryEngine ladder, or a ResilientLoop that exhausted same-device
+// retries) reports the active device dead, fail_over() advances the cursor
+// to the next healthy device and records the migration; it refuses — and
+// keeps the active device — when no healthy spare remains, which is the
+// signal to fall back to the host reference. Health is an operator-level
+// judgment ("this card is done"), not something the group infers: callers
+// decide when a device's failure budget is spent, because only they know
+// their retry policy.
+//
+// What lives here is deliberately narrow: devices, ordinals, health, the
+// failover log. Graph replicas are an algorithms-layer concern
+// (algorithms::ReplicatedGraph) — this library sits below the algorithm
+// stack and must not know what a CSR is.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace maxwarp::gpu {
+
+/// One recorded migration: the group moved its active cursor from device
+/// `from` to device `to` because of `reason` (typically the Status text of
+/// the final failed attempt).
+struct FailoverRecord {
+  int from = -1;
+  int to = -1;
+  std::string reason;
+};
+
+class DeviceGroup {
+ public:
+  /// Owning constructor: builds `count` devices, each from its own copy of
+  /// `cfg` (so each has an independent simulator, fault injector, timeline
+  /// and accounting), and stamps ordinals 0..count-1 onto them — every
+  /// failure Status produced inside the group names its device.
+  explicit DeviceGroup(std::size_t count, const simt::SimConfig& cfg = {});
+
+  /// Borrowing constructor: wraps externally owned devices (which must
+  /// outlive the group). Ordinals are stamped only when the group has
+  /// spares; a one-device borrowed group leaves its device anonymous so
+  /// the single-device error text (and every existing test expecting it)
+  /// is unchanged.
+  explicit DeviceGroup(std::vector<Device*> devices);
+
+  DeviceGroup(const DeviceGroup&) = delete;
+  DeviceGroup& operator=(const DeviceGroup&) = delete;
+  DeviceGroup(DeviceGroup&&) = delete;
+  DeviceGroup& operator=(DeviceGroup&&) = delete;
+
+  std::size_t size() const { return devices_.size(); }
+
+  Device& device(std::size_t i) { return *devices_.at(i); }
+  const Device& device(std::size_t i) const { return *devices_.at(i); }
+
+  /// The device work currently targets. Starts at 0 (the primary) and only
+  /// moves through fail_over() / reset_health().
+  std::size_t active_index() const { return active_; }
+  Device& active() { return *devices_[active_]; }
+  const Device& active() const { return *devices_[active_]; }
+
+  bool healthy(std::size_t i) const { return healthy_.at(i); }
+  std::size_t healthy_count() const;
+
+  /// True when every device has been marked failed — the caller's cue to
+  /// fall back to the host reference.
+  bool exhausted() const { return healthy_count() == 0; }
+
+  /// Declares the active device dead and migrates to the next healthy one
+  /// (ascending ordinal, wrapping). Returns true and appends a
+  /// FailoverRecord on success. Returns false — leaving health and the
+  /// cursor untouched — when no *other* healthy device exists: the caller
+  /// keeps the current device for any label-scoped work that still runs
+  /// there, and routes the rest to the host.
+  bool fail_over(const std::string& reason);
+
+  /// Everything fail_over() recorded since construction / reset_health().
+  const std::vector<FailoverRecord>& failover_log() const {
+    return failover_log_;
+  }
+
+  /// Marks every device healthy again, moves the cursor back to the
+  /// primary and clears the log. Drill harnesses use this between passes;
+  /// fault plans are per-device and not touched (see disarm_all).
+  void reset_health();
+
+  /// Arms a fault plan on one device; every other device keeps its own
+  /// plan (or none). Thin sugar over device(i).faults().arm(plan).
+  void arm(std::size_t i, const simt::FaultPlan& plan);
+
+  /// Disarms every device's injector — the "unarmed fleet" baseline.
+  void disarm_all();
+
+  /// Sum of serial modeled time across all devices; per-device numbers
+  /// come from device(i).total_modeled_ms().
+  double total_modeled_ms() const;
+
+ private:
+  std::vector<std::unique_ptr<Device>> owned_;  ///< empty when borrowing
+  std::vector<Device*> devices_;
+  std::vector<bool> healthy_;
+  std::size_t active_ = 0;
+  std::vector<FailoverRecord> failover_log_;
+};
+
+}  // namespace maxwarp::gpu

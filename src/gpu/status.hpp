@@ -46,6 +46,16 @@ class Status {
   ErrorCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Group ordinal of the device that produced this status, or -1 when
+  /// the device is not part of a gpu::DeviceGroup (standalone devices
+  /// stay anonymous, so single-device error text is unchanged). The
+  /// failover ladder uses this to attribute failures to hardware.
+  int device() const { return device_; }
+  Status& set_device(int ordinal) {
+    device_ = ordinal;
+    return *this;
+  }
+
   /// True for failures worth retrying on the same device: the fault was
   /// transient (injected or environmental), not a caller error.
   bool transient() const {
@@ -63,6 +73,7 @@ class Status {
  private:
   ErrorCode code_ = ErrorCode::kOk;
   std::string message_;
+  int device_ = -1;
 };
 
 /// Exception form of a non-ok Status, thrown by the legacy throwing entry
@@ -93,7 +104,13 @@ inline const char* to_string(ErrorCode code) {
 }
 
 inline std::string Status::to_string() const {
-  std::string s = maxwarp::gpu::to_string(code_);
+  std::string s;
+  if (device_ >= 0) {
+    s += "[dev";
+    s += std::to_string(device_);
+    s += "] ";
+  }
+  s += maxwarp::gpu::to_string(code_);
   if (!message_.empty()) {
     s += ": ";
     s += message_;

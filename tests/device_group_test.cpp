@@ -1,0 +1,286 @@
+// Multi-device failover: gpu::DeviceGroup semantics (ordinals, health,
+// the fail_over contract), ReplicatedGraph upload accounting and replica
+// bit-identity, and the QueryEngine migration ladder — a killed primary
+// migrates the batch to a spare with bit-identical answers, and only an
+// exhausted fleet falls back to the host reference.
+#include "gpu/device_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <string>
+#include <vector>
+
+#include "algorithms/bfs_gpu.hpp"
+#include "algorithms/cpu_reference.hpp"
+#include "algorithms/query_engine.hpp"
+#include "algorithms/replicated_graph.hpp"
+#include "graph/generators.hpp"
+#include "simt/fault.hpp"
+
+namespace maxwarp {
+namespace {
+
+using algorithms::GpuGraph;
+using algorithms::KernelOptions;
+using algorithms::Query;
+using algorithms::QueryEngine;
+using algorithms::QueryEngineOptions;
+using algorithms::QueryPath;
+using algorithms::ReplicatedGraph;
+using graph::Csr;
+using simt::FaultPlan;
+
+std::vector<Query> bfs_batch(const Csr& g, std::uint32_t k) {
+  std::vector<Query> queries;
+  const std::uint32_t n = g.num_nodes();
+  for (std::uint32_t q = 0; q < k; ++q) {
+    queries.push_back(Query::bfs(n == 0 ? 0 : (q * 977u) % n));
+  }
+  return queries;
+}
+
+TEST(DeviceGroupTest, OwningConstructorStampsOrdinals) {
+  gpu::DeviceGroup group(3);
+  ASSERT_EQ(group.size(), 3u);
+  EXPECT_EQ(group.active_index(), 0u);
+  EXPECT_EQ(group.healthy_count(), 3u);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    EXPECT_EQ(group.device(i).ordinal(), static_cast<int>(i));
+    EXPECT_TRUE(group.healthy(i));
+  }
+  EXPECT_FALSE(group.exhausted());
+  EXPECT_THROW(gpu::DeviceGroup(0), std::invalid_argument);
+}
+
+TEST(DeviceGroupTest, BorrowedSingletonStaysAnonymous) {
+  gpu::Device a;
+  gpu::DeviceGroup solo(std::vector<gpu::Device*>{&a});
+  EXPECT_EQ(a.ordinal(), -1);  // single-device error text unchanged
+
+  gpu::Device b, c;
+  gpu::DeviceGroup pair(std::vector<gpu::Device*>{&b, &c});
+  EXPECT_EQ(b.ordinal(), 0);
+  EXPECT_EQ(c.ordinal(), 1);
+}
+
+TEST(DeviceGroupTest, FailOverAdvancesAndLogsUntilExhausted) {
+  gpu::DeviceGroup group(3);
+  ASSERT_TRUE(group.fail_over("drill: primary down"));
+  EXPECT_EQ(group.active_index(), 1u);
+  EXPECT_FALSE(group.healthy(0));
+  ASSERT_TRUE(group.fail_over("drill: first spare down"));
+  EXPECT_EQ(group.active_index(), 2u);
+
+  // Last healthy device: fail_over refuses and keeps cursor + health, the
+  // caller's cue to route remaining work to the host reference.
+  EXPECT_FALSE(group.fail_over("drill: last device down"));
+  EXPECT_EQ(group.active_index(), 2u);
+  EXPECT_TRUE(group.healthy(2));
+  EXPECT_EQ(group.healthy_count(), 1u);
+
+  ASSERT_EQ(group.failover_log().size(), 2u);
+  EXPECT_EQ(group.failover_log()[0].from, 0);
+  EXPECT_EQ(group.failover_log()[0].to, 1);
+  EXPECT_EQ(group.failover_log()[1].from, 1);
+  EXPECT_EQ(group.failover_log()[1].to, 2);
+  EXPECT_EQ(group.failover_log()[0].reason, "drill: primary down");
+
+  group.reset_health();
+  EXPECT_EQ(group.active_index(), 0u);
+  EXPECT_EQ(group.healthy_count(), 3u);
+  EXPECT_TRUE(group.failover_log().empty());
+}
+
+TEST(DeviceGroupTest, FailureStatusNamesTheGroupOrdinal) {
+  const Csr host = graph::erdos_renyi(256, 1024, {.seed = 7});
+  gpu::DeviceGroup group(2);
+  GpuGraph g(group.device(1), host);
+  group.arm(1, FaultPlan::parse("launch:nth=1+:max=0"));
+
+  KernelOptions opts;
+  opts.resilience.checkpoint = KernelOptions::Resilience::Checkpoint::kOff;
+  try {
+    algorithms::bfs_gpu(g, 0, opts);
+    FAIL() << "expected DeviceError";
+  } catch (const gpu::DeviceError& e) {
+    EXPECT_EQ(e.status().device(), 1);
+    EXPECT_NE(e.status().to_string().find("[dev1]"), std::string::npos)
+        << e.status().to_string();
+  }
+}
+
+TEST(ReplicatedGraphTest, EagerUploadsEveryDeviceUpFront) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 11});
+  gpu::DeviceGroup group(2);
+  ReplicatedGraph graphs(group, host, ReplicatedGraph::Upload::kEager);
+  EXPECT_TRUE(graphs.resident(0));
+  EXPECT_TRUE(graphs.resident(1));
+  // Each device paid its own H2D transfer in modeled time.
+  EXPECT_GT(group.device(0).total_modeled_ms(), 0.0);
+  EXPECT_GT(group.device(1).total_modeled_ms(), 0.0);
+}
+
+TEST(ReplicatedGraphTest, LazyUploadChargesSpareOnFirstUse) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 11});
+  gpu::DeviceGroup group(2);
+  ReplicatedGraph graphs(group, host, ReplicatedGraph::Upload::kLazy);
+  EXPECT_TRUE(graphs.resident(0));
+  EXPECT_FALSE(graphs.resident(1));
+  EXPECT_EQ(group.device(1).total_modeled_ms(), 0.0);
+
+  (void)graphs.replica(1);  // first failover pays the upload now
+  EXPECT_TRUE(graphs.resident(1));
+  EXPECT_GT(group.device(1).total_modeled_ms(), 0.0);
+  EXPECT_EQ(group.device(1).total_modeled_ms(),
+            group.device(0).total_modeled_ms());
+}
+
+TEST(ReplicatedGraphTest, ReplicasAnswerBitIdentically) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 13});
+  gpu::DeviceGroup group(2);
+  ReplicatedGraph graphs(group, host);
+  const auto primary = algorithms::bfs_gpu(graphs.replica(0), 3);
+  const auto spare = algorithms::bfs_gpu(graphs.replica(1), 3);
+  EXPECT_EQ(primary.level, spare.level);
+}
+
+// The acceptance drill: an ecc-fatal plan kills every launch on the
+// primary; the 32-query batch must complete entirely on the spare —
+// zero host fallbacks, bit-identical to a clean single-device run — and
+// the stats must report the migration.
+TEST(FailoverAcceptanceTest, KilledPrimaryMigratesBatchToSpare) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 31});
+  const auto queries = bfs_batch(host, 32);
+
+  gpu::Device clean_dev;
+  GpuGraph clean_graph(clean_dev, host);
+  QueryEngine clean_engine(clean_graph);
+  const auto clean = clean_engine.run(queries);
+
+  gpu::DeviceGroup group(2);
+  group.arm(0, FaultPlan::parse("ecc-fatal:nth=1+:max=0"));
+  QueryEngine engine(group, host);
+  const auto served = engine.run(queries);
+
+  ASSERT_EQ(served.size(), clean.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_TRUE(served[i].ok());
+    EXPECT_NE(served[i].path, QueryPath::kCpuHost);
+    EXPECT_EQ(served[i].device, 1) << "query " << i << " not on the spare";
+    EXPECT_EQ(served[i].value, clean[i].value) << "query " << i;
+  }
+
+  const auto& stats = engine.last_batch_stats();
+  EXPECT_GE(stats.migrations, 1u);
+  EXPECT_GE(stats.migrated_units, 1u);
+  EXPECT_EQ(stats.fallback_queries, 0u);
+  ASSERT_EQ(stats.per_device.size(), 2u);
+  EXPECT_EQ(stats.per_device[1].device, 1);
+  EXPECT_GT(stats.per_device[1].units, 0u);
+  EXPECT_GT(stats.per_device[1].kernel_launches, 0u);
+
+  EXPECT_EQ(engine.device_group().active_index(), 1u);
+  ASSERT_GE(engine.device_group().failover_log().size(), 1u);
+  EXPECT_EQ(engine.device_group().failover_log()[0].from, 0);
+  EXPECT_EQ(engine.device_group().failover_log()[0].to, 1);
+}
+
+TEST(FailoverAcceptanceTest, FusedUnitResumesFromCheckpointOnSpare) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 31});
+  gpu::DeviceGroup group(2);
+  // Let a few fused iterations land, then kill the primary for good: the
+  // spare must resume from the iteration-barrier checkpoint rather than
+  // restart from the sources.
+  group.arm(0, FaultPlan::parse("ecc-fatal:nth=4+:max=0"));
+  QueryEngine engine(group, host);
+  const auto served = engine.run(bfs_batch(host, 32));
+
+  gpu::Device clean_dev;
+  GpuGraph clean_graph(clean_dev, host);
+  QueryEngine clean_engine(clean_graph);
+  const auto clean = clean_engine.run(bfs_batch(host, 32));
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_TRUE(served[i].ok());
+    EXPECT_EQ(served[i].value, clean[i].value) << "query " << i;
+  }
+  EXPECT_GE(engine.last_batch_stats().migrations, 1u);
+  EXPECT_GE(engine.last_batch_stats().checkpoint_resumes, 1u);
+}
+
+TEST(FailoverAcceptanceTest, ExhaustedFleetFallsBackToHost) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 17});
+  gpu::DeviceGroup group(2);
+  group.arm(0, FaultPlan::parse("ecc-fatal:nth=1+:max=0"));
+  group.arm(1, FaultPlan::parse("ecc-fatal:nth=1+:max=0"));
+  QueryEngine engine(group, host);
+
+  const auto queries = bfs_batch(host, 8);
+  const auto results = engine.run(queries);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok());
+    EXPECT_EQ(results[i].path, QueryPath::kCpuHost);
+    EXPECT_TRUE(results[i].degraded);
+    EXPECT_EQ(results[i].value,
+              algorithms::bfs_cpu(host, queries[i].source));
+  }
+  const auto& stats = engine.last_batch_stats();
+  EXPECT_GE(stats.migrations, 1u);  // it did try the spare first
+  EXPECT_EQ(stats.fallback_queries, queries.size());
+}
+
+TEST(FailoverAcceptanceTest, MigrationDrillReplaysDeterministically) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 23});
+  const auto run_drill = [&host] {
+    gpu::DeviceGroup group(2);
+    group.arm(0, FaultPlan::parse("ecc-fatal:nth=2+:max=0;seed=9"));
+    QueryEngine engine(group, host);
+    auto results = engine.run(bfs_batch(host, 32));
+    return std::make_tuple(std::move(results),
+                           engine.last_batch_stats().migrations,
+                           engine.device_group().failover_log().size(),
+                           engine.last_batch_stats().modeled_ms);
+  };
+  const auto a = run_drill();
+  const auto b = run_drill();
+  ASSERT_EQ(std::get<0>(a).size(), std::get<0>(b).size());
+  for (std::size_t i = 0; i < std::get<0>(a).size(); ++i) {
+    EXPECT_EQ(std::get<0>(a)[i].value, std::get<0>(b)[i].value);
+    EXPECT_EQ(std::get<0>(a)[i].device, std::get<0>(b)[i].device);
+  }
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+}
+
+TEST(ResiliencePolicyTest, DeprecatedAliasesFoldIntoThePolicy) {
+  QueryEngineOptions opts;
+  opts.resilience.max_retries = 5;
+  EXPECT_EQ(opts.effective_policy().max_retries, 5u);
+  EXPECT_TRUE(opts.effective_policy().cpu_fallback);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  opts.max_retries = 1;  // a set alias overrides the nested policy
+  opts.cpu_fallback = 0;
+  opts.default_deadline_ms = 2.5;
+#pragma GCC diagnostic pop
+  const auto p = opts.effective_policy();
+  EXPECT_EQ(p.max_retries, 1u);
+  EXPECT_FALSE(p.cpu_fallback);
+  EXPECT_EQ(p.default_deadline_ms, 2.5);
+  EXPECT_EQ(p.retry_backoff_ms, opts.resilience.retry_backoff_ms);
+
+  KernelOptions kopts;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  kopts.resilience.backoff_ms = 0.75;
+#pragma GCC diagnostic pop
+  EXPECT_EQ(kopts.resilience.effective_policy().retry_backoff_ms, 0.75);
+  EXPECT_EQ(kopts.resilience.effective_policy().max_retries, 2u);
+}
+
+}  // namespace
+}  // namespace maxwarp

@@ -391,7 +391,7 @@ TEST(FaultRecoveryTest, BackoffIsChargedToModeledTime) {
   GpuGraph g(dev, host);
   dev.faults().arm(FaultPlan::parse("launch:nth=3"));
   KernelOptions opts;
-  opts.resilience.backoff_ms = 0.5;
+  opts.resilience.policy.retry_backoff_ms = 0.5;
   const auto got = algorithms::bfs_gpu(g, 0, opts);
   ASSERT_GE(got.stats.recovery.retries, 1u);
   EXPECT_GE(got.stats.recovery.backoff_ms, 0.5);

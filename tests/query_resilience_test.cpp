@@ -159,7 +159,7 @@ TEST(QueryLadderTest, ExhaustedWithoutFallbackReturnsStructuredError) {
   GpuGraph g(dev, host);
 
   QueryEngineOptions opts;
-  opts.cpu_fallback = false;
+  opts.resilience.cpu_fallback = false;
   opts.kernel.resilience.checkpoint =
       KernelOptions::Resilience::Checkpoint::kOff;
   QueryEngine engine(g, opts);
@@ -196,7 +196,7 @@ TEST(QueryDeadlineTest, DefaultDeadlineAppliesToWholeBatch) {
   gpu::Device dev;
   GpuGraph g(dev, host);
   QueryEngineOptions opts;
-  opts.default_deadline_ms = 1e-9;
+  opts.resilience.default_deadline_ms = 1e-9;
   QueryEngine engine(g, opts);
 
   const auto results = engine.run(bfs_batch(host, 3));
@@ -269,8 +269,8 @@ TEST(QueryAcceptanceTest, ThirtyTwoQueriesThreeKilledTwentyNineIdentical) {
 
   QueryEngineOptions opts;
   opts.fuse_bfs = false;  // per-query kernels so kills map 1:1 to queries
-  opts.cpu_fallback = false;
-  opts.max_retries = 0;
+  opts.resilience.cpu_fallback = false;
+  opts.resilience.max_retries = 0;
   opts.kernel.resilience.checkpoint =
       KernelOptions::Resilience::Checkpoint::kOff;
   QueryEngine engine(g, opts);
@@ -340,6 +340,34 @@ TEST(QueryStatsTest, CleanBatchHasZeroFaultAccounting) {
     EXPECT_EQ(r.gpu_attempts, 1u);
     EXPECT_FALSE(r.degraded);
   }
+}
+
+TEST(QueryStatsTest, SingleDeviceBatchHasZeroMigrationAccounting) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 5});
+  gpu::Device dev;
+  GpuGraph g(dev, host);
+  QueryEngine engine(g);
+  // Even under faults, a one-device engine can retry and fall back but
+  // never migrate — the multi-device counters must stay zero.
+  dev.faults().arm(simt::FaultPlan::parse("launch:nth=2"));
+  const auto results = engine.run(bfs_batch(host, 8));
+  const auto& stats = engine.last_batch_stats();
+  EXPECT_EQ(stats.migrations, 0u);
+  EXPECT_EQ(stats.migrated_units, 0u);
+  EXPECT_EQ(stats.checkpoint_resumes, 0u);
+  // One per-device entry, anonymous (the borrowed device has no group
+  // ordinal), carrying the whole batch.
+  ASSERT_EQ(stats.per_device.size(), 1u);
+  EXPECT_EQ(stats.per_device[0].device, -1);
+  EXPECT_GT(stats.per_device[0].units, 0u);
+  EXPECT_EQ(stats.per_device[0].kernel_launches, stats.kernel_launches);
+  EXPECT_EQ(stats.per_device[0].serial_ms, stats.serial_ms);
+  EXPECT_EQ(stats.per_device[0].modeled_ms, stats.modeled_ms);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.device, -1);
+  }
+  EXPECT_EQ(engine.device_group().size(), 1u);
 }
 
 TEST(QueryPathTest, ToStringCoversEveryPath) {
