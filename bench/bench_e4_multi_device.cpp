@@ -13,6 +13,12 @@
 // traversals from their iteration-barrier checkpoint. That run is pure
 // recovery cost — reported and regression-guarded, not gated against the
 // clean baseline.
+//
+// The scaling sweep prices the upside of the same spares: a 32-query
+// batch split into 8 independent fused units is LPT-placed across 1, 2
+// and 4 healthy devices (ResiliencePolicy::Scheduling::kBalanced), and
+// the group makespan must drop near-linearly — >= 1.7x on 2 devices,
+// >= 3x on 4 — while answers stay bit-identical to the serial plan.
 #include "bench_common.hpp"
 
 #include <vector>
@@ -79,6 +85,43 @@ GroupNumbers group_run(ReplicatedGraph::Upload upload, const char* plan) {
   return out;
 }
 
+// One point of the scaling sweep: the 32-query batch as 8 fused units,
+// scheduled over `devices` healthy members, measured on the group wall
+// clock (max member makespan).
+double scaled_makespan_ms(std::size_t devices,
+                          algorithms::ResiliencePolicy::Scheduling mode) {
+  gpu::DeviceGroup group(devices);
+  algorithms::QueryEngineOptions opts;
+  opts.bfs_group_size = 4;  // 32 queries -> 8 independent fused units
+  opts.resilience.scheduling = mode;
+  QueryEngine engine(group, dataset(), opts);
+  std::vector<Query> batch;
+  for (std::uint32_t q = 0; q < 32; ++q) {
+    batch.push_back(Query::bfs((q * 2654435761u) % dataset().num_nodes()));
+  }
+  (void)engine.run(batch);
+  return engine.last_batch_stats().group_makespan_ms;
+}
+
+struct ScalingNumbers {
+  double base_ms = 0.0;  ///< one device (balanced degenerates to serial)
+  double x2_ms = 0.0;
+  double x4_ms = 0.0;
+  double speedup_x2 = 0.0;
+  double speedup_x4 = 0.0;
+};
+
+ScalingNumbers scaling_sweep() {
+  using Scheduling = algorithms::ResiliencePolicy::Scheduling;
+  ScalingNumbers out;
+  out.base_ms = scaled_makespan_ms(1, Scheduling::kBalanced);
+  out.x2_ms = scaled_makespan_ms(2, Scheduling::kBalanced);
+  out.x4_ms = scaled_makespan_ms(4, Scheduling::kBalanced);
+  out.speedup_x2 = out.x2_ms > 0 ? out.base_ms / out.x2_ms : 0.0;
+  out.speedup_x4 = out.x4_ms > 0 ? out.base_ms / out.x4_ms : 0.0;
+  return out;
+}
+
 void print_table() {
   benchx::print_banner(
       "E4: multi-device failover serving",
@@ -123,6 +166,22 @@ void print_table() {
       "\nacceptance: unarmed two-device batch overhead <= %.0f%% of "
       "single-device modeled time (worst %.3f%%) -> %s\n",
       kMaxOverhead * 100.0, worst * 100.0, pass ? "PASS" : "FAIL");
+
+  const ScalingNumbers scaling = scaling_sweep();
+  util::Table sweep({"devices", "group makespan ms", "speedup"});
+  sweep.row().cell("1").cell(scaling.base_ms, 3).cell(1.0, 2);
+  sweep.row().cell("2").cell(scaling.x2_ms, 3).cell(scaling.speedup_x2, 2);
+  sweep.row().cell("4").cell(scaling.x4_ms, 3).cell(scaling.speedup_x4, 2);
+  std::printf("\nbalanced scheduling, 32-query batch as 8 fused units:\n");
+  sweep.print();
+
+  const bool scale_pass =
+      scaling.speedup_x2 >= 1.7 && scaling.speedup_x4 >= 3.0;
+  std::printf(
+      "acceptance: balanced group makespan speedup >= 1.7x on 2 devices "
+      "(got %.2fx), >= 3x on 4 (got %.2fx) -> %s\n",
+      scaling.speedup_x2, scaling.speedup_x4,
+      scale_pass ? "PASS" : "FAIL");
 }
 
 void BM_MultiDevice(benchmark::State& state) {
@@ -150,11 +209,30 @@ void BM_MultiDevice(benchmark::State& state) {
   state.counters["drill_checkpoint_resumes"] = drill.checkpoint_resumes;
 }
 
+// Scaling sweep as its own benchmark so the speedup counters are guarded
+// (higher-is-better: perf_guard only fails on decreases).
+void BM_MultiDeviceScaling(benchmark::State& state) {
+  ScalingNumbers scaling;
+  for (auto _ : state) {
+    scaling = scaling_sweep();
+    const double sink = scaling.speedup_x4;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["base_makespan_ms"] = scaling.base_ms;
+  state.counters["x2_makespan_ms"] = scaling.x2_ms;
+  state.counters["x4_makespan_ms"] = scaling.x4_ms;
+  state.counters["scaling_x2"] = scaling.speedup_x2;
+  state.counters["scaling_x4"] = scaling.speedup_x4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_table();
   benchmark::RegisterBenchmark("multi_device/serving16", BM_MultiDevice)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("multi_device/scaling32",
+                               BM_MultiDeviceScaling)
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   maxwarp::benchx::embed_build_info();

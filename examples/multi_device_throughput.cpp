@@ -1,0 +1,143 @@
+// Multi-device throughput: scales one query batch over a growing
+// gpu::DeviceGroup and reports the group-makespan speedup the balanced
+// scheduler buys.
+//
+// The batch is split into independent work units (fused MS-BFS groups
+// plus SSSP singles); ResiliencePolicy::Scheduling::kBalanced costs each
+// unit from the host CSR's degree histogram and LPT-places them across
+// every healthy member, so the group finishes in roughly 1/N of the
+// serial makespan while answers stay bit-identical to the one-device
+// plan (BFS levels and SSSP distances do not care where they ran).
+//
+// Self-asserting: exits non-zero when a result diverges from the serial
+// reference, when any scheduled member received no work, or when the
+// group speedup falls below the floor (default 1.5x at 2 devices,
+// scaled as devices/2 * 1.5 beyond — override with --min-speedup).
+//
+//   ./multi_device_throughput
+//   ./multi_device_throughput --devices 4 --queries 64 --group-size 4
+//   ./multi_device_throughput --sssp 8      # mixed BFS + SSSP batch
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/query_engine.hpp"
+#include "gpu/device_group.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+
+using namespace maxwarp;
+
+namespace {
+
+std::vector<algorithms::Query> make_batch(const graph::Csr& host,
+                                          std::uint32_t bfs_n,
+                                          std::uint32_t sssp_n) {
+  std::vector<algorithms::Query> batch;
+  for (std::uint32_t q = 0; q < bfs_n; ++q) {
+    batch.push_back(algorithms::Query::bfs((q * 977u) % host.num_nodes()));
+  }
+  for (std::uint32_t q = 0; q < sssp_n; ++q) {
+    batch.push_back(
+        algorithms::Query::sssp((q * 131u + 5) % host.num_nodes()));
+  }
+  return batch;
+}
+
+struct Point {
+  std::vector<algorithms::QueryResult> results;
+  algorithms::BatchStats stats;
+  std::size_t members_used = 0;
+};
+
+Point run_point(const graph::Csr& host, std::size_t devices,
+                const std::vector<algorithms::Query>& batch,
+                std::uint32_t group_size) {
+  gpu::DeviceGroup group(devices);
+  algorithms::QueryEngineOptions opts;
+  opts.bfs_group_size = group_size;
+  algorithms::QueryEngine engine(group, host, opts);
+  Point p;
+  p.results = engine.run(batch);
+  p.stats = engine.last_batch_stats();
+  for (const auto& d : p.stats.per_device) {
+    if (d.units > 0) ++p.members_used;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const auto nodes =
+      static_cast<std::uint32_t>(args.get_int("nodes", 4096));
+  const auto degree =
+      static_cast<std::uint64_t>(args.get_int("degree", 8));
+  const auto bfs_n =
+      static_cast<std::uint32_t>(args.get_int("queries", 32));
+  const auto sssp_n = static_cast<std::uint32_t>(args.get_int("sssp", 0));
+  const auto devices =
+      static_cast<std::size_t>(args.get_int("devices", 4));
+  const auto group_size =
+      static_cast<std::uint32_t>(args.get_int("group-size", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const double min_x2 = args.get_double("min-speedup", 1.5);
+  for (const auto& stray : args.unqueried()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", stray.c_str());
+  }
+
+  graph::Csr host = graph::rmat(nodes, nodes * degree, {}, {.seed = seed});
+  if (sssp_n > 0) graph::assign_hash_weights(host, 20);
+  const auto batch = make_batch(host, bfs_n, sssp_n);
+
+  std::printf(
+      "multi-device throughput: %u nodes, %llu edges, %u bfs + %u sssp "
+      "queries, fused groups of %u\n\n",
+      host.num_nodes(), static_cast<unsigned long long>(host.num_edges()),
+      bfs_n, sssp_n, group_size);
+
+  const Point serial = run_point(host, 1, batch, group_size);
+  std::printf("%8s  %18s  %8s  %12s\n", "devices", "group makespan ms",
+              "speedup", "members used");
+
+  bool ok = true;
+  for (std::size_t n = 1; n <= devices; n *= 2) {
+    const Point p = n == 1 ? serial : run_point(host, n, batch, group_size);
+    const double speedup =
+        p.stats.group_makespan_ms > 0
+            ? serial.stats.group_makespan_ms / p.stats.group_makespan_ms
+            : 0.0;
+    std::printf("%8zu  %18.3f  %7.2fx  %9zu/%zu\n", n,
+                p.stats.group_makespan_ms, speedup, p.members_used, n);
+
+    for (std::size_t i = 0; i < p.results.size(); ++i) {
+      if (!p.results[i].ok()) {
+        std::printf("FAIL: query %zu failed on %zu devices: %s\n", i, n,
+                    p.results[i].status.to_string().c_str());
+        ok = false;
+      } else if (p.results[i].value != serial.results[i].value) {
+        std::printf("FAIL: query %zu diverges on %zu devices\n", i, n);
+        ok = false;
+      }
+    }
+    // Every member must pull its weight while units outnumber devices.
+    const std::size_t units = p.stats.fused_groups + sssp_n;
+    if (p.members_used < n && units >= n) {
+      std::printf("FAIL: only %zu of %zu members received work\n",
+                  p.members_used, n);
+      ok = false;
+    }
+    const double floor = min_x2 * (static_cast<double>(n) / 2.0);
+    if (n > 1 && speedup < floor) {
+      std::printf("FAIL: %zu-device speedup %.2fx below %.2fx floor\n", n,
+                  speedup, floor);
+      ok = false;
+    }
+  }
+
+  std::printf("\n%s\n", ok ? "PASS: balanced scheduling scales the batch"
+                           : "FAIL: see mismatches above");
+  return ok ? 0 : 1;
+}

@@ -74,6 +74,12 @@ echo "== failover drill (unarmed fleet, then killed primary) =="
 ./build/examples/failover_drill --nodes 4096 --queries 32 \
   --plan "ecc-fatal:nth=1+:max=0;seed=7"
 
+echo "== multi-device throughput (balanced scheduling scales the batch) =="
+# Self-asserting: answers must match the serial plan bit-for-bit, every
+# member must receive work, and the group makespan must scale.
+./build/examples/multi_device_throughput --nodes 4096 --queries 32 \
+  --sssp 4 --devices 4 --group-size 4
+
 echo "== launch-graph verify (clean batch, then seeded missing-wait) =="
 ./build/examples/launch_graph_verify --nodes 4096 --queries 16
 if ./build/examples/launch_graph_verify --nodes 4096 --queries 16 \

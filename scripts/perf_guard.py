@@ -11,6 +11,11 @@ so any drift is a real behavioural change. Wall-clock fields
 (``real_time`` / ``cpu_time`` / ``items_per_second``) are machine noise
 and are never gated on.
 
+Counters named ``speedup*`` / ``scaling*`` (or ending in ``_speedup`` /
+``_scaling``) are higher-is-better: only a *decrease* beyond the band
+fails the gate, so a scheduler improvement never trips its own guard
+while a scaling regression still does.
+
 Usage:
     scripts/perf_guard.py [--tolerance 0.10] BENCH_a.json BENCH_b.json ...
     scripts/perf_guard.py --file-tolerance BENCH_fault_overhead.json=0.02 \
@@ -53,6 +58,13 @@ def counters(entry):
         for k, v in entry.items()
         if k not in STANDARD_KEYS and isinstance(v, (int, float))
     }
+
+
+def higher_is_better(key):
+    """Speedup-style counters are guarded one-sided: gains never fail."""
+    k = key.lower()
+    return (k.startswith(("speedup", "scaling"))
+            or k.endswith(("_speedup", "_scaling")))
 
 
 def load_committed(path):
@@ -111,6 +123,16 @@ def compare(path, tolerance, allow_missing_baseline):
             if old == new:
                 continue
             denom = abs(old) if old != 0 else 1.0
+            if higher_is_better(key):
+                # One-sided: only a decrease beyond the band regresses.
+                drop = (old - new) / denom
+                if drop > tolerance:
+                    violations.append(
+                        f"{path}: {name}: {key} regressed "
+                        f"{old:.6g} -> {new:.6g} "
+                        f"(-{drop:.1%} > {tolerance:.0%}, higher-is-better)"
+                    )
+                continue
             drift = abs(new - old) / denom
             if drift > tolerance:
                 violations.append(

@@ -19,7 +19,7 @@ GUARD = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                      "perf_guard.py")
 
 
-def bench_json(modeled_ms):
+def bench_json(modeled_ms, **extra_counters):
     return json.dumps({
         "context": {"maxwarp_build_type": "release"},
         "benchmarks": [{
@@ -30,6 +30,7 @@ def bench_json(modeled_ms):
             "cpu_time": 1.0,
             "time_unit": "ms",
             "modeled_ms": modeled_ms,
+            **extra_counters,
         }],
     })
 
@@ -114,6 +115,27 @@ class PerfGuardTest(unittest.TestCase):
         r = self.guard("BENCH_gone.json")
         self.assertEqual(r.returncode, 1)
         self.assertIn("fresh artifact missing", r.stderr)
+
+    def test_speedup_increase_passes(self):
+        # scaling_x2 is higher-is-better: a big gain never fails the gate.
+        self.commit("BENCH_x.json", bench_json(10.0, scaling_x2=1.8))
+        self.write("BENCH_x.json", bench_json(10.0, scaling_x2=3.6))
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_speedup_decrease_fails(self):
+        self.commit("BENCH_x.json", bench_json(10.0, scaling_x2=1.8))
+        self.write("BENCH_x.json", bench_json(10.0, scaling_x2=1.2))
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("scaling_x2 regressed", r.stderr)
+        self.assertIn("higher-is-better", r.stderr)
+
+    def test_speedup_decrease_within_band_passes(self):
+        self.commit("BENCH_x.json", bench_json(10.0, scaling_x2=2.00))
+        self.write("BENCH_x.json", bench_json(10.0, scaling_x2=1.95))
+        r = self.guard("BENCH_x.json")
+        self.assertEqual(r.returncode, 0, r.stderr)
 
 
 if __name__ == "__main__":

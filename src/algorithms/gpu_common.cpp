@@ -38,6 +38,16 @@ std::string to_string(Frontier frontier) {
   return "unknown";
 }
 
+std::string to_string(ResiliencePolicy::Scheduling scheduling) {
+  switch (scheduling) {
+    case ResiliencePolicy::Scheduling::kActiveOnly:
+      return "active-only";
+    case ResiliencePolicy::Scheduling::kBalanced:
+      return "balanced";
+  }
+  return "unknown";
+}
+
 void validate_kernel_options(const KernelOptions& opts, const char* where) {
   const auto fail = [&](const std::string& what) {
     throw std::invalid_argument(std::string(where) + ": " + what);
@@ -75,9 +85,7 @@ void validate_kernel_options(const KernelOptions& opts, const char* where) {
   if (!(opts.adaptive.bin_merge_tolerance >= 0.0)) {
     fail("adaptive.bin_merge_tolerance must be non-negative");
   }
-  // Validate the merged policy, so a bad value set through either the
-  // nested policy or a deprecated alias fails the same way.
-  const ResiliencePolicy policy = opts.resilience.effective_policy();
+  const ResiliencePolicy& policy = opts.resilience.policy;
   if (!(policy.retry_backoff_ms >= 0.0)) {
     fail("resilience.policy.retry_backoff_ms must be non-negative");
   }

@@ -50,6 +50,21 @@ std::string to_string(Frontier frontier);
 /// documented source of truth and callers can hand a single policy to
 /// either layer.
 struct ResiliencePolicy {
+  /// How the QueryEngine places work units across a gpu::DeviceGroup.
+  /// ResilientLoop (single-device by construction) ignores it.
+  enum class Scheduling {
+    /// Legacy serving: every unit runs on the group's active device;
+    /// spares only receive work through failover migration.
+    kActiveOnly,
+    /// Group scheduler: units are cost-estimated and placed LPT-greedy
+    /// across every healthy member's timeline, so spares serve traffic
+    /// instead of idling. Results are bit-identical to kActiveOnly
+    /// (each unit's output is order- and device-independent); only the
+    /// modeled makespan changes. On a one-device group the placement
+    /// degenerates to kActiveOnly exactly.
+    kBalanced,
+  };
+
   /// Re-attempts after a transient failure, on top of the first try.
   /// In ResilientLoop this is per-iteration re-execution from the
   /// checkpoint; in the QueryEngine it is whole-work-unit re-runs.
@@ -66,9 +81,13 @@ struct ResiliencePolicy {
   /// device is exhausted. Off = exhausted queries return their error.
   /// QueryEngine-level; ResilientLoop ignores it (its callers decide).
   bool cpu_fallback = true;
+  /// Work-unit placement over a device group (see Scheduling above).
+  Scheduling scheduling = Scheduling::kBalanced;
 
   bool operator==(const ResiliencePolicy&) const = default;
 };
+
+std::string to_string(ResiliencePolicy::Scheduling scheduling);
 
 /// Tuning knobs shared by the level-synchronous algorithms.
 struct KernelOptions {
@@ -99,18 +118,11 @@ struct KernelOptions {
   /// DESIGN.md "Fault model and recovery"). With checkpoint = kAuto and
   /// no FaultPlan armed, the drivers skip checkpointing entirely, so the
   /// fault-free path pays nothing for these.
-  ///
-  /// The diagnostic region spans the whole struct so that synthesizing
-  /// its special members (which touch the deprecated aliases' default
-  /// initializers) stays silent; alias *writes* in caller code still
-  /// warn at the caller's own location.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   struct Resilience {
     /// Shared retry policy (ResiliencePolicy): the loop consumes
     /// policy.max_retries (re-executions of one failed iteration from its
     /// checkpoint) and policy.retry_backoff_ms; the engine-level fields
-    /// (default_deadline_ms, cpu_fallback) are ignored here.
+    /// (default_deadline_ms, cpu_fallback, scheduling) are ignored here.
     ResiliencePolicy policy = {};
     /// Per-launch watchdog (modeled ms) armed for the driver's lifetime;
     /// 0 inherits the device-wide SimConfig::default_watchdog_ms.
@@ -121,30 +133,7 @@ struct KernelOptions {
       kOff,     ///< never: a faulted iteration fails the whole run
     };
     Checkpoint checkpoint = Checkpoint::kAuto;
-
-    /// Deprecated aliases of the policy fields, kept for one release so
-    /// pre-policy call sites still compile. Sentinel (negative) = unset;
-    /// a set alias overrides the nested policy in effective_policy().
-    [[deprecated("set resilience.policy.max_retries instead")]]
-    std::int64_t max_retries = -1;
-    [[deprecated("set resilience.policy.retry_backoff_ms instead")]]
-    double backoff_ms = -1.0;
-
-    /// The policy the loop actually runs: `policy` with any set
-    /// deprecated aliases folded in.
-    ResiliencePolicy effective_policy() const {
-      ResiliencePolicy p = policy;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-      if (max_retries >= 0) {
-        p.max_retries = static_cast<std::uint32_t>(max_retries);
-      }
-      if (backoff_ms >= 0) p.retry_backoff_ms = backoff_ms;
-#pragma GCC diagnostic pop
-      return p;
-    }
   };
-#pragma GCC diagnostic pop
   Resilience resilience;
 
   /// kAdaptive knobs (ignored by the other mappings).

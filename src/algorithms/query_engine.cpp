@@ -343,6 +343,53 @@ const char* to_string(QueryPath path) {
   return "unknown";
 }
 
+double estimate_unit_cost(const graph::DegreeStats& degrees,
+                          std::uint32_t fused_queries, bool bfs,
+                          const KernelOptions& opts,
+                          const simt::SimConfig& cfg,
+                          const AdaptiveState* adaptive) {
+  // Sweep cost: fold the power-of-two degree histogram through the
+  // analytic width model at each class's representative degree. Bucket 0
+  // counts zero-degree vertices; bucket k >= 1 counts degrees in
+  // [2^(k-1), 2^k), represented by the class midpoint.
+  const int static_width =
+      opts.mapping == Mapping::kThreadMapped ? 1 : opts.virtual_warp_width;
+  const bool calibrated = adaptive != nullptr && !adaptive->plan.bins.empty();
+  double sweep = 0.0;
+  const util::Log2Histogram& hist = degrees.histogram;
+  for (std::size_t k = 0; k < hist.bucket_count(); ++k) {
+    const std::uint64_t count = hist.bucket(k);
+    if (count == 0) continue;
+    const std::uint64_t mid =
+        k == 0 ? 0 : std::max<std::uint64_t>(1, (3ull << k) >> 2);
+    const auto rep =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(mid, degrees.max));
+    int width = static_width;
+    double team = 1.0;
+    if (calibrated) {
+      const AdaptiveBin& bin = adaptive->plan.bins[adaptive->plan.bin_of(rep)];
+      width = bin.width;
+      // A warp team drains an outlier's adjacency cooperatively,
+      // dividing its span.
+      team = static_cast<double>(std::max<std::uint32_t>(1, bin.team_warps));
+    }
+    sweep += static_cast<double>(count) *
+             adaptive_model_cost(rep, width, cfg) / team;
+  }
+  // Unit weight over the shared sweep: a fused group reads the adjacency
+  // once for every member and pays one extra bit-peel in the update
+  // kernel per extra query; Bellman-Ford re-relaxes across more rounds
+  // than BFS has levels and loads a weight per edge.
+  constexpr double kFusePeelShare = 1.0 / 32.0;
+  constexpr double kSsspRounds = 4.0;
+  const double weight =
+      bfs ? 1.0 + kFusePeelShare *
+                      static_cast<double>(
+                          fused_queries > 0 ? fused_queries - 1 : 0)
+          : kSsspRounds;
+  return sweep * weight;
+}
+
 namespace {
 
 /// Host Dijkstra folded to the GPU drivers' 32-bit distance convention.
@@ -362,14 +409,14 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
                          const QueryEngineOptions& opts)
     : owned_graphs_(std::make_unique<ReplicatedGraph>(graph)), opts_(opts) {
   graphs_ = owned_graphs_.get();
-  policy_ = opts_.effective_policy();
+  policy_ = opts_.resilience;
   validate_options();
 }
 
 QueryEngine::QueryEngine(ReplicatedGraph& graphs,
                          const QueryEngineOptions& opts)
     : graphs_(&graphs), opts_(opts) {
-  policy_ = opts_.effective_policy();
+  policy_ = opts_.resilience;
   validate_options();
 }
 
@@ -380,7 +427,7 @@ QueryEngine::QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
                                                       upload)),
       opts_(opts) {
   graphs_ = owned_graphs_.get();
-  policy_ = opts_.effective_policy();
+  policy_ = opts_.resilience;
   validate_options();
 }
 
@@ -516,8 +563,99 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   };
   stats_.streams_used = stream_count;
 
-  for (std::size_t u = 0; u < units.size(); ++u) {
-    const Unit& unit = units[u];
+  // Scheduling mode. kBalanced plans placements across every healthy
+  // member; on a one-device group it degenerates to kActiveOnly exactly
+  // (input order, identical stream slots, no cost estimation), so the
+  // single-device engines — and every pre-group baseline — stay bit-
+  // and cost-identical across the two modes.
+  const bool balanced =
+      policy_.scheduling == ResiliencePolicy::Scheduling::kBalanced &&
+      group.size() > 1;
+
+  // Per-device unit queues and modeled-load tallies (kBalanced only;
+  // kActiveOnly walks the units in input order on the active device).
+  std::vector<double> cost(units.size(), 0.0);
+  std::vector<std::vector<std::uint32_t>> queue(group.size());
+  std::vector<double> load(group.size(), 0.0);
+  schedule_.clear();
+
+  // Lowest-index least-loaded healthy member: LPT's placement rule and
+  // the re-plan target after a device death. The ascending scan makes
+  // ties deterministic.
+  const auto least_loaded = [&]() -> std::size_t {
+    std::size_t best = group.active_index();
+    double best_load = 0.0;
+    bool found = false;
+    for (std::size_t d = 0; d < group.size(); ++d) {
+      if (!group.healthy(d)) continue;
+      if (!found || load[d] < best_load) {
+        found = true;
+        best = d;
+        best_load = load[d];
+      }
+    }
+    return best;
+  };
+
+  if (balanced) {
+    // Cost every unit from the host CSR alone (plus the cached adaptive
+    // calibration when the batch dispatches adaptively): estimates never
+    // read evolving device state, so replaying the batch reproduces the
+    // identical plan.
+    const graph::DegreeStats degrees = graph::degree_stats(graphs_->host());
+    const GpuGraph& model_replica = graphs_->replica(group.active_index());
+    const AdaptiveState* adaptive =
+        opts_.kernel.mapping == Mapping::kAdaptive
+            ? &model_replica.adaptive_state(opts_.kernel)
+            : nullptr;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      cost[u] = estimate_unit_cost(
+          degrees, static_cast<std::uint32_t>(units[u].idx.size()),
+          units[u].bfs, opts_.kernel, model_replica.device().config(),
+          adaptive);
+    }
+    // LPT: place cost-descending (stable sort — equal costs keep input
+    // order) onto the least-loaded healthy member.
+    std::vector<std::uint32_t> order(units.size());
+    for (std::uint32_t u = 0; u < order.size(); ++u) order[u] = u;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return cost[a] > cost[b];
+                     });
+    for (const std::uint32_t u : order) {
+      const std::size_t d = least_loaded();
+      queue[d].push_back(u);
+      load[d] += cost[u];
+      schedule_.push_back(UnitPlacement{
+          u, d, cost[u], static_cast<std::uint32_t>(units[u].idx.size()),
+          /*replanned=*/false});
+    }
+    // Eager upload to every *scheduled* member: a lazily replicated
+    // spare that received work pays its H2D transfer now, before its
+    // queue starts, not mid-unit. Members without work stay lazy.
+    for (std::size_t d = 0; d < group.size(); ++d) {
+      if (!queue[d].empty()) (void)graphs_->lease(d);
+    }
+  }
+
+  // QueryResult::device / DeviceStats::device report the device ordinal,
+  // falling back to the group index when the device is anonymous (the
+  // borrowing single-device adapter stamps no ordinal), so per-device
+  // accounting reads uniformly across constructors.
+  const auto ordinal_of = [&](std::size_t di) {
+    const int ord = group.device(di).ordinal();
+    return ord >= 0 ? ord : static_cast<int>(di);
+  };
+
+  // One unit end to end down the ladder. `dev` is the member the unit
+  // currently targets: it starts where the scheduler placed the unit and
+  // follows migrations. `stream_slot` picks the unit's stream from its
+  // device's pool — the unit ordinal under kActiveOnly (the pre-group
+  // behavior), the device's issue position under kBalanced.
+  const auto run_unit = [&](std::uint32_t uidx, std::size_t start_dev,
+                            std::size_t stream_slot) {
+    const Unit& unit = units[uidx];
+    std::size_t dev = start_dev;
 
     // The unit budget is the tightest member deadline; it doubles as a
     // per-kernel watchdog so a modeled hang is charged the deadline, not
@@ -536,20 +674,20 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       return deadline > 0 && spent > deadline;
     };
 
-    // One rung of the ladder on the group's active device: run `body`
-    // against that device's replica with engine-level retries and
-    // exponential modeled backoff, all launches/copies on the unit's
-    // stream from that device's pool. Sanitizer findings are program
-    // bugs, not device faults — no retry can help, so they fail the rung
+    // One rung of the ladder on the unit's device: run `body` against
+    // that device's replica with engine-level retries and exponential
+    // modeled backoff, all launches/copies on the unit's stream from
+    // that device's pool. Sanitizer findings are program bugs, not
+    // device faults — no retry can help, so they fail the rung
     // immediately (and descend, where isolation may sidestep the buggy
     // kernel).
     const auto try_gpu = [&](const std::function<void(const GpuGraph&)>& body,
                              std::uint32_t& attempts) -> gpu::Status {
-      const std::size_t di = group.active_index();
+      const std::size_t di = dev;
       const GpuGraph& g = graphs_->replica(di);
       gpu::Device& device = g.device();
       auto& pool = ensure_streams(di);
-      gpu::StreamScope scope(device, pool[u % pool.size()]);
+      gpu::StreamScope scope(device, pool[stream_slot % pool.size()]);
       std::optional<gpu::WatchdogScope> watchdog;
       if (deadline > 0) watchdog.emplace(device, deadline);
       ran_on[di] = true;
@@ -601,13 +739,18 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       return status;
     };
 
-    // The rung plus spare-device migration: when the active device
-    // exhausts its retries on a transient fault and the group holds a
-    // healthy spare, fail over and run the rung again there — the group
-    // cursor moves for the whole batch, so later units start on the
-    // spare directly. Non-transient failures descend the ladder instead
-    // (another device cannot fix a program bug), and an exhausted budget
-    // never migrates (migration moves work, it does not refund time).
+    // The rung plus spare-device migration: when the unit's device
+    // exhausts its retries on a transient fault and the group holds
+    // another healthy member, declare it dead and run the rung again
+    // elsewhere. kActiveOnly moves the group cursor (fail_over), so
+    // later units start on the spare directly; kBalanced marks just
+    // that member dead (fail_device — the cursor only moves when the
+    // active device itself died) and restarts the unit on the
+    // least-loaded survivor, leaving the drain loop to re-plan the dead
+    // member's queued remainder. Non-transient failures descend the
+    // ladder instead (another device cannot fix a program bug), and an
+    // exhausted budget never migrates (migration moves work, it does
+    // not refund time).
     const auto try_gpu_with_failover =
         [&](const std::function<void(const GpuGraph&)>& body,
             std::uint32_t& attempts, bool& migrated) -> gpu::Status {
@@ -615,7 +758,18 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
         const gpu::Status st = try_gpu(body, attempts);
         if (st.ok() || !st.transient()) return st;
         if (budget_exhausted()) return st;
-        if (!group.fail_over(st.to_string())) return st;
+        if (balanced) {
+          if (!group.fail_device(dev, st.to_string())) return st;
+          dev = least_loaded();
+          load[dev] += cost[uidx];
+          schedule_.push_back(UnitPlacement{
+              uidx, dev, cost[uidx],
+              static_cast<std::uint32_t>(unit.idx.size()),
+              /*replanned=*/true});
+        } else {
+          if (!group.fail_over(st.to_string())) return st;
+          dev = group.active_index();
+        }
         ++stats_.migrations;
         migrated = true;
       }
@@ -639,7 +793,7 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       r.gpu_attempts += attempts;
       if (st.ok()) {
         r.path = QueryPath::kSingleGpu;
-        r.device = group.active().ordinal();
+        r.device = ordinal_of(dev);
         if (migrated) ++stats_.migrated_units;
         return;
       }
@@ -696,7 +850,7 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
           ++stats_.migrated_units;
           if (resumed) ++stats_.checkpoint_resumes;
         }
-        const int answered_on = group.active().ordinal();
+        const int answered_on = ordinal_of(dev);
         for (std::size_t j = 0; j < unit.idx.size(); ++j) {
           results[unit.idx[j]].value = std::move(fused.level[j]);
           results[unit.idx[j]].path = QueryPath::kFusedGpu;
@@ -732,6 +886,61 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
         r.degraded = true;
       }
     }
+  };
+
+  if (!balanced) {
+    // Legacy order: every unit starts on the active device, in input
+    // order, stream slot = unit ordinal. Placements are still logged so
+    // last_schedule() reads uniformly across modes.
+    for (std::uint32_t u = 0; u < static_cast<std::uint32_t>(units.size());
+         ++u) {
+      const std::size_t d = group.active_index();
+      schedule_.push_back(UnitPlacement{
+          u, d, cost[u], static_cast<std::uint32_t>(units[u].idx.size()),
+          /*replanned=*/false});
+      run_unit(u, d, u);
+    }
+  } else {
+    // Drain the per-device queues. Host-side issue is serial, but each
+    // device's modeled timeline runs only its own queue, round-robined
+    // over its own streams — the concurrency group_makespan_ms measures.
+    // When a pass notices a dead member, its queued remainder is
+    // re-planned across the survivors (still LPT: the queue was placed
+    // cost-descending, and each orphan goes to the then-least-loaded
+    // healthy member).
+    std::vector<std::size_t> cursor(group.size(), 0);
+    std::vector<std::size_t> issued(group.size(), 0);
+    const auto replan_remainder = [&](std::size_t d) {
+      for (std::size_t p = cursor[d]; p < queue[d].size(); ++p) {
+        const std::uint32_t uidx = queue[d][p];
+        const std::size_t nd = least_loaded();
+        queue[nd].push_back(uidx);
+        load[nd] += cost[uidx];
+        schedule_.push_back(UnitPlacement{
+            uidx, nd, cost[uidx],
+            static_cast<std::uint32_t>(units[uidx].idx.size()),
+            /*replanned=*/true});
+      }
+      cursor[d] = queue[d].size();
+    };
+    const auto pending = [&] {
+      for (std::size_t d = 0; d < group.size(); ++d) {
+        if (cursor[d] < queue[d].size()) return true;
+      }
+      return false;
+    };
+    while (pending()) {
+      for (std::size_t d = 0; d < group.size(); ++d) {
+        while (cursor[d] < queue[d].size()) {
+          if (!group.healthy(d)) {
+            replan_remainder(d);
+            break;
+          }
+          const std::uint32_t uidx = queue[d][cursor[d]++];
+          run_unit(uidx, d, issued[d]++);
+        }
+      }
+    }
   }
 
   for (const QueryResult& r : results) {
@@ -744,7 +953,7 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   for (std::size_t i = 0; i < group.size(); ++i) {
     gpu::Device& d = group.device(i);
     BatchStats::DeviceStats ds;
-    ds.device = d.ordinal();
+    ds.device = ordinal_of(i);
     ds.units = base[i].units;
     ds.kernel_launches = d.kernel_totals().launches - base[i].launches;
     ds.serial_ms = d.total_modeled_ms() - base[i].serial_ms;
@@ -753,6 +962,10 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     stats_.serial_ms += ds.serial_ms;
     stats_.modeled_ms += ds.modeled_ms;
     stats_.kernel_launches += ds.kernel_launches;
+    // The members run their queues concurrently: the wall clock over the
+    // group is the slowest member, not the sum.
+    stats_.group_makespan_ms = std::max(stats_.group_makespan_ms,
+                                        ds.modeled_ms);
   }
 
   // Verify mode: analyze everything recorded on every group device so

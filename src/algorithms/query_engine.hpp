@@ -17,6 +17,20 @@
 //      timeline lets narrow tail levels of one query group fill the SMs
 //      another group leaves idle.
 //
+// Over a gpu::DeviceGroup a third multiplier appears: independent units
+// can run on different members at once. The group scheduler
+// (ResiliencePolicy::Scheduling::kBalanced, the default) estimates each
+// unit's cost from the host CSR degree statistics (and the adaptive
+// tuner's calibrated plan when cached), places units LPT-greedy
+// (longest-processing-time first, stable tie-break on unit ordinal)
+// onto per-device timelines, and round-robins each member's units over
+// its own streams. BatchStats::group_makespan_ms reports the resulting
+// concurrent makespan (max over members) next to the serial sum. When a
+// member dies mid-batch its remaining queue is re-planned across the
+// survivors — checkpoint-resume for fused units — preserving the
+// failover contract below. kActiveOnly restores legacy one-device
+// serving bit- and cost-identically.
+//
 // Because the simulator executes eagerly in issue order, results are
 // bit-identical to running every query alone — levels are BFS distances,
 // which no execution order can change. Tests exploit this: fused output ==
@@ -43,6 +57,7 @@
 #include "gpu/device_group.hpp"
 #include "gpu/status.hpp"
 #include "graph/csr.hpp"
+#include "graph/metrics.hpp"
 
 namespace maxwarp::algorithms {
 
@@ -144,19 +159,15 @@ struct QueryResult {
   /// the unit migrated).
   double modeled_ms = 0.0;
   /// Group ordinal of the device that produced `value`, or -1 when the
-  /// answer came from the host (kCpuHost), the query never ran, or the
-  /// engine serves a standalone single device (which stays anonymous).
+  /// answer came from the host (kCpuHost) or the query never ran. The
+  /// borrowing single-device constructor reports ordinal 0 (its device
+  /// stays anonymous for error text, but accounting is uniform across
+  /// both constructors).
   int device = -1;
 
   bool ok() const { return status.ok(); }
 };
 
-/// The diagnostic region spans the whole struct so that synthesizing its
-/// special members (which touch the deprecated aliases' default
-/// initializers) stays silent; alias *writes* in caller code still warn
-/// at the caller's own location.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct QueryEngineOptions {
   /// Streams the batch is spread over (>= 1). More streams expose more
   /// overlap to the timeline until Σ parallelism saturates the SMs.
@@ -168,10 +179,12 @@ struct QueryEngineOptions {
   /// Kernel tuning forwarded to the underlying traversals.
   KernelOptions kernel = {};
   /// The engine's ladder policy — retries, backoff, deadlines, host
-  /// fallback — shared with the iteration-level loop as
-  /// algorithms::ResiliencePolicy (one documented source of truth).
-  /// max_retries here means whole-work-unit re-runs after the drivers'
-  /// own iteration-level retry gave up.
+  /// fallback, and the group scheduling mode — shared with the
+  /// iteration-level loop as algorithms::ResiliencePolicy (one
+  /// documented source of truth). max_retries here means whole-work-unit
+  /// re-runs after the drivers' own iteration-level retry gave up;
+  /// resilience.scheduling selects kActiveOnly legacy serving or the
+  /// kBalanced (default) group scheduler.
   ResiliencePolicy resilience = {};
   /// Verify mode: after each run(), analyze every device's recorded
   /// launch graph for cross-stream hazards over the whole batch and
@@ -179,48 +192,23 @@ struct QueryEngineOptions {
   /// constructed with SimConfig::record_launch_graph (the constructor
   /// enforces this).
   bool verify = false;
-
-  /// Deprecated aliases of the policy fields, kept for one release so
-  /// pre-policy call sites still compile. Sentinel (negative / unset) =
-  /// inherit the nested policy; a set alias overrides it in
-  /// effective_policy(). NOTE the unified default: max_retries now
-  /// defaults to ResiliencePolicy's 2 (this engine's old default was 1).
-  [[deprecated("set resilience.max_retries instead")]]
-  std::int64_t max_retries = -1;
-  [[deprecated("set resilience.retry_backoff_ms instead")]]
-  double retry_backoff_ms = -1.0;
-  [[deprecated("set resilience.default_deadline_ms instead")]]
-  double default_deadline_ms = -1.0;
-  /// Tri-state: -1 unset, 0 false, 1 true (bool assignment still works).
-  [[deprecated("set resilience.cpu_fallback instead")]]
-  int cpu_fallback = -1;
-
-  /// The policy the engine actually runs: `resilience` with any set
-  /// deprecated aliases folded in.
-  ResiliencePolicy effective_policy() const {
-    ResiliencePolicy p = resilience;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    if (max_retries >= 0) {
-      p.max_retries = static_cast<std::uint32_t>(max_retries);
-    }
-    if (retry_backoff_ms >= 0) p.retry_backoff_ms = retry_backoff_ms;
-    if (default_deadline_ms >= 0) p.default_deadline_ms = default_deadline_ms;
-    if (cpu_fallback >= 0) p.cpu_fallback = cpu_fallback != 0;
-#pragma GCC diagnostic pop
-    return p;
-  }
 };
-#pragma GCC diagnostic pop
 
 /// Modeled-time accounting for one run() batch.
 struct BatchStats {
-  /// Overlap-aware makespan of the batch (streams share SMs, copies ride
-  /// the DMA engines) — the number a wall clock would have shown.
+  /// Per-device overlap-aware makespans (streams share SMs, copies ride
+  /// the DMA engines), summed across the group — the serial-group view
+  /// of the batch.
   double modeled_ms = 0.0;
   /// The same ops under the serial model, back to back — what issuing
   /// every query alone on the default stream would have cost.
   double serial_ms = 0.0;
+  /// Group-level makespan: the max over per-device modeled makespan
+  /// deltas — the number a wall clock over the whole group would have
+  /// shown, since the members run their queues concurrently. Equals
+  /// modeled_ms on a single-device engine; under kBalanced scheduling
+  /// on an N-device group it approaches modeled_ms / N.
+  double group_makespan_ms = 0.0;
   std::uint32_t queries = 0;
   std::uint32_t fused_groups = 0;  ///< fused kernels covering >= 2 queries
   std::uint32_t streams_used = 0;
@@ -243,9 +231,10 @@ struct BatchStats {
   std::uint32_t checkpoint_resumes = 0;
   /// Per-device share of the batch, index-aligned with the group's
   /// devices (one entry even for devices that stayed idle). The
-  /// single-device constructors leave one entry with device = -1.
+  /// single-device constructors leave one entry with device = 0, so
+  /// per-device accounting reads uniformly across both constructors.
   struct DeviceStats {
-    int device = -1;               ///< group ordinal
+    int device = -1;               ///< group ordinal (index when anonymous)
     std::uint32_t units = 0;       ///< work units that ran (even partly) here
     std::uint64_t kernel_launches = 0;
     double modeled_ms = 0.0;       ///< makespan delta on this device
@@ -253,6 +242,39 @@ struct BatchStats {
   };
   std::vector<DeviceStats> per_device;
 };
+
+/// One group-scheduler placement decision: work unit `unit` (ordinal in
+/// the batch's unit list, input order) placed onto group device `device`
+/// with modeled cost estimate `estimated_cost`. The kBalanced plan is a
+/// pure function of the batch and the host CSR, so replaying a batch
+/// reproduces the identical placement sequence.
+struct UnitPlacement {
+  std::uint32_t unit = 0;
+  std::size_t device = 0;
+  double estimated_cost = 0.0;   ///< scheduler cost units (not ms)
+  std::uint32_t queries = 0;     ///< queries the unit carries
+  bool replanned = false;        ///< placed again after a device death
+};
+
+/// The group scheduler's cost model: a deterministic modeled cost
+/// (arbitrary units, comparable within one batch) for one work unit —
+/// a fused MS-BFS group of `fused_queries` traversals when `bfs`, an
+/// SSSP single otherwise.
+///
+/// The per-level sweep cost comes from the host CSR's power-of-two
+/// degree histogram folded through adaptive_model_cost at the width each
+/// degree class would run at. With a cached kAdaptive state, the
+/// calibrated plan supplies those widths (and warp-team splits) per bin
+/// — the probe ledger's measured optimum — so the estimate tracks what
+/// the dispatcher will actually launch; otherwise the static mapping's
+/// single W is used. Fused groups add a per-extra-query share for the
+/// update kernel's bit-peel; SSSP units are weighted by the extra
+/// relaxation rounds and weight traffic of Bellman-Ford over BFS.
+double estimate_unit_cost(const graph::DegreeStats& degrees,
+                          std::uint32_t fused_queries, bool bfs,
+                          const KernelOptions& opts,
+                          const simt::SimConfig& cfg,
+                          const AdaptiveState* adaptive = nullptr);
 
 class QueryEngine {
  public:
@@ -279,18 +301,25 @@ class QueryEngine {
 
   /// Executes the batch and returns results in input order. BFS queries
   /// are greedily grouped (input order) into fused kernels of up to
-  /// bfs_group_size; SSSP queries run as singles; units round-robin
-  /// across num_streams streams (per device). Accounting lands in
-  /// last_batch_stats().
+  /// bfs_group_size; SSSP queries run as singles; units are placed
+  /// across the group's healthy members (resilience.scheduling) and
+  /// round-robin across num_streams streams per device. Accounting
+  /// lands in last_batch_stats(), placements in last_schedule().
   std::vector<QueryResult> run(std::span<const Query> queries);
 
   const BatchStats& last_batch_stats() const { return stats_; }
+  /// The scheduler's placement log for the last run() batch, in
+  /// execution order: initial LPT placements first, re-planned
+  /// placements (after a device death) appended as they happen. Under
+  /// kActiveOnly every unit is logged on the active device at its start.
+  const std::vector<UnitPlacement>& last_schedule() const {
+    return schedule_;
+  }
   /// The primary device's replica (the only one for the single-device
   /// constructor).
   const GpuGraph& graph() { return graphs_->replica(0); }
   const QueryEngineOptions& options() const { return opts_; }
-  /// The ladder policy in force: options().resilience with deprecated
-  /// aliases folded in (QueryEngineOptions::effective_policy).
+  /// The ladder policy in force (options().resilience).
   const ResiliencePolicy& policy() const { return policy_; }
   /// The device group work is scheduled over (a one-device group for the
   /// single-device constructor).
@@ -310,6 +339,7 @@ class QueryEngine {
   QueryEngineOptions opts_;
   ResiliencePolicy policy_;
   BatchStats stats_;
+  std::vector<UnitPlacement> schedule_;
   analysis::HazardReport hazard_;
 };
 

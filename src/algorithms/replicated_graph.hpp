@@ -62,6 +62,21 @@ class ReplicatedGraph {
   /// upload.
   const GpuGraph& replica(std::size_t i);
 
+  /// A group scheduler's handle for "this unit runs here": the replica
+  /// plus the group index it is resident on, so placement decisions and
+  /// accounting always name the same member. Taking a lease ensures the
+  /// replica is device-resident (under lazy upload, a scheduled spare
+  /// pays its H2D transfer at lease time — eager upload to every
+  /// *scheduled* member, not to members that never receive work).
+  struct Lease {
+    const GpuGraph* graph = nullptr;
+    std::size_t device = 0;  ///< group index the replica lives on
+
+    const GpuGraph& operator*() const { return *graph; }
+    const GpuGraph* operator->() const { return graph; }
+  };
+  Lease lease(std::size_t i) { return Lease{&replica(i), i}; }
+
   /// The active device's replica — where the next work unit runs.
   const GpuGraph& active() { return replica(group_->active_index()); }
 

@@ -6,7 +6,7 @@ namespace maxwarp::algorithms {
 
 ResilientLoop::ResilientLoop(const GpuGraph& graph, const KernelOptions& opts,
                              const char* where)
-    : ResilientLoop(graph, opts.resilience.effective_policy(), where,
+    : ResilientLoop(graph, opts.resilience.policy, where,
                     opts.resilience.watchdog_ms, opts.resilience.checkpoint) {}
 
 ResilientLoop::ResilientLoop(const GpuGraph& graph,

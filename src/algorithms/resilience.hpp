@@ -40,10 +40,10 @@ namespace maxwarp::algorithms {
 
 class ResilientLoop {
  public:
-  /// Reads opts.resilience (deprecated aliases folded in via
-  /// effective_policy); arms a WatchdogScope for the loop's lifetime when
-  /// resilience.watchdog_ms > 0. `where` names the driver in nothing
-  /// today (kept for diagnostics symmetry with validate_kernel_options).
+  /// Reads opts.resilience.policy; arms a WatchdogScope for the loop's
+  /// lifetime when resilience.watchdog_ms > 0. `where` names the driver
+  /// in nothing today (kept for diagnostics symmetry with
+  /// validate_kernel_options).
   ResilientLoop(const GpuGraph& graph, const KernelOptions& opts,
                 const char* where);
 

@@ -45,6 +45,32 @@ std::size_t DeviceGroup::healthy_count() const {
   return n;
 }
 
+std::vector<std::size_t> DeviceGroup::healthy_members() const {
+  std::vector<std::size_t> members;
+  members.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (healthy_[i]) members.push_back(i);
+  }
+  return members;
+}
+
+bool DeviceGroup::fail_device(std::size_t i, const std::string& reason) {
+  if (i >= devices_.size()) {
+    throw std::out_of_range("DeviceGroup::fail_device: no such device");
+  }
+  if (i == active_) return fail_over(reason);
+  // Survivors after marking i dead; refuse (like fail_over) when none.
+  const std::size_t survivors = healthy_count() - (healthy_[i] ? 1 : 0);
+  if (survivors == 0) return false;
+  if (healthy_[i]) {
+    healthy_[i] = false;
+    failover_log_.push_back(FailoverRecord{static_cast<int>(i),
+                                           static_cast<int>(active_),
+                                           reason});
+  }
+  return true;
+}
+
 bool DeviceGroup::fail_over(const std::string& reason) {
   // Find the next healthy device after the active one, wrapping; the
   // active device itself is the one being declared dead, so it cannot be

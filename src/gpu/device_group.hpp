@@ -76,6 +76,16 @@ class DeviceGroup {
   bool healthy(std::size_t i) const { return healthy_.at(i); }
   std::size_t healthy_count() const;
 
+  /// Indices of every healthy member, ascending — the set a group
+  /// scheduler may place work onto. The active device is included.
+  std::vector<std::size_t> healthy_members() const;
+
+  /// Device i's overlap-aware timeline makespan (sugar over
+  /// device(i).modeled_makespan_ms()): what a wall clock on that member
+  /// would have shown. A group scheduler's makespan is the max of these
+  /// deltas across the members it used.
+  double modeled_makespan_ms(std::size_t i) { return device(i).modeled_makespan_ms(); }
+
   /// True when every device has been marked failed — the caller's cue to
   /// fall back to the host reference.
   bool exhausted() const { return healthy_count() == 0; }
@@ -88,7 +98,18 @@ class DeviceGroup {
   /// there, and routes the rest to the host.
   bool fail_over(const std::string& reason);
 
-  /// Everything fail_over() recorded since construction / reset_health().
+  /// Declares device `i` dead — the group-scheduler variant of
+  /// fail_over(), for deaths on a *scheduled* member that need not be
+  /// the active cursor. When `i` is the active device this is exactly
+  /// fail_over(reason). Otherwise the member is marked unhealthy and a
+  /// FailoverRecord from `i` to the (unchanged) active device is
+  /// appended. Returns false — leaving health untouched — when `i` is
+  /// the last healthy device: the caller's cue to fall back to the
+  /// host, same as fail_over().
+  bool fail_device(std::size_t i, const std::string& reason);
+
+  /// Everything fail_over() / fail_device() recorded since construction
+  /// / reset_health().
   const std::vector<FailoverRecord>& failover_log() const {
     return failover_log_;
   }

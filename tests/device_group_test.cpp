@@ -255,31 +255,57 @@ TEST(FailoverAcceptanceTest, MigrationDrillReplaysDeterministically) {
   EXPECT_EQ(std::get<3>(a), std::get<3>(b));
 }
 
-TEST(ResiliencePolicyTest, DeprecatedAliasesFoldIntoThePolicy) {
+TEST(ResiliencePolicyTest, OnePolicyObjectEverywhere) {
+  // The flat aliases are gone: QueryEngineOptions::resilience IS the
+  // shared ResiliencePolicy, and KernelOptions::Resilience nests the
+  // same struct — one knob set, no folding layer.
   QueryEngineOptions opts;
   opts.resilience.max_retries = 5;
-  EXPECT_EQ(opts.effective_policy().max_retries, 5u);
-  EXPECT_TRUE(opts.effective_policy().cpu_fallback);
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  opts.max_retries = 1;  // a set alias overrides the nested policy
-  opts.cpu_fallback = 0;
-  opts.default_deadline_ms = 2.5;
-#pragma GCC diagnostic pop
-  const auto p = opts.effective_policy();
-  EXPECT_EQ(p.max_retries, 1u);
-  EXPECT_FALSE(p.cpu_fallback);
-  EXPECT_EQ(p.default_deadline_ms, 2.5);
-  EXPECT_EQ(p.retry_backoff_ms, opts.resilience.retry_backoff_ms);
+  opts.resilience.cpu_fallback = false;
+  opts.resilience.default_deadline_ms = 2.5;
 
   KernelOptions kopts;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  kopts.resilience.backoff_ms = 0.75;
-#pragma GCC diagnostic pop
-  EXPECT_EQ(kopts.resilience.effective_policy().retry_backoff_ms, 0.75);
-  EXPECT_EQ(kopts.resilience.effective_policy().max_retries, 2u);
+  kopts.resilience.policy = opts.resilience;
+  EXPECT_EQ(kopts.resilience.policy, opts.resilience);
+  EXPECT_EQ(kopts.resilience.policy.max_retries, 5u);
+  EXPECT_EQ(kopts.resilience.policy.default_deadline_ms, 2.5);
+  EXPECT_FALSE(kopts.resilience.policy.cpu_fallback);
+}
+
+TEST(ResiliencePolicyTest, SchedulingDefaultsToBalanced) {
+  const algorithms::ResiliencePolicy policy;
+  EXPECT_EQ(policy.scheduling,
+            algorithms::ResiliencePolicy::Scheduling::kBalanced);
+  EXPECT_EQ(algorithms::to_string(
+                algorithms::ResiliencePolicy::Scheduling::kBalanced),
+            "balanced");
+  EXPECT_EQ(algorithms::to_string(
+                algorithms::ResiliencePolicy::Scheduling::kActiveOnly),
+            "active-only");
+}
+
+TEST(DeviceGroupTest, FailDeviceMarksSparesWithoutMovingTheCursor) {
+  gpu::DeviceGroup group(3);
+  EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{0, 1, 2}));
+
+  // Killing a non-active member leaves the cursor alone.
+  EXPECT_TRUE(group.fail_device(2, "drill"));
+  EXPECT_EQ(group.active_index(), 0u);
+  EXPECT_FALSE(group.healthy(2));
+  EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{0, 1}));
+  ASSERT_EQ(group.failover_log().size(), 1u);
+  EXPECT_EQ(group.failover_log()[0].from, 2);
+  EXPECT_EQ(group.failover_log()[0].to, 0);
+
+  // Killing the active member is exactly fail_over.
+  EXPECT_TRUE(group.fail_device(0, "drill"));
+  EXPECT_EQ(group.active_index(), 1u);
+  EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{1}));
+
+  // The last healthy device is refused, health untouched.
+  EXPECT_FALSE(group.fail_device(1, "drill"));
+  EXPECT_TRUE(group.healthy(1));
+  EXPECT_THROW((void)group.fail_device(7, "drill"), std::out_of_range);
 }
 
 }  // namespace

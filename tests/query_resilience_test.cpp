@@ -355,17 +355,21 @@ TEST(QueryStatsTest, SingleDeviceBatchHasZeroMigrationAccounting) {
   EXPECT_EQ(stats.migrations, 0u);
   EXPECT_EQ(stats.migrated_units, 0u);
   EXPECT_EQ(stats.checkpoint_resumes, 0u);
-  // One per-device entry, anonymous (the borrowed device has no group
-  // ordinal), carrying the whole batch.
+  // One per-device entry carrying the whole batch. The borrowed device
+  // stays anonymous (no group ordinal stamped), but accounting reports
+  // its group index 0 so per-device stats read uniformly across the
+  // single-device and group constructors.
   ASSERT_EQ(stats.per_device.size(), 1u);
-  EXPECT_EQ(stats.per_device[0].device, -1);
+  EXPECT_EQ(stats.per_device[0].device, 0);
   EXPECT_GT(stats.per_device[0].units, 0u);
   EXPECT_EQ(stats.per_device[0].kernel_launches, stats.kernel_launches);
   EXPECT_EQ(stats.per_device[0].serial_ms, stats.serial_ms);
   EXPECT_EQ(stats.per_device[0].modeled_ms, stats.modeled_ms);
+  // A single-device engine now reports group makespan == its own.
+  EXPECT_EQ(stats.group_makespan_ms, stats.modeled_ms);
   for (const auto& r : results) {
     EXPECT_TRUE(r.ok());
-    EXPECT_EQ(r.device, -1);
+    EXPECT_EQ(r.device, 0);
   }
   EXPECT_EQ(engine.device_group().size(), 1u);
 }

@@ -1,0 +1,253 @@
+// Group-level scheduler: LPT placement determinism, per-device
+// accounting, bit-identity between kBalanced and kActiveOnly, makespan
+// speedup from spreading independent units over spares, and the
+// mid-batch re-plan drill when a scheduled member dies.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algorithms/query_engine.hpp"
+#include "algorithms/replicated_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+#include "simt/fault.hpp"
+
+namespace maxwarp {
+namespace {
+
+using algorithms::KernelOptions;
+using algorithms::Mapping;
+using algorithms::Query;
+using algorithms::QueryEngine;
+using algorithms::QueryEngineOptions;
+using algorithms::QueryPath;
+using algorithms::ResiliencePolicy;
+using algorithms::UnitPlacement;
+using graph::Csr;
+using simt::FaultPlan;
+
+Csr weighted(Csr g, std::uint32_t max_w = 20) {
+  graph::assign_hash_weights(g, max_w);
+  return g;
+}
+
+// A batch that splits into many independent units: small fused groups
+// plus SSSP singles when the graph is weighted.
+std::vector<Query> mixed_batch(const Csr& g, std::uint32_t bfs_n,
+                               std::uint32_t sssp_n) {
+  std::vector<Query> queries;
+  const std::uint32_t n = g.num_nodes();
+  for (std::uint32_t q = 0; q < bfs_n; ++q) {
+    queries.push_back(Query::bfs((q * 977u) % n));
+  }
+  for (std::uint32_t q = 0; q < sssp_n; ++q) {
+    queries.push_back(Query::sssp((q * 131u + 5) % n));
+  }
+  return queries;
+}
+
+QueryEngineOptions scheduler_opts(std::uint32_t group_size = 4) {
+  QueryEngineOptions opts;
+  opts.bfs_group_size = group_size;  // 32 BFS queries -> 8 fused units
+  return opts;
+}
+
+TEST(UnitCostTest, CostsScaleWithUnitShape) {
+  const Csr host = graph::rmat(1 << 9, 8u << 9, {}, {.seed = 3});
+  const auto degrees = graph::degree_stats(host);
+  const KernelOptions opts;
+  const simt::SimConfig cfg;
+
+  const double one = algorithms::estimate_unit_cost(degrees, 1, true,
+                                                    opts, cfg);
+  const double fused =
+      algorithms::estimate_unit_cost(degrees, 32, true, opts, cfg);
+  const double sssp =
+      algorithms::estimate_unit_cost(degrees, 1, false, opts, cfg);
+  EXPECT_GT(one, 0.0);
+  // A fused group costs more than one traversal but far less than 32.
+  EXPECT_GT(fused, one);
+  EXPECT_LT(fused, 32.0 * one);
+  // Bellman-Ford outweighs one BFS sweep.
+  EXPECT_GT(sssp, one);
+}
+
+TEST(SchedulerTest, LptPlanIsDeterministicAcrossReplays) {
+  const Csr host =
+      weighted(graph::rmat(1 << 9, 4u << 9, {}, {.seed = 17}));
+  const auto queries = mixed_batch(host, 32, 4);
+
+  std::vector<std::vector<UnitPlacement>> plans;
+  for (int replay = 0; replay < 10; ++replay) {
+    gpu::DeviceGroup group(3);
+    QueryEngine engine(group, host, scheduler_opts());
+    (void)engine.run(queries);
+    plans.push_back(engine.last_schedule());
+  }
+  ASSERT_FALSE(plans[0].empty());
+  for (std::size_t r = 1; r < plans.size(); ++r) {
+    ASSERT_EQ(plans[r].size(), plans[0].size()) << "replay " << r;
+    for (std::size_t i = 0; i < plans[0].size(); ++i) {
+      EXPECT_EQ(plans[r][i].unit, plans[0][i].unit);
+      EXPECT_EQ(plans[r][i].device, plans[0][i].device);
+      EXPECT_EQ(plans[r][i].estimated_cost, plans[0][i].estimated_cost);
+      EXPECT_EQ(plans[r][i].queries, plans[0][i].queries);
+      EXPECT_EQ(plans[r][i].replanned, plans[0][i].replanned);
+    }
+  }
+}
+
+TEST(SchedulerTest, BalancedSpreadsUnitsAndSumsAccounting) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 17});
+  const auto queries = mixed_batch(host, 32, 0);
+  gpu::DeviceGroup group(4);
+  QueryEngine engine(group, host, scheduler_opts());
+  const auto results = engine.run(queries);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+
+  const auto& stats = engine.last_batch_stats();
+  const auto& plan = engine.last_schedule();
+  ASSERT_EQ(plan.size(), 8u);  // 32 BFS / bfs_group_size 4
+
+  // Every unit placed exactly once, no re-plans on a clean run, and
+  // every member received work.
+  std::set<std::uint32_t> placed_units;
+  std::set<std::size_t> used_devices;
+  std::uint32_t placed_queries = 0;
+  for (const UnitPlacement& p : plan) {
+    EXPECT_FALSE(p.replanned);
+    EXPECT_GT(p.estimated_cost, 0.0);
+    placed_units.insert(p.unit);
+    used_devices.insert(p.device);
+    placed_queries += p.queries;
+  }
+  EXPECT_EQ(placed_units.size(), 8u);
+  EXPECT_EQ(used_devices.size(), 4u);
+  EXPECT_EQ(placed_queries, 32u);
+
+  // Per-device unit counts sum back to the unit total, and the group
+  // makespan is the slowest member, strictly under the serial-group sum.
+  ASSERT_EQ(stats.per_device.size(), 4u);
+  std::uint32_t units_run = 0;
+  double max_member = 0.0;
+  for (const auto& ds : stats.per_device) {
+    EXPECT_GT(ds.units, 0u);
+    units_run += ds.units;
+    max_member = std::max(max_member, ds.modeled_ms);
+  }
+  EXPECT_EQ(units_run, 8u);
+  EXPECT_EQ(stats.group_makespan_ms, max_member);
+  EXPECT_LT(stats.group_makespan_ms, stats.modeled_ms);
+  EXPECT_EQ(stats.migrations, 0u);
+}
+
+TEST(SchedulerTest, BalancedMatchesActiveOnlyBitIdentically) {
+  const Csr host =
+      weighted(graph::rmat(1 << 9, 4u << 9, {}, {.seed = 23}));
+  const auto queries = mixed_batch(host, 24, 4);
+
+  for (const Mapping mapping :
+       {Mapping::kThreadMapped, Mapping::kWarpCentric, Mapping::kAdaptive}) {
+    QueryEngineOptions opts = scheduler_opts();
+    opts.kernel.mapping = mapping;
+
+    gpu::DeviceGroup active_group(3);
+    QueryEngineOptions active_opts = opts;
+    active_opts.resilience.scheduling =
+        ResiliencePolicy::Scheduling::kActiveOnly;
+    QueryEngine active_engine(active_group, host, active_opts);
+    const auto serial = active_engine.run(queries);
+
+    gpu::DeviceGroup balanced_group(3);
+    QueryEngine balanced_engine(balanced_group, host, opts);
+    const auto spread = balanced_engine.run(queries);
+
+    ASSERT_EQ(serial.size(), spread.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(spread[i].ok());
+      EXPECT_EQ(serial[i].value, spread[i].value)
+          << "query " << i << " under " << to_string(mapping);
+    }
+    // kActiveOnly keeps everything on the primary; kBalanced finishes
+    // the same modeled work sooner on the group wall clock.
+    const auto& as = active_engine.last_batch_stats();
+    const auto& bs = balanced_engine.last_batch_stats();
+    EXPECT_EQ(as.per_device[1].units + as.per_device[2].units, 0u);
+    EXPECT_LT(bs.group_makespan_ms, as.group_makespan_ms)
+        << to_string(mapping);
+  }
+}
+
+TEST(SchedulerTest, ActiveOnlyStillLogsPlacements) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 29});
+  gpu::DeviceGroup group(2);
+  QueryEngineOptions opts = scheduler_opts();
+  opts.resilience.scheduling = ResiliencePolicy::Scheduling::kActiveOnly;
+  QueryEngine engine(group, host, opts);
+  (void)engine.run(mixed_batch(host, 16, 0));
+  const auto& plan = engine.last_schedule();
+  ASSERT_EQ(plan.size(), 4u);
+  for (std::size_t u = 0; u < plan.size(); ++u) {
+    EXPECT_EQ(plan[u].unit, u);     // input order
+    EXPECT_EQ(plan[u].device, 0u);  // all on the active primary
+  }
+}
+
+// The drill: a scheduled member dies mid-batch. Its in-flight fused unit
+// must checkpoint-resume on a survivor, its queued remainder must be
+// re-planned across the survivors, and the answers must stay
+// bit-identical to a clean single-device run.
+TEST(SchedulerTest, DeadMemberRePlansItsQueueAcrossSurvivors) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 31});
+  const auto queries = mixed_batch(host, 32, 0);
+
+  gpu::Device clean_dev;
+  algorithms::GpuGraph clean_graph(clean_dev, host);
+  QueryEngine clean_engine(clean_graph, scheduler_opts());
+  const auto clean = clean_engine.run(queries);
+
+  gpu::DeviceGroup group(3);
+  // Let a couple of fused iterations land on device 1, then kill it for
+  // good; devices 0 and 2 stay healthy.
+  group.arm(1, FaultPlan::parse("ecc-fatal:nth=3+:max=0"));
+  QueryEngine engine(group, host, scheduler_opts());
+  const auto served = engine.run(queries);
+
+  ASSERT_EQ(served.size(), clean.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_TRUE(served[i].ok());
+    EXPECT_NE(served[i].path, QueryPath::kCpuHost);
+    EXPECT_NE(served[i].device, 1) << "query " << i << " on the dead member";
+    EXPECT_EQ(served[i].value, clean[i].value) << "query " << i;
+  }
+
+  const auto& stats = engine.last_batch_stats();
+  EXPECT_GE(stats.migrations, 1u);
+  EXPECT_GE(stats.migrated_units, 1u);
+  EXPECT_GE(stats.checkpoint_resumes, 1u);
+  EXPECT_EQ(stats.fallback_queries, 0u);
+
+  // The dead member's queued remainder reappears as re-planned
+  // placements on the survivors.
+  std::uint32_t replanned = 0;
+  for (const UnitPlacement& p : engine.last_schedule()) {
+    if (p.replanned) {
+      ++replanned;
+      EXPECT_NE(p.device, 1u);
+    }
+  }
+  EXPECT_GE(replanned, 1u);
+
+  // The cursor never moved (device 1 was a spare), and the group logged
+  // the death.
+  EXPECT_EQ(engine.device_group().active_index(), 0u);
+  EXPECT_FALSE(engine.device_group().healthy(1));
+  ASSERT_GE(engine.device_group().failover_log().size(), 1u);
+  EXPECT_EQ(engine.device_group().failover_log()[0].from, 1);
+}
+
+}  // namespace
+}  // namespace maxwarp
