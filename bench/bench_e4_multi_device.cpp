@@ -19,12 +19,21 @@
 // and 4 healthy devices (ResiliencePolicy::Scheduling::kBalanced), and
 // the group makespan must drop near-linearly — >= 1.7x on 2 devices,
 // >= 3x on 4 — while answers stay bit-identical to the serial plan.
+//
+// The steal sweep prices runtime work stealing on the static planner's
+// worst case: a chain+star graph where deep and shallow BFS queries get
+// identical up-front cost estimates, so stable LPT piles every deep
+// unit onto device 0 of a 4-device group. kBalancedStealing must beat
+// the static plan >= 1.1x on group makespan, and an unarmed
+// single-device engine under the stealing policy must stay exactly on
+// the default engine's modeled time (0% overhead — same code path).
 #include "bench_common.hpp"
 
 #include <vector>
 
 #include "algorithms/query_engine.hpp"
 #include "gpu/device_group.hpp"
+#include "graph/builder.hpp"
 #include "simt/fault.hpp"
 
 namespace {
@@ -122,6 +131,79 @@ ScalingNumbers scaling_sweep() {
   return out;
 }
 
+// Chain (deep BFS) glued to a star (shallow BFS): the adversarial shape
+// for a cost model that cannot see frontier evolution. Sized off
+// benchx::scale() so MAXWARP_SCALE sweeps the skew depth too.
+graph::Csr skew_graph() {
+  const auto chain_n = static_cast<std::uint32_t>(512 * benchx::scale());
+  const std::uint32_t star_leaves = chain_n / 4 + 3;
+  graph::EdgeList edges;
+  for (std::uint32_t v = 0; v + 1 < chain_n; ++v) {
+    edges.push_back({v, v + 1});
+  }
+  const std::uint32_t center = chain_n;
+  for (std::uint32_t leaf = 1; leaf <= star_leaves; ++leaf) {
+    edges.push_back({center, center + leaf});
+  }
+  return graph::build_csr(chain_n + star_leaves + 1, std::move(edges),
+                          {.symmetrize = true});
+}
+
+// 16 single-query units, one in four rooted deep in the chain. Equal
+// estimates make stable LPT round-robin them: all four deep units land
+// on device 0 of a 4-device group.
+std::vector<Query> skewed_batch(const graph::Csr& g) {
+  const auto chain_n = static_cast<std::uint32_t>(512 * benchx::scale());
+  std::vector<Query> queries;
+  for (std::uint32_t q = 0; q < 16; ++q) {
+    queries.push_back(q % 4 == 0 ? Query::bfs(q / 4)
+                                 : Query::bfs((chain_n + q) % g.num_nodes()));
+  }
+  return queries;
+}
+
+struct StealNumbers {
+  double static_ms = 0.0;    ///< kBalanced group makespan on the skew batch
+  double stealing_ms = 0.0;  ///< kBalancedStealing group makespan, same batch
+  double speedup = 0.0;
+  double steals = 0.0;
+  double single_default_ms = 0.0;  ///< one device, default policy
+  double single_steal_ms = 0.0;    ///< one device, stealing policy
+  double single_overhead_ratio = 0.0;
+};
+
+StealNumbers steal_sweep() {
+  using Scheduling = algorithms::ResiliencePolicy::Scheduling;
+  const graph::Csr host = skew_graph();
+  const auto batch = skewed_batch(host);
+  const auto run = [&](std::size_t devices, Scheduling mode) {
+    gpu::DeviceGroup group(devices);
+    algorithms::QueryEngineOptions opts;
+    opts.fuse_bfs = false;  // one query = one unit
+    opts.num_streams = 1;   // serial per-device timelines
+    opts.resilience.scheduling = mode;
+    QueryEngine engine(group, host, opts);
+    (void)engine.run(batch);
+    return engine.last_batch_stats();
+  };
+  StealNumbers out;
+  out.static_ms = run(4, Scheduling::kBalanced).group_makespan_ms;
+  const auto stealing = run(4, Scheduling::kBalancedStealing);
+  out.stealing_ms = stealing.group_makespan_ms;
+  out.steals = stealing.steals;
+  out.speedup =
+      out.stealing_ms > 0 ? out.static_ms / out.stealing_ms : 0.0;
+  // On one device both policies collapse to the identical legacy drain:
+  // the ratio must be exactly 1.0, not merely close.
+  out.single_default_ms = run(1, Scheduling::kBalanced).group_makespan_ms;
+  out.single_steal_ms =
+      run(1, Scheduling::kBalancedStealing).group_makespan_ms;
+  out.single_overhead_ratio = out.single_default_ms > 0
+                                  ? out.single_steal_ms / out.single_default_ms
+                                  : 1.0;
+  return out;
+}
+
 void print_table() {
   benchx::print_banner(
       "E4: multi-device failover serving",
@@ -182,6 +264,29 @@ void print_table() {
       "(got %.2fx), >= 3x on 4 (got %.2fx) -> %s\n",
       scaling.speedup_x2, scaling.speedup_x4,
       scale_pass ? "PASS" : "FAIL");
+
+  const StealNumbers steal = steal_sweep();
+  util::Table steal_table({"schedule", "group makespan ms", "steals"});
+  steal_table.row().cell("static LPT").cell(steal.static_ms, 3).cell(0.0, 0);
+  steal_table.row()
+      .cell("work stealing")
+      .cell(steal.stealing_ms, 3)
+      .cell(steal.steals, 0);
+  std::printf(
+      "\nskewed 16-query batch, 4 devices (chain+star, equal estimates):\n");
+  steal_table.print();
+
+  const bool steal_pass = steal.speedup >= 1.1;
+  std::printf(
+      "acceptance: work stealing beats the static plan >= 1.1x on group "
+      "makespan (got %.2fx) -> %s\n",
+      steal.speedup, steal_pass ? "PASS" : "FAIL");
+  const double single_overhead = steal.single_overhead_ratio - 1.0;
+  const bool single_pass = single_overhead == 0.0;
+  std::printf(
+      "acceptance: single-device engine under the stealing policy pays "
+      "0%% overhead (got %+.3f%%) -> %s\n",
+      single_overhead * 100.0, single_pass ? "PASS" : "FAIL");
 }
 
 void BM_MultiDevice(benchmark::State& state) {
@@ -225,6 +330,24 @@ void BM_MultiDeviceScaling(benchmark::State& state) {
   state.counters["scaling_x4"] = scaling.speedup_x4;
 }
 
+// Work-stealing sweep on the LPT-adversarial skew batch. steal_speedup
+// is guarded one-sided (higher-is-better); the single-device ratio
+// hovers at exactly 1.0 so the relative band catches any added cost on
+// the degenerate path.
+void BM_MultiDeviceStealing(benchmark::State& state) {
+  StealNumbers steal;
+  for (auto _ : state) {
+    steal = steal_sweep();
+    const double sink = steal.speedup;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["skew_static_ms"] = steal.static_ms;
+  state.counters["skew_stealing_ms"] = steal.stealing_ms;
+  state.counters["steal_speedup"] = steal.speedup;
+  state.counters["steals"] = steal.steals;
+  state.counters["steal_single_overhead_ratio"] = steal.single_overhead_ratio;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -233,6 +356,9 @@ int main(int argc, char** argv) {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("multi_device/scaling32",
                                BM_MultiDeviceScaling)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("multi_device/stealing16",
+                               BM_MultiDeviceStealing)
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   maxwarp::benchx::embed_build_info();

@@ -44,8 +44,49 @@ std::string to_string(ResiliencePolicy::Scheduling scheduling) {
       return "active-only";
     case ResiliencePolicy::Scheduling::kBalanced:
       return "balanced";
+    case ResiliencePolicy::Scheduling::kBalancedStealing:
+      return "balanced-stealing";
   }
   return "unknown";
+}
+
+CostModelCalibration::CostModelCalibration(double alpha) : alpha_(alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument(
+        "CostModelCalibration: alpha must be in (0, 1], got " +
+        std::to_string(alpha));
+  }
+}
+
+void CostModelCalibration::observe(const CostModelKey& key,
+                                   double raw_estimate, double observed_ms) {
+  if (!(raw_estimate > 0.0) || !(observed_ms > 0.0)) return;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const CostModelEntry& e, const CostModelKey& k) { return e.key < k; });
+  const double ratio = observed_ms / raw_estimate;
+  if (it == entries_.end() || !(it->key == key)) {
+    CostModelEntry entry;
+    entry.key = key;
+    entry.correction = ratio;  // first sample seeds exactly
+    entry.samples = 1;
+    entry.last_observed_ms = observed_ms;
+    entry.last_raw_estimate = raw_estimate;
+    entries_.insert(it, entry);
+    return;
+  }
+  it->correction = (1.0 - alpha_) * it->correction + alpha_ * ratio;
+  it->samples += 1;
+  it->last_observed_ms = observed_ms;
+  it->last_raw_estimate = raw_estimate;
+}
+
+double CostModelCalibration::correction(const CostModelKey& key) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const CostModelEntry& e, const CostModelKey& k) { return e.key < k; });
+  if (it == entries_.end() || !(it->key == key)) return 1.0;
+  return it->correction;
 }
 
 void validate_kernel_options(const KernelOptions& opts, const char* where) {
@@ -91,6 +132,12 @@ void validate_kernel_options(const KernelOptions& opts, const char* where) {
   }
   if (!(policy.default_deadline_ms >= 0.0)) {
     fail("resilience.policy.default_deadline_ms must be non-negative");
+  }
+  if (!(policy.steal_threshold >= 0.0)) {
+    fail("resilience.policy.steal_threshold must be non-negative");
+  }
+  if (!(policy.cost_ewma_alpha > 0.0) || policy.cost_ewma_alpha > 1.0) {
+    fail("resilience.policy.cost_ewma_alpha must be in (0, 1]");
   }
   if (!(opts.resilience.watchdog_ms >= 0.0)) {
     fail("resilience.watchdog_ms must be non-negative");

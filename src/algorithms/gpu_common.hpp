@@ -2,7 +2,10 @@
 // selection, and the per-run statistics every algorithm reports.
 #pragma once
 
+#include <algorithm>
+#include <compare>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,6 +66,16 @@ struct ResiliencePolicy {
     /// modeled makespan changes. On a one-device group the placement
     /// degenerates to kActiveOnly exactly.
     kBalanced,
+    /// kBalanced placement plus runtime work stealing: instead of
+    /// draining only its static queue and idling, a member whose
+    /// modeled timeline runs dry steals the costliest still-unstarted
+    /// unit from the most-loaded victim (ties break on device ordinal,
+    /// then unit id, so replays are bit-identical), absorbing cost-model
+    /// estimate error at runtime. A dead member's queued units are
+    /// drained by the same steal loop instead of a one-shot re-plan.
+    /// Results stay bit-identical to the other modes; on a one-device
+    /// group this degenerates to kActiveOnly exactly, like kBalanced.
+    kBalancedStealing,
   };
 
   /// Re-attempts after a transient failure, on top of the first try.
@@ -83,6 +96,18 @@ struct ResiliencePolicy {
   bool cpu_fallback = true;
   /// Work-unit placement over a device group (see Scheduling above).
   Scheduling scheduling = Scheduling::kBalanced;
+  /// kBalancedStealing only: a unit is stolen from a *healthy* victim
+  /// only when its (calibrated) estimated cost exceeds this threshold —
+  /// the knob that keeps thieves from churning replica leases over
+  /// near-free units. Dead members' queues are always drained
+  /// regardless (that is failover, not opportunism). 0 steals anything.
+  /// Same units as UnitPlacement::estimated_cost.
+  double steal_threshold = 0.0;
+  /// EWMA smoothing factor in (0, 1] for the feedback-calibrated cost
+  /// model (CostModelCalibration): each completed unit folds
+  /// observed/estimated back into its shape's correction factor with
+  /// weight alpha. 1 keeps only the latest observation.
+  double cost_ewma_alpha = 0.3;
 
   bool operator==(const ResiliencePolicy&) const = default;
 };
@@ -218,6 +243,75 @@ AdaptivePlan tune_adaptive_plan(const graph::Csr& graph,
                                 const simt::SimConfig& cfg,
                                 const KernelOptions& opts);
 
+// -- feedback-calibrated cost model -----------------------------------------
+
+/// Shape key of one scheduler cost-model observation: the work-unit kind
+/// (BFS vs SSSP), the log2 bucket of its fused-group width (1 for
+/// singles, up to 6 for a full 32-query group), and the log2 bucket of
+/// the graph's mean degree — so corrections learned over one graph shape
+/// never contaminate another's when an engine (or a future shard router)
+/// sees mixed traffic.
+struct CostModelKey {
+  bool bfs = true;
+  std::uint32_t width_bucket = 1;   ///< std::bit_width(fused query count)
+  std::uint32_t degree_bucket = 0;  ///< std::bit_width(round(mean degree))
+  auto operator<=>(const CostModelKey&) const = default;
+};
+
+/// One correction-table row (QueryEngine::cost_model_report()).
+struct CostModelEntry {
+  CostModelKey key;
+  /// EWMA of observed_ms / raw_estimate for this shape. Multiplying a
+  /// raw estimate by it yields a modeled-ms prediction sharpened by
+  /// every unit of this shape that has completed.
+  double correction = 1.0;
+  std::uint64_t samples = 0;
+  double last_observed_ms = 0.0;
+  double last_raw_estimate = 0.0;
+};
+
+/// The cost model's feedback loop: estimate_unit_cost prices a BFS sweep
+/// from the degree histogram but cannot see frontier evolution, so a
+/// high-diameter unit and a low-diameter one cost the same a priori.
+/// This table learns the gap away: after a unit completes, observe()
+/// folds its observed modeled time over its raw estimate into a
+/// per-shape EWMA correction, and calibrated() applies that correction
+/// to later estimates of the same shape. Deterministic by construction —
+/// the state is a pure function of the observation sequence, and the
+/// simulator's observed times are replay-stable — so calibrated plans
+/// replay bit-identically. Entries are kept key-sorted for stable
+/// reporting.
+class CostModelCalibration {
+ public:
+  /// `alpha` is the EWMA weight of each new observation, in (0, 1].
+  explicit CostModelCalibration(double alpha = 0.3);
+
+  /// Folds one completed unit into its shape's correction. The first
+  /// sample seeds the correction at exactly observed/raw; later samples
+  /// blend in with weight alpha. Non-positive estimates or observations
+  /// are ignored (nothing useful to learn from a free unit).
+  void observe(const CostModelKey& key, double raw_estimate,
+               double observed_ms);
+
+  /// The shape's current correction factor; 1.0 when unseen.
+  double correction(const CostModelKey& key) const;
+
+  /// raw_estimate sharpened by the shape's correction: raw model units
+  /// on a cold table, approximately modeled ms once samples exist.
+  double calibrated(const CostModelKey& key, double raw_estimate) const {
+    return raw_estimate * correction(key);
+  }
+
+  /// All rows, key-sorted. Empty on a cold table.
+  const std::vector<CostModelEntry>& entries() const { return entries_; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<CostModelEntry> entries_;  ///< key-sorted
+};
+
 /// What the recovery machinery did during one run (zeros on the
 /// fault-free path).
 struct RecoveryStats {
@@ -275,30 +369,27 @@ class GpuCsr {
     if (!host.weights.empty()) weights_.upload(host.weights);
   }
 
-  /// Partial-recovery fast path: re-uploads only the CSR array whose
-  /// device allocation starts at `vaddr` — the ECC victim's containing
-  /// allocation (gpu::Device::resolve_ecc_offset) — charging that one
-  /// array's H2D transfer instead of the full reupload(). Returns false
-  /// (uploading nothing) when no CSR array lives at `vaddr`: the victim
-  /// was someone else's buffer.
-  bool reupload_containing(std::uint64_t vaddr, const graph::Csr& host) {
+  /// Page size of the partial ECC-recovery fast path: an uncorrectable
+  /// flip dirties one byte, so re-uploading the containing 64 KiB page
+  /// of the victim allocation restores it — a multi-MB adjacency array
+  /// no longer pays its full H2D transfer for one flipped bit.
+  static constexpr std::uint64_t kEccPageBytes = 64 * 1024;
+
+  /// Partial-recovery fast path: when the resolved ECC victim
+  /// (gpu::Device::resolve_ecc_offset) lies inside one of the CSR
+  /// arrays, re-uploads only the containing kEccPageBytes page slice of
+  /// that array (clamped to the allocation), charging the slice's H2D
+  /// transfer instead of the whole array's. Returns false (uploading
+  /// nothing) when no CSR array lives at victim.vaddr: the victim was
+  /// someone else's buffer.
+  bool reupload_page(const gpu::EccVictim& victim, const graph::Csr& host) {
     if (host.row.size() != row_.size() || host.adj.size() != adj_.size() ||
         host.weights.size() != weights_.size()) {
-      throw std::invalid_argument("GpuCsr::reupload_containing: shape mismatch");
+      throw std::invalid_argument("GpuCsr::reupload_page: shape mismatch");
     }
-    if (row_.size() > 0 && vaddr == row_.cptr().vaddr) {
-      row_.upload(host.row);
-      return true;
-    }
-    if (adj_.size() > 0 && vaddr == adj_.cptr().vaddr) {
-      adj_.upload(host.adj);
-      return true;
-    }
-    if (weights_.size() > 0 && vaddr == weights_.cptr().vaddr) {
-      weights_.upload(host.weights);
-      return true;
-    }
-    return false;
+    return page_slice(row_, host.row, victim) ||
+           page_slice(adj_, host.adj, victim) ||
+           page_slice(weights_, host.weights, victim);
   }
 
   simt::DevPtr<const std::uint32_t> row() const { return row_.cptr(); }
@@ -308,6 +399,24 @@ class GpuCsr {
   }
 
  private:
+  /// Re-uploads the kEccPageBytes page of `buf` containing the victim
+  /// byte when the victim's allocation is `buf`; no-op (false) otherwise.
+  static bool page_slice(gpu::DeviceBuffer<std::uint32_t>& buf,
+                         const std::vector<std::uint32_t>& host,
+                         const gpu::EccVictim& victim) {
+    if (buf.size() == 0 || victim.vaddr != buf.cptr().vaddr) return false;
+    const std::uint64_t begin =
+        (victim.offset_in_alloc / kEccPageBytes) * kEccPageBytes;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + kEccPageBytes, buf.size_bytes());
+    const auto first = static_cast<std::size_t>(begin / sizeof(std::uint32_t));
+    const auto count =
+        static_cast<std::size_t>((end - begin) / sizeof(std::uint32_t));
+    buf.upload_range(first, std::span<const std::uint32_t>(host)
+                                .subspan(first, count));
+    return true;
+  }
+
   std::uint32_t n_;
   std::uint64_t m_;
   gpu::DeviceBuffer<std::uint32_t> row_;

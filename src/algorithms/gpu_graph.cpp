@@ -72,9 +72,11 @@ void GpuGraph::refresh_device_data(const simt::FaultEvent& event) const {
     refresh_device_data();
     return;
   }
-  if (csr_.reupload_containing(victim->vaddr, *host_)) return;
-  if (reverse_csr_ &&
-      reverse_csr_->reupload_containing(victim->vaddr, *reverse_host_)) {
+  // A CSR victim re-uploads only the containing 64 KiB page slice of its
+  // array (GpuCsr::kEccPageBytes) — one flipped bit in a multi-MB
+  // adjacency no longer pays the whole array's modeled transfer.
+  if (csr_.reupload_page(*victim, *host_)) return;
+  if (reverse_csr_ && reverse_csr_->reupload_page(*victim, *reverse_host_)) {
     return;
   }
   for (std::size_t slot = 0; slot < 2; ++slot) {

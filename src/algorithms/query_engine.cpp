@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -411,6 +412,7 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
   graphs_ = owned_graphs_.get();
   policy_ = opts_.resilience;
   validate_options();
+  calibration_ = CostModelCalibration(policy_.cost_ewma_alpha);
 }
 
 QueryEngine::QueryEngine(ReplicatedGraph& graphs,
@@ -418,6 +420,7 @@ QueryEngine::QueryEngine(ReplicatedGraph& graphs,
     : graphs_(&graphs), opts_(opts) {
   policy_ = opts_.resilience;
   validate_options();
+  calibration_ = CostModelCalibration(policy_.cost_ewma_alpha);
 }
 
 QueryEngine::QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
@@ -429,6 +432,7 @@ QueryEngine::QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
   graphs_ = owned_graphs_.get();
   policy_ = opts_.resilience;
   validate_options();
+  calibration_ = CostModelCalibration(policy_.cost_ewma_alpha);
 }
 
 void QueryEngine::validate_options() const {
@@ -442,6 +446,13 @@ void QueryEngine::validate_options() const {
   if (policy_.retry_backoff_ms < 0 || policy_.default_deadline_ms < 0) {
     throw std::invalid_argument(
         "QueryEngine: retry_backoff_ms/default_deadline_ms must be >= 0");
+  }
+  if (policy_.steal_threshold < 0) {
+    throw std::invalid_argument("QueryEngine: steal_threshold must be >= 0");
+  }
+  if (!(policy_.cost_ewma_alpha > 0.0) || policy_.cost_ewma_alpha > 1.0) {
+    throw std::invalid_argument(
+        "QueryEngine: cost_ewma_alpha must be in (0, 1]");
   }
   validate_kernel_options(opts_.kernel, "QueryEngine");
   if (opts_.verify) {
@@ -567,14 +578,25 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   // member; on a one-device group it degenerates to kActiveOnly exactly
   // (input order, identical stream slots, no cost estimation), so the
   // single-device engines — and every pre-group baseline — stay bit-
-  // and cost-identical across the two modes.
-  const bool balanced =
-      policy_.scheduling == ResiliencePolicy::Scheduling::kBalanced &&
+  // and cost-identical across the modes. kBalancedStealing starts from
+  // the identical LPT plan and differs only in how the queues drain.
+  const bool stealing =
+      policy_.scheduling ==
+          ResiliencePolicy::Scheduling::kBalancedStealing &&
       group.size() > 1;
+  const bool balanced =
+      stealing ||
+      (policy_.scheduling == ResiliencePolicy::Scheduling::kBalanced &&
+       group.size() > 1);
 
-  // Per-device unit queues and modeled-load tallies (kBalanced only;
-  // kActiveOnly walks the units in input order on the active device).
+  // Per-device unit queues and modeled-load tallies (balanced modes
+  // only; kActiveOnly walks the units in input order on the active
+  // device). `raw_cost` keeps the uncalibrated analytic estimate so the
+  // feedback table learns the model's error, not its own corrections;
+  // `cost` is what the planner (and the steal loop) actually compares.
   std::vector<double> cost(units.size(), 0.0);
+  std::vector<double> raw_cost(units.size(), 0.0);
+  std::vector<CostModelKey> shape(units.size());
   std::vector<std::vector<std::uint32_t>> queue(group.size());
   std::vector<double> load(group.size(), 0.0);
   schedule_.clear();
@@ -601,18 +623,32 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     // Cost every unit from the host CSR alone (plus the cached adaptive
     // calibration when the batch dispatches adaptively): estimates never
     // read evolving device state, so replaying the batch reproduces the
-    // identical plan.
+    // identical plan. The feedback table then scales each raw estimate
+    // by its shape's learned correction — a cold table multiplies by
+    // exactly 1.0, so an engine's first batch plans identically to an
+    // uncalibrated one, and identical batch sequences replay
+    // identically.
     const graph::DegreeStats degrees = graph::degree_stats(graphs_->host());
     const GpuGraph& model_replica = graphs_->replica(group.active_index());
     const AdaptiveState* adaptive =
         opts_.kernel.mapping == Mapping::kAdaptive
             ? &model_replica.adaptive_state(opts_.kernel)
             : nullptr;
+    const auto degree_bucket = static_cast<std::uint32_t>(std::bit_width(
+        static_cast<std::uint64_t>(std::llround(std::max(0.0,
+                                                         degrees.mean)))));
     for (std::size_t u = 0; u < units.size(); ++u) {
-      cost[u] = estimate_unit_cost(
+      raw_cost[u] = estimate_unit_cost(
           degrees, static_cast<std::uint32_t>(units[u].idx.size()),
           units[u].bfs, opts_.kernel, model_replica.device().config(),
           adaptive);
+      shape[u] = CostModelKey{
+          units[u].bfs,
+          static_cast<std::uint32_t>(
+              std::bit_width(static_cast<std::uint32_t>(
+                  units[u].idx.size()))),
+          degree_bucket};
+      cost[u] = calibration_.calibrated(shape[u], raw_cost[u]);
     }
     // LPT: place cost-descending (stable sort — equal costs keep input
     // order) onto the least-loaded healthy member.
@@ -656,6 +692,12 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
                             std::size_t stream_slot) {
     const Unit& unit = units[uidx];
     std::size_t dev = start_dev;
+    // Fault-accounting watermarks: a unit whose run moved any of these
+    // counters did not execute under the cost model's assumptions, so
+    // its observed time must not feed the calibration below.
+    const std::uint32_t retries_before = stats_.retries;
+    const std::uint32_t migrations_before = stats_.migrations;
+    const std::uint32_t isolated_before = stats_.isolated_groups;
 
     // The unit budget is the tightest member deadline; it doubles as a
     // per-kernel watchdog so a modeled hang is charged the deadline, not
@@ -886,6 +928,32 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
         r.degraded = true;
       }
     }
+
+    // Close the loop: the unit's latest placement row learns where the
+    // work actually ran and what it actually cost, so last_schedule()
+    // exposes per-unit estimate error directly. A *clean* balanced-mode
+    // completion — no retries, no migration, no isolation, answered on
+    // the GPU — additionally folds observed/raw-estimate into the unit
+    // shape's EWMA correction: the next batch plans with sharpened
+    // estimates. Faulted runs are excluded because their time describes
+    // the fault plan (backoff, re-execution), not the shape.
+    const QueryResult& lead = results[unit.idx[0]];
+    for (auto it = schedule_.rbegin(); it != schedule_.rend(); ++it) {
+      if (it->unit == uidx) {
+        it->executed_on = lead.device;
+        it->observed_cost_ms = unit_ms;
+        break;
+      }
+    }
+    const bool clean =
+        stats_.retries == retries_before &&
+        stats_.migrations == migrations_before &&
+        stats_.isolated_groups == isolated_before && lead.ok() &&
+        (lead.path == QueryPath::kFusedGpu ||
+         lead.path == QueryPath::kSingleGpu);
+    if (balanced && clean && raw_cost[uidx] > 0.0) {
+      calibration_.observe(shape[uidx], raw_cost[uidx], unit_ms);
+    }
   };
 
   if (!balanced) {
@@ -900,7 +968,7 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
           /*replanned=*/false});
       run_unit(u, d, u);
     }
-  } else {
+  } else if (!stealing) {
     // Drain the per-device queues. Host-side issue is serial, but each
     // device's modeled timeline runs only its own queue, round-robined
     // over its own streams — the concurrency group_makespan_ms measures.
@@ -940,6 +1008,114 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
           run_unit(uidx, d, issued[d]++);
         }
       }
+    }
+  } else {
+    // Work-stealing drain (kBalancedStealing): the static LPT queues
+    // above become per-device deques. Each pass, the healthy member
+    // whose modeled timeline has advanced least acts next: with its own
+    // queue non-empty it runs its queue head (so per-device unit order —
+    // and therefore per-device cost — is identical to kBalanced until
+    // the first steal); dry, it steals the costliest still-unstarted
+    // unit from the most-loaded victim. Every choice breaks ties on
+    // device ordinal, then unit id, and reads only deterministic modeled
+    // state, so replaying a batch reproduces the identical steal trace.
+    // A dead member is never a thief but stays a victim: its orphaned
+    // queue drains through the same steal loop — threshold waived, that
+    // is failover, not opportunism — instead of a one-shot re-plan.
+    std::vector<std::size_t> cursor(group.size(), 0);
+    std::vector<std::size_t> issued(group.size(), 0);
+    std::vector<double> makespan_base(group.size(), 0.0);
+    for (std::size_t d = 0; d < group.size(); ++d) {
+      makespan_base[d] = base[d].makespan_ms;
+    }
+    const auto busy = [&](std::size_t d) {
+      return group.modeled_makespan_ms(d) - makespan_base[d];
+    };
+    const auto unstarted = [&](std::size_t d) {
+      return cursor[d] < queue[d].size();
+    };
+    // Position of the costliest stealable unit in queue[d] (lowest unit
+    // id on cost ties), or queue[d].size() when nothing qualifies: a
+    // healthy victim only yields units whose calibrated estimate clears
+    // the steal threshold; a dead one yields everything.
+    const auto best_prey = [&](std::size_t d) {
+      std::size_t best = queue[d].size();
+      for (std::size_t p = cursor[d]; p < queue[d].size(); ++p) {
+        const std::uint32_t u = queue[d][p];
+        if (group.healthy(d) && !(cost[u] > policy_.steal_threshold)) {
+          continue;
+        }
+        if (best == queue[d].size() || cost[u] > cost[queue[d][best]] ||
+            (cost[u] == cost[queue[d][best]] && u < queue[d][best])) {
+          best = p;
+        }
+      }
+      return best;
+    };
+    // Most-loaded robbable victim by remaining *estimated* load (the
+    // thief must commit before the victim's future is known — estimates
+    // are all it has); ties resolve to the lowest ordinal.
+    const auto pick_victim = [&](std::size_t thief) {
+      std::size_t victim = group.size();
+      double victim_load = 0.0;
+      for (std::size_t d = 0; d < group.size(); ++d) {
+        if (d == thief || best_prey(d) == queue[d].size()) continue;
+        double rem = 0.0;
+        for (std::size_t p = cursor[d]; p < queue[d].size(); ++p) {
+          rem += cost[queue[d][p]];
+        }
+        if (victim == group.size() || rem > victim_load) {
+          victim = d;
+          victim_load = rem;
+        }
+      }
+      return victim;
+    };
+    const auto pending = [&] {
+      for (std::size_t d = 0; d < group.size(); ++d) {
+        if (unstarted(d)) return true;
+      }
+      return false;
+    };
+    while (pending()) {
+      // fail_device never kills the last healthy member, so a thief
+      // always exists; and any pending queue is either a healthy
+      // member's own work or a robbable dead member's, so every pass
+      // completes exactly one unit — the loop cannot stall.
+      std::size_t thief = group.least_busy_member(makespan_base);
+      if (!unstarted(thief)) {
+        const std::size_t victim = pick_victim(thief);
+        if (victim == group.size()) {
+          // Nothing robbable (the threshold shields every healthy
+          // victim): the least-busy member still holding its *own* work
+          // proceeds instead. Ascending scan, strict <, deterministic.
+          for (std::size_t d = 0; d < group.size(); ++d) {
+            if (!group.healthy(d) || !unstarted(d)) continue;
+            if (thief == group.size() || !unstarted(thief) ||
+                busy(d) < busy(thief)) {
+              thief = d;
+            }
+          }
+        } else {
+          const std::size_t p = best_prey(victim);
+          const std::uint32_t uidx = queue[victim][p];
+          queue[victim].erase(queue[victim].begin() +
+                              static_cast<std::ptrdiff_t>(p));
+          load[victim] -= cost[uidx];
+          load[thief] += cost[uidx];
+          ++stats_.steals;
+          stats_.stolen_cost_ms += cost[uidx];
+          stats_.steal_idle_absorbed_ms +=
+              std::max(0.0, busy(victim) - busy(thief));
+          schedule_.push_back(UnitPlacement{
+              uidx, thief, cost[uidx],
+              static_cast<std::uint32_t>(units[uidx].idx.size()),
+              /*replanned=*/!group.healthy(victim), /*stolen=*/true});
+          queue[thief].push_back(uidx);  // cursor sits exactly on it
+        }
+      }
+      const std::uint32_t uidx = queue[thief][cursor[thief]++];
+      run_unit(uidx, thief, issued[thief]++);
     }
   }
 

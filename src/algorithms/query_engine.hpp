@@ -31,6 +31,18 @@
 // failover contract below. kActiveOnly restores legacy one-device
 // serving bit- and cost-identically.
 //
+// kBalancedStealing makes that plan self-correcting at two timescales.
+// At batch scale the static queues become per-device deques drained by a
+// work-stealing loop: whenever a member's modeled timeline runs dry it
+// steals the costliest still-unstarted unit from the most-loaded victim
+// (ties broken by device ordinal, then unit id, so replays are
+// bit-identical), and a dead member's queue drains through the same loop
+// instead of a one-shot re-plan. Across batches a feedback-calibrated
+// cost model (cost_model_report()) folds each completed unit's observed
+// modeled time back into a per-shape EWMA correction table, so LPT's
+// estimates learn the frontier-evolution costs the static model cannot
+// see.
+//
 // Because the simulator executes eagerly in issue order, results are
 // bit-identical to running every query alone — levels are BFS distances,
 // which no execution order can change. Tests exploit this: fused output ==
@@ -229,6 +241,16 @@ struct BatchStats {
   /// Migrated fused units that resumed from their iteration-barrier
   /// checkpoint instead of restarting from the sources.
   std::uint32_t checkpoint_resumes = 0;
+  /// Units the kBalancedStealing drain loop moved off their planned
+  /// device before they started (zero under every other mode).
+  std::uint32_t steals = 0;
+  /// Sum of the estimated costs of stolen units (scheduler cost units)
+  /// — how much planned load the thieves lifted off their victims.
+  double stolen_cost_ms = 0.0;
+  /// Modeled milliseconds of would-be idle time the steal loop filled:
+  /// for each steal, how far the thief's timeline trailed the victim's
+  /// at the moment of the steal.
+  double steal_idle_absorbed_ms = 0.0;
   /// Per-device share of the batch, index-aligned with the group's
   /// devices (one entry even for devices that stayed idle). The
   /// single-device constructors leave one entry with device = 0, so
@@ -254,6 +276,17 @@ struct UnitPlacement {
   double estimated_cost = 0.0;   ///< scheduler cost units (not ms)
   std::uint32_t queries = 0;     ///< queries the unit carries
   bool replanned = false;        ///< placed again after a device death
+  /// True when the steal loop moved this unit off its planned device
+  /// before it started (kBalancedStealing only).
+  bool stolen = false;
+  /// Group ordinal of the device that actually completed the unit, or -1
+  /// while it never ran. Differs from `device` after a steal or failover
+  /// migration — the gap is the estimate error the placement carried.
+  int executed_on = -1;
+  /// Modeled milliseconds the completed unit actually consumed, next to
+  /// `estimated_cost` so last_schedule() exposes per-unit estimate error
+  /// directly. 0 while the unit never ran.
+  double observed_cost_ms = 0.0;
 };
 
 /// The group scheduler's cost model: a deterministic modeled cost
@@ -331,6 +364,17 @@ class QueryEngine {
     return hazard_;
   }
 
+  /// The feedback-calibrated cost model's correction table, key-sorted:
+  /// one entry per work-unit shape (algorithm × fused-width bucket ×
+  /// degree bucket) the engine has observed, with the EWMA-smoothed
+  /// observed/estimated ratio the balanced schedulers multiply into
+  /// estimate_unit_cost. Persists across run() batches — estimates
+  /// sharpen with traffic — and is empty until the first clean unit
+  /// completes under a balanced mode.
+  const std::vector<CostModelEntry>& cost_model_report() const {
+    return calibration_.entries();
+  }
+
  private:
   void validate_options() const;
 
@@ -341,6 +385,7 @@ class QueryEngine {
   BatchStats stats_;
   std::vector<UnitPlacement> schedule_;
   analysis::HazardReport hazard_;
+  CostModelCalibration calibration_;
 };
 
 }  // namespace maxwarp::algorithms

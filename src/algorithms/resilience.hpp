@@ -20,11 +20,19 @@
 // Failure routing inside iteration():
 //   * transient DeviceError (launch fail / deadline / OOM / ECC): back
 //     off, restore the checkpoint — after an uncorrectable ECC also
-//     re-upload the graph, since the victim byte may be CSR data — and
+//     re-upload the graph (page-granular when the fault record resolves
+//     to a CSR victim), since the victim byte may be CSR data — and
 //     retry, up to resilience.max_retries times; then rethrow.
 //   * non-transient DeviceError and every other exception (including
 //     simt::SanitizerFault, which is deterministic and would just repeat):
 //     rethrow immediately.
+//
+// The loop consumes only the per-device slice of ResiliencePolicy
+// (max_retries, retry_backoff_ms). The group-serving knobs — scheduling
+// mode, steal_threshold, cost_ewma_alpha, cpu_fallback,
+// default_deadline_ms — are QueryEngine-level and ignored here: a
+// single-device iteration loop has nobody to steal from and no ladder
+// to descend.
 #pragma once
 
 #include <functional>

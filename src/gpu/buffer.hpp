@@ -130,6 +130,25 @@ class DeviceBuffer {
     upload_on(host, stream.id());
   }
 
+  /// Host -> device copy of a slice: host.size() elements land at element
+  /// offset `first` (current stream), charging only the slice's bytes to
+  /// the transfer model. The page-granular ECC-recovery path uses this to
+  /// re-upload one dirtied 64 KiB page instead of a whole CSR array.
+  void upload_range(std::size_t first, std::span<const T> host) {
+    if (first > storage_.size() ||
+        host.size() > storage_.size() - first) {
+      throw std::out_of_range("upload_range outside buffer");
+    }
+    std::copy(host.begin(), host.end(),
+              storage_.begin() + static_cast<std::ptrdiff_t>(first));
+    device_->note_copy(host.size() * sizeof(T), /*to_device=*/true);
+    if (auto* san = device_->sanitizer()) {
+      san->on_host_write(vaddr_, first * sizeof(T), host.size() * sizeof(T));
+    }
+    record_copy(device_->current_stream_id(), /*to_device=*/true,
+                first * sizeof(T), host.size() * sizeof(T), "upload");
+  }
+
   /// Device -> host copy of the whole buffer (current stream).
   std::vector<T> download() const {
     device_->note_copy(size_bytes(), /*to_device=*/false);

@@ -54,6 +54,21 @@ std::vector<std::size_t> DeviceGroup::healthy_members() const {
   return members;
 }
 
+std::size_t DeviceGroup::least_busy_member(std::span<const double> base) {
+  std::size_t best = devices_.size();
+  double best_busy = 0.0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (!healthy_[i]) continue;
+    const double since = i < base.size() ? base[i] : 0.0;
+    const double busy = devices_[i]->modeled_makespan_ms() - since;
+    if (best == devices_.size() || busy < best_busy) {
+      best = i;
+      best_busy = busy;
+    }
+  }
+  return best;
+}
+
 bool DeviceGroup::fail_device(std::size_t i, const std::string& reason) {
   if (i >= devices_.size()) {
     throw std::out_of_range("DeviceGroup::fail_device: no such device");

@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,15 @@ class DeviceGroup {
   /// would have shown. A group scheduler's makespan is the max of these
   /// deltas across the members it used.
   double modeled_makespan_ms(std::size_t i) { return device(i).modeled_makespan_ms(); }
+
+  /// The healthy member whose timeline has advanced least since `base`
+  /// (base[i] = the makespan recorded at some earlier instant; indices
+  /// past base.size() are treated as 0) — the natural thief in a
+  /// work-stealing drain and the member a latency-sensitive caller
+  /// should target next. Ties resolve to the lowest index (the scan is
+  /// ascending with a strict <), so callers replaying a batch see the
+  /// identical choice. Returns size() when no member is healthy.
+  std::size_t least_busy_member(std::span<const double> base);
 
   /// True when every device has been marked failed — the caller's cue to
   /// fall back to the host reference.

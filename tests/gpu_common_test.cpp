@@ -2,6 +2,8 @@
 // semantics, and the KernelStats helpers the bench harness reads.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "algorithms/gpu_common.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
@@ -68,6 +70,69 @@ TEST(RunStats, TotalIsKernelPlusTransfer) {
   stats.transfer_ms = 0.5;
   simt::SimConfig cfg;
   EXPECT_NEAR(stats.total_ms(cfg), stats.kernel_ms(cfg) + 0.5, 1e-12);
+}
+
+TEST(SchedulingNames, Stable) {
+  EXPECT_EQ(to_string(ResiliencePolicy::Scheduling::kActiveOnly),
+            "active-only");
+  EXPECT_EQ(to_string(ResiliencePolicy::Scheduling::kBalanced), "balanced");
+  EXPECT_EQ(to_string(ResiliencePolicy::Scheduling::kBalancedStealing),
+            "balanced-stealing");
+}
+
+TEST(CostModelCalibrationTest, UnseenShapePassesEstimatesThrough) {
+  const CostModelCalibration cal(0.5);
+  const CostModelKey key{true, 3, 2};
+  EXPECT_EQ(cal.correction(key), 1.0);
+  EXPECT_EQ(cal.calibrated(key, 42.0), 42.0);
+  EXPECT_TRUE(cal.entries().empty());
+}
+
+TEST(CostModelCalibrationTest, FirstSampleSeedsExactlyThenEwmaSmooths) {
+  CostModelCalibration cal(0.5);
+  const CostModelKey key{true, 1, 4};
+  // First sample seeds correction = observed/estimate with no blend-in
+  // from the 1.0 prior (a prior in wrong units would take many batches
+  // to wash out).
+  cal.observe(key, 100.0, 25.0);
+  EXPECT_DOUBLE_EQ(cal.correction(key), 0.25);
+  // Second sample: 0.5 * 0.25 + 0.5 * (75/100).
+  cal.observe(key, 100.0, 75.0);
+  EXPECT_DOUBLE_EQ(cal.correction(key), 0.5);
+  EXPECT_DOUBLE_EQ(cal.calibrated(key, 100.0), 50.0);
+  ASSERT_EQ(cal.entries().size(), 1u);
+  EXPECT_EQ(cal.entries()[0].samples, 2u);
+  EXPECT_DOUBLE_EQ(cal.entries()[0].last_observed_ms, 75.0);
+  EXPECT_DOUBLE_EQ(cal.entries()[0].last_raw_estimate, 100.0);
+}
+
+TEST(CostModelCalibrationTest, ShapesAreIndependentAndKeySorted) {
+  CostModelCalibration cal(1.0);  // alpha 1: correction = last ratio
+  const CostModelKey sssp{false, 1, 3};
+  const CostModelKey fused{true, 6, 3};
+  const CostModelKey single{true, 1, 3};
+  cal.observe(fused, 10.0, 30.0);
+  cal.observe(sssp, 10.0, 5.0);
+  cal.observe(single, 10.0, 10.0);
+  EXPECT_DOUBLE_EQ(cal.correction(fused), 3.0);
+  EXPECT_DOUBLE_EQ(cal.correction(sssp), 0.5);
+  EXPECT_DOUBLE_EQ(cal.correction(single), 1.0);
+  // The report is key-sorted regardless of observation order.
+  ASSERT_EQ(cal.entries().size(), 3u);
+  EXPECT_TRUE(cal.entries()[0].key < cal.entries()[1].key);
+  EXPECT_TRUE(cal.entries()[1].key < cal.entries()[2].key);
+}
+
+TEST(CostModelCalibrationTest, RejectsUnusableInputs) {
+  CostModelCalibration cal(0.3);
+  const CostModelKey key{true, 2, 2};
+  // Non-positive estimates or observations carry no ratio; ignored.
+  cal.observe(key, 0.0, 5.0);
+  cal.observe(key, 5.0, 0.0);
+  cal.observe(key, -1.0, 5.0);
+  EXPECT_TRUE(cal.entries().empty());
+  EXPECT_THROW(CostModelCalibration(0.0), std::invalid_argument);
+  EXPECT_THROW(CostModelCalibration(1.5), std::invalid_argument);
 }
 
 }  // namespace

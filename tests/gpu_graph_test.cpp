@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "algorithms/bfs_gpu.hpp"
@@ -11,6 +12,7 @@
 #include "algorithms/sssp_gpu.hpp"
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
+#include "simt/fault.hpp"
 
 namespace maxwarp::algorithms {
 namespace {
@@ -86,6 +88,70 @@ TEST(GpuGraphTest, ReverseCsrIsLazyAndCached) {
   const Csr& rev_host = g.reverse_host();
   ASSERT_EQ(rev_host.degree(1), 1u);
   EXPECT_EQ(rev_host.neighbors(1)[0], 0u);
+}
+
+/// Flat footprint offset that resolve_ecc_offset maps to an *interior*
+/// page of the allocation at `vaddr` (at least one full page on either
+/// side), or nullopt when the footprint holds no such byte.
+std::optional<std::uint64_t> interior_offset_of(const gpu::Device& dev,
+                                                std::uint64_t vaddr) {
+  for (std::uint64_t flat = 0;; flat += GpuCsr::kEccPageBytes / 2) {
+    const auto victim = dev.resolve_ecc_offset(flat);
+    if (!victim) return std::nullopt;  // walked past the live footprint
+    if (victim->vaddr == vaddr &&
+        victim->offset_in_alloc >= GpuCsr::kEccPageBytes &&
+        victim->offset_in_alloc + GpuCsr::kEccPageBytes < victim->bytes) {
+      return flat;
+    }
+  }
+}
+
+TEST(GpuGraphTest, EccRecoveryReUploadsOnlyTheVictimPage) {
+  gpu::Device dev;
+  // Adjacency spans many 64 KiB pages, so a partial re-upload is
+  // distinguishable from the conservative full refresh.
+  const Csr host = graph::rmat(1 << 12, 64u << 12, {}, {.seed = 9});
+  GpuGraph g(dev, host);
+  const auto flat = interior_offset_of(dev, g.csr().adj().vaddr);
+  ASSERT_TRUE(flat.has_value());
+
+  simt::FaultEvent event;
+  event.kind = simt::FaultKind::kEccUncorrectable;
+  event.byte_offset = *flat;
+  const std::uint64_t before = dev.transfer_totals().bytes_to_device;
+  g.refresh_device_data(event);
+  // Exactly the victim's page crossed the bus — not the whole array.
+  EXPECT_EQ(dev.transfer_totals().bytes_to_device - before,
+            GpuCsr::kEccPageBytes);
+
+  // An unattributable event (no fault record offset resolves) still pays
+  // the conservative whole-graph refresh.
+  simt::FaultEvent blind;
+  blind.kind = simt::FaultKind::kEccUncorrectable;
+  blind.byte_offset = ~0ull;
+  const std::uint64_t full_before = dev.transfer_totals().bytes_to_device;
+  g.refresh_device_data(blind);
+  EXPECT_GT(dev.transfer_totals().bytes_to_device - full_before,
+            4 * GpuCsr::kEccPageBytes);
+}
+
+TEST(GpuGraphTest, EccRecoveryInScratchSkipsTheGraphUpload) {
+  gpu::Device dev;
+  const Csr host = graph::rmat(1 << 10, 8u << 10, {}, {.seed = 13});
+  GpuGraph g(dev, host);
+  // A live non-graph allocation after the CSR: the victim lands here.
+  gpu::DeviceBuffer<std::uint32_t> scratch(dev, (3u * 64 * 1024) / 4);
+  const auto flat = interior_offset_of(dev, scratch.cptr().vaddr);
+  ASSERT_TRUE(flat.has_value());
+
+  simt::FaultEvent event;
+  event.kind = simt::FaultKind::kEccUncorrectable;
+  event.byte_offset = *flat;
+  const std::uint64_t before = dev.transfer_totals().bytes_to_device;
+  g.refresh_device_data(event);
+  // Graph data is intact and scratch re-seeds itself on the retry: the
+  // targeted recovery uploads nothing at all.
+  EXPECT_EQ(dev.transfer_totals().bytes_to_device, before);
 }
 
 TEST(GpuGraphTest, TraversedEdgesSumsReachedOutDegrees) {

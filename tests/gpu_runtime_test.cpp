@@ -81,6 +81,33 @@ TEST(DeviceBuffer, OversizedUploadThrows) {
   EXPECT_THROW(buf.upload(big), std::out_of_range);
 }
 
+TEST(DeviceBuffer, UploadRangeCopiesSliceAndChargesSliceBytes) {
+  Device dev;
+  std::vector<std::uint32_t> host(100, 1);
+  DeviceBuffer<std::uint32_t> buf(dev, host);
+  const std::uint64_t before = dev.transfer_totals().bytes_to_device;
+
+  // Overwrite elements [10, 14) only; only 16 bytes cross the bus.
+  const std::vector<std::uint32_t> patch{7, 8, 9, 10};
+  buf.upload_range(10, patch);
+  EXPECT_EQ(dev.transfer_totals().bytes_to_device - before, 16u);
+
+  const auto out = buf.download();
+  EXPECT_EQ(out[9], 1u);
+  EXPECT_EQ(out[10], 7u);
+  EXPECT_EQ(out[13], 10u);
+  EXPECT_EQ(out[14], 1u);
+}
+
+TEST(DeviceBuffer, UploadRangeOutsideBufferThrows) {
+  Device dev;
+  DeviceBuffer<std::uint32_t> buf(dev, 8);
+  buf.fill(0);
+  const std::vector<std::uint32_t> patch(4, 1);
+  EXPECT_THROW(buf.upload_range(5, patch), std::out_of_range);
+  EXPECT_THROW(buf.upload_range(9, {}), std::out_of_range);
+}
+
 TEST(DeviceBuffer, ReadWriteSingleElements) {
   Device dev;
   DeviceBuffer<std::uint32_t> buf(dev, 8);

@@ -4,6 +4,8 @@
 // mid-batch re-plan drill when a scheduled member dies.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -11,6 +13,7 @@
 
 #include "algorithms/query_engine.hpp"
 #include "algorithms/replicated_graph.hpp"
+#include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
 #include "simt/fault.hpp"
@@ -247,6 +250,298 @@ TEST(SchedulerTest, DeadMemberRePlansItsQueueAcrossSurvivors) {
   EXPECT_FALSE(engine.device_group().healthy(1));
   ASSERT_GE(engine.device_group().failover_log().size(), 1u);
   EXPECT_EQ(engine.device_group().failover_log()[0].from, 1);
+}
+
+// ---------------------------------------------------------------------
+// Work stealing (kBalancedStealing) and the feedback-calibrated cost
+// model.
+// ---------------------------------------------------------------------
+
+QueryEngineOptions stealing_opts(std::uint32_t group_size = 4) {
+  QueryEngineOptions opts = scheduler_opts(group_size);
+  opts.resilience.scheduling =
+      ResiliencePolicy::Scheduling::kBalancedStealing;
+  return opts;
+}
+
+// Two-component graph with one degree profile but wildly different BFS
+// depths: a long chain (diameter chain_n - 1) beside a star (diameter
+// 2). The host cost model prices one sweep and cannot see frontier
+// evolution, so a deep chain query and a shallow star query get the
+// SAME estimate — exactly the blind spot the steal loop absorbs.
+Csr skew_graph(std::uint32_t chain_n, std::uint32_t star_leaves) {
+  graph::EdgeList edges;
+  for (std::uint32_t v = 0; v + 1 < chain_n; ++v) {
+    edges.push_back({v, v + 1});
+  }
+  const std::uint32_t center = chain_n;
+  for (std::uint32_t leaf = 1; leaf <= star_leaves; ++leaf) {
+    edges.push_back({center, center + leaf});
+  }
+  return graph::build_csr(chain_n + star_leaves + 1, std::move(edges),
+                          {.symmetrize = true});
+}
+
+// 16 single-query BFS units, equal estimates: stable LPT round-robins
+// them, so the deep chain queries at positions 0, 4, 8, 12 all land on
+// device 0 of a 4-device group — the worst case static placement the
+// steal loop must fix at runtime.
+std::vector<Query> skewed_batch(std::uint32_t chain_n) {
+  std::vector<Query> queries;
+  const std::uint32_t center = chain_n;
+  for (std::uint32_t q = 0; q < 16; ++q) {
+    queries.push_back(q % 4 == 0 ? Query::bfs(q / 4)  // deep: chain head
+                                 : Query::bfs(center + q));  // shallow leaf
+  }
+  return queries;
+}
+
+QueryEngineOptions skew_opts(ResiliencePolicy::Scheduling scheduling) {
+  QueryEngineOptions opts;
+  opts.fuse_bfs = false;    // one query = one unit
+  opts.num_streams = 1;     // serial per-device timelines: makespan = sum
+  opts.resilience.scheduling = scheduling;
+  return opts;
+}
+
+TEST(StealingTest, MatchesBalancedBitIdenticallyAcrossMappings) {
+  const Csr host =
+      weighted(graph::rmat(1 << 9, 4u << 9, {}, {.seed = 23}));
+  const auto queries = mixed_batch(host, 24, 4);
+
+  for (const Mapping mapping :
+       {Mapping::kThreadMapped, Mapping::kWarpCentric, Mapping::kAdaptive}) {
+    QueryEngineOptions balanced_opts = scheduler_opts();
+    balanced_opts.kernel.mapping = mapping;
+    gpu::DeviceGroup balanced_group(3);
+    QueryEngine balanced_engine(balanced_group, host, balanced_opts);
+    const auto planned = balanced_engine.run(queries);
+
+    QueryEngineOptions steal_opts = stealing_opts();
+    steal_opts.kernel.mapping = mapping;
+    gpu::DeviceGroup steal_group(3);
+    QueryEngine steal_engine(steal_group, host, steal_opts);
+    const auto stolen = steal_engine.run(queries);
+
+    ASSERT_EQ(planned.size(), stolen.size());
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      EXPECT_TRUE(stolen[i].ok());
+      EXPECT_EQ(planned[i].value, stolen[i].value)
+          << "query " << i << " under " << to_string(mapping);
+    }
+  }
+}
+
+TEST(StealingTest, SingleDeviceStaysBitAndCostIdenticalToDefault) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 41});
+  const auto queries = mixed_batch(host, 16, 0);
+
+  gpu::Device plain_dev;
+  algorithms::GpuGraph plain_graph(plain_dev, host);
+  QueryEngine plain_engine(plain_graph, scheduler_opts());
+  const auto plain = plain_engine.run(queries);
+
+  gpu::Device steal_dev;
+  algorithms::GpuGraph steal_graph(steal_dev, host);
+  QueryEngine steal_engine(steal_graph, stealing_opts());
+  const auto stolen = steal_engine.run(queries);
+
+  ASSERT_EQ(plain.size(), stolen.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].value, stolen[i].value);
+    EXPECT_EQ(plain[i].modeled_ms, stolen[i].modeled_ms);
+  }
+  const auto& ps = plain_engine.last_batch_stats();
+  const auto& ss = steal_engine.last_batch_stats();
+  EXPECT_EQ(ps.modeled_ms, ss.modeled_ms);
+  EXPECT_EQ(ps.serial_ms, ss.serial_ms);
+  EXPECT_EQ(ps.group_makespan_ms, ss.group_makespan_ms);
+  EXPECT_EQ(ps.kernel_launches, ss.kernel_launches);
+  EXPECT_EQ(ss.steals, 0u);
+  // The degenerate path never estimates, so it never calibrates either.
+  EXPECT_TRUE(steal_engine.cost_model_report().empty());
+}
+
+TEST(StealingTest, StealingBeatsStaticLptOnSkewedBatch) {
+  const Csr host = skew_graph(128, 47);
+  const auto queries = skewed_batch(128);
+
+  gpu::DeviceGroup static_group(4);
+  QueryEngine static_engine(
+      static_group, host,
+      skew_opts(ResiliencePolicy::Scheduling::kBalanced));
+  const auto planned = static_engine.run(queries);
+
+  gpu::DeviceGroup steal_group(4);
+  QueryEngine steal_engine(
+      steal_group, host,
+      skew_opts(ResiliencePolicy::Scheduling::kBalancedStealing));
+  const auto stolen = steal_engine.run(queries);
+
+  // Results are bit-identical however the units moved.
+  ASSERT_EQ(planned.size(), stolen.size());
+  for (std::size_t i = 0; i < planned.size(); ++i) {
+    EXPECT_TRUE(planned[i].ok());
+    EXPECT_TRUE(stolen[i].ok());
+    EXPECT_EQ(planned[i].value, stolen[i].value) << "query " << i;
+  }
+
+  // Equal estimates put every deep unit on device 0; the thieves lift
+  // three of them off while it grinds through the first.
+  const auto& ss = steal_engine.last_batch_stats();
+  EXPECT_EQ(ss.steals, 3u);
+  EXPECT_GT(ss.stolen_cost_ms, 0.0);
+  EXPECT_GT(ss.steal_idle_absorbed_ms, 0.0);
+  std::set<std::uint32_t> stolen_units;
+  for (const UnitPlacement& p : steal_engine.last_schedule()) {
+    if (p.stolen) {
+      stolen_units.insert(p.unit);
+      EXPECT_NE(p.device, 0u);
+      EXPECT_FALSE(p.replanned);  // opportunism, not failover
+    }
+    if (p.observed_cost_ms > 0.0) {
+      // Every completed placement knows where it actually ran.
+      EXPECT_EQ(p.executed_on, static_cast<int>(p.device));
+    }
+  }
+  EXPECT_EQ(stolen_units, (std::set<std::uint32_t>{4, 8, 12}));
+
+  // The acceptance bar: >= 1.1x makespan win over the static plan (the
+  // skew actually yields ~3x: static serializes four deep traversals on
+  // one member while three spares idle).
+  const auto& bs = static_engine.last_batch_stats();
+  EXPECT_EQ(bs.steals, 0u);
+  EXPECT_GE(bs.group_makespan_ms, 1.1 * ss.group_makespan_ms)
+      << "static " << bs.group_makespan_ms << " ms vs stealing "
+      << ss.group_makespan_ms << " ms";
+}
+
+TEST(StealingTest, StealTraceReplaysDeterministically) {
+  const Csr host = skew_graph(96, 31);
+  const auto queries = skewed_batch(96);
+
+  struct Trace {
+    std::vector<UnitPlacement> plan;
+    std::uint32_t steals = 0;
+    double stolen_cost = 0.0;
+    double makespan = 0.0;
+  };
+  std::vector<Trace> traces;
+  for (int replay = 0; replay < 10; ++replay) {
+    gpu::DeviceGroup group(4);
+    QueryEngine engine(
+        group, host, skew_opts(ResiliencePolicy::Scheduling::kBalancedStealing));
+    (void)engine.run(queries);
+    traces.push_back(Trace{engine.last_schedule(),
+                           engine.last_batch_stats().steals,
+                           engine.last_batch_stats().stolen_cost_ms,
+                           engine.last_batch_stats().group_makespan_ms});
+  }
+  ASSERT_GE(traces[0].steals, 1u);
+  for (std::size_t r = 1; r < traces.size(); ++r) {
+    EXPECT_EQ(traces[r].steals, traces[0].steals) << "replay " << r;
+    EXPECT_EQ(traces[r].stolen_cost, traces[0].stolen_cost);
+    EXPECT_EQ(traces[r].makespan, traces[0].makespan);
+    ASSERT_EQ(traces[r].plan.size(), traces[0].plan.size());
+    for (std::size_t i = 0; i < traces[0].plan.size(); ++i) {
+      EXPECT_EQ(traces[r].plan[i].unit, traces[0].plan[i].unit);
+      EXPECT_EQ(traces[r].plan[i].device, traces[0].plan[i].device);
+      EXPECT_EQ(traces[r].plan[i].stolen, traces[0].plan[i].stolen);
+      EXPECT_EQ(traces[r].plan[i].replanned, traces[0].plan[i].replanned);
+      EXPECT_EQ(traces[r].plan[i].estimated_cost,
+                traces[0].plan[i].estimated_cost);
+      EXPECT_EQ(traces[r].plan[i].executed_on,
+                traces[0].plan[i].executed_on);
+      EXPECT_EQ(traces[r].plan[i].observed_cost_ms,
+                traces[0].plan[i].observed_cost_ms);
+    }
+  }
+}
+
+TEST(StealingTest, CalibrationErrorShrinksOverRepeatedBatches) {
+  // Every unit has the same shape AND the same true cost (star leaves
+  // are isomorphic), so the correction table is seeded exactly by the
+  // first observation and the estimate error collapses after batch 0.
+  const Csr host = graph::star(64);
+  std::vector<Query> queries;
+  for (std::uint32_t q = 0; q < 8; ++q) {
+    queries.push_back(Query::bfs(1 + q));  // leaves
+  }
+
+  gpu::DeviceGroup group(2);
+  QueryEngine engine(group, host,
+                     skew_opts(ResiliencePolicy::Scheduling::kBalanced));
+  std::vector<double> err;
+  for (int batch = 0; batch < 4; ++batch) {
+    const auto results = engine.run(queries);
+    for (const auto& r : results) ASSERT_TRUE(r.ok());
+    double worst = 0.0;
+    for (const UnitPlacement& p : engine.last_schedule()) {
+      worst = std::max(worst,
+                       std::abs(p.observed_cost_ms - p.estimated_cost));
+    }
+    err.push_back(worst);
+  }
+
+  // Batch 0 planned with the raw analytic estimate (scheduler units, not
+  // ms); every later batch planned with the learned correction applied.
+  EXPECT_GT(err[0], 0.0);
+  for (std::size_t b = 1; b < err.size(); ++b) {
+    EXPECT_LE(err[b], err[b - 1] + 1e-9) << "batch " << b;
+  }
+  EXPECT_LT(err.back(), 0.01 * err.front());
+
+  // The report shows one shape, EWMA-fed by every clean unit.
+  const auto& report = engine.cost_model_report();
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_TRUE(report[0].key.bfs);
+  EXPECT_EQ(report[0].samples, 4u * 8u);
+  EXPECT_GT(report[0].correction, 0.0);
+  EXPECT_GT(report[0].last_observed_ms, 0.0);
+}
+
+// The failover drill under stealing: the dead member's queued remainder
+// drains through the steal loop (threshold waived) instead of a
+// one-shot re-plan, and answers stay bit-identical to a clean
+// single-device run.
+TEST(StealingTest, DeadMemberQueueDrainsViaStealLoop) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 31});
+  const auto queries = mixed_batch(host, 32, 0);
+
+  gpu::Device clean_dev;
+  algorithms::GpuGraph clean_graph(clean_dev, host);
+  QueryEngine clean_engine(clean_graph, scheduler_opts());
+  const auto clean = clean_engine.run(queries);
+
+  gpu::DeviceGroup group(3);
+  group.arm(1, FaultPlan::parse("ecc-fatal:nth=3+:max=0"));
+  QueryEngine engine(group, host, stealing_opts());
+  const auto served = engine.run(queries);
+
+  ASSERT_EQ(served.size(), clean.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_TRUE(served[i].ok());
+    EXPECT_NE(served[i].path, QueryPath::kCpuHost);
+    EXPECT_NE(served[i].device, 1) << "query " << i << " on the dead member";
+    EXPECT_EQ(served[i].value, clean[i].value) << "query " << i;
+  }
+
+  const auto& stats = engine.last_batch_stats();
+  EXPECT_GE(stats.migrations, 1u);   // the in-flight unit moved
+  EXPECT_GE(stats.steals, 1u);       // the queued remainder was stolen
+  EXPECT_EQ(stats.fallback_queries, 0u);
+
+  // Steals from the dead victim are failover work, flagged replanned;
+  // none of them may land back on the corpse.
+  std::uint32_t failover_steals = 0;
+  for (const UnitPlacement& p : engine.last_schedule()) {
+    if (p.stolen) {
+      EXPECT_NE(p.device, 1u);
+      if (p.replanned) ++failover_steals;
+    }
+  }
+  EXPECT_GE(failover_steals, 1u);
+  EXPECT_FALSE(engine.device_group().healthy(1));
 }
 
 }  // namespace
