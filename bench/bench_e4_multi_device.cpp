@@ -204,6 +204,65 @@ StealNumbers steal_sweep() {
   return out;
 }
 
+// Failback sweep: price the repair half of the health lifecycle. A
+// two-device group loses its spare, serves a batch degraded, then the
+// maintenance pass probes and restores it and the next batch runs on
+// the full fleet again. restore_recovery_speedup is the makespan ratio
+// degraded/restored (~2x with the batch split over 2 members, guarded
+// one-sided). probe_overhead_ratio is the probing batch's serving
+// makespan over the clean-fleet batch's: canary probes are charged as
+// maintenance on the probed member's own timeline *before* the batch
+// baselines, so the ratio must stay at 1.0 — the 2% file band catches
+// any drift of probe cost into serving accounting. The absolute probe
+// bill is reported separately as probe_cost_ms.
+struct FailbackNumbers {
+  double full_ms = 0.0;      ///< clean two-device group makespan
+  double degraded_ms = 0.0;  ///< same batch with the spare dead
+  double restored_ms = 0.0;  ///< same batch after probe-driven restore
+  double restore_recovery_speedup = 0.0;
+  double probe_overhead_ratio = 1.0;
+  double probe_cost_ms = 0.0;  ///< modeled maintenance time of the probes
+  double probes = 0.0;
+  double restorations = 0.0;
+};
+
+FailbackNumbers failback_sweep() {
+  gpu::DeviceGroup group(2);
+  algorithms::QueryEngineOptions opts;
+  opts.bfs_group_size = 4;  // 16 queries -> 4 units: balancing matters
+  opts.resilience.health.probes_to_restore = 2;
+  opts.resilience.health.probes_per_pass = 2;
+  QueryEngine engine(group, dataset(), opts);
+  const auto batch = batch16();
+
+  FailbackNumbers out;
+  (void)engine.run(batch);
+  out.full_ms = engine.last_batch_stats().group_makespan_ms;
+
+  group.fail_device(1, "bench kill");
+  (void)engine.run(batch);
+  out.degraded_ms = engine.last_batch_stats().group_makespan_ms;
+
+  // Advance the modeled clock past the probation delay, then serve: the
+  // batch's own maintenance pass probes the member clean twice and
+  // restores it before placement, so this run pays the probes AND runs
+  // on the full fleet.
+  group.device(1).charge_delay_ms(1000.0);
+  const double total_before = group.total_modeled_ms();
+  (void)engine.run(batch);
+  const auto& stats = engine.last_batch_stats();
+  out.restored_ms = stats.group_makespan_ms;
+  out.probes = stats.probes;
+  out.restorations = stats.restorations;
+  out.restore_recovery_speedup =
+      out.restored_ms > 0 ? out.degraded_ms / out.restored_ms : 0.0;
+  out.probe_overhead_ratio =
+      out.full_ms > 0 ? out.restored_ms / out.full_ms : 1.0;
+  const double total_delta = group.total_modeled_ms() - total_before;
+  out.probe_cost_ms = total_delta - stats.serial_ms;
+  return out;
+}
+
 void print_table() {
   benchx::print_banner(
       "E4: multi-device failover serving",
@@ -287,6 +346,29 @@ void print_table() {
       "acceptance: single-device engine under the stealing policy pays "
       "0%% overhead (got %+.3f%%) -> %s\n",
       single_overhead * 100.0, single_pass ? "PASS" : "FAIL");
+
+  const FailbackNumbers failback = failback_sweep();
+  util::Table repair({"fleet state", "group makespan ms"});
+  repair.row().cell("full fleet").cell(failback.full_ms, 3);
+  repair.row().cell("spare dead (degraded)").cell(failback.degraded_ms, 3);
+  repair.row().cell("after probe + restore").cell(failback.restored_ms, 3);
+  std::printf("\nfailback sweep, 16-query batch as 4 fused units:\n");
+  repair.print();
+
+  const bool repair_pass = failback.restore_recovery_speedup >= 1.5 &&
+                           failback.restorations >= 1.0;
+  std::printf(
+      "acceptance: probe-driven restore recovers >= 1.5x of the degraded "
+      "makespan (got %.2fx, %g probes, %g restorations) -> %s\n",
+      failback.restore_recovery_speedup, failback.probes,
+      failback.restorations, repair_pass ? "PASS" : "FAIL");
+  const double probe_overhead = failback.probe_overhead_ratio - 1.0;
+  const bool probe_pass = probe_overhead <= kMaxOverhead;
+  std::printf(
+      "acceptance: canary probing (%.3fms of maintenance) adds <= %.0f%% "
+      "to the probing batch's serving makespan (got %+.3f%%) -> %s\n",
+      failback.probe_cost_ms, kMaxOverhead * 100.0, probe_overhead * 100.0,
+      probe_pass ? "PASS" : "FAIL");
 }
 
 void BM_MultiDevice(benchmark::State& state) {
@@ -348,6 +430,28 @@ void BM_MultiDeviceStealing(benchmark::State& state) {
   state.counters["steal_single_overhead_ratio"] = steal.single_overhead_ratio;
 }
 
+// Failback sweep: restore_recovery_speedup is one-sided
+// (higher-is-better — a faster repair never fails the guard);
+// probe_overhead_ratio hovers just above 1.0 and the 2% file band
+// keeps canary probing from creeping into serving cost.
+void BM_MultiDeviceFailback(benchmark::State& state) {
+  FailbackNumbers failback;
+  for (auto _ : state) {
+    failback = failback_sweep();
+    const double sink = failback.restore_recovery_speedup;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.counters["full_makespan_ms"] = failback.full_ms;
+  state.counters["degraded_makespan_ms"] = failback.degraded_ms;
+  state.counters["restored_makespan_ms"] = failback.restored_ms;
+  state.counters["restore_recovery_speedup"] =
+      failback.restore_recovery_speedup;
+  state.counters["probe_overhead_ratio"] = failback.probe_overhead_ratio;
+  state.counters["probe_cost_ms"] = failback.probe_cost_ms;
+  state.counters["probes"] = failback.probes;
+  state.counters["restorations"] = failback.restorations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,6 +463,9 @@ int main(int argc, char** argv) {
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("multi_device/stealing16",
                                BM_MultiDeviceStealing)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("multi_device/failback16",
+                               BM_MultiDeviceFailback)
       ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   maxwarp::benchx::embed_build_info();

@@ -1,0 +1,232 @@
+// Failback drill: the full device-health lifecycle on one fleet — kill,
+// serve degraded, probation, canary probes, restore, and a full-fleet
+// batch on the repaired group.
+//
+// Five phases over the same workload:
+//   1. reference   — one clean device; produces the reference answers.
+//   2. kill        — a two-device group with an ecc-fatal plan sized to
+//                    exhaust the primary's retry ladder; the batch must
+//                    complete on the spare, bit-identical, zero host
+//                    fallbacks, and the primary must be marked dead.
+//   3. maintenance — the modeled clock advances past the probation
+//                    delay; fleet-maintenance passes run canary probes
+//                    until N consecutive clean probes restore the
+//                    member.
+//   4. failback    — the next batch places work on the restored member
+//                    again (visible in the placement log) and answers
+//                    stay bit-identical.
+//   5. replay      — the whole drill again; results, placements and the
+//                    health audit log must reproduce bit-identically.
+//
+// Exit status is non-zero when any phase breaks its contract.
+//
+//   ./failback_drill
+//   ./failback_drill --nodes 8192 --queries 64
+//   ./failback_drill --plan "ecc-fatal:nth=1+:max=10;seed=3"   # one probe fails first
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algorithms/query_engine.hpp"
+#include "gpu/device_group.hpp"
+#include "graph/generators.hpp"
+#include "simt/fault.hpp"
+#include "util/cli.hpp"
+
+using namespace maxwarp;
+
+namespace {
+
+struct DrillOutcome {
+  std::vector<algorithms::QueryResult> degraded;  ///< batch under the kill
+  std::vector<algorithms::QueryResult> restored;  ///< batch after failback
+  algorithms::FleetReport maintenance;            ///< summed over passes
+  std::vector<gpu::HealthRecord> health_log;
+  std::vector<algorithms::UnitPlacement> failback_schedule;
+  std::uint32_t kill_migrations = 0;
+  std::uint32_t kill_fallbacks = 0;
+  bool primary_died = false;
+  bool primary_restored = false;
+};
+
+std::vector<algorithms::Query> make_batch(const graph::Csr& host,
+                                          std::uint32_t count) {
+  std::vector<algorithms::Query> batch;
+  for (std::uint32_t q = 0; q < count; ++q) {
+    batch.push_back(algorithms::Query::bfs((q * 977u) % host.num_nodes()));
+  }
+  return batch;
+}
+
+algorithms::QueryEngineOptions drill_options() {
+  algorithms::QueryEngineOptions opts;
+  // Three iteration-level attempts per engine-level attempt, three of
+  // those: nine faulted launches exhaust a unit and kill the member.
+  opts.resilience.max_retries = 2;
+  // Restore within one maintenance pass once the probes come clean.
+  opts.resilience.health.probes_to_restore = 2;
+  opts.resilience.health.probes_per_pass = 2;
+  return opts;
+}
+
+DrillOutcome run_drill(const graph::Csr& host, const std::string& plan,
+                       std::uint32_t num_queries) {
+  gpu::DeviceGroup group(2);
+  group.arm(0, simt::FaultPlan::parse(plan));
+  algorithms::QueryEngine engine(group, host, drill_options());
+
+  DrillOutcome out;
+  out.degraded = engine.run(make_batch(host, num_queries));
+  out.kill_migrations = engine.last_batch_stats().migrations;
+  out.kill_fallbacks = engine.last_batch_stats().fallback_queries;
+  out.primary_died =
+      group.health_state(0) == gpu::DeviceHealth::kDead;
+
+  // Maintenance passes: each one advances the modeled clock past any
+  // (possibly backed-off) probation delay, then probes. A healthy plan
+  // restores in one pass; a plan with a residual fault spends the first
+  // pass re-killing the member and restores on a later one.
+  for (int pass = 0; pass < 5; ++pass) {
+    if (group.healthy(0)) break;
+    group.device(0).charge_delay_ms(1000.0);
+    const auto report = engine.maintain_fleet();
+    out.maintenance.probes += report.probes;
+    out.maintenance.probe_failures += report.probe_failures;
+    out.maintenance.restorations += report.restorations;
+    out.maintenance.retired += report.retired;
+  }
+  out.primary_restored =
+      group.health_state(0) == gpu::DeviceHealth::kHealthy;
+
+  out.restored = engine.run(make_batch(host, num_queries));
+  out.failback_schedule = engine.last_schedule();
+  out.health_log = group.health_log();
+  return out;
+}
+
+bool answers_match(const std::vector<algorithms::QueryResult>& got,
+                   const std::vector<algorithms::QueryResult>& want,
+                   const char* label) {
+  bool ok = true;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (!got[i].ok()) {
+      std::printf("MISMATCH (%s): query %zu failed: %s\n", label, i,
+                  got[i].status.to_string().c_str());
+      ok = false;
+    } else if (got[i].value != want[i].value) {
+      std::printf("MISMATCH (%s): query %zu differs\n", label, i);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+void print_health_log(const DrillOutcome& o) {
+  for (const auto& rec : o.health_log) {
+    std::printf("  t=%9.3fms dev%zu %s -> %s: %s\n", rec.at_ms, rec.device,
+                gpu::to_string(rec.from), gpu::to_string(rec.to),
+                rec.reason.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::string plan =
+      args.get_string("plan", "ecc-fatal:nth=1+:max=9;seed=7");
+  const auto nodes =
+      static_cast<std::uint32_t>(args.get_int("nodes", 4096));
+  const auto degree =
+      static_cast<std::uint64_t>(args.get_int("degree", 8));
+  const auto queries =
+      static_cast<std::uint32_t>(args.get_int("queries", 32));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  for (const auto& stray : args.unqueried()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", stray.c_str());
+  }
+
+  const graph::Csr host = graph::rmat(nodes, nodes * degree, {},
+                                      {.seed = seed});
+  std::printf("failback drill: %u nodes, %llu edges, %u queries\n",
+              host.num_nodes(),
+              static_cast<unsigned long long>(host.num_edges()), queries);
+  std::printf("primary plan: %s\n\n", plan.c_str());
+
+  std::printf("[1/5] clean single-device reference\n");
+  gpu::Device ref_dev;
+  algorithms::GpuGraph ref_graph(ref_dev, host);
+  algorithms::QueryEngine ref_engine(ref_graph);
+  const auto reference = ref_engine.run(make_batch(host, queries));
+
+  std::printf("[2/5] kill + degraded serve, [3/5] probation + probes, "
+              "[4/5] failback batch\n");
+  const DrillOutcome drill = run_drill(host, plan, queries);
+  std::printf(
+      "  kill: migrations=%u fallbacks=%u; maintenance: probes=%u "
+      "failures=%u restorations=%u retired=%u\n",
+      drill.kill_migrations, drill.kill_fallbacks, drill.maintenance.probes,
+      drill.maintenance.probe_failures, drill.maintenance.restorations,
+      drill.maintenance.retired);
+  print_health_log(drill);
+
+  bool ok = answers_match(drill.degraded, reference, "degraded batch");
+  ok = answers_match(drill.restored, reference, "failback batch") && ok;
+
+  if (!drill.primary_died) {
+    std::printf("FAIL: kill plan never took the primary out of rotation\n");
+    ok = false;
+  }
+  if (drill.kill_migrations == 0) {
+    std::printf("FAIL: the kill never triggered a migration\n");
+    ok = false;
+  }
+  if (drill.kill_fallbacks != 0) {
+    std::printf("FAIL: %u queries fell back to the host with a healthy "
+                "spare\n", drill.kill_fallbacks);
+    ok = false;
+  }
+  if (!drill.primary_restored || drill.maintenance.restorations == 0) {
+    std::printf("FAIL: canary probes never restored the primary\n");
+    ok = false;
+  }
+  bool failback_placed = false;
+  for (const auto& p : drill.failback_schedule) {
+    if (p.device == 0) failback_placed = true;
+  }
+  if (!failback_placed) {
+    std::printf("FAIL: the restored primary received no work\n");
+    ok = false;
+  }
+
+  std::printf("\n[5/5] replay run (same plan, same seed)\n");
+  const DrillOutcome replay = run_drill(host, plan, queries);
+  for (std::size_t i = 0; i < drill.restored.size(); ++i) {
+    if (drill.degraded[i].value != replay.degraded[i].value ||
+        drill.degraded[i].device != replay.degraded[i].device ||
+        drill.restored[i].value != replay.restored[i].value ||
+        drill.restored[i].device != replay.restored[i].device) {
+      std::printf("MISMATCH (replay): query %zu outcome differs\n", i);
+      ok = false;
+    }
+  }
+  if (drill.health_log.size() != replay.health_log.size()) {
+    std::printf("MISMATCH (replay): health log length differs\n");
+    ok = false;
+  } else {
+    for (std::size_t i = 0; i < drill.health_log.size(); ++i) {
+      const auto& a = drill.health_log[i];
+      const auto& b = replay.health_log[i];
+      if (a.device != b.device || a.from != b.from || a.to != b.to ||
+          a.at_ms != b.at_ms) {
+        std::printf("MISMATCH (replay): health record %zu differs\n", i);
+        ok = false;
+      }
+    }
+  }
+
+  std::printf("%s\n", ok ? "failback drill: killed, probed, restored and "
+                           "re-scheduled deterministically"
+                         : "failback drill: FAILED");
+  return ok ? 0 : 1;
+}

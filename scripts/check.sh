@@ -74,6 +74,15 @@ echo "== failover drill (unarmed fleet, then killed primary) =="
 ./build/examples/failover_drill --nodes 4096 --queries 32 \
   --plan "ecc-fatal:nth=1+:max=0;seed=7"
 
+echo "== failback drill (kill, probe, restore, full-fleet batch) =="
+# Self-asserting: the killed primary must serve degraded with no host
+# fallback, canary probes must restore it after the probation delay, and
+# the next batch must place work on it again — deterministically.
+./build/examples/failback_drill --nodes 4096 --queries 32 \
+  --plan "ecc-fatal:nth=1+:max=9;seed=7"
+./build/examples/failback_drill --nodes 4096 --queries 32 \
+  --plan "ecc-fatal:nth=1+:max=10;seed=3"
+
 echo "== multi-device throughput (balanced scheduling scales the batch) =="
 # Self-asserting: answers must match the serial plan bit-for-bit, every
 # member must receive work, and the group makespan must scale.

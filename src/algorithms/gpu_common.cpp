@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "graph/metrics.hpp"
 #include "simt/mask.hpp"
@@ -89,6 +91,191 @@ double CostModelCalibration::correction(const CostModelKey& key) const {
   return it->correction;
 }
 
+void CostModelCalibration::replace_entries(
+    std::vector<CostModelEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const CostModelEntry& a, const CostModelEntry& b) {
+              return a.key < b.key;
+            });
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].key == entries[i].key) {
+      throw std::invalid_argument(
+          "CostModelCalibration::replace_entries: duplicate key");
+    }
+  }
+  entries_ = std::move(entries);
+}
+
+// -- calibration JSON -------------------------------------------------------
+//
+// The serialized form must round-trip exactly (warm-started estimates have
+// to replay bit-identically), so doubles are printed with max_digits10
+// precision and parsed back with strtod. The parser is a strict cursor
+// over exactly the schema to_json() emits — not a general JSON library,
+// which the container does not have and this file does not need.
+
+namespace {
+
+void json_double(std::ostringstream& out, double v) {
+  std::ostringstream num;
+  num.precision(17);
+  num << v;
+  out << num.str();
+}
+
+struct JsonCursor {
+  const char* p;
+  const char* end;
+  const std::string* doc;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(
+        "CostModelCalibration::from_json: " + what + " at offset " +
+        std::to_string(p - doc->data()));
+  }
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+      ++p;
+    }
+  }
+  void expect(char c) {
+    skip_ws();
+    if (p >= end || *p != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++p;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  std::string key() {
+    expect('"');
+    std::string out;
+    while (p < end && *p != '"') {
+      if (*p == '\\') fail("escape sequences are not part of the schema");
+      out.push_back(*p++);
+    }
+    expect('"');
+    expect(':');
+    return out;
+  }
+  double number() {
+    skip_ws();
+    char* after = nullptr;
+    const double v = std::strtod(p, &after);
+    if (after == p) fail("expected a number");
+    p = after;
+    return v;
+  }
+  bool boolean() {
+    skip_ws();
+    const std::string_view rest(p, static_cast<std::size_t>(end - p));
+    if (rest.starts_with("true")) {
+      p += 4;
+      return true;
+    }
+    if (rest.starts_with("false")) {
+      p += 5;
+      return false;
+    }
+    fail("expected true/false");
+  }
+  std::uint64_t unsigned_int() {
+    const double v = number();
+    if (v < 0 || v != std::floor(v)) fail("expected a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+  }
+};
+
+}  // namespace
+
+std::string CostModelCalibration::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"alpha\": ";
+  json_double(out, alpha_);
+  out << ",\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CostModelEntry& e = entries_[i];
+    out << (i ? "," : "") << "\n    {\"bfs\": " << (e.key.bfs ? "true" : "false")
+        << ", \"width_bucket\": " << e.key.width_bucket
+        << ", \"degree_bucket\": " << e.key.degree_bucket
+        << ", \"correction\": ";
+    json_double(out, e.correction);
+    out << ", \"samples\": " << e.samples << ", \"last_observed_ms\": ";
+    json_double(out, e.last_observed_ms);
+    out << ", \"last_raw_estimate\": ";
+    json_double(out, e.last_raw_estimate);
+    out << "}";
+  }
+  out << (entries_.empty() ? "]" : "\n  ]") << "\n}\n";
+  return out.str();
+}
+
+CostModelCalibration CostModelCalibration::from_json(const std::string& json) {
+  JsonCursor cur{json.data(), json.data() + json.size(), &json};
+  cur.expect('{');
+  double alpha = 0.0;
+  bool saw_alpha = false;
+  std::vector<CostModelEntry> entries;
+  do {
+    const std::string field = cur.key();
+    if (field == "alpha") {
+      alpha = cur.number();
+      saw_alpha = true;
+    } else if (field == "entries") {
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          cur.expect('{');
+          CostModelEntry e;
+          do {
+            const std::string name = cur.key();
+            if (name == "bfs") {
+              e.key.bfs = cur.boolean();
+            } else if (name == "width_bucket") {
+              e.key.width_bucket =
+                  static_cast<std::uint32_t>(cur.unsigned_int());
+            } else if (name == "degree_bucket") {
+              e.key.degree_bucket =
+                  static_cast<std::uint32_t>(cur.unsigned_int());
+            } else if (name == "correction") {
+              e.correction = cur.number();
+            } else if (name == "samples") {
+              e.samples = cur.unsigned_int();
+            } else if (name == "last_observed_ms") {
+              e.last_observed_ms = cur.number();
+            } else if (name == "last_raw_estimate") {
+              e.last_raw_estimate = cur.number();
+            } else {
+              cur.fail("unknown entry field \"" + name + "\"");
+            }
+          } while (cur.consume(','));
+          cur.expect('}');
+          entries.push_back(e);
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+    } else {
+      cur.fail("unknown field \"" + field + "\"");
+    }
+  } while (cur.consume(','));
+  cur.expect('}');
+  cur.skip_ws();
+  if (cur.p != cur.end) cur.fail("trailing garbage");
+  if (!saw_alpha) {
+    throw std::invalid_argument(
+        "CostModelCalibration::from_json: missing alpha");
+  }
+  CostModelCalibration table(alpha);  // validates alpha's (0, 1] range
+  table.replace_entries(std::move(entries));
+  return table;
+}
+
 void validate_kernel_options(const KernelOptions& opts, const char* where) {
   const auto fail = [&](const std::string& what) {
     throw std::invalid_argument(std::string(where) + ": " + what);
@@ -138,6 +325,28 @@ void validate_kernel_options(const KernelOptions& opts, const char* where) {
   }
   if (!(policy.cost_ewma_alpha > 0.0) || policy.cost_ewma_alpha > 1.0) {
     fail("resilience.policy.cost_ewma_alpha must be in (0, 1]");
+  }
+  const ResiliencePolicy::Health& health = policy.health;
+  if (!(health.suspect_threshold >= 1.0)) {
+    fail("resilience.policy.health.suspect_threshold must be at least 1");
+  }
+  if (!(health.suspect_decay_ms >= 0.0) ||
+      !(health.probation_delay_ms >= 0.0) ||
+      !(health.probe_interval_ms >= 0.0) ||
+      !(health.probe_watchdog_ms >= 0.0)) {
+    fail("resilience.policy.health durations must be non-negative");
+  }
+  if (health.probes_to_restore == 0) {
+    fail("resilience.policy.health.probes_to_restore must be at least 1");
+  }
+  if (health.probes_per_pass == 0) {
+    fail("resilience.policy.health.probes_per_pass must be at least 1");
+  }
+  if (health.max_restore_attempts == 0) {
+    fail("resilience.policy.health.max_restore_attempts must be at least 1");
+  }
+  if (!(health.probation_capacity >= 0.0) || health.probation_capacity > 1.0) {
+    fail("resilience.policy.health.probation_capacity must be in [0, 1]");
   }
   if (!(opts.resilience.watchdog_ms >= 0.0)) {
     fail("resilience.watchdog_ms must be non-negative");

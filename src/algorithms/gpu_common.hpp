@@ -11,6 +11,7 @@
 
 #include "gpu/buffer.hpp"
 #include "gpu/device.hpp"
+#include "gpu/device_group.hpp"
 #include "graph/csr.hpp"
 #include "simt/stats.hpp"
 
@@ -108,6 +109,14 @@ struct ResiliencePolicy {
   /// observed/estimated back into its shape's correction factor with
   /// weight alpha. 1 keeps only the latest observation.
   double cost_ewma_alpha = 0.3;
+  /// Device-health lifecycle knobs (gpu::HealthPolicy): suspect
+  /// threshold/decay for transient blips, probation entry delay, canary
+  /// probe cadence, clean probes to restore, max restore attempts before
+  /// permanent retirement, and the probation capacity cap. Consumed by
+  /// the QueryEngine's fleet maintainer and pushed into the
+  /// gpu::DeviceGroup; ResilientLoop ignores it.
+  using Health = gpu::HealthPolicy;
+  Health health;
 
   bool operator==(const ResiliencePolicy&) const = default;
 };
@@ -306,6 +315,22 @@ class CostModelCalibration {
   const std::vector<CostModelEntry>& entries() const { return entries_; }
 
   double alpha() const { return alpha_; }
+
+  /// Replaces the entry table wholesale (rows are re-sorted by key;
+  /// duplicate keys are rejected). The import half of cross-process
+  /// warm-start: a fresh engine adopts another engine's learned
+  /// corrections while keeping its own alpha.
+  void replace_entries(std::vector<CostModelEntry> entries);
+
+  /// Serializes alpha and every entry to a deterministic JSON document
+  /// (stable key order, round-trip-exact doubles) suitable for saving to
+  /// disk and re-importing with from_json() in another process.
+  std::string to_json() const;
+
+  /// Parses a to_json() document back into a calibration table. Strict:
+  /// throws std::invalid_argument on anything malformed (unknown fields,
+  /// wrong types, duplicate keys, alpha outside (0, 1]).
+  static CostModelCalibration from_json(const std::string& json);
 
  private:
   double alpha_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -413,6 +414,7 @@ QueryEngine::QueryEngine(const GpuGraph& graph,
   policy_ = opts_.resilience;
   validate_options();
   calibration_ = CostModelCalibration(policy_.cost_ewma_alpha);
+  graphs_->group().set_health_policy(policy_.health);
 }
 
 QueryEngine::QueryEngine(ReplicatedGraph& graphs,
@@ -421,6 +423,7 @@ QueryEngine::QueryEngine(ReplicatedGraph& graphs,
   policy_ = opts_.resilience;
   validate_options();
   calibration_ = CostModelCalibration(policy_.cost_ewma_alpha);
+  graphs_->group().set_health_policy(policy_.health);
 }
 
 QueryEngine::QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
@@ -433,6 +436,17 @@ QueryEngine::QueryEngine(gpu::DeviceGroup& group, graph::Csr host,
   policy_ = opts_.resilience;
   validate_options();
   calibration_ = CostModelCalibration(policy_.cost_ewma_alpha);
+  graphs_->group().set_health_policy(policy_.health);
+}
+
+void QueryEngine::import_cost_model(const std::string& json) {
+  CostModelCalibration imported = CostModelCalibration::from_json(json);
+  // Adopt the entries, keep this engine's configured alpha: the table is
+  // portable knowledge, the blending rate is local policy.
+  CostModelCalibration table(policy_.cost_ewma_alpha);
+  std::vector<CostModelEntry> entries = imported.entries();
+  table.replace_entries(std::move(entries));
+  calibration_ = std::move(table);
 }
 
 void QueryEngine::validate_options() const {
@@ -454,6 +468,25 @@ void QueryEngine::validate_options() const {
     throw std::invalid_argument(
         "QueryEngine: cost_ewma_alpha must be in (0, 1]");
   }
+  const ResiliencePolicy::Health& health = policy_.health;
+  if (!(health.suspect_threshold >= 1.0)) {
+    throw std::invalid_argument(
+        "QueryEngine: health.suspect_threshold must be at least 1");
+  }
+  if (health.suspect_decay_ms < 0 || health.probation_delay_ms < 0 ||
+      health.probe_interval_ms < 0 || health.probe_watchdog_ms < 0) {
+    throw std::invalid_argument(
+        "QueryEngine: health durations must be >= 0");
+  }
+  if (health.probes_to_restore == 0 || health.probes_per_pass == 0 ||
+      health.max_restore_attempts == 0) {
+    throw std::invalid_argument(
+        "QueryEngine: health probe/restore counts must be >= 1");
+  }
+  if (health.probation_capacity < 0 || health.probation_capacity > 1.0) {
+    throw std::invalid_argument(
+        "QueryEngine: health.probation_capacity must be in [0, 1]");
+  }
   validate_kernel_options(opts_.kernel, "QueryEngine");
   if (opts_.verify) {
     // Every group member must record: migrated work would otherwise
@@ -469,6 +502,121 @@ void QueryEngine::validate_options() const {
   }
 }
 
+bool QueryEngine::run_canary_probe(std::size_t i) {
+  gpu::DeviceGroup& group = graphs_->group();
+  gpu::Device& device = group.device(i);
+  // The probe cadence is a real cost: quiescing and scheduling a
+  // diagnostic on a sidelined card is not free, so charge the interval
+  // to the probed member's timeline before the kernel.
+  device.charge_delay_ms(policy_.health.probe_interval_ms);
+  try {
+    // A lazy, never-uploaded replica pays its H2D here — residency is
+    // part of what the probe certifies (an allocation fault fails it).
+    const GpuGraph& g = graphs_->replica(i);
+    const std::uint32_t n = g.num_nodes();
+    const auto span = std::min<std::uint32_t>(n, 1024);
+    if (span == 0) return true;
+
+    gpu::WatchdogScope watchdog(device, policy_.health.probe_watchdog_ms);
+    gpu::DeviceBuffer<std::uint32_t> touched(device, 1);
+    touched.fill(0);
+    const auto row = g.csr().row();
+    const auto adj = g.csr().adj();
+    auto count_ptr = touched.ptr();
+    // One-level BFS step over the replica's first `span` vertices: read
+    // each row extent, peek the first neighbour (exercising the
+    // adjacency array the member will serve from), and fold a
+    // warp-aggregated count into one atomic so the host can verify the
+    // sweep actually covered the slice.
+    const auto dims = device.dims_for_threads(span)
+                          .named("health.canary")
+                          .reads(row.vaddr)
+                          .reads(adj.vaddr)
+                          .atomics(count_ptr.vaddr);
+    device.launch(dims, [&, span](WarpCtx& w) {
+      Lanes<std::uint32_t> v{};
+      w.alu([&](int l) { v[static_cast<std::size_t>(l)] = w.thread_id(l); });
+      const LaneMask valid =
+          w.ballot([&](int l) { return w.thread_id(l) < span; });
+      if (valid == 0) return;
+      Lanes<std::uint32_t> begin{}, end{};
+      w.with_mask(valid, [&] {
+        w.load_global(row, [&](int l) {
+          return v[static_cast<std::size_t>(l)];
+        }, begin);
+        w.load_global(row, [&](int l) {
+          return v[static_cast<std::size_t>(l)] + 1;
+        }, end);
+      });
+      const LaneMask has = valid & w.ballot([&](int l) {
+        const auto j = static_cast<std::size_t>(l);
+        return end[j] > begin[j];
+      });
+      if (has != 0) {
+        Lanes<std::uint32_t> first{};
+        w.with_mask(has, [&] {
+          w.load_global(adj, [&](int l) {
+            return begin[static_cast<std::size_t>(l)];
+          }, first);
+        });
+      }
+      w.with_mask(valid, [&] {
+        Lanes<std::uint32_t> ones = simt::make_lanes<std::uint32_t>(1);
+        std::uint32_t total = 0;
+        (void)w.exclusive_scan_add(ones, total);
+        const int leader = simt::first_lane(w.active());
+        w.with_mask(simt::lane_bit(leader), [&] {
+          w.atomic_add(count_ptr, [](int) { return 0u; },
+                       [&](int) { return total; });
+        });
+      });
+    });
+    // The kernel must have counted the whole slice — a partially
+    // executed sweep is not a clean probe.
+    return touched.read(0) == span;
+  } catch (const gpu::DeviceError&) {
+    return false;
+  } catch (const simt::SanitizerFault&) {
+    return false;
+  }
+}
+
+FleetReport QueryEngine::maintain_fleet() {
+  gpu::DeviceGroup& group = graphs_->group();
+  group.set_health_policy(policy_.health);
+  FleetReport report;
+  group.decay_suspects();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group.probation_due(i)) group.begin_probation(i);
+  }
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::uint32_t p = 0; p < policy_.health.probes_per_pass; ++p) {
+      if (group.health_state(i) != gpu::DeviceHealth::kProbation) break;
+      ++report.probes;
+      const bool clean = run_canary_probe(i);
+      if (!clean) ++report.probe_failures;
+      switch (group.record_probe(i, clean,
+                                 clean ? "clean canary" : "canary faulted")) {
+        case gpu::ProbeOutcome::kReadyToRestore:
+          // Whatever corrupted the member while it was dead may live in
+          // its resident replica: re-upload (page-granular when the ECC
+          // record pinpoints the victim) before serving from it again.
+          graphs_->revalidate(i);
+          group.restore_device(i);
+          ++report.restorations;
+          break;
+        case gpu::ProbeOutcome::kRetired:
+          ++report.retired;
+          break;
+        case gpu::ProbeOutcome::kProbing:
+        case gpu::ProbeOutcome::kRedead:
+          break;
+      }
+    }
+  }
+  return report;
+}
+
 std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   gpu::DeviceGroup& group = graphs_->group();
   stats_ = BatchStats{};
@@ -482,6 +630,17 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     results[i].query = queries[i];
   }
   if (queries.empty()) return results;
+
+  // Fleet maintenance first, before the batch baselines are captured:
+  // probe time is repair cost on the probed member's own timeline, not
+  // part of this batch's serving makespan. A restored member is back in
+  // healthy_members() by the time the planner below runs, so the very
+  // next batch places work on it.
+  const FleetReport fleet = maintain_fleet();
+  stats_.probes = fleet.probes;
+  stats_.probe_failures = fleet.probe_failures;
+  stats_.restorations = fleet.restorations;
+  stats_.retired = fleet.retired;
 
   // Admission: malformed queries get a structured per-query error up
   // front and never reach a launch — one bad source cannot take down the
@@ -601,9 +760,14 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
   std::vector<double> load(group.size(), 0.0);
   schedule_.clear();
 
+  // A member that may run work at all: full-health or on probation.
+  const auto serving = [&](std::size_t d) { return group.serving(d); };
+
   // Lowest-index least-loaded healthy member: LPT's placement rule and
   // the re-plan target after a device death. The ascending scan makes
-  // ties deterministic.
+  // ties deterministic. Probation members are only a last resort (no
+  // healthy member left), capacity cap waived — degraded hardware beats
+  // the host reference.
   const auto least_loaded = [&]() -> std::size_t {
     std::size_t best = group.active_index();
     double best_load = 0.0;
@@ -616,8 +780,25 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
         best_load = load[d];
       }
     }
+    if (!found) {
+      for (std::size_t d = 0; d < group.size(); ++d) {
+        if (!serving(d)) continue;
+        if (!found || load[d] < best_load) {
+          found = true;
+          best = d;
+          best_load = load[d];
+        }
+      }
+    }
     return best;
   };
+
+  // Per-member planned-load cap: infinite for healthy members, a
+  // configurable fraction of the fair per-member share for probation
+  // members — restoration is gradual, not a cliff. Filled by the
+  // balanced block below once unit costs exist.
+  std::vector<double> capacity(group.size(),
+                               std::numeric_limits<double>::infinity());
 
   if (balanced) {
     // Cost every unit from the host CSR alone (plus the cached adaptive
@@ -650,8 +831,26 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
           degree_bucket};
       cost[u] = calibration_.calibrated(shape[u], raw_cost[u]);
     }
+    // Probation members join the plan capacity-capped: each may carry at
+    // most probation_capacity of the fair per-serving-member share, so a
+    // provisionally repaired card warms back up without betting a full
+    // queue on it. With no probation member every cap is infinite and
+    // the placement below is bit-identical to the healthy-only plan.
+    const std::vector<std::size_t> probation = group.probation_members();
+    if (!probation.empty()) {
+      double total_cost = 0.0;
+      for (const double c : cost) total_cost += c;
+      const double serving_count = static_cast<double>(
+          group.healthy_count() + probation.size());
+      const double fair_share = total_cost / serving_count;
+      for (const std::size_t d : probation) {
+        capacity[d] = policy_.health.probation_capacity * fair_share;
+      }
+    }
     // LPT: place cost-descending (stable sort — equal costs keep input
-    // order) onto the least-loaded healthy member.
+    // order) onto the least-loaded serving member with headroom. Healthy
+    // members always have headroom; a probation member is skipped once
+    // the unit would push it past its cap.
     std::vector<std::uint32_t> order(units.size());
     for (std::uint32_t u = 0; u < order.size(); ++u) order[u] = u;
     std::stable_sort(order.begin(), order.end(),
@@ -659,7 +858,17 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
                        return cost[a] > cost[b];
                      });
     for (const std::uint32_t u : order) {
-      const std::size_t d = least_loaded();
+      std::size_t d = group.size();
+      double d_load = 0.0;
+      for (std::size_t m = 0; m < group.size(); ++m) {
+        if (!serving(m)) continue;
+        if (!group.healthy(m) && load[m] + cost[u] > capacity[m]) continue;
+        if (d == group.size() || load[m] < d_load) {
+          d = m;
+          d_load = load[m];
+        }
+      }
+      if (d == group.size()) d = least_loaded();
       queue[d].push_back(u);
       load[d] += cost[u];
       schedule_.push_back(UnitPlacement{
@@ -734,6 +943,7 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       if (deadline > 0) watchdog.emplace(device, deadline);
       ran_on[di] = true;
       const double start = device.total_modeled_ms();
+      const std::size_t faults_before = device.faults().history().size();
       const auto over_deadline = [&] {
         return deadline > 0 &&
                spent + device.total_modeled_ms() - start > deadline;
@@ -772,12 +982,27 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
             status = e.status();
             break;
           }
+          // A transient fault the engine retried away is exactly the
+          // blip the suspect counter tracks: the device stays in the
+          // rotation but its score accrues (and decays) toward the
+          // escalation threshold.
+          group.note_transient(di, e.status().to_string());
           ++stats_.retries;
           device.charge_delay_ms(policy_.retry_backoff_ms *
                                  static_cast<double>(1u << attempt));
         }
       }
       spent += device.total_modeled_ms() - start;
+      // Correctable-ECC events never fail a launch — they only land in
+      // the injector's history — but they are the canonical transient
+      // blip: count the ones this rung produced against the member.
+      const auto& history = device.faults().history();
+      for (std::size_t h = faults_before; h < history.size(); ++h) {
+        if (history[h].kind == simt::FaultKind::kEccCorrectable) {
+          group.note_transient(di, "correctable ecc (" + history[h].label +
+                                       ")");
+        }
+      }
       return status;
     };
 
@@ -801,7 +1026,17 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
         if (st.ok() || !st.transient()) return st;
         if (budget_exhausted()) return st;
         if (balanced) {
-          if (!group.fail_device(dev, st.to_string())) return st;
+          // kAlreadyDead can happen when a suspect escalation killed the
+          // member mid-unit: the death is already on the books, but this
+          // unit's work still moves to a survivor.
+          const gpu::FailoverOutcome fo =
+              group.fail_device(dev, st.to_string());
+          if (fo == gpu::FailoverOutcome::kRefused) return st;
+          if (fo == gpu::FailoverOutcome::kAlreadyDead &&
+              group.healthy_count() == 0) {
+            return st;
+          }
+          if (fo == gpu::FailoverOutcome::kMigrated) ++stats_.migrations;
           dev = least_loaded();
           load[dev] += cost[uidx];
           schedule_.push_back(UnitPlacement{
@@ -809,10 +1044,11 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
               static_cast<std::uint32_t>(unit.idx.size()),
               /*replanned=*/true});
         } else {
-          if (!group.fail_over(st.to_string())) return st;
+          const gpu::FailoverOutcome fo = group.fail_over(st.to_string());
+          if (fo == gpu::FailoverOutcome::kRefused) return st;
+          if (fo == gpu::FailoverOutcome::kMigrated) ++stats_.migrations;
           dev = group.active_index();
         }
-        ++stats_.migrations;
         migrated = true;
       }
     };
@@ -1000,7 +1236,9 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     while (pending()) {
       for (std::size_t d = 0; d < group.size(); ++d) {
         while (cursor[d] < queue[d].size()) {
-          if (!group.healthy(d)) {
+          // Probation members keep draining their (capped) queue; only a
+          // member that can run nothing orphans its remainder.
+          if (!serving(d)) {
             replan_remainder(d);
             break;
           }
@@ -1040,6 +1278,11 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
     // the steal threshold; a dead one yields everything.
     const auto best_prey = [&](std::size_t d) {
       std::size_t best = queue[d].size();
+      // A probation member is never a victim: its queue was deliberately
+      // capped small, and robbing it would defeat the warm-up.
+      if (group.health_state(d) == gpu::DeviceHealth::kProbation) {
+        return best;
+      }
       for (std::size_t p = cursor[d]; p < queue[d].size(); ++p) {
         const std::uint32_t u = queue[d][p];
         if (group.healthy(d) && !(cost[u] > policy_.steal_threshold)) {
@@ -1082,19 +1325,40 @@ std::vector<QueryResult> QueryEngine::run(std::span<const Query> queries) {
       // always exists; and any pending queue is either a healthy
       // member's own work or a robbable dead member's, so every pass
       // completes exactly one unit — the loop cannot stall.
+      // least_busy_member scans healthy members only (a probation member
+      // is never a thief — it must not inflate its capped share), so on
+      // an all-probation/dead fleet it returns size(); the fallback scan
+      // below then picks a serving member still holding its own work.
       std::size_t thief = group.least_busy_member(makespan_base);
-      if (!unstarted(thief)) {
-        const std::size_t victim = pick_victim(thief);
+      if (thief >= group.size() || !unstarted(thief)) {
+        const std::size_t victim =
+            thief < group.size() ? pick_victim(thief) : group.size();
         if (victim == group.size()) {
           // Nothing robbable (the threshold shields every healthy
           // victim): the least-busy member still holding its *own* work
-          // proceeds instead. Ascending scan, strict <, deterministic.
+          // proceeds instead — probation members included, so a capped
+          // queue drains on its owner. Ascending scan, strict <,
+          // deterministic.
           for (std::size_t d = 0; d < group.size(); ++d) {
-            if (!group.healthy(d) || !unstarted(d)) continue;
+            if (!serving(d) || !unstarted(d)) continue;
             if (thief == group.size() || !unstarted(thief) ||
                 busy(d) < busy(thief)) {
               thief = d;
             }
+          }
+          if (thief >= group.size() || !unstarted(thief)) {
+            // No serving member holds runnable work (every pending queue
+            // belongs to a dead/retired member and nobody can steal it):
+            // re-plan through least_loaded and bail out of the drain.
+            for (std::size_t d = 0; d < group.size(); ++d) {
+              for (std::size_t p = cursor[d]; p < queue[d].size(); ++p) {
+                const std::uint32_t uidx = queue[d][p];
+                const std::size_t nd = least_loaded();
+                run_unit(uidx, nd, issued[nd]++);
+              }
+              cursor[d] = queue[d].size();
+            }
+            break;
           }
         } else {
           const std::size_t p = best_prey(victim);

@@ -251,6 +251,16 @@ struct BatchStats {
   /// for each steal, how far the thief's timeline trailed the victim's
   /// at the moment of the steal.
   double steal_idle_absorbed_ms = 0.0;
+  // -- fleet-maintenance accounting (all zero while every member is
+  // healthy; filled by the maintenance pass run() executes up front) --
+  /// Canary probes launched on probation members this batch.
+  std::uint32_t probes = 0;
+  /// Probes that faulted (each re-kills its member with doubled delay).
+  std::uint32_t probe_failures = 0;
+  /// Members restored to full health after N consecutive clean probes.
+  std::uint32_t restorations = 0;
+  /// Members permanently retired (max restore attempts exhausted).
+  std::uint32_t retired = 0;
   /// Per-device share of the batch, index-aligned with the group's
   /// devices (one entry even for devices that stayed idle). The
   /// single-device constructors leave one entry with device = 0, so
@@ -309,6 +319,14 @@ double estimate_unit_cost(const graph::DegreeStats& degrees,
                           const simt::SimConfig& cfg,
                           const AdaptiveState* adaptive = nullptr);
 
+/// What one fleet-maintenance pass (QueryEngine::maintain_fleet) did.
+struct FleetReport {
+  std::uint32_t probes = 0;
+  std::uint32_t probe_failures = 0;
+  std::uint32_t restorations = 0;
+  std::uint32_t retired = 0;
+};
+
 class QueryEngine {
  public:
   /// Single-device adapter: borrows `graph` (upload already paid; it
@@ -339,6 +357,20 @@ class QueryEngine {
   /// round-robin across num_streams streams per device. Accounting
   /// lands in last_batch_stats(), placements in last_schedule().
   std::vector<QueryResult> run(std::span<const Query> queries);
+
+  /// One fleet-maintenance pass over the device group, run automatically
+  /// at the start of every run() (and callable standalone between
+  /// batches): decays suspect scores back toward healthy, moves
+  /// probation-due dead members into probation, and launches up to
+  /// health.probes_per_pass canary probes per probation member — a tiny
+  /// labeled one-level BFS over a slice of the member's replica, charged
+  /// to modeled time and visible in the launch graph. N consecutive
+  /// clean probes revalidate the replica (page-granular ECC path) and
+  /// restore the member to the rotation; a faulted probe re-kills it
+  /// with exponentially backed-off re-entry, and a member that exhausts
+  /// max_restore_attempts is permanently retired. Deterministic: every
+  /// decision reads the modeled clock and the seeded fault injector.
+  FleetReport maintain_fleet();
 
   const BatchStats& last_batch_stats() const { return stats_; }
   /// The scheduler's placement log for the last run() batch, in
@@ -375,8 +407,21 @@ class QueryEngine {
     return calibration_.entries();
   }
 
+  /// Serializes the calibration table (cost_model_report()) to JSON —
+  /// the save half of cross-process warm-start.
+  std::string export_cost_model() const { return calibration_.to_json(); }
+
+  /// Adopts a previously exported calibration table: the imported
+  /// entries replace this engine's (the imported alpha is discarded —
+  /// future observations blend with this engine's configured
+  /// cost_ewma_alpha). Throws std::invalid_argument on malformed JSON.
+  void import_cost_model(const std::string& json);
+
  private:
   void validate_options() const;
+  /// Launches one canary probe kernel on group member `i`; true when it
+  /// ran clean, false when it faulted (DeviceError/SanitizerFault).
+  bool run_canary_probe(std::size_t i);
 
   ReplicatedGraph* graphs_;
   std::unique_ptr<ReplicatedGraph> owned_graphs_;

@@ -33,6 +33,18 @@ ReplicatedGraph::ReplicatedGraph(const GpuGraph& graph)
   owned_replicas_.resize(1);
 }
 
+void ReplicatedGraph::revalidate(std::size_t i) {
+  if (replicas_.at(i) == nullptr) return;
+  const auto& history = group_->device(i).faults().history();
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (it->kind == simt::FaultKind::kEccUncorrectable) {
+      replicas_[i]->refresh_device_data(*it);
+      return;
+    }
+  }
+  replicas_[i]->refresh_device_data();
+}
+
 const GpuGraph& ReplicatedGraph::replica(std::size_t i) {
   if (replicas_.at(i) != nullptr) return *replicas_[i];
   // Lazy spare upload, paid now: the GpuGraph constructor charges the

@@ -77,6 +77,17 @@ class ReplicatedGraph {
   };
   Lease lease(std::size_t i) { return Lease{&replica(i), i}; }
 
+  /// Failback revalidation: before a probed member returns to the
+  /// rotation, re-upload whatever an uncorrectable ECC event may have
+  /// corrupted in its resident replica. When the device's fault history
+  /// records such an event, the page-granular recovery path
+  /// (GpuGraph::refresh_device_data(event) → GpuCsr::reupload_page)
+  /// restores just the victim page; with no attributable event the whole
+  /// CSR is re-uploaded — the member was dead for unknown reasons, so
+  /// its resident bytes cannot be trusted. A non-resident replica is a
+  /// no-op: its next lease uploads pristine host bytes anyway.
+  void revalidate(std::size_t i);
+
   /// The active device's replica — where the next work unit runs.
   const GpuGraph& active() { return replica(group_->active_index()); }
 

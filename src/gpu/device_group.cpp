@@ -1,8 +1,21 @@
 #include "gpu/device_group.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace maxwarp::gpu {
+
+const char* to_string(DeviceHealth h) {
+  switch (h) {
+    case DeviceHealth::kHealthy: return "healthy";
+    case DeviceHealth::kSuspect: return "suspect";
+    case DeviceHealth::kDead: return "dead";
+    case DeviceHealth::kProbation: return "probation";
+    case DeviceHealth::kRetired: return "retired";
+  }
+  return "?";
+}
 
 DeviceGroup::DeviceGroup(std::size_t count, const simt::SimConfig& cfg) {
   if (count == 0) {
@@ -15,7 +28,7 @@ DeviceGroup::DeviceGroup(std::size_t count, const simt::SimConfig& cfg) {
     owned_.back()->set_ordinal(static_cast<int>(i));
     devices_.push_back(owned_.back().get());
   }
-  healthy_.assign(count, true);
+  health_.assign(count, MemberHealth{});
 }
 
 DeviceGroup::DeviceGroup(std::vector<Device*> devices)
@@ -36,12 +49,21 @@ DeviceGroup::DeviceGroup(std::vector<Device*> devices)
       devices_[i]->set_ordinal(static_cast<int>(i));
     }
   }
-  healthy_.assign(devices_.size(), true);
+  health_.assign(devices_.size(), MemberHealth{});
+}
+
+bool DeviceGroup::healthy(std::size_t i) const {
+  const DeviceHealth s = health_.at(i).state;
+  return s == DeviceHealth::kHealthy || s == DeviceHealth::kSuspect;
+}
+
+bool DeviceGroup::serving(std::size_t i) const {
+  return healthy(i) || health_.at(i).state == DeviceHealth::kProbation;
 }
 
 std::size_t DeviceGroup::healthy_count() const {
   std::size_t n = 0;
-  for (bool h : healthy_) n += h ? 1 : 0;
+  for (std::size_t i = 0; i < health_.size(); ++i) n += healthy(i) ? 1 : 0;
   return n;
 }
 
@@ -49,7 +71,15 @@ std::vector<std::size_t> DeviceGroup::healthy_members() const {
   std::vector<std::size_t> members;
   members.reserve(devices_.size());
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    if (healthy_[i]) members.push_back(i);
+    if (healthy(i)) members.push_back(i);
+  }
+  return members;
+}
+
+std::vector<std::size_t> DeviceGroup::probation_members() const {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (health_[i].state == DeviceHealth::kProbation) members.push_back(i);
   }
   return members;
 }
@@ -58,7 +88,7 @@ std::size_t DeviceGroup::least_busy_member(std::span<const double> base) {
   std::size_t best = devices_.size();
   double best_busy = 0.0;
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    if (!healthy_[i]) continue;
+    if (!healthy(i)) continue;
     const double since = i < base.size() ? base[i] : 0.0;
     const double busy = devices_[i]->modeled_makespan_ms() - since;
     if (best == devices_.size() || busy < best_busy) {
@@ -69,44 +99,224 @@ std::size_t DeviceGroup::least_busy_member(std::span<const double> base) {
   return best;
 }
 
-bool DeviceGroup::fail_device(std::size_t i, const std::string& reason) {
+DeviceHealth DeviceGroup::health_state(std::size_t i) const {
+  return health_.at(i).state;
+}
+
+double DeviceGroup::suspect_score(std::size_t i) const {
+  return health_.at(i).suspect_score;
+}
+
+std::uint32_t DeviceGroup::restore_attempts(std::size_t i) const {
+  return health_.at(i).restore_attempts;
+}
+
+double DeviceGroup::group_clock_ms() const {
+  double clock = 0.0;
+  for (const Device* d : devices_) {
+    clock = std::max(clock, d->total_modeled_ms());
+  }
+  return clock;
+}
+
+void DeviceGroup::transition(std::size_t i, DeviceHealth to,
+                             const std::string& reason) {
+  MemberHealth& m = health_[i];
+  health_log_.push_back(HealthRecord{i, m.state, to, group_clock_ms(), reason});
+  m.state = to;
+}
+
+void DeviceGroup::decay_score(std::size_t i) {
+  MemberHealth& m = health_[i];
+  const double now = group_clock_ms();
+  if (m.suspect_score > 0.0 && health_policy_.suspect_decay_ms > 0.0) {
+    const double elapsed = now - m.suspect_at_ms;
+    if (elapsed > 0.0) {
+      m.suspect_score *= std::exp2(-elapsed / health_policy_.suspect_decay_ms);
+    }
+  }
+  m.suspect_at_ms = now;
+}
+
+void DeviceGroup::mark_dead(std::size_t i, const std::string& reason) {
+  MemberHealth& m = health_[i];
+  transition(i, DeviceHealth::kDead, reason);
+  m.died_at_ms = group_clock_ms();
+  m.suspect_score = 0.0;
+  m.clean_probes = 0;
+}
+
+DeviceHealth DeviceGroup::note_transient(std::size_t i,
+                                         const std::string& reason) {
+  if (i >= devices_.size()) {
+    throw std::out_of_range("DeviceGroup::note_transient: no such device");
+  }
+  MemberHealth& m = health_[i];
+  if (m.state != DeviceHealth::kHealthy && m.state != DeviceHealth::kSuspect) {
+    return m.state;  // blips on dead/probation/retired members carry no news
+  }
+  decay_score(i);
+  m.suspect_score += 1.0;
+  if (m.state == DeviceHealth::kHealthy) {
+    transition(i, DeviceHealth::kSuspect, reason);
+  }
+  // Escalate only spares, and never the last healthy member: the serving
+  // ladder above the group owns the active member's fate, and killing the
+  // whole fleet on blips would force a host fallback nothing asked for.
+  if (m.suspect_score >= health_policy_.suspect_threshold && i != active_ &&
+      healthy_count() > 1) {
+    mark_dead(i, "suspect score " + std::to_string(m.suspect_score) +
+                     " crossed threshold: " + reason);
+  }
+  return m.state;
+}
+
+void DeviceGroup::decay_suspects() {
+  for (std::size_t i = 0; i < health_.size(); ++i) {
+    if (health_[i].state != DeviceHealth::kSuspect) continue;
+    decay_score(i);
+    if (health_[i].suspect_score < 1.0) {
+      health_[i].suspect_score = 0.0;
+      transition(i, DeviceHealth::kHealthy, "suspect score decayed");
+    }
+  }
+}
+
+bool DeviceGroup::probation_due(std::size_t i) const {
+  const MemberHealth& m = health_.at(i);
+  if (m.state != DeviceHealth::kDead) return false;
+  const double delay = health_policy_.probation_delay_ms *
+                       std::exp2(static_cast<double>(m.restore_attempts));
+  return group_clock_ms() >= m.died_at_ms + delay;
+}
+
+void DeviceGroup::begin_probation(std::size_t i) {
+  MemberHealth& m = health_.at(i);
+  if (m.state != DeviceHealth::kDead) {
+    throw std::logic_error("DeviceGroup::begin_probation: member is not dead");
+  }
+  m.clean_probes = 0;
+  transition(i, DeviceHealth::kProbation,
+             "probation delay elapsed (attempt " +
+                 std::to_string(m.restore_attempts + 1) + ")");
+}
+
+ProbeOutcome DeviceGroup::record_probe(std::size_t i, bool clean,
+                                       const std::string& reason) {
+  MemberHealth& m = health_.at(i);
+  if (m.state != DeviceHealth::kProbation) {
+    throw std::logic_error("DeviceGroup::record_probe: member not on probation");
+  }
+  if (clean) {
+    ++m.clean_probes;
+    return m.clean_probes >= health_policy_.probes_to_restore
+               ? ProbeOutcome::kReadyToRestore
+               : ProbeOutcome::kProbing;
+  }
+  ++m.restore_attempts;
+  if (m.restore_attempts >= health_policy_.max_restore_attempts) {
+    transition(i, DeviceHealth::kRetired,
+               "probe failed, restore attempts exhausted: " + reason);
+    return ProbeOutcome::kRetired;
+  }
+  mark_dead(i, "probe failed: " + reason);
+  return ProbeOutcome::kRedead;
+}
+
+void DeviceGroup::restore_device(std::size_t i) {
+  MemberHealth& m = health_.at(i);
+  if (m.state != DeviceHealth::kProbation) {
+    throw std::logic_error(
+        "DeviceGroup::restore_device: member not on probation");
+  }
+  transition(i, DeviceHealth::kHealthy,
+             std::to_string(m.clean_probes) + " clean probes");
+  m.suspect_score = 0.0;
+  m.suspect_at_ms = group_clock_ms();
+  m.restore_attempts = 0;
+  m.clean_probes = 0;
+}
+
+void DeviceGroup::retire(std::size_t i, const std::string& reason) {
+  MemberHealth& m = health_.at(i);
+  if (m.state == DeviceHealth::kRetired) return;
+  transition(i, DeviceHealth::kRetired, reason);
+  m.suspect_score = 0.0;
+  m.clean_probes = 0;
+}
+
+FailoverOutcome DeviceGroup::fail_device(std::size_t i,
+                                         const std::string& reason) {
   if (i >= devices_.size()) {
     throw std::out_of_range("DeviceGroup::fail_device: no such device");
   }
   if (i == active_) return fail_over(reason);
-  // Survivors after marking i dead; refuse (like fail_over) when none.
-  const std::size_t survivors = healthy_count() - (healthy_[i] ? 1 : 0);
-  if (survivors == 0) return false;
-  if (healthy_[i]) {
-    healthy_[i] = false;
-    failover_log_.push_back(FailoverRecord{static_cast<int>(i),
-                                           static_cast<int>(active_),
-                                           reason});
+  MemberHealth& m = health_[i];
+  if (m.state == DeviceHealth::kDead || m.state == DeviceHealth::kRetired) {
+    return FailoverOutcome::kAlreadyDead;
   }
-  return true;
+  if (m.state == DeviceHealth::kProbation) {
+    // A death during probation is a failed restore attempt: the canary was
+    // wrong, back off harder (or give up).
+    ++m.restore_attempts;
+    failover_log_.push_back(FailoverRecord{static_cast<int>(i),
+                                           static_cast<int>(active_), reason});
+    if (m.restore_attempts >= health_policy_.max_restore_attempts) {
+      transition(i, DeviceHealth::kRetired,
+                 "died on probation, restore attempts exhausted: " + reason);
+    } else {
+      mark_dead(i, "died on probation: " + reason);
+    }
+    return FailoverOutcome::kMigrated;
+  }
+  // Healthy or suspect: refuse (like fail_over) when i is the last one.
+  if (healthy_count() <= 1) return FailoverOutcome::kRefused;
+  failover_log_.push_back(
+      FailoverRecord{static_cast<int>(i), static_cast<int>(active_), reason});
+  mark_dead(i, reason);
+  return FailoverOutcome::kMigrated;
 }
 
-bool DeviceGroup::fail_over(const std::string& reason) {
+FailoverOutcome DeviceGroup::fail_over(const std::string& reason) {
   // Find the next healthy device after the active one, wrapping; the
   // active device itself is the one being declared dead, so it cannot be
   // the answer.
   for (std::size_t step = 1; step < devices_.size(); ++step) {
     const std::size_t candidate = (active_ + step) % devices_.size();
-    if (!healthy_[candidate]) continue;
+    if (!healthy(candidate)) continue;
+    if (!healthy(active_) &&
+        health_[active_].state != DeviceHealth::kProbation) {
+      // The active member was already dead/retired (e.g. via retire());
+      // just move the cursor — the death is already on the books.
+      active_ = candidate;
+      return FailoverOutcome::kAlreadyDead;
+    }
     failover_log_.push_back(FailoverRecord{static_cast<int>(active_),
                                            static_cast<int>(candidate),
                                            reason});
-    healthy_[active_] = false;
+    if (health_[active_].state == DeviceHealth::kProbation) {
+      ++health_[active_].restore_attempts;
+      if (health_[active_].restore_attempts >=
+          health_policy_.max_restore_attempts) {
+        transition(active_, DeviceHealth::kRetired,
+                   "died on probation, restore attempts exhausted: " + reason);
+      } else {
+        mark_dead(active_, "died on probation: " + reason);
+      }
+    } else {
+      mark_dead(active_, reason);
+    }
     active_ = candidate;
-    return true;
+    return FailoverOutcome::kMigrated;
   }
-  return false;
+  return FailoverOutcome::kRefused;
 }
 
 void DeviceGroup::reset_health() {
-  healthy_.assign(devices_.size(), true);
+  health_.assign(devices_.size(), MemberHealth{});
   active_ = 0;
   failover_log_.clear();
+  health_log_.clear();
 }
 
 void DeviceGroup::arm(std::size_t i, const simt::FaultPlan& plan) {

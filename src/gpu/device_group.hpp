@@ -8,23 +8,44 @@
 // therefore its own simt::FaultInjector plan, so a drill can kill the
 // primary while the spares stay clean.
 //
-// The group tracks per-device health and an active cursor. When a caller
-// (the QueryEngine ladder, or a ResilientLoop that exhausted same-device
-// retries) reports the active device dead, fail_over() advances the cursor
-// to the next healthy device and records the migration; it refuses — and
-// keeps the active device — when no healthy spare remains, which is the
-// signal to fall back to the host reference. Health is an operator-level
-// judgment ("this card is done"), not something the group infers: callers
-// decide when a device's failure budget is spent, because only they know
-// their retry policy.
+// Health is a per-member state machine, not a bool:
+//
+//     kHealthy ──transient blips──▶ kSuspect ──decay──▶ kHealthy
+//        │                            │
+//        │ persistent fault           │ score ≥ threshold (spares only)
+//        ▼                            ▼
+//      kDead ◀────failed probe──── kProbation
+//        │    (exponential backoff)   │
+//        │ probation delay elapsed    │ N clean probes
+//        └──────────▶─────────────────┘──▶ kHealthy
+//        │
+//        └── max restore attempts ──▶ kRetired (permanent)
+//
+// Transient faults (DeviceError::transient() at the caller) bump a decayed
+// suspect counter via note_transient(); crossing the threshold kills a
+// spare, while the active member and the last healthy member are never
+// escalated (the ladder above the group decides their fate). Persistent
+// faults arrive as fail_device()/fail_over(). A dead member becomes
+// eligible for probation after a modeled-time delay that doubles with each
+// failed restore attempt; the *caller* (QueryEngine) runs canary probes and
+// reports outcomes through record_probe(), because only the caller can
+// launch kernels. N consecutive clean probes make the member restorable;
+// repeated failures retire it permanently. Every transition is appended to
+// a HealthRecord audit log stamped with the group's modeled clock.
+//
+// healthy(i) keeps its historical meaning — "may carry a full share of
+// work" — and is true for kHealthy and kSuspect only. Probation members
+// are *serving* but capacity-capped; schedulers query health_state() for
+// that distinction.
 //
 // What lives here is deliberately narrow: devices, ordinals, health, the
-// failover log. Graph replicas are an algorithms-layer concern
+// failover and health logs. Graph replicas are an algorithms-layer concern
 // (algorithms::ReplicatedGraph) — this library sits below the algorithm
 // stack and must not know what a CSR is.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -41,6 +62,80 @@ struct FailoverRecord {
   int from = -1;
   int to = -1;
   std::string reason;
+};
+
+/// Per-member health lifecycle state. See the diagram atop this header.
+enum class DeviceHealth : std::uint8_t {
+  kHealthy,    ///< full member of the rotation
+  kSuspect,    ///< serving, but transient blips are accruing
+  kDead,       ///< out of rotation; may re-enter via probation
+  kProbation,  ///< serving capacity-capped while canary probes run
+  kRetired,    ///< permanently out; no probation, only reset_health()
+};
+
+const char* to_string(DeviceHealth h);
+
+/// Knobs for the health lifecycle. All durations are modeled milliseconds;
+/// the group clock is the max of its members' total_modeled_ms(), so every
+/// decision replays bit-identically.
+struct HealthPolicy {
+  /// Decayed transient-blip score at which a *spare* is escalated from
+  /// suspect to dead. The active member and the last healthy member are
+  /// never escalated by blips.
+  double suspect_threshold = 4.0;
+  /// Half-life of the suspect score: after this much modeled time the
+  /// score halves. A suspect whose decayed score drops below 1 recovers
+  /// to healthy at the next decay_suspects() sweep.
+  double suspect_decay_ms = 1.0;
+  /// Modeled delay between death and probation eligibility. Doubles with
+  /// every failed restore attempt (exponential backoff).
+  double probation_delay_ms = 5.0;
+  /// Modeled gap charged to the probed device before each canary probe —
+  /// the cost of scheduling/quiescing the card for a diagnostic.
+  double probe_interval_ms = 0.25;
+  /// Consecutive clean probes required before the member is restorable.
+  std::uint32_t probes_to_restore = 3;
+  /// Canary probes the maintainer may run per member per maintenance
+  /// pass (one pass per batch).
+  std::uint32_t probes_per_pass = 1;
+  /// Failed restore attempts (probation rounds ending in a failed probe)
+  /// after which the member is permanently retired.
+  std::uint32_t max_restore_attempts = 3;
+  /// Fraction of a fair LPT share a probation member may be assigned
+  /// while its restoration is still provisional.
+  double probation_capacity = 0.25;
+  /// Watchdog deadline for one canary probe kernel: a hung card must
+  /// fail its probe, not wedge the maintainer.
+  double probe_watchdog_ms = 1.0;
+
+  bool operator==(const HealthPolicy&) const = default;
+};
+
+/// One audit-log entry: member `device` moved `from` → `to` at modeled
+/// group time `at_ms` because of `reason`.
+struct HealthRecord {
+  std::size_t device = 0;
+  DeviceHealth from = DeviceHealth::kHealthy;
+  DeviceHealth to = DeviceHealth::kHealthy;
+  double at_ms = 0.0;
+  std::string reason;
+};
+
+/// What a fail_over()/fail_device() call actually did. kAlreadyDead makes
+/// the calls idempotent: re-reporting a death appends no duplicate
+/// FailoverRecord and never churns the cursor.
+enum class FailoverOutcome : std::uint8_t {
+  kMigrated,     ///< member newly marked dead; work moved; record appended
+  kAlreadyDead,  ///< member was already dead/retired; nothing recorded
+  kRefused,      ///< would leave no healthy member; health untouched
+};
+
+/// Verdict of record_probe() for one canary probe.
+enum class ProbeOutcome : std::uint8_t {
+  kProbing,         ///< clean probe, more still required
+  kReadyToRestore,  ///< N consecutive clean probes; call restore_device()
+  kRedead,          ///< failed probe; back to kDead with doubled delay
+  kRetired,         ///< failed probe exhausted max_restore_attempts
 };
 
 class DeviceGroup {
@@ -74,12 +169,22 @@ class DeviceGroup {
   Device& active() { return *devices_[active_]; }
   const Device& active() const { return *devices_[active_]; }
 
-  bool healthy(std::size_t i) const { return healthy_.at(i); }
+  /// True when member i may carry a full share of work: state kHealthy or
+  /// kSuspect. Probation members serve capacity-capped and are *not*
+  /// healthy until restored.
+  bool healthy(std::size_t i) const;
   std::size_t healthy_count() const;
 
+  /// True when member i may run work at all: healthy or on probation.
+  bool serving(std::size_t i) const;
+
   /// Indices of every healthy member, ascending — the set a group
-  /// scheduler may place work onto. The active device is included.
+  /// scheduler may place a full share of work onto. The active device is
+  /// included; probation members are not (see probation_members()).
   std::vector<std::size_t> healthy_members() const;
+
+  /// Indices of every probation member, ascending.
+  std::vector<std::size_t> probation_members() const;
 
   /// Device i's overlap-aware timeline makespan (sugar over
   /// device(i).modeled_makespan_ms()): what a wall clock on that member
@@ -100,23 +205,92 @@ class DeviceGroup {
   /// fall back to the host reference.
   bool exhausted() const { return healthy_count() == 0; }
 
+  // ---- health lifecycle -------------------------------------------------
+
+  const HealthPolicy& health_policy() const { return health_policy_; }
+  void set_health_policy(const HealthPolicy& policy) { health_policy_ = policy; }
+
+  DeviceHealth health_state(std::size_t i) const;
+
+  /// Decayed transient-blip score of member i (diagnostic).
+  double suspect_score(std::size_t i) const;
+
+  /// Failed restore attempts member i has accumulated since it last died.
+  std::uint32_t restore_attempts(std::size_t i) const;
+
+  /// The group's modeled clock: the max of its members' serial modeled
+  /// time. Monotone, deterministic, and the timestamp source for every
+  /// HealthRecord.
+  double group_clock_ms() const;
+
+  /// Reports one transient fault on member i: decays the suspect score by
+  /// elapsed modeled time, bumps it by one, and escalates kHealthy →
+  /// kSuspect (and, for a spare that is not the last healthy member,
+  /// kSuspect → kDead once the score crosses the threshold). Blips on
+  /// dead/probation/retired members are ignored. Returns the member's
+  /// state after the report.
+  DeviceHealth note_transient(std::size_t i, const std::string& reason);
+
+  /// Sweeps every suspect member: decays its score and recovers it to
+  /// kHealthy when the decayed score has dropped below 1.
+  void decay_suspects();
+
+  /// True when dead member i has served its probation entry delay
+  /// (probation_delay_ms × 2^restore_attempts of modeled time since it
+  /// died) and may begin probation. False for any non-dead state.
+  bool probation_due(std::size_t i) const;
+
+  /// Moves dead member i into probation (clean-probe counter reset).
+  /// Throws std::logic_error unless the member is kDead.
+  void begin_probation(std::size_t i);
+
+  /// Reports the outcome of one canary probe on probation member i. A
+  /// clean probe counts toward probes_to_restore and yields
+  /// kReadyToRestore once N consecutive cleans have accrued (the caller
+  /// then revalidates the replica and calls restore_device()). A failed
+  /// probe re-kills the member with a doubled probation delay — or
+  /// retires it permanently when max_restore_attempts is exhausted.
+  /// Throws std::logic_error unless the member is kProbation.
+  ProbeOutcome record_probe(std::size_t i, bool clean, const std::string& reason);
+
+  /// Returns probation member i to full health: suspect score, clean-probe
+  /// and restore-attempt counters reset, member rejoins healthy_members().
+  /// Throws std::logic_error unless the member is kProbation.
+  void restore_device(std::size_t i);
+
+  /// Permanently retires member i (operator judgment — allowed even on
+  /// the last healthy member, unlike fail_device). Retired members never
+  /// enter probation; only reset_health() revives them. No FailoverRecord
+  /// is appended: retirement is an admin action, not a migration.
+  void retire(std::size_t i, const std::string& reason);
+
+  /// Every health transition since construction / reset_health(), in
+  /// order, stamped with the modeled group clock.
+  const std::vector<HealthRecord>& health_log() const { return health_log_; }
+
+  // ---- failure reporting ------------------------------------------------
+
   /// Declares the active device dead and migrates to the next healthy one
-  /// (ascending ordinal, wrapping). Returns true and appends a
-  /// FailoverRecord on success. Returns false — leaving health and the
+  /// (ascending ordinal, wrapping). Returns kMigrated and appends a
+  /// FailoverRecord on success. Returns kRefused — leaving health and the
   /// cursor untouched — when no *other* healthy device exists: the caller
   /// keeps the current device for any label-scoped work that still runs
-  /// there, and routes the rest to the host.
-  bool fail_over(const std::string& reason);
+  /// there, and routes the rest to the host. When the active member is
+  /// already dead/retired (possible after retire(active)), the cursor
+  /// advances to the next healthy member *without* a new record and the
+  /// call returns kAlreadyDead.
+  FailoverOutcome fail_over(const std::string& reason);
 
   /// Declares device `i` dead — the group-scheduler variant of
   /// fail_over(), for deaths on a *scheduled* member that need not be
   /// the active cursor. When `i` is the active device this is exactly
-  /// fail_over(reason). Otherwise the member is marked unhealthy and a
-  /// FailoverRecord from `i` to the (unchanged) active device is
-  /// appended. Returns false — leaving health untouched — when `i` is
-  /// the last healthy device: the caller's cue to fall back to the
-  /// host, same as fail_over().
-  bool fail_device(std::size_t i, const std::string& reason);
+  /// fail_over(reason). An already-dead/retired member yields
+  /// kAlreadyDead with no duplicate record and no cursor churn. A
+  /// probation member is re-killed (counts as a failed restore attempt,
+  /// and may retire it). Returns kRefused — leaving health untouched —
+  /// when `i` is the last healthy device: the caller's cue to fall back
+  /// to the host, same as fail_over().
+  FailoverOutcome fail_device(std::size_t i, const std::string& reason);
 
   /// Everything fail_over() / fail_device() recorded since construction
   /// / reset_health().
@@ -124,9 +298,10 @@ class DeviceGroup {
     return failover_log_;
   }
 
-  /// Marks every device healthy again, moves the cursor back to the
-  /// primary and clears the log. Drill harnesses use this between passes;
-  /// fault plans are per-device and not touched (see disarm_all).
+  /// Marks every device healthy again (including retired ones), moves the
+  /// cursor back to the primary and clears both logs. Drill harnesses use
+  /// this between passes; fault plans are per-device and not touched (see
+  /// disarm_all). The health policy is kept.
   void reset_health();
 
   /// Arms a fault plan on one device; every other device keeps its own
@@ -141,11 +316,29 @@ class DeviceGroup {
   double total_modeled_ms() const;
 
  private:
+  struct MemberHealth {
+    DeviceHealth state = DeviceHealth::kHealthy;
+    double suspect_score = 0.0;
+    double suspect_at_ms = 0.0;  ///< group clock of the last score update
+    double died_at_ms = 0.0;
+    std::uint32_t restore_attempts = 0;
+    std::uint32_t clean_probes = 0;
+  };
+
+  /// Appends a HealthRecord and flips the member's state.
+  void transition(std::size_t i, DeviceHealth to, const std::string& reason);
+  /// Decays member i's suspect score to the current group clock.
+  void decay_score(std::size_t i);
+  /// Shared dead-marking for fail_over/fail_device/escalation.
+  void mark_dead(std::size_t i, const std::string& reason);
+
   std::vector<std::unique_ptr<Device>> owned_;  ///< empty when borrowing
   std::vector<Device*> devices_;
-  std::vector<bool> healthy_;
+  std::vector<MemberHealth> health_;
+  HealthPolicy health_policy_;
   std::size_t active_ = 0;
   std::vector<FailoverRecord> failover_log_;
+  std::vector<HealthRecord> health_log_;
 };
 
 }  // namespace maxwarp::gpu

@@ -68,15 +68,18 @@ TEST(DeviceGroupTest, BorrowedSingletonStaysAnonymous) {
 
 TEST(DeviceGroupTest, FailOverAdvancesAndLogsUntilExhausted) {
   gpu::DeviceGroup group(3);
-  ASSERT_TRUE(group.fail_over("drill: primary down"));
+  ASSERT_EQ(group.fail_over("drill: primary down"),
+            gpu::FailoverOutcome::kMigrated);
   EXPECT_EQ(group.active_index(), 1u);
   EXPECT_FALSE(group.healthy(0));
-  ASSERT_TRUE(group.fail_over("drill: first spare down"));
+  ASSERT_EQ(group.fail_over("drill: first spare down"),
+            gpu::FailoverOutcome::kMigrated);
   EXPECT_EQ(group.active_index(), 2u);
 
   // Last healthy device: fail_over refuses and keeps cursor + health, the
   // caller's cue to route remaining work to the host reference.
-  EXPECT_FALSE(group.fail_over("drill: last device down"));
+  EXPECT_EQ(group.fail_over("drill: last device down"),
+            gpu::FailoverOutcome::kRefused);
   EXPECT_EQ(group.active_index(), 2u);
   EXPECT_TRUE(group.healthy(2));
   EXPECT_EQ(group.healthy_count(), 1u);
@@ -289,7 +292,7 @@ TEST(DeviceGroupTest, FailDeviceMarksSparesWithoutMovingTheCursor) {
   EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{0, 1, 2}));
 
   // Killing a non-active member leaves the cursor alone.
-  EXPECT_TRUE(group.fail_device(2, "drill"));
+  EXPECT_EQ(group.fail_device(2, "drill"), gpu::FailoverOutcome::kMigrated);
   EXPECT_EQ(group.active_index(), 0u);
   EXPECT_FALSE(group.healthy(2));
   EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{0, 1}));
@@ -298,12 +301,12 @@ TEST(DeviceGroupTest, FailDeviceMarksSparesWithoutMovingTheCursor) {
   EXPECT_EQ(group.failover_log()[0].to, 0);
 
   // Killing the active member is exactly fail_over.
-  EXPECT_TRUE(group.fail_device(0, "drill"));
+  EXPECT_EQ(group.fail_device(0, "drill"), gpu::FailoverOutcome::kMigrated);
   EXPECT_EQ(group.active_index(), 1u);
   EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{1}));
 
   // The last healthy device is refused, health untouched.
-  EXPECT_FALSE(group.fail_device(1, "drill"));
+  EXPECT_EQ(group.fail_device(1, "drill"), gpu::FailoverOutcome::kRefused);
   EXPECT_TRUE(group.healthy(1));
   EXPECT_THROW((void)group.fail_device(7, "drill"), std::out_of_range);
 }

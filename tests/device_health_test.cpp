@@ -1,0 +1,641 @@
+// Device health lifecycle: the DeviceGroup state machine (suspect
+// accrual/decay, escalation, probation with canary probes, exponential
+// backoff, permanent retirement), idempotent death reporting, failover
+// provenance across mixed sequences, cost-model calibration round-trips,
+// and the engine-level failback acceptance drill — kill, serve degraded,
+// probe, restore, and place work on the restored member again.
+#include "gpu/device_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algorithms/cpu_reference.hpp"
+#include "algorithms/query_engine.hpp"
+#include "algorithms/replicated_graph.hpp"
+#include "graph/generators.hpp"
+#include "simt/fault.hpp"
+
+namespace maxwarp {
+namespace {
+
+using algorithms::GpuGraph;
+using algorithms::Query;
+using algorithms::QueryEngine;
+using algorithms::QueryEngineOptions;
+using algorithms::QueryPath;
+using graph::Csr;
+using gpu::DeviceGroup;
+using gpu::DeviceHealth;
+using gpu::FailoverOutcome;
+using gpu::HealthPolicy;
+using gpu::ProbeOutcome;
+
+std::vector<Query> bfs_batch(const Csr& g, std::uint32_t k) {
+  std::vector<Query> queries;
+  const std::uint32_t n = g.num_nodes();
+  for (std::uint32_t q = 0; q < k; ++q) {
+    queries.push_back(Query::bfs(n == 0 ? 0 : (q * 977u) % n));
+  }
+  return queries;
+}
+
+// ---- state machine units ---------------------------------------------------
+
+TEST(HealthStateMachineTest, TransientsAccrueToSuspectThenDecayBack) {
+  DeviceGroup group(2);
+  HealthPolicy policy;
+  policy.suspect_threshold = 4.0;
+  policy.suspect_decay_ms = 1.0;
+  group.set_health_policy(policy);
+
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kHealthy);
+  EXPECT_EQ(group.note_transient(1, "blip"), DeviceHealth::kSuspect);
+  EXPECT_TRUE(group.healthy(1)) << "a suspect member still serves fully";
+  EXPECT_NEAR(group.suspect_score(1), 1.0, 1e-12);
+
+  // Four half-lives later the score has decayed below 1: the sweep
+  // recovers the member.
+  group.device(1).charge_delay_ms(4.0);
+  group.decay_suspects();
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kHealthy);
+  EXPECT_LT(group.suspect_score(1), 1.0);
+
+  // The recovery is in the audit log with monotone modeled timestamps.
+  const auto& log = group.health_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].to, DeviceHealth::kSuspect);
+  EXPECT_EQ(log[1].to, DeviceHealth::kHealthy);
+  EXPECT_LE(log[0].at_ms, log[1].at_ms);
+}
+
+TEST(HealthStateMachineTest, ThresholdEscalationKillsOnlySpares) {
+  DeviceGroup group(3);
+  // Rapid-fire blips (no modeled time passes, so no decay): the fourth
+  // crosses the default threshold of 4 and kills the spare.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(group.note_transient(2, "blip"), DeviceHealth::kSuspect);
+  }
+  EXPECT_EQ(group.note_transient(2, "blip"), DeviceHealth::kDead);
+  EXPECT_FALSE(group.healthy(2));
+  // Escalation is a health transition, not a migration: the audit log
+  // records the death, the failover log stays empty (no work moved).
+  EXPECT_TRUE(group.failover_log().empty());
+  ASSERT_FALSE(group.health_log().empty());
+  EXPECT_EQ(group.health_log().back().device, 2u);
+  EXPECT_EQ(group.health_log().back().to, DeviceHealth::kDead);
+
+  // The active member is never escalated by blips, no matter the score.
+  for (int i = 0; i < 10; ++i) group.note_transient(0, "blip");
+  EXPECT_EQ(group.health_state(0), DeviceHealth::kSuspect);
+  EXPECT_TRUE(group.healthy(0));
+
+  // Nor is the last healthy member: kill device 1, leaving only 0... but
+  // 0 is also active, so exercise via a fresh group where the spare is
+  // the last one standing.
+  DeviceGroup pair(2);
+  ASSERT_EQ(pair.fail_over("drill"), FailoverOutcome::kMigrated);  // 0 dead
+  for (int i = 0; i < 10; ++i) pair.note_transient(1, "blip");
+  EXPECT_EQ(pair.health_state(1), DeviceHealth::kSuspect);
+  EXPECT_EQ(pair.healthy_count(), 1u);
+}
+
+TEST(HealthStateMachineTest, BlipsOnNonServingMembersAreIgnored) {
+  DeviceGroup group(2);
+  ASSERT_EQ(group.fail_device(1, "drill"), FailoverOutcome::kMigrated);
+  const auto log_size = group.health_log().size();
+  EXPECT_EQ(group.note_transient(1, "blip"), DeviceHealth::kDead);
+  EXPECT_EQ(group.health_log().size(), log_size);
+  EXPECT_EQ(group.suspect_score(1), 0.0);
+}
+
+TEST(HealthStateMachineTest, ProbationLifecycleRestoresAfterCleanProbes) {
+  DeviceGroup group(2);
+  HealthPolicy policy;
+  policy.probation_delay_ms = 5.0;
+  policy.probes_to_restore = 3;
+  group.set_health_policy(policy);
+
+  ASSERT_EQ(group.fail_device(1, "ecc"), FailoverOutcome::kMigrated);
+  EXPECT_FALSE(group.probation_due(1)) << "delay has not elapsed yet";
+
+  group.device(1).charge_delay_ms(5.0);
+  ASSERT_TRUE(group.probation_due(1));
+  group.begin_probation(1);
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kProbation);
+  EXPECT_FALSE(group.healthy(1)) << "probation members are not healthy";
+  EXPECT_TRUE(group.serving(1)) << "but they do serve, capacity-capped";
+  EXPECT_EQ(group.probation_members(), (std::vector<std::size_t>{1}));
+
+  EXPECT_EQ(group.record_probe(1, true, "clean"), ProbeOutcome::kProbing);
+  EXPECT_EQ(group.record_probe(1, true, "clean"), ProbeOutcome::kProbing);
+  EXPECT_EQ(group.record_probe(1, true, "clean"),
+            ProbeOutcome::kReadyToRestore);
+  group.restore_device(1);
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kHealthy);
+  EXPECT_EQ(group.healthy_members(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(group.restore_attempts(1), 0u) << "counters reset on restore";
+
+  // dead → probation → healthy, all stamped, all monotone.
+  const auto& log = group.health_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].to, DeviceHealth::kDead);
+  EXPECT_EQ(log[1].to, DeviceHealth::kProbation);
+  EXPECT_EQ(log[2].to, DeviceHealth::kHealthy);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].at_ms, log[i].at_ms) << "record " << i;
+  }
+}
+
+TEST(HealthStateMachineTest, FailedProbesBackOffExponentiallyThenRetire) {
+  DeviceGroup group(2);
+  HealthPolicy policy;
+  policy.probation_delay_ms = 2.0;
+  policy.max_restore_attempts = 2;
+  group.set_health_policy(policy);
+
+  ASSERT_EQ(group.fail_device(1, "ecc"), FailoverOutcome::kMigrated);
+
+  // Attempt 1: a failed probe re-kills the member...
+  group.device(1).charge_delay_ms(2.0);
+  ASSERT_TRUE(group.probation_due(1));
+  group.begin_probation(1);
+  EXPECT_EQ(group.record_probe(1, false, "probe fault"),
+            ProbeOutcome::kRedead);
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kDead);
+  EXPECT_EQ(group.restore_attempts(1), 1u);
+
+  // ...and the re-entry delay has doubled: 2 ms is no longer enough.
+  group.device(1).charge_delay_ms(2.0);
+  EXPECT_FALSE(group.probation_due(1));
+  group.device(1).charge_delay_ms(2.0);
+  ASSERT_TRUE(group.probation_due(1));
+
+  // Attempt 2 exhausts max_restore_attempts: permanent retirement.
+  group.begin_probation(1);
+  EXPECT_EQ(group.record_probe(1, false, "probe fault"),
+            ProbeOutcome::kRetired);
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kRetired);
+  EXPECT_FALSE(group.probation_due(1)) << "retired members never re-enter";
+  group.device(1).charge_delay_ms(1000.0);
+  EXPECT_FALSE(group.probation_due(1));
+
+  // reset_health revives even retired members.
+  group.reset_health();
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kHealthy);
+  EXPECT_TRUE(group.health_log().empty());
+}
+
+TEST(HealthStateMachineTest, RecordProbeAndRestoreRequireProbation) {
+  DeviceGroup group(2);
+  EXPECT_THROW(group.record_probe(1, true, "x"), std::logic_error);
+  EXPECT_THROW(group.restore_device(1), std::logic_error);
+  ASSERT_EQ(group.fail_device(1, "drill"), FailoverOutcome::kMigrated);
+  EXPECT_THROW(group.record_probe(1, true, "x"), std::logic_error);
+  EXPECT_THROW(group.restore_device(1), std::logic_error);
+}
+
+TEST(HealthStateMachineTest, RetireIsPermanentAndWorksOnLastMember) {
+  DeviceGroup group(2);
+  group.retire(1, "operator pull");
+  EXPECT_EQ(group.health_state(1), DeviceHealth::kRetired);
+  // Retirement is an admin action, not a migration: no FailoverRecord.
+  EXPECT_TRUE(group.failover_log().empty());
+
+  // Unlike fail_device, retire() is allowed on the last healthy member.
+  group.retire(0, "operator pull");
+  EXPECT_EQ(group.health_state(0), DeviceHealth::kRetired);
+  EXPECT_TRUE(group.exhausted());
+
+  // Idempotent: retiring a retired member appends nothing.
+  const auto log_size = group.health_log().size();
+  group.retire(0, "again");
+  EXPECT_EQ(group.health_log().size(), log_size);
+}
+
+// ---- satellite: idempotent death reporting ---------------------------------
+
+TEST(FailoverIdempotencyTest, FailDeviceOnDeadMemberIsDistinctAndSilent) {
+  DeviceGroup group(3);
+  ASSERT_EQ(group.fail_device(2, "first report"), FailoverOutcome::kMigrated);
+  ASSERT_EQ(group.failover_log().size(), 1u);
+  const auto active = group.active_index();
+
+  // A second report of the same death: distinct signal, no duplicate
+  // record, no cursor churn.
+  EXPECT_EQ(group.fail_device(2, "duplicate report"),
+            FailoverOutcome::kAlreadyDead);
+  EXPECT_EQ(group.failover_log().size(), 1u);
+  EXPECT_EQ(group.active_index(), active);
+
+  // Same for retired members.
+  group.retire(1, "pull");
+  EXPECT_EQ(group.fail_device(1, "late report"),
+            FailoverOutcome::kAlreadyDead);
+  EXPECT_EQ(group.failover_log().size(), 1u);
+}
+
+TEST(FailoverIdempotencyTest, FailOverOnDeadActiveAdvancesWithoutRecord) {
+  DeviceGroup group(3);
+  // retire() may leave the cursor on a non-serving member; the next
+  // fail_over must advance it without fabricating a migration record.
+  group.retire(0, "pull");
+  ASSERT_EQ(group.active_index(), 0u);
+  EXPECT_EQ(group.fail_over("cursor repair"), FailoverOutcome::kAlreadyDead);
+  EXPECT_EQ(group.active_index(), 1u);
+  EXPECT_TRUE(group.failover_log().empty());
+}
+
+TEST(FailoverIdempotencyTest, ReKillingProbationMemberCountsAsFailedRestore) {
+  DeviceGroup group(3);
+  HealthPolicy policy;
+  policy.probation_delay_ms = 1.0;
+  policy.max_restore_attempts = 1;
+  group.set_health_policy(policy);
+
+  ASSERT_EQ(group.fail_device(2, "ecc"), FailoverOutcome::kMigrated);
+  group.device(2).charge_delay_ms(1.0);
+  group.begin_probation(2);
+
+  // A mid-probation death is a failed restore attempt — here it exhausts
+  // the budget and retires the member, with a FailoverRecord for the
+  // work that was on it.
+  EXPECT_EQ(group.fail_device(2, "died while probing"),
+            FailoverOutcome::kMigrated);
+  EXPECT_EQ(group.health_state(2), DeviceHealth::kRetired);
+  EXPECT_EQ(group.failover_log().size(), 2u);
+}
+
+// ---- satellite: provenance and empty-fleet behaviour -----------------------
+
+TEST(FailoverProvenanceTest, MixedSequenceKeepsOrderedProvenance) {
+  DeviceGroup group(4);
+  ASSERT_EQ(group.fail_device(2, "spare ecc"), FailoverOutcome::kMigrated);
+  ASSERT_EQ(group.fail_over("primary hang"), FailoverOutcome::kMigrated);
+  EXPECT_EQ(group.active_index(), 1u);
+  ASSERT_EQ(group.fail_device(1, "new active ecc"),
+            FailoverOutcome::kMigrated);
+  EXPECT_EQ(group.active_index(), 3u);
+
+  const auto& log = group.failover_log();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].from, 2);
+  EXPECT_EQ(log[0].to, 0);  // cursor stayed on the active primary
+  EXPECT_EQ(log[0].reason, "spare ecc");
+  EXPECT_EQ(log[1].from, 0);
+  EXPECT_EQ(log[1].to, 1);
+  EXPECT_EQ(log[1].reason, "primary hang");
+  EXPECT_EQ(log[2].from, 1);
+  EXPECT_EQ(log[2].to, 3);
+  EXPECT_EQ(log[2].reason, "new active ecc");
+
+  // Every failover is mirrored in the health log as a → kDead
+  // transition with the same reason, in the same order.
+  std::vector<std::string> dead_reasons;
+  for (const auto& rec : group.health_log()) {
+    if (rec.to == DeviceHealth::kDead) dead_reasons.push_back(rec.reason);
+  }
+  EXPECT_EQ(dead_reasons, (std::vector<std::string>{
+                              "spare ecc", "primary hang", "new active ecc"}));
+}
+
+TEST(FailoverProvenanceTest, LeastBusyMemberReturnsSizeOnEmptyFleet) {
+  DeviceGroup group(2);
+  group.retire(0, "pull");
+  group.retire(1, "pull");
+  EXPECT_TRUE(group.exhausted());
+  const std::vector<double> base(group.size(), 0.0);
+  EXPECT_EQ(group.least_busy_member(base), group.size());
+}
+
+// ---- satellite: calibration serialization ----------------------------------
+
+TEST(CostModelSerializationTest, JsonRoundTripIsExact) {
+  algorithms::CostModelCalibration cal(0.25);
+  cal.observe({.bfs = true, .width_bucket = 6, .degree_bucket = 3}, 10.0,
+              13.7);
+  cal.observe({.bfs = false, .width_bucket = 1, .degree_bucket = 3}, 4.0,
+              3.1415926535897931);
+  cal.observe({.bfs = true, .width_bucket = 6, .degree_bucket = 3}, 11.0,
+              12.5);
+
+  const std::string json = cal.to_json();
+  const auto back = algorithms::CostModelCalibration::from_json(json);
+  EXPECT_EQ(back.alpha(), cal.alpha());
+  ASSERT_EQ(back.entries().size(), cal.entries().size());
+  for (std::size_t i = 0; i < cal.entries().size(); ++i) {
+    const auto& a = cal.entries()[i];
+    const auto& b = back.entries()[i];
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.correction, b.correction) << "entry " << i;
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.last_observed_ms, b.last_observed_ms);
+    EXPECT_EQ(a.last_raw_estimate, b.last_raw_estimate);
+  }
+  // Serialization is deterministic: same table, same bytes.
+  EXPECT_EQ(back.to_json(), json);
+}
+
+TEST(CostModelSerializationTest, MalformedJsonThrows) {
+  using algorithms::CostModelCalibration;
+  EXPECT_THROW(CostModelCalibration::from_json(""), std::invalid_argument);
+  EXPECT_THROW(CostModelCalibration::from_json("[]"), std::invalid_argument);
+  EXPECT_THROW(CostModelCalibration::from_json("{\"entries\": []}"),
+               std::invalid_argument)
+      << "alpha is required";
+  EXPECT_THROW(
+      CostModelCalibration::from_json("{\"alpha\": 0.3, \"entries\": []} x"),
+      std::invalid_argument)
+      << "trailing garbage";
+  EXPECT_THROW(
+      CostModelCalibration::from_json("{\"alpha\": 1.5, \"entries\": []}"),
+      std::invalid_argument)
+      << "alpha outside (0, 1]";
+  EXPECT_THROW(CostModelCalibration::from_json(
+                   "{\"alpha\": 0.3, \"entries\": [], \"extra\": 1}"),
+               std::invalid_argument)
+      << "unknown field";
+}
+
+TEST(CostModelSerializationTest, EngineWarmStartAcrossProcesses) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 29});
+  const auto queries = bfs_batch(host, 24);
+
+  // Engine A learns corrections from traffic (the calibrator only
+  // observes under a balanced mode on a real group)...
+  gpu::DeviceGroup group_a(2);
+  QueryEngine a(group_a, host);
+  a.run(queries);
+  ASSERT_FALSE(a.cost_model_report().empty());
+  const std::string saved = a.export_cost_model();
+
+  // ...and engine B (fresh process in real life) adopts them cold.
+  gpu::DeviceGroup group_b(2);
+  QueryEngine b(group_b, host);
+  ASSERT_TRUE(b.cost_model_report().empty());
+  b.import_cost_model(saved);
+  ASSERT_EQ(b.cost_model_report().size(), a.cost_model_report().size());
+  for (std::size_t i = 0; i < a.cost_model_report().size(); ++i) {
+    EXPECT_EQ(b.cost_model_report()[i].key, a.cost_model_report()[i].key);
+    EXPECT_EQ(b.cost_model_report()[i].correction,
+              a.cost_model_report()[i].correction);
+    EXPECT_EQ(b.cost_model_report()[i].samples,
+              a.cost_model_report()[i].samples);
+  }
+  EXPECT_THROW(b.import_cost_model("not json"), std::invalid_argument);
+}
+
+// ---- engine-level failback acceptance --------------------------------------
+
+QueryEngineOptions drill_options() {
+  QueryEngineOptions opts;
+  opts.resilience.max_retries = 2;
+  opts.resilience.health.probation_delay_ms = 5.0;
+  opts.resilience.health.probes_to_restore = 2;
+  opts.resilience.health.probes_per_pass = 2;
+  opts.resilience.health.max_restore_attempts = 3;
+  return opts;
+}
+
+TEST(FleetRepairTest, TransientEccMemberGoesSuspectAndKeepsServing) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 31});
+  const auto queries = bfs_batch(host, 32);
+
+  gpu::Device clean_dev;
+  GpuGraph clean_graph(clean_dev, host);
+  QueryEngine clean_engine(clean_graph);
+  const auto clean = clean_engine.run(queries);
+
+  gpu::DeviceGroup group(2);
+  // Correctable ECC on the primary (a 32-query batch is one fused unit,
+  // placed there): the launch succeeds, the event lands in fault
+  // history, and one blip is well under the suspect threshold — the
+  // member must end the batch suspect (or recovered), never dead.
+  group.arm(0, simt::FaultPlan::parse("ecc:nth=2;seed=5"));
+  QueryEngine engine(group, host);
+  const auto served = engine.run(queries);
+
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_TRUE(served[i].ok());
+    EXPECT_NE(served[i].path, QueryPath::kCpuHost);
+    EXPECT_EQ(served[i].value, clean[i].value) << "query " << i;
+  }
+  EXPECT_NE(engine.device_group().health_state(0), DeviceHealth::kDead);
+  EXPECT_TRUE(engine.device_group().healthy(0));
+  EXPECT_EQ(engine.last_batch_stats().migrations, 0u);
+  // The blip is in the audit log: device 0 went healthy → suspect.
+  bool suspected = false;
+  for (const auto& rec : engine.device_group().health_log()) {
+    if (rec.device == 0 && rec.to == DeviceHealth::kSuspect) suspected = true;
+  }
+  EXPECT_TRUE(suspected);
+}
+
+// The full ISSUE acceptance drill: an ecc-fatal primary dies mid-batch
+// (batch completes on the survivor, bit-identical, zero host fallbacks);
+// after the probation delay, clean canary probes restore it; the next
+// batch places work on it again, visible in last_schedule().
+TEST(FleetRepairTest, KilledPrimaryIsProbedRestoredAndRescheduled) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 31});
+  const auto queries = bfs_batch(host, 32);
+
+  gpu::Device clean_dev;
+  GpuGraph clean_graph(clean_dev, host);
+  QueryEngine clean_engine(clean_graph);
+  const auto clean = clean_engine.run(queries);
+
+  gpu::DeviceGroup group(2);
+  // With max_retries = 2 a unit consumes nine faulted launches before
+  // the engine declares the member dead (three iteration-level attempts
+  // per engine-level attempt, three of those); max=10 leaves exactly
+  // one fault for the first canary probe, exercising the re-kill and
+  // backoff path before later probes come clean.
+  group.arm(0, simt::FaultPlan::parse("ecc-fatal:nth=1+:max=10;seed=3"));
+  QueryEngine engine(group, host, drill_options());
+
+  // Batch 1: degraded but complete and bit-identical on the survivor.
+  const auto served = engine.run(queries);
+  ASSERT_EQ(served.size(), clean.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_TRUE(served[i].ok());
+    EXPECT_NE(served[i].path, QueryPath::kCpuHost);
+    EXPECT_EQ(served[i].value, clean[i].value) << "query " << i;
+  }
+  ASSERT_EQ(engine.device_group().health_state(0), DeviceHealth::kDead);
+  EXPECT_EQ(engine.last_batch_stats().fallback_queries, 0u);
+  EXPECT_GE(engine.last_batch_stats().migrations, 1u);
+
+  // Advance the modeled clock well past the probation delay (the group
+  // clock is the max over members, and the survivor's timeline ran far
+  // ahead serving the batch) and maintain: the first probe eats the
+  // armed fault (re-kill, doubled delay)...
+  group.device(0).charge_delay_ms(1000.0);
+  const auto pass1 = engine.maintain_fleet();
+  EXPECT_EQ(pass1.probes, 1u);
+  EXPECT_EQ(pass1.probe_failures, 1u);
+  EXPECT_EQ(pass1.restorations, 0u);
+  ASSERT_EQ(engine.device_group().health_state(0), DeviceHealth::kDead);
+  EXPECT_EQ(engine.device_group().restore_attempts(0), 1u);
+
+  // ...and after the backed-off delay, two clean probes restore it.
+  group.device(0).charge_delay_ms(1000.0);
+  const auto pass2 = engine.maintain_fleet();
+  EXPECT_EQ(pass2.probes, 2u);
+  EXPECT_EQ(pass2.probe_failures, 0u);
+  EXPECT_EQ(pass2.restorations, 1u);
+  ASSERT_EQ(engine.device_group().health_state(0), DeviceHealth::kHealthy);
+
+  // Batch 2: the restored member carries work again — visible in the
+  // schedule — and answers stay bit-identical.
+  const auto again = engine.run(queries);
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_TRUE(again[i].ok());
+    EXPECT_EQ(again[i].value, clean[i].value) << "query " << i;
+  }
+  bool placed_on_restored = false;
+  for (const auto& p : engine.last_schedule()) {
+    if (p.device == 0) placed_on_restored = true;
+  }
+  EXPECT_TRUE(placed_on_restored)
+      << "the restored member received no work in the next batch";
+
+  // Full lifecycle in the audit log: suspect (retry blips) → dead →
+  // probation → dead (failed probe) → probation → healthy, timestamps
+  // monotone.
+  std::vector<DeviceHealth> states;
+  const auto& log = engine.device_group().health_log();
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].device == 0) states.push_back(log[i].to);
+    if (i > 0) {
+      EXPECT_LE(log[i - 1].at_ms, log[i].at_ms) << "record " << i;
+    }
+  }
+  EXPECT_EQ(states, (std::vector<DeviceHealth>{
+                        DeviceHealth::kSuspect, DeviceHealth::kDead,
+                        DeviceHealth::kProbation, DeviceHealth::kDead,
+                        DeviceHealth::kProbation, DeviceHealth::kHealthy}));
+
+  // Maintenance accounting also lands in the next batch's stats.
+  EXPECT_EQ(engine.last_batch_stats().probes, 0u)
+      << "probing finished before batch 2";
+}
+
+TEST(FleetRepairTest, PersistentlyFailingMemberIsRetired) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 17});
+  gpu::DeviceGroup group(2);
+  // Every launch on device 0 faults, forever: the first batch kills it
+  // and every canary probe fails until retirement.
+  group.arm(0, simt::FaultPlan::parse("ecc-fatal:nth=1+:max=0"));
+  auto opts = drill_options();
+  opts.resilience.health.max_restore_attempts = 2;
+  QueryEngine engine(group, host, opts);
+  engine.run(bfs_batch(host, 8));
+  ASSERT_EQ(group.health_state(0), DeviceHealth::kDead);
+
+  std::uint32_t retired = 0;
+  for (int pass = 0; pass < 8 && retired == 0; ++pass) {
+    group.device(0).charge_delay_ms(200.0);  // past any backed-off delay
+    retired += engine.maintain_fleet().retired;
+  }
+  EXPECT_EQ(retired, 1u);
+  EXPECT_EQ(group.health_state(0), DeviceHealth::kRetired);
+  EXPECT_EQ(group.restore_attempts(0), 2u);
+
+  // Retired is terminal: further maintenance passes do nothing.
+  group.device(0).charge_delay_ms(1000.0);
+  const auto idle = engine.maintain_fleet();
+  EXPECT_EQ(idle.probes, 0u);
+
+  // And the retired member never reappears in a schedule.
+  engine.run(bfs_batch(host, 8));
+  for (const auto& p : engine.last_schedule()) {
+    EXPECT_NE(p.device, 0u);
+  }
+}
+
+TEST(FleetRepairTest, FailbackDrillReplaysDeterministically) {
+  const Csr host = graph::rmat(1 << 9, 4u << 9, {}, {.seed = 23});
+  const auto run_drill = [&host] {
+    gpu::DeviceGroup group(2);
+    group.arm(0, simt::FaultPlan::parse("ecc-fatal:nth=1+:max=10;seed=3"));
+    QueryEngine engine(group, host, drill_options());
+    auto first = engine.run(bfs_batch(host, 32));
+    group.device(0).charge_delay_ms(1000.0);
+    engine.maintain_fleet();
+    group.device(0).charge_delay_ms(1000.0);
+    engine.maintain_fleet();
+    auto second = engine.run(bfs_batch(host, 32));
+
+    std::vector<std::tuple<std::size_t, int, int, double>> log;
+    for (const auto& rec : engine.device_group().health_log()) {
+      log.emplace_back(rec.device, static_cast<int>(rec.from),
+                       static_cast<int>(rec.to), rec.at_ms);
+    }
+    return std::make_tuple(std::move(first), std::move(second),
+                           std::move(log),
+                           engine.last_batch_stats().group_makespan_ms);
+  };
+  const auto a = run_drill();
+  const auto b = run_drill();
+  ASSERT_EQ(std::get<0>(a).size(), std::get<0>(b).size());
+  for (std::size_t i = 0; i < std::get<0>(a).size(); ++i) {
+    EXPECT_EQ(std::get<0>(a)[i].value, std::get<0>(b)[i].value);
+    EXPECT_EQ(std::get<0>(a)[i].device, std::get<0>(b)[i].device);
+    EXPECT_EQ(std::get<1>(a)[i].value, std::get<1>(b)[i].value);
+    EXPECT_EQ(std::get<1>(a)[i].device, std::get<1>(b)[i].device);
+  }
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b)) << "health logs diverged";
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+}
+
+TEST(FleetRepairTest, HealthPolicyValidationRejectsNonsense) {
+  const Csr host = graph::rmat(1 << 6, 4u << 6, {}, {.seed = 3});
+  gpu::Device dev;
+  GpuGraph graph(dev, host);
+
+  QueryEngineOptions opts;
+  opts.resilience.health.suspect_threshold = 0.5;
+  EXPECT_THROW(QueryEngine(graph, opts), std::invalid_argument);
+
+  opts = {};
+  opts.resilience.health.probes_to_restore = 0;
+  EXPECT_THROW(QueryEngine(graph, opts), std::invalid_argument);
+
+  opts = {};
+  opts.resilience.health.probation_capacity = 1.5;
+  EXPECT_THROW(QueryEngine(graph, opts), std::invalid_argument);
+
+  opts = {};
+  opts.resilience.health.probation_delay_ms = -1.0;
+  EXPECT_THROW(QueryEngine(graph, opts), std::invalid_argument);
+}
+
+TEST(FleetRepairTest, ProbeKernelIsLabeledInTheLaunchGraph) {
+  const Csr host = graph::rmat(1 << 8, 4u << 8, {}, {.seed = 11});
+  simt::SimConfig cfg;
+  cfg.record_launch_graph = true;
+  gpu::DeviceGroup group(2, cfg);
+  group.arm(0, simt::FaultPlan::parse("ecc-fatal:nth=1+:max=9;seed=3"));
+  QueryEngine engine(group, host, drill_options());
+  engine.run(bfs_batch(host, 8));
+  ASSERT_EQ(group.health_state(0), DeviceHealth::kDead);
+
+  group.device(0).charge_delay_ms(1000.0);
+  const auto report = engine.maintain_fleet();
+  EXPECT_GE(report.probes, 1u);
+
+  // The canary is an honest, labeled kernel on the probed device.
+  bool found = false;
+  ASSERT_NE(group.device(0).launch_graph(), nullptr);
+  for (const auto& node : group.device(0).launch_graph()->nodes()) {
+    if (node.label.find("health.canary") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "no health.canary node in the launch graph";
+}
+
+}  // namespace
+}  // namespace maxwarp
